@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the algorithmic building blocks the paper's
+//! design choices hinge on: adaptive extension selection, consensus-based
+//! pruning, and the dataset generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedhh_bench::ExperimentScale;
+use fedhh_datasets::{DatasetConfig, DatasetKind};
+use fedhh_federated::{LevelEstimate, PruneCandidates};
+use fedhh_mechanisms::taps::pruning::{consensus_pruning_set, select_prune_candidates};
+use fedhh_mechanisms::ExtensionStrategy;
+
+fn synthetic_estimate(n: usize) -> LevelEstimate {
+    let frequencies: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.5)).collect();
+    LevelEstimate {
+        candidates: (0..n as u64).collect(),
+        counts: frequencies.iter().map(|f| f * 10_000.0).collect(),
+        frequencies,
+        std_dev: 0.01,
+        users: 10_000,
+        report_bits: 0,
+    }
+}
+
+fn bench_adaptive_extension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_extension");
+    for n in [40usize, 400] {
+        let estimate = synthetic_estimate(n);
+        group.bench_function(format!("candidates_{n}"), |b| {
+            b.iter(|| ExtensionStrategy::Adaptive.extension_count(&estimate, 10))
+        });
+    }
+    group.finish();
+}
+
+fn bench_consensus_pruning(c: &mut Criterion) {
+    let estimate = synthetic_estimate(200);
+    let previous: PruneCandidates = select_prune_candidates(&estimate, 10);
+    let validated = synthetic_estimate(40);
+    c.bench_function("consensus_pruning_set_k10", |b| {
+        b.iter(|| consensus_pruning_set(&previous, &validated, &validated, 10, 4.0, 0.25))
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation_quick_scale");
+    group.sample_size(10);
+    for kind in [DatasetKind::Rdb, DatasetKind::Syn] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let config = DatasetConfig {
+                    user_scale: ExperimentScale::quick().user_scale,
+                    item_scale: ExperimentScale::quick().item_scale,
+                    code_bits: 16,
+                    syn_beta: 0.5,
+                    seed: 3,
+                };
+                config.build(kind)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_adaptive_extension, bench_consensus_pruning, bench_dataset_generation
+}
+criterion_main!(benches);

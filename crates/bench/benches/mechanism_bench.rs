@@ -1,0 +1,43 @@
+//! Criterion end-to-end benchmarks of the four mechanisms on a small
+//! federated dataset (the quick-scale RDB stand-in), reproducing the
+//! relative running-time ordering of Table 4: GTF ≈ FedPEM < TAP < TAPS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedhh_bench::ExperimentScale;
+use fedhh_datasets::DatasetKind;
+use fedhh_mechanisms::MechanismKind;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let dataset = scale.dataset_config(7).build(DatasetKind::Rdb);
+    let config = scale.protocol_config(3).with_epsilon(4.0).with_k(10);
+    let mut group = c.benchmark_group("mechanism_end_to_end_rdb_quick");
+    for kind in MechanismKind::ALL {
+        let mechanism = kind.build();
+        group.bench_function(kind.name(), |b| b.iter(|| mechanism.run(&dataset, &config)));
+    }
+    group.finish();
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    // Table 4 companion: the same mechanism over growing user populations.
+    let scale = ExperimentScale::quick();
+    let dataset = scale.dataset_config(9).build(DatasetKind::Uba);
+    let config = scale.protocol_config(5).with_epsilon(4.0).with_k(10);
+    let taps = MechanismKind::Taps.build();
+    let mut group = c.benchmark_group("taps_scalability_uba_quick");
+    for fraction in [0.25f64, 0.5, 1.0] {
+        let sampled = dataset.sample_fraction(fraction);
+        group.bench_function(format!("{:.0}%", fraction * 100.0), |b| {
+            b.iter(|| taps.run(&sampled, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mechanisms, bench_scalability
+}
+criterion_main!(benches);

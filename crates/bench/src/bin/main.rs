@@ -1,0 +1,114 @@
+//! The `fedhh-bench` command-line harness.
+//!
+//! ```text
+//! fedhh-bench list
+//! fedhh-bench run <experiment|all> [--quick] [--reps N] [--user-scale F]
+//!                 [--markdown] [--json PATH]
+//! ```
+//!
+//! `run all` reproduces every table and figure of the paper's evaluation and
+//! prints them to stdout; `--json PATH` additionally writes the structured
+//! results so EXPERIMENTS.md can be regenerated from them.
+
+use fedhh_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
+use fedhh_bench::{ExperimentReport, ExperimentScale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available experiments:");
+            for name in ALL_EXPERIMENTS {
+                println!("  {name}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => run_command(&args[1..]),
+        _ => {
+            eprintln!("usage: fedhh-bench <list|run> [experiment|all] [options]");
+            eprintln!("options: --quick --reps N --user-scale F --markdown --json PATH");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_command(args: &[String]) -> ExitCode {
+    let Some(target) = args.first() else {
+        eprintln!("usage: fedhh-bench run <experiment|all> [options]");
+        return ExitCode::FAILURE;
+    };
+
+    let mut scale = ExperimentScale::default();
+    let mut markdown = false;
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = ExperimentScale::quick(),
+            "--reps" => {
+                i += 1;
+                scale.repetitions = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(1);
+            }
+            "--user-scale" => {
+                i += 1;
+                if let Some(v) = args.get(i).and_then(|v| v.parse().ok()) {
+                    scale.user_scale = v;
+                }
+            }
+            "--markdown" => markdown = true,
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let names: Vec<&str> = if target == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else if ALL_EXPERIMENTS.contains(&target.as_str()) {
+        vec![target.as_str()]
+    } else {
+        eprintln!("unknown experiment {target}; run `fedhh-bench list`");
+        return ExitCode::FAILURE;
+    };
+
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    for name in names {
+        eprintln!("[fedhh-bench] running {name} ...");
+        let start = std::time::Instant::now();
+        let report = run_by_name(name, &scale).expect("registered experiment");
+        eprintln!(
+            "[fedhh-bench] {name} finished in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
+        if markdown {
+            println!("{}", report.to_markdown());
+        } else {
+            println!("{}", report.to_table());
+        }
+        reports.push(report);
+    }
+
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => {
+                if let Err(err) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[fedhh-bench] wrote {path}");
+            }
+            Err(err) => {
+                eprintln!("failed to serialize results: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

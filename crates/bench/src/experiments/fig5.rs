@@ -1,0 +1,11 @@
+//! Figure 5: NCR score vs privacy budget ε for k ∈ {10, 20, 40} on all five
+//! dataset groups, comparing GTF, FedPEM and TAPS.
+
+use super::fig4::run_with_metric;
+use crate::report::ExperimentReport;
+use crate::runner::ExperimentScale;
+
+/// Runs the Figure 5 sweep.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    run_with_metric(scale, "fig5", "Figure 5: NCR score vs privacy budget", |m| m.ncr)
+}

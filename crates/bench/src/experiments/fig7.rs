@@ -1,0 +1,48 @@
+//! Figure 7: F1 of TAPS versus TAP (the consensus-based pruning ablation)
+//! across privacy budgets and query sizes.
+
+use super::{EPSILONS, QUERIES};
+use crate::report::ExperimentReport;
+use crate::runner::{averaged_trial, fmt3, ExperimentScale};
+use fedhh_datasets::DatasetKind;
+use fedhh_mechanisms::MechanismKind;
+
+/// Runs the Figure 7 comparison.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "Figure 7: F1 of TAPS (with pruning) vs TAP (without pruning)",
+        &["dataset", "k", "epsilon", "TAP", "TAPS"],
+    );
+    for dataset in DatasetKind::ALL {
+        for k in QUERIES {
+            for epsilon in EPSILONS {
+                let mut row = vec![dataset.name().to_string(), k.to_string(), format!("{epsilon}")];
+                for kind in [MechanismKind::Tap, MechanismKind::Taps] {
+                    let metrics = averaged_trial(kind, dataset, scale, |c| {
+                        c.with_epsilon(epsilon).with_k(k)
+                    });
+                    row.push(fmt3(metrics.f1));
+                }
+                report.push_row(row);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tap_and_taps_trials_run_at_quick_scale() {
+        let scale = ExperimentScale::quick();
+        for kind in [MechanismKind::Tap, MechanismKind::Taps] {
+            let metrics = averaged_trial(kind, DatasetKind::Syn, &scale, |c| {
+                c.with_epsilon(4.0).with_k(5)
+            });
+            assert!((0.0..=1.0).contains(&metrics.f1));
+        }
+    }
+}

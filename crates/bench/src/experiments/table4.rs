@@ -1,0 +1,75 @@
+//! Table 4: scalability under varying user population on UBA (ε = 4,
+//! k = 10): F1 score, server-side communication and running time for each
+//! mechanism, plus the analytic cost of the infeasible direct uploads.
+
+use crate::report::ExperimentReport;
+use crate::runner::{fmt3, run_trial, ExperimentScale, TrialMetrics};
+use fedhh_datasets::DatasetKind;
+use fedhh_mechanisms::MechanismKind;
+
+/// The user-population fractions swept by Table 4.
+pub const FRACTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// Runs the Table 4 sweep.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table4",
+        "Table 4: scalability on UBA (eps = 4, k = 10)",
+        &[
+            "fraction",
+            "mechanism",
+            "F1",
+            "server traffic (kb)",
+            "running time (ms)",
+            "OUE direct (kb)",
+            "OLH direct (kb)",
+        ],
+    );
+    let base = scale.dataset_config(11).build(DatasetKind::Uba);
+    for fraction in FRACTIONS {
+        let dataset = base.sample_fraction(fraction);
+        let users = dataset.total_users() as f64;
+        let domain = dataset.distinct_items() as f64;
+        let oue_kb = users * domain / 1000.0;
+        let olh_kb = users * 96.0 / 1000.0;
+        for kind in MechanismKind::MAIN_COMPARISON {
+            let mechanism = kind.build();
+            let trials: Vec<TrialMetrics> = (0..scale.repetitions)
+                .map(|rep| {
+                    let config = scale
+                        .protocol_config(900 + rep * 131)
+                        .with_epsilon(4.0)
+                        .with_k(10);
+                    run_trial(mechanism.as_ref(), &dataset, &config)
+                })
+                .collect();
+            let metrics = TrialMetrics::mean(&trials);
+            report.push_row(vec![
+                format!("{:.0}%", fraction * 100.0),
+                kind.name().to_string(),
+                fmt3(metrics.f1),
+                format!("{:.1}", metrics.server_traffic_kb),
+                format!("{:.1}", metrics.elapsed_ms),
+                format!("{oue_kb:.0}"),
+                format!("{olh_kb:.0}"),
+            ]);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_covers_every_fraction_and_mechanism() {
+        let report = run(&ExperimentScale::quick());
+        assert_eq!(report.rows.len(), FRACTIONS.len() * 3);
+        // Traffic and running time columns parse as numbers.
+        for row in &report.rows {
+            assert!(row[3].parse::<f64>().is_ok());
+            assert!(row[4].parse::<f64>().is_ok());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Table 5: F1 of TAPS with fixed extension numbers t ∈ {⌊k/2⌋, k, 2k, 3k}
+//! versus the adaptive extension rule (ε = 4, k = 10).
+
+use super::{averaged_custom_trial, build_dataset};
+use crate::report::ExperimentReport;
+use crate::runner::{fmt3, ExperimentScale};
+use fedhh_datasets::DatasetKind;
+use fedhh_mechanisms::{ExtensionStrategy, Taps};
+
+/// Runs the Table 5 ablation.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let k = 10usize;
+    let mut report = ExperimentReport::new(
+        "table5",
+        "Table 5: fixed vs adaptive extension numbers (eps = 4, k = 10)",
+        &["dataset", "t=k/2", "t=k", "t=2k", "t=3k", "adaptive"],
+    );
+    let strategies = [
+        ExtensionStrategy::Fixed(k / 2),
+        ExtensionStrategy::Fixed(k),
+        ExtensionStrategy::Fixed(2 * k),
+        ExtensionStrategy::Fixed(3 * k),
+        ExtensionStrategy::Adaptive,
+    ];
+    for dataset in DatasetKind::ALL {
+        let mut row = vec![dataset.name().to_string()];
+        for strategy in strategies {
+            let mechanism = Taps::with_extension(strategy);
+            let metrics = averaged_custom_trial(
+                &mechanism,
+                scale,
+                |c| c.with_epsilon(4.0).with_k(k),
+                |seed| build_dataset(dataset, scale, seed),
+            );
+            row.push(fmt3(metrics.f1));
+        }
+        report.push_row(row);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_adaptive_variants_run_at_quick_scale() {
+        let scale = ExperimentScale::quick();
+        for strategy in [ExtensionStrategy::Fixed(5), ExtensionStrategy::Adaptive] {
+            let mechanism = Taps::with_extension(strategy);
+            let metrics = averaged_custom_trial(
+                &mechanism,
+                &scale,
+                |c| c.with_epsilon(4.0).with_k(5),
+                |seed| build_dataset(DatasetKind::Rdb, &scale, seed),
+            );
+            assert!((0.0..=1.0).contains(&metrics.f1));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 6: F1 of TAPS with and without the shared shallow trie (ε = 4,
+//! k = 10).
+
+use super::{averaged_custom_trial, build_dataset};
+use crate::report::ExperimentReport;
+use crate::runner::{fmt3, ExperimentScale};
+use fedhh_datasets::DatasetKind;
+use fedhh_mechanisms::Taps;
+
+/// Runs the Table 6 ablation.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table6",
+        "Table 6: TAPS with / without the shared shallow trie (eps = 4, k = 10)",
+        &["dataset", "TAPS (w/o shared trie)", "TAPS"],
+    );
+    for dataset in DatasetKind::ALL {
+        let mut row = vec![dataset.name().to_string()];
+        for mechanism in [Taps::without_shared_trie(), Taps::default()] {
+            let metrics = averaged_custom_trial(
+                &mechanism,
+                scale,
+                |c| c.with_epsilon(4.0).with_k(10),
+                |seed| build_dataset(dataset, scale, seed),
+            );
+            row.push(fmt3(metrics.f1));
+        }
+        report.push_row(row);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_run_at_quick_scale() {
+        let scale = ExperimentScale::quick();
+        for mechanism in [Taps::without_shared_trie(), Taps::default()] {
+            let metrics = averaged_custom_trial(
+                &mechanism,
+                &scale,
+                |c| c.with_epsilon(4.0).with_k(5),
+                |seed| build_dataset(DatasetKind::Syn, &scale, seed),
+            );
+            assert!((0.0..=1.0).contains(&metrics.f1));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 7: average recall of global ground truths among each party's local
+//! heavy hitters (ε = 4, k = 10) — the paper's measure of how well each
+//! mechanism copes with statistical heterogeneity.
+
+use crate::report::ExperimentReport;
+use crate::runner::{averaged_trial, fmt3, ExperimentScale};
+use fedhh_datasets::DatasetKind;
+use fedhh_mechanisms::MechanismKind;
+
+/// Runs the Table 7 comparison.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table7",
+        "Table 7: average local recall of global ground truths (eps = 4, k = 10)",
+        &["dataset", "#parties", "GTF", "FedPEM", "TAPS", "TAPS uplift"],
+    );
+    for dataset in DatasetKind::ALL {
+        let mut row = vec![dataset.name().to_string(), dataset.party_count().to_string()];
+        let mut scores = Vec::new();
+        for kind in MechanismKind::MAIN_COMPARISON {
+            let metrics =
+                averaged_trial(kind, dataset, scale, |c| c.with_epsilon(4.0).with_k(10));
+            scores.push(metrics.avg_local_recall);
+            row.push(fmt3(metrics.avg_local_recall));
+        }
+        let best_baseline = scores[0].max(scores[1]);
+        let uplift = if best_baseline > 0.0 {
+            (scores[2] - best_baseline) / best_baseline * 100.0
+        } else {
+            0.0
+        };
+        row.push(format!("{uplift:+.1}%"));
+        report.push_row(row);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_scores_are_probabilities() {
+        let scale = ExperimentScale::quick();
+        let metrics = averaged_trial(MechanismKind::Taps, DatasetKind::Ycm, &scale, |c| {
+            c.with_epsilon(4.0).with_k(5)
+        });
+        assert!((0.0..=1.0).contains(&metrics.avg_local_recall));
+    }
+}

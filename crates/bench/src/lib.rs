@@ -1,0 +1,33 @@
+//! # fedhh-bench — benchmark harness for the paper's evaluation
+//!
+//! Every table and figure of the paper's Section 7 has a corresponding
+//! experiment module here that regenerates it (on the synthetic stand-in
+//! datasets, see DESIGN.md):
+//!
+//! | Experiment | Paper artefact | Module |
+//! |---|---|---|
+//! | `fig4` | Figure 4 — F1 vs ε for k ∈ {10, 20, 40} | [`experiments::fig4`] |
+//! | `fig5` | Figure 5 — NCR vs ε for k ∈ {10, 20, 40} | [`experiments::fig5`] |
+//! | `fig6` | Figure 6 — F1 vs ε under OUE and OLH | [`experiments::fig6`] |
+//! | `fig7` | Figure 7 — TAPS vs TAP (pruning ablation) | [`experiments::fig7`] |
+//! | `table1` | Table 1 — communication/computation cost model | [`experiments::table1`] |
+//! | `table3` | Table 3 — F1 vs step size | [`experiments::table3`] |
+//! | `table4` | Table 4 — scalability on UBA | [`experiments::table4`] |
+//! | `table5` | Table 5 — fixed vs adaptive extension | [`experiments::table5`] |
+//! | `table6` | Table 6 — shared shallow trie ablation | [`experiments::table6`] |
+//! | `table7` | Table 7 — average local recall (heterogeneity) | [`experiments::table7`] |
+//! | `table8` | Table 8 — Dirichlet β heterogeneity sweep | [`experiments::table8`] |
+//!
+//! The `fedhh-bench` binary runs them by name (`fedhh-bench run fig4`);
+//! `fedhh-bench run all` reproduces the entire evaluation and prints every
+//! table to stdout (and optionally JSON for EXPERIMENTS.md).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use report::ExperimentReport;
+pub use runner::{ExperimentScale, TrialMetrics};

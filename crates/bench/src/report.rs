@@ -1,0 +1,114 @@
+//! Tabular experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A printable, serializable experiment result: a header row plus data rows,
+/// mirroring the corresponding table/figure of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier, e.g. `"fig4"`.
+    pub id: String,
+    /// Human-readable title, e.g. `"Figure 4: F1 vs epsilon"`.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report with a header.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let render = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("# {} ({})\n", self.title, self.id));
+        out.push_str(&render(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} ({})\n\n", self.title, self.id));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}|\n", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("figX", "Sample", &["dataset", "eps", "f1"]);
+        r.push_row(vec!["RDB".into(), "1".into(), "0.50".into()]);
+        r.push_row(vec!["SYN".into(), "5".into(), "0.90".into()]);
+        r
+    }
+
+    #[test]
+    fn table_rendering_contains_all_cells() {
+        let text = sample().to_table();
+        for cell in ["dataset", "eps", "f1", "RDB", "SYN", "0.50", "0.90"] {
+            assert!(text.contains(cell), "missing {cell} in\n{text}");
+        }
+    }
+
+    #[test]
+    fn markdown_rendering_is_a_valid_table() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| dataset | eps | f1 |"));
+        assert!(md.contains("|---|---|---|"));
+        assert_eq!(md.matches('\n').count(), 6);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = sample();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows, report.rows);
+    }
+}

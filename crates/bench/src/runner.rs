@@ -1,0 +1,218 @@
+//! Shared experiment machinery: scales, trials and averaging.
+
+use fedhh_datasets::{DatasetConfig, DatasetKind, FederatedDataset};
+use fedhh_federated::ProtocolConfig;
+use fedhh_mechanisms::{Mechanism, MechanismKind};
+use fedhh_metrics::{average_local_recall, f1_score, ncr_score};
+use serde::{Deserialize, Serialize};
+
+/// How large the simulated populations are and how many repetitions each
+/// point is averaged over.  The paper runs every configuration 50 times on
+/// the full-size datasets; the default scale here runs in minutes on a
+/// laptop while preserving the user-to-item ratios (see DESIGN.md).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Multiplier on the paper's user populations.
+    pub user_scale: f64,
+    /// Multiplier on the paper's item-pool sizes.
+    pub item_scale: f64,
+    /// Item-code width in bits (the paper uses 48).
+    pub code_bits: u8,
+    /// Trie granularity g (the paper uses 24, i.e. step size 2).
+    pub granularity: u8,
+    /// Number of repetitions (with different seeds) averaged per point.
+    pub repetitions: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self { user_scale: 0.02, item_scale: 0.05, code_bits: 48, granularity: 24, repetitions: 3 }
+    }
+}
+
+impl ExperimentScale {
+    /// A fast configuration for smoke tests and CI.
+    pub fn quick() -> Self {
+        Self { user_scale: 0.005, item_scale: 0.02, code_bits: 16, granularity: 8, repetitions: 1 }
+    }
+
+    /// The dataset configuration for a given generation seed.
+    pub fn dataset_config(&self, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            user_scale: self.user_scale,
+            item_scale: self.item_scale,
+            code_bits: self.code_bits,
+            syn_beta: 0.5,
+            seed,
+        }
+    }
+
+    /// The protocol configuration for a given run seed, with the paper's
+    /// defaults for everything not swept by the experiment.
+    pub fn protocol_config(&self, seed: u64) -> ProtocolConfig {
+        ProtocolConfig {
+            max_bits: self.code_bits,
+            granularity: self.granularity,
+            seed,
+            ..ProtocolConfig::default()
+        }
+    }
+}
+
+/// Metrics of one (or an average of several) mechanism run(s).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TrialMetrics {
+    /// F1 score against the exact federated top-k.
+    pub f1: f64,
+    /// NCR score against the exact federated top-k.
+    pub ncr: f64,
+    /// Average local recall of the global ground truths (Table 7).
+    pub avg_local_recall: f64,
+    /// Party → server traffic in kilobits.
+    pub uplink_kb: f64,
+    /// Server ↔ party traffic (both directions) in kilobits.
+    pub server_traffic_kb: f64,
+    /// Wall-clock running time in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl TrialMetrics {
+    /// Element-wise mean of several trials.
+    pub fn mean(trials: &[TrialMetrics]) -> TrialMetrics {
+        if trials.is_empty() {
+            return TrialMetrics::default();
+        }
+        let n = trials.len() as f64;
+        let mut out = TrialMetrics::default();
+        for t in trials {
+            out.f1 += t.f1;
+            out.ncr += t.ncr;
+            out.avg_local_recall += t.avg_local_recall;
+            out.uplink_kb += t.uplink_kb;
+            out.server_traffic_kb += t.server_traffic_kb;
+            out.elapsed_ms += t.elapsed_ms;
+        }
+        out.f1 /= n;
+        out.ncr /= n;
+        out.avg_local_recall /= n;
+        out.uplink_kb /= n;
+        out.server_traffic_kb /= n;
+        out.elapsed_ms /= n;
+        out
+    }
+}
+
+/// Runs one mechanism once over a dataset and scores it against the exact
+/// ground truth.
+pub fn run_trial(
+    mechanism: &dyn Mechanism,
+    dataset: &FederatedDataset,
+    config: &ProtocolConfig,
+) -> TrialMetrics {
+    let truth = dataset.ground_truth_top_k(config.k);
+    let output = mechanism.run(dataset, config);
+    let locals: Vec<Vec<u64>> = output
+        .local_results
+        .iter()
+        .map(|l| l.local_heavy_hitters.clone())
+        .collect();
+    TrialMetrics {
+        f1: f1_score(&truth, &output.heavy_hitters),
+        ncr: ncr_score(&truth, &output.heavy_hitters),
+        avg_local_recall: average_local_recall(&truth, &locals),
+        uplink_kb: output.comm.total_uplink_bits() as f64 / 1000.0,
+        server_traffic_kb: output.comm.server_traffic_kb(),
+        elapsed_ms: output.elapsed.as_secs_f64() * 1000.0,
+    }
+}
+
+/// Runs a mechanism `scale.repetitions` times (different dataset and
+/// protocol seeds) and averages the metrics, mirroring the paper's
+/// average-of-50-runs protocol.
+pub fn averaged_trial(
+    kind: MechanismKind,
+    dataset_kind: DatasetKind,
+    scale: &ExperimentScale,
+    configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
+) -> TrialMetrics {
+    averaged_trial_with(kind, scale, configure, |seed| {
+        scale.dataset_config(seed).build(dataset_kind)
+    })
+}
+
+/// Like [`averaged_trial`] but with a custom dataset builder (used by the
+/// Table 8 heterogeneity sweep, which varies the SYN Dirichlet β).
+pub fn averaged_trial_with(
+    kind: MechanismKind,
+    scale: &ExperimentScale,
+    configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
+    build_dataset: impl Fn(u64) -> FederatedDataset,
+) -> TrialMetrics {
+    let mechanism = kind.build();
+    let trials: Vec<TrialMetrics> = (0..scale.repetitions)
+        .map(|rep| {
+            let seed = 1000 + rep * 7919;
+            let dataset = build_dataset(seed);
+            let config = configure(scale.protocol_config(seed ^ 0xBEEF));
+            run_trial(mechanism.as_ref(), &dataset, &config)
+        })
+        .collect();
+    TrialMetrics::mean(&trials)
+}
+
+/// Formats a metric with three decimals for the report tables.
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_trials_averages_every_field() {
+        let a = TrialMetrics { f1: 0.2, ncr: 0.4, avg_local_recall: 0.1, uplink_kb: 10.0, server_traffic_kb: 12.0, elapsed_ms: 5.0 };
+        let b = TrialMetrics { f1: 0.6, ncr: 0.8, avg_local_recall: 0.3, uplink_kb: 20.0, server_traffic_kb: 16.0, elapsed_ms: 15.0 };
+        let m = TrialMetrics::mean(&[a, b]);
+        assert!((m.f1 - 0.4).abs() < 1e-12);
+        assert!((m.ncr - 0.6).abs() < 1e-12);
+        assert!((m.avg_local_recall - 0.2).abs() < 1e-12);
+        assert!((m.uplink_kb - 15.0).abs() < 1e-12);
+        assert!((m.elapsed_ms - 10.0).abs() < 1e-12);
+        // Empty input is all zeros, not NaN.
+        assert_eq!(TrialMetrics::mean(&[]).f1, 0.0);
+    }
+
+    #[test]
+    fn run_trial_produces_scores_in_range() {
+        let scale = ExperimentScale::quick();
+        let dataset = scale.dataset_config(1).build(DatasetKind::Rdb);
+        let config = scale.protocol_config(2).with_epsilon(4.0).with_k(5);
+        let mechanism = MechanismKind::Taps.build();
+        let metrics = run_trial(mechanism.as_ref(), &dataset, &config);
+        assert!((0.0..=1.0).contains(&metrics.f1));
+        assert!((0.0..=1.0).contains(&metrics.ncr));
+        assert!((0.0..=1.0).contains(&metrics.avg_local_recall));
+        assert!(metrics.uplink_kb > 0.0);
+        assert!(metrics.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn averaged_trial_is_reproducible() {
+        let scale = ExperimentScale::quick();
+        let a = averaged_trial(MechanismKind::FedPem, DatasetKind::Rdb, &scale, |c| {
+            c.with_epsilon(4.0).with_k(5)
+        });
+        let b = averaged_trial(MechanismKind::FedPem, DatasetKind::Rdb, &scale, |c| {
+            c.with_epsilon(4.0).with_k(5)
+        });
+        assert_eq!(a.f1, b.f1);
+        assert_eq!(a.ncr, b.ncr);
+    }
+
+    #[test]
+    fn fmt3_rounds_to_three_decimals() {
+        assert_eq!(fmt3(0.123456), "0.123");
+        assert_eq!(fmt3(1.0), "1.000");
+    }
+}

@@ -1,0 +1,84 @@
+//! Analytic helpers for the paper's utility analysis (Theorem 5.2).
+//!
+//! Theorem 5.2 bounds the probability that the adaptive extension strategy
+//! degenerates — i.e. keeps choosing the same constant extension number at
+//! every one of the g iterations — by `(P_x)^g` with
+//! `P_x = Pr[Φ(−δ_f / 2σ) > 2√π / (3k + 1)]`,
+//! where δ_f is the largest gap between neighbouring frequencies among the
+//! relevant top-2k prefixes and σ the FO's standard deviation.  These
+//! helpers evaluate that bound numerically so the benchmark harness can
+//! report it alongside the ablation results.
+
+use crate::extension::normal_cdf;
+
+/// The per-iteration quantity Φ(−δ_f / 2σ) of Theorem 5.2.
+pub fn degeneration_statistic(delta_f: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        // No noise: the statistic collapses to Φ(−∞) = 0 for any positive gap.
+        return if delta_f > 0.0 { 0.0 } else { 0.5 };
+    }
+    normal_cdf(-delta_f / (2.0 * sigma))
+}
+
+/// The threshold 2√π / (3k + 1) of Theorem 5.2.
+pub fn degeneration_threshold(k: usize) -> f64 {
+    2.0 * std::f64::consts::PI.sqrt() / (3.0 * k as f64 + 1.0)
+}
+
+/// A conservative numeric evaluation of the Theorem 5.2 bound `(P_x)^g`.
+///
+/// For a concrete (δ_f, σ) pair the indicator `Φ(−δ_f/2σ) > threshold` is
+/// deterministic; we report the Markov-style relaxation
+/// `P_x = min(1, Φ(−δ_f/2σ) / threshold)` so the bound degrades smoothly as
+/// the statistic approaches the threshold, and raise it to the g-th power.
+pub fn constant_extension_probability_bound(k: usize, delta_f: f64, sigma: f64, g: u8) -> f64 {
+    let statistic = degeneration_statistic(delta_f, sigma);
+    let threshold = degeneration_threshold(k);
+    let p_x = (statistic / threshold).min(1.0);
+    p_x.powi(g as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_shrinks_with_k() {
+        assert!(degeneration_threshold(10) > degeneration_threshold(40));
+        assert!((degeneration_threshold(10) - 2.0 * std::f64::consts::PI.sqrt() / 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_decreases_with_larger_gaps_and_smaller_noise() {
+        let base = degeneration_statistic(0.01, 0.02);
+        assert!(degeneration_statistic(0.05, 0.02) < base);
+        assert!(degeneration_statistic(0.01, 0.005) < base);
+        // Zero noise and positive gap: no degeneration possible.
+        assert_eq!(degeneration_statistic(0.01, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bound_decays_geometrically_in_g() {
+        let one = constant_extension_probability_bound(10, 0.005, 0.02, 1);
+        let many = constant_extension_probability_bound(10, 0.005, 0.02, 12);
+        assert!(one < 1.0 + 1e-12);
+        assert!(many <= one);
+        if one < 1.0 {
+            assert!((many - one.powi(12)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bound_is_tiny_in_the_paper_regime() {
+        // k = 10, a clear frequency gap, moderate LDP noise, g = 24: the
+        // probability of a degenerate adaptive extension is negligible.
+        let bound = constant_extension_probability_bound(10, 0.05, 0.01, 24);
+        assert!(bound < 1e-6, "bound {bound}");
+    }
+
+    #[test]
+    fn bound_never_exceeds_one() {
+        let bound = constant_extension_probability_bound(10, 0.0, 0.5, 3);
+        assert!(bound <= 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! FedPEM: the straw-man federated baseline (Algorithm 1).
+//!
+//! Every party independently runs PEM with the fixed extension `t = k` and
+//! uploads its local top-k heavy hitters together with their estimated
+//! counts; the server sums the counts of identical items and reports the
+//! global top-k.  FedPEM ignores the non-IID structure entirely, which is
+//! exactly the weakness the paper's TAP/TAPS address.
+
+use crate::aggregate::PartyLocalResult;
+use crate::extension::ExtensionStrategy;
+use crate::mechanism::{Mechanism, MechanismOutput};
+use crate::pem::run_pem;
+use fedhh_datasets::FederatedDataset;
+use fedhh_federated::{federated_top_k, CommTracker, ProtocolConfig};
+use std::time::Instant;
+
+/// The FedPEM baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct FedPem {
+    /// Extension strategy used inside each party (the paper's FedPEM uses
+    /// the original fixed `t = k`).
+    pub extension: ExtensionStrategy,
+}
+
+impl Default for FedPem {
+    fn default() -> Self {
+        // The baseline uses the original PEM extension rule.
+        Self { extension: ExtensionStrategy::Fixed(usize::MAX) }
+    }
+}
+
+impl FedPem {
+    /// Creates FedPEM with an explicit extension strategy (used by ablations).
+    pub fn with_extension(extension: ExtensionStrategy) -> Self {
+        Self { extension }
+    }
+
+    fn effective_extension(&self, k: usize) -> ExtensionStrategy {
+        match self.extension {
+            // `usize::MAX` is the marker for "the original t = k rule".
+            ExtensionStrategy::Fixed(t) if t == usize::MAX => ExtensionStrategy::Fixed(k),
+            other => other,
+        }
+    }
+}
+
+impl Mechanism for FedPem {
+    fn name(&self) -> &'static str {
+        "FedPEM"
+    }
+
+    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
+        config.validate().expect("invalid protocol configuration");
+        let start = Instant::now();
+        let mut comm = CommTracker::new();
+        let extension = self.effective_extension(config.k);
+
+        let mut locals: Vec<PartyLocalResult> = Vec::with_capacity(dataset.party_count());
+        for (idx, party) in dataset.parties().iter().enumerate() {
+            let outcome = run_pem(
+                party.name(),
+                party.items(),
+                config,
+                extension,
+                (idx as u64 + 1) * 0x0100_0000_0100_0101,
+            );
+            comm.record_local_reports(party.name(), outcome.local_report_bits);
+            let report = outcome.local.to_report(config.granularity);
+            comm.record_uplink(party.name(), report.size_bits());
+            locals.push(outcome.local);
+        }
+
+        let reports: Vec<_> =
+            locals.iter().map(|l| l.to_report(config.granularity)).collect();
+        let totals = fedhh_federated::aggregate_reports(&reports);
+        let heavy_hitters = federated_top_k(&reports, config.k);
+
+        MechanismOutput {
+            heavy_hitters,
+            counts: totals,
+            local_results: locals,
+            comm,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhh_datasets::{DatasetConfig, DatasetKind};
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            k: 5,
+            epsilon: 5.0,
+            max_bits: 16,
+            granularity: 8,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn fedpem_returns_k_heavy_hitters_with_counts() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+        let output = FedPem::default().run(&dataset, &config());
+        assert_eq!(output.heavy_hitters.len(), 5);
+        assert_eq!(output.local_results.len(), 2);
+        for hh in &output.heavy_hitters {
+            assert!(output.count_of(*hh) >= 0.0);
+        }
+        assert!(output.comm.total_uplink_bits() > 0);
+        assert!(output.comm.total_local_report_bits() > 0);
+    }
+
+    #[test]
+    fn fedpem_recovers_some_ground_truth_at_large_epsilon() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+        let truth = dataset.ground_truth_top_k(5);
+        let output = FedPem::default().run(&dataset, &config());
+        let hits = truth.iter().filter(|t| output.heavy_hitters.contains(t)).count();
+        assert!(hits >= 1, "expected at least one true heavy hitter, got {hits}");
+    }
+
+    #[test]
+    fn default_extension_marker_resolves_to_k() {
+        let fedpem = FedPem::default();
+        assert_eq!(fedpem.effective_extension(7), ExtensionStrategy::Fixed(7));
+        let custom = FedPem::with_extension(ExtensionStrategy::Fixed(3));
+        assert_eq!(custom.effective_extension(7), ExtensionStrategy::Fixed(3));
+    }
+
+    #[test]
+    fn uplink_cost_is_k_pairs_per_party() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+        let cfg = config();
+        let output = FedPem::default().run(&dataset, &cfg);
+        // Each party uploads at most k (candidate, count) pairs once.
+        let max_bits = dataset.party_count() * cfg.k * fedhh_federated::PAIR_BITS;
+        assert!(output.comm.total_uplink_bits() <= max_bits);
+    }
+}

@@ -1,0 +1,55 @@
+//! # fedhh-mechanisms — federated heavy hitter mechanisms
+//!
+//! This crate implements the paper's contribution and its baselines:
+//!
+//! * [`FedPem`] — the straw-man baseline of Algorithm 1: run PEM (Wang et
+//!   al.) independently in every party and let the server sum the reported
+//!   counts.
+//! * [`Gtf`] — the adapted hierarchical baseline of Shao et al. with the
+//!   GRRX mechanism replaced by k-RR (see DESIGN.md, substitution 2): the
+//!   server filters a single global candidate set level by level, ignoring
+//!   party populations.
+//! * [`Tap`] — the target-aligning prefix tree mechanism (Algorithms 2–3):
+//!   a shared shallow trie constructed collaboratively in Phase I plus
+//!   adaptive trie extension in both phases.
+//! * [`Taps`] — TAP with the consensus-based pruning strategy (Algorithm 4,
+//!   Equations 4–8): Phase II runs sequentially through the parties in
+//!   descending population order, each party validating and pruning the
+//!   candidates suggested by its predecessor.
+//!
+//! All mechanisms implement the [`Mechanism`] trait and can be constructed
+//! by name through [`MechanismKind`], which is what the benchmark harness
+//! uses to sweep them.
+//!
+//! ```
+//! use fedhh_datasets::{DatasetConfig, DatasetKind};
+//! use fedhh_federated::ProtocolConfig;
+//! use fedhh_mechanisms::{Mechanism, Taps};
+//!
+//! let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+//! let config = ProtocolConfig::test_default().with_epsilon(4.0).with_k(5);
+//! let output = Taps::default().run(&dataset, &config);
+//! assert_eq!(output.heavy_hitters.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod analysis;
+pub mod extension;
+pub mod fedpem;
+pub mod gtf;
+pub mod mechanism;
+pub mod pem;
+pub mod tap;
+pub mod taps;
+
+pub use aggregate::{local_result_to_report, PartyLocalResult};
+pub use extension::ExtensionStrategy;
+pub use fedpem::FedPem;
+pub use gtf::Gtf;
+pub use mechanism::{Mechanism, MechanismKind, MechanismOutput};
+pub use pem::{run_pem, PemPartyOutcome};
+pub use tap::Tap;
+pub use taps::Taps;

@@ -1,0 +1,169 @@
+//! Single-party PEM: the prefix extending method of Wang et al.
+//!
+//! PEM splits a party's users into g groups, lets group h report the
+//! l_h-bit prefix of its item over the current candidate domain, extends the
+//! top-t estimated prefixes into the next level's candidates, and reports
+//! the top-k estimates of the final level as the party's heavy hitters.
+//! The extension strategy is parameterised so the same runner serves both
+//! the fixed `t = k` of the original PEM and the adaptive rule of TAP.
+
+use crate::aggregate::{local_result_from_estimate, PartyLocalResult};
+use crate::extension::ExtensionStrategy;
+use fedhh_federated::{GroupAssignment, LevelEstimate, LevelEstimator, ProtocolConfig};
+use fedhh_trie::extend_prefix_values;
+
+/// The outcome of running PEM inside one party.
+#[derive(Debug, Clone)]
+pub struct PemPartyOutcome {
+    /// The party's local result (top-k heavy hitters and counts).
+    pub local: PartyLocalResult,
+    /// The estimate of the final level (kept for diagnostics).
+    pub final_estimate: LevelEstimate,
+    /// Total bits of perturbed user reports collected inside the party.
+    pub local_report_bits: usize,
+    /// The extension number chosen at every level (diagnostics for the
+    /// adaptive-extension analysis).
+    pub extension_trace: Vec<usize>,
+}
+
+/// Runs PEM over one party's items.
+///
+/// * `party_name` / `party_users` — identity and population of the party.
+/// * `items` — one m-bit item code per user.
+/// * `extension` — fixed or adaptive extension strategy.
+/// * `noise_seed` — decorrelates this party's randomness from other parties.
+pub fn run_pem(
+    party_name: &str,
+    items: &[u64],
+    config: &ProtocolConfig,
+    extension: ExtensionStrategy,
+    noise_seed: u64,
+) -> PemPartyOutcome {
+    let schedule = config.schedule();
+    let assignment =
+        GroupAssignment::uniform(items, config.granularity, config.seed ^ noise_seed);
+    let estimator = LevelEstimator::new(*config);
+
+    let mut current: Vec<u64> = vec![0]; // the root prefix (length 0)
+    let mut current_len: u8 = 0;
+    let mut last_estimate: Option<LevelEstimate> = None;
+    let mut local_report_bits = 0usize;
+    let mut extension_trace = Vec::with_capacity(config.granularity as usize);
+
+    for h in schedule.levels() {
+        let step = schedule.step(h);
+        let len = schedule.prefix_len(h);
+        let candidates = extend_prefix_values(&current, current_len, step);
+        let estimate = estimator.estimate(
+            &candidates,
+            len,
+            assignment.level(h),
+            noise_seed.wrapping_mul(0x9E37_79B9).wrapping_add(h as u64),
+        );
+        local_report_bits += estimate.report_bits;
+        let t = extension.extension_count(&estimate, config.k);
+        extension_trace.push(t);
+        current = estimate.top_t(t);
+        current_len = len;
+        last_estimate = Some(estimate);
+    }
+
+    let final_estimate = last_estimate.expect("granularity is at least 1");
+    let local = local_result_from_estimate(party_name, items.len(), &final_estimate, config.k);
+    PemPartyOutcome { local, final_estimate, local_report_bits, extension_trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhh_trie::ItemEncoder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a skewed single-party population where a handful of items
+    /// dominate, and returns (items, true top-3).
+    fn skewed_party(seed: u64) -> (Vec<u64>, Vec<u64>) {
+        let encoder = ItemEncoder::new(16, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hot: Vec<u64> = (0..3).map(|i| encoder.encode(i)).collect();
+        let mut items = Vec::new();
+        for (rank, code) in hot.iter().enumerate() {
+            // 3000, 2000, 1000 users for the three hot items.
+            for _ in 0..(3000 - rank * 1000) {
+                items.push(*code);
+            }
+        }
+        // 2000 users spread thinly over a long tail.
+        for _ in 0..2000 {
+            items.push(encoder.encode(100 + rng.gen_range(0..500)));
+        }
+        (items, hot)
+    }
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            k: 5,
+            epsilon: 4.0,
+            max_bits: 16,
+            granularity: 8,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn pem_finds_the_dominant_items() {
+        let (items, hot) = skewed_party(1);
+        let outcome = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 11);
+        let found = &outcome.local.local_heavy_hitters;
+        assert_eq!(found.len(), 5);
+        // The most frequent item must be found; the top-3 should mostly be.
+        assert!(found.contains(&hot[0]), "top item missing: {found:?}");
+        let hits = hot.iter().filter(|h| found.contains(h)).count();
+        assert!(hits >= 2, "expected at least 2 of the 3 hot items, got {hits}");
+    }
+
+    #[test]
+    fn adaptive_extension_traces_are_recorded_and_bounded() {
+        let (items, _) = skewed_party(2);
+        let outcome = run_pem("p", &items, &config(), ExtensionStrategy::Adaptive, 5);
+        assert_eq!(outcome.extension_trace.len(), 8);
+        for t in &outcome.extension_trace {
+            assert!(*t >= 1);
+            assert!(*t <= 2 * 5, "adaptive t is bounded by 2k, got {t}");
+        }
+    }
+
+    #[test]
+    fn report_bits_accumulate_over_levels() {
+        let (items, _) = skewed_party(3);
+        let outcome = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 1);
+        // Every user reports exactly once; with GRR each report is 32 bits.
+        assert_eq!(outcome.local_report_bits, items.len() * 32);
+    }
+
+    #[test]
+    fn counts_are_scaled_to_the_party_population() {
+        let (items, hot) = skewed_party(4);
+        let outcome = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 2);
+        let total_users = items.len() as f64;
+        let reported = outcome
+            .local
+            .reported_counts
+            .iter()
+            .find(|(v, _)| *v == hot[0])
+            .map(|(_, c)| *c);
+        if let Some(count) = reported {
+            // The top item holds 3000 of 8000 users; the reported count must
+            // be in the right ballpark (LDP noise allows a generous margin).
+            assert!(count > total_users * 0.2 && count < total_users * 0.6, "count {count}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_identical_seeds() {
+        let (items, _) = skewed_party(5);
+        let a = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 9);
+        let b = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 9);
+        assert_eq!(a.local.local_heavy_hitters, b.local.local_heavy_hitters);
+    }
+}

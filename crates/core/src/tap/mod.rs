@@ -1,0 +1,284 @@
+//! TAP: the target-aligning prefix tree mechanism (Algorithms 2 and 3).
+//!
+//! TAP runs in two phases.  In **Phase I** every party estimates the first
+//! g_s trie levels on a small fraction of its users, always with adaptive
+//! extension; the parties' level-g_s candidates are aggregated by the server
+//! into the globally frequent prefixes C_{g_s} ([`stc`]).  In **Phase II**
+//! every party extends C_{g_s} independently down to level g, still with
+//! adaptive extension, and uploads its local top-k heavy hitters with their
+//! estimated counts; the server sums the counts and reports the federated
+//! top-k.
+
+pub mod stc;
+
+use crate::aggregate::{local_result_from_estimate, PartyLocalResult};
+use crate::extension::ExtensionStrategy;
+use crate::mechanism::{Mechanism, MechanismOutput};
+use fedhh_datasets::FederatedDataset;
+use fedhh_federated::{
+    federated_top_k, CommTracker, GroupAssignment, LevelEstimate, LevelEstimator, ProtocolConfig,
+};
+use fedhh_trie::extend_prefix_values;
+use std::time::Instant;
+
+/// The per-party running state shared by TAP and TAPS.
+#[derive(Debug, Clone)]
+pub(crate) struct PartyRun {
+    /// Party display name.
+    pub name: String,
+    /// Total user population |U_i|.
+    pub users_total: usize,
+    /// The party's user-to-level assignment.
+    pub assignment: GroupAssignment,
+    /// The surviving candidate prefixes C_{h−1} (raw values).
+    pub current: Vec<u64>,
+    /// Length in bits of the prefixes in `current`.
+    pub current_len: u8,
+    /// The most recent level estimate.
+    pub last_estimate: Option<LevelEstimate>,
+    /// Per-party noise-decorrelation seed.
+    pub noise_seed: u64,
+}
+
+impl PartyRun {
+    /// Initialises the run state for every party of a dataset.
+    pub fn initialise(dataset: &FederatedDataset, config: &ProtocolConfig) -> Vec<PartyRun> {
+        let gs = config.shared_levels();
+        dataset
+            .parties()
+            .iter()
+            .enumerate()
+            .map(|(idx, party)| {
+                let seed = config.seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                PartyRun {
+                    name: party.name().to_string(),
+                    users_total: party.user_count(),
+                    assignment: GroupAssignment::weighted(
+                        party.items(),
+                        config.granularity,
+                        gs,
+                        config.phase1_user_fraction,
+                        seed,
+                    ),
+                    current: vec![0],
+                    current_len: 0,
+                    last_estimate: None,
+                    noise_seed: seed,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the `Estimate` step for one level: extends the current
+    /// candidates, estimates them on the level's user group (or an explicit
+    /// subset), and returns the estimate together with the extended
+    /// candidate list.
+    pub fn estimate_level(
+        &self,
+        estimator: &LevelEstimator,
+        config: &ProtocolConfig,
+        h: u8,
+        users_override: Option<&[u64]>,
+        excluded: &[u64],
+    ) -> (Vec<u64>, LevelEstimate) {
+        let schedule = config.schedule();
+        let step = schedule.step(h);
+        let len = schedule.prefix_len(h);
+        let mut candidates = extend_prefix_values(&self.current, self.current_len, step);
+        if !excluded.is_empty() {
+            let excluded: std::collections::HashSet<u64> = excluded.iter().copied().collect();
+            candidates.retain(|c| !excluded.contains(c));
+        }
+        let users = users_override.unwrap_or_else(|| self.assignment.level(h));
+        let estimate = estimator.estimate(
+            &candidates,
+            len,
+            users,
+            self.noise_seed ^ ((h as u64) << 40),
+        );
+        (candidates, estimate)
+    }
+
+    /// Advances the run state after a level: keep the top-t candidates.
+    pub fn advance(&mut self, config: &ProtocolConfig, h: u8, estimate: LevelEstimate, t: usize) {
+        self.current = estimate.top_t(t);
+        self.current_len = config.schedule().prefix_len(h);
+        self.last_estimate = Some(estimate);
+    }
+
+    /// Builds the party's final upload from the last estimate.
+    pub fn final_local_result(&self, k: usize) -> PartyLocalResult {
+        let estimate = self
+            .last_estimate
+            .as_ref()
+            .expect("final_local_result called before any level was estimated");
+        local_result_from_estimate(&self.name, self.users_total, estimate, k)
+    }
+}
+
+/// The TAP mechanism (Algorithm 3).
+#[derive(Debug, Clone, Copy)]
+pub struct Tap {
+    /// Extension strategy (the paper's TAP always uses the adaptive rule;
+    /// the fixed variants exist for the Table 5 ablation).
+    pub extension: ExtensionStrategy,
+    /// Whether Phase I constructs the shared shallow trie (disabled by the
+    /// Table 6 ablation).
+    pub use_shared_trie: bool,
+}
+
+impl Default for Tap {
+    fn default() -> Self {
+        Self { extension: ExtensionStrategy::Adaptive, use_shared_trie: true }
+    }
+}
+
+impl Tap {
+    /// TAP with an explicit extension strategy.
+    pub fn with_extension(extension: ExtensionStrategy) -> Self {
+        Self { extension, ..Self::default() }
+    }
+
+    /// TAP without the shared shallow trie (ablation).
+    pub fn without_shared_trie() -> Self {
+        Self { use_shared_trie: false, ..Self::default() }
+    }
+}
+
+impl Mechanism for Tap {
+    fn name(&self) -> &'static str {
+        "TAP"
+    }
+
+    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
+        config.validate().expect("invalid protocol configuration");
+        let start = Instant::now();
+        let estimator = LevelEstimator::new(*config);
+        let mut comm = CommTracker::new();
+        let mut parties = PartyRun::initialise(dataset, config);
+        let gs = config.shared_levels();
+
+        // Phase I: shared shallow trie construction (Algorithm 2).
+        let shared = stc::shared_trie_construction(
+            &mut parties,
+            &estimator,
+            config,
+            self.extension,
+            &mut comm,
+        );
+        if std::env::var("FEDHH_DEBUG_SHARED").is_ok() {
+            eprintln!("[tap] shared prefixes at level {gs}: {shared:?}");
+        }
+        if self.use_shared_trie {
+            let shared_len = config.schedule().prefix_len(gs);
+            for party in &mut parties {
+                party.current = shared.clone();
+                party.current_len = shared_len;
+            }
+        }
+
+        // Phase II: independent estimation with a warm start.
+        let debug = std::env::var("FEDHH_DEBUG_SHARED").is_ok();
+        for party in &mut parties {
+            for h in (gs + 1)..=config.granularity {
+                let (candidates, estimate) =
+                    party.estimate_level(&estimator, config, h, None, &[]);
+                comm.record_local_reports(&party.name, estimate.report_bits);
+                let t = self.extension.extension_count(&estimate, config.k);
+                if debug {
+                    eprintln!(
+                        "[tap] {} level {h}: |domain|={} users={} t={t} sigma={:.4}",
+                        party.name,
+                        candidates.len(),
+                        estimate.users,
+                        estimate.std_dev
+                    );
+                }
+                party.advance(config, h, estimate, t);
+            }
+        }
+
+        // Final aggregation (step ⑪).
+        let locals: Vec<PartyLocalResult> =
+            parties.iter().map(|p| p.final_local_result(config.k)).collect();
+        let reports: Vec<_> = locals
+            .iter()
+            .map(|l| {
+                let report = l.to_report(config.granularity);
+                comm.record_uplink(&l.party, report.size_bits());
+                report
+            })
+            .collect();
+        let totals = fedhh_federated::aggregate_reports(&reports);
+        let heavy_hitters = federated_top_k(&reports, config.k);
+
+        MechanismOutput {
+            heavy_hitters,
+            counts: totals,
+            local_results: locals,
+            comm,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhh_datasets::{DatasetConfig, DatasetKind};
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            k: 5,
+            epsilon: 5.0,
+            max_bits: 16,
+            granularity: 8,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn tap_returns_k_heavy_hitters() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+        let output = Tap::default().run(&dataset, &config());
+        assert_eq!(output.heavy_hitters.len(), 5);
+        assert_eq!(output.local_results.len(), dataset.party_count());
+        assert!(output.comm.total_uplink_bits() > 0);
+    }
+
+    #[test]
+    fn tap_recovers_ground_truth_at_large_epsilon() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+        let truth = dataset.ground_truth_top_k(5);
+        let output = Tap::default().run(&dataset, &config());
+        let hits = truth.iter().filter(|t| output.heavy_hitters.contains(t)).count();
+        assert!(hits >= 2, "expected at least 2 hits, got {hits}: {truth:?} vs {:?}", output.heavy_hitters);
+    }
+
+    #[test]
+    fn ablation_flags_change_behaviour_not_validity() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Syn);
+        let cfg = config();
+        for tap in [
+            Tap::default(),
+            Tap::without_shared_trie(),
+            Tap::with_extension(ExtensionStrategy::Fixed(5)),
+        ] {
+            let output = tap.run(&dataset, &cfg);
+            assert_eq!(output.heavy_hitters.len(), 5);
+        }
+    }
+
+    #[test]
+    fn party_run_initialisation_matches_dataset() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Ycm);
+        let cfg = config();
+        let runs = PartyRun::initialise(&dataset, &cfg);
+        assert_eq!(runs.len(), 4);
+        for (run, party) in runs.iter().zip(dataset.parties()) {
+            assert_eq!(run.users_total, party.user_count());
+            assert_eq!(run.assignment.total_users(), party.user_count());
+            assert_eq!(run.current, vec![0]);
+        }
+    }
+}

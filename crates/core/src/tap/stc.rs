@@ -1,0 +1,168 @@
+//! Shared shallow trie construction (Algorithm 2).
+//!
+//! Non-IID data can push globally frequent prefixes below locally popular
+//! ones at shallow levels, where a wrong pruning decision loses the heavy
+//! hitter for good.  Phase I therefore builds the first g_s levels
+//! *collaboratively*: every party estimates them on a small share of its
+//! users (with adaptive extension), reports its level-g_s candidates and
+//! their counts, and the server aggregates the counts — weighted by party
+//! population — into the global top-k prefixes C_{g_s} that seed Phase II
+//! in every party.
+
+use crate::aggregate::local_result_to_report;
+use crate::extension::ExtensionStrategy;
+use crate::tap::PartyRun;
+use fedhh_federated::{
+    aggregate_reports, top_k_from_counts, CommTracker, LevelEstimator, ProtocolConfig, PAIR_BITS,
+};
+
+/// Runs Phase I over all parties and returns the globally frequent prefixes
+/// C_{g_s} (at most k values, each `schedule.prefix_len(g_s)` bits long).
+pub(crate) fn shared_trie_construction(
+    parties: &mut [PartyRun],
+    estimator: &LevelEstimator,
+    config: &ProtocolConfig,
+    extension: ExtensionStrategy,
+    comm: &mut CommTracker,
+) -> Vec<u64> {
+    let gs = config.shared_levels();
+
+    // Each party estimates levels 1..=g_s on its Phase I user groups,
+    // extending adaptively (Algorithm 2, lines 2–8).
+    for party in parties.iter_mut() {
+        for h in 1..=gs {
+            let (_, estimate) = party.estimate_level(estimator, config, h, None, &[]);
+            comm.record_local_reports(&party.name, estimate.report_bits);
+            let t = extension.extension_count(&estimate, config.k);
+            party.advance(config, h, estimate, t);
+        }
+    }
+
+    // Each party reports the level-g_s candidates with non-zero estimated
+    // counts (line 9); the server aggregates and broadcasts the top-k
+    // (line 10 and step ⑥).
+    let reports: Vec<_> = parties
+        .iter()
+        .map(|party| {
+            let estimate = party
+                .last_estimate
+                .as_ref()
+                .expect("phase I estimated at least one level");
+            let report = local_result_to_report(&party.name, party.users_total, estimate, gs);
+            comm.record_uplink(&party.name, report.size_bits());
+            report
+        })
+        .collect();
+    let totals = aggregate_reports(&reports);
+    let shared = top_k_from_counts(&totals, config.k);
+    for party in parties.iter() {
+        comm.record_downlink(&party.name, shared.len() * PAIR_BITS);
+    }
+    shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhh_datasets::{FederatedDataset, PartyData};
+    use fedhh_federated::ProtocolConfig;
+    use fedhh_trie::{ItemEncoder, Prefix};
+
+    /// Two parties with opposite local skews but one shared globally
+    /// dominant item.
+    fn toy_dataset() -> (FederatedDataset, u64) {
+        let enc = ItemEncoder::new(16, 9);
+        let shared_item = enc.encode(7);
+        let a_fav = enc.encode(100);
+        let b_fav = enc.encode(200);
+        let a: Vec<u64> = (0..3000)
+            .map(|i| if i % 2 == 0 { shared_item } else { a_fav })
+            .collect();
+        let b: Vec<u64> = (0..2500)
+            .map(|i| if i % 2 == 0 { shared_item } else { b_fav })
+            .collect();
+        let ds = FederatedDataset::new(
+            "toy",
+            vec![PartyData::new("a", a, 16), PartyData::new("b", b, 16)],
+            16,
+            enc,
+        );
+        (ds, shared_item)
+    }
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            k: 3,
+            epsilon: 5.0,
+            max_bits: 16,
+            granularity: 8,
+            phase1_user_fraction: 0.3,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_cover_the_globally_dominant_item() {
+        let (dataset, shared_item) = toy_dataset();
+        let cfg = config();
+        let estimator = LevelEstimator::new(cfg);
+        let mut parties = PartyRun::initialise(&dataset, &cfg);
+        let mut comm = CommTracker::new();
+        let shared = shared_trie_construction(
+            &mut parties,
+            &estimator,
+            &cfg,
+            ExtensionStrategy::Adaptive,
+            &mut comm,
+        );
+        assert!(!shared.is_empty());
+        assert!(shared.len() <= cfg.k);
+        // The prefix of the globally dominant item at level g_s must be in
+        // the shared set.
+        let gs_len = cfg.schedule().prefix_len(cfg.shared_levels());
+        let want = Prefix::of_item(shared_item, 16, gs_len).value();
+        assert!(
+            shared.contains(&want),
+            "shared prefixes {shared:?} miss the dominant item's prefix {want}"
+        );
+    }
+
+    #[test]
+    fn communication_is_recorded_for_both_directions() {
+        let (dataset, _) = toy_dataset();
+        let cfg = config();
+        let estimator = LevelEstimator::new(cfg);
+        let mut parties = PartyRun::initialise(&dataset, &cfg);
+        let mut comm = CommTracker::new();
+        let _ = shared_trie_construction(
+            &mut parties,
+            &estimator,
+            &cfg,
+            ExtensionStrategy::Adaptive,
+            &mut comm,
+        );
+        assert!(comm.total_uplink_bits() > 0);
+        assert!(comm.total_downlink_bits() > 0);
+        assert!(comm.total_local_report_bits() > 0);
+    }
+
+    #[test]
+    fn phase_one_only_consumes_shared_levels() {
+        let (dataset, _) = toy_dataset();
+        let cfg = config();
+        let estimator = LevelEstimator::new(cfg);
+        let mut parties = PartyRun::initialise(&dataset, &cfg);
+        let mut comm = CommTracker::new();
+        let _ = shared_trie_construction(
+            &mut parties,
+            &estimator,
+            &cfg,
+            ExtensionStrategy::Adaptive,
+            &mut comm,
+        );
+        let gs = cfg.shared_levels();
+        for party in &parties {
+            assert_eq!(party.current_len, cfg.schedule().prefix_len(gs));
+        }
+    }
+}

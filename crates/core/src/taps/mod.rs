@@ -1,0 +1,308 @@
+//! TAPS: TAP with the consensus-based pruning strategy (Algorithm 4).
+//!
+//! Phase I is identical to TAP.  Phase II is rewritten as a *sequential*
+//! estimation: parties are sorted by user population, descending, and each
+//! party (except the first) receives from the server the pruning dictionary
+//! produced by its predecessor.  At the pruning levels the party spends a β
+//! fraction of the level's users validating the predecessor's infrequent and
+//! frequent candidate sets, derives the consensus pruning set (Equations
+//! 5–8), removes it from the extended candidate domain, and estimates on the
+//! remaining users.  Before handing over, the party selects its own pruning
+//! dictionary (Equation 4) for the next party.
+
+pub mod pruning;
+
+use crate::aggregate::PartyLocalResult;
+use crate::extension::ExtensionStrategy;
+use crate::mechanism::{Mechanism, MechanismOutput};
+use crate::tap::{stc, PartyRun};
+use fedhh_datasets::FederatedDataset;
+use fedhh_federated::{
+    federated_top_k, CommTracker, LevelEstimator, ProtocolConfig, PruneCandidates,
+    PruneDictionary, PAIR_BITS,
+};
+use pruning::{consensus_pruning_set, population_confidence, select_prune_candidates};
+use std::time::Instant;
+
+/// The TAPS mechanism (Algorithm 4).
+#[derive(Debug, Clone, Copy)]
+pub struct Taps {
+    /// Extension strategy (adaptive by default; fixed variants exist for the
+    /// Table 5 ablation).
+    pub extension: ExtensionStrategy,
+    /// Whether Phase I constructs the shared shallow trie (Table 6 ablation).
+    pub use_shared_trie: bool,
+    /// Whether Phase II applies the consensus-based pruning (disabling it
+    /// turns TAPS into TAP; kept as a flag for the Figure 7 comparison).
+    pub use_pruning: bool,
+}
+
+impl Default for Taps {
+    fn default() -> Self {
+        Self { extension: ExtensionStrategy::Adaptive, use_shared_trie: true, use_pruning: true }
+    }
+}
+
+impl Taps {
+    /// TAPS with an explicit extension strategy.
+    pub fn with_extension(extension: ExtensionStrategy) -> Self {
+        Self { extension, ..Self::default() }
+    }
+
+    /// TAPS without the Phase I shared shallow trie (Table 6 ablation).
+    pub fn without_shared_trie() -> Self {
+        Self { use_shared_trie: false, ..Self::default() }
+    }
+
+    /// TAPS without the consensus-based pruning, i.e. TAP (Figure 7).
+    pub fn without_pruning() -> Self {
+        Self { use_pruning: false, ..Self::default() }
+    }
+
+    /// True when level `h` is a pruning level (Algorithm 4, line 7):
+    /// the first g_s levels of Phase II or the last g_s + 1 levels.
+    fn is_pruning_level(h: u8, g: u8, gs: u8) -> bool {
+        (h >= g.saturating_sub(gs) && h <= g) || (h >= gs + 1 && h <= 2 * gs)
+    }
+}
+
+impl Mechanism for Taps {
+    fn name(&self) -> &'static str {
+        "TAPS"
+    }
+
+    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
+        config.validate().expect("invalid protocol configuration");
+        let start = Instant::now();
+        let estimator = LevelEstimator::new(*config);
+        let mut comm = CommTracker::new();
+        let gs = config.shared_levels();
+        let g = config.granularity;
+        let total_users = dataset.total_users();
+
+        let mut parties = PartyRun::initialise(dataset, config);
+
+        // Phase I: shared shallow trie construction (identical to TAP).
+        let shared = stc::shared_trie_construction(
+            &mut parties,
+            &estimator,
+            config,
+            self.extension,
+            &mut comm,
+        );
+        if self.use_shared_trie {
+            let shared_len = config.schedule().prefix_len(gs);
+            for party in &mut parties {
+                party.current = shared.clone();
+                party.current_len = shared_len;
+            }
+        }
+
+        // Phase II: sequential estimation in descending population order.
+        let mut order: Vec<usize> = (0..parties.len()).collect();
+        order.sort_by(|a, b| parties[*b].users_total.cmp(&parties[*a].users_total));
+
+        // Dictionary handed from the previous party (via the server),
+        // together with that party's population for the γ term.
+        let mut previous: Option<(PruneDictionary, usize)> = None;
+
+        for (seq, &party_idx) in order.iter().enumerate() {
+            let is_last = seq + 1 == order.len();
+            let mut own_dictionary = PruneDictionary::default();
+
+            for h in (gs + 1)..=g {
+                let pruning_level = Self::is_pruning_level(h, g, gs);
+                let schedule = config.schedule();
+                let len = schedule.prefix_len(h);
+                let group: Vec<u64> = parties[party_idx].assignment.level(h).to_vec();
+
+                // Work out the user split and the consensus pruning set.
+                let mut main_users: &[u64] = &group;
+                let validation_size =
+                    ((group.len() as f64) * config.dividing_ratio).floor() as usize;
+                let mut pruned: Vec<u64> = Vec::new();
+                if self.use_pruning && pruning_level && seq > 0 && validation_size > 0 {
+                    if let Some((dict, prev_users)) = &previous {
+                        if let Some(candidates) = dict.level(h) {
+                            let (val0, rest) = group.split_at(validation_size.min(group.len()));
+                            let (val1, rest) =
+                                rest.split_at(validation_size.min(rest.len()));
+                            main_users = rest;
+
+                            let noise = parties[party_idx].noise_seed ^ ((h as u64) << 20);
+                            let validated_infrequent = estimator.estimate(
+                                &candidates.infrequent,
+                                len,
+                                val0,
+                                noise ^ 0x0F0F,
+                            );
+                            let frequent_values: Vec<u64> =
+                                candidates.frequent.iter().map(|(v, _)| *v).collect();
+                            let validated_frequent = estimator.estimate(
+                                &frequent_values,
+                                len,
+                                val1,
+                                noise ^ 0xF0F0,
+                            );
+                            comm.record_local_reports(
+                                &parties[party_idx].name,
+                                validated_infrequent.report_bits + validated_frequent.report_bits,
+                            );
+                            let gamma = population_confidence(*prev_users, total_users);
+                            pruned = consensus_pruning_set(
+                                candidates,
+                                &validated_infrequent,
+                                &validated_frequent,
+                                config.k,
+                                config.epsilon,
+                                gamma,
+                            );
+                        }
+                    }
+                }
+
+                let main_users: Vec<u64> = main_users.to_vec();
+                let (_, estimate) = parties[party_idx].estimate_level(
+                    &estimator,
+                    config,
+                    h,
+                    Some(&main_users),
+                    &pruned,
+                );
+                comm.record_local_reports(&parties[party_idx].name, estimate.report_bits);
+                let t = self.extension.extension_count(&estimate, config.k);
+
+                // Select the pruning dictionary entry for the next party
+                // before advancing (Equation 4).
+                if self.use_pruning && pruning_level && !is_last {
+                    own_dictionary.insert(h, select_prune_candidates(&estimate, config.k));
+                }
+                parties[party_idx].advance(config, h, estimate, t);
+            }
+
+            // Upload the pruning dictionary; the server forwards it to the
+            // next party in the sequence.
+            if !own_dictionary.is_empty() {
+                let bits = own_dictionary.size_bits();
+                comm.record_uplink(&parties[party_idx].name, bits);
+                if let Some(&next_idx) = order.get(seq + 1) {
+                    comm.record_downlink(&parties[next_idx].name, bits);
+                }
+            }
+            previous = Some((own_dictionary, parties[party_idx].users_total));
+        }
+
+        // Final aggregation (step ⑪) — identical to TAP.
+        let locals: Vec<PartyLocalResult> =
+            parties.iter().map(|p| p.final_local_result(config.k)).collect();
+        let reports: Vec<_> = locals
+            .iter()
+            .map(|l| {
+                let report = l.to_report(config.granularity);
+                comm.record_uplink(&l.party, report.size_bits());
+                report
+            })
+            .collect();
+        let totals = fedhh_federated::aggregate_reports(&reports);
+        let heavy_hitters = federated_top_k(&reports, config.k);
+
+        // Account the Phase I broadcast of protocol parameters (step ①) —
+        // a constant per party, charged here for completeness.
+        for party in dataset.parties() {
+            comm.record_downlink(party.name(), PAIR_BITS);
+        }
+
+        MechanismOutput {
+            heavy_hitters,
+            counts: totals,
+            local_results: locals,
+            comm,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Compile-time guard: `PruneCandidates` must stay re-exported from the
+/// federated crate because the pruning API is expressed in terms of it.
+const _: fn() -> PruneCandidates = PruneCandidates::default;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhh_datasets::{DatasetConfig, DatasetKind};
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            k: 5,
+            epsilon: 5.0,
+            max_bits: 16,
+            granularity: 8,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn taps_returns_k_heavy_hitters_with_accounting() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+        let output = Taps::default().run(&dataset, &config());
+        assert_eq!(output.heavy_hitters.len(), 5);
+        assert_eq!(output.local_results.len(), dataset.party_count());
+        assert!(output.comm.total_uplink_bits() > 0);
+        assert!(output.comm.total_downlink_bits() > 0);
+        assert!(output.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn taps_recovers_ground_truth_at_large_epsilon() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+        let truth = dataset.ground_truth_top_k(5);
+        let output = Taps::default().run(&dataset, &config());
+        let hits = truth.iter().filter(|t| output.heavy_hitters.contains(t)).count();
+        assert!(
+            hits >= 2,
+            "expected at least 2 hits, got {hits}: truth {truth:?} vs {:?}",
+            output.heavy_hitters
+        );
+    }
+
+    #[test]
+    fn pruning_levels_match_algorithm_four() {
+        // g = 24, gs = 6: pruning at 7..=12 and 18..=24.
+        assert!(Taps::is_pruning_level(7, 24, 6));
+        assert!(Taps::is_pruning_level(12, 24, 6));
+        assert!(!Taps::is_pruning_level(13, 24, 6));
+        assert!(!Taps::is_pruning_level(17, 24, 6));
+        assert!(Taps::is_pruning_level(18, 24, 6));
+        assert!(Taps::is_pruning_level(24, 24, 6));
+    }
+
+    #[test]
+    fn ablation_variants_all_run() {
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Syn);
+        let cfg = config();
+        for taps in [
+            Taps::default(),
+            Taps::without_pruning(),
+            Taps::without_shared_trie(),
+            Taps::with_extension(ExtensionStrategy::Fixed(5)),
+        ] {
+            let output = taps.run(&dataset, &cfg);
+            assert_eq!(output.heavy_hitters.len(), 5, "variant {taps:?}");
+        }
+    }
+
+    #[test]
+    fn taps_uses_more_communication_than_fedpem_but_far_less_than_raw_upload() {
+        use crate::fedpem::FedPem;
+        let dataset = DatasetConfig::test_scale().build(DatasetKind::Ycm);
+        let cfg = config();
+        let taps = Taps::default().run(&dataset, &cfg);
+        let fedpem = FedPem::default().run(&dataset, &cfg);
+        // TAPS ships pruning dictionaries and Phase I reports on top of the
+        // final top-k upload.
+        assert!(taps.comm.total_uplink_bits() >= fedpem.comm.total_uplink_bits());
+        // Raw OUE upload would be |U| · |domain| bits — astronomically more.
+        let raw_oue_bits = dataset.total_users() * (1usize << 16);
+        assert!(taps.comm.total_uplink_bits() < raw_oue_bits / 100);
+    }
+}

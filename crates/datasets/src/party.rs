@@ -1,0 +1,122 @@
+//! Per-party datasets.
+//!
+//! Each party holds a distinct set of users and every user holds exactly one
+//! item ("Each user in a party holds only a single word or item, and
+//! multiple occurrences are sampled as one", Section 7.1).  Items are stored
+//! as m-bit codes so the mechanisms can extract prefixes directly.
+
+use crate::stats::FrequencyTable;
+use fedhh_trie::PrefixTree;
+use serde::{Deserialize, Serialize};
+
+/// One party's local dataset: a name and the item code held by each user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartyData {
+    name: String,
+    /// One m-bit item code per user.
+    items: Vec<u64>,
+    /// Width of the item codes in bits.
+    code_bits: u8,
+}
+
+impl PartyData {
+    /// Creates a party dataset from per-user item codes.
+    pub fn new(name: impl Into<String>, items: Vec<u64>, code_bits: u8) -> Self {
+        Self { name: name.into(), items, code_bits }
+    }
+
+    /// The party's display name (e.g. `"RDB/reddit"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of users in this party.
+    pub fn user_count(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The item code held by each user, one entry per user.
+    pub fn items(&self) -> &[u64] {
+        &self.items
+    }
+
+    /// Width of the item codes in bits.
+    pub fn code_bits(&self) -> u8 {
+        self.code_bits
+    }
+
+    /// Number of distinct item codes held by this party's users.
+    pub fn distinct_items(&self) -> usize {
+        let mut sorted = self.items.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+
+    /// Exact local frequency table.
+    pub fn frequency_table(&self) -> FrequencyTable {
+        FrequencyTable::from_items(&self.items)
+    }
+
+    /// Exact counted prefix tree over this party's items.
+    pub fn prefix_tree(&self) -> PrefixTree {
+        PrefixTree::from_items(self.code_bits, &self.items)
+    }
+
+    /// The exact local top-`k` item codes.
+    pub fn local_top_k(&self, k: usize) -> Vec<u64> {
+        self.frequency_table().top_k(k)
+    }
+
+    /// Returns a copy of this party restricted to the first `n` users (used
+    /// by the scalability study, Table 4).
+    pub fn take_users(&self, n: usize) -> Self {
+        Self {
+            name: self.name.clone(),
+            items: self.items.iter().take(n).copied().collect(),
+            code_bits: self.code_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn party() -> PartyData {
+        PartyData::new("test", vec![1, 1, 2, 3, 3, 3], 8)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let p = party();
+        assert_eq!(p.name(), "test");
+        assert_eq!(p.user_count(), 6);
+        assert_eq!(p.distinct_items(), 3);
+        assert_eq!(p.code_bits(), 8);
+    }
+
+    #[test]
+    fn local_top_k_ranks_by_count() {
+        let p = party();
+        assert_eq!(p.local_top_k(2), vec![3, 1]);
+        assert_eq!(p.local_top_k(10).len(), 3);
+    }
+
+    #[test]
+    fn take_users_restricts_population() {
+        let p = party().take_users(3);
+        assert_eq!(p.user_count(), 3);
+        assert_eq!(p.items(), &[1, 1, 2]);
+        // Taking more than available keeps everything.
+        assert_eq!(party().take_users(100).user_count(), 6);
+    }
+
+    #[test]
+    fn prefix_tree_matches_items() {
+        let p = party();
+        let tree = p.prefix_tree();
+        assert_eq!(tree.total(), 6);
+        assert_eq!(tree.item_count(3), 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Protocol configuration broadcast by the server to every party.
+
+use fedhh_fo::{FoKind, PrivacyBudget};
+use fedhh_trie::LevelSchedule;
+use serde::{Deserialize, Serialize};
+
+/// The full parameter set of a federated heavy hitter run.
+///
+/// Defaults follow Section 7.1 of the paper: k-RR as the FO, maximum binary
+/// length m = 48, granularity g = 24 (step size 2), shared-trie ratio 0.25,
+/// dividing ratio β = 0.1, and 10% of users assigned to Phase I.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// The query: how many federated heavy hitters to identify.
+    pub k: usize,
+    /// Privacy budget ε of every user's single report.
+    pub epsilon: f64,
+    /// Which frequency oracle the users run.
+    pub fo: FoKind,
+    /// Maximum binary length m of the item codes.
+    pub max_bits: u8,
+    /// Granularity g: number of trie levels and of user groups.
+    pub granularity: u8,
+    /// Ratio of levels assigned to the shared shallow trie (g_s = ⌊ratio·g⌋).
+    pub shared_ratio: f64,
+    /// Fraction of each party's users reserved for Phase I estimation.
+    pub phase1_user_fraction: f64,
+    /// Dividing ratio β: fraction of a level's users used to validate each
+    /// of the two pruning candidate sets in TAPS.
+    pub dividing_ratio: f64,
+    /// RNG seed for the run (group assignment and perturbation noise).
+    pub seed: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self {
+            k: 10,
+            epsilon: 4.0,
+            fo: FoKind::Grr,
+            max_bits: 48,
+            granularity: 24,
+            shared_ratio: 0.25,
+            phase1_user_fraction: 0.25,
+            dividing_ratio: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// A configuration suitable for fast tests: 16-bit codes over 8 levels.
+    pub fn test_default() -> Self {
+        Self { max_bits: 16, granularity: 8, ..Self::default() }
+    }
+
+    /// The level schedule implied by `max_bits` and `granularity`.
+    pub fn schedule(&self) -> LevelSchedule {
+        LevelSchedule::new(self.max_bits, self.granularity)
+    }
+
+    /// The shared-trie depth g_s.
+    pub fn shared_levels(&self) -> u8 {
+        self.schedule().shared_levels(self.shared_ratio)
+    }
+
+    /// The validated privacy budget.
+    pub fn budget(&self) -> PrivacyBudget {
+        PrivacyBudget::new(self.epsilon).expect("protocol configured with an invalid ε")
+    }
+
+    /// Returns a copy with a different privacy budget (used by ε sweeps).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Returns a copy with a different query size.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Returns a copy with a different frequency oracle.
+    pub fn with_fo(mut self, fo: FoKind) -> Self {
+        self.fo = fo;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates internal consistency; called by the mechanisms before a run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("query k must be positive".to_string());
+        }
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(format!("privacy budget must be positive, got {}", self.epsilon));
+        }
+        if self.granularity == 0 || self.granularity as u16 > self.max_bits as u16 {
+            return Err(format!(
+                "granularity {} must be in 1..={}",
+                self.granularity, self.max_bits
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.shared_ratio) {
+            return Err("shared ratio must be in [0, 1]".to_string());
+        }
+        if !(0.0..0.5).contains(&self.dividing_ratio) {
+            return Err("dividing ratio must be in [0, 0.5)".to_string());
+        }
+        if !(0.0..1.0).contains(&self.phase1_user_fraction) {
+            return Err("phase-1 user fraction must be in [0, 1)".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.k, 10);
+        assert_eq!(c.max_bits, 48);
+        assert_eq!(c.granularity, 24);
+        assert_eq!(c.schedule().nominal_step(), 2);
+        assert_eq!(c.fo, FoKind::Grr);
+        assert_eq!(c.shared_levels(), 6);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_produce_modified_copies() {
+        let c = ProtocolConfig::default()
+            .with_epsilon(2.0)
+            .with_k(40)
+            .with_fo(FoKind::Oue)
+            .with_seed(99);
+        assert_eq!(c.epsilon, 2.0);
+        assert_eq!(c.k, 40);
+        assert_eq!(c.fo, FoKind::Oue);
+        assert_eq!(c.seed, 99);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(ProtocolConfig { k: 0, ..Default::default() }.validate().is_err());
+        assert!(ProtocolConfig { epsilon: -1.0, ..Default::default() }.validate().is_err());
+        assert!(ProtocolConfig { granularity: 0, ..Default::default() }.validate().is_err());
+        assert!(ProtocolConfig { granularity: 64, max_bits: 48, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(ProtocolConfig { dividing_ratio: 0.7, ..Default::default() }.validate().is_err());
+        assert!(ProtocolConfig { shared_ratio: 1.5, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn test_default_is_small_but_valid() {
+        let c = ProtocolConfig::test_default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.max_bits, 16);
+        assert_eq!(c.granularity, 8);
+        assert!(c.shared_levels() >= 1);
+    }
+}

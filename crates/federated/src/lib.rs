@@ -1,0 +1,36 @@
+//! # fedhh-federated — federated protocol substrate
+//!
+//! The mechanisms in `fedhh-mechanisms` are all built from the same small
+//! set of protocol building blocks, which this crate provides:
+//!
+//! * [`ProtocolConfig`] — the shared parameter set broadcast by the server
+//!   in step ① of the protocol (query k, privacy budget ε, frequency
+//!   oracle, maximum binary length m, granularity g, shared-trie ratio,
+//!   dividing ratio β).
+//! * [`GroupAssignment`] — the uniform random split of each party's users
+//!   into g groups, one per trie level, so that every user reports exactly
+//!   once and the privacy budget is never divided.
+//! * [`LevelEstimator`] — the `Estimate` procedure of Algorithm 2: given a
+//!   candidate prefix domain and one group of users, run the configured
+//!   frequency oracle and return noisy per-candidate frequencies.
+//! * [`server`] — count aggregation across parties (weighted by party
+//!   population) used in steps ⑤ and ⑪.
+//! * [`CommTracker`] / [`message`] — communication-cost accounting for the
+//!   Table 1 / Table 4 experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod comm;
+pub mod config;
+pub mod estimator;
+pub mod message;
+pub mod scheduler;
+pub mod server;
+
+pub use comm::{shared_tracker, CommTracker, SharedCommTracker};
+pub use config::ProtocolConfig;
+pub use estimator::{LevelEstimate, LevelEstimator};
+pub use message::{CandidateReport, PruneCandidates, PruneDictionary, PAIR_BITS};
+pub use scheduler::GroupAssignment;
+pub use server::{aggregate_reports, federated_top_k, top_k_from_counts};

@@ -1,0 +1,122 @@
+//! Protocol messages and their wire sizes.
+//!
+//! The paper's cost model (Table 1) charges `b` bits per prefix/count pair
+//! uploaded by a party and counts how many such pairs each mechanism needs.
+//! These message types carry the actual payloads exchanged in our simulator
+//! and expose their size in bits so [`crate::CommTracker`] can reproduce the
+//! communication-cost columns of Tables 1 and 4.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Bits charged for one prefix/count pair (a 48-bit prefix plus a 32-bit
+/// count, rounded up to `b = 96` to cover framing). This is the constant `b`
+/// of Table 1.
+pub const PAIR_BITS: usize = 96;
+
+/// A party's report of candidate prefixes/items and their estimated counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateReport {
+    /// Name of the reporting party.
+    pub party: String,
+    /// Trie level the candidates belong to.
+    pub level: u8,
+    /// `(candidate, estimated count)` pairs.
+    pub candidates: Vec<(u64, f64)>,
+    /// Number of users that backed this estimate.
+    pub users: usize,
+}
+
+impl CandidateReport {
+    /// Size of this report on the wire, in bits.
+    pub fn size_bits(&self) -> usize {
+        self.candidates.len() * PAIR_BITS
+    }
+
+    /// The candidate values only, in report order.
+    pub fn values(&self) -> Vec<u64> {
+        self.candidates.iter().map(|(v, _)| *v).collect()
+    }
+}
+
+/// The pruning dictionary D_i a party forwards (via the server) to the next
+/// party in TAPS: for each level, the 2k most infrequent candidates and the
+/// 2k most frequent candidates together with their frequencies (Equation 4).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PruneDictionary {
+    /// Level → (infrequent candidates Δ_{h,0}, frequent candidates Δ_{h,1}).
+    pub levels: BTreeMap<u8, PruneCandidates>,
+}
+
+/// The two candidate sets submitted for one level.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PruneCandidates {
+    /// Δ_{h,0}: the most infrequent candidates, most infrequent first.
+    pub infrequent: Vec<u64>,
+    /// Δ_{h,1}: the most frequent candidates with their estimated
+    /// frequencies, most frequent first.
+    pub frequent: Vec<(u64, f64)>,
+}
+
+impl PruneDictionary {
+    /// True when no level has any pruning candidates.
+    pub fn is_empty(&self) -> bool {
+        self.levels.values().all(|c| c.infrequent.is_empty() && c.frequent.is_empty())
+    }
+
+    /// Size of the dictionary on the wire, in bits.
+    pub fn size_bits(&self) -> usize {
+        self.levels
+            .values()
+            .map(|c| (c.infrequent.len() + c.frequent.len()) * PAIR_BITS)
+            .sum()
+    }
+
+    /// The candidates recorded for a level, if any.
+    pub fn level(&self, h: u8) -> Option<&PruneCandidates> {
+        self.levels.get(&h)
+    }
+
+    /// Records the candidates for a level.
+    pub fn insert(&mut self, h: u8, candidates: PruneCandidates) {
+        self.levels.insert(h, candidates);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_report_size_is_per_pair() {
+        let report = CandidateReport {
+            party: "a".to_string(),
+            level: 3,
+            candidates: vec![(1, 10.0), (2, 5.0), (3, 1.0)],
+            users: 100,
+        };
+        assert_eq!(report.size_bits(), 3 * PAIR_BITS);
+        assert_eq!(report.values(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn prune_dictionary_accumulates_levels() {
+        let mut dict = PruneDictionary::default();
+        assert!(dict.is_empty());
+        dict.insert(
+            2,
+            PruneCandidates { infrequent: vec![7, 8], frequent: vec![(1, 0.4), (2, 0.3)] },
+        );
+        dict.insert(3, PruneCandidates { infrequent: vec![9], frequent: vec![] });
+        assert!(!dict.is_empty());
+        assert_eq!(dict.size_bits(), (2 + 2 + 1) * PAIR_BITS);
+        assert_eq!(dict.level(2).unwrap().infrequent, vec![7, 8]);
+        assert!(dict.level(5).is_none());
+    }
+
+    #[test]
+    fn empty_dictionary_has_zero_size() {
+        let dict = PruneDictionary::default();
+        assert_eq!(dict.size_bits(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! User-to-group assignment.
+//!
+//! Each party divides its users into g groups uniformly at random, one group
+//! per trie level (Algorithm 2, line 4).  Every user reports exactly once —
+//! in her group's level — so the privacy budget is never split.  The TAP
+//! mechanism additionally reserves a fraction of users for the Phase I
+//! (shared shallow trie) levels so that the warm start does not starve the
+//! deeper Phase II levels of reports.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The assignment of one party's users to trie levels.
+#[derive(Debug, Clone)]
+pub struct GroupAssignment {
+    /// `groups[h - 1]` holds the item codes of the users assigned to level h.
+    groups: Vec<Vec<u64>>,
+}
+
+impl GroupAssignment {
+    /// Splits `items` (one per user) into `g` groups uniformly at random.
+    pub fn uniform(items: &[u64], g: u8, seed: u64) -> Self {
+        assert!(g >= 1, "need at least one group");
+        let mut shuffled: Vec<u64> = items.to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        shuffled.shuffle(&mut rng);
+        let g = g as usize;
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); g];
+        for (i, item) in shuffled.into_iter().enumerate() {
+            groups[i % g].push(item);
+        }
+        Self { groups }
+    }
+
+    /// Splits `items` into `g` groups where the first `phase1_levels` groups
+    /// together receive `phase1_fraction` of the users (spread uniformly
+    /// among them) and the remaining users are spread uniformly over the
+    /// rest.  This mirrors the paper's "assign 10% users for the estimations
+    /// in this phase" setting.
+    pub fn weighted(
+        items: &[u64],
+        g: u8,
+        phase1_levels: u8,
+        phase1_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(g >= 1, "need at least one group");
+        assert!(phase1_levels <= g, "phase-1 levels cannot exceed the granularity");
+        if phase1_levels == 0 || phase1_levels == g || phase1_fraction <= 0.0 {
+            return Self::uniform(items, g, seed);
+        }
+        let mut shuffled: Vec<u64> = items.to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        shuffled.shuffle(&mut rng);
+
+        let phase1_fraction = phase1_fraction.min(0.9);
+        let n = shuffled.len();
+        let phase1_total = ((n as f64) * phase1_fraction).round() as usize;
+        let (phase1_items, phase2_items) = shuffled.split_at(phase1_total.min(n));
+
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); g as usize];
+        for (i, item) in phase1_items.iter().enumerate() {
+            groups[i % phase1_levels as usize].push(*item);
+        }
+        let phase2_levels = (g - phase1_levels) as usize;
+        for (i, item) in phase2_items.iter().enumerate() {
+            groups[phase1_levels as usize + (i % phase2_levels)].push(*item);
+        }
+        Self { groups }
+    }
+
+    /// The users (item codes) assigned to level `h` (1-based).
+    pub fn level(&self, h: u8) -> &[u64] {
+        &self.groups[(h - 1) as usize]
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> u8 {
+        self.groups.len() as u8
+    }
+
+    /// Total number of users across all groups.
+    pub fn total_users(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_split_preserves_users_and_balances_groups() {
+        let items: Vec<u64> = (0..1000).collect();
+        let a = GroupAssignment::uniform(&items, 8, 1);
+        assert_eq!(a.levels(), 8);
+        assert_eq!(a.total_users(), 1000);
+        for h in 1..=8u8 {
+            assert_eq!(a.level(h).len(), 125);
+        }
+        // Union of groups equals the original multiset.
+        let mut all: Vec<u64> = (1..=8u8).flat_map(|h| a.level(h).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, items);
+    }
+
+    #[test]
+    fn assignment_is_seeded() {
+        let items: Vec<u64> = (0..100).collect();
+        let a = GroupAssignment::uniform(&items, 4, 5);
+        let b = GroupAssignment::uniform(&items, 4, 5);
+        let c = GroupAssignment::uniform(&items, 4, 6);
+        for h in 1..=4u8 {
+            assert_eq!(a.level(h), b.level(h));
+        }
+        assert!((1..=4u8).any(|h| a.level(h) != c.level(h)));
+    }
+
+    #[test]
+    fn weighted_split_gives_phase1_its_fraction() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let a = GroupAssignment::weighted(&items, 10, 2, 0.1, 3);
+        assert_eq!(a.total_users(), 10_000);
+        let phase1: usize = (1..=2u8).map(|h| a.level(h).len()).sum();
+        assert!((phase1 as f64 - 1000.0).abs() < 10.0, "phase1 users {phase1}");
+        // Phase II levels share the rest roughly equally.
+        for h in 3..=10u8 {
+            let len = a.level(h).len();
+            assert!((len as f64 - 9000.0 / 8.0).abs() < 10.0, "level {h}: {len}");
+        }
+    }
+
+    #[test]
+    fn degenerate_weighted_configs_fall_back_to_uniform() {
+        let items: Vec<u64> = (0..100).collect();
+        let a = GroupAssignment::weighted(&items, 5, 0, 0.1, 1);
+        let b = GroupAssignment::uniform(&items, 5, 1);
+        for h in 1..=5u8 {
+            assert_eq!(a.level(h), b.level(h));
+        }
+    }
+
+    #[test]
+    fn empty_population_yields_empty_groups() {
+        let a = GroupAssignment::uniform(&[], 4, 0);
+        assert_eq!(a.total_users(), 0);
+        for h in 1..=4u8 {
+            assert!(a.level(h).is_empty());
+        }
+    }
+}

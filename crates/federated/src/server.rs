@@ -1,0 +1,90 @@
+//! Server-side aggregation of party reports.
+//!
+//! The server never sees raw user data — only each party's candidate
+//! prefixes/items with their (noisy) estimated counts.  Aggregation sums the
+//! estimated counts of identical candidates across parties and ranks them,
+//! which implements both the Phase I shared-trie aggregation (step ⑤) and
+//! the final federated heavy hitter derivation (step ⑪).
+
+use crate::message::CandidateReport;
+use std::collections::HashMap;
+
+/// Sums the estimated counts of identical candidates across reports.
+///
+/// Negative estimated counts (possible because the LDP estimator is
+/// unbiased, not truncated) are clamped to zero before summing so that a
+/// heavily negative estimate in one party cannot erase genuine support from
+/// another party.
+pub fn aggregate_reports(reports: &[CandidateReport]) -> HashMap<u64, f64> {
+    let mut totals: HashMap<u64, f64> = HashMap::new();
+    for report in reports {
+        for (value, count) in &report.candidates {
+            *totals.entry(*value).or_insert(0.0) += count.max(0.0);
+        }
+    }
+    totals
+}
+
+/// Ranks aggregated counts and returns the top-`k` candidate values.
+/// Ties break by candidate value so results are deterministic.
+pub fn top_k_from_counts(totals: &HashMap<u64, f64>, k: usize) -> Vec<u64> {
+    let mut pairs: Vec<(u64, f64)> = totals.iter().map(|(v, c)| (*v, *c)).collect();
+    pairs.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    pairs.into_iter().take(k).map(|(v, _)| v).collect()
+}
+
+/// Convenience: aggregate reports and return the top-`k` candidates.
+pub fn federated_top_k(reports: &[CandidateReport], k: usize) -> Vec<u64> {
+    top_k_from_counts(&aggregate_reports(reports), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(party: &str, candidates: Vec<(u64, f64)>) -> CandidateReport {
+        CandidateReport { party: party.to_string(), level: 1, candidates, users: 100 }
+    }
+
+    #[test]
+    fn aggregation_sums_across_parties() {
+        let reports = vec![
+            report("a", vec![(1, 10.0), (2, 5.0)]),
+            report("b", vec![(2, 20.0), (3, 1.0)]),
+        ];
+        let totals = aggregate_reports(&reports);
+        assert_eq!(totals[&1], 10.0);
+        assert_eq!(totals[&2], 25.0);
+        assert_eq!(totals[&3], 1.0);
+    }
+
+    #[test]
+    fn negative_counts_are_clamped() {
+        let reports = vec![report("a", vec![(1, -50.0)]), report("b", vec![(1, 10.0)])];
+        let totals = aggregate_reports(&reports);
+        assert_eq!(totals[&1], 10.0);
+    }
+
+    #[test]
+    fn top_k_ranks_by_total_count() {
+        let reports = vec![
+            report("a", vec![(1, 10.0), (2, 8.0), (3, 2.0)]),
+            report("b", vec![(3, 9.0), (2, 1.0)]),
+        ];
+        assert_eq!(federated_top_k(&reports, 2), vec![3, 1]);
+        assert_eq!(federated_top_k(&reports, 10), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let reports = vec![report("a", vec![(5, 1.0), (2, 1.0), (9, 1.0)])];
+        assert_eq!(federated_top_k(&reports, 2), vec![2, 5]);
+    }
+
+    #[test]
+    fn empty_reports_give_empty_results() {
+        assert!(federated_top_k(&[], 5).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Privacy budget handling.
+//!
+//! The privacy budget ε controls the plausible deniability of every local
+//! randomizer: for any two inputs x, x' and output y,
+//! Pr[M(x)=y] ≤ e^ε · Pr[M(x')=y].  The paper evaluates ε ∈ [1, 5]; this
+//! type validates the budget once so the oracles can assume a sane value.
+
+use crate::error::FoError;
+use serde::{Deserialize, Serialize};
+
+/// A validated, strictly positive and finite privacy budget ε.
+///
+/// In the TAP/TAPS mechanisms every user reports exactly once, so the whole
+/// budget is spent on a single frequency-oracle invocation and no budget
+/// splitting is required (Section 5.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    epsilon: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget, rejecting non-positive or non-finite ε.
+    pub fn new(epsilon: f64) -> Result<Self, FoError> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(FoError::InvalidBudget(epsilon));
+        }
+        Ok(Self { epsilon })
+    }
+
+    /// The raw ε value.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// e^ε, the likelihood ratio bound used throughout the oracle formulas.
+    #[inline]
+    pub fn exp_epsilon(&self) -> f64 {
+        self.epsilon.exp()
+    }
+
+    /// The domain-size threshold below which k-RR outperforms OUE:
+    /// |X| < 3e^ε + 2 (Wang et al. 2017, quoted in Section 3.2).
+    pub fn grr_preferred_domain(&self) -> usize {
+        (3.0 * self.exp_epsilon() + 2.0).floor() as usize
+    }
+}
+
+impl TryFrom<f64> for PrivacyBudget {
+    type Error = FoError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_budgets() {
+        for eps in [0.1, 1.0, 2.0, 5.0, 10.0] {
+            let b = PrivacyBudget::new(eps).unwrap();
+            assert_eq!(b.epsilon(), eps);
+            assert!((b.exp_epsilon() - eps.exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_budgets() {
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(-1.0).is_err());
+        assert!(PrivacyBudget::new(f64::NAN).is_err());
+        assert!(PrivacyBudget::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn grr_threshold_matches_formula() {
+        let b = PrivacyBudget::new(1.0).unwrap();
+        assert_eq!(b.grr_preferred_domain(), (3.0 * 1f64.exp() + 2.0) as usize);
+        let b = PrivacyBudget::new(4.0).unwrap();
+        assert_eq!(b.grr_preferred_domain(), (3.0 * 4f64.exp() + 2.0) as usize);
+    }
+
+    #[test]
+    fn try_from_round_trips() {
+        let b: PrivacyBudget = 2.5f64.try_into().unwrap();
+        assert_eq!(b.epsilon(), 2.5);
+        let e: Result<PrivacyBudget, _> = (-3.0f64).try_into();
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Candidate domains for frequency estimation.
+//!
+//! In the prefix-tree mechanisms the domain that users perturb over is not
+//! the full item domain X (which may have 2^48 values) but a *candidate
+//! domain* Λ_h of prefixes constructed level by level.  A user whose true
+//! prefix is not in the candidate domain cannot simply report it — that
+//! would leak information — so the paper assigns all out-of-domain values to
+//! a reserved **dummy** slot ("for k-RR, we assign a dummy item to
+//! out-of-domain items").  [`CandidateDomain`] encapsulates the
+//! value ↔ index mapping together with that dummy slot.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a value inside a [`CandidateDomain`], used as the input type of
+/// every frequency oracle.
+pub type DomainIndex = usize;
+
+/// A finite, ordered candidate domain of `u64`-encoded values (prefixes or
+/// full items) with an optional dummy slot for out-of-domain inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateDomain {
+    /// The candidate values in a stable order; index = position.
+    values: Vec<u64>,
+    /// Reverse lookup from value to index.
+    #[serde(skip)]
+    index: HashMap<u64, usize>,
+    /// Whether the last slot is a dummy catch-all for out-of-domain values.
+    has_dummy: bool,
+}
+
+impl CandidateDomain {
+    /// Builds a domain from candidate values **without** a dummy slot.
+    /// Duplicate values are collapsed (first occurrence wins).
+    pub fn new(values: Vec<u64>) -> Self {
+        Self::build(values, false)
+    }
+
+    /// Builds a domain from candidate values and appends a dummy slot that
+    /// receives every out-of-domain input.
+    pub fn with_dummy(values: Vec<u64>) -> Self {
+        Self::build(values, true)
+    }
+
+    fn build(values: Vec<u64>, has_dummy: bool) -> Self {
+        let mut dedup = Vec::with_capacity(values.len());
+        let mut index = HashMap::with_capacity(values.len());
+        for v in values {
+            if !index.contains_key(&v) {
+                index.insert(v, dedup.len());
+                dedup.push(v);
+            }
+        }
+        Self { values: dedup, index, has_dummy }
+    }
+
+    /// Total number of perturbation slots, including the dummy slot if any.
+    /// This is the |X| that enters the oracle probability formulas.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len() + usize::from(self.has_dummy)
+    }
+
+    /// True when there are no candidate values (a dummy-only domain still
+    /// counts as empty for this purpose).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of real (non-dummy) candidates.
+    #[inline]
+    pub fn candidate_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether a dummy slot is present.
+    #[inline]
+    pub fn has_dummy(&self) -> bool {
+        self.has_dummy
+    }
+
+    /// Index of the dummy slot, if present.
+    #[inline]
+    pub fn dummy_index(&self) -> Option<DomainIndex> {
+        self.has_dummy.then_some(self.values.len())
+    }
+
+    /// Index of a candidate value, if it is part of the domain.
+    #[inline]
+    pub fn index_of(&self, value: &u64) -> Option<DomainIndex> {
+        self.index.get(value).copied()
+    }
+
+    /// Maps an arbitrary user value to its perturbation input: the value's
+    /// own slot when it is a candidate, otherwise the dummy slot.
+    ///
+    /// Returns `None` only when the value is out of domain *and* the domain
+    /// has no dummy slot; callers without a dummy slot must decide how to
+    /// handle such users (the baselines drop them).
+    #[inline]
+    pub fn encode(&self, value: &u64) -> Option<DomainIndex> {
+        self.index_of(value).or(self.dummy_index())
+    }
+
+    /// The candidate value stored at `idx`, or `None` for the dummy slot and
+    /// out-of-range indices.
+    #[inline]
+    pub fn value_at(&self, idx: DomainIndex) -> Option<&u64> {
+        self.values.get(idx)
+    }
+
+    /// Iterator over the real candidate values in index order.
+    pub fn values(&self) -> impl Iterator<Item = &u64> + '_ {
+        self.values.iter()
+    }
+
+    /// A copy of the candidate values in index order.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.values.clone()
+    }
+
+    /// Rebuilds the reverse index after deserialization (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, i))
+            .collect();
+    }
+
+    /// Returns a new domain with the given values removed (used by the
+    /// consensus-based pruning strategy).  The dummy flag is preserved.
+    pub fn without(&self, pruned: &[u64]) -> Self {
+        let pruned: std::collections::HashSet<u64> = pruned.iter().copied().collect();
+        let remaining: Vec<u64> = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| !pruned.contains(v))
+            .collect();
+        Self::build(remaining, self.has_dummy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let d = CandidateDomain::new(vec![10, 20, 30]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.candidate_count(), 3);
+        for (i, v) in [(0usize, 10u64), (1, 20), (2, 30)] {
+            assert_eq!(d.index_of(&v), Some(i));
+            assert_eq!(d.value_at(i), Some(&v));
+        }
+        assert_eq!(d.index_of(&99), None);
+        assert_eq!(d.value_at(3), None);
+    }
+
+    #[test]
+    fn dummy_slot_receives_out_of_domain() {
+        let d = CandidateDomain::with_dummy(vec![1, 2]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.candidate_count(), 2);
+        assert_eq!(d.dummy_index(), Some(2));
+        assert_eq!(d.encode(&1), Some(0));
+        assert_eq!(d.encode(&7), Some(2));
+        // The dummy slot has no value.
+        assert_eq!(d.value_at(2), None);
+    }
+
+    #[test]
+    fn no_dummy_out_of_domain_is_none() {
+        let d = CandidateDomain::new(vec![1, 2]);
+        assert_eq!(d.encode(&7), None);
+        assert_eq!(d.dummy_index(), None);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let d = CandidateDomain::new(vec![5, 5, 6, 6, 6]);
+        assert_eq!(d.candidate_count(), 2);
+        assert_eq!(d.index_of(&5), Some(0));
+        assert_eq!(d.index_of(&6), Some(1));
+    }
+
+    #[test]
+    fn without_removes_candidates_and_keeps_dummy() {
+        let d = CandidateDomain::with_dummy(vec![1, 2, 3, 4]);
+        let pruned = d.without(&[2, 4]);
+        assert_eq!(pruned.to_vec(), vec![1, 3]);
+        assert!(pruned.has_dummy());
+        assert_eq!(pruned.len(), 3);
+        // Pruning values that are absent is a no-op.
+        let same = d.without(&[42]);
+        assert_eq!(same.to_vec(), d.to_vec());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut d = CandidateDomain::new(vec![7, 8, 9]);
+        d.index.clear();
+        assert_eq!(d.index_of(&8), None);
+        d.rebuild_index();
+        assert_eq!(d.index_of(&8), Some(1));
+    }
+
+    #[test]
+    fn empty_domain_is_empty() {
+        let d = CandidateDomain::new(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        let d = CandidateDomain::with_dummy(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 1);
+    }
+}

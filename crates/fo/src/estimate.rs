@@ -1,0 +1,256 @@
+//! Server-side support counting and unbiased frequency estimation.
+//!
+//! Every oracle reduces its reports to a vector of **support counts**: how
+//! many reports "support" each candidate slot.  The unbiased estimator is
+//! the same for all three oracles (Section 3.2 of the paper):
+//!
+//! ```text
+//! f̂_x = (c_x / n − q) / (p − q)
+//! ```
+//!
+//! where `p` is the probability of reporting/supporting the true value and
+//! `q` the probability of supporting any other value.  The estimator and the
+//! per-oracle variance are bundled into [`FrequencyEstimate`] so downstream
+//! code (adaptive extension, pruning, aggregation) can reason about both the
+//! point estimates and their noise scale.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw support counts per candidate slot, produced by an oracle's
+/// `aggregate` step before de-biasing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupportCounts {
+    counts: Vec<f64>,
+    reports: usize,
+}
+
+impl SupportCounts {
+    /// Creates support counts for `slots` candidate slots, all zero.
+    pub fn zeros(slots: usize) -> Self {
+        Self { counts: vec![0.0; slots], reports: 0 }
+    }
+
+    /// Creates support counts from raw values and the number of reports seen.
+    pub fn from_counts(counts: Vec<f64>, reports: usize) -> Self {
+        Self { counts, reports }
+    }
+
+    /// Adds `amount` support to slot `idx`.
+    #[inline]
+    pub fn add(&mut self, idx: usize, amount: f64) {
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += amount;
+        }
+    }
+
+    /// Records that one more report has been aggregated.
+    #[inline]
+    pub fn record_report(&mut self) {
+        self.reports += 1;
+    }
+
+    /// Support of slot `idx` (0 when out of range).
+    #[inline]
+    pub fn support(&self, idx: usize) -> f64 {
+        self.counts.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Number of candidate slots.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of reports aggregated so far.
+    #[inline]
+    pub fn reports(&self) -> usize {
+        self.reports
+    }
+
+    /// All supports in slot order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Merges another support-count vector of the same width into this one.
+    pub fn merge(&mut self, other: &SupportCounts) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.reports += other.reports;
+    }
+}
+
+/// Unbiased frequency estimates for every candidate slot, together with the
+/// analytic standard deviation of a single estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyEstimate {
+    frequencies: Vec<f64>,
+    /// Standard deviation of a single frequency estimate under the FO used.
+    std_dev: f64,
+    /// Number of users whose reports back this estimate.
+    users: usize,
+}
+
+impl FrequencyEstimate {
+    /// De-biases support counts into frequency estimates.
+    ///
+    /// * `p` — probability of supporting the true value.
+    /// * `q` — probability of supporting any other value.
+    /// * `n` — number of users (reports expected).
+    /// * `variance` — analytic variance of one estimate (σ² of the FO).
+    pub fn from_supports(supports: &SupportCounts, p: f64, q: f64, n: usize, variance: f64) -> Self {
+        let n_f = n.max(1) as f64;
+        let denom = p - q;
+        let frequencies = supports
+            .as_slice()
+            .iter()
+            .map(|c| (c / n_f - q) / denom)
+            .collect();
+        Self { frequencies, std_dev: variance.max(0.0).sqrt(), users: n }
+    }
+
+    /// Builds an estimate directly from frequencies (used in tests and when
+    /// exact, non-private frequencies are needed as a reference).
+    pub fn from_frequencies(frequencies: Vec<f64>, std_dev: f64, users: usize) -> Self {
+        Self { frequencies, std_dev, users }
+    }
+
+    /// Estimated frequency of slot `idx` (0 when out of range).
+    #[inline]
+    pub fn frequency(&self, idx: usize) -> f64 {
+        self.frequencies.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Estimated absolute count of slot `idx` (frequency × users).
+    #[inline]
+    pub fn count(&self, idx: usize) -> f64 {
+        self.frequency(idx) * self.users as f64
+    }
+
+    /// All estimated frequencies in slot order.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Standard deviation σ of a single frequency estimate.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Number of users behind this estimate.
+    #[inline]
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Number of candidate slots.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// Slot indices sorted by estimated frequency, descending.  Ties are
+    /// broken by slot index so the ordering is deterministic.
+    pub fn ranked_slots(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.frequencies.len()).collect();
+        order.sort_by(|a, b| {
+            self.frequencies[*b]
+                .partial_cmp(&self.frequencies[*a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        order
+    }
+
+    /// The top-`k` slot indices by estimated frequency, descending.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut order = self.ranked_slots();
+        order.truncate(k);
+        order
+    }
+}
+
+/// Analytic variance of the GRR estimator:
+/// Var = (|X| − 2 + e^ε) / ((e^ε − 1)² · n).
+pub fn grr_variance(domain_size: usize, exp_eps: f64, n: usize) -> f64 {
+    let d = domain_size as f64;
+    let n = n.max(1) as f64;
+    (d - 2.0 + exp_eps) / ((exp_eps - 1.0).powi(2) * n)
+}
+
+/// Analytic variance of the OUE (and OLH) estimator:
+/// Var = 4e^ε / ((e^ε − 1)² · n).
+pub fn oue_variance(exp_eps: f64, n: usize) -> f64 {
+    let n = n.max(1) as f64;
+    4.0 * exp_eps / ((exp_eps - 1.0).powi(2) * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_counts_accumulate_and_merge() {
+        let mut a = SupportCounts::zeros(3);
+        a.add(0, 1.0);
+        a.add(2, 2.0);
+        a.record_report();
+        a.record_report();
+        let b = SupportCounts::from_counts(vec![1.0, 1.0, 1.0], 3);
+        a.merge(&b);
+        assert_eq!(a.as_slice(), &[2.0, 1.0, 3.0]);
+        assert_eq!(a.reports(), 5);
+        assert_eq!(a.support(5), 0.0);
+    }
+
+    #[test]
+    fn debiasing_inverts_the_expected_support() {
+        // If true frequency is f, expected support is n(f·p + (1−f)·q); the
+        // estimator must map that expectation back to f exactly.
+        let p = 0.7;
+        let q = 0.1;
+        let n = 10_000usize;
+        let f_true = 0.3;
+        let expected_support = n as f64 * (f_true * p + (1.0 - f_true) * q);
+        let supports = SupportCounts::from_counts(vec![expected_support], n);
+        let est = FrequencyEstimate::from_supports(&supports, p, q, n, 0.01);
+        assert!((est.frequency(0) - f_true).abs() < 1e-12);
+        assert!((est.count(0) - f_true * n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranking_is_descending_and_deterministic() {
+        let est = FrequencyEstimate::from_frequencies(vec![0.1, 0.5, 0.5, 0.05], 0.0, 100);
+        assert_eq!(est.ranked_slots(), vec![1, 2, 0, 3]);
+        assert_eq!(est.top_k(2), vec![1, 2]);
+        assert_eq!(est.top_k(10), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn variance_formulas_match_paper() {
+        let eps: f64 = 2.0;
+        let e = eps.exp();
+        let n = 1000;
+        // GRR with |X| = 10.
+        let v_grr = grr_variance(10, e, n);
+        assert!((v_grr - (10.0 - 2.0 + e) / ((e - 1.0).powi(2) * 1000.0)).abs() < 1e-15);
+        // OUE.
+        let v_oue = oue_variance(e, n);
+        assert!((v_oue - 4.0 * e / ((e - 1.0).powi(2) * 1000.0)).abs() < 1e-15);
+        // For a large domain, GRR variance exceeds OUE variance.
+        assert!(grr_variance(1000, e, n) > v_oue);
+        // For a tiny domain, GRR beats OUE.
+        assert!(grr_variance(3, e, n) < v_oue);
+    }
+
+    #[test]
+    fn zero_users_does_not_divide_by_zero() {
+        let supports = SupportCounts::zeros(2);
+        let est = FrequencyEstimate::from_supports(&supports, 0.7, 0.1, 0, 0.0);
+        assert!(est.frequency(0).is_finite());
+        assert_eq!(grr_variance(4, 2.0f64.exp(), 0).is_finite(), true);
+    }
+}

@@ -1,0 +1,191 @@
+//! k-ary randomized response (k-RR / GRR).
+//!
+//! Given a privacy budget ε and a candidate domain of size |X|, the
+//! mechanism reports the true value with probability
+//! `p = e^ε / (|X| − 1 + e^ε)` and any specific other value with probability
+//! `q = 1 / (|X| − 1 + e^ε)` (Equation 1 of the paper).  It is the paper's
+//! default FO for all main experiments (m = 48, g = 24).
+
+use crate::budget::PrivacyBudget;
+use crate::error::FoError;
+use crate::estimate::{grr_variance, FrequencyEstimate, SupportCounts};
+use crate::oracle::FrequencyOracle;
+use crate::report::Report;
+use rand::Rng;
+
+/// The k-ary randomized response oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrrOracle {
+    budget: PrivacyBudget,
+    domain_size: usize,
+    p: f64,
+    q: f64,
+}
+
+impl GrrOracle {
+    /// Creates a GRR oracle over a candidate domain with `domain_size` slots
+    /// (including the dummy slot, if the domain has one).
+    pub fn new(budget: PrivacyBudget, domain_size: usize) -> Result<Self, FoError> {
+        if domain_size < 2 {
+            return Err(FoError::DomainTooSmall(domain_size));
+        }
+        let e = budget.exp_epsilon();
+        let denom = domain_size as f64 - 1.0 + e;
+        Ok(Self { budget, domain_size, p: e / denom, q: 1.0 / denom })
+    }
+
+    /// Probability of reporting the true value.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability of reporting one specific other value.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The configured domain size |X|.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// The privacy budget this oracle satisfies.
+    #[inline]
+    pub fn budget(&self) -> PrivacyBudget {
+        self.budget
+    }
+}
+
+impl FrequencyOracle for GrrOracle {
+    fn perturb<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> Report {
+        debug_assert!(input < self.domain_size, "input index out of domain");
+        let keep: f64 = rng.gen();
+        if keep < self.p {
+            Report::Item(input as u32)
+        } else {
+            // Sample uniformly among the other |X| − 1 values.
+            let mut other = rng.gen_range(0..self.domain_size - 1);
+            if other >= input {
+                other += 1;
+            }
+            Report::Item(other as u32)
+        }
+    }
+
+    fn aggregate(&self, reports: &[Report]) -> SupportCounts {
+        let mut supports = SupportCounts::zeros(self.domain_size);
+        for report in reports {
+            if let Report::Item(idx) = report {
+                supports.add(*idx as usize, 1.0);
+            }
+            supports.record_report();
+        }
+        supports
+    }
+
+    fn estimate(&self, supports: &SupportCounts, n: usize) -> FrequencyEstimate {
+        FrequencyEstimate::from_supports(supports, self.p, self.q, n, self.variance(n))
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        grr_variance(self.domain_size, self.budget.exp_epsilon(), n)
+    }
+
+    fn report_bits(&self) -> usize {
+        32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn oracle(eps: f64, d: usize) -> GrrOracle {
+        GrrOracle::new(PrivacyBudget::new(eps).unwrap(), d).unwrap()
+    }
+
+    #[test]
+    fn probabilities_match_equation_one() {
+        let o = oracle(1.0, 8);
+        let e = 1.0f64.exp();
+        assert!((o.p() - e / (7.0 + e)).abs() < 1e-12);
+        assert!((o.q() - 1.0 / (7.0 + e)).abs() < 1e-12);
+        // p + (|X|−1)q = 1: the output distribution is proper.
+        assert!((o.p() + 7.0 * o.q() - 1.0).abs() < 1e-12);
+        // LDP ratio p/q = e^ε.
+        assert!((o.p() / o.q() - e).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_tiny_domains() {
+        assert!(GrrOracle::new(PrivacyBudget::new(1.0).unwrap(), 0).is_err());
+        assert!(GrrOracle::new(PrivacyBudget::new(1.0).unwrap(), 1).is_err());
+        assert!(GrrOracle::new(PrivacyBudget::new(1.0).unwrap(), 2).is_ok());
+    }
+
+    #[test]
+    fn perturbation_keeps_output_in_domain() {
+        let o = oracle(0.5, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for input in 0..5 {
+            for _ in 0..200 {
+                match o.perturb(input, &mut rng) {
+                    Report::Item(v) => assert!((v as usize) < 5),
+                    other => panic!("unexpected report {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_keep_rate_approaches_p() {
+        let o = oracle(2.0, 16);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 40_000;
+        let kept = (0..trials)
+            .filter(|_| matches!(o.perturb(7, &mut rng), Report::Item(7)))
+            .count();
+        let rate = kept as f64 / trials as f64;
+        assert!((rate - o.p()).abs() < 0.01, "rate {rate} vs p {}", o.p());
+    }
+
+    #[test]
+    fn estimation_recovers_uniform_mixture() {
+        // Half the users hold value 0, half hold value 1, domain size 4.
+        let o = oracle(3.0, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let reports: Vec<Report> = (0..n)
+            .map(|i| o.perturb(if i % 2 == 0 { 0 } else { 1 }, &mut rng))
+            .collect();
+        let est = o.estimate(&o.aggregate(&reports), n);
+        assert!((est.frequency(0) - 0.5).abs() < 0.03);
+        assert!((est.frequency(1) - 0.5).abs() < 0.03);
+        assert!(est.frequency(2).abs() < 0.03);
+        assert!(est.frequency(3).abs() < 0.03);
+    }
+
+    #[test]
+    fn variance_shrinks_with_users_and_budget() {
+        let o = oracle(1.0, 32);
+        assert!(o.variance(100) > o.variance(10_000));
+        let tight = oracle(4.0, 32);
+        assert!(tight.variance(1000) < o.variance(1000));
+    }
+
+    #[test]
+    fn aggregate_counts_every_report() {
+        let o = oracle(1.0, 3);
+        let reports = vec![Report::Item(0), Report::Item(2), Report::Item(2)];
+        let s = o.aggregate(&reports);
+        assert_eq!(s.reports(), 3);
+        assert_eq!(s.support(0), 1.0);
+        assert_eq!(s.support(1), 0.0);
+        assert_eq!(s.support(2), 2.0);
+    }
+}

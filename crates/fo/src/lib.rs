@@ -1,0 +1,75 @@
+//! # fedhh-fo — Local differential privacy frequency oracles
+//!
+//! This crate provides the LDP *frequency oracle* (FO) substrate used by the
+//! federated heavy hitter mechanisms in the `fedhh` workspace.  A frequency
+//! oracle is a pair of algorithms:
+//!
+//! * a **local randomizer** run by each user, which perturbs her private
+//!   value so that the output satisfies ε-local differential privacy, and
+//! * a **server-side estimator**, which aggregates the perturbed reports of
+//!   many users and produces unbiased frequency estimates for every value in
+//!   a candidate domain.
+//!
+//! Three classic oracles from Wang et al. (USENIX Security 2017) are
+//! implemented, matching the mechanisms used in the paper:
+//!
+//! * [`GrrOracle`] — *k*-ary randomized response (k-RR / GRR).  Best for
+//!   small domains (|X| < 3e^ε + 2).
+//! * [`OueOracle`] — optimized unary encoding.  Best utility for large
+//!   domains at the cost of |X|-bit reports.
+//! * [`OlhOracle`] — optimized local hashing.  OUE-level utility with small
+//!   reports, at higher server-side computation cost.
+//!
+//! All three share the [`FrequencyOracle`] trait and can be constructed
+//! uniformly through [`Oracle::new`] with a [`FoKind`].  Inputs are indices
+//! into a [`CandidateDomain`], which also handles *out-of-domain* values by
+//! mapping them to a reserved dummy slot, exactly as the paper does for k-RR
+//! and OUE ("we assign a dummy item to out-of-domain items").
+//!
+//! ## Example
+//!
+//! ```
+//! use fedhh_fo::{CandidateDomain, FoKind, FrequencyOracle, Oracle, PrivacyBudget};
+//! use rand::SeedableRng;
+//!
+//! // Candidate domain of four 2-bit prefixes plus an implicit dummy slot.
+//! let domain = CandidateDomain::with_dummy(vec![0b00, 0b01, 0b10, 0b11]);
+//! let oracle = Oracle::new(FoKind::Grr, PrivacyBudget::new(2.0).unwrap(), domain.len());
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // 1000 users whose true value is prefix 0b10.
+//! let reports: Vec<_> = (0..1000)
+//!     .map(|_| oracle.perturb(domain.index_of(&0b10).unwrap(), &mut rng))
+//!     .collect();
+//!
+//! let estimate = oracle.estimate(&oracle.aggregate(&reports), 1000);
+//! // The estimated frequency of 0b10 should dominate.
+//! let best = (0..domain.len()).max_by(|a, b| {
+//!     estimate.frequency(*a).partial_cmp(&estimate.frequency(*b)).unwrap()
+//! }).unwrap();
+//! assert_eq!(domain.value_at(best), Some(&0b10));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod budget;
+pub mod domain;
+pub mod error;
+pub mod estimate;
+pub mod grr;
+pub mod hash;
+pub mod olh;
+pub mod oracle;
+pub mod oue;
+pub mod report;
+
+pub use budget::PrivacyBudget;
+pub use domain::{CandidateDomain, DomainIndex};
+pub use error::FoError;
+pub use estimate::{FrequencyEstimate, SupportCounts};
+pub use grr::GrrOracle;
+pub use olh::OlhOracle;
+pub use oracle::{FoKind, FrequencyOracle, Oracle};
+pub use oue::OueOracle;
+pub use report::Report;

@@ -1,0 +1,188 @@
+//! Optimized local hashing (OLH).
+//!
+//! Each user samples a hash function `H` from a universal family mapping the
+//! candidate domain into `d' = ⌈e^ε⌉ + 1` buckets, hashes her value and
+//! perturbs the bucket with GRR over `[d']`.  The report is the pair
+//! `(seed, perturbed bucket)`.  On the server side a report *supports*
+//! candidate `x` when `H_seed(x)` equals the reported bucket
+//! (`c_x = |{u | H_u(x) = y_u}|`, Section 3.2).  The estimation variance
+//! matches OUE while keeping reports tiny, at the cost of hashing every
+//! candidate for every report during aggregation.
+
+use crate::budget::PrivacyBudget;
+use crate::error::FoError;
+use crate::estimate::{oue_variance, FrequencyEstimate, SupportCounts};
+use crate::hash::{olh_buckets, UniversalHash};
+use crate::oracle::FrequencyOracle;
+use crate::report::Report;
+use rand::Rng;
+
+/// The optimized local hashing oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlhOracle {
+    budget: PrivacyBudget,
+    domain_size: usize,
+    buckets: u32,
+    /// GRR keep probability over the hashed domain [d'].
+    p: f64,
+    /// GRR flip probability over the hashed domain [d'].
+    q: f64,
+}
+
+impl OlhOracle {
+    /// Creates an OLH oracle over a candidate domain with `domain_size`
+    /// slots (including the dummy slot, if any).
+    pub fn new(budget: PrivacyBudget, domain_size: usize) -> Result<Self, FoError> {
+        if domain_size < 2 {
+            return Err(FoError::DomainTooSmall(domain_size));
+        }
+        let e = budget.exp_epsilon();
+        let buckets = olh_buckets(e);
+        let denom = buckets as f64 - 1.0 + e;
+        Ok(Self {
+            budget,
+            domain_size,
+            buckets,
+            p: e / denom,
+            q: 1.0 / denom,
+        })
+    }
+
+    /// Number of hash buckets d'.
+    #[inline]
+    pub fn buckets(&self) -> u32 {
+        self.buckets
+    }
+
+    /// Probability of reporting the true hash bucket.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability that a perturbed report supports an arbitrary non-true
+    /// candidate: q* = 1/d' (a uniformly random bucket collides with any
+    /// fixed candidate's hash with probability 1/d').
+    #[inline]
+    pub fn q_star(&self) -> f64 {
+        1.0 / self.buckets as f64
+    }
+
+    /// The configured domain size |X|.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+}
+
+impl FrequencyOracle for OlhOracle {
+    fn perturb<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> Report {
+        debug_assert!(input < self.domain_size, "input index out of domain");
+        let seed: u64 = rng.gen();
+        let hash = UniversalHash::new(seed, self.buckets);
+        let true_bucket = hash.hash(input as u64);
+        let keep: f64 = rng.gen();
+        let value = if keep < self.p {
+            true_bucket
+        } else {
+            let mut other = rng.gen_range(0..self.buckets - 1);
+            if other >= true_bucket {
+                other += 1;
+            }
+            other
+        };
+        Report::Hashed { seed, value }
+    }
+
+    fn aggregate(&self, reports: &[Report]) -> SupportCounts {
+        let mut supports = SupportCounts::zeros(self.domain_size);
+        for report in reports {
+            if let Report::Hashed { seed, value } = report {
+                let hash = UniversalHash::new(*seed, self.buckets);
+                for candidate in 0..self.domain_size {
+                    if hash.hash(candidate as u64) == *value {
+                        supports.add(candidate, 1.0);
+                    }
+                }
+            }
+            supports.record_report();
+        }
+        supports
+    }
+
+    fn estimate(&self, supports: &SupportCounts, n: usize) -> FrequencyEstimate {
+        // Support probability for the true value is p; for any other value it
+        // is q* = 1/d' because a non-true report lands on the candidate's
+        // bucket uniformly.
+        FrequencyEstimate::from_supports(supports, self.p, self.q_star(), n, self.variance(n))
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        oue_variance(self.budget.exp_epsilon(), n)
+    }
+
+    fn report_bits(&self) -> usize {
+        64 + 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn oracle(eps: f64, d: usize) -> OlhOracle {
+        OlhOracle::new(PrivacyBudget::new(eps).unwrap(), d).unwrap()
+    }
+
+    #[test]
+    fn bucket_count_follows_budget() {
+        let o = oracle(1.0, 100);
+        assert_eq!(o.buckets(), 1.0f64.exp().ceil() as u32 + 1);
+        let o = oracle(4.0, 100);
+        assert_eq!(o.buckets(), 4.0f64.exp().ceil() as u32 + 1);
+    }
+
+    #[test]
+    fn grr_over_buckets_satisfies_ldp_ratio() {
+        let o = oracle(2.0, 64);
+        assert!((o.p() / ((1.0 - o.p()) / (o.buckets() as f64 - 1.0)) - 2.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimation_recovers_skewed_distribution() {
+        let o = oracle(3.0, 16);
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 30_000;
+        // 60% hold slot 1, 40% hold slot 9.
+        let reports: Vec<Report> = (0..n)
+            .map(|i| o.perturb(if i % 10 < 6 { 1 } else { 9 }, &mut rng))
+            .collect();
+        let est = o.estimate(&o.aggregate(&reports), n);
+        assert!((est.frequency(1) - 0.6).abs() < 0.05, "f1 = {}", est.frequency(1));
+        assert!((est.frequency(9) - 0.4).abs() < 0.05, "f9 = {}", est.frequency(9));
+        for slot in [0, 2, 3, 4, 5, 6, 7, 8, 10] {
+            assert!(est.frequency(slot).abs() < 0.05, "slot {slot} = {}", est.frequency(slot));
+        }
+    }
+
+    #[test]
+    fn variance_matches_oue() {
+        let olh = oracle(2.0, 128);
+        let oue = crate::oue::OueOracle::new(PrivacyBudget::new(2.0).unwrap(), 128).unwrap();
+        use crate::oracle::FrequencyOracle as _;
+        assert!((olh.variance(500) - oue.variance(500)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn report_size_is_constant() {
+        let o = oracle(1.0, 100_000);
+        assert_eq!(o.report_bits(), 96);
+    }
+
+    #[test]
+    fn rejects_tiny_domains() {
+        assert!(OlhOracle::new(PrivacyBudget::new(1.0).unwrap(), 1).is_err());
+    }
+}

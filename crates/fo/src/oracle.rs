@@ -1,0 +1,244 @@
+//! The common frequency-oracle interface and the unified [`Oracle`] wrapper.
+//!
+//! The heavy hitter mechanisms treat the FO as a black box (Section 3.2:
+//! "In addressing the heavy hitter problem, the FO is typically treated as a
+//! black box").  [`FrequencyOracle`] is that black box: perturb one user's
+//! value, aggregate many reports into support counts, and de-bias the
+//! supports into frequency estimates.  [`Oracle`] wraps the three concrete
+//! implementations behind a [`FoKind`] so that protocol code can switch FO
+//! by configuration, as the paper does in Section 7.3.
+
+use crate::budget::PrivacyBudget;
+use crate::error::FoError;
+use crate::estimate::{FrequencyEstimate, SupportCounts};
+use crate::grr::GrrOracle;
+use crate::olh::OlhOracle;
+use crate::oue::OueOracle;
+use crate::report::Report;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The frequency-oracle interface shared by GRR, OUE and OLH.
+pub trait FrequencyOracle {
+    /// Perturbs one user's domain index into a report satisfying ε-LDP.
+    fn perturb<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> Report;
+
+    /// Aggregates reports into per-slot support counts.
+    fn aggregate(&self, reports: &[Report]) -> SupportCounts;
+
+    /// De-biases support counts into unbiased frequency estimates for `n`
+    /// users.
+    fn estimate(&self, supports: &SupportCounts, n: usize) -> FrequencyEstimate;
+
+    /// Analytic variance of a single frequency estimate with `n` users.
+    fn variance(&self, n: usize) -> f64;
+
+    /// Size of one report on the wire, in bits.
+    fn report_bits(&self) -> usize;
+}
+
+/// Which frequency oracle to use, selectable by configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FoKind {
+    /// k-ary randomized response (the paper's default).
+    Grr,
+    /// Optimized unary encoding.
+    Oue,
+    /// Optimized local hashing.
+    Olh,
+}
+
+impl FoKind {
+    /// All supported oracle kinds, in the order used by the paper's FO study.
+    pub const ALL: [FoKind; 3] = [FoKind::Grr, FoKind::Oue, FoKind::Olh];
+
+    /// Stable lowercase name for reports and CLI arguments.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FoKind::Grr => "krr",
+            FoKind::Oue => "oue",
+            FoKind::Olh => "olh",
+        }
+    }
+
+    /// Parses a CLI/experiment name into an oracle kind.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "krr" | "k-rr" | "grr" => Some(FoKind::Grr),
+            "oue" => Some(FoKind::Oue),
+            "olh" => Some(FoKind::Olh),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FoKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A unified frequency oracle dispatching to the configured mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Oracle {
+    /// k-ary randomized response.
+    Grr(GrrOracle),
+    /// Optimized unary encoding.
+    Oue(OueOracle),
+    /// Optimized local hashing.
+    Olh(OlhOracle),
+}
+
+impl Oracle {
+    /// Creates an oracle of the given kind over `domain_size` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain_size < 2`; use [`Oracle::try_new`] to handle the
+    /// error explicitly.
+    pub fn new(kind: FoKind, budget: PrivacyBudget, domain_size: usize) -> Self {
+        Self::try_new(kind, budget, domain_size).expect("invalid oracle configuration")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(kind: FoKind, budget: PrivacyBudget, domain_size: usize) -> Result<Self, FoError> {
+        Ok(match kind {
+            FoKind::Grr => Oracle::Grr(GrrOracle::new(budget, domain_size)?),
+            FoKind::Oue => Oracle::Oue(OueOracle::new(budget, domain_size)?),
+            FoKind::Olh => Oracle::Olh(OlhOracle::new(budget, domain_size)?),
+        })
+    }
+
+    /// The kind of this oracle.
+    pub fn kind(&self) -> FoKind {
+        match self {
+            Oracle::Grr(_) => FoKind::Grr,
+            Oracle::Oue(_) => FoKind::Oue,
+            Oracle::Olh(_) => FoKind::Olh,
+        }
+    }
+}
+
+impl FrequencyOracle for Oracle {
+    fn perturb<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> Report {
+        match self {
+            Oracle::Grr(o) => o.perturb(input, rng),
+            Oracle::Oue(o) => o.perturb(input, rng),
+            Oracle::Olh(o) => o.perturb(input, rng),
+        }
+    }
+
+    fn aggregate(&self, reports: &[Report]) -> SupportCounts {
+        match self {
+            Oracle::Grr(o) => o.aggregate(reports),
+            Oracle::Oue(o) => o.aggregate(reports),
+            Oracle::Olh(o) => o.aggregate(reports),
+        }
+    }
+
+    fn estimate(&self, supports: &SupportCounts, n: usize) -> FrequencyEstimate {
+        match self {
+            Oracle::Grr(o) => o.estimate(supports, n),
+            Oracle::Oue(o) => o.estimate(supports, n),
+            Oracle::Olh(o) => o.estimate(supports, n),
+        }
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        match self {
+            Oracle::Grr(o) => o.variance(n),
+            Oracle::Oue(o) => o.variance(n),
+            Oracle::Olh(o) => o.variance(n),
+        }
+    }
+
+    fn report_bits(&self) -> usize {
+        match self {
+            Oracle::Grr(o) => o.report_bits(),
+            Oracle::Oue(o) => o.report_bits(),
+            Oracle::Olh(o) => o.report_bits(),
+        }
+    }
+}
+
+/// Convenience: perturb and estimate a whole population in one call.
+///
+/// `inputs` are domain indices, one per user.  Returns the frequency
+/// estimate over the whole domain and the total report size in bits, which
+/// the federated layer uses for communication accounting.
+pub fn run_oracle<R: Rng + ?Sized>(
+    oracle: &Oracle,
+    inputs: &[usize],
+    rng: &mut R,
+) -> (FrequencyEstimate, usize) {
+    let reports: Vec<Report> = inputs.iter().map(|i| oracle.perturb(*i, rng)).collect();
+    let bits: usize = reports.iter().map(|r| r.size_bits()).sum();
+    let estimate = oracle.estimate(&oracle.aggregate(&reports), inputs.len());
+    (estimate, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kind_round_trips_through_names() {
+        for kind in FoKind::ALL {
+            assert_eq!(FoKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(FoKind::parse("k-RR"), Some(FoKind::Grr));
+        assert_eq!(FoKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn unified_oracle_dispatches_to_each_kind() {
+        let budget = PrivacyBudget::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        for kind in FoKind::ALL {
+            let oracle = Oracle::new(kind, budget, 8);
+            assert_eq!(oracle.kind(), kind);
+            let report = oracle.perturb(3, &mut rng);
+            let supports = oracle.aggregate(&[report]);
+            assert_eq!(supports.reports(), 1);
+            assert!(oracle.variance(100) > 0.0);
+            assert!(oracle.report_bits() > 0);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_small_domains() {
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        for kind in FoKind::ALL {
+            assert!(Oracle::try_new(kind, budget, 1).is_err());
+        }
+    }
+
+    #[test]
+    fn run_oracle_recovers_the_mode_for_every_kind() {
+        let budget = PrivacyBudget::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        // 80% of users hold index 2, the rest index 0, domain of 6 slots.
+        let inputs: Vec<usize> = (0..8000).map(|i| if i % 5 == 0 { 0 } else { 2 }).collect();
+        for kind in FoKind::ALL {
+            let oracle = Oracle::new(kind, budget, 6);
+            let (estimate, bits) = run_oracle(&oracle, &inputs, &mut rng);
+            assert_eq!(estimate.top_k(1), vec![2], "kind {kind}");
+            assert!(bits > 0);
+        }
+    }
+
+    #[test]
+    fn communication_cost_ordering_matches_table_one() {
+        // Per-report: OUE grows with the domain, GRR and OLH stay constant.
+        let budget = PrivacyBudget::new(2.0).unwrap();
+        let big = 4096;
+        let grr = Oracle::new(FoKind::Grr, budget, big);
+        let oue = Oracle::new(FoKind::Oue, budget, big);
+        let olh = Oracle::new(FoKind::Olh, budget, big);
+        assert!(oue.report_bits() > grr.report_bits());
+        assert!(oue.report_bits() > olh.report_bits());
+    }
+}

@@ -1,0 +1,171 @@
+//! Optimized unary encoding (OUE).
+//!
+//! The input is one-hot encoded over the candidate domain and every bit is
+//! perturbed independently: a 1-bit is kept with probability `p = 1/2`, a
+//! 0-bit is flipped to 1 with probability `q = 1/(e^ε + 1)` (Section 3.2).
+//! The report is the whole perturbed bit-vector, so communication grows with
+//! the domain size, but the estimation variance `4e^ε/((e^ε−1)²n)` is
+//! independent of the domain size, which is why the paper recommends OUE for
+//! large domains.
+
+use crate::budget::PrivacyBudget;
+use crate::error::FoError;
+use crate::estimate::{oue_variance, FrequencyEstimate, SupportCounts};
+use crate::oracle::FrequencyOracle;
+use crate::report::Report;
+use rand::Rng;
+
+/// The optimized unary encoding oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OueOracle {
+    budget: PrivacyBudget,
+    domain_size: usize,
+    p: f64,
+    q: f64,
+}
+
+impl OueOracle {
+    /// Creates an OUE oracle over a candidate domain with `domain_size`
+    /// slots (including the dummy slot, if any).
+    pub fn new(budget: PrivacyBudget, domain_size: usize) -> Result<Self, FoError> {
+        if domain_size < 2 {
+            return Err(FoError::DomainTooSmall(domain_size));
+        }
+        Ok(Self {
+            budget,
+            domain_size,
+            p: 0.5,
+            q: 1.0 / (budget.exp_epsilon() + 1.0),
+        })
+    }
+
+    /// Probability that a true 1-bit stays 1.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability that a true 0-bit flips to 1.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The configured domain size |X|.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+}
+
+impl FrequencyOracle for OueOracle {
+    fn perturb<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> Report {
+        debug_assert!(input < self.domain_size, "input index out of domain");
+        let bits = (0..self.domain_size)
+            .map(|slot| {
+                let threshold = if slot == input { self.p } else { self.q };
+                rng.gen::<f64>() < threshold
+            })
+            .collect();
+        Report::Bits(bits)
+    }
+
+    fn aggregate(&self, reports: &[Report]) -> SupportCounts {
+        let mut supports = SupportCounts::zeros(self.domain_size);
+        for report in reports {
+            if let Report::Bits(bits) = report {
+                for (slot, bit) in bits.iter().enumerate().take(self.domain_size) {
+                    if *bit {
+                        supports.add(slot, 1.0);
+                    }
+                }
+            }
+            supports.record_report();
+        }
+        supports
+    }
+
+    fn estimate(&self, supports: &SupportCounts, n: usize) -> FrequencyEstimate {
+        FrequencyEstimate::from_supports(supports, self.p, self.q, n, self.variance(n))
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        oue_variance(self.budget.exp_epsilon(), n)
+    }
+
+    fn report_bits(&self) -> usize {
+        self.domain_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn oracle(eps: f64, d: usize) -> OueOracle {
+        OueOracle::new(PrivacyBudget::new(eps).unwrap(), d).unwrap()
+    }
+
+    #[test]
+    fn probabilities_match_paper() {
+        let o = oracle(2.0, 10);
+        assert_eq!(o.p(), 0.5);
+        assert!((o.q() - 1.0 / (2.0f64.exp() + 1.0)).abs() < 1e-12);
+        // The per-bit likelihood ratio is bounded by e^ε:
+        // the worst case ratio is p(1−q)/(q(1−p)) = e^ε.
+        let ratio = (o.p() * (1.0 - o.q())) / (o.q() * (1.0 - o.p()));
+        assert!((ratio - 2.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_length_equals_domain() {
+        let o = oracle(1.0, 17);
+        let mut rng = StdRng::seed_from_u64(1);
+        match o.perturb(3, &mut rng) {
+            Report::Bits(bits) => assert_eq!(bits.len(), 17),
+            other => panic!("unexpected report {other:?}"),
+        }
+        assert_eq!(o.report_bits(), 17);
+    }
+
+    #[test]
+    fn estimation_recovers_skewed_distribution() {
+        let o = oracle(3.0, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        // 70% of users hold slot 2, 30% hold slot 5.
+        let reports: Vec<Report> = (0..n)
+            .map(|i| o.perturb(if i % 10 < 7 { 2 } else { 5 }, &mut rng))
+            .collect();
+        let est = o.estimate(&o.aggregate(&reports), n);
+        assert!((est.frequency(2) - 0.7).abs() < 0.03);
+        assert!((est.frequency(5) - 0.3).abs() < 0.03);
+        for slot in [0, 1, 3, 4, 6, 7] {
+            assert!(est.frequency(slot).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn variance_is_domain_independent() {
+        let small = oracle(2.0, 4);
+        let large = oracle(2.0, 4096);
+        assert!((small.variance(1000) - large.variance(1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_tiny_domains() {
+        assert!(OueOracle::new(PrivacyBudget::new(1.0).unwrap(), 1).is_err());
+    }
+
+    #[test]
+    fn aggregate_ignores_foreign_reports() {
+        let o = oracle(1.0, 4);
+        let supports = o.aggregate(&[Report::Item(2)]);
+        // The foreign report contributes no support but is still counted as
+        // a received report (it consumed a user's budget).
+        assert_eq!(supports.reports(), 1);
+        assert_eq!(supports.as_slice(), &[0.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! F1 score: the harmonic mean of precision and recall.
+
+use std::collections::HashSet;
+
+/// Precision: |truth ∩ estimate| / |estimate|.
+pub fn precision(truth: &[u64], estimate: &[u64]) -> f64 {
+    if estimate.is_empty() {
+        return 0.0;
+    }
+    let truth: HashSet<u64> = truth.iter().copied().collect();
+    let hits = estimate.iter().filter(|v| truth.contains(v)).count();
+    hits as f64 / estimate.len() as f64
+}
+
+/// Recall: |truth ∩ estimate| / |truth|.
+pub fn recall(truth: &[u64], estimate: &[u64]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let estimate: HashSet<u64> = estimate.iter().copied().collect();
+    let hits = truth.iter().filter(|v| estimate.contains(v)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// F1 = 2pr / (p + r), with the convention F1 = 0 when p + r = 0.
+pub fn f1_score(truth: &[u64], estimate: &[u64]) -> f64 {
+    let p = precision(truth, estimate);
+    let r = recall(truth, estimate);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let truth = vec![1, 2, 3, 4];
+        assert_eq!(precision(&truth, &truth), 1.0);
+        assert_eq!(recall(&truth, &truth), 1.0);
+        assert_eq!(f1_score(&truth, &truth), 1.0);
+        // Order does not matter.
+        assert_eq!(f1_score(&truth, &[4, 3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        assert_eq!(f1_score(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(precision(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(recall(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_with_equal_sizes() {
+        // 2 of 4 correct with both sets of size 4: p = r = F1 = 0.5.
+        let truth = vec![1, 2, 3, 4];
+        let estimate = vec![1, 2, 7, 8];
+        assert_eq!(precision(&truth, &estimate), 0.5);
+        assert_eq!(recall(&truth, &estimate), 0.5);
+        assert_eq!(f1_score(&truth, &estimate), 0.5);
+    }
+
+    #[test]
+    fn unequal_sizes_balance_precision_and_recall() {
+        // Estimate returns only 2 items, both correct, out of 4 truths:
+        // p = 1.0, r = 0.5, F1 = 2/3.
+        let truth = vec![1, 2, 3, 4];
+        let estimate = vec![1, 2];
+        assert!((f1_score(&truth, &estimate) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero_not_nan() {
+        assert_eq!(f1_score(&[], &[1]), 0.0);
+        assert_eq!(f1_score(&[1], &[]), 0.0);
+        assert_eq!(f1_score(&[], &[]), 0.0);
+    }
+}

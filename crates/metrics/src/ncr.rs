@@ -1,0 +1,77 @@
+//! Normalized Cumulative Rank (NCR).
+//!
+//! Each ground-truth heavy hitter `v` carries a quality `q(v) = k − rank(v)`
+//! where `rank(v)` is its 0-based rank among the true top-k (so the most
+//! frequent value is worth k, the least worth 1, following the convention of
+//! Wang et al. that higher ranks earn more credit).  The NCR of an estimate
+//! is the summed quality of the true heavy hitters it identified, normalised
+//! by the total quality of the ground truth.
+
+use std::collections::HashMap;
+
+/// NCR score of `estimate` against the ranked ground truth `truth`
+/// (most frequent first).
+pub fn ncr_score(truth: &[u64], estimate: &[u64]) -> f64 {
+    let k = truth.len();
+    if k == 0 {
+        return 0.0;
+    }
+    // q(v) = k − rank(v) with rank 0 for the most frequent value, yielding
+    // qualities k, k−1, …, 1.
+    let quality: HashMap<u64, usize> =
+        truth.iter().enumerate().map(|(rank, v)| (*v, k - rank)).collect();
+    let total: usize = (1..=k).sum();
+    let gained: usize = estimate.iter().filter_map(|v| quality.get(v)).sum();
+    gained as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_identification_scores_one() {
+        let truth = vec![10, 20, 30, 40];
+        assert_eq!(ncr_score(&truth, &truth), 1.0);
+        // The estimate's order is irrelevant; only membership matters.
+        assert_eq!(ncr_score(&truth, &[40, 30, 20, 10]), 1.0);
+    }
+
+    #[test]
+    fn missing_the_top_item_costs_more_than_missing_the_last() {
+        let truth = vec![1, 2, 3, 4];
+        // Miss the most frequent item (quality 4 of total 10).
+        let miss_top = ncr_score(&truth, &[2, 3, 4, 99]);
+        // Miss the least frequent item (quality 1 of total 10).
+        let miss_last = ncr_score(&truth, &[1, 2, 3, 99]);
+        assert!(miss_top < miss_last);
+        assert!((miss_top - 6.0 / 10.0).abs() < 1e-12);
+        assert!((miss_last - 9.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_estimate_scores_zero() {
+        assert_eq!(ncr_score(&[1, 2, 3], &[7, 8, 9]), 0.0);
+    }
+
+    #[test]
+    fn false_positives_do_not_add_credit() {
+        let truth = vec![1, 2];
+        // Same hits with or without extra wrong guesses.
+        assert_eq!(ncr_score(&truth, &[1]), ncr_score(&truth, &[1, 99, 98]));
+    }
+
+    #[test]
+    fn empty_truth_scores_zero() {
+        assert_eq!(ncr_score(&[], &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn scores_are_within_unit_interval() {
+        let truth: Vec<u64> = (0..10).collect();
+        for est in [vec![], vec![0], (0..5).collect::<Vec<u64>>(), (0..10).collect()] {
+            let s = ncr_score(&truth, &est);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Average local recall of global ground truths (Table 7).
+//!
+//! For each party, compute the recall of the *global* ground-truth top-k
+//! within the party's identified *local* heavy hitters, then average over
+//! parties.  The paper uses this score to quantify how well a mechanism
+//! aligns local targets with the global one under statistical heterogeneity.
+
+use crate::f1::recall;
+
+/// Average, over parties, of the recall of `global_truth` within each
+/// party's local heavy hitter list.
+pub fn average_local_recall(global_truth: &[u64], local_results: &[Vec<u64>]) -> f64 {
+    if local_results.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = local_results
+        .iter()
+        .map(|local| recall(global_truth, local))
+        .sum();
+    total / local_results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_parties() {
+        let truth = vec![1, 2, 3, 4];
+        let locals = vec![
+            vec![1, 2, 3, 4], // recall 1.0
+            vec![1, 2, 9, 9], // recall 0.5
+            vec![9, 8, 7, 6], // recall 0.0
+        ];
+        assert!((average_local_recall(&truth, &locals) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_party_equals_its_recall() {
+        let truth = vec![1, 2];
+        assert_eq!(average_local_recall(&truth, &[vec![1, 5]]), 0.5);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(average_local_recall(&[1, 2], &[]), 0.0);
+        assert_eq!(average_local_recall(&[], &[vec![1]]), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Candidate-domain construction by prefix extension.
+//!
+//! `Construct(l_h, l_{h−1}, C_{h−1}) = C_{h−1} × {0,1}^(l_h − l_{h−1})`
+//! (Algorithm 2, line 13): every surviving prefix of the previous level is
+//! extended with all possible bit patterns of the step, and the union forms
+//! the candidate domain Λ_h that the next user group perturbs over.
+
+use crate::bits::Prefix;
+
+/// Extends each parent prefix by `step` bits, producing the candidate
+/// prefixes of the next level in a deterministic order (parents in input
+/// order, suffixes in increasing numeric order).
+pub fn extend_candidates(parents: &[Prefix], step: u8) -> Vec<Prefix> {
+    let mut out = Vec::with_capacity(parents.len() << step.min(20));
+    for parent in parents {
+        for suffix in 0..(1u64 << step) {
+            out.push(parent.extend(suffix, step));
+        }
+    }
+    out
+}
+
+/// Convenience wrapper over [`extend_candidates`] for code that tracks
+/// prefixes as raw `u64` values of a known length: extends `parents`
+/// (each `parent_len` bits long) by `step` bits and returns the raw child
+/// values (`parent_len + step` bits long).
+pub fn extend_prefix_values(parents: &[u64], parent_len: u8, step: u8) -> Vec<u64> {
+    extend_candidates(
+        &parents.iter().map(|v| Prefix::new(*v, parent_len)).collect::<Vec<_>>(),
+        step,
+    )
+    .into_iter()
+    .map(|p| p.value())
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_from_root_enumerates_all_prefixes() {
+        let level1 = extend_candidates(&[Prefix::ROOT], 2);
+        assert_eq!(level1.len(), 4);
+        let values: Vec<u64> = level1.iter().map(Prefix::value).collect();
+        assert_eq!(values, vec![0b00, 0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn extension_multiplies_domain_size() {
+        let parents = vec![Prefix::new(0b00, 2), Prefix::new(0b10, 2)];
+        let children = extend_candidates(&parents, 2);
+        assert_eq!(children.len(), parents.len() * 4);
+        // All children keep their parent as a prefix.
+        for (i, child) in children.iter().enumerate() {
+            assert!(parents[i / 4].is_prefix_of(child));
+            assert_eq!(child.len(), 4);
+        }
+    }
+
+    #[test]
+    fn raw_value_extension_matches_prefix_extension() {
+        let parents = vec![0b01u64, 0b11];
+        let children = extend_prefix_values(&parents, 2, 3);
+        assert_eq!(children.len(), 16);
+        assert_eq!(children[0], 0b01_000);
+        assert_eq!(children[15], 0b11_111);
+    }
+
+    #[test]
+    fn every_true_prefix_is_covered_when_its_parent_survives() {
+        // If an item's (h−1)-prefix is in the parent set, its h-prefix must
+        // appear in the extended candidates — the Apriori-style covering
+        // property the mechanisms rely on.
+        let m = 8u8;
+        let item = 0b1011_0110u64;
+        let parent = Prefix::of_item(item, m, 3);
+        let children = extend_candidates(&[Prefix::new(0b000, 3), parent], 2);
+        let true_child = Prefix::of_item(item, m, 5);
+        assert!(children.contains(&true_child));
+    }
+
+    #[test]
+    fn zero_step_extension_is_identity() {
+        let parents = vec![Prefix::new(0b01, 2)];
+        let children = extend_candidates(&parents, 0);
+        assert_eq!(children, parents);
+    }
+}

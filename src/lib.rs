@@ -1,0 +1,71 @@
+//! # fedhh — federated heavy hitter analytics with local differential privacy
+//!
+//! An open-source Rust implementation of *"Federated Heavy Hitter Analytics
+//! with Local Differential Privacy"* (SIGMOD 2025): the TAP and TAPS
+//! target-aligning prefix tree mechanisms, their baselines (FedPEM, GTF),
+//! the LDP frequency-oracle and prefix-tree substrates they are built on,
+//! synthetic federated workload generators, evaluation metrics, and a
+//! benchmark harness that regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! This umbrella crate re-exports the workspace crates under stable module
+//! names so applications can depend on a single crate:
+//!
+//! * [`fo`] — ε-LDP frequency oracles (k-RR, OUE, OLH).
+//! * [`trie`] — m-bit prefixes, level schedules, candidate extension.
+//! * [`datasets`] — federated workload generators (Table 2 stand-ins).
+//! * [`federated`] — protocol configuration, group assignment, estimation,
+//!   server aggregation, communication accounting.
+//! * [`mechanisms`] — PEM, FedPEM, GTF, TAP and TAPS.
+//! * [`metrics`] — F1, NCR and average local recall.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fedhh::datasets::{DatasetConfig, DatasetKind};
+//! use fedhh::federated::ProtocolConfig;
+//! use fedhh::mechanisms::{Mechanism, Taps};
+//! use fedhh::metrics::f1_score;
+//!
+//! // A small two-party federation (a scaled-down RDB stand-in).
+//! let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+//! let config = ProtocolConfig::test_default().with_epsilon(4.0).with_k(10);
+//!
+//! // Identify the federated top-10 heavy hitters with TAPS.
+//! let output = Taps::default().run(&dataset, &config);
+//! let truth = dataset.ground_truth_top_k(10);
+//! println!("F1 = {:.3}", f1_score(&truth, &output.heavy_hitters));
+//! assert_eq!(output.heavy_hitters.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// ε-LDP frequency oracles (re-export of `fedhh-fo`).
+pub use fedhh_fo as fo;
+
+/// Prefix-tree substrate (re-export of `fedhh-trie`).
+pub use fedhh_trie as trie;
+
+/// Federated workload generators (re-export of `fedhh-datasets`).
+pub use fedhh_datasets as datasets;
+
+/// Federated protocol substrate (re-export of `fedhh-federated`).
+pub use fedhh_federated as federated;
+
+/// Heavy hitter mechanisms (re-export of `fedhh-mechanisms`).
+pub use fedhh_mechanisms as mechanisms;
+
+/// Utility metrics (re-export of `fedhh-metrics`).
+pub use fedhh_metrics as metrics;
+
+/// The most commonly used types, importable with a single `use fedhh::prelude::*`.
+pub mod prelude {
+    pub use crate::datasets::{DatasetConfig, DatasetKind, FederatedDataset, PartyData};
+    pub use crate::federated::ProtocolConfig;
+    pub use crate::fo::{FoKind, PrivacyBudget};
+    pub use crate::mechanisms::{
+        ExtensionStrategy, FedPem, Gtf, Mechanism, MechanismKind, MechanismOutput, Tap, Taps,
+    };
+    pub use crate::metrics::{average_local_recall, f1_score, ncr_score};
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration tests spanning all workspace crates: dataset
+//! generation → protocol run → metric evaluation, for every mechanism.
+
+use fedhh::prelude::*;
+
+fn test_config(k: usize, epsilon: f64) -> ProtocolConfig {
+    ProtocolConfig {
+        k,
+        epsilon,
+        max_bits: 16,
+        granularity: 8,
+        ..ProtocolConfig::default()
+    }
+}
+
+#[test]
+fn every_mechanism_runs_on_every_dataset_group() {
+    let dataset_config = DatasetConfig::test_scale();
+    let config = test_config(5, 4.0);
+    for kind in DatasetKind::ALL {
+        let dataset = dataset_config.build(kind);
+        for mechanism in MechanismKind::ALL {
+            let output = mechanism.build().run(&dataset, &config);
+            assert_eq!(
+                output.heavy_hitters.len(),
+                5,
+                "{mechanism} on {kind} returned {:?}",
+                output.heavy_hitters
+            );
+            assert_eq!(output.local_results.len(), dataset.party_count());
+            assert!(output.comm.total_uplink_bits() > 0, "{mechanism} on {kind}");
+        }
+    }
+}
+
+#[test]
+fn taps_beats_random_guessing_by_a_wide_margin() {
+    // With a generous budget, TAPS must recover most of the federated top-5
+    // on the two-party RDB stand-in; random guessing over hundreds of items
+    // would score essentially zero.
+    let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+    let config = test_config(5, 5.0);
+    let truth = dataset.ground_truth_top_k(5);
+    let output = Taps::default().run(&dataset, &config);
+    let f1 = f1_score(&truth, &output.heavy_hitters);
+    assert!(f1 >= 0.4, "F1 too low: {f1}");
+}
+
+#[test]
+fn utility_degrades_gracefully_as_the_budget_shrinks() {
+    // Average over a few seeds to keep the comparison stable: the F1 at
+    // ε = 5 must be at least as good as at ε = 0.5 (up to a small slack).
+    let mut strong = 0.0;
+    let mut weak = 0.0;
+    for seed in [1u64, 2, 3] {
+        let mut dataset_config = DatasetConfig::test_scale();
+        dataset_config.seed = seed;
+        let dataset = dataset_config.build(DatasetKind::Rdb);
+        let truth = dataset.ground_truth_top_k(5);
+        for (epsilon, acc) in [(5.0, &mut strong), (0.5, &mut weak)] {
+            let config = ProtocolConfig { seed, ..test_config(5, epsilon) };
+            let output = Taps::default().run(&dataset, &config);
+            *acc += f1_score(&truth, &output.heavy_hitters);
+        }
+    }
+    assert!(
+        strong + 0.2 >= weak,
+        "stronger privacy should not improve utility: eps5 {strong} vs eps0.5 {weak}"
+    );
+}
+
+#[test]
+fn mechanism_outputs_are_reproducible_for_a_fixed_seed() {
+    let dataset = DatasetConfig::test_scale().build(DatasetKind::Ycm);
+    let config = test_config(5, 3.0);
+    for kind in MechanismKind::ALL {
+        let a = kind.build().run(&dataset, &config);
+        let b = kind.build().run(&dataset, &config);
+        assert_eq!(a.heavy_hitters, b.heavy_hitters, "{kind} is not reproducible");
+    }
+}
+
+#[test]
+fn heavy_hitters_are_valid_item_codes() {
+    // Every reported heavy hitter decodes to an item identifier inside the
+    // code space, for every mechanism.
+    let dataset = DatasetConfig::test_scale().build(DatasetKind::Syn);
+    let config = test_config(5, 4.0);
+    for kind in MechanismKind::ALL {
+        let output = kind.build().run(&dataset, &config);
+        for code in &output.heavy_hitters {
+            assert!(*code < (1u64 << 16), "{kind} produced out-of-range code {code}");
+            let _ = dataset.encoder().decode(*code);
+        }
+    }
+}
+
+#[test]
+fn different_frequency_oracles_produce_comparable_results() {
+    let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+    let truth = dataset.ground_truth_top_k(5);
+    let mut scores = Vec::new();
+    for fo in [FoKind::Grr, FoKind::Oue, FoKind::Olh] {
+        let config = ProtocolConfig { fo, ..test_config(5, 5.0) };
+        let output = Taps::default().run(&dataset, &config);
+        scores.push(f1_score(&truth, &output.heavy_hitters));
+    }
+    // All FOs must provide non-trivial utility at a generous budget.
+    for (fo, score) in ["krr", "oue", "olh"].iter().zip(&scores) {
+        assert!(*score > 0.2, "{fo} scored {score}");
+    }
+}

@@ -1,8 +1,10 @@
-//! Criterion benchmarks of the algorithmic building blocks the paper's
-//! design choices hinge on: adaptive extension selection, consensus-based
-//! pruning, and the dataset generators.
+//! Benchmarks of the algorithmic building blocks the paper's design choices
+//! hinge on: adaptive extension selection, consensus-based pruning, and the
+//! dataset generators.
+//!
+//! Run with `cargo bench -p fedhh-bench --bench experiments_bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fedhh_bench::microbench::bench;
 use fedhh_bench::ExperimentScale;
 use fedhh_datasets::{DatasetConfig, DatasetKind};
 use fedhh_federated::{LevelEstimate, PruneCandidates};
@@ -21,32 +23,31 @@ fn synthetic_estimate(n: usize) -> LevelEstimate {
     }
 }
 
-fn bench_adaptive_extension(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adaptive_extension");
+fn bench_adaptive_extension() {
     for n in [40usize, 400] {
         let estimate = synthetic_estimate(n);
-        group.bench_function(format!("candidates_{n}"), |b| {
-            b.iter(|| ExtensionStrategy::Adaptive.extension_count(&estimate, 10))
+        bench(&format!("adaptive_extension/candidates_{n}"), 5, 50, || {
+            ExtensionStrategy::Adaptive.extension_count(&estimate, 10)
         });
     }
-    group.finish();
 }
 
-fn bench_consensus_pruning(c: &mut Criterion) {
+fn bench_consensus_pruning() {
     let estimate = synthetic_estimate(200);
     let previous: PruneCandidates = select_prune_candidates(&estimate, 10);
     let validated = synthetic_estimate(40);
-    c.bench_function("consensus_pruning_set_k10", |b| {
-        b.iter(|| consensus_pruning_set(&previous, &validated, &validated, 10, 4.0, 0.25))
+    bench("consensus_pruning_set_k10", 5, 50, || {
+        consensus_pruning_set(&previous, &validated, &validated, 10, 4.0, 0.25)
     });
 }
 
-fn bench_dataset_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dataset_generation_quick_scale");
-    group.sample_size(10);
+fn bench_dataset_generation() {
     for kind in [DatasetKind::Rdb, DatasetKind::Syn] {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
+        bench(
+            &format!("dataset_generation_quick_scale/{}", kind.name()),
+            1,
+            10,
+            || {
                 let config = DatasetConfig {
                     user_scale: ExperimentScale::quick().user_scale,
                     item_scale: ExperimentScale::quick().item_scale,
@@ -55,15 +56,13 @@ fn bench_dataset_generation(c: &mut Criterion) {
                     seed: 3,
                 };
                 config.build(kind)
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_adaptive_extension, bench_consensus_pruning, bench_dataset_generation
+fn main() {
+    bench_adaptive_extension();
+    bench_consensus_pruning();
+    bench_dataset_generation();
 }
-criterion_main!(benches);

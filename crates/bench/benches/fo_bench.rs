@@ -1,56 +1,55 @@
-//! Criterion micro-benchmarks of the frequency-oracle substrate:
-//! perturbation and estimation throughput for k-RR, OUE and OLH.
+//! Micro-benchmarks of the frequency-oracle substrate: perturbation and
+//! estimation throughput for k-RR, OUE and OLH.
+//!
+//! Run with `cargo bench -p fedhh-bench --bench fo_bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedhh_bench::microbench::bench;
 use fedhh_fo::{FoKind, FrequencyOracle, Oracle, PrivacyBudget, Report};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn bench_perturb(c: &mut Criterion) {
+fn bench_perturb() {
     let budget = PrivacyBudget::new(4.0).unwrap();
-    let mut group = c.benchmark_group("fo_perturb_1k_users");
     for kind in FoKind::ALL {
         for domain in [16usize, 256] {
             let oracle = Oracle::new(kind, budget, domain);
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), domain),
-                &domain,
-                |b, domain| {
-                    let mut rng = StdRng::seed_from_u64(1);
-                    b.iter(|| {
-                        (0..1000)
-                            .map(|i| oracle.perturb(i % domain, &mut rng))
-                            .collect::<Vec<Report>>()
-                    })
+            let mut rng = StdRng::seed_from_u64(1);
+            bench(
+                &format!("fo_perturb_1k_users/{}/{domain}", kind.name()),
+                2,
+                20,
+                || {
+                    (0..1000)
+                        .map(|i| oracle.perturb(i % domain, &mut rng))
+                        .collect::<Vec<Report>>()
                 },
             );
         }
     }
-    group.finish();
 }
 
-fn bench_aggregate_estimate(c: &mut Criterion) {
+fn bench_aggregate_estimate() {
     let budget = PrivacyBudget::new(4.0).unwrap();
-    let mut group = c.benchmark_group("fo_aggregate_estimate_1k_reports");
     for kind in FoKind::ALL {
         let domain = 64usize;
         let oracle = Oracle::new(kind, budget, domain);
         let mut rng = StdRng::seed_from_u64(2);
-        let reports: Vec<Report> =
-            (0..1000).map(|i| oracle.perturb(i % domain, &mut rng)).collect();
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
+        let reports: Vec<Report> = (0..1000)
+            .map(|i| oracle.perturb(i % domain, &mut rng))
+            .collect();
+        bench(
+            &format!("fo_aggregate_estimate_1k_reports/{}", kind.name()),
+            2,
+            20,
+            || {
                 let supports = oracle.aggregate(&reports);
                 oracle.estimate(&supports, reports.len())
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_perturb, bench_aggregate_estimate
+fn main() {
+    bench_perturb();
+    bench_aggregate_estimate();
 }
-criterion_main!(benches);

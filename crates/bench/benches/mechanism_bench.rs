@@ -1,43 +1,59 @@
-//! Criterion end-to-end benchmarks of the four mechanisms on a small
-//! federated dataset (the quick-scale RDB stand-in), reproducing the
-//! relative running-time ordering of Table 4: GTF ≈ FedPEM < TAP < TAPS.
+//! End-to-end benchmarks of the four mechanisms on a small federated
+//! dataset (the quick-scale RDB stand-in), reproducing the relative
+//! running-time ordering of Table 4: GTF ≈ FedPEM < TAP < TAPS.
+//!
+//! Run with `cargo bench -p fedhh-bench --bench mechanism_bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fedhh_bench::microbench::bench;
 use fedhh_bench::ExperimentScale;
 use fedhh_datasets::DatasetKind;
-use fedhh_mechanisms::MechanismKind;
+use fedhh_mechanisms::{MechanismKind, Run};
 
-fn bench_mechanisms(c: &mut Criterion) {
+fn bench_mechanisms() {
     let scale = ExperimentScale::quick();
     let dataset = scale.dataset_config(7).build(DatasetKind::Rdb);
     let config = scale.protocol_config(3).with_epsilon(4.0).with_k(10);
-    let mut group = c.benchmark_group("mechanism_end_to_end_rdb_quick");
     for kind in MechanismKind::ALL {
         let mechanism = kind.build();
-        group.bench_function(kind.name(), |b| b.iter(|| mechanism.run(&dataset, &config)));
+        bench(
+            &format!("mechanism_end_to_end_rdb_quick/{}", kind.name()),
+            1,
+            10,
+            || {
+                Run::custom(mechanism.as_ref())
+                    .dataset(&dataset)
+                    .config(config)
+                    .execute()
+                    .expect("benchmark configuration is valid")
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_scalability(c: &mut Criterion) {
+fn bench_scalability() {
     // Table 4 companion: the same mechanism over growing user populations.
     let scale = ExperimentScale::quick();
     let dataset = scale.dataset_config(9).build(DatasetKind::Uba);
     let config = scale.protocol_config(5).with_epsilon(4.0).with_k(10);
     let taps = MechanismKind::Taps.build();
-    let mut group = c.benchmark_group("taps_scalability_uba_quick");
     for fraction in [0.25f64, 0.5, 1.0] {
         let sampled = dataset.sample_fraction(fraction);
-        group.bench_function(format!("{:.0}%", fraction * 100.0), |b| {
-            b.iter(|| taps.run(&sampled, &config))
-        });
+        bench(
+            &format!("taps_scalability_uba_quick/{:.0}%", fraction * 100.0),
+            1,
+            10,
+            || {
+                Run::custom(taps.as_ref())
+                    .dataset(&sampled)
+                    .config(config)
+                    .execute()
+                    .expect("benchmark configuration is valid")
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_mechanisms, bench_scalability
+fn main() {
+    bench_mechanisms();
+    bench_scalability();
 }
-criterion_main!(benches);

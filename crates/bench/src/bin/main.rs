@@ -4,14 +4,24 @@
 //! fedhh-bench list
 //! fedhh-bench run <experiment|all> [--quick] [--reps N] [--user-scale F]
 //!                 [--markdown] [--json PATH]
+//! fedhh-bench trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N]
+//!                   [--quick] [--reps N] [--user-scale F]
 //! ```
 //!
 //! `run all` reproduces every table and figure of the paper's evaluation and
 //! prints them to stdout; `--json PATH` additionally writes the structured
-//! results so EXPERIMENTS.md can be regenerated from them.
+//! results so EXPERIMENTS.md can be regenerated from them.  `trial` runs a
+//! single mechanism/dataset/FO combination through the `Run` builder —
+//! mechanism, dataset and FO names are parsed with their `FromStr` impls, so
+//! any case works (`taps`, `TAPS`, `k-RR`, ...).
 
 use fedhh_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
+use fedhh_bench::report::reports_to_json;
+use fedhh_bench::runner::averaged_trial;
 use fedhh_bench::{ExperimentReport, ExperimentScale};
+use fedhh_datasets::DatasetKind;
+use fedhh_fo::FoKind;
+use fedhh_mechanisms::MechanismKind;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,12 +35,51 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run_command(&args[1..]),
+        Some("trial") => trial_command(&args[1..]),
         _ => {
-            eprintln!("usage: fedhh-bench <list|run> [experiment|all] [options]");
-            eprintln!("options: --quick --reps N --user-scale F --markdown --json PATH");
+            eprintln!("usage: fedhh-bench <list|run|trial> [args] [options]");
+            eprintln!("  run <experiment|all> [--quick] [--reps N] [--user-scale F] [--markdown] [--json PATH]");
+            eprintln!("  trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N] [--quick] [--reps N]");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses one required numeric option value, exiting with a clear message
+/// when it is missing or malformed (a typo must never silently fall back to
+/// a default).
+fn parse_value<T: std::str::FromStr>(option: &str, value: Option<&String>) -> Result<T, String> {
+    let Some(raw) = value else {
+        return Err(format!("{option} requires a value"));
+    };
+    raw.parse()
+        .map_err(|_| format!("{option} got an invalid value {raw:?}"))
+}
+
+/// Parses the scale-related options shared by `run` and `trial`; returns
+/// the remaining unconsumed options.
+fn parse_scale_options(
+    args: &[String],
+    scale: &mut ExperimentScale,
+) -> Result<Vec<String>, String> {
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => *scale = ExperimentScale::quick(),
+            "--reps" => {
+                i += 1;
+                scale.repetitions = parse_value("--reps", args.get(i))?;
+            }
+            "--user-scale" => {
+                i += 1;
+                scale.user_scale = parse_value("--user-scale", args.get(i))?;
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok(rest)
 }
 
 fn run_command(args: &[String]) -> ExitCode {
@@ -38,28 +87,29 @@ fn run_command(args: &[String]) -> ExitCode {
         eprintln!("usage: fedhh-bench run <experiment|all> [options]");
         return ExitCode::FAILURE;
     };
+    let target = target.clone();
 
     let mut scale = ExperimentScale::default();
+    let rest = match parse_scale_options(&args[1..], &mut scale) {
+        Ok(rest) => rest,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut markdown = false;
     let mut json_path: Option<String> = None;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => scale = ExperimentScale::quick(),
-            "--reps" => {
-                i += 1;
-                scale.repetitions = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(1);
-            }
-            "--user-scale" => {
-                i += 1;
-                if let Some(v) = args.get(i).and_then(|v| v.parse().ok()) {
-                    scale.user_scale = v;
-                }
-            }
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
             "--markdown" => markdown = true,
             "--json" => {
                 i += 1;
-                json_path = args.get(i).cloned();
+                let Some(path) = rest.get(i) else {
+                    eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                };
+                json_path = Some(path.clone());
             }
             other => {
                 eprintln!("unknown option {other}");
@@ -82,7 +132,13 @@ fn run_command(args: &[String]) -> ExitCode {
     for name in names {
         eprintln!("[fedhh-bench] running {name} ...");
         let start = std::time::Instant::now();
-        let report = run_by_name(name, &scale).expect("registered experiment");
+        let report = match run_by_name(name, &scale) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("[fedhh-bench] {name} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
         eprintln!(
             "[fedhh-bench] {name} finished in {:.1}s",
             start.elapsed().as_secs_f64()
@@ -96,19 +152,119 @@ fn run_command(args: &[String]) -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        match serde_json::to_string_pretty(&reports) {
-            Ok(json) => {
-                if let Err(err) = std::fs::write(&path, json) {
-                    eprintln!("failed to write {path}: {err}");
-                    return ExitCode::FAILURE;
+        let json = reports_to_json(&reports);
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[fedhh-bench] wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn trial_command(args: &[String]) -> ExitCode {
+    let (Some(mechanism_arg), Some(dataset_arg)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: fedhh-bench trial <mechanism> <dataset> [options]");
+        return ExitCode::FAILURE;
+    };
+
+    // `FromStr` gives typed, case-insensitive parsing with real error
+    // messages for free.
+    let mechanism: MechanismKind = match mechanism_arg.parse() {
+        Ok(kind) => kind,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dataset: DatasetKind = match dataset_arg.parse() {
+        Ok(kind) => kind,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut scale = ExperimentScale::default();
+    let rest = match parse_scale_options(&args[2..], &mut scale) {
+        Ok(rest) => rest,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut fo: Option<FoKind> = None;
+    let mut epsilon = 4.0f64;
+    let mut k = 10usize;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--fo" => {
+                i += 1;
+                match rest.get(i).map(|v| v.parse::<FoKind>()) {
+                    Some(Ok(kind)) => fo = Some(kind),
+                    Some(Err(err)) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--fo requires a value (krr, oue or olh)");
+                        return ExitCode::FAILURE;
+                    }
                 }
-                eprintln!("[fedhh-bench] wrote {path}");
             }
-            Err(err) => {
-                eprintln!("failed to serialize results: {err}");
+            "--epsilon" => {
+                i += 1;
+                match parse_value("--epsilon", rest.get(i)) {
+                    Ok(v) => epsilon = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--k" => {
+                i += 1;
+                match parse_value("--k", rest.get(i)) {
+                    Ok(v) => k = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option {other}");
                 return ExitCode::FAILURE;
             }
         }
+        i += 1;
     }
+
+    eprintln!(
+        "[fedhh-bench] {mechanism} on {dataset} (eps = {epsilon}, k = {k}, reps = {})",
+        scale.repetitions
+    );
+    let metrics = match averaged_trial(mechanism, dataset, &scale, |c| {
+        let c = c.with_epsilon(epsilon).with_k(k);
+        match fo {
+            Some(fo) => c.with_fo(fo),
+            None => c,
+        }
+    }) {
+        Ok(metrics) => metrics,
+        Err(err) => {
+            eprintln!("[fedhh-bench] trial failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("mechanism        {mechanism}");
+    println!("dataset          {dataset}");
+    println!("F1               {:.3}", metrics.f1);
+    println!("NCR              {:.3}", metrics.ncr);
+    println!("avg local recall {:.3}", metrics.avg_local_recall);
+    println!("uplink           {:.1} kb", metrics.uplink_kb);
+    println!("server traffic   {:.1} kb", metrics.server_traffic_kb);
+    println!("running time     {:.1} ms", metrics.elapsed_ms);
     ExitCode::SUCCESS
 }

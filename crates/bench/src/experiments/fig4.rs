@@ -5,11 +5,14 @@ use super::{EPSILONS, QUERIES};
 use crate::report::ExperimentReport;
 use crate::runner::{averaged_trial, fmt3, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::MechanismKind;
 
 /// Runs the Figure 4 sweep.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
-    run_with_metric(scale, "fig4", "Figure 4: F1 score vs privacy budget", |m| m.f1)
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
+    run_with_metric(scale, "fig4", "Figure 4: F1 score vs privacy budget", |m| {
+        m.f1
+    })
 }
 
 /// Shared sweep used by Figures 4 (F1) and 5 (NCR).
@@ -18,7 +21,7 @@ pub(crate) fn run_with_metric(
     id: &str,
     title: &str,
     metric: impl Fn(&crate::runner::TrialMetrics) -> f64,
-) -> ExperimentReport {
+) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         id,
         title,
@@ -27,18 +30,22 @@ pub(crate) fn run_with_metric(
     for dataset in DatasetKind::ALL {
         for k in QUERIES {
             for epsilon in EPSILONS {
-                let mut row = vec![dataset.name().to_string(), k.to_string(), format!("{epsilon}")];
+                let mut row = vec![
+                    dataset.name().to_string(),
+                    k.to_string(),
+                    format!("{epsilon}"),
+                ];
                 for kind in MechanismKind::MAIN_COMPARISON {
                     let metrics = averaged_trial(kind, dataset, scale, |c| {
                         c.with_epsilon(epsilon).with_k(k)
-                    });
+                    })?;
                     row.push(fmt3(metric(&metrics)));
                 }
                 report.push_row(row);
             }
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -53,7 +60,8 @@ mod tests {
         let scale = ExperimentScale::quick();
         let metrics = averaged_trial(MechanismKind::Taps, DatasetKind::Rdb, &scale, |c| {
             c.with_epsilon(4.0).with_k(5)
-        });
+        })
+        .unwrap();
         assert!((0.0..=1.0).contains(&metrics.f1));
     }
 }

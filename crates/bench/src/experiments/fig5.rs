@@ -4,8 +4,14 @@
 use super::fig4::run_with_metric;
 use crate::report::ExperimentReport;
 use crate::runner::ExperimentScale;
+use fedhh_federated::ProtocolError;
 
 /// Runs the Figure 5 sweep.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
-    run_with_metric(scale, "fig5", "Figure 5: NCR score vs privacy budget", |m| m.ncr)
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
+    run_with_metric(
+        scale,
+        "fig5",
+        "Figure 5: NCR score vs privacy budget",
+        |m| m.ncr,
+    )
 }

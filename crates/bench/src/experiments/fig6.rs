@@ -5,11 +5,12 @@ use super::EPSILONS;
 use crate::report::ExperimentReport;
 use crate::runner::{averaged_trial, fmt3, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_fo::FoKind;
 use fedhh_mechanisms::MechanismKind;
 
 /// Runs the Figure 6 sweep.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         "fig6",
         "Figure 6: F1 score vs privacy budget under OUE and OLH (k = 10)",
@@ -26,14 +27,14 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
                 for kind in MechanismKind::MAIN_COMPARISON {
                     let metrics = averaged_trial(kind, dataset, scale, |c| {
                         c.with_epsilon(epsilon).with_k(10).with_fo(fo)
-                    });
+                    })?;
                     row.push(fmt3(metrics.f1));
                 }
                 report.push_row(row);
             }
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -46,7 +47,8 @@ mod tests {
         for fo in [FoKind::Oue, FoKind::Olh] {
             let metrics = averaged_trial(MechanismKind::Taps, DatasetKind::Rdb, &scale, |c| {
                 c.with_epsilon(4.0).with_k(5).with_fo(fo)
-            });
+            })
+            .unwrap();
             assert!((0.0..=1.0).contains(&metrics.f1), "fo {fo}");
         }
     }

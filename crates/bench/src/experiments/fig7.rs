@@ -5,10 +5,11 @@ use super::{EPSILONS, QUERIES};
 use crate::report::ExperimentReport;
 use crate::runner::{averaged_trial, fmt3, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::MechanismKind;
 
 /// Runs the Figure 7 comparison.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         "fig7",
         "Figure 7: F1 of TAPS (with pruning) vs TAP (without pruning)",
@@ -17,18 +18,22 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
     for dataset in DatasetKind::ALL {
         for k in QUERIES {
             for epsilon in EPSILONS {
-                let mut row = vec![dataset.name().to_string(), k.to_string(), format!("{epsilon}")];
+                let mut row = vec![
+                    dataset.name().to_string(),
+                    k.to_string(),
+                    format!("{epsilon}"),
+                ];
                 for kind in [MechanismKind::Tap, MechanismKind::Taps] {
                     let metrics = averaged_trial(kind, dataset, scale, |c| {
                         c.with_epsilon(epsilon).with_k(k)
-                    });
+                    })?;
                     row.push(fmt3(metrics.f1));
                 }
                 report.push_row(row);
             }
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -41,7 +46,8 @@ mod tests {
         for kind in [MechanismKind::Tap, MechanismKind::Taps] {
             let metrics = averaged_trial(kind, DatasetKind::Syn, &scale, |c| {
                 c.with_epsilon(4.0).with_k(5)
-            });
+            })
+            .unwrap();
             assert!((0.0..=1.0).contains(&metrics.f1));
         }
     }

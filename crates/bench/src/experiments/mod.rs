@@ -15,8 +15,44 @@ pub mod table8;
 use crate::report::ExperimentReport;
 use crate::runner::{run_trial, ExperimentScale, TrialMetrics};
 use fedhh_datasets::{DatasetKind, FederatedDataset};
-use fedhh_federated::ProtocolConfig;
+use fedhh_federated::{ProtocolConfig, ProtocolError};
 use fedhh_mechanisms::Mechanism;
+use std::fmt;
+
+/// Errors raised while running a named experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// The experiment name is not registered.
+    UnknownExperiment(String),
+    /// A protocol run inside the experiment failed.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::UnknownExperiment(name) => {
+                write!(f, "unknown experiment {name:?}; run `fedhh-bench list`")
+            }
+            BenchError::Protocol(err) => write!(f, "experiment failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Protocol(err) => Some(err),
+            BenchError::UnknownExperiment(_) => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for BenchError {
+    fn from(err: ProtocolError) -> Self {
+        BenchError::Protocol(err)
+    }
+}
 
 /// The privacy budgets swept by Figures 4–7.
 pub const EPSILONS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
@@ -31,21 +67,22 @@ pub const ALL_EXPERIMENTS: [&str; 11] = [
 ];
 
 /// Runs an experiment by identifier.
-pub fn run_by_name(name: &str, scale: &ExperimentScale) -> Option<ExperimentReport> {
-    match name {
-        "fig4" => Some(fig4::run(scale)),
-        "fig5" => Some(fig5::run(scale)),
-        "fig6" => Some(fig6::run(scale)),
-        "fig7" => Some(fig7::run(scale)),
-        "table1" => Some(table1::run(scale)),
-        "table3" => Some(table3::run(scale)),
-        "table4" => Some(table4::run(scale)),
-        "table5" => Some(table5::run(scale)),
-        "table6" => Some(table6::run(scale)),
-        "table7" => Some(table7::run(scale)),
-        "table8" => Some(table8::run(scale)),
-        _ => None,
-    }
+pub fn run_by_name(name: &str, scale: &ExperimentScale) -> Result<ExperimentReport, BenchError> {
+    let report = match name {
+        "fig4" => fig4::run(scale)?,
+        "fig5" => fig5::run(scale)?,
+        "fig6" => fig6::run(scale)?,
+        "fig7" => fig7::run(scale)?,
+        "table1" => table1::run(scale)?,
+        "table3" => table3::run(scale)?,
+        "table4" => table4::run(scale)?,
+        "table5" => table5::run(scale)?,
+        "table6" => table6::run(scale)?,
+        "table7" => table7::run(scale)?,
+        "table8" => table8::run(scale)?,
+        other => return Err(BenchError::UnknownExperiment(other.to_string())),
+    };
+    Ok(report)
 }
 
 /// Averages a custom (pre-built) mechanism over `scale.repetitions` seeded
@@ -56,7 +93,7 @@ pub fn averaged_custom_trial(
     scale: &ExperimentScale,
     configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
     build_dataset: impl Fn(u64) -> FederatedDataset,
-) -> TrialMetrics {
+) -> Result<TrialMetrics, ProtocolError> {
     let trials: Vec<TrialMetrics> = (0..scale.repetitions)
         .map(|rep| {
             let seed = 1000 + rep * 7919;
@@ -64,8 +101,8 @@ pub fn averaged_custom_trial(
             let config = configure(scale.protocol_config(seed ^ 0xBEEF));
             run_trial(mechanism, &dataset, &config)
         })
-        .collect();
-    TrialMetrics::mean(&trials)
+        .collect::<Result<_, _>>()?;
+    Ok(TrialMetrics::mean(&trials))
 }
 
 /// Convenience dataset builder shared by the ablation experiments.
@@ -87,6 +124,9 @@ mod tests {
                 "unexpected experiment id {name}"
             );
         }
-        assert!(run_by_name("does-not-exist", &ExperimentScale::quick()).is_none());
+        assert!(matches!(
+            run_by_name("does-not-exist", &ExperimentScale::quick()),
+            Err(BenchError::UnknownExperiment(_))
+        ));
     }
 }

@@ -9,14 +9,20 @@
 use crate::report::ExperimentReport;
 use crate::runner::{run_trial, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::MechanismKind;
 
 /// Runs the Table 1 comparison.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         "table1",
         "Table 1: communication and computation costs",
-        &["approach", "comm model", "comp model", "measured server traffic (kb)"],
+        &[
+            "approach",
+            "comm model",
+            "comp model",
+            "measured server traffic (kb)",
+        ],
     );
     let dataset = scale.dataset_config(1).build(DatasetKind::Ycm);
     let config = scale.protocol_config(2).with_epsilon(4.0).with_k(10);
@@ -27,9 +33,13 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
     // enormous.
     let domain = dataset.distinct_items() as f64;
 
-    for kind in [MechanismKind::Gtf, MechanismKind::FedPem, MechanismKind::Taps] {
+    for kind in [
+        MechanismKind::Gtf,
+        MechanismKind::FedPem,
+        MechanismKind::Taps,
+    ] {
         let mechanism = kind.build();
-        let metrics = run_trial(mechanism.as_ref(), &dataset, &config);
+        let metrics = run_trial(mechanism.as_ref(), &dataset, &config)?;
         let (comm_model, comp_model) = match kind {
             MechanismKind::Gtf | MechanismKind::FedPem => ("O(b·k·|P|)", "O(k·|P|)"),
             MechanismKind::Taps => ("O(b·k·|P|·g*)", "O(k·|P|)"),
@@ -60,7 +70,7 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
         "O(|U|·|X|)".to_string(),
         format!("{olh_kb:.0}"),
     ]);
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -70,7 +80,7 @@ mod tests {
 
     #[test]
     fn table1_orders_costs_as_the_paper_does() {
-        let report = run(&ExperimentScale::quick());
+        let report = run(&ExperimentScale::quick()).unwrap();
         assert_eq!(report.rows.len(), 5);
         let traffic: Vec<f64> = report
             .rows

@@ -7,13 +7,14 @@
 use crate::report::ExperimentReport;
 use crate::runner::{averaged_trial, fmt3, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::MechanismKind;
 
 /// The step sizes swept by Table 3.
 pub const STEP_SIZES: [u8; 3] = [2, 4, 6];
 
 /// Runs the Table 3 sweep.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         "table3",
         "Table 3: F1 score with varying step sizes (eps = 4, k = 10)",
@@ -24,18 +25,21 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
             // Choose the granularity that realises this step size for the
             // configured code width (e.g. 48/2 = 24 levels).
             let granularity = (scale.code_bits / step).max(1);
-            let step_scale = ExperimentScale { granularity, ..*scale };
+            let step_scale = ExperimentScale {
+                granularity,
+                ..*scale
+            };
             let mut row = vec![dataset.name().to_string(), step.to_string()];
             for kind in MechanismKind::MAIN_COMPARISON {
                 let metrics = averaged_trial(kind, dataset, &step_scale, |c| {
                     c.with_epsilon(4.0).with_k(10)
-                });
+                })?;
                 row.push(fmt3(metrics.f1));
             }
             report.push_row(row);
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -44,15 +48,19 @@ mod tests {
 
     #[test]
     fn step_sizes_map_to_granularities() {
-        let scale = ExperimentScale { code_bits: 48, ..ExperimentScale::default() };
+        let scale = ExperimentScale {
+            code_bits: 48,
+            ..ExperimentScale::default()
+        };
         for step in STEP_SIZES {
-            assert_eq!((scale.code_bits / step) * step <= 48, true);
+            assert!((scale.code_bits / step) * step <= 48);
         }
         // Quick-scale smoke test of a single cell.
         let quick = ExperimentScale::quick();
         let metrics = averaged_trial(MechanismKind::FedPem, DatasetKind::Rdb, &quick, |c| {
             c.with_epsilon(4.0).with_k(5)
-        });
+        })
+        .unwrap();
         assert!((0.0..=1.0).contains(&metrics.f1));
     }
 }

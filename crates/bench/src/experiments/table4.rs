@@ -5,13 +5,14 @@
 use crate::report::ExperimentReport;
 use crate::runner::{fmt3, run_trial, ExperimentScale, TrialMetrics};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::MechanismKind;
 
 /// The user-population fractions swept by Table 4.
 pub const FRACTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
 
 /// Runs the Table 4 sweep.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         "table4",
         "Table 4: scalability on UBA (eps = 4, k = 10)",
@@ -42,7 +43,7 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
                         .with_k(10);
                     run_trial(mechanism.as_ref(), &dataset, &config)
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             let metrics = TrialMetrics::mean(&trials);
             report.push_row(vec![
                 format!("{:.0}%", fraction * 100.0),
@@ -55,7 +56,7 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
             ]);
         }
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -64,7 +65,7 @@ mod tests {
 
     #[test]
     fn table4_covers_every_fraction_and_mechanism() {
-        let report = run(&ExperimentScale::quick());
+        let report = run(&ExperimentScale::quick()).unwrap();
         assert_eq!(report.rows.len(), FRACTIONS.len() * 3);
         // Traffic and running time columns parse as numbers.
         for row in &report.rows {

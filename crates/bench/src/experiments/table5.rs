@@ -5,10 +5,11 @@ use super::{averaged_custom_trial, build_dataset};
 use crate::report::ExperimentReport;
 use crate::runner::{fmt3, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::{ExtensionStrategy, Taps};
 
 /// Runs the Table 5 ablation.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let k = 10usize;
     let mut report = ExperimentReport::new(
         "table5",
@@ -31,12 +32,12 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
                 scale,
                 |c| c.with_epsilon(4.0).with_k(k),
                 |seed| build_dataset(dataset, scale, seed),
-            );
+            )?;
             row.push(fmt3(metrics.f1));
         }
         report.push_row(row);
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -53,7 +54,8 @@ mod tests {
                 &scale,
                 |c| c.with_epsilon(4.0).with_k(5),
                 |seed| build_dataset(DatasetKind::Rdb, &scale, seed),
-            );
+            )
+            .unwrap();
             assert!((0.0..=1.0).contains(&metrics.f1));
         }
     }

@@ -5,10 +5,11 @@ use super::{averaged_custom_trial, build_dataset};
 use crate::report::ExperimentReport;
 use crate::runner::{fmt3, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::Taps;
 
 /// Runs the Table 6 ablation.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         "table6",
         "Table 6: TAPS with / without the shared shallow trie (eps = 4, k = 10)",
@@ -22,12 +23,12 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
                 scale,
                 |c| c.with_epsilon(4.0).with_k(10),
                 |seed| build_dataset(dataset, scale, seed),
-            );
+            )?;
             row.push(fmt3(metrics.f1));
         }
         report.push_row(row);
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -43,7 +44,8 @@ mod tests {
                 &scale,
                 |c| c.with_epsilon(4.0).with_k(5),
                 |seed| build_dataset(DatasetKind::Syn, &scale, seed),
-            );
+            )
+            .unwrap();
             assert!((0.0..=1.0).contains(&metrics.f1));
         }
     }

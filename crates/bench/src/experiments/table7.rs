@@ -5,21 +5,31 @@
 use crate::report::ExperimentReport;
 use crate::runner::{averaged_trial, fmt3, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::MechanismKind;
 
 /// Runs the Table 7 comparison.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         "table7",
         "Table 7: average local recall of global ground truths (eps = 4, k = 10)",
-        &["dataset", "#parties", "GTF", "FedPEM", "TAPS", "TAPS uplift"],
+        &[
+            "dataset",
+            "#parties",
+            "GTF",
+            "FedPEM",
+            "TAPS",
+            "TAPS uplift",
+        ],
     );
     for dataset in DatasetKind::ALL {
-        let mut row = vec![dataset.name().to_string(), dataset.party_count().to_string()];
+        let mut row = vec![
+            dataset.name().to_string(),
+            dataset.party_count().to_string(),
+        ];
         let mut scores = Vec::new();
         for kind in MechanismKind::MAIN_COMPARISON {
-            let metrics =
-                averaged_trial(kind, dataset, scale, |c| c.with_epsilon(4.0).with_k(10));
+            let metrics = averaged_trial(kind, dataset, scale, |c| c.with_epsilon(4.0).with_k(10))?;
             scores.push(metrics.avg_local_recall);
             row.push(fmt3(metrics.avg_local_recall));
         }
@@ -32,7 +42,7 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
         row.push(format!("{uplift:+.1}%"));
         report.push_row(row);
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -44,7 +54,8 @@ mod tests {
         let scale = ExperimentScale::quick();
         let metrics = averaged_trial(MechanismKind::Taps, DatasetKind::Ycm, &scale, |c| {
             c.with_epsilon(4.0).with_k(5)
-        });
+        })
+        .unwrap();
         assert!((0.0..=1.0).contains(&metrics.avg_local_recall));
     }
 }

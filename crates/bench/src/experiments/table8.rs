@@ -4,13 +4,14 @@
 use crate::report::ExperimentReport;
 use crate::runner::{fmt3, run_trial, ExperimentScale, TrialMetrics};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::ProtocolError;
 use fedhh_mechanisms::MechanismKind;
 
 /// The Dirichlet concentrations swept by Table 8 (smaller = more non-IID).
 pub const BETAS: [f64; 3] = [0.2, 0.5, 0.8];
 
 /// Runs the Table 8 sweep.
-pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentReport, ProtocolError> {
     let mut report = ExperimentReport::new(
         "table8",
         "Table 8: F1 vs data heterogeneity (Dirichlet beta) on SYN (eps = 4, k = 10)",
@@ -26,16 +27,18 @@ pub fn run(scale: &ExperimentScale) -> ExperimentReport {
                     let mut dataset_config = scale.dataset_config(seed);
                     dataset_config.syn_beta = beta;
                     let dataset = dataset_config.build(DatasetKind::Syn);
-                    let config =
-                        scale.protocol_config(seed ^ 0xABCD).with_epsilon(4.0).with_k(10);
+                    let config = scale
+                        .protocol_config(seed ^ 0xABCD)
+                        .with_epsilon(4.0)
+                        .with_k(10);
                     run_trial(mechanism.as_ref(), &dataset, &config)
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             row.push(fmt3(TrialMetrics::mean(&trials).f1));
         }
         report.push_row(row);
     }
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -44,7 +47,7 @@ mod tests {
 
     #[test]
     fn table8_has_one_row_per_beta() {
-        let report = run(&ExperimentScale::quick());
+        let report = run(&ExperimentScale::quick()).unwrap();
         assert_eq!(report.rows.len(), BETAS.len());
         for row in &report.rows {
             for cell in &row[1..] {

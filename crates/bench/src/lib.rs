@@ -26,8 +26,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 pub mod runner;
 
+pub use experiments::BenchError;
 pub use report::ExperimentReport;
 pub use runner::{ExperimentScale, TrialMetrics};

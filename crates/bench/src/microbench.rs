@@ -1,0 +1,67 @@
+//! A dependency-free micro-benchmark harness for the `benches/` targets.
+//!
+//! The workspace builds hermetically (no crates.io), so instead of criterion
+//! the bench targets use this small fixture: warm up, run a fixed number of
+//! timed iterations, and print mean/min wall-clock time per iteration in a
+//! stable, grep-friendly format.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs `f` for `iters` timed iterations (after `warmup` untimed ones) and
+/// prints per-iteration statistics.
+pub fn bench<T>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T) {
+    assert!(iters >= 1, "need at least one timed iteration");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    let mean = total / iters;
+    println!(
+        "{name:<44} mean {:>12}  min {:>12}  ({iters} iters)",
+        format_duration(mean),
+        format_duration(min)
+    );
+}
+
+/// Formats a duration with an adaptive unit.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure_and_does_not_panic() {
+        let mut calls = 0u32;
+        bench("noop", 1, 3, || calls += 1);
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 us");
+        assert_eq!(format_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,10 +1,10 @@
 //! Tabular experiment reports.
 
-use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 /// A printable, serializable experiment result: a header row plus data rows,
 /// mirroring the corresponding table/figure of the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Experiment identifier, e.g. `"fig4"`.
     pub id: String,
@@ -64,17 +64,84 @@ impl ExperimentReport {
         out
     }
 
+    /// Serializes the report as a JSON object (hand-rolled: the workspace
+    /// builds without external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"id\":{},", json_string(&self.id));
+        let _ = write!(out, "\"title\":{},", json_string(&self.title));
+        let _ = write!(out, "\"header\":{},", json_string_array(&self.header));
+        out.push_str("\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string_array(row));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Renders the report as a GitHub-flavoured markdown table.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("### {} ({})\n\n", self.title, self.id));
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
-        out.push_str(&format!("|{}|\n", self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
         out
     }
+}
+
+/// Serializes a list of reports as a pretty-enough JSON array (one report
+/// per line).
+pub fn reports_to_json(reports: &[ExperimentReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, report) in reports.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&report.to_json());
+        if i + 1 < reports.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", cells.join(","))
 }
 
 #[cfg(test)]
@@ -105,10 +172,20 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
-        let report = sample();
-        let json = serde_json::to_string(&report).unwrap();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.rows, report.rows);
+    fn json_rendering_is_well_formed() {
+        let mut report = sample();
+        report.rows.push(vec![
+            "quote \" and backslash \\".into(),
+            "1".into(),
+            "2".into(),
+        ]);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"id\":\"figX\""));
+        assert!(json.contains("\"header\":[\"dataset\",\"eps\",\"f1\"]"));
+        assert!(json.contains("quote \\\" and backslash \\\\"));
+        let all = reports_to_json(&[report.clone(), report]);
+        assert!(all.starts_with("[\n") && all.ends_with(']'));
+        assert_eq!(all.matches("\"id\"").count(), 2);
     }
 }

@@ -1,16 +1,15 @@
 //! Shared experiment machinery: scales, trials and averaging.
 
 use fedhh_datasets::{DatasetConfig, DatasetKind, FederatedDataset};
-use fedhh_federated::ProtocolConfig;
-use fedhh_mechanisms::{Mechanism, MechanismKind};
+use fedhh_federated::{ProtocolConfig, ProtocolError};
+use fedhh_mechanisms::{Mechanism, MechanismKind, Run};
 use fedhh_metrics::{average_local_recall, f1_score, ncr_score};
-use serde::{Deserialize, Serialize};
 
 /// How large the simulated populations are and how many repetitions each
 /// point is averaged over.  The paper runs every configuration 50 times on
 /// the full-size datasets; the default scale here runs in minutes on a
 /// laptop while preserving the user-to-item ratios (see DESIGN.md).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExperimentScale {
     /// Multiplier on the paper's user populations.
     pub user_scale: f64,
@@ -26,14 +25,26 @@ pub struct ExperimentScale {
 
 impl Default for ExperimentScale {
     fn default() -> Self {
-        Self { user_scale: 0.02, item_scale: 0.05, code_bits: 48, granularity: 24, repetitions: 3 }
+        Self {
+            user_scale: 0.02,
+            item_scale: 0.05,
+            code_bits: 48,
+            granularity: 24,
+            repetitions: 3,
+        }
     }
 }
 
 impl ExperimentScale {
     /// A fast configuration for smoke tests and CI.
     pub fn quick() -> Self {
-        Self { user_scale: 0.005, item_scale: 0.02, code_bits: 16, granularity: 8, repetitions: 1 }
+        Self {
+            user_scale: 0.005,
+            item_scale: 0.02,
+            code_bits: 16,
+            granularity: 8,
+            repetitions: 1,
+        }
     }
 
     /// The dataset configuration for a given generation seed.
@@ -60,7 +71,7 @@ impl ExperimentScale {
 }
 
 /// Metrics of one (or an average of several) mechanism run(s).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TrialMetrics {
     /// F1 score against the exact federated top-k.
     pub f1: f64,
@@ -102,28 +113,31 @@ impl TrialMetrics {
     }
 }
 
-/// Runs one mechanism once over a dataset and scores it against the exact
-/// ground truth.
+/// Runs one mechanism once over a dataset (through the [`Run`] builder) and
+/// scores it against the exact ground truth.
 pub fn run_trial(
     mechanism: &dyn Mechanism,
     dataset: &FederatedDataset,
     config: &ProtocolConfig,
-) -> TrialMetrics {
+) -> Result<TrialMetrics, ProtocolError> {
     let truth = dataset.ground_truth_top_k(config.k);
-    let output = mechanism.run(dataset, config);
+    let output = Run::custom(mechanism)
+        .dataset(dataset)
+        .config(*config)
+        .execute()?;
     let locals: Vec<Vec<u64>> = output
         .local_results
         .iter()
         .map(|l| l.local_heavy_hitters.clone())
         .collect();
-    TrialMetrics {
+    Ok(TrialMetrics {
         f1: f1_score(&truth, &output.heavy_hitters),
         ncr: ncr_score(&truth, &output.heavy_hitters),
         avg_local_recall: average_local_recall(&truth, &locals),
         uplink_kb: output.comm.total_uplink_bits() as f64 / 1000.0,
         server_traffic_kb: output.comm.server_traffic_kb(),
         elapsed_ms: output.elapsed.as_secs_f64() * 1000.0,
-    }
+    })
 }
 
 /// Runs a mechanism `scale.repetitions` times (different dataset and
@@ -134,7 +148,7 @@ pub fn averaged_trial(
     dataset_kind: DatasetKind,
     scale: &ExperimentScale,
     configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
-) -> TrialMetrics {
+) -> Result<TrialMetrics, ProtocolError> {
     averaged_trial_with(kind, scale, configure, |seed| {
         scale.dataset_config(seed).build(dataset_kind)
     })
@@ -147,7 +161,7 @@ pub fn averaged_trial_with(
     scale: &ExperimentScale,
     configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
     build_dataset: impl Fn(u64) -> FederatedDataset,
-) -> TrialMetrics {
+) -> Result<TrialMetrics, ProtocolError> {
     let mechanism = kind.build();
     let trials: Vec<TrialMetrics> = (0..scale.repetitions)
         .map(|rep| {
@@ -156,8 +170,8 @@ pub fn averaged_trial_with(
             let config = configure(scale.protocol_config(seed ^ 0xBEEF));
             run_trial(mechanism.as_ref(), &dataset, &config)
         })
-        .collect();
-    TrialMetrics::mean(&trials)
+        .collect::<Result<_, _>>()?;
+    Ok(TrialMetrics::mean(&trials))
 }
 
 /// Formats a metric with three decimals for the report tables.
@@ -171,8 +185,22 @@ mod tests {
 
     #[test]
     fn mean_of_trials_averages_every_field() {
-        let a = TrialMetrics { f1: 0.2, ncr: 0.4, avg_local_recall: 0.1, uplink_kb: 10.0, server_traffic_kb: 12.0, elapsed_ms: 5.0 };
-        let b = TrialMetrics { f1: 0.6, ncr: 0.8, avg_local_recall: 0.3, uplink_kb: 20.0, server_traffic_kb: 16.0, elapsed_ms: 15.0 };
+        let a = TrialMetrics {
+            f1: 0.2,
+            ncr: 0.4,
+            avg_local_recall: 0.1,
+            uplink_kb: 10.0,
+            server_traffic_kb: 12.0,
+            elapsed_ms: 5.0,
+        };
+        let b = TrialMetrics {
+            f1: 0.6,
+            ncr: 0.8,
+            avg_local_recall: 0.3,
+            uplink_kb: 20.0,
+            server_traffic_kb: 16.0,
+            elapsed_ms: 15.0,
+        };
         let m = TrialMetrics::mean(&[a, b]);
         assert!((m.f1 - 0.4).abs() < 1e-12);
         assert!((m.ncr - 0.6).abs() < 1e-12);
@@ -189,7 +217,7 @@ mod tests {
         let dataset = scale.dataset_config(1).build(DatasetKind::Rdb);
         let config = scale.protocol_config(2).with_epsilon(4.0).with_k(5);
         let mechanism = MechanismKind::Taps.build();
-        let metrics = run_trial(mechanism.as_ref(), &dataset, &config);
+        let metrics = run_trial(mechanism.as_ref(), &dataset, &config).unwrap();
         assert!((0.0..=1.0).contains(&metrics.f1));
         assert!((0.0..=1.0).contains(&metrics.ncr));
         assert!((0.0..=1.0).contains(&metrics.avg_local_recall));
@@ -202,10 +230,12 @@ mod tests {
         let scale = ExperimentScale::quick();
         let a = averaged_trial(MechanismKind::FedPem, DatasetKind::Rdb, &scale, |c| {
             c.with_epsilon(4.0).with_k(5)
-        });
+        })
+        .unwrap();
         let b = averaged_trial(MechanismKind::FedPem, DatasetKind::Rdb, &scale, |c| {
             c.with_epsilon(4.0).with_k(5)
-        });
+        })
+        .unwrap();
         assert_eq!(a.f1, b.f1);
         assert_eq!(a.ncr, b.ncr);
     }

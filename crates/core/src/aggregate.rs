@@ -8,11 +8,10 @@
 //! numerator of Definition 4.1.
 
 use fedhh_federated::{CandidateReport, LevelEstimate};
-use serde::{Deserialize, Serialize};
 
 /// A party's final upload: its local heavy hitters and their estimated
 /// party-wide counts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartyLocalResult {
     /// Party name.
     pub party: String,
@@ -74,7 +73,12 @@ pub fn local_result_to_report(
         .filter(|(_, f)| **f > 0.0)
         .map(|(v, f)| (*v, f * party_users as f64))
         .collect();
-    CandidateReport { party: party.to_string(), level, candidates, users: party_users }
+    CandidateReport {
+        party: party.to_string(),
+        level,
+        candidates,
+        users: party_users,
+    }
 }
 
 #[cfg(test)]

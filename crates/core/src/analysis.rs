@@ -45,7 +45,9 @@ mod tests {
     #[test]
     fn threshold_shrinks_with_k() {
         assert!(degeneration_threshold(10) > degeneration_threshold(40));
-        assert!((degeneration_threshold(10) - 2.0 * std::f64::consts::PI.sqrt() / 31.0).abs() < 1e-12);
+        assert!(
+            (degeneration_threshold(10) - 2.0 * std::f64::consts::PI.sqrt() / 31.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -8,21 +8,15 @@
 //! LDP noise (Equation 3).
 
 use fedhh_federated::LevelEstimate;
-use serde::{Deserialize, Serialize};
 
 /// How many prefixes to extend at each level.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ExtensionStrategy {
     /// Always extend the top `t` prefixes (PEM uses `t = k`).
     Fixed(usize),
     /// The paper's adaptive rule: `t = k* + η` (Equations 2 and 3).
+    #[default]
     Adaptive,
-}
-
-impl Default for ExtensionStrategy {
-    fn default() -> Self {
-        ExtensionStrategy::Adaptive
-    }
 }
 
 impl ExtensionStrategy {
@@ -101,8 +95,7 @@ pub fn anchor_k_star(freqs: &[f64], k: usize) -> usize {
         // divided by k_star as in Equation 2.
         let head: f64 = freqs[1..k_star].iter().sum::<f64>() / k_star as f64;
         // Mean of ranks k_star+1..=k+1, i.e. indices k_star..=k.
-        let tail: f64 =
-            freqs[k_star..=k].iter().sum::<f64>() / (k + 1 - k_star) as f64;
+        let tail: f64 = freqs[k_star..=k].iter().sum::<f64>() / (k + 1 - k_star) as f64;
         let score = head - tail;
         if score > best_score {
             best_score = score;
@@ -152,7 +145,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -215,7 +209,10 @@ mod tests {
         assert_eq!(drift_eta(&freqs, 4, 3, 0.0), 0);
         let small = drift_eta(&freqs, 4, 3, 0.001);
         let large = drift_eta(&freqs, 4, 3, 0.2);
-        assert!(large >= small, "drift must grow with noise: {small} vs {large}");
+        assert!(
+            large >= small,
+            "drift must grow with noise: {small} vs {large}"
+        );
         assert!(large <= 4, "drift is bounded by k");
     }
 
@@ -224,7 +221,9 @@ mod tests {
         // Near-ties around the anchor with meaningful noise: the adaptive
         // rule should extend more than a tight fixed k would... but never
         // beyond the number of candidates.
-        let freqs = vec![0.11, 0.105, 0.1, 0.099, 0.098, 0.097, 0.096, 0.05, 0.02, 0.01];
+        let freqs = vec![
+            0.11, 0.105, 0.1, 0.099, 0.098, 0.097, 0.096, 0.05, 0.02, 0.01,
+        ];
         let est = estimate_from(freqs, 0.05);
         let t = adaptive_extension_count(&est, 4);
         assert!(t >= 4, "expected t >= k, got {t}");

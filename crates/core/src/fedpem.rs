@@ -10,8 +10,8 @@ use crate::aggregate::PartyLocalResult;
 use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::pem::run_pem;
-use fedhh_datasets::FederatedDataset;
-use fedhh_federated::{federated_top_k, CommTracker, ProtocolConfig};
+use crate::run::RunContext;
+use fedhh_federated::{federated_top_k, LevelEstimated, ProtocolError, RunPhase};
 use std::time::Instant;
 
 /// The FedPEM baseline.
@@ -25,7 +25,9 @@ pub struct FedPem {
 impl Default for FedPem {
     fn default() -> Self {
         // The baseline uses the original PEM extension rule.
-        Self { extension: ExtensionStrategy::Fixed(usize::MAX) }
+        Self {
+            extension: ExtensionStrategy::Fixed(usize::MAX),
+        }
     }
 }
 
@@ -49,46 +51,74 @@ impl Mechanism for FedPem {
         "FedPEM"
     }
 
-    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
-        config.validate().expect("invalid protocol configuration");
+    fn execute(&self, ctx: &mut RunContext<'_>) -> Result<MechanismOutput, ProtocolError> {
+        let config = ctx.config();
         let start = Instant::now();
-        let mut comm = CommTracker::new();
+        let dataset = ctx.dataset();
         let extension = self.effective_extension(config.k);
 
+        ctx.phase(RunPhase::LocalEstimation);
         let mut locals: Vec<PartyLocalResult> = Vec::with_capacity(dataset.party_count());
+        let mut reports = Vec::with_capacity(dataset.party_count());
         for (idx, party) in dataset.parties().iter().enumerate() {
+            // run_pem validates the configuration before estimating.
             let outcome = run_pem(
                 party.name(),
                 party.items(),
-                config,
+                &config,
                 extension,
-                (idx as u64 + 1) * 0x0100_0000_0100_0101,
-            );
-            comm.record_local_reports(party.name(), outcome.local_report_bits);
+                ctx.party_seed(idx),
+            )?;
+            // Replay the per-level progression to the observer; the final
+            // level additionally carries the party's top-k upload.
             let report = outcome.local.to_report(config.granularity);
-            comm.record_uplink(party.name(), report.size_bits());
+            let last = outcome.level_trace.len().saturating_sub(1);
+            for (i, trace) in outcome.level_trace.iter().enumerate() {
+                ctx.level_estimated(LevelEstimated {
+                    party: party.name().to_string(),
+                    level: trace.level,
+                    candidates: trace.candidates,
+                    users: trace.users,
+                    report_bits: trace.report_bits,
+                    uplink_bits: if i == last { report.size_bits() } else { 0 },
+                });
+            }
             locals.push(outcome.local);
+            reports.push(report);
         }
 
-        let reports: Vec<_> =
-            locals.iter().map(|l| l.to_report(config.granularity)).collect();
+        ctx.phase(RunPhase::Aggregation);
         let totals = fedhh_federated::aggregate_reports(&reports);
         let heavy_hitters = federated_top_k(&reports, config.k);
 
-        MechanismOutput {
+        Ok(MechanismOutput {
             heavy_hitters,
             counts: totals,
             local_results: locals,
-            comm,
+            comm: ctx.take_comm(),
             elapsed: start.elapsed(),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::Run;
     use fedhh_datasets::{DatasetConfig, DatasetKind};
+    use fedhh_federated::ProtocolConfig;
+
+    fn run(
+        mechanism: &FedPem,
+        dataset: &fedhh_datasets::FederatedDataset,
+        config: ProtocolConfig,
+    ) -> MechanismOutput {
+        Run::custom(mechanism)
+            .dataset(dataset)
+            .config(config)
+            .execute()
+            .unwrap()
+    }
 
     fn config() -> ProtocolConfig {
         ProtocolConfig {
@@ -103,7 +133,7 @@ mod tests {
     #[test]
     fn fedpem_returns_k_heavy_hitters_with_counts() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
-        let output = FedPem::default().run(&dataset, &config());
+        let output = run(&FedPem::default(), &dataset, config());
         assert_eq!(output.heavy_hitters.len(), 5);
         assert_eq!(output.local_results.len(), 2);
         for hh in &output.heavy_hitters {
@@ -117,9 +147,15 @@ mod tests {
     fn fedpem_recovers_some_ground_truth_at_large_epsilon() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
         let truth = dataset.ground_truth_top_k(5);
-        let output = FedPem::default().run(&dataset, &config());
-        let hits = truth.iter().filter(|t| output.heavy_hitters.contains(t)).count();
-        assert!(hits >= 1, "expected at least one true heavy hitter, got {hits}");
+        let output = run(&FedPem::default(), &dataset, config());
+        let hits = truth
+            .iter()
+            .filter(|t| output.heavy_hitters.contains(t))
+            .count();
+        assert!(
+            hits >= 1,
+            "expected at least one true heavy hitter, got {hits}"
+        );
     }
 
     #[test]
@@ -134,7 +170,7 @@ mod tests {
     fn uplink_cost_is_k_pairs_per_party() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
         let cfg = config();
-        let output = FedPem::default().run(&dataset, &cfg);
+        let output = run(&FedPem::default(), &dataset, cfg);
         // Each party uploads at most k (candidate, count) pairs once.
         let max_bits = dataset.party_count() * cfg.k * fedhh_federated::PAIR_BITS;
         assert!(output.comm.total_uplink_bits() <= max_bits);

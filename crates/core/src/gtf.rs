@@ -18,9 +18,9 @@
 
 use crate::aggregate::PartyLocalResult;
 use crate::mechanism::{Mechanism, MechanismOutput};
-use fedhh_datasets::FederatedDataset;
+use crate::run::RunContext;
 use fedhh_federated::{
-    CommTracker, GroupAssignment, LevelEstimator, ProtocolConfig, PAIR_BITS,
+    GroupAssignment, LevelEstimated, LevelEstimator, ProtocolError, RunPhase, PAIR_BITS,
 };
 use fedhh_trie::extend_prefix_values;
 use std::collections::HashMap;
@@ -35,12 +35,14 @@ impl Mechanism for Gtf {
         "GTF"
     }
 
-    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
-        config.validate().expect("invalid protocol configuration");
+    fn execute(&self, ctx: &mut RunContext<'_>) -> Result<MechanismOutput, ProtocolError> {
+        let config = ctx.config();
         let start = Instant::now();
+        let dataset = ctx.dataset();
+        // Constructing the estimator validates the configuration, so no
+        // invalid parameter survives past this line.
+        let estimator = LevelEstimator::new(config)?;
         let schedule = config.schedule();
-        let estimator = LevelEstimator::new(*config);
-        let mut comm = CommTracker::new();
 
         // Per-party group assignments: every user still reports only once.
         let assignments: Vec<GroupAssignment> = dataset
@@ -48,11 +50,7 @@ impl Mechanism for Gtf {
             .iter()
             .enumerate()
             .map(|(idx, p)| {
-                GroupAssignment::uniform(
-                    p.items(),
-                    config.granularity,
-                    config.seed ^ (idx as u64 + 1).wrapping_mul(0xA5A5_5A5A),
-                )
+                GroupAssignment::uniform(p.items(), config.granularity, ctx.party_seed(idx))
             })
             .collect();
 
@@ -63,6 +61,7 @@ impl Mechanism for Gtf {
         let mut last_avg: HashMap<u64, f64> = HashMap::new();
         let mut last_local: Vec<PartyLocalResult> = Vec::new();
 
+        ctx.phase(RunPhase::LocalEstimation);
         for h in schedule.levels() {
             let step = schedule.step(h);
             let len = schedule.prefix_len(h);
@@ -75,14 +74,19 @@ impl Mechanism for Gtf {
                     &candidates,
                     len,
                     assignments[idx].level(h),
-                    (idx as u64 + 1).wrapping_mul(0x6A09_E667) ^ (h as u64) << 32,
+                    ctx.party_seed(idx) ^ ((h as u64) << 32),
                 );
-                comm.record_local_reports(party.name(), estimate.report_bits);
                 // The party reports its top-k candidates with frequencies.
                 let ranked = estimate.ranked_candidates();
-                let top: Vec<(u64, f64)> =
-                    ranked.into_iter().take(config.k).collect();
-                comm.record_uplink(party.name(), top.len() * PAIR_BITS);
+                let top: Vec<(u64, f64)> = ranked.into_iter().take(config.k).collect();
+                ctx.level_estimated(LevelEstimated {
+                    party: party.name().to_string(),
+                    level: h,
+                    candidates: candidates.len(),
+                    users: estimate.users,
+                    report_bits: estimate.report_bits,
+                    uplink_bits: top.len() * PAIR_BITS,
+                });
                 for (value, freq) in &top {
                     *freq_sums.entry(*value).or_insert(0.0) += freq.max(0.0);
                 }
@@ -105,12 +109,14 @@ impl Mechanism for Gtf {
                 .map(|(v, total)| (v, total / party_count))
                 .collect();
             averaged.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
             });
             averaged.truncate(config.k);
             // Broadcast the filtered candidate set to every party.
             for party in dataset.parties() {
-                comm.record_downlink(party.name(), averaged.len() * PAIR_BITS);
+                ctx.record_downlink(party.name(), averaged.len() * PAIR_BITS);
             }
             global = averaged.iter().map(|(v, _)| *v).collect();
             global_len = len;
@@ -123,29 +129,45 @@ impl Mechanism for Gtf {
 
         // Scale the (population-oblivious) average frequencies to counts so
         // downstream reporting has comparable units.
+        ctx.phase(RunPhase::Aggregation);
         let total_users = dataset.total_users() as f64;
-        let counts: HashMap<u64, f64> =
-            last_avg.iter().map(|(v, f)| (*v, f * total_users)).collect();
+        let counts: HashMap<u64, f64> = last_avg
+            .iter()
+            .map(|(v, f)| (*v, f * total_users))
+            .collect();
         let mut heavy_hitters: Vec<u64> = last_avg.keys().copied().collect();
         heavy_hitters.sort_by(|a, b| {
-            counts[b].partial_cmp(&counts[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+            counts[b]
+                .partial_cmp(&counts[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
         });
         heavy_hitters.truncate(config.k);
 
-        MechanismOutput {
+        Ok(MechanismOutput {
             heavy_hitters,
             counts,
             local_results: last_local,
-            comm,
+            comm: ctx.take_comm(),
             elapsed: start.elapsed(),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedhh_datasets::{DatasetConfig, DatasetKind};
+    use crate::run::Run;
+    use fedhh_datasets::{DatasetConfig, DatasetKind, FederatedDataset};
+    use fedhh_federated::ProtocolConfig;
+
+    fn run(dataset: &FederatedDataset, config: ProtocolConfig) -> MechanismOutput {
+        Run::custom(&Gtf)
+            .dataset(dataset)
+            .config(config)
+            .execute()
+            .unwrap()
+    }
 
     fn config() -> ProtocolConfig {
         ProtocolConfig {
@@ -160,7 +182,7 @@ mod tests {
     #[test]
     fn gtf_returns_at_most_k_heavy_hitters() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
-        let output = Gtf.run(&dataset, &config());
+        let output = run(&dataset, config());
         assert!(output.heavy_hitters.len() <= 5);
         assert!(!output.heavy_hitters.is_empty());
         assert!(output.comm.total_uplink_bits() > 0);
@@ -178,16 +200,33 @@ mod tests {
         let enc = ItemEncoder::new(16, 5);
         let a = enc.encode(1);
         let b = enc.encode(2);
-        let big: Vec<u64> = (0..4000).map(|i| if i % 10 < 6 { a } else { enc.encode(3 + i % 50) }).collect();
+        let big: Vec<u64> = (0..4000)
+            .map(|i| {
+                if i % 10 < 6 {
+                    a
+                } else {
+                    enc.encode(3 + i % 50)
+                }
+            })
+            .collect();
         let small: Vec<u64> = vec![b; 800];
         let dataset = FederatedDataset::new(
             "toy",
-            vec![PartyData::new("big", big, 16), PartyData::new("small", small, 16)],
+            vec![
+                PartyData::new("big", big, 16),
+                PartyData::new("small", small, 16),
+            ],
             16,
             enc,
         );
-        let cfg = ProtocolConfig { k: 1, epsilon: 5.0, max_bits: 16, granularity: 8, ..ProtocolConfig::default() };
-        let output = Gtf.run(&dataset, &cfg);
+        let cfg = ProtocolConfig {
+            k: 1,
+            epsilon: 5.0,
+            max_bits: 16,
+            granularity: 8,
+            ..ProtocolConfig::default()
+        };
+        let output = run(&dataset, cfg);
         // The true federated top-1 is A (2400 users vs 800), but GTF picks B.
         assert_eq!(dataset.ground_truth_top_k(1), vec![a]);
         assert_eq!(output.heavy_hitters, vec![b]);
@@ -197,7 +236,7 @@ mod tests {
     fn gtf_still_finds_universally_popular_items() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
         let truth = dataset.ground_truth_top_k(5);
-        let output = Gtf.run(&dataset, &config());
+        let output = run(&dataset, config());
         // GTF is weak but not useless: at large ε it should usually catch at
         // least one globally popular item on the RDB stand-in.  We only
         // assert the output is well-formed plus non-trivially overlapping
@@ -209,7 +248,7 @@ mod tests {
     #[test]
     fn local_results_cover_every_party() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Ycm);
-        let output = Gtf.run(&dataset, &config());
+        let output = run(&dataset, config());
         assert_eq!(output.local_results.len(), dataset.party_count());
     }
 }

@@ -18,19 +18,28 @@
 //!   candidates suggested by its predecessor.
 //!
 //! All mechanisms implement the [`Mechanism`] trait and can be constructed
-//! by name through [`MechanismKind`], which is what the benchmark harness
-//! uses to sweep them.
+//! by name through [`MechanismKind`].  The [`Run`] builder is the single
+//! public entry point for executing them: it validates the configuration,
+//! wires the observability layer through, and returns a typed
+//! [`fedhh_federated::ProtocolError`] instead of panicking on bad input.
 //!
 //! ```
 //! use fedhh_datasets::{DatasetConfig, DatasetKind};
 //! use fedhh_federated::ProtocolConfig;
-//! use fedhh_mechanisms::{Mechanism, Taps};
+//! use fedhh_mechanisms::{MechanismKind, Run};
 //!
 //! let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
 //! let config = ProtocolConfig::test_default().with_epsilon(4.0).with_k(5);
-//! let output = Taps::default().run(&dataset, &config);
+//! let output = Run::mechanism(MechanismKind::Taps)
+//!     .dataset(&dataset)
+//!     .config(config)
+//!     .execute()
+//!     .expect("valid configuration");
 //! assert_eq!(output.heavy_hitters.len(), 5);
 //! ```
+//!
+//! Attach a [`fedhh_federated::RunObserver`] with [`Run::observer`] to
+//! receive per-phase, per-level and pruning events while the run executes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -42,6 +51,7 @@ pub mod fedpem;
 pub mod gtf;
 pub mod mechanism;
 pub mod pem;
+pub mod run;
 pub mod tap;
 pub mod taps;
 
@@ -49,7 +59,8 @@ pub use aggregate::{local_result_to_report, PartyLocalResult};
 pub use extension::ExtensionStrategy;
 pub use fedpem::FedPem;
 pub use gtf::Gtf;
-pub use mechanism::{Mechanism, MechanismKind, MechanismOutput};
-pub use pem::{run_pem, PemPartyOutcome};
+pub use mechanism::{Mechanism, MechanismKind, MechanismOutput, ParseMechanismKindError};
+pub use pem::{run_pem, PemLevelTrace, PemPartyOutcome};
+pub use run::{Run, RunContext};
 pub use tap::Tap;
 pub use taps::Taps;

@@ -1,9 +1,9 @@
 //! The common mechanism interface and run outputs.
 
 use crate::aggregate::PartyLocalResult;
+use crate::run::RunContext;
 use fedhh_datasets::FederatedDataset;
-use fedhh_federated::{CommTracker, ProtocolConfig};
-use serde::{Deserialize, Serialize};
+use fedhh_federated::{CommTracker, NullObserver, ProtocolConfig, ProtocolError};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -36,13 +36,35 @@ pub trait Mechanism {
     /// Short, stable mechanism name (e.g. `"TAPS"`).
     fn name(&self) -> &'static str;
 
-    /// Runs the mechanism over a federated dataset under a protocol
-    /// configuration and returns the identified heavy hitters.
-    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput;
+    /// Executes the mechanism inside a [`RunContext`] (dataset, validated
+    /// configuration, communication tracker, seeded RNG and observer) and
+    /// returns the identified heavy hitters or a typed error.
+    ///
+    /// Prefer driving this through the [`crate::Run`] builder, which
+    /// validates the configuration and the dataset/config pairing first.
+    fn execute(&self, ctx: &mut RunContext<'_>) -> Result<MechanismOutput, ProtocolError>;
+
+    /// Runs the mechanism unobserved, panicking on any error.
+    ///
+    /// This is the pre-0.2 convenience entry point, kept for one release so
+    /// downstream code migrates incrementally.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `Run` builder (or `Mechanism::execute`), which returns \
+                `Result<MechanismOutput, ProtocolError>` instead of panicking"
+    )]
+    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
+        let mut observer = NullObserver;
+        let mut ctx = RunContext::new(dataset, *config, &mut observer);
+        config
+            .validate()
+            .and_then(|()| self.execute(&mut ctx))
+            .unwrap_or_else(|err| panic!("{} run failed: {err}", self.name()))
+    }
 }
 
 /// The mechanisms compared in the paper's evaluation, constructible by name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MechanismKind {
     /// The hierarchical global-trie-filtering baseline.
     Gtf,
@@ -56,8 +78,11 @@ pub enum MechanismKind {
 
 impl MechanismKind {
     /// The three mechanisms of the main comparison (Figures 4–6).
-    pub const MAIN_COMPARISON: [MechanismKind; 3] =
-        [MechanismKind::Gtf, MechanismKind::FedPem, MechanismKind::Taps];
+    pub const MAIN_COMPARISON: [MechanismKind; 3] = [
+        MechanismKind::Gtf,
+        MechanismKind::FedPem,
+        MechanismKind::Taps,
+    ];
 
     /// All mechanisms.
     pub const ALL: [MechanismKind; 4] = [
@@ -91,7 +116,7 @@ impl MechanismKind {
     /// Builds the mechanism with its default options.
     pub fn build(&self) -> Box<dyn Mechanism> {
         match self {
-            MechanismKind::Gtf => Box::new(crate::gtf::Gtf::default()),
+            MechanismKind::Gtf => Box::new(crate::gtf::Gtf),
             MechanismKind::FedPem => Box::new(crate::fedpem::FedPem::default()),
             MechanismKind::Tap => Box::new(crate::tap::Tap::default()),
             MechanismKind::Taps => Box::new(crate::taps::Taps::default()),
@@ -102,6 +127,34 @@ impl MechanismKind {
 impl std::fmt::Display for MechanismKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Error returned when a string does not name a known mechanism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMechanismKindError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseMechanismKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown mechanism {:?}; expected one of GTF, FedPEM, TAP, TAPS",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseMechanismKindError {}
+
+impl std::str::FromStr for MechanismKind {
+    type Err = ParseMechanismKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| ParseMechanismKindError {
+            input: s.to_string(),
+        })
     }
 }
 
@@ -117,6 +170,19 @@ mod tests {
         }
         assert_eq!(MechanismKind::parse("taps"), Some(MechanismKind::Taps));
         assert_eq!(MechanismKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn from_str_delegates_to_parse() {
+        for kind in MechanismKind::ALL {
+            assert_eq!(kind.name().parse::<MechanismKind>(), Ok(kind));
+            assert_eq!(
+                kind.name().to_lowercase().parse::<MechanismKind>(),
+                Ok(kind)
+            );
+        }
+        let err = "nope".parse::<MechanismKind>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! The fallible, observable run API: [`Run`] and [`RunContext`].
+//!
+//! [`Run`] is the single public entry point for executing a mechanism:
+//!
+//! ```
+//! use fedhh_datasets::{DatasetConfig, DatasetKind};
+//! use fedhh_federated::{ProtocolConfig, RecordingObserver};
+//! use fedhh_mechanisms::{MechanismKind, Run};
+//!
+//! let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+//! let config = ProtocolConfig::test_default().with_epsilon(4.0).with_k(5);
+//! let mut observer = RecordingObserver::new();
+//! let output = Run::mechanism(MechanismKind::Taps)
+//!     .dataset(&dataset)
+//!     .config(config)
+//!     .observer(&mut observer)
+//!     .execute()
+//!     .expect("valid configuration");
+//! assert_eq!(output.heavy_hitters.len(), 5);
+//! // The observer reconstructed the run's uplink traffic exactly.
+//! assert_eq!(observer.total_uplink_bits(), output.comm.total_uplink_bits());
+//! ```
+//!
+//! It validates the configuration and the dataset/config pairing up front,
+//! wires a [`RunContext`] (dataset, config, communication tracker, seeded
+//! RNG and observer handle) through the mechanism, and returns a typed
+//! [`ProtocolError`] instead of panicking on any invalid input.
+
+use crate::mechanism::{Mechanism, MechanismKind, MechanismOutput};
+use fedhh_datasets::FederatedDataset;
+use fedhh_federated::{
+    CommTracker, LevelEstimated, ProtocolConfig, ProtocolError, PruningDecision, RunObserver,
+    RunPhase, RunSummary,
+};
+
+/// Everything a mechanism needs while executing one run: the dataset, the
+/// validated configuration, the communication tracker, the seeded randomness
+/// root ([`RunContext::party_seed`]) and the observer handle.
+///
+/// Communication accounting and observer events are funnelled through the
+/// same methods, so a recording observer reconstructs the tracker's totals
+/// exactly: every bit of party → server traffic is attributed to one
+/// [`LevelEstimated`] event.
+pub struct RunContext<'a> {
+    dataset: &'a FederatedDataset,
+    config: ProtocolConfig,
+    comm: CommTracker,
+    observer: &'a mut dyn RunObserver,
+}
+
+impl<'a> RunContext<'a> {
+    /// Creates a context over a dataset and configuration.
+    ///
+    /// Callers normally go through [`Run::execute`], which validates first;
+    /// constructing a context directly does not validate.
+    pub fn new(
+        dataset: &'a FederatedDataset,
+        config: ProtocolConfig,
+        observer: &'a mut dyn RunObserver,
+    ) -> Self {
+        Self {
+            dataset,
+            config,
+            comm: CommTracker::new(),
+            observer,
+        }
+    }
+
+    /// The dataset under analysis (borrowed for the run's full lifetime).
+    pub fn dataset(&self) -> &'a FederatedDataset {
+        self.dataset
+    }
+
+    /// The protocol configuration of this run.
+    pub fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// The communication recorded so far.
+    pub fn comm(&self) -> &CommTracker {
+        &self.comm
+    }
+
+    /// The per-party noise-decorrelation seed derived from the run seed —
+    /// the canonical randomness root every mechanism draws its per-party
+    /// group assignment and perturbation seeds from.
+    pub fn party_seed(&self, party_index: usize) -> u64 {
+        self.config.seed ^ (party_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Announces a protocol phase to the observer.
+    pub fn phase(&mut self, phase: RunPhase) {
+        self.observer.phase_started(phase);
+    }
+
+    /// Records one unit of per-level work: the in-party report traffic and
+    /// any party → server upload it caused, then notifies the observer.
+    ///
+    /// This is the **only** way a mechanism records uplink traffic, which is
+    /// what keeps observer events and [`CommTracker`] totals in lockstep.
+    pub fn level_estimated(&mut self, event: LevelEstimated) {
+        if event.report_bits > 0 {
+            self.comm
+                .record_local_reports(&event.party, event.report_bits);
+        }
+        if event.uplink_bits > 0 {
+            self.comm.record_uplink(&event.party, event.uplink_bits);
+        }
+        self.observer.level_estimated(&event);
+    }
+
+    /// Records a party → server upload (a Phase I candidate report, a
+    /// pruning dictionary, or the final top-k report) attributed to the
+    /// level whose estimation it concludes, emitting the matching
+    /// [`LevelEstimated`] event.  Mechanisms must route every upload through
+    /// here (or [`RunContext::level_estimated`]) so the observer/tracker
+    /// exactness invariant stays structural.
+    pub fn record_upload(&mut self, party: &str, level: u8, candidates: usize, bits: usize) {
+        self.level_estimated(LevelEstimated {
+            party: party.to_string(),
+            level,
+            candidates,
+            users: 0,
+            report_bits: 0,
+            uplink_bits: bits,
+        });
+    }
+
+    /// Records in-party report traffic that belongs to a pruning validation
+    /// rather than a level estimate.
+    pub fn record_validation_reports(&mut self, party: &str, bits: usize) {
+        if bits > 0 {
+            self.comm.record_local_reports(party, bits);
+        }
+    }
+
+    /// Records server → party traffic.
+    pub fn record_downlink(&mut self, party: &str, bits: usize) {
+        if bits > 0 {
+            self.comm.record_downlink(party, bits);
+        }
+    }
+
+    /// Reports a consensus-based pruning decision to the observer.
+    pub fn pruning_decision(&mut self, event: PruningDecision) {
+        self.observer.pruning_decision(&event);
+    }
+
+    /// Moves the accumulated communication out of the context (called once
+    /// by the mechanism when assembling its [`MechanismOutput`]).
+    pub fn take_comm(&mut self) -> CommTracker {
+        std::mem::take(&mut self.comm)
+    }
+
+    fn finish(&mut self, mechanism: &str, output: &MechanismOutput) {
+        self.observer.run_finished(&RunSummary {
+            mechanism: mechanism.to_string(),
+            heavy_hitters: output.heavy_hitters.len(),
+            uplink_bits: output.comm.total_uplink_bits(),
+            downlink_bits: output.comm.total_downlink_bits(),
+        });
+    }
+}
+
+enum RunMechanism<'a> {
+    Owned(Box<dyn Mechanism>),
+    Borrowed(&'a dyn Mechanism),
+}
+
+impl RunMechanism<'_> {
+    fn as_dyn(&self) -> &dyn Mechanism {
+        match self {
+            RunMechanism::Owned(mechanism) => mechanism.as_ref(),
+            RunMechanism::Borrowed(mechanism) => *mechanism,
+        }
+    }
+}
+
+/// Builder for one federated heavy hitter run — the public entry point of
+/// the execution API.
+///
+/// See the [module documentation](self) for a full example.
+pub struct Run<'a> {
+    mechanism: RunMechanism<'a>,
+    dataset: Option<&'a FederatedDataset>,
+    config: ProtocolConfig,
+    observer: Option<&'a mut dyn RunObserver>,
+}
+
+impl<'a> Run<'a> {
+    /// Starts a run of a mechanism constructed by name with its defaults.
+    pub fn mechanism(kind: MechanismKind) -> Self {
+        Self::from_mechanism(RunMechanism::Owned(kind.build()))
+    }
+
+    /// Starts a run of a custom mechanism instance (ablation variants such
+    /// as `Taps::without_pruning()` go through here).
+    pub fn custom(mechanism: &'a dyn Mechanism) -> Self {
+        Self::from_mechanism(RunMechanism::Borrowed(mechanism))
+    }
+
+    fn from_mechanism(mechanism: RunMechanism<'a>) -> Self {
+        Self {
+            mechanism,
+            dataset: None,
+            config: ProtocolConfig::default(),
+            observer: None,
+        }
+    }
+
+    /// Sets the dataset to analyse (required).
+    pub fn dataset(mut self, dataset: &'a FederatedDataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Sets the protocol configuration (defaults to
+    /// [`ProtocolConfig::default`]).
+    pub fn config(mut self, config: ProtocolConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches an observer that receives phase/level/pruning events.
+    pub fn observer(mut self, observer: &'a mut dyn RunObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Validates the request and executes the mechanism.
+    ///
+    /// Every failure mode — missing dataset, invalid configuration, or a
+    /// dataset whose item codes do not match `max_bits` — surfaces as a
+    /// [`ProtocolError`]; no user input can panic this path.
+    pub fn execute(self) -> Result<MechanismOutput, ProtocolError> {
+        let dataset = self.dataset.ok_or(ProtocolError::MissingDataset)?;
+        self.config.validate()?;
+        if dataset.party_count() == 0 || dataset.total_users() == 0 {
+            return Err(ProtocolError::EmptyDataset {
+                dataset: dataset.name().to_string(),
+            });
+        }
+        if dataset.code_bits() != self.config.max_bits {
+            return Err(ProtocolError::BitWidthMismatch {
+                dataset_bits: dataset.code_bits(),
+                config_bits: self.config.max_bits,
+            });
+        }
+
+        let mut null = fedhh_federated::NullObserver;
+        let observer: &mut dyn RunObserver = match self.observer {
+            Some(observer) => observer,
+            None => &mut null,
+        };
+        let mechanism = self.mechanism.as_dyn();
+        let mut ctx = RunContext::new(dataset, self.config, observer);
+        let output = mechanism.execute(&mut ctx)?;
+        ctx.finish(mechanism.name(), &output);
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhh_datasets::{DatasetConfig, DatasetKind};
+    use fedhh_federated::RecordingObserver;
+
+    fn dataset() -> FederatedDataset {
+        DatasetConfig::test_scale().build(DatasetKind::Rdb)
+    }
+
+    fn config() -> ProtocolConfig {
+        ProtocolConfig {
+            k: 5,
+            epsilon: 4.0,
+            max_bits: 16,
+            granularity: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn builder_runs_every_mechanism_kind() {
+        let dataset = dataset();
+        for kind in MechanismKind::ALL {
+            let output = Run::mechanism(kind)
+                .dataset(&dataset)
+                .config(config())
+                .execute()
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(!output.heavy_hitters.is_empty(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn missing_dataset_is_reported_not_panicked() {
+        let err = Run::mechanism(MechanismKind::Taps)
+            .config(config())
+            .execute()
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::MissingDataset);
+    }
+
+    #[test]
+    fn bit_width_mismatch_is_detected() {
+        let dataset = dataset(); // 16-bit codes
+        let err = Run::mechanism(MechanismKind::FedPem)
+            .dataset(&dataset)
+            .config(ProtocolConfig::default()) // max_bits = 48
+            .execute()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::BitWidthMismatch {
+                dataset_bits: 16,
+                config_bits: 48
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_config_surfaces_before_execution() {
+        let dataset = dataset();
+        let err = Run::mechanism(MechanismKind::Gtf)
+            .dataset(&dataset)
+            .config(ProtocolConfig { k: 0, ..config() })
+            .execute()
+            .unwrap_err();
+        assert_eq!(err, ProtocolError::InvalidQuery { k: 0 });
+    }
+
+    #[test]
+    fn observer_sees_phases_levels_and_summary() {
+        let dataset = dataset();
+        let mut observer = RecordingObserver::new();
+        let output = Run::mechanism(MechanismKind::Taps)
+            .dataset(&dataset)
+            .config(config())
+            .observer(&mut observer)
+            .execute()
+            .unwrap();
+        assert!(!observer.phases().is_empty());
+        assert!(observer.level_events().count() > 0);
+        let summary = observer.summary().expect("run_finished fired");
+        assert_eq!(summary.mechanism, "TAPS");
+        assert_eq!(summary.heavy_hitters, output.heavy_hitters.len());
+        assert_eq!(summary.uplink_bits, output.comm.total_uplink_bits());
+    }
+
+    #[test]
+    fn custom_mechanism_instances_run_through_the_builder() {
+        let dataset = dataset();
+        let taps = crate::taps::Taps::without_pruning();
+        let output = Run::custom(&taps)
+            .dataset(&dataset)
+            .config(config())
+            .execute()
+            .unwrap();
+        assert_eq!(output.heavy_hitters.len(), 5);
+    }
+}

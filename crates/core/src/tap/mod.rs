@@ -14,9 +14,10 @@ pub mod stc;
 use crate::aggregate::{local_result_from_estimate, PartyLocalResult};
 use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
-use fedhh_datasets::FederatedDataset;
+use crate::run::RunContext;
 use fedhh_federated::{
-    federated_top_k, CommTracker, GroupAssignment, LevelEstimate, LevelEstimator, ProtocolConfig,
+    federated_top_k, GroupAssignment, LevelEstimate, LevelEstimated, LevelEstimator,
+    ProtocolConfig, ProtocolError, RunPhase,
 };
 use fedhh_trie::extend_prefix_values;
 use std::time::Instant;
@@ -41,15 +42,17 @@ pub(crate) struct PartyRun {
 }
 
 impl PartyRun {
-    /// Initialises the run state for every party of a dataset.
-    pub fn initialise(dataset: &FederatedDataset, config: &ProtocolConfig) -> Vec<PartyRun> {
+    /// Initialises the run state for every party of a dataset, deriving
+    /// each party's randomness from [`RunContext::party_seed`].
+    pub fn initialise(ctx: &RunContext<'_>) -> Vec<PartyRun> {
+        let config = ctx.config();
         let gs = config.shared_levels();
-        dataset
+        ctx.dataset()
             .parties()
             .iter()
             .enumerate()
             .map(|(idx, party)| {
-                let seed = config.seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let seed = ctx.party_seed(idx);
                 PartyRun {
                     name: party.name().to_string(),
                     users_total: party.user_count(),
@@ -129,19 +132,28 @@ pub struct Tap {
 
 impl Default for Tap {
     fn default() -> Self {
-        Self { extension: ExtensionStrategy::Adaptive, use_shared_trie: true }
+        Self {
+            extension: ExtensionStrategy::Adaptive,
+            use_shared_trie: true,
+        }
     }
 }
 
 impl Tap {
     /// TAP with an explicit extension strategy.
     pub fn with_extension(extension: ExtensionStrategy) -> Self {
-        Self { extension, ..Self::default() }
+        Self {
+            extension,
+            ..Self::default()
+        }
     }
 
     /// TAP without the shared shallow trie (ablation).
     pub fn without_shared_trie() -> Self {
-        Self { use_shared_trie: false, ..Self::default() }
+        Self {
+            use_shared_trie: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -150,22 +162,17 @@ impl Mechanism for Tap {
         "TAP"
     }
 
-    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
-        config.validate().expect("invalid protocol configuration");
+    fn execute(&self, ctx: &mut RunContext<'_>) -> Result<MechanismOutput, ProtocolError> {
+        let config = ctx.config();
         let start = Instant::now();
-        let estimator = LevelEstimator::new(*config);
-        let mut comm = CommTracker::new();
-        let mut parties = PartyRun::initialise(dataset, config);
+        // Constructing the estimator validates the configuration, so no
+        // invalid parameter survives past this line.
+        let estimator = LevelEstimator::new(config)?;
+        let mut parties = PartyRun::initialise(ctx);
         let gs = config.shared_levels();
 
         // Phase I: shared shallow trie construction (Algorithm 2).
-        let shared = stc::shared_trie_construction(
-            &mut parties,
-            &estimator,
-            config,
-            self.extension,
-            &mut comm,
-        );
+        let shared = stc::shared_trie_construction(&mut parties, &estimator, ctx, self.extension);
         if std::env::var("FEDHH_DEBUG_SHARED").is_ok() {
             eprintln!("[tap] shared prefixes at level {gs}: {shared:?}");
         }
@@ -178,12 +185,12 @@ impl Mechanism for Tap {
         }
 
         // Phase II: independent estimation with a warm start.
+        ctx.phase(RunPhase::LocalEstimation);
         let debug = std::env::var("FEDHH_DEBUG_SHARED").is_ok();
         for party in &mut parties {
             for h in (gs + 1)..=config.granularity {
                 let (candidates, estimate) =
-                    party.estimate_level(&estimator, config, h, None, &[]);
-                comm.record_local_reports(&party.name, estimate.report_bits);
+                    party.estimate_level(&estimator, &config, h, None, &[]);
                 let t = self.extension.extension_count(&estimate, config.k);
                 if debug {
                     eprintln!(
@@ -194,38 +201,63 @@ impl Mechanism for Tap {
                         estimate.std_dev
                     );
                 }
-                party.advance(config, h, estimate, t);
+                ctx.level_estimated(LevelEstimated {
+                    party: party.name.clone(),
+                    level: h,
+                    candidates: candidates.len(),
+                    users: estimate.users,
+                    report_bits: estimate.report_bits,
+                    uplink_bits: 0,
+                });
+                party.advance(&config, h, estimate, t);
             }
         }
 
         // Final aggregation (step ⑪).
-        let locals: Vec<PartyLocalResult> =
-            parties.iter().map(|p| p.final_local_result(config.k)).collect();
+        ctx.phase(RunPhase::Aggregation);
+        let locals: Vec<PartyLocalResult> = parties
+            .iter()
+            .map(|p| p.final_local_result(config.k))
+            .collect();
         let reports: Vec<_> = locals
             .iter()
             .map(|l| {
                 let report = l.to_report(config.granularity);
-                comm.record_uplink(&l.party, report.size_bits());
+                ctx.record_upload(
+                    &l.party,
+                    config.granularity,
+                    report.candidates.len(),
+                    report.size_bits(),
+                );
                 report
             })
             .collect();
         let totals = fedhh_federated::aggregate_reports(&reports);
         let heavy_hitters = federated_top_k(&reports, config.k);
 
-        MechanismOutput {
+        Ok(MechanismOutput {
             heavy_hitters,
             counts: totals,
             local_results: locals,
-            comm,
+            comm: ctx.take_comm(),
             elapsed: start.elapsed(),
-        }
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedhh_datasets::{DatasetConfig, DatasetKind};
+    use crate::run::Run;
+    use fedhh_datasets::{DatasetConfig, DatasetKind, FederatedDataset};
+
+    fn run(tap: &Tap, dataset: &FederatedDataset, config: ProtocolConfig) -> MechanismOutput {
+        Run::custom(tap)
+            .dataset(dataset)
+            .config(config)
+            .execute()
+            .unwrap()
+    }
 
     fn config() -> ProtocolConfig {
         ProtocolConfig {
@@ -240,7 +272,7 @@ mod tests {
     #[test]
     fn tap_returns_k_heavy_hitters() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
-        let output = Tap::default().run(&dataset, &config());
+        let output = run(&Tap::default(), &dataset, config());
         assert_eq!(output.heavy_hitters.len(), 5);
         assert_eq!(output.local_results.len(), dataset.party_count());
         assert!(output.comm.total_uplink_bits() > 0);
@@ -250,9 +282,16 @@ mod tests {
     fn tap_recovers_ground_truth_at_large_epsilon() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
         let truth = dataset.ground_truth_top_k(5);
-        let output = Tap::default().run(&dataset, &config());
-        let hits = truth.iter().filter(|t| output.heavy_hitters.contains(t)).count();
-        assert!(hits >= 2, "expected at least 2 hits, got {hits}: {truth:?} vs {:?}", output.heavy_hitters);
+        let output = run(&Tap::default(), &dataset, config());
+        let hits = truth
+            .iter()
+            .filter(|t| output.heavy_hitters.contains(t))
+            .count();
+        assert!(
+            hits >= 2,
+            "expected at least 2 hits, got {hits}: {truth:?} vs {:?}",
+            output.heavy_hitters
+        );
     }
 
     #[test]
@@ -264,7 +303,7 @@ mod tests {
             Tap::without_shared_trie(),
             Tap::with_extension(ExtensionStrategy::Fixed(5)),
         ] {
-            let output = tap.run(&dataset, &cfg);
+            let output = run(&tap, &dataset, cfg);
             assert_eq!(output.heavy_hitters.len(), 5);
         }
     }
@@ -273,7 +312,9 @@ mod tests {
     fn party_run_initialisation_matches_dataset() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Ycm);
         let cfg = config();
-        let runs = PartyRun::initialise(&dataset, &cfg);
+        let mut observer = fedhh_federated::NullObserver;
+        let ctx = RunContext::new(&dataset, cfg, &mut observer);
+        let runs = PartyRun::initialise(&ctx);
         assert_eq!(runs.len(), 4);
         for (run, party) in runs.iter().zip(dataset.parties()) {
             assert_eq!(run.users_total, party.user_count());

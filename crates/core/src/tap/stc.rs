@@ -11,30 +11,48 @@
 
 use crate::aggregate::local_result_to_report;
 use crate::extension::ExtensionStrategy;
+use crate::run::RunContext;
 use crate::tap::PartyRun;
 use fedhh_federated::{
-    aggregate_reports, top_k_from_counts, CommTracker, LevelEstimator, ProtocolConfig, PAIR_BITS,
+    aggregate_reports, top_k_from_counts, LevelEstimated, LevelEstimator, RunPhase, PAIR_BITS,
 };
 
 /// Runs Phase I over all parties and returns the globally frequent prefixes
 /// C_{g_s} (at most k values, each `schedule.prefix_len(g_s)` bits long).
+///
+/// Emits one [`LevelEstimated`] event per party and level; the level-g_s
+/// candidate report each party uploads rides on a dedicated event so the
+/// observer sees every uplink bit the phase causes.
 pub(crate) fn shared_trie_construction(
     parties: &mut [PartyRun],
     estimator: &LevelEstimator,
-    config: &ProtocolConfig,
+    ctx: &mut RunContext<'_>,
     extension: ExtensionStrategy,
-    comm: &mut CommTracker,
 ) -> Vec<u64> {
+    let config = ctx.config();
     let gs = config.shared_levels();
+    if gs == 0 {
+        // A shared ratio below 1/g leaves no shared levels: Phase I is a
+        // no-op and the "shared trie" is just the root prefix.
+        return vec![0];
+    }
+    ctx.phase(RunPhase::SharedTrie);
 
     // Each party estimates levels 1..=g_s on its Phase I user groups,
     // extending adaptively (Algorithm 2, lines 2–8).
     for party in parties.iter_mut() {
         for h in 1..=gs {
-            let (_, estimate) = party.estimate_level(estimator, config, h, None, &[]);
-            comm.record_local_reports(&party.name, estimate.report_bits);
+            let (candidates, estimate) = party.estimate_level(estimator, &config, h, None, &[]);
             let t = extension.extension_count(&estimate, config.k);
-            party.advance(config, h, estimate, t);
+            ctx.level_estimated(LevelEstimated {
+                party: party.name.clone(),
+                level: h,
+                candidates: candidates.len(),
+                users: estimate.users,
+                report_bits: estimate.report_bits,
+                uplink_bits: 0,
+            });
+            party.advance(&config, h, estimate, t);
         }
     }
 
@@ -48,15 +66,16 @@ pub(crate) fn shared_trie_construction(
                 .last_estimate
                 .as_ref()
                 .expect("phase I estimated at least one level");
-            let report = local_result_to_report(&party.name, party.users_total, estimate, gs);
-            comm.record_uplink(&party.name, report.size_bits());
-            report
+            local_result_to_report(&party.name, party.users_total, estimate, gs)
         })
         .collect();
+    for (party, report) in parties.iter().zip(&reports) {
+        ctx.record_upload(&party.name, gs, report.candidates.len(), report.size_bits());
+    }
     let totals = aggregate_reports(&reports);
     let shared = top_k_from_counts(&totals, config.k);
     for party in parties.iter() {
-        comm.record_downlink(&party.name, shared.len() * PAIR_BITS);
+        ctx.record_downlink(&party.name, shared.len() * PAIR_BITS);
     }
     shared
 }
@@ -65,8 +84,28 @@ pub(crate) fn shared_trie_construction(
 mod tests {
     use super::*;
     use fedhh_datasets::{FederatedDataset, PartyData};
-    use fedhh_federated::ProtocolConfig;
+    use fedhh_federated::{NullObserver, ProtocolConfig};
     use fedhh_trie::{ItemEncoder, Prefix};
+
+    /// Runs Phase I over a toy dataset and returns the shared prefixes plus
+    /// the context's accumulated communication.
+    fn run_phase_one(
+        dataset: &FederatedDataset,
+        cfg: ProtocolConfig,
+    ) -> (Vec<u64>, Vec<PartyRun>, fedhh_federated::CommTracker) {
+        let estimator = LevelEstimator::new(cfg).unwrap();
+        let mut observer = NullObserver;
+        let mut ctx = RunContext::new(dataset, cfg, &mut observer);
+        let mut parties = PartyRun::initialise(&ctx);
+        let shared = shared_trie_construction(
+            &mut parties,
+            &estimator,
+            &mut ctx,
+            ExtensionStrategy::Adaptive,
+        );
+        let comm = ctx.take_comm();
+        (shared, parties, comm)
+    }
 
     /// Two parties with opposite local skews but one shared globally
     /// dominant item.
@@ -105,16 +144,7 @@ mod tests {
     fn shared_prefixes_cover_the_globally_dominant_item() {
         let (dataset, shared_item) = toy_dataset();
         let cfg = config();
-        let estimator = LevelEstimator::new(cfg);
-        let mut parties = PartyRun::initialise(&dataset, &cfg);
-        let mut comm = CommTracker::new();
-        let shared = shared_trie_construction(
-            &mut parties,
-            &estimator,
-            &cfg,
-            ExtensionStrategy::Adaptive,
-            &mut comm,
-        );
+        let (shared, _, _) = run_phase_one(&dataset, cfg);
         assert!(!shared.is_empty());
         assert!(shared.len() <= cfg.k);
         // The prefix of the globally dominant item at level g_s must be in
@@ -131,16 +161,7 @@ mod tests {
     fn communication_is_recorded_for_both_directions() {
         let (dataset, _) = toy_dataset();
         let cfg = config();
-        let estimator = LevelEstimator::new(cfg);
-        let mut parties = PartyRun::initialise(&dataset, &cfg);
-        let mut comm = CommTracker::new();
-        let _ = shared_trie_construction(
-            &mut parties,
-            &estimator,
-            &cfg,
-            ExtensionStrategy::Adaptive,
-            &mut comm,
-        );
+        let (_, _, comm) = run_phase_one(&dataset, cfg);
         assert!(comm.total_uplink_bits() > 0);
         assert!(comm.total_downlink_bits() > 0);
         assert!(comm.total_local_report_bits() > 0);
@@ -150,16 +171,7 @@ mod tests {
     fn phase_one_only_consumes_shared_levels() {
         let (dataset, _) = toy_dataset();
         let cfg = config();
-        let estimator = LevelEstimator::new(cfg);
-        let mut parties = PartyRun::initialise(&dataset, &cfg);
-        let mut comm = CommTracker::new();
-        let _ = shared_trie_construction(
-            &mut parties,
-            &estimator,
-            &cfg,
-            ExtensionStrategy::Adaptive,
-            &mut comm,
-        );
+        let (_, parties, _) = run_phase_one(&dataset, cfg);
         let gs = cfg.shared_levels();
         for party in &parties {
             assert_eq!(party.current_len, cfg.schedule().prefix_len(gs));

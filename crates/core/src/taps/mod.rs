@@ -15,11 +15,11 @@ pub mod pruning;
 use crate::aggregate::PartyLocalResult;
 use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
+use crate::run::RunContext;
 use crate::tap::{stc, PartyRun};
-use fedhh_datasets::FederatedDataset;
 use fedhh_federated::{
-    federated_top_k, CommTracker, LevelEstimator, ProtocolConfig, PruneCandidates,
-    PruneDictionary, PAIR_BITS,
+    federated_top_k, LevelEstimated, LevelEstimator, ProtocolError, PruneCandidates,
+    PruneDictionary, PruningDecision, RunPhase, PAIR_BITS,
 };
 use pruning::{consensus_pruning_set, population_confidence, select_prune_candidates};
 use std::time::Instant;
@@ -39,30 +39,43 @@ pub struct Taps {
 
 impl Default for Taps {
     fn default() -> Self {
-        Self { extension: ExtensionStrategy::Adaptive, use_shared_trie: true, use_pruning: true }
+        Self {
+            extension: ExtensionStrategy::Adaptive,
+            use_shared_trie: true,
+            use_pruning: true,
+        }
     }
 }
 
 impl Taps {
     /// TAPS with an explicit extension strategy.
     pub fn with_extension(extension: ExtensionStrategy) -> Self {
-        Self { extension, ..Self::default() }
+        Self {
+            extension,
+            ..Self::default()
+        }
     }
 
     /// TAPS without the Phase I shared shallow trie (Table 6 ablation).
     pub fn without_shared_trie() -> Self {
-        Self { use_shared_trie: false, ..Self::default() }
+        Self {
+            use_shared_trie: false,
+            ..Self::default()
+        }
     }
 
     /// TAPS without the consensus-based pruning, i.e. TAP (Figure 7).
     pub fn without_pruning() -> Self {
-        Self { use_pruning: false, ..Self::default() }
+        Self {
+            use_pruning: false,
+            ..Self::default()
+        }
     }
 
     /// True when level `h` is a pruning level (Algorithm 4, line 7):
     /// the first g_s levels of Phase II or the last g_s + 1 levels.
     fn is_pruning_level(h: u8, g: u8, gs: u8) -> bool {
-        (h >= g.saturating_sub(gs) && h <= g) || (h >= gs + 1 && h <= 2 * gs)
+        (h >= g.saturating_sub(gs) && h <= g) || (h > gs && h <= 2 * gs)
     }
 }
 
@@ -71,25 +84,21 @@ impl Mechanism for Taps {
         "TAPS"
     }
 
-    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
-        config.validate().expect("invalid protocol configuration");
+    fn execute(&self, ctx: &mut RunContext<'_>) -> Result<MechanismOutput, ProtocolError> {
+        let config = ctx.config();
         let start = Instant::now();
-        let estimator = LevelEstimator::new(*config);
-        let mut comm = CommTracker::new();
+        let dataset = ctx.dataset();
+        // Constructing the estimator validates the configuration, so no
+        // invalid parameter survives past this line.
+        let estimator = LevelEstimator::new(config)?;
         let gs = config.shared_levels();
         let g = config.granularity;
         let total_users = dataset.total_users();
 
-        let mut parties = PartyRun::initialise(dataset, config);
+        let mut parties = PartyRun::initialise(ctx);
 
         // Phase I: shared shallow trie construction (identical to TAP).
-        let shared = stc::shared_trie_construction(
-            &mut parties,
-            &estimator,
-            config,
-            self.extension,
-            &mut comm,
-        );
+        let shared = stc::shared_trie_construction(&mut parties, &estimator, ctx, self.extension);
         if self.use_shared_trie {
             let shared_len = config.schedule().prefix_len(gs);
             for party in &mut parties {
@@ -99,6 +108,7 @@ impl Mechanism for Taps {
         }
 
         // Phase II: sequential estimation in descending population order.
+        ctx.phase(RunPhase::LocalEstimation);
         let mut order: Vec<usize> = (0..parties.len()).collect();
         order.sort_by(|a, b| parties[*b].users_total.cmp(&parties[*a].users_total));
 
@@ -125,8 +135,7 @@ impl Mechanism for Taps {
                     if let Some((dict, prev_users)) = &previous {
                         if let Some(candidates) = dict.level(h) {
                             let (val0, rest) = group.split_at(validation_size.min(group.len()));
-                            let (val1, rest) =
-                                rest.split_at(validation_size.min(rest.len()));
+                            let (val1, rest) = rest.split_at(validation_size.min(rest.len()));
                             main_users = rest;
 
                             let noise = parties[party_idx].noise_seed ^ ((h as u64) << 20);
@@ -138,13 +147,9 @@ impl Mechanism for Taps {
                             );
                             let frequent_values: Vec<u64> =
                                 candidates.frequent.iter().map(|(v, _)| *v).collect();
-                            let validated_frequent = estimator.estimate(
-                                &frequent_values,
-                                len,
-                                val1,
-                                noise ^ 0xF0F0,
-                            );
-                            comm.record_local_reports(
+                            let validated_frequent =
+                                estimator.estimate(&frequent_values, len, val1, noise ^ 0xF0F0);
+                            ctx.record_validation_reports(
                                 &parties[party_idx].name,
                                 validated_infrequent.report_bits + validated_frequent.report_bits,
                             );
@@ -157,19 +162,34 @@ impl Mechanism for Taps {
                                 config.epsilon,
                                 gamma,
                             );
+                            if !pruned.is_empty() {
+                                ctx.pruning_decision(PruningDecision {
+                                    party: parties[party_idx].name.clone(),
+                                    level: h,
+                                    pruned: pruned.clone(),
+                                    gamma,
+                                });
+                            }
                         }
                     }
                 }
 
                 let main_users: Vec<u64> = main_users.to_vec();
-                let (_, estimate) = parties[party_idx].estimate_level(
+                let (candidates, estimate) = parties[party_idx].estimate_level(
                     &estimator,
-                    config,
+                    &config,
                     h,
                     Some(&main_users),
                     &pruned,
                 );
-                comm.record_local_reports(&parties[party_idx].name, estimate.report_bits);
+                ctx.level_estimated(LevelEstimated {
+                    party: parties[party_idx].name.clone(),
+                    level: h,
+                    candidates: candidates.len(),
+                    users: estimate.users,
+                    report_bits: estimate.report_bits,
+                    uplink_bits: 0,
+                });
                 let t = self.extension.extension_count(&estimate, config.k);
 
                 // Select the pruning dictionary entry for the next party
@@ -177,29 +197,32 @@ impl Mechanism for Taps {
                 if self.use_pruning && pruning_level && !is_last {
                     own_dictionary.insert(h, select_prune_candidates(&estimate, config.k));
                 }
-                parties[party_idx].advance(config, h, estimate, t);
+                parties[party_idx].advance(&config, h, estimate, t);
             }
 
             // Upload the pruning dictionary; the server forwards it to the
             // next party in the sequence.
             if !own_dictionary.is_empty() {
                 let bits = own_dictionary.size_bits();
-                comm.record_uplink(&parties[party_idx].name, bits);
+                ctx.record_upload(&parties[party_idx].name, g, bits / PAIR_BITS, bits);
                 if let Some(&next_idx) = order.get(seq + 1) {
-                    comm.record_downlink(&parties[next_idx].name, bits);
+                    ctx.record_downlink(&parties[next_idx].name, bits);
                 }
             }
             previous = Some((own_dictionary, parties[party_idx].users_total));
         }
 
         // Final aggregation (step ⑪) — identical to TAP.
-        let locals: Vec<PartyLocalResult> =
-            parties.iter().map(|p| p.final_local_result(config.k)).collect();
+        ctx.phase(RunPhase::Aggregation);
+        let locals: Vec<PartyLocalResult> = parties
+            .iter()
+            .map(|p| p.final_local_result(config.k))
+            .collect();
         let reports: Vec<_> = locals
             .iter()
             .map(|l| {
                 let report = l.to_report(config.granularity);
-                comm.record_uplink(&l.party, report.size_bits());
+                ctx.record_upload(&l.party, g, report.candidates.len(), report.size_bits());
                 report
             })
             .collect();
@@ -209,16 +232,16 @@ impl Mechanism for Taps {
         // Account the Phase I broadcast of protocol parameters (step ①) —
         // a constant per party, charged here for completeness.
         for party in dataset.parties() {
-            comm.record_downlink(party.name(), PAIR_BITS);
+            ctx.record_downlink(party.name(), PAIR_BITS);
         }
 
-        MechanismOutput {
+        Ok(MechanismOutput {
             heavy_hitters,
             counts: totals,
             local_results: locals,
-            comm,
+            comm: ctx.take_comm(),
             elapsed: start.elapsed(),
-        }
+        })
     }
 }
 
@@ -229,7 +252,17 @@ const _: fn() -> PruneCandidates = PruneCandidates::default;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedhh_datasets::{DatasetConfig, DatasetKind};
+    use crate::run::Run;
+    use fedhh_datasets::{DatasetConfig, DatasetKind, FederatedDataset};
+    use fedhh_federated::ProtocolConfig;
+
+    fn run(taps: &Taps, dataset: &FederatedDataset, config: ProtocolConfig) -> MechanismOutput {
+        Run::custom(taps)
+            .dataset(dataset)
+            .config(config)
+            .execute()
+            .unwrap()
+    }
 
     fn config() -> ProtocolConfig {
         ProtocolConfig {
@@ -244,7 +277,7 @@ mod tests {
     #[test]
     fn taps_returns_k_heavy_hitters_with_accounting() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
-        let output = Taps::default().run(&dataset, &config());
+        let output = run(&Taps::default(), &dataset, config());
         assert_eq!(output.heavy_hitters.len(), 5);
         assert_eq!(output.local_results.len(), dataset.party_count());
         assert!(output.comm.total_uplink_bits() > 0);
@@ -256,8 +289,11 @@ mod tests {
     fn taps_recovers_ground_truth_at_large_epsilon() {
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
         let truth = dataset.ground_truth_top_k(5);
-        let output = Taps::default().run(&dataset, &config());
-        let hits = truth.iter().filter(|t| output.heavy_hitters.contains(t)).count();
+        let output = run(&Taps::default(), &dataset, config());
+        let hits = truth
+            .iter()
+            .filter(|t| output.heavy_hitters.contains(t))
+            .count();
         assert!(
             hits >= 2,
             "expected at least 2 hits, got {hits}: truth {truth:?} vs {:?}",
@@ -286,7 +322,7 @@ mod tests {
             Taps::without_shared_trie(),
             Taps::with_extension(ExtensionStrategy::Fixed(5)),
         ] {
-            let output = taps.run(&dataset, &cfg);
+            let output = run(&taps, &dataset, cfg);
             assert_eq!(output.heavy_hitters.len(), 5, "variant {taps:?}");
         }
     }
@@ -296,8 +332,12 @@ mod tests {
         use crate::fedpem::FedPem;
         let dataset = DatasetConfig::test_scale().build(DatasetKind::Ycm);
         let cfg = config();
-        let taps = Taps::default().run(&dataset, &cfg);
-        let fedpem = FedPem::default().run(&dataset, &cfg);
+        let taps = run(&Taps::default(), &dataset, cfg);
+        let fedpem = Run::custom(&FedPem::default())
+            .dataset(&dataset)
+            .config(cfg)
+            .execute()
+            .unwrap();
         // TAPS ships pruning dictionaries and Phase I reports on top of the
         // final top-k upload.
         assert!(taps.comm.total_uplink_bits() >= fedpem.comm.total_uplink_bits());

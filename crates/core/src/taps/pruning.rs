@@ -25,7 +25,10 @@ pub fn select_prune_candidates(estimate: &LevelEstimate, k: usize) -> PruneCandi
     let take = (2 * k).min(ranked.len());
     let frequent: Vec<(u64, f64)> = ranked.iter().take(take).copied().collect();
     let infrequent: Vec<u64> = ranked.iter().rev().take(take).map(|(v, _)| *v).collect();
-    PruneCandidates { infrequent, frequent }
+    PruneCandidates {
+        infrequent,
+        frequent,
+    }
 }
 
 /// The population confidence γ of Equation 5:
@@ -81,10 +84,7 @@ pub fn consensus_intersection(
 /// frequent candidates sorted by `prev_freq / (validated_freq + τ)`,
 /// descending — candidates that were popular before but are (nearly) absent
 /// here come first.
-pub fn contrast_ordering(
-    previous_frequent: &[(u64, f64)],
-    validated: &LevelEstimate,
-) -> Vec<u64> {
+pub fn contrast_ordering(previous_frequent: &[(u64, f64)], validated: &LevelEstimate) -> Vec<u64> {
     let mut scored: Vec<(u64, f64)> = previous_frequent
         .iter()
         .map(|(value, prev_freq)| {
@@ -93,7 +93,9 @@ pub fn contrast_ordering(
         })
         .collect();
     scored.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
     scored.into_iter().map(|(v, _)| v).collect()
 }
@@ -106,7 +108,9 @@ pub fn ascending_validated_order(candidates: &[u64], validated: &LevelEstimate) 
         .map(|value| (*value, validated.frequency_of(*value)))
         .collect();
     scored.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
     scored.into_iter().map(|(v, _)| v).collect()
 }
@@ -129,15 +133,8 @@ pub fn consensus_pruning_set(
     // Type 1 (Equations 5–6): globally infrequent prefixes — agreement
     // between the previous party's infrequent list and this party's
     // ascending validation order.
-    let validated_order_0 =
-        ascending_validated_order(&previous.infrequent, validated_infrequent);
-    let type0 = consensus_intersection(
-        &previous.infrequent,
-        &validated_order_0,
-        k,
-        epsilon,
-        gamma,
-    );
+    let validated_order_0 = ascending_validated_order(&previous.infrequent, validated_infrequent);
+    let type0 = consensus_intersection(&previous.infrequent, &validated_order_0, k, epsilon, gamma);
 
     // Type 2 (Equations 7–8): prefixes popular in the previous party but
     // (nearly) absent here — agreement between the contrast ordering and
@@ -245,10 +242,19 @@ mod tests {
         };
         let validated_infrequent = estimate(vec![90, 91, 92, 93], vec![0.001, 0.002, 0.001, 0.003]);
         let validated_frequent = estimate(vec![1, 2, 3, 4], vec![0.3, 0.2, 0.0001, 0.1]);
-        let pruned =
-            consensus_pruning_set(&previous, &validated_infrequent, &validated_frequent, 4, 4.0, 0.2);
+        let pruned = consensus_pruning_set(
+            &previous,
+            &validated_infrequent,
+            &validated_frequent,
+            4,
+            4.0,
+            0.2,
+        );
         // The agreed-infrequent candidates should be pruned.
-        assert!(pruned.iter().any(|v| previous.infrequent.contains(v)), "pruned {pruned:?}");
+        assert!(
+            pruned.iter().any(|v| previous.infrequent.contains(v)),
+            "pruned {pruned:?}"
+        );
         // Item 3 (popular before, absent here) should be pruned; item 1
         // (popular in both) must not be.
         assert!(pruned.contains(&3), "pruned {pruned:?}");

@@ -21,7 +21,10 @@ impl DirichletSampler {
     /// over `n ≥ 1` components.
     pub fn new(n: usize, beta: f64) -> Self {
         assert!(n >= 1, "Dirichlet needs at least one component");
-        assert!(beta > 0.0 && beta.is_finite(), "concentration must be positive");
+        assert!(
+            beta > 0.0 && beta.is_finite(),
+            "concentration must be positive"
+        );
         Self { n, beta }
     }
 
@@ -101,7 +104,10 @@ mod tests {
         for shape in [0.5, 1.0, 3.0, 8.0] {
             let n = 20_000;
             let mean: f64 = (0..n).map(|_| sample_gamma(shape, &mut rng)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() < 0.1 * shape.max(1.0), "shape {shape}: mean {mean}");
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
         }
     }
 
@@ -118,7 +124,10 @@ mod tests {
         };
         let skewed = avg_max(0.2, &mut rng);
         let balanced = avg_max(5.0, &mut rng);
-        assert!(skewed > balanced + 0.1, "skewed {skewed} vs balanced {balanced}");
+        assert!(
+            skewed > balanced + 0.1,
+            "skewed {skewed} vs balanced {balanced}"
+        );
     }
 
     #[test]

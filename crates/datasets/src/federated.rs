@@ -3,11 +3,10 @@
 use crate::party::PartyData;
 use crate::stats::FrequencyTable;
 use fedhh_trie::{ItemEncoder, PrefixTree};
-use serde::{Deserialize, Serialize};
 
 /// A federated dataset: several parties, each with its own users, over a
 /// shared m-bit item code space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FederatedDataset {
     name: String,
     parties: Vec<PartyData>,
@@ -26,12 +25,20 @@ impl FederatedDataset {
         code_bits: u8,
         encoder: ItemEncoder,
     ) -> Self {
-        assert!(!parties.is_empty(), "a federated dataset needs at least one party");
+        assert!(
+            !parties.is_empty(),
+            "a federated dataset needs at least one party"
+        );
         assert!(
             parties.iter().all(|p| p.code_bits() == code_bits),
             "all parties must use the same code width"
         );
-        Self { name: name.into(), parties, code_bits, encoder }
+        Self {
+            name: name.into(),
+            parties,
+            code_bits,
+            encoder,
+        }
     }
 
     /// Dataset display name (e.g. `"RDB"`).

@@ -37,6 +37,6 @@ pub use dirichlet::DirichletSampler;
 pub use federated::FederatedDataset;
 pub use party::PartyData;
 pub use poisson::PoissonWeights;
-pub use registry::{DatasetConfig, DatasetKind};
+pub use registry::{DatasetConfig, DatasetKind, ParseDatasetKindError};
 pub use stats::{global_top_k, FrequencyTable};
 pub use zipf::ZipfSampler;

@@ -7,10 +7,9 @@
 
 use crate::stats::FrequencyTable;
 use fedhh_trie::PrefixTree;
-use serde::{Deserialize, Serialize};
 
 /// One party's local dataset: a name and the item code held by each user.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartyData {
     name: String,
     /// One m-bit item code per user.
@@ -22,7 +21,11 @@ pub struct PartyData {
 impl PartyData {
     /// Creates a party dataset from per-user item codes.
     pub fn new(name: impl Into<String>, items: Vec<u64>, code_bits: u8) -> Self {
-        Self { name: name.into(), items, code_bits }
+        Self {
+            name: name.into(),
+            items,
+            code_bits,
+        }
     }
 
     /// The party's display name (e.g. `"RDB/reddit"`).

@@ -22,7 +22,10 @@ impl PoissonWeights {
         assert!(n > 0, "Poisson sampler needs at least one rank");
         assert!(lambda > 0.0 && lambda.is_finite(), "λ must be positive");
         let weights: Vec<f64> = (0..n).map(|r| poisson_pmf(r, lambda)).collect();
-        Self { cdf: cumulative(&weights), lambda }
+        Self {
+            cdf: cumulative(&weights),
+            lambda,
+        }
     }
 
     /// The rate parameter λ.
@@ -99,12 +102,12 @@ mod tests {
         let p = PoissonWeights::new(25, 6.0);
         let mut rng = StdRng::seed_from_u64(7);
         let n = 100_000;
-        let mut counts = vec![0usize; 25];
+        let mut counts = [0usize; 25];
         for _ in 0..n {
             counts[p.sample(&mut rng)] += 1;
         }
-        for r in 2..10 {
-            let emp = counts[r] as f64 / n as f64;
+        for (r, &count) in counts.iter().enumerate().take(10).skip(2) {
+            let emp = count as f64 / n as f64;
             assert!((emp - p.probability(r)).abs() < 0.01, "rank {r}: {emp}");
         }
     }

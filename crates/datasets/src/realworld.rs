@@ -69,7 +69,11 @@ pub struct ScaleConfig {
 
 impl Default for ScaleConfig {
     fn default() -> Self {
-        Self { user_scale: 0.02, item_scale: 0.1, code_bits: 48 }
+        Self {
+            user_scale: 0.02,
+            item_scale: 0.1,
+            code_bits: 48,
+        }
     }
 }
 
@@ -127,12 +131,7 @@ pub fn generate_group(spec: &GroupSpec, scale: ScaleConfig, seed: u64) -> Federa
 /// Builds a party-specific popularity ranking by interleaving a shuffled
 /// common pool and a shuffled exclusive pool, preferring common items near
 /// the head with probability `bias`.
-fn rank_pool(
-    common: &[u64],
-    exclusive: &[u64],
-    bias: f64,
-    rng: &mut StdRng,
-) -> Vec<u64> {
+fn rank_pool(common: &[u64], exclusive: &[u64], bias: f64, rng: &mut StdRng) -> Vec<u64> {
     let mut common: Vec<u64> = common.to_vec();
     let mut exclusive: Vec<u64> = exclusive.to_vec();
     common.shuffle(rng);
@@ -163,8 +162,18 @@ pub fn rdb_spec() -> GroupSpec {
     GroupSpec {
         name: "RDB",
         parties: vec![
-            PartySpec { name: "reddit", users: 252_830, unique_items: 30_550, zipf_alpha: 1.1 },
-            PartySpec { name: "imdb", users: 100_000, unique_items: 15_470, zipf_alpha: 1.15 },
+            PartySpec {
+                name: "reddit",
+                users: 252_830,
+                unique_items: 30_550,
+                zipf_alpha: 1.1,
+            },
+            PartySpec {
+                name: "imdb",
+                users: 100_000,
+                unique_items: 15_470,
+                zipf_alpha: 1.15,
+            },
         ],
         common_items: 8_047,
         common_head_bias: 0.55,
@@ -176,10 +185,30 @@ pub fn ycm_spec() -> GroupSpec {
     GroupSpec {
         name: "YCM",
         parties: vec![
-            PartySpec { name: "yahoo", users: 812_300, unique_items: 79_971, zipf_alpha: 1.1 },
-            PartySpec { name: "cnn_dailymail", users: 287_113, unique_items: 32_162, zipf_alpha: 1.12 },
-            PartySpec { name: "mind", users: 123_082, unique_items: 17_309, zipf_alpha: 1.15 },
-            PartySpec { name: "swag", users: 113_553, unique_items: 7_656, zipf_alpha: 1.2 },
+            PartySpec {
+                name: "yahoo",
+                users: 812_300,
+                unique_items: 79_971,
+                zipf_alpha: 1.1,
+            },
+            PartySpec {
+                name: "cnn_dailymail",
+                users: 287_113,
+                unique_items: 32_162,
+                zipf_alpha: 1.12,
+            },
+            PartySpec {
+                name: "mind",
+                users: 123_082,
+                unique_items: 17_309,
+                zipf_alpha: 1.15,
+            },
+            PartySpec {
+                name: "swag",
+                users: 113_553,
+                unique_items: 7_656,
+                zipf_alpha: 1.2,
+            },
         ],
         common_items: 3_879,
         common_head_bias: 0.55,
@@ -192,12 +221,42 @@ pub fn tys_spec() -> GroupSpec {
     GroupSpec {
         name: "TYS",
         parties: vec![
-            PartySpec { name: "twitter", users: 658_549, unique_items: 80_126, zipf_alpha: 1.1 },
-            PartySpec { name: "yelp", users: 649_917, unique_items: 34_866, zipf_alpha: 1.12 },
-            PartySpec { name: "scientific_papers", users: 349_119, unique_items: 27_372, zipf_alpha: 1.15 },
-            PartySpec { name: "amazon_arts", users: 200_000, unique_items: 8_914, zipf_alpha: 1.18 },
-            PartySpec { name: "squad", users: 142_192, unique_items: 19_895, zipf_alpha: 1.2 },
-            PartySpec { name: "ag_news", users: 119_999, unique_items: 15_879, zipf_alpha: 1.22 },
+            PartySpec {
+                name: "twitter",
+                users: 658_549,
+                unique_items: 80_126,
+                zipf_alpha: 1.1,
+            },
+            PartySpec {
+                name: "yelp",
+                users: 649_917,
+                unique_items: 34_866,
+                zipf_alpha: 1.12,
+            },
+            PartySpec {
+                name: "scientific_papers",
+                users: 349_119,
+                unique_items: 27_372,
+                zipf_alpha: 1.15,
+            },
+            PartySpec {
+                name: "amazon_arts",
+                users: 200_000,
+                unique_items: 8_914,
+                zipf_alpha: 1.18,
+            },
+            PartySpec {
+                name: "squad",
+                users: 142_192,
+                unique_items: 19_895,
+                zipf_alpha: 1.2,
+            },
+            PartySpec {
+                name: "ag_news",
+                users: 119_999,
+                unique_items: 15_879,
+                zipf_alpha: 1.22,
+            },
         ],
         common_items: 2_175,
         common_head_bias: 0.55,
@@ -210,12 +269,42 @@ pub fn uba_spec() -> GroupSpec {
     GroupSpec {
         name: "UBA",
         parties: vec![
-            PartySpec { name: "uba0", users: 1_476_546, unique_items: 162_833, zipf_alpha: 1.05 },
-            PartySpec { name: "uba1", users: 1_263_768, unique_items: 167_196, zipf_alpha: 1.08 },
-            PartySpec { name: "uba2", users: 1_246_972, unique_items: 167_309, zipf_alpha: 1.1 },
-            PartySpec { name: "uba3", users: 1_117_376, unique_items: 58_087, zipf_alpha: 1.12 },
-            PartySpec { name: "uba4", users: 774_626, unique_items: 9_203, zipf_alpha: 1.15 },
-            PartySpec { name: "uba5", users: 604_082, unique_items: 4_979, zipf_alpha: 1.2 },
+            PartySpec {
+                name: "uba0",
+                users: 1_476_546,
+                unique_items: 162_833,
+                zipf_alpha: 1.05,
+            },
+            PartySpec {
+                name: "uba1",
+                users: 1_263_768,
+                unique_items: 167_196,
+                zipf_alpha: 1.08,
+            },
+            PartySpec {
+                name: "uba2",
+                users: 1_246_972,
+                unique_items: 167_309,
+                zipf_alpha: 1.1,
+            },
+            PartySpec {
+                name: "uba3",
+                users: 1_117_376,
+                unique_items: 58_087,
+                zipf_alpha: 1.12,
+            },
+            PartySpec {
+                name: "uba4",
+                users: 774_626,
+                unique_items: 9_203,
+                zipf_alpha: 1.15,
+            },
+            PartySpec {
+                name: "uba5",
+                users: 604_082,
+                unique_items: 4_979,
+                zipf_alpha: 1.2,
+            },
         ],
         common_items: 975,
         common_head_bias: 0.6,
@@ -227,7 +316,11 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> ScaleConfig {
-        ScaleConfig { user_scale: 0.002, item_scale: 0.01, code_bits: 16 }
+        ScaleConfig {
+            user_scale: 0.002,
+            item_scale: 0.01,
+            code_bits: 16,
+        }
     }
 
     #[test]
@@ -294,6 +387,9 @@ mod tests {
         let ranking = rank_pool(&common, &exclusive, 0.8, &mut rng);
         // With bias 0.8 most of the first 50 ranks should be common items.
         let head_common = ranking.iter().take(50).filter(|v| **v < 50).count();
-        assert!(head_common > 25, "only {head_common} common items in the head");
+        assert!(
+            head_common > 25,
+            "only {head_common} common items in the head"
+        );
     }
 }

@@ -3,10 +3,9 @@
 use crate::federated::FederatedDataset;
 use crate::realworld::{generate_group, rdb_spec, tys_spec, uba_spec, ycm_spec, ScaleConfig};
 use crate::synthetic::{generate_syn, SynConfig};
-use serde::{Deserialize, Serialize};
 
 /// The five dataset groups used in the paper's evaluation (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// Reddit + IMDB (2 parties).
     Rdb,
@@ -70,8 +69,36 @@ impl std::fmt::Display for DatasetKind {
     }
 }
 
+/// Error returned when a string does not name a known dataset group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDatasetKindError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseDatasetKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown dataset {:?}; expected one of RDB, YCM, TYS, UBA, SYN",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseDatasetKindError {}
+
+impl std::str::FromStr for DatasetKind {
+    type Err = ParseDatasetKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| ParseDatasetKindError {
+            input: s.to_string(),
+        })
+    }
+}
+
 /// Configuration for dataset generation shared by all groups.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DatasetConfig {
     /// Multiplier applied to the paper's user populations.
     pub user_scale: f64,
@@ -87,14 +114,26 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        Self { user_scale: 0.02, item_scale: 0.1, code_bits: 48, syn_beta: 0.5, seed: 42 }
+        Self {
+            user_scale: 0.02,
+            item_scale: 0.1,
+            code_bits: 48,
+            syn_beta: 0.5,
+            seed: 42,
+        }
     }
 }
 
 impl DatasetConfig {
     /// A down-scaled configuration suitable for unit/integration tests.
     pub fn test_scale() -> Self {
-        Self { user_scale: 0.004, item_scale: 0.01, code_bits: 16, syn_beta: 0.5, seed: 42 }
+        Self {
+            user_scale: 0.004,
+            item_scale: 0.01,
+            code_bits: 16,
+            syn_beta: 0.5,
+            seed: 42,
+        }
     }
 
     /// Builds a dataset of the given kind under this configuration.
@@ -135,6 +174,15 @@ mod tests {
         }
         assert_eq!(DatasetKind::parse("rdb"), Some(DatasetKind::Rdb));
         assert_eq!(DatasetKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn from_str_delegates_to_parse() {
+        for kind in DatasetKind::ALL {
+            assert_eq!(kind.name().parse::<DatasetKind>(), Ok(kind));
+        }
+        let err = "unknown".parse::<DatasetKind>().unwrap_err();
+        assert!(err.to_string().contains("unknown"));
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Exact (non-private) frequency statistics and ground truths.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// An exact frequency table over item codes.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FrequencyTable {
     counts: HashMap<u64, u64>,
     total: u64,

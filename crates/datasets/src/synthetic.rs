@@ -73,14 +73,46 @@ impl Default for SynConfig {
 /// The eight SYN parties of Table 2.
 pub fn syn_party_specs() -> Vec<SynPartySpec> {
     vec![
-        SynPartySpec { name: "syn0", users: 220_000, profile: FrequencyProfile::Poisson(10.0) },
-        SynPartySpec { name: "syn1", users: 170_000, profile: FrequencyProfile::Poisson(8.0) },
-        SynPartySpec { name: "syn2", users: 120_000, profile: FrequencyProfile::Zipf(1.1) },
-        SynPartySpec { name: "syn3", users: 80_000, profile: FrequencyProfile::Zipf(1.3) },
-        SynPartySpec { name: "syn4", users: 70_000, profile: FrequencyProfile::Poisson(6.0) },
-        SynPartySpec { name: "syn5", users: 60_000, profile: FrequencyProfile::Poisson(4.0) },
-        SynPartySpec { name: "syn6", users: 30_000, profile: FrequencyProfile::Zipf(1.5) },
-        SynPartySpec { name: "syn7", users: 30_000, profile: FrequencyProfile::Zipf(1.7) },
+        SynPartySpec {
+            name: "syn0",
+            users: 220_000,
+            profile: FrequencyProfile::Poisson(10.0),
+        },
+        SynPartySpec {
+            name: "syn1",
+            users: 170_000,
+            profile: FrequencyProfile::Poisson(8.0),
+        },
+        SynPartySpec {
+            name: "syn2",
+            users: 120_000,
+            profile: FrequencyProfile::Zipf(1.1),
+        },
+        SynPartySpec {
+            name: "syn3",
+            users: 80_000,
+            profile: FrequencyProfile::Zipf(1.3),
+        },
+        SynPartySpec {
+            name: "syn4",
+            users: 70_000,
+            profile: FrequencyProfile::Poisson(6.0),
+        },
+        SynPartySpec {
+            name: "syn5",
+            users: 60_000,
+            profile: FrequencyProfile::Poisson(4.0),
+        },
+        SynPartySpec {
+            name: "syn6",
+            users: 30_000,
+            profile: FrequencyProfile::Zipf(1.5),
+        },
+        SynPartySpec {
+            name: "syn7",
+            users: 30_000,
+            profile: FrequencyProfile::Zipf(1.7),
+        },
     ]
 }
 
@@ -101,12 +133,18 @@ pub fn generate_syn_with_parties(
     let encoder = ItemEncoder::new(config.code_bits, seed ^ 0xFACE_FEED);
 
     // Build the item universe and split it into N groups of equal size.
-    let universe = ((config.universe_items as f64) * config.item_scale).round().max(60.0) as u64;
+    let universe = ((config.universe_items as f64) * config.item_scale)
+        .round()
+        .max(60.0) as u64;
     let group_size = (universe as usize / config.groups).max(1);
     let groups: Vec<Vec<u64>> = (0..config.groups)
         .map(|g| {
             let start = (g * group_size) as u64;
-            let end = if g == config.groups - 1 { universe } else { start + group_size as u64 };
+            let end = if g == config.groups - 1 {
+                universe
+            } else {
+                start + group_size as u64
+            };
             (start..end).collect()
         })
         .collect();
@@ -136,14 +174,22 @@ pub fn generate_syn_with_parties(
         let items: Vec<u64> = match spec.profile {
             FrequencyProfile::Zipf(alpha) => {
                 let sampler = ZipfSampler::new(domain.len(), alpha);
-                (0..users).map(|_| encoder.encode(domain[sampler.sample(&mut rng)])).collect()
+                (0..users)
+                    .map(|_| encoder.encode(domain[sampler.sample(&mut rng)]))
+                    .collect()
             }
             FrequencyProfile::Poisson(lambda) => {
                 let sampler = PoissonWeights::new(domain.len(), lambda);
-                (0..users).map(|_| encoder.encode(domain[sampler.sample(&mut rng)])).collect()
+                (0..users)
+                    .map(|_| encoder.encode(domain[sampler.sample(&mut rng)]))
+                    .collect()
             }
         };
-        out_parties.push(PartyData::new(format!("SYN/{}", spec.name), items, config.code_bits));
+        out_parties.push(PartyData::new(
+            format!("SYN/{}", spec.name),
+            items,
+            config.code_bits,
+        ));
     }
 
     FederatedDataset::new("SYN", out_parties, config.code_bits, encoder)
@@ -190,8 +236,7 @@ mod tests {
             for seed in [23, 24, 25] {
                 let config = tiny_config(beta);
                 let ds = generate_syn(&config, seed);
-                let universe =
-                    ((config.universe_items as f64) * config.item_scale).round() as u64;
+                let universe = ((config.universe_items as f64) * config.item_scale).round() as u64;
                 let group_size = (universe as usize / config.groups).max(1) as u64;
                 for party in ds.parties() {
                     let mut group_counts = vec![0.0f64; config.groups];
@@ -247,8 +292,16 @@ mod tests {
     #[test]
     fn custom_party_specs_are_respected() {
         let custom = vec![
-            SynPartySpec { name: "a", users: 30_000, profile: FrequencyProfile::Zipf(1.2) },
-            SynPartySpec { name: "b", users: 60_000, profile: FrequencyProfile::Poisson(5.0) },
+            SynPartySpec {
+                name: "a",
+                users: 30_000,
+                profile: FrequencyProfile::Zipf(1.2),
+            },
+            SynPartySpec {
+                name: "b",
+                users: 60_000,
+                profile: FrequencyProfile::Poisson(5.0),
+            },
         ];
         let ds = generate_syn_with_parties(&tiny_config(0.5), &custom, 2);
         assert_eq!(ds.party_count(), 2);

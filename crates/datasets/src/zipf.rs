@@ -19,9 +19,15 @@ impl ZipfSampler {
     /// Creates a Zipf sampler over `n` ranks with exponent `alpha > 0`.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf sampler needs at least one rank");
-        assert!(alpha > 0.0 && alpha.is_finite(), "Zipf exponent must be positive");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "Zipf exponent must be positive"
+        );
         let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-alpha)).collect();
-        Self { cdf: cumulative(&weights), alpha }
+        Self {
+            cdf: cumulative(&weights),
+            alpha,
+        }
     }
 
     /// The exponent α.
@@ -109,12 +115,12 @@ mod tests {
         let z = ZipfSampler::new(20, 1.1);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 100_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..5 {
-            let emp = counts[r] as f64 / n as f64;
+        for (r, &count) in counts.iter().enumerate().take(5) {
+            let emp = count as f64 / n as f64;
             assert!((emp - z.probability(r)).abs() < 0.01, "rank {r}: {emp}");
         }
     }

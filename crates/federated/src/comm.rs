@@ -6,13 +6,11 @@
 //! optionally the users' report traffic inside each party, so the benchmark
 //! harness can print the same columns.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Accumulated traffic statistics for one run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommTracker {
     /// Party → bits uploaded to the server.
     uplink_bits: BTreeMap<String, usize>,
@@ -133,13 +131,13 @@ mod tests {
             .map(|i| {
                 let tracker = Arc::clone(&tracker);
                 std::thread::spawn(move || {
-                    tracker.lock().record_uplink(&format!("p{i}"), 10);
+                    tracker.lock().unwrap().record_uplink(&format!("p{i}"), 10);
                 })
             })
             .collect();
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(tracker.lock().total_uplink_bits(), 40);
+        assert_eq!(tracker.lock().unwrap().total_uplink_bits(), 40);
     }
 }

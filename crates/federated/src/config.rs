@@ -1,15 +1,15 @@
 //! Protocol configuration broadcast by the server to every party.
 
+use crate::error::ProtocolError;
 use fedhh_fo::{FoKind, PrivacyBudget};
 use fedhh_trie::LevelSchedule;
-use serde::{Deserialize, Serialize};
 
 /// The full parameter set of a federated heavy hitter run.
 ///
 /// Defaults follow Section 7.1 of the paper: k-RR as the FO, maximum binary
 /// length m = 48, granularity g = 24 (step size 2), shared-trie ratio 0.25,
 /// dividing ratio β = 0.1, and 10% of users assigned to Phase I.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ProtocolConfig {
     /// The query: how many federated heavy hitters to identify.
     pub k: usize,
@@ -51,7 +51,11 @@ impl Default for ProtocolConfig {
 impl ProtocolConfig {
     /// A configuration suitable for fast tests: 16-bit codes over 8 levels.
     pub fn test_default() -> Self {
-        Self { max_bits: 16, granularity: 8, ..Self::default() }
+        Self {
+            max_bits: 16,
+            granularity: 8,
+            ..Self::default()
+        }
     }
 
     /// The level schedule implied by `max_bits` and `granularity`.
@@ -64,9 +68,11 @@ impl ProtocolConfig {
         self.schedule().shared_levels(self.shared_ratio)
     }
 
-    /// The validated privacy budget.
-    pub fn budget(&self) -> PrivacyBudget {
-        PrivacyBudget::new(self.epsilon).expect("protocol configured with an invalid ε")
+    /// The validated privacy budget, rejecting non-positive or non-finite ε.
+    pub fn budget(&self) -> Result<PrivacyBudget, ProtocolError> {
+        PrivacyBudget::new(self.epsilon).map_err(|_| ProtocolError::InvalidBudget {
+            epsilon: self.epsilon,
+        })
     }
 
     /// Returns a copy with a different privacy budget (used by ε sweeps).
@@ -93,28 +99,38 @@ impl ProtocolConfig {
         self
     }
 
-    /// Validates internal consistency; called by the mechanisms before a run.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates internal consistency; called by the run API before any
+    /// mechanism executes.  Every violation maps to a dedicated
+    /// [`ProtocolError`] variant.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
         if self.k == 0 {
-            return Err("query k must be positive".to_string());
+            return Err(ProtocolError::InvalidQuery { k: self.k });
         }
         if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
-            return Err(format!("privacy budget must be positive, got {}", self.epsilon));
+            return Err(ProtocolError::InvalidBudget {
+                epsilon: self.epsilon,
+            });
         }
-        if self.granularity == 0 || self.granularity as u16 > self.max_bits as u16 {
-            return Err(format!(
-                "granularity {} must be in 1..={}",
-                self.granularity, self.max_bits
-            ));
+        if self.granularity == 0 || self.granularity > self.max_bits {
+            return Err(ProtocolError::InvalidGranularity {
+                granularity: self.granularity,
+                max_bits: self.max_bits,
+            });
         }
         if !(0.0..=1.0).contains(&self.shared_ratio) {
-            return Err("shared ratio must be in [0, 1]".to_string());
+            return Err(ProtocolError::InvalidSharedRatio {
+                ratio: self.shared_ratio,
+            });
         }
         if !(0.0..0.5).contains(&self.dividing_ratio) {
-            return Err("dividing ratio must be in [0, 0.5)".to_string());
+            return Err(ProtocolError::InvalidDividingRatio {
+                ratio: self.dividing_ratio,
+            });
         }
         if !(0.0..1.0).contains(&self.phase1_user_fraction) {
-            return Err("phase-1 user fraction must be in [0, 1)".to_string());
+            return Err(ProtocolError::InvalidPhase1Fraction {
+                fraction: self.phase1_user_fraction,
+            });
         }
         Ok(())
     }
@@ -151,15 +167,86 @@ mod tests {
     }
 
     #[test]
-    fn validation_catches_bad_parameters() {
-        assert!(ProtocolConfig { k: 0, ..Default::default() }.validate().is_err());
-        assert!(ProtocolConfig { epsilon: -1.0, ..Default::default() }.validate().is_err());
-        assert!(ProtocolConfig { granularity: 0, ..Default::default() }.validate().is_err());
-        assert!(ProtocolConfig { granularity: 64, max_bits: 48, ..Default::default() }
-            .validate()
-            .is_err());
-        assert!(ProtocolConfig { dividing_ratio: 0.7, ..Default::default() }.validate().is_err());
-        assert!(ProtocolConfig { shared_ratio: 1.5, ..Default::default() }.validate().is_err());
+    fn validation_maps_each_violation_to_its_variant() {
+        assert_eq!(
+            ProtocolConfig {
+                k: 0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidQuery { k: 0 })
+        );
+        assert_eq!(
+            ProtocolConfig {
+                epsilon: -1.0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidBudget { epsilon: -1.0 })
+        );
+        assert_eq!(
+            ProtocolConfig {
+                granularity: 0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidGranularity {
+                granularity: 0,
+                max_bits: 48
+            })
+        );
+        assert_eq!(
+            ProtocolConfig {
+                granularity: 64,
+                max_bits: 48,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidGranularity {
+                granularity: 64,
+                max_bits: 48
+            })
+        );
+        assert_eq!(
+            ProtocolConfig {
+                dividing_ratio: 0.7,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidDividingRatio { ratio: 0.7 })
+        );
+        assert_eq!(
+            ProtocolConfig {
+                shared_ratio: 1.5,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidSharedRatio { ratio: 1.5 })
+        );
+        assert_eq!(
+            ProtocolConfig {
+                phase1_user_fraction: 1.0,
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidPhase1Fraction { fraction: 1.0 })
+        );
+    }
+
+    #[test]
+    fn budget_reports_invalid_epsilon_instead_of_panicking() {
+        assert!(ProtocolConfig::default().budget().is_ok());
+        for epsilon in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let config = ProtocolConfig {
+                epsilon,
+                ..Default::default()
+            };
+            // NaN never compares equal, so match on the variant instead.
+            assert!(matches!(
+                config.budget(),
+                Err(ProtocolError::InvalidBudget { .. })
+            ));
+        }
     }
 
     #[test]

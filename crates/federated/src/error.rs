@@ -1,0 +1,185 @@
+//! Typed errors for protocol configuration and execution.
+//!
+//! Every failure a caller can provoke through a [`crate::ProtocolConfig`] or
+//! a mismatched dataset surfaces as a [`ProtocolError`] instead of a panic,
+//! so services embedding the mechanisms can reject bad requests gracefully
+//! and map each variant to a stable error code.
+
+use fedhh_fo::FoError;
+use std::fmt;
+
+/// A structured error raised while validating or executing a federated
+/// heavy hitter run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The query size k must be positive.
+    InvalidQuery {
+        /// The rejected query size.
+        k: usize,
+    },
+    /// The privacy budget ε must be strictly positive and finite.
+    InvalidBudget {
+        /// The rejected budget.
+        epsilon: f64,
+    },
+    /// The granularity g must satisfy `1 <= g <= max_bits`.
+    InvalidGranularity {
+        /// The rejected granularity.
+        granularity: u8,
+        /// The configured code width m.
+        max_bits: u8,
+    },
+    /// The shared-trie ratio must lie in `[0, 1]`.
+    InvalidSharedRatio {
+        /// The rejected ratio.
+        ratio: f64,
+    },
+    /// The dividing ratio β must lie in `[0, 0.5)`.
+    InvalidDividingRatio {
+        /// The rejected ratio.
+        ratio: f64,
+    },
+    /// The Phase I user fraction must lie in `[0, 1)`.
+    InvalidPhase1Fraction {
+        /// The rejected fraction.
+        fraction: f64,
+    },
+    /// The run was started without a dataset.
+    MissingDataset,
+    /// The dataset holds no parties or no users.
+    EmptyDataset {
+        /// Name of the offending dataset.
+        dataset: String,
+    },
+    /// The dataset's item-code width differs from the configured `max_bits`.
+    BitWidthMismatch {
+        /// The dataset's code width.
+        dataset_bits: u8,
+        /// The configured code width.
+        config_bits: u8,
+    },
+    /// A frequency-oracle operation failed.
+    Oracle(FoError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InvalidQuery { k } => {
+                write!(f, "query k must be positive, got {k}")
+            }
+            ProtocolError::InvalidBudget { epsilon } => {
+                write!(
+                    f,
+                    "privacy budget must be positive and finite, got {epsilon}"
+                )
+            }
+            ProtocolError::InvalidGranularity {
+                granularity,
+                max_bits,
+            } => {
+                write!(f, "granularity {granularity} must be in 1..={max_bits}")
+            }
+            ProtocolError::InvalidSharedRatio { ratio } => {
+                write!(f, "shared ratio must be in [0, 1], got {ratio}")
+            }
+            ProtocolError::InvalidDividingRatio { ratio } => {
+                write!(f, "dividing ratio must be in [0, 0.5), got {ratio}")
+            }
+            ProtocolError::InvalidPhase1Fraction { fraction } => {
+                write!(f, "phase-1 user fraction must be in [0, 1), got {fraction}")
+            }
+            ProtocolError::MissingDataset => {
+                write!(f, "no dataset was provided to the run")
+            }
+            ProtocolError::EmptyDataset { dataset } => {
+                write!(f, "dataset {dataset} holds no parties or no users")
+            }
+            ProtocolError::BitWidthMismatch {
+                dataset_bits,
+                config_bits,
+            } => {
+                write!(
+                    f,
+                    "dataset uses {dataset_bits}-bit item codes but the protocol is \
+                     configured for max_bits = {config_bits}"
+                )
+            }
+            ProtocolError::Oracle(err) => write!(f, "frequency oracle error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Oracle(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<FoError> for ProtocolError {
+    fn from(err: FoError) -> Self {
+        ProtocolError::Oracle(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_human_readable() {
+        let cases: Vec<(ProtocolError, &str)> = vec![
+            (ProtocolError::InvalidQuery { k: 0 }, "query k"),
+            (ProtocolError::InvalidBudget { epsilon: -1.0 }, "-1"),
+            (
+                ProtocolError::InvalidGranularity {
+                    granularity: 64,
+                    max_bits: 48,
+                },
+                "64",
+            ),
+            (ProtocolError::InvalidSharedRatio { ratio: 1.5 }, "1.5"),
+            (ProtocolError::InvalidDividingRatio { ratio: 0.7 }, "0.7"),
+            (
+                ProtocolError::InvalidPhase1Fraction { fraction: 1.0 },
+                "phase-1",
+            ),
+            (ProtocolError::MissingDataset, "no dataset"),
+            (
+                ProtocolError::EmptyDataset {
+                    dataset: "RDB".into(),
+                },
+                "RDB",
+            ),
+            (
+                ProtocolError::BitWidthMismatch {
+                    dataset_bits: 16,
+                    config_bits: 48,
+                },
+                "16",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn wraps_fo_errors_with_a_source() {
+        use std::error::Error as _;
+        let err = ProtocolError::from(FoError::DomainTooSmall(1));
+        assert!(matches!(err, ProtocolError::Oracle(_)));
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("frequency oracle"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<ProtocolError>();
+    }
+}

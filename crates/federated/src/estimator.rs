@@ -8,7 +8,8 @@
 //! (Algorithm 2, Estimate procedure).
 
 use crate::config::ProtocolConfig;
-use fedhh_fo::{CandidateDomain, FrequencyOracle, Oracle, Report};
+use crate::error::ProtocolError;
+use fedhh_fo::{CandidateDomain, FrequencyOracle, Oracle, PrivacyBudget, Report};
 use fedhh_trie::Prefix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,13 +41,21 @@ impl LevelEstimate {
             .copied()
             .zip(self.frequencies.iter().copied())
             .collect();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        pairs.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         pairs
     }
 
     /// The top-`t` candidate values by estimated frequency.
     pub fn top_t(&self, t: usize) -> Vec<u64> {
-        self.ranked_candidates().into_iter().take(t).map(|(v, _)| v).collect()
+        self.ranked_candidates()
+            .into_iter()
+            .take(t)
+            .map(|(v, _)| v)
+            .collect()
     }
 
     /// Estimated frequency of a specific candidate value (0 when absent).
@@ -64,12 +73,18 @@ impl LevelEstimate {
 #[derive(Debug, Clone)]
 pub struct LevelEstimator {
     config: ProtocolConfig,
+    budget: PrivacyBudget,
 }
 
 impl LevelEstimator {
     /// Creates an estimator bound to a protocol configuration.
-    pub fn new(config: ProtocolConfig) -> Self {
-        Self { config }
+    ///
+    /// The configuration is validated once here, so estimation itself can
+    /// never fail on a bad parameter.
+    pub fn new(config: ProtocolConfig) -> Result<Self, ProtocolError> {
+        config.validate()?;
+        let budget = config.budget()?;
+        Ok(Self { config, budget })
     }
 
     /// The bound configuration.
@@ -95,7 +110,7 @@ impl LevelEstimator {
 
         // A domain can degenerate to a single candidate (plus dummy) — the
         // oracle still needs at least two slots, which the dummy provides.
-        let oracle = match Oracle::try_new(self.config.fo, self.config.budget(), domain.len()) {
+        let oracle = match Oracle::try_new(self.config.fo, self.budget, domain.len()) {
             Ok(oracle) => oracle,
             Err(_) => {
                 // Domain too small to perturb (no candidates at all).
@@ -122,7 +137,9 @@ impl LevelEstimator {
         let report_bits: usize = reports.iter().map(Report::size_bits).sum();
         let estimate = oracle.estimate(&oracle.aggregate(&reports), users);
 
-        let frequencies: Vec<f64> = (0..candidates.len()).map(|i| estimate.frequency(i)).collect();
+        let frequencies: Vec<f64> = (0..candidates.len())
+            .map(|i| estimate.frequency(i))
+            .collect();
         let counts: Vec<f64> = frequencies.iter().map(|f| f * users as f64).collect();
         LevelEstimate {
             candidates: candidates.to_vec(),
@@ -141,16 +158,27 @@ mod tests {
     use fedhh_trie::Prefix;
 
     fn config() -> ProtocolConfig {
-        ProtocolConfig { epsilon: 4.0, max_bits: 8, granularity: 4, ..ProtocolConfig::default() }
+        ProtocolConfig {
+            epsilon: 4.0,
+            max_bits: 8,
+            granularity: 4,
+            ..ProtocolConfig::default()
+        }
     }
 
     #[test]
     fn estimates_identify_the_dominant_prefix() {
         let config = config();
-        let estimator = LevelEstimator::new(config);
+        let estimator = LevelEstimator::new(config).unwrap();
         // Users' items all start with prefix 10 (over 8 bits).
         let items: Vec<u64> = (0..4000)
-            .map(|i| if i % 4 == 0 { 0b0100_0000 } else { 0b1000_0000 + (i % 64) })
+            .map(|i| {
+                if i % 4 == 0 {
+                    0b0100_0000
+                } else {
+                    0b1000_0000 + (i % 64)
+                }
+            })
             .collect();
         let candidates = vec![0b00u64, 0b01, 0b10, 0b11];
         let est = estimator.estimate(&candidates, 2, &items, 1);
@@ -166,7 +194,7 @@ mod tests {
     #[test]
     fn out_of_domain_prefixes_go_to_the_dummy_not_the_candidates() {
         let config = config();
-        let estimator = LevelEstimator::new(config);
+        let estimator = LevelEstimator::new(config).unwrap();
         // All users hold items whose 2-bit prefix is 11, but 11 is not a
         // candidate: estimates for the candidates must stay near zero.
         let items: Vec<u64> = vec![0b1100_0000; 3000];
@@ -178,7 +206,7 @@ mod tests {
 
     #[test]
     fn empty_candidate_list_yields_empty_estimate() {
-        let estimator = LevelEstimator::new(config());
+        let estimator = LevelEstimator::new(config()).unwrap();
         let est = estimator.estimate(&[], 2, &[1, 2, 3], 3);
         assert!(est.candidates.is_empty());
         assert_eq!(est.users, 3);
@@ -187,10 +215,16 @@ mod tests {
 
     #[test]
     fn ranked_candidates_are_sorted_descending() {
-        let estimator = LevelEstimator::new(config());
+        let estimator = LevelEstimator::new(config()).unwrap();
         let items: Vec<u64> = (0..2000)
             .map(|i| {
-                let prefix = if i % 10 < 6 { 0b00 } else if i % 10 < 9 { 0b01 } else { 0b10 };
+                let prefix = if i % 10 < 6 {
+                    0b00
+                } else if i % 10 < 9 {
+                    0b01
+                } else {
+                    0b10
+                };
                 (prefix << 6) | (i as u64 % 64)
             })
             .collect();
@@ -205,7 +239,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_the_same_seed() {
-        let estimator = LevelEstimator::new(config());
+        let estimator = LevelEstimator::new(config()).unwrap();
         let items: Vec<u64> = (0..500).map(|i| i % 200).collect();
         let candidates = vec![0b00u64, 0b01, 0b10, 0b11];
         let a = estimator.estimate(&candidates, 2, &items, 9);

@@ -17,20 +17,32 @@
 //!   population) used in steps ⑤ and ⑪.
 //! * [`CommTracker`] / [`message`] — communication-cost accounting for the
 //!   Table 1 / Table 4 experiments.
+//! * [`ProtocolError`] — the typed error every configuration or execution
+//!   failure surfaces as; nothing in this crate panics on user input.
+//! * [`RunObserver`] / [`observer`] — structured phase/level/pruning events
+//!   emitted while a mechanism executes, with [`NullObserver`] and
+//!   [`RecordingObserver`] implementations.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod comm;
 pub mod config;
+pub mod error;
 pub mod estimator;
 pub mod message;
+pub mod observer;
 pub mod scheduler;
 pub mod server;
 
 pub use comm::{shared_tracker, CommTracker, SharedCommTracker};
 pub use config::ProtocolConfig;
+pub use error::ProtocolError;
 pub use estimator::{LevelEstimate, LevelEstimator};
 pub use message::{CandidateReport, PruneCandidates, PruneDictionary, PAIR_BITS};
+pub use observer::{
+    LevelEstimated, NullObserver, PruningDecision, RecordingObserver, RunEvent, RunObserver,
+    RunPhase, RunSummary,
+};
 pub use scheduler::GroupAssignment;
 pub use server::{aggregate_reports, federated_top_k, top_k_from_counts};

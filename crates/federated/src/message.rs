@@ -6,7 +6,6 @@
 //! and expose their size in bits so [`crate::CommTracker`] can reproduce the
 //! communication-cost columns of Tables 1 and 4.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Bits charged for one prefix/count pair (a 48-bit prefix plus a 32-bit
@@ -15,7 +14,7 @@ use std::collections::BTreeMap;
 pub const PAIR_BITS: usize = 96;
 
 /// A party's report of candidate prefixes/items and their estimated counts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateReport {
     /// Name of the reporting party.
     pub party: String,
@@ -42,14 +41,14 @@ impl CandidateReport {
 /// The pruning dictionary D_i a party forwards (via the server) to the next
 /// party in TAPS: for each level, the 2k most infrequent candidates and the
 /// 2k most frequent candidates together with their frequencies (Equation 4).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PruneDictionary {
     /// Level → (infrequent candidates Δ_{h,0}, frequent candidates Δ_{h,1}).
     pub levels: BTreeMap<u8, PruneCandidates>,
 }
 
 /// The two candidate sets submitted for one level.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PruneCandidates {
     /// Δ_{h,0}: the most infrequent candidates, most infrequent first.
     pub infrequent: Vec<u64>,
@@ -61,7 +60,9 @@ pub struct PruneCandidates {
 impl PruneDictionary {
     /// True when no level has any pruning candidates.
     pub fn is_empty(&self) -> bool {
-        self.levels.values().all(|c| c.infrequent.is_empty() && c.frequent.is_empty())
+        self.levels
+            .values()
+            .all(|c| c.infrequent.is_empty() && c.frequent.is_empty())
     }
 
     /// Size of the dictionary on the wire, in bits.
@@ -105,9 +106,18 @@ mod tests {
         assert!(dict.is_empty());
         dict.insert(
             2,
-            PruneCandidates { infrequent: vec![7, 8], frequent: vec![(1, 0.4), (2, 0.3)] },
+            PruneCandidates {
+                infrequent: vec![7, 8],
+                frequent: vec![(1, 0.4), (2, 0.3)],
+            },
         );
-        dict.insert(3, PruneCandidates { infrequent: vec![9], frequent: vec![] });
+        dict.insert(
+            3,
+            PruneCandidates {
+                infrequent: vec![9],
+                frequent: vec![],
+            },
+        );
         assert!(!dict.is_empty());
         assert_eq!(dict.size_bits(), (2 + 2 + 1) * PAIR_BITS);
         assert_eq!(dict.level(2).unwrap().infrequent, vec![7, 8]);

@@ -46,7 +46,10 @@ impl GroupAssignment {
         seed: u64,
     ) -> Self {
         assert!(g >= 1, "need at least one group");
-        assert!(phase1_levels <= g, "phase-1 levels cannot exceed the granularity");
+        assert!(
+            phase1_levels <= g,
+            "phase-1 levels cannot exceed the granularity"
+        );
         if phase1_levels == 0 || phase1_levels == g || phase1_fraction <= 0.0 {
             return Self::uniform(items, g, seed);
         }
@@ -123,7 +126,10 @@ mod tests {
         let a = GroupAssignment::weighted(&items, 10, 2, 0.1, 3);
         assert_eq!(a.total_users(), 10_000);
         let phase1: usize = (1..=2u8).map(|h| a.level(h).len()).sum();
-        assert!((phase1 as f64 - 1000.0).abs() < 10.0, "phase1 users {phase1}");
+        assert!(
+            (phase1 as f64 - 1000.0).abs() < 10.0,
+            "phase1 users {phase1}"
+        );
         // Phase II levels share the rest roughly equally.
         for h in 3..=10u8 {
             let len = a.level(h).len();

@@ -30,7 +30,9 @@ pub fn aggregate_reports(reports: &[CandidateReport]) -> HashMap<u64, f64> {
 pub fn top_k_from_counts(totals: &HashMap<u64, f64>, k: usize) -> Vec<u64> {
     let mut pairs: Vec<(u64, f64)> = totals.iter().map(|(v, c)| (*v, *c)).collect();
     pairs.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
     pairs.into_iter().take(k).map(|(v, _)| v).collect()
 }
@@ -45,7 +47,12 @@ mod tests {
     use super::*;
 
     fn report(party: &str, candidates: Vec<(u64, f64)>) -> CandidateReport {
-        CandidateReport { party: party.to_string(), level: 1, candidates, users: 100 }
+        CandidateReport {
+            party: party.to_string(),
+            level: 1,
+            candidates,
+            users: 100,
+        }
     }
 
     #[test]

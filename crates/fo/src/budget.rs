@@ -6,14 +6,13 @@
 //! type validates the budget once so the oracles can assume a sane value.
 
 use crate::error::FoError;
-use serde::{Deserialize, Serialize};
 
 /// A validated, strictly positive and finite privacy budget ε.
 ///
 /// In the TAP/TAPS mechanisms every user reports exactly once, so the whole
 /// budget is spent on a single frequency-oracle invocation and no budget
 /// splitting is required (Section 5.2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrivacyBudget {
     epsilon: f64,
 }

@@ -9,7 +9,6 @@
 //! out-of-domain items").  [`CandidateDomain`] encapsulates the
 //! value ↔ index mapping together with that dummy slot.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Index of a value inside a [`CandidateDomain`], used as the input type of
@@ -18,12 +17,11 @@ pub type DomainIndex = usize;
 
 /// A finite, ordered candidate domain of `u64`-encoded values (prefixes or
 /// full items) with an optional dummy slot for out-of-domain inputs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CandidateDomain {
     /// The candidate values in a stable order; index = position.
     values: Vec<u64>,
     /// Reverse lookup from value to index.
-    #[serde(skip)]
     index: HashMap<u64, usize>,
     /// Whether the last slot is a dummy catch-all for out-of-domain values.
     has_dummy: bool,
@@ -46,12 +44,16 @@ impl CandidateDomain {
         let mut dedup = Vec::with_capacity(values.len());
         let mut index = HashMap::with_capacity(values.len());
         for v in values {
-            if !index.contains_key(&v) {
-                index.insert(v, dedup.len());
+            if let std::collections::hash_map::Entry::Vacant(e) = index.entry(v) {
+                e.insert(dedup.len());
                 dedup.push(v);
             }
         }
-        Self { values: dedup, index, has_dummy }
+        Self {
+            values: dedup,
+            index,
+            has_dummy,
+        }
     }
 
     /// Total number of perturbation slots, including the dummy slot if any.
@@ -120,7 +122,8 @@ impl CandidateDomain {
         self.values.clone()
     }
 
-    /// Rebuilds the reverse index after deserialization (serde skips it).
+    /// Rebuilds the reverse index from the stored values (useful after a
+    /// manual reconstruction of the domain).
     pub fn rebuild_index(&mut self) {
         self.index = self
             .values

@@ -36,10 +36,16 @@ impl fmt::Display for FoError {
                 write!(f, "privacy budget must be positive and finite, got {eps}")
             }
             FoError::DomainTooSmall(size) => {
-                write!(f, "candidate domain must have at least 2 entries, got {size}")
+                write!(
+                    f,
+                    "candidate domain must have at least 2 entries, got {size}"
+                )
             }
             FoError::IndexOutOfRange { index, domain } => {
-                write!(f, "index {index} is outside the candidate domain of size {domain}")
+                write!(
+                    f,
+                    "index {index} is outside the candidate domain of size {domain}"
+                )
             }
             FoError::ReportMismatch(expected) => {
                 write!(f, "report type does not match oracle, expected {expected}")
@@ -63,12 +69,18 @@ mod tests {
         assert!(err.to_string().contains("-1"));
         let err = FoError::DomainTooSmall(1);
         assert!(err.to_string().contains("2"));
-        let err = FoError::IndexOutOfRange { index: 9, domain: 4 };
+        let err = FoError::IndexOutOfRange {
+            index: 9,
+            domain: 4,
+        };
         assert!(err.to_string().contains("9"));
         assert!(err.to_string().contains("4"));
         let err = FoError::ReportMismatch("grr");
         assert!(err.to_string().contains("grr"));
-        let err = FoError::InconsistentCounts { reports: 3, users: 5 };
+        let err = FoError::InconsistentCounts {
+            reports: 3,
+            users: 5,
+        };
         assert!(err.to_string().contains("3"));
     }
 

@@ -14,11 +14,9 @@
 //! code (adaptive extension, pruning, aggregation) can reason about both the
 //! point estimates and their noise scale.
 
-use serde::{Deserialize, Serialize};
-
 /// Raw support counts per candidate slot, produced by an oracle's
 /// `aggregate` step before de-biasing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SupportCounts {
     counts: Vec<f64>,
     reports: usize,
@@ -27,7 +25,10 @@ pub struct SupportCounts {
 impl SupportCounts {
     /// Creates support counts for `slots` candidate slots, all zero.
     pub fn zeros(slots: usize) -> Self {
-        Self { counts: vec![0.0; slots], reports: 0 }
+        Self {
+            counts: vec![0.0; slots],
+            reports: 0,
+        }
     }
 
     /// Creates support counts from raw values and the number of reports seen.
@@ -84,7 +85,7 @@ impl SupportCounts {
 
 /// Unbiased frequency estimates for every candidate slot, together with the
 /// analytic standard deviation of a single estimate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrequencyEstimate {
     frequencies: Vec<f64>,
     /// Standard deviation of a single frequency estimate under the FO used.
@@ -100,7 +101,13 @@ impl FrequencyEstimate {
     /// * `q` — probability of supporting any other value.
     /// * `n` — number of users (reports expected).
     /// * `variance` — analytic variance of one estimate (σ² of the FO).
-    pub fn from_supports(supports: &SupportCounts, p: f64, q: f64, n: usize, variance: f64) -> Self {
+    pub fn from_supports(
+        supports: &SupportCounts,
+        p: f64,
+        q: f64,
+        n: usize,
+        variance: f64,
+    ) -> Self {
         let n_f = n.max(1) as f64;
         let denom = p - q;
         let frequencies = supports
@@ -108,13 +115,21 @@ impl FrequencyEstimate {
             .iter()
             .map(|c| (c / n_f - q) / denom)
             .collect();
-        Self { frequencies, std_dev: variance.max(0.0).sqrt(), users: n }
+        Self {
+            frequencies,
+            std_dev: variance.max(0.0).sqrt(),
+            users: n,
+        }
     }
 
     /// Builds an estimate directly from frequencies (used in tests and when
     /// exact, non-private frequencies are needed as a reference).
     pub fn from_frequencies(frequencies: Vec<f64>, std_dev: f64, users: usize) -> Self {
-        Self { frequencies, std_dev, users }
+        Self {
+            frequencies,
+            std_dev,
+            users,
+        }
     }
 
     /// Estimated frequency of slot `idx` (0 when out of range).
@@ -251,6 +266,6 @@ mod tests {
         let supports = SupportCounts::zeros(2);
         let est = FrequencyEstimate::from_supports(&supports, 0.7, 0.1, 0, 0.0);
         assert!(est.frequency(0).is_finite());
-        assert_eq!(grr_variance(4, 2.0f64.exp(), 0).is_finite(), true);
+        assert!(grr_variance(4, 2.0f64.exp(), 0).is_finite());
     }
 }

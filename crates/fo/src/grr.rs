@@ -31,7 +31,12 @@ impl GrrOracle {
         }
         let e = budget.exp_epsilon();
         let denom = domain_size as f64 - 1.0 + e;
-        Ok(Self { budget, domain_size, p: e / denom, q: 1.0 / denom })
+        Ok(Self {
+            budget,
+            domain_size,
+            p: e / denom,
+            q: 1.0 / denom,
+        })
     }
 
     /// Probability of reporting the true value.

@@ -8,10 +8,8 @@
 //! analysis needs.  The seed travels with the report so the server can
 //! recompute `H(x)` for every candidate during support counting.
 
-use serde::{Deserialize, Serialize};
-
 /// A member of the universal hash family, identified by its 64-bit seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UniversalHash {
     seed: u64,
     buckets: u32,
@@ -90,7 +88,10 @@ mod tests {
         }
         let expected = n as f64 / 4.0;
         for c in counts {
-            assert!(((c as f64) - expected).abs() < expected * 0.1, "bucket count {c}");
+            assert!(
+                ((c as f64) - expected).abs() < expected * 0.1,
+                "bucket count {c}"
+            );
         }
     }
 

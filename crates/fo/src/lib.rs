@@ -70,6 +70,6 @@ pub use error::FoError;
 pub use estimate::{FrequencyEstimate, SupportCounts};
 pub use grr::GrrOracle;
 pub use olh::OlhOracle;
-pub use oracle::{FoKind, FrequencyOracle, Oracle};
+pub use oracle::{FoKind, FrequencyOracle, Oracle, ParseFoKindError};
 pub use oue::OueOracle;
 pub use report::Report;

@@ -160,10 +160,22 @@ mod tests {
             .map(|i| o.perturb(if i % 10 < 6 { 1 } else { 9 }, &mut rng))
             .collect();
         let est = o.estimate(&o.aggregate(&reports), n);
-        assert!((est.frequency(1) - 0.6).abs() < 0.05, "f1 = {}", est.frequency(1));
-        assert!((est.frequency(9) - 0.4).abs() < 0.05, "f9 = {}", est.frequency(9));
+        assert!(
+            (est.frequency(1) - 0.6).abs() < 0.05,
+            "f1 = {}",
+            est.frequency(1)
+        );
+        assert!(
+            (est.frequency(9) - 0.4).abs() < 0.05,
+            "f9 = {}",
+            est.frequency(9)
+        );
         for slot in [0, 2, 3, 4, 5, 6, 7, 8, 10] {
-            assert!(est.frequency(slot).abs() < 0.05, "slot {slot} = {}", est.frequency(slot));
+            assert!(
+                est.frequency(slot).abs() < 0.05,
+                "slot {slot} = {}",
+                est.frequency(slot)
+            );
         }
     }
 

@@ -16,7 +16,6 @@ use crate::olh::OlhOracle;
 use crate::oue::OueOracle;
 use crate::report::Report;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The frequency-oracle interface shared by GRR, OUE and OLH.
 pub trait FrequencyOracle {
@@ -38,7 +37,7 @@ pub trait FrequencyOracle {
 }
 
 /// Which frequency oracle to use, selectable by configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FoKind {
     /// k-ary randomized response (the paper's default).
     Grr,
@@ -78,6 +77,34 @@ impl std::fmt::Display for FoKind {
     }
 }
 
+/// Error returned when a string does not name a known frequency oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFoKindError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseFoKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown frequency oracle {:?}; expected krr, oue or olh",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseFoKindError {}
+
+impl std::str::FromStr for FoKind {
+    type Err = ParseFoKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| ParseFoKindError {
+            input: s.to_string(),
+        })
+    }
+}
+
 /// A unified frequency oracle dispatching to the configured mechanism.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Oracle {
@@ -101,7 +128,11 @@ impl Oracle {
     }
 
     /// Fallible constructor.
-    pub fn try_new(kind: FoKind, budget: PrivacyBudget, domain_size: usize) -> Result<Self, FoError> {
+    pub fn try_new(
+        kind: FoKind,
+        budget: PrivacyBudget,
+        domain_size: usize,
+    ) -> Result<Self, FoError> {
         Ok(match kind {
             FoKind::Grr => Oracle::Grr(GrrOracle::new(budget, domain_size)?),
             FoKind::Oue => Oracle::Oue(OueOracle::new(budget, domain_size)?),
@@ -191,6 +222,16 @@ mod tests {
         }
         assert_eq!(FoKind::parse("k-RR"), Some(FoKind::Grr));
         assert_eq!(FoKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn from_str_delegates_to_parse() {
+        for kind in FoKind::ALL {
+            assert_eq!(kind.name().parse::<FoKind>(), Ok(kind));
+        }
+        assert_eq!("grr".parse::<FoKind>(), Ok(FoKind::Grr));
+        let err = "nope".parse::<FoKind>().unwrap_err();
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]

@@ -18,8 +18,11 @@ pub fn ncr_score(truth: &[u64], estimate: &[u64]) -> f64 {
     }
     // q(v) = k − rank(v) with rank 0 for the most frequent value, yielding
     // qualities k, k−1, …, 1.
-    let quality: HashMap<u64, usize> =
-        truth.iter().enumerate().map(|(rank, v)| (*v, k - rank)).collect();
+    let quality: HashMap<u64, usize> = truth
+        .iter()
+        .enumerate()
+        .map(|(rank, v)| (*v, k - rank))
+        .collect();
     let total: usize = (1..=k).sum();
     let gained: usize = estimate.iter().filter_map(|v| quality.get(v)).sum();
     gained as f64 / total as f64
@@ -69,7 +72,12 @@ mod tests {
     #[test]
     fn scores_are_within_unit_interval() {
         let truth: Vec<u64> = (0..10).collect();
-        for est in [vec![], vec![0], (0..5).collect::<Vec<u64>>(), (0..10).collect()] {
+        for est in [
+            vec![],
+            vec![0],
+            (0..5).collect::<Vec<u64>>(),
+            (0..10).collect(),
+        ] {
             let s = ncr_score(&truth, &est);
             assert!((0.0..=1.0).contains(&s));
         }

@@ -6,11 +6,10 @@
 //! 3-bit prefix `101` of the 8-bit item `1011_0110` is stored as the value
 //! `0b101` with `len = 3`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A length-aware bit-string prefix of an m-bit item code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Prefix {
     /// The prefix bits, right-aligned (the most significant prefix bit is
     /// bit `len − 1` of `value`).
@@ -27,7 +26,10 @@ impl Prefix {
     /// above `len`.
     pub fn new(value: u64, len: u8) -> Self {
         assert!(len <= 64, "prefix length must be at most 64 bits");
-        Self { value: mask(value, len), len }
+        Self {
+            value: mask(value, len),
+            len,
+        }
     }
 
     /// Extracts the first `len` bits of an `m`-bit item code.
@@ -40,7 +42,10 @@ impl Prefix {
         if len == 0 {
             return Self::ROOT;
         }
-        Self { value: (item >> (m - len)) & low_mask(len), len }
+        Self {
+            value: (item >> (m - len)) & low_mask(len),
+            len,
+        }
     }
 
     /// The raw prefix bits, right-aligned.
@@ -64,7 +69,10 @@ impl Prefix {
     /// Appends `extra` bits (given right-aligned in `suffix`) to this
     /// prefix, producing a longer prefix.
     pub fn extend(&self, suffix: u64, extra: u8) -> Self {
-        assert!(self.len + extra <= 64, "extended prefix would exceed 64 bits");
+        assert!(
+            self.len + extra <= 64,
+            "extended prefix would exceed 64 bits"
+        );
         Self {
             value: (self.value << extra) | mask(suffix, extra),
             len: self.len + extra,
@@ -73,8 +81,15 @@ impl Prefix {
 
     /// Truncates this prefix to its first `len` bits.
     pub fn truncate(&self, len: u8) -> Self {
-        assert!(len <= self.len, "cannot truncate {} bits to {len}", self.len);
-        Self { value: self.value >> (self.len - len), len }
+        assert!(
+            len <= self.len,
+            "cannot truncate {} bits to {len}",
+            self.len
+        );
+        Self {
+            value: self.value >> (self.len - len),
+            len,
+        }
     }
 
     /// True when `self` is a prefix of (or equal to) `other`.
@@ -90,8 +105,13 @@ impl Prefix {
     /// Enumerates all `2^extra` child prefixes obtained by appending every
     /// possible `extra`-bit suffix.
     pub fn children(&self, extra: u8) -> Vec<Prefix> {
-        assert!(extra <= 20, "refusing to enumerate more than 2^20 children at once");
-        (0..(1u64 << extra)).map(|s| self.extend(s, extra)).collect()
+        assert!(
+            extra <= 20,
+            "refusing to enumerate more than 2^20 children at once"
+        );
+        (0..(1u64 << extra))
+            .map(|s| self.extend(s, extra))
+            .collect()
     }
 
     /// Renders the prefix as a 0/1 string, e.g. `"101"`.

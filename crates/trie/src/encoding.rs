@@ -10,10 +10,8 @@
 //! after the mechanism identifies heavy-hitter codes, the evaluator decodes
 //! them back to item identifiers to compare against the ground truth.
 
-use serde::{Deserialize, Serialize};
-
 /// A seeded, invertible encoder from item identifiers to m-bit codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ItemEncoder {
     /// Width of the code space in bits (the paper uses m = 48).
     m: u8,
@@ -27,8 +25,14 @@ impl ItemEncoder {
     /// Creates an encoder for an `m`-bit code space.  `m` must be an even
     /// number in `2..=64` (the Feistel halves must be equal width).
     pub fn new(m: u8, seed: u64) -> Self {
-        assert!(m >= 2 && m <= 64, "code width must be in 2..=64, got {m}");
-        assert!(m % 2 == 0, "code width must be even for the Feistel network, got {m}");
+        assert!(
+            (2..=64).contains(&m),
+            "code width must be in 2..=64, got {m}"
+        );
+        assert!(
+            m.is_multiple_of(2),
+            "code width must be even for the Feistel network, got {m}"
+        );
         Self { m, seed }
     }
 
@@ -117,7 +121,9 @@ mod tests {
     fn different_seeds_give_different_codebooks() {
         let a = ItemEncoder::new(32, 1);
         let b = ItemEncoder::new(32, 2);
-        let differing = (0..1000u64).filter(|id| a.encode(*id) != b.encode(*id)).count();
+        let differing = (0..1000u64)
+            .filter(|id| a.encode(*id) != b.encode(*id))
+            .count();
         assert!(differing > 990);
     }
 
@@ -134,7 +140,10 @@ mod tests {
         }
         let expected = n as f64 / 4.0;
         for c in prefix_counts {
-            assert!((c as f64 - expected).abs() < expected * 0.2, "prefix count {c}");
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.2,
+                "prefix count {c}"
+            );
         }
     }
 

@@ -26,7 +26,10 @@ pub fn extend_candidates(parents: &[Prefix], step: u8) -> Vec<Prefix> {
 /// values (`parent_len + step` bits long).
 pub fn extend_prefix_values(parents: &[u64], parent_len: u8, step: u8) -> Vec<u64> {
     extend_candidates(
-        &parents.iter().map(|v| Prefix::new(*v, parent_len)).collect::<Vec<_>>(),
+        &parents
+            .iter()
+            .map(|v| Prefix::new(*v, parent_len))
+            .collect::<Vec<_>>(),
         step,
     )
     .into_iter()

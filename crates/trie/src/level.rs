@@ -6,10 +6,8 @@
 //! The *step size* `m/g` is the paper's "extension length" studied in
 //! Table 3.
 
-use serde::{Deserialize, Serialize};
-
 /// The mapping from tree level to prefix length.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelSchedule {
     /// Maximum binary length of an item code (the paper uses m = 48).
     m: u8,
@@ -27,7 +25,10 @@ impl LevelSchedule {
     pub fn new(m: u8, g: u8) -> Self {
         assert!(m > 0 && m <= 64, "item width must be in 1..=64, got {m}");
         assert!(g > 0, "granularity must be positive");
-        assert!(g as u16 <= m as u16, "granularity {g} cannot exceed item width {m}");
+        assert!(
+            g as u16 <= m as u16,
+            "granularity {g} cannot exceed item width {m}"
+        );
         Self { m, g }
     }
 
@@ -52,7 +53,11 @@ impl LevelSchedule {
 
     /// Number of bits appended when going from level `h − 1` to level `h`.
     pub fn step(&self, h: u8) -> u8 {
-        assert!(h >= 1 && h <= self.g, "level {h} out of range 1..={}", self.g);
+        assert!(
+            h >= 1 && h <= self.g,
+            "level {h} out of range 1..={}",
+            self.g
+        );
         self.prefix_len(h) - self.prefix_len(h - 1)
     }
 

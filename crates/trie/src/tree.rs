@@ -26,7 +26,11 @@ impl PrefixTree {
     /// Creates an empty tree over `m`-bit item codes.
     pub fn new(m: u8) -> Self {
         assert!(m > 0 && m <= 64, "item width must be in 1..=64");
-        Self { m, item_counts: HashMap::new(), total: 0 }
+        Self {
+            m,
+            item_counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Builds a tree from a slice of item codes (one entry per user).
@@ -89,7 +93,9 @@ impl PrefixTree {
     pub fn level_counts(&self, len: u8) -> Vec<(Prefix, u64)> {
         let mut counts: HashMap<Prefix, u64> = HashMap::new();
         for (item, c) in &self.item_counts {
-            *counts.entry(Prefix::of_item(*item, self.m, len)).or_insert(0) += c;
+            *counts
+                .entry(Prefix::of_item(*item, self.m, len))
+                .or_insert(0) += c;
         }
         let mut out: Vec<(Prefix, u64)> = counts.into_iter().collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -98,13 +104,16 @@ impl PrefixTree {
 
     /// The top-`k` prefixes of length `len` by exact count.
     pub fn top_k_prefixes(&self, len: u8, k: usize) -> Vec<Prefix> {
-        self.level_counts(len).into_iter().take(k).map(|(p, _)| p).collect()
+        self.level_counts(len)
+            .into_iter()
+            .take(k)
+            .map(|(p, _)| p)
+            .collect()
     }
 
     /// The top-`k` item codes by exact count (full-length heavy hitters).
     pub fn top_k_items(&self, k: usize) -> Vec<u64> {
-        let mut items: Vec<(u64, u64)> =
-            self.item_counts.iter().map(|(i, c)| (*i, *c)).collect();
+        let mut items: Vec<(u64, u64)> = self.item_counts.iter().map(|(i, c)| (*i, *c)).collect();
         items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         items.into_iter().take(k).map(|(i, _)| i).collect()
     }
@@ -166,7 +175,10 @@ mod tests {
     fn top_k_queries() {
         let tree = sample_tree();
         assert_eq!(tree.top_k_items(2), vec![0b1000, 0b0000]);
-        assert_eq!(tree.top_k_prefixes(2, 2), vec![Prefix::new(0b00, 2), Prefix::new(0b10, 2)]);
+        assert_eq!(
+            tree.top_k_prefixes(2, 2),
+            vec![Prefix::new(0b00, 2), Prefix::new(0b10, 2)]
+        );
         // Asking for more than exists returns what exists.
         assert_eq!(tree.top_k_items(100).len(), 5);
     }

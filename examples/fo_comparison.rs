@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run --release --example fo_comparison`
 
-use fedhh::fo::{FrequencyOracle, Oracle, PrivacyBudget};
+use fedhh::fo::{FrequencyOracle, Oracle};
 use fedhh::prelude::*;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), ProtocolError> {
     let dataset = DatasetConfig {
         user_scale: 0.01,
         item_scale: 0.05,
@@ -25,10 +25,17 @@ fn main() {
     let budget = PrivacyBudget::new(4.0).unwrap();
     for fo in [FoKind::Grr, FoKind::Oue, FoKind::Olh] {
         let oracle = Oracle::new(fo, budget, 64);
-        println!("  {:>4}: {:>4} bits/report", fo.name(), oracle.report_bits());
+        println!(
+            "  {:>4}: {:>4} bits/report",
+            fo.name(),
+            oracle.report_bits()
+        );
     }
 
-    println!("\nTAPS on {} under each FO (eps = 4, k = {k}):", dataset.name());
+    println!(
+        "\nTAPS on {} under each FO (eps = 4, k = {k}):",
+        dataset.name()
+    );
     println!("  fo    F1      time");
     for fo in [FoKind::Grr, FoKind::Oue, FoKind::Olh] {
         let config = ProtocolConfig {
@@ -40,7 +47,10 @@ fn main() {
             ..ProtocolConfig::default()
         };
         let start = Instant::now();
-        let output = Taps::default().run(&dataset, &config);
+        let output = Run::mechanism(MechanismKind::Taps)
+            .dataset(&dataset)
+            .config(config)
+            .execute()?;
         println!(
             "  {:>4}  {:.3}   {:.1}s",
             fo.name(),
@@ -51,4 +61,5 @@ fn main() {
 
     println!("\nall three FOs should give comparable F1; OLH pays with extra");
     println!("server-side hashing time, OUE with larger reports (Figure 6).");
+    Ok(())
 }

@@ -10,7 +10,7 @@
 
 use fedhh::prelude::*;
 
-fn main() {
+fn main() -> Result<(), ProtocolError> {
     let k = 10;
     let config = ProtocolConfig {
         k,
@@ -33,14 +33,23 @@ fn main() {
         .build(DatasetKind::Syn);
         let truth = dataset.ground_truth_top_k(k);
         let score = |output: &MechanismOutput| f1_score(&truth, &output.heavy_hitters);
+        // Ablation variants run through `Run::custom`, the escape hatch for
+        // mechanism instances not constructible by name.
+        let run = |mechanism: &dyn Mechanism| {
+            Run::custom(mechanism)
+                .dataset(&dataset)
+                .config(config)
+                .execute()
+        };
 
-        let fedpem = score(&FedPem::default().run(&dataset, &config));
-        let tap = score(&Tap::default().run(&dataset, &config));
-        let taps = score(&Taps::default().run(&dataset, &config));
-        let taps_no_shared = score(&Taps::without_shared_trie().run(&dataset, &config));
+        let fedpem = score(&run(&FedPem::default())?);
+        let tap = score(&run(&Tap::default())?);
+        let taps = score(&run(&Taps::default())?);
+        let taps_no_shared = score(&run(&Taps::without_shared_trie())?);
         println!("  {beta:<5}  {fedpem:.3}   {tap:.3}   {taps:.3}   {taps_no_shared:.3}");
     }
 
     println!("\nsmaller beta = more heterogeneity; the gap between TAPS and the");
     println!("baselines should widen as heterogeneity grows (Table 8).");
+    Ok(())
 }

@@ -11,7 +11,7 @@
 
 use fedhh::prelude::*;
 
-fn main() {
+fn main() -> Result<(), ProtocolError> {
     let dataset = DatasetConfig {
         user_scale: 0.02,
         item_scale: 0.05,
@@ -35,12 +35,19 @@ fn main() {
         };
         let mut scores = Vec::new();
         for kind in MechanismKind::MAIN_COMPARISON {
-            let output = kind.build().run(&dataset, &config);
+            let output = Run::mechanism(kind)
+                .dataset(&dataset)
+                .config(config)
+                .execute()?;
             scores.push(f1_score(&truth, &output.heavy_hitters));
         }
-        println!("  {epsilon:<4} {:.3}   {:.3}   {:.3}", scores[0], scores[1], scores[2]);
+        println!(
+            "  {epsilon:<4} {:.3}   {:.3}   {:.3}",
+            scores[0], scores[1], scores[2]
+        );
     }
 
     println!("\nhigher ε (weaker privacy) buys higher F1; TAPS should dominate");
     println!("the baselines across the sweep, as in Figure 4 of the paper.");
+    Ok(())
 }

@@ -1,11 +1,12 @@
 //! Quickstart: identify federated heavy hitters with TAPS on a small
-//! two-party federation and compare against the exact ground truth.
+//! two-party federation, observe the run as it executes, and compare the
+//! result against the exact ground truth.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use fedhh::prelude::*;
 
-fn main() {
+fn main() -> Result<(), ProtocolError> {
     // 1. Build a scaled-down two-party federation (the RDB stand-in:
     //    "Reddit" and "IMDB" with Zipfian item popularity and a shared pool
     //    of common items).
@@ -26,7 +27,10 @@ fn main() {
     );
 
     // 2. Configure the protocol: top-10 query, ε = 4, k-RR as the FO,
-    //    32-bit item codes over 16 trie levels (step size 2).
+    //    32-bit item codes over 16 trie levels (step size 2).  The `Run`
+    //    builder validates this configuration before executing — an invalid
+    //    k, ε, granularity or a dataset/config bit-width mismatch comes back
+    //    as a typed `ProtocolError` instead of a panic.
     let config = ProtocolConfig {
         k: 10,
         epsilon: 4.0,
@@ -36,10 +40,14 @@ fn main() {
         ..ProtocolConfig::default()
     };
 
-    // 3. Run the three mechanisms the paper compares.
+    // 3. Run the three mechanisms the paper compares through the `Run`
+    //    builder, the single entry point of the execution API.
     let truth = dataset.ground_truth_top_k(config.k);
     for mechanism in MechanismKind::MAIN_COMPARISON {
-        let output = mechanism.build().run(&dataset, &config);
+        let output = Run::mechanism(mechanism)
+            .dataset(&dataset)
+            .config(config)
+            .execute()?;
         println!(
             "{:>7}: F1 = {:.3}  NCR = {:.3}  uplink = {:.1} kb  time = {:.0} ms",
             mechanism.name(),
@@ -50,8 +58,28 @@ fn main() {
         );
     }
 
-    // 4. Decode the TAPS heavy hitters back to item identifiers.
-    let output = Taps::default().run(&dataset, &config);
+    // 4. Re-run TAPS with a `RecordingObserver` attached: the observer sees
+    //    every phase, per-level estimate and pruning decision, and its
+    //    reconstructed uplink traffic matches the communication tracker
+    //    exactly.
+    let mut observer = RecordingObserver::new();
+    let output = Run::mechanism(MechanismKind::Taps)
+        .dataset(&dataset)
+        .config(config)
+        .observer(&mut observer)
+        .execute()?;
+    println!(
+        "\nobserved TAPS: {} phases, {} level events, {} pruning decisions",
+        observer.phases().len(),
+        observer.level_events().count(),
+        observer.pruning_events().count(),
+    );
+    assert_eq!(
+        observer.total_uplink_bits(),
+        output.comm.total_uplink_bits()
+    );
+
+    // 5. Decode the TAPS heavy hitters back to item identifiers.
     println!("\nTAPS federated top-{}:", config.k);
     for (rank, code) in output.heavy_hitters.iter().enumerate() {
         let item_id = dataset.encoder().decode(*code);
@@ -63,4 +91,5 @@ fn main() {
             output.count_of(*code)
         );
     }
+    Ok(())
 }

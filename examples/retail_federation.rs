@@ -7,7 +7,7 @@
 
 use fedhh::prelude::*;
 
-fn main() {
+fn main() -> Result<(), ProtocolError> {
     // Six branches with populations from ~600k down-scaled to laptop size.
     let dataset = DatasetConfig {
         user_scale: 0.01,
@@ -38,8 +38,14 @@ fn main() {
     let truth = dataset.ground_truth_top_k(config.k);
 
     // Compare the straw-man baseline with TAPS under the same ε.
-    let fedpem = FedPem::default().run(&dataset, &config);
-    let taps = Taps::default().run(&dataset, &config);
+    let fedpem = Run::mechanism(MechanismKind::FedPem)
+        .dataset(&dataset)
+        .config(config)
+        .execute()?;
+    let taps = Run::mechanism(MechanismKind::Taps)
+        .dataset(&dataset)
+        .config(config)
+        .execute()?;
     println!("\n         F1      NCR     avg-local-recall");
     for (name, output) in [("FedPEM", &fedpem), ("TAPS", &taps)] {
         let locals: Vec<Vec<u64>> = output
@@ -69,4 +75,5 @@ fn main() {
             dataset.party_count()
         );
     }
+    Ok(())
 }

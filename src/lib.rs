@@ -21,21 +21,47 @@
 //!
 //! ## Quickstart
 //!
+//! Runs go through the [`mechanisms::Run`] builder, which validates the
+//! configuration and returns a typed [`federated::ProtocolError`] instead of
+//! panicking:
+//!
 //! ```
-//! use fedhh::datasets::{DatasetConfig, DatasetKind};
-//! use fedhh::federated::ProtocolConfig;
-//! use fedhh::mechanisms::{Mechanism, Taps};
-//! use fedhh::metrics::f1_score;
+//! use fedhh::prelude::*;
 //!
 //! // A small two-party federation (a scaled-down RDB stand-in).
 //! let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
 //! let config = ProtocolConfig::test_default().with_epsilon(4.0).with_k(10);
 //!
 //! // Identify the federated top-10 heavy hitters with TAPS.
-//! let output = Taps::default().run(&dataset, &config);
+//! let output = Run::mechanism(MechanismKind::Taps)
+//!     .dataset(&dataset)
+//!     .config(config)
+//!     .execute()
+//!     .expect("valid configuration");
 //! let truth = dataset.ground_truth_top_k(10);
 //! println!("F1 = {:.3}", f1_score(&truth, &output.heavy_hitters));
 //! assert_eq!(output.heavy_hitters.len(), 10);
+//! ```
+//!
+//! ## Observing a run
+//!
+//! Attach a [`federated::RunObserver`] to see phases, per-level estimates
+//! and pruning decisions while a mechanism executes:
+//!
+//! ```
+//! use fedhh::prelude::*;
+//!
+//! let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
+//! let config = ProtocolConfig::test_default().with_epsilon(4.0).with_k(5);
+//! let mut observer = RecordingObserver::new();
+//! let output = Run::mechanism(MechanismKind::Taps)
+//!     .dataset(&dataset)
+//!     .config(config)
+//!     .observer(&mut observer)
+//!     .execute()
+//!     .expect("valid configuration");
+//! // The observer reconstructs the run's uplink traffic exactly.
+//! assert_eq!(observer.total_uplink_bits(), output.comm.total_uplink_bits());
 //! ```
 
 #![warn(missing_docs)]
@@ -62,10 +88,13 @@ pub use fedhh_metrics as metrics;
 /// The most commonly used types, importable with a single `use fedhh::prelude::*`.
 pub mod prelude {
     pub use crate::datasets::{DatasetConfig, DatasetKind, FederatedDataset, PartyData};
-    pub use crate::federated::ProtocolConfig;
+    pub use crate::federated::{
+        NullObserver, ProtocolConfig, ProtocolError, RecordingObserver, RunObserver, RunPhase,
+    };
     pub use crate::fo::{FoKind, PrivacyBudget};
     pub use crate::mechanisms::{
-        ExtensionStrategy, FedPem, Gtf, Mechanism, MechanismKind, MechanismOutput, Tap, Taps,
+        ExtensionStrategy, FedPem, Gtf, Mechanism, MechanismKind, MechanismOutput, Run, RunContext,
+        Tap, Taps,
     };
     pub use crate::metrics::{average_local_recall, f1_score, ncr_score};
 }

@@ -3,6 +3,16 @@
 
 use fedhh::prelude::*;
 
+/// Runs a mechanism kind through the `Run` builder, panicking on error (the
+/// configurations in this file are all valid).
+fn run(kind: MechanismKind, dataset: &FederatedDataset, config: ProtocolConfig) -> MechanismOutput {
+    Run::mechanism(kind)
+        .dataset(dataset)
+        .config(config)
+        .execute()
+        .unwrap()
+}
+
 fn test_config(k: usize, epsilon: f64) -> ProtocolConfig {
     ProtocolConfig {
         k,
@@ -20,7 +30,7 @@ fn every_mechanism_runs_on_every_dataset_group() {
     for kind in DatasetKind::ALL {
         let dataset = dataset_config.build(kind);
         for mechanism in MechanismKind::ALL {
-            let output = mechanism.build().run(&dataset, &config);
+            let output = run(mechanism, &dataset, config);
             assert_eq!(
                 output.heavy_hitters.len(),
                 5,
@@ -41,7 +51,7 @@ fn taps_beats_random_guessing_by_a_wide_margin() {
     let dataset = DatasetConfig::test_scale().build(DatasetKind::Rdb);
     let config = test_config(5, 5.0);
     let truth = dataset.ground_truth_top_k(5);
-    let output = Taps::default().run(&dataset, &config);
+    let output = run(MechanismKind::Taps, &dataset, config);
     let f1 = f1_score(&truth, &output.heavy_hitters);
     assert!(f1 >= 0.4, "F1 too low: {f1}");
 }
@@ -58,8 +68,11 @@ fn utility_degrades_gracefully_as_the_budget_shrinks() {
         let dataset = dataset_config.build(DatasetKind::Rdb);
         let truth = dataset.ground_truth_top_k(5);
         for (epsilon, acc) in [(5.0, &mut strong), (0.5, &mut weak)] {
-            let config = ProtocolConfig { seed, ..test_config(5, epsilon) };
-            let output = Taps::default().run(&dataset, &config);
+            let config = ProtocolConfig {
+                seed,
+                ..test_config(5, epsilon)
+            };
+            let output = run(MechanismKind::Taps, &dataset, config);
             *acc += f1_score(&truth, &output.heavy_hitters);
         }
     }
@@ -74,9 +87,12 @@ fn mechanism_outputs_are_reproducible_for_a_fixed_seed() {
     let dataset = DatasetConfig::test_scale().build(DatasetKind::Ycm);
     let config = test_config(5, 3.0);
     for kind in MechanismKind::ALL {
-        let a = kind.build().run(&dataset, &config);
-        let b = kind.build().run(&dataset, &config);
-        assert_eq!(a.heavy_hitters, b.heavy_hitters, "{kind} is not reproducible");
+        let a = run(kind, &dataset, config);
+        let b = run(kind, &dataset, config);
+        assert_eq!(
+            a.heavy_hitters, b.heavy_hitters,
+            "{kind} is not reproducible"
+        );
     }
 }
 
@@ -87,9 +103,12 @@ fn heavy_hitters_are_valid_item_codes() {
     let dataset = DatasetConfig::test_scale().build(DatasetKind::Syn);
     let config = test_config(5, 4.0);
     for kind in MechanismKind::ALL {
-        let output = kind.build().run(&dataset, &config);
+        let output = run(kind, &dataset, config);
         for code in &output.heavy_hitters {
-            assert!(*code < (1u64 << 16), "{kind} produced out-of-range code {code}");
+            assert!(
+                *code < (1u64 << 16),
+                "{kind} produced out-of-range code {code}"
+            );
             let _ = dataset.encoder().decode(*code);
         }
     }
@@ -101,8 +120,11 @@ fn different_frequency_oracles_produce_comparable_results() {
     let truth = dataset.ground_truth_top_k(5);
     let mut scores = Vec::new();
     for fo in [FoKind::Grr, FoKind::Oue, FoKind::Olh] {
-        let config = ProtocolConfig { fo, ..test_config(5, 5.0) };
-        let output = Taps::default().run(&dataset, &config);
+        let config = ProtocolConfig {
+            fo,
+            ..test_config(5, 5.0)
+        };
+        let output = run(MechanismKind::Taps, &dataset, config);
         scores.push(f1_score(&truth, &output.heavy_hitters));
     }
     // All FOs must provide non-trivial utility at a generous budget.

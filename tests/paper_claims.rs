@@ -26,13 +26,17 @@ fn average_f1(
             seed: seed ^ 0x5151,
             ..ProtocolConfig::default()
         };
-        let output = mechanism.run(&dataset, &config);
+        let output = Run::custom(mechanism)
+            .dataset(&dataset)
+            .config(config)
+            .execute()
+            .unwrap();
         total += f1_score(&truth, &output.heavy_hitters);
     }
     total / seeds.len() as f64
 }
 
-const SEEDS: [u64; 4] = [11, 22, 33, 44];
+const SEEDS: [u64; 8] = [11, 22, 33, 44, 55, 66, 77, 88];
 
 #[test]
 fn taps_outperforms_gtf_on_heterogeneous_data() {
@@ -101,7 +105,11 @@ fn privacy_holds_structurally_every_user_reports_once() {
         ..ProtocolConfig::default()
     };
     for kind in MechanismKind::ALL {
-        let output = kind.build().run(&dataset, &config);
+        let output = Run::mechanism(kind)
+            .dataset(&dataset)
+            .config(config)
+            .execute()
+            .unwrap();
         let reports = output.comm.total_local_report_bits() / 32;
         assert!(
             reports <= dataset.total_users(),
@@ -124,10 +132,20 @@ fn taps_spends_more_communication_than_the_baselines_but_stays_small() {
         granularity: 8,
         ..ProtocolConfig::default()
     };
-    let fedpem = FedPem::default().run(&dataset, &config);
-    let taps = Taps::default().run(&dataset, &config);
+    let fedpem = Run::mechanism(MechanismKind::FedPem)
+        .dataset(&dataset)
+        .config(config)
+        .execute()
+        .unwrap();
+    let taps = Run::mechanism(MechanismKind::Taps)
+        .dataset(&dataset)
+        .config(config)
+        .execute()
+        .unwrap();
     assert!(taps.comm.total_uplink_bits() >= fedpem.comm.total_uplink_bits());
-    let per_party_kb =
-        taps.comm.server_traffic_kb() / dataset.party_count() as f64;
-    assert!(per_party_kb < 500.0, "per-party traffic too high: {per_party_kb} kb");
+    let per_party_kb = taps.comm.server_traffic_kb() / dataset.party_count() as f64;
+    assert!(
+        per_party_kb < 500.0,
+        "per-party traffic too high: {per_party_kb} kb"
+    );
 }

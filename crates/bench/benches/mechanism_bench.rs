@@ -7,6 +7,7 @@
 use fedhh_bench::microbench::bench;
 use fedhh_bench::ExperimentScale;
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::EngineConfig;
 use fedhh_mechanisms::{MechanismKind, Run};
 
 fn bench_mechanisms() {
@@ -53,7 +54,37 @@ fn bench_scalability() {
     }
 }
 
+fn bench_parallel_speedup() {
+    // The engine's party-parallel execution: the same FedPEM run (every
+    // party runs full local PEM, the most parallel-friendly round shape)
+    // at increasing engine parallelism.  Results are bit-identical across
+    // the rows; only the wall-clock time should drop on a multi-core host.
+    let scale = ExperimentScale {
+        user_scale: 0.05,
+        ..ExperimentScale::quick()
+    };
+    let dataset = scale.dataset_config(11).build(DatasetKind::Ycm);
+    let config = scale.protocol_config(13).with_epsilon(4.0).with_k(10);
+    let fedpem = MechanismKind::FedPem.build();
+    for parallelism in [1usize, 2, 4] {
+        bench(
+            &format!("fedpem_engine_parallelism_ycm/{parallelism}"),
+            1,
+            10,
+            || {
+                Run::custom(fedpem.as_ref())
+                    .dataset(&dataset)
+                    .config(config)
+                    .engine(EngineConfig::parallel(parallelism))
+                    .execute()
+                    .expect("benchmark configuration is valid")
+            },
+        );
+    }
+}
+
 fn main() {
     bench_mechanisms();
     bench_scalability();
+    bench_parallel_speedup();
 }

@@ -6,6 +6,7 @@
 //!                 [--markdown] [--json PATH]
 //! fedhh-bench trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N]
 //!                   [--quick] [--reps N] [--user-scale F]
+//!                   [--parallelism N] [--dropout F]
 //! ```
 //!
 //! `run all` reproduces every table and figure of the paper's evaluation and
@@ -13,13 +14,16 @@
 //! results so EXPERIMENTS.md can be regenerated from them.  `trial` runs a
 //! single mechanism/dataset/FO combination through the `Run` builder —
 //! mechanism, dataset and FO names are parsed with their `FromStr` impls, so
-//! any case works (`taps`, `TAPS`, `k-RR`, ...).
+//! any case works (`taps`, `TAPS`, `k-RR`, ...).  `--parallelism N` executes
+//! party work on N engine workers (bit-identical results, lower wall-clock);
+//! `--dropout F` makes a fraction F of the parties drop out for the run.
 
 use fedhh_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fedhh_bench::report::reports_to_json;
-use fedhh_bench::runner::averaged_trial;
+use fedhh_bench::runner::averaged_engine_trial;
 use fedhh_bench::{ExperimentReport, ExperimentScale};
 use fedhh_datasets::DatasetKind;
+use fedhh_federated::{EngineConfig, FaultPlan};
 use fedhh_fo::FoKind;
 use fedhh_mechanisms::MechanismKind;
 use std::process::ExitCode;
@@ -40,6 +44,7 @@ fn main() -> ExitCode {
             eprintln!("usage: fedhh-bench <list|run|trial> [args] [options]");
             eprintln!("  run <experiment|all> [--quick] [--reps N] [--user-scale F] [--markdown] [--json PATH]");
             eprintln!("  trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N] [--quick] [--reps N]");
+            eprintln!("        [--parallelism N] [--dropout F]");
             ExitCode::FAILURE
         }
     }
@@ -196,9 +201,31 @@ fn trial_command(args: &[String]) -> ExitCode {
     let mut fo: Option<FoKind> = None;
     let mut epsilon = 4.0f64;
     let mut k = 10usize;
+    let mut parallelism = 1usize;
+    let mut dropout = 0.0f64;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
+            "--parallelism" => {
+                i += 1;
+                match parse_value("--parallelism", rest.get(i)) {
+                    Ok(v) => parallelism = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--dropout" => {
+                i += 1;
+                match parse_value("--dropout", rest.get(i)) {
+                    Ok(v) => dropout = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--fo" => {
                 i += 1;
                 match rest.get(i).map(|v| v.parse::<FoKind>()) {
@@ -241,11 +268,16 @@ fn trial_command(args: &[String]) -> ExitCode {
         i += 1;
     }
 
+    // Invalid values surface as typed `ProtocolError`s from the engine
+    // (`--parallelism 0`, `--dropout 1.5`) rather than being clamped.
+    let engine =
+        EngineConfig::parallel(parallelism).with_faults(FaultPlan::dropout(dropout, 0xFA_u64));
     eprintln!(
-        "[fedhh-bench] {mechanism} on {dataset} (eps = {epsilon}, k = {k}, reps = {})",
-        scale.repetitions
+        "[fedhh-bench] {mechanism} on {dataset} (eps = {epsilon}, k = {k}, reps = {}, \
+         parallelism = {}, dropout = {dropout})",
+        scale.repetitions, engine.parallelism
     );
-    let metrics = match averaged_trial(mechanism, dataset, &scale, |c| {
+    let metrics = match averaged_engine_trial(mechanism, dataset, &scale, &engine, |c| {
         let c = c.with_epsilon(epsilon).with_k(k);
         match fo {
             Some(fo) => c.with_fo(fo),
@@ -260,6 +292,10 @@ fn trial_command(args: &[String]) -> ExitCode {
     };
     println!("mechanism        {mechanism}");
     println!("dataset          {dataset}");
+    println!("parallelism      {}", engine.parallelism);
+    if dropout > 0.0 {
+        println!("dropout          {dropout}");
+    }
     println!("F1               {:.3}", metrics.f1);
     println!("NCR              {:.3}", metrics.ncr);
     println!("avg local recall {:.3}", metrics.avg_local_recall);

@@ -1,7 +1,7 @@
 //! Shared experiment machinery: scales, trials and averaging.
 
 use fedhh_datasets::{DatasetConfig, DatasetKind, FederatedDataset};
-use fedhh_federated::{ProtocolConfig, ProtocolError};
+use fedhh_federated::{EngineConfig, ProtocolConfig, ProtocolError};
 use fedhh_mechanisms::{Mechanism, MechanismKind, Run};
 use fedhh_metrics::{average_local_recall, f1_score, ncr_score};
 
@@ -114,16 +114,30 @@ impl TrialMetrics {
 }
 
 /// Runs one mechanism once over a dataset (through the [`Run`] builder) and
-/// scores it against the exact ground truth.
+/// scores it against the exact ground truth, with the environment-default
+/// engine.
 pub fn run_trial(
     mechanism: &dyn Mechanism,
     dataset: &FederatedDataset,
     config: &ProtocolConfig,
 ) -> Result<TrialMetrics, ProtocolError> {
+    run_engine_trial(mechanism, dataset, config, &EngineConfig::from_env())
+}
+
+/// Like [`run_trial`] but with an explicit [`EngineConfig`] (parallelism and
+/// fault plan) — the entry point behind `fedhh-bench trial --parallelism` /
+/// `--dropout`.
+pub fn run_engine_trial(
+    mechanism: &dyn Mechanism,
+    dataset: &FederatedDataset,
+    config: &ProtocolConfig,
+    engine: &EngineConfig,
+) -> Result<TrialMetrics, ProtocolError> {
     let truth = dataset.ground_truth_top_k(config.k);
     let output = Run::custom(mechanism)
         .dataset(dataset)
         .config(*config)
+        .engine(*engine)
         .execute()?;
     let locals: Vec<Vec<u64>> = output
         .local_results
@@ -154,11 +168,44 @@ pub fn averaged_trial(
     })
 }
 
+/// Like [`averaged_trial`] but with an explicit engine configuration
+/// applied to every repetition.
+pub fn averaged_engine_trial(
+    kind: MechanismKind,
+    dataset_kind: DatasetKind,
+    scale: &ExperimentScale,
+    engine: &EngineConfig,
+    configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
+) -> Result<TrialMetrics, ProtocolError> {
+    averaged_engine_trial_with(kind, scale, engine, configure, |seed| {
+        scale.dataset_config(seed).build(dataset_kind)
+    })
+}
+
 /// Like [`averaged_trial`] but with a custom dataset builder (used by the
 /// Table 8 heterogeneity sweep, which varies the SYN Dirichlet β).
 pub fn averaged_trial_with(
     kind: MechanismKind,
     scale: &ExperimentScale,
+    configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
+    build_dataset: impl Fn(u64) -> FederatedDataset,
+) -> Result<TrialMetrics, ProtocolError> {
+    averaged_engine_trial_with(
+        kind,
+        scale,
+        &EngineConfig::from_env(),
+        configure,
+        build_dataset,
+    )
+}
+
+/// The shared repetition loop behind every averaged trial: one dataset and
+/// protocol seed pair per repetition, mirroring the paper's
+/// average-of-50-runs protocol.
+fn averaged_engine_trial_with(
+    kind: MechanismKind,
+    scale: &ExperimentScale,
+    engine: &EngineConfig,
     configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
     build_dataset: impl Fn(u64) -> FederatedDataset,
 ) -> Result<TrialMetrics, ProtocolError> {
@@ -168,7 +215,7 @@ pub fn averaged_trial_with(
             let seed = 1000 + rep * 7919;
             let dataset = build_dataset(seed);
             let config = configure(scale.protocol_config(seed ^ 0xBEEF));
-            run_trial(mechanism.as_ref(), &dataset, &config)
+            run_engine_trial(mechanism.as_ref(), &dataset, &config, engine)
         })
         .collect::<Result<_, _>>()?;
     Ok(TrialMetrics::mean(&trials))
@@ -244,5 +291,55 @@ mod tests {
     fn fmt3_rounds_to_three_decimals() {
         assert_eq!(fmt3(0.123456), "0.123");
         assert_eq!(fmt3(1.0), "1.000");
+    }
+
+    #[test]
+    fn engine_trials_match_sequential_results_at_any_parallelism() {
+        let scale = ExperimentScale::quick();
+        let configure = |c: ProtocolConfig| c.with_epsilon(4.0).with_k(5);
+        let sequential = averaged_engine_trial(
+            MechanismKind::Taps,
+            DatasetKind::Rdb,
+            &scale,
+            &EngineConfig::sequential(),
+            configure,
+        )
+        .unwrap();
+        let parallel = averaged_engine_trial(
+            MechanismKind::Taps,
+            DatasetKind::Rdb,
+            &scale,
+            &EngineConfig::parallel(4),
+            configure,
+        )
+        .unwrap();
+        assert_eq!(sequential.f1, parallel.f1);
+        assert_eq!(sequential.ncr, parallel.ncr);
+        assert_eq!(sequential.uplink_kb, parallel.uplink_kb);
+        assert_eq!(sequential.server_traffic_kb, parallel.server_traffic_kb);
+    }
+
+    #[test]
+    fn dropout_trials_complete_with_reduced_uplink() {
+        use fedhh_federated::FaultPlan;
+        let scale = ExperimentScale::quick();
+        let configure = |c: ProtocolConfig| c.with_epsilon(4.0).with_k(5);
+        let healthy = averaged_engine_trial(
+            MechanismKind::FedPem,
+            DatasetKind::Ycm,
+            &scale,
+            &EngineConfig::sequential(),
+            configure,
+        )
+        .unwrap();
+        let faulty = averaged_engine_trial(
+            MechanismKind::FedPem,
+            DatasetKind::Ycm,
+            &scale,
+            &EngineConfig::sequential().with_faults(FaultPlan::dropout(0.5, 3)),
+            configure,
+        )
+        .unwrap();
+        assert!(faulty.uplink_kb < healthy.uplink_kb);
     }
 }

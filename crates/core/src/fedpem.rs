@@ -5,13 +5,21 @@
 //! counts; the server sums the counts of identical items and reports the
 //! global top-k.  FedPEM ignores the non-IID structure entirely, which is
 //! exactly the weakness the paper's TAP/TAPS address.
+//!
+//! As an engine protocol FedPEM is a single round: the server broadcasts
+//! `Start`, every active party runs full local PEM through its
+//! [`PartyDriver`] and uploads its top-k [`CandidateReport`]; the server
+//! aggregates the collected reports.
 
 use crate::aggregate::PartyLocalResult;
 use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::pem::run_pem;
 use crate::run::RunContext;
-use fedhh_federated::{federated_top_k, LevelEstimated, ProtocolError, RunPhase};
+use fedhh_federated::{
+    federated_top_k, Broadcast, CandidateReport, LevelEstimated, PartyDriver, ProtocolConfig,
+    ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session,
+};
 use std::time::Instant;
 
 /// The FedPEM baseline.
@@ -46,6 +54,52 @@ impl FedPem {
     }
 }
 
+/// One party's FedPEM round: run local PEM end-to-end and upload the
+/// resulting top-k report.
+struct FedPemDriver<'a> {
+    name: &'a str,
+    items: &'a [u64],
+    config: ProtocolConfig,
+    extension: ExtensionStrategy,
+    seed: u64,
+    /// The local result, retained for the run's `local_results` output.
+    local: Option<PartyLocalResult>,
+}
+
+impl PartyDriver for FedPemDriver<'_> {
+    fn party(&self) -> &str {
+        self.name
+    }
+
+    fn run_round(&mut self, _input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
+        let outcome = run_pem(
+            self.name,
+            self.items,
+            &self.config,
+            self.extension,
+            self.seed,
+        )?;
+        let report = outcome.local.to_report(self.config.granularity);
+        let mut round = RoundOutcome::default();
+        // Replay the per-level progression; the final level additionally
+        // carries the party's top-k upload.
+        let last = outcome.level_trace.len().saturating_sub(1);
+        for (i, trace) in outcome.level_trace.iter().enumerate() {
+            round.level(LevelEstimated {
+                party: self.name.to_string(),
+                level: trace.level,
+                candidates: trace.candidates,
+                users: trace.users,
+                report_bits: trace.report_bits,
+                uplink_bits: if i == last { report.size_bits() } else { 0 },
+            });
+        }
+        round.upload(RoundPayload::Report(report));
+        self.local = Some(outcome.local);
+        Ok(round)
+    }
+}
+
 impl Mechanism for FedPem {
     fn name(&self) -> &'static str {
         "FedPEM"
@@ -57,37 +111,37 @@ impl Mechanism for FedPem {
         let dataset = ctx.dataset();
         let extension = self.effective_extension(config.k);
 
-        ctx.phase(RunPhase::LocalEstimation);
-        let mut locals: Vec<PartyLocalResult> = Vec::with_capacity(dataset.party_count());
-        let mut reports = Vec::with_capacity(dataset.party_count());
-        for (idx, party) in dataset.parties().iter().enumerate() {
-            // run_pem validates the configuration before estimating.
-            let outcome = run_pem(
-                party.name(),
-                party.items(),
-                &config,
+        let mut session = Session::new(ctx.engine(), dataset.party_count())?;
+        let mut drivers: Vec<FedPemDriver<'_>> = dataset
+            .parties()
+            .iter()
+            .enumerate()
+            .map(|(idx, party)| FedPemDriver {
+                name: party.name(),
+                items: party.items(),
+                config,
                 extension,
-                ctx.party_seed(idx),
-            )?;
-            // Replay the per-level progression to the observer; the final
-            // level additionally carries the party's top-k upload.
-            let report = outcome.local.to_report(config.granularity);
-            let last = outcome.level_trace.len().saturating_sub(1);
-            for (i, trace) in outcome.level_trace.iter().enumerate() {
-                ctx.level_estimated(LevelEstimated {
-                    party: party.name().to_string(),
-                    level: trace.level,
-                    candidates: trace.candidates,
-                    users: trace.users,
-                    report_bits: trace.report_bits,
-                    uplink_bits: if i == last { report.size_bits() } else { 0 },
-                });
-            }
-            locals.push(outcome.local);
-            reports.push(report);
-        }
+                seed: ctx.party_seed(idx),
+                local: None,
+            })
+            .collect();
+
+        ctx.phase(RunPhase::LocalEstimation);
+        let active = session.active_parties();
+        let input = RoundInput {
+            round: 0,
+            broadcast: Broadcast::Start,
+        };
+        let collection = session.run_round(&mut drivers, &active, &input)?;
+        ctx.replay(&collection);
 
         ctx.phase(RunPhase::Aggregation);
+        let reports: Vec<CandidateReport> = collection
+            .messages
+            .iter()
+            .filter_map(|m| m.as_report().cloned())
+            .collect();
+        let locals: Vec<PartyLocalResult> = drivers.into_iter().filter_map(|d| d.local).collect();
         let totals = fedhh_federated::aggregate_reports(&reports);
         let heavy_hitters = federated_top_k(&reports, config.k);
 

@@ -15,12 +15,19 @@
 //!   party population** and keeps only the global top-k prefixes — the
 //!   aggressive, size-oblivious filtering that the paper criticises;
 //! * the final level's global top-k items are the answer.
+//!
+//! As an engine protocol GTF is one round per trie level: the server
+//! broadcasts the current global candidate set, every active party extends
+//! and estimates it on its level group and uploads its local top-k
+//! frequencies, and the server filters the collected reports into the next
+//! round's broadcast.
 
 use crate::aggregate::PartyLocalResult;
 use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::run::RunContext;
 use fedhh_federated::{
-    GroupAssignment, LevelEstimated, LevelEstimator, ProtocolError, RunPhase, PAIR_BITS,
+    Broadcast, GroupAssignment, LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig,
+    ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session, PAIR_BITS,
 };
 use fedhh_trie::extend_prefix_values;
 use std::collections::HashMap;
@@ -29,6 +36,66 @@ use std::time::Instant;
 /// The GTF baseline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Gtf;
+
+/// One party's GTF round: extend the broadcast global candidates by one
+/// level, estimate them on the level's user group, and upload the local
+/// top-k frequencies.
+struct GtfDriver<'a> {
+    name: &'a str,
+    assignment: GroupAssignment,
+    estimator: &'a LevelEstimator,
+    config: ProtocolConfig,
+    seed: u64,
+}
+
+impl PartyDriver for GtfDriver<'_> {
+    fn party(&self) -> &str {
+        self.name
+    }
+
+    fn run_round(&mut self, input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
+        let Broadcast::Candidates {
+            values,
+            value_len,
+            level,
+        } = &input.broadcast
+        else {
+            // GTF rounds always broadcast the global candidate set.
+            return Ok(RoundOutcome::default());
+        };
+        let h = *level;
+        let schedule = self.config.schedule();
+        let candidates = extend_prefix_values(values, *value_len, schedule.step(h));
+        let estimate = self.estimator.estimate(
+            &candidates,
+            schedule.prefix_len(h),
+            self.assignment.level(h),
+            self.seed ^ ((h as u64) << 32),
+        );
+        // The party reports its top-k candidates with frequencies.
+        let top: Vec<(u64, f64)> = estimate
+            .ranked_candidates()
+            .into_iter()
+            .take(self.config.k)
+            .collect();
+        let mut round = RoundOutcome::default();
+        round.level(LevelEstimated {
+            party: self.name.to_string(),
+            level: h,
+            candidates: candidates.len(),
+            users: estimate.users,
+            report_bits: estimate.report_bits,
+            uplink_bits: top.len() * PAIR_BITS,
+        });
+        round.upload(RoundPayload::Report(fedhh_federated::CandidateReport {
+            party: self.name.to_string(),
+            level: h,
+            candidates: top,
+            users: estimate.users,
+        }));
+        Ok(round)
+    }
+}
 
 impl Mechanism for Gtf {
     fn name(&self) -> &'static str {
@@ -44,15 +111,27 @@ impl Mechanism for Gtf {
         let estimator = LevelEstimator::new(config)?;
         let schedule = config.schedule();
 
+        let mut session = Session::new(ctx.engine(), dataset.party_count())?;
         // Per-party group assignments: every user still reports only once.
-        let assignments: Vec<GroupAssignment> = dataset
+        let mut drivers: Vec<GtfDriver<'_>> = dataset
             .parties()
             .iter()
             .enumerate()
             .map(|(idx, p)| {
-                GroupAssignment::uniform(p.items(), config.granularity, ctx.party_seed(idx))
+                Ok(GtfDriver {
+                    name: p.name(),
+                    assignment: GroupAssignment::uniform(
+                        p.items(),
+                        config.granularity,
+                        ctx.party_seed(idx),
+                    )?,
+                    estimator: &estimator,
+                    config,
+                    seed: ctx.party_seed(idx),
+                })
             })
-            .collect();
+            .collect::<Result<_, ProtocolError>>()?;
+        let active = session.active_parties();
 
         let mut global: Vec<u64> = vec![0];
         let mut global_len: u8 = 0;
@@ -62,66 +141,61 @@ impl Mechanism for Gtf {
         let mut last_local: Vec<PartyLocalResult> = Vec::new();
 
         ctx.phase(RunPhase::LocalEstimation);
-        for h in schedule.levels() {
-            let step = schedule.step(h);
-            let len = schedule.prefix_len(h);
-            let candidates = extend_prefix_values(&global, global_len, step);
+        for (round, h) in schedule.levels().enumerate() {
+            let input = RoundInput {
+                round: round as u32,
+                broadcast: Broadcast::Candidates {
+                    values: global.clone(),
+                    value_len: global_len,
+                    level: h,
+                },
+            };
+            let collection = session.run_round(&mut drivers, &active, &input)?;
+            ctx.replay(&collection);
 
             let mut freq_sums: HashMap<u64, f64> = HashMap::new();
-            let mut locals: Vec<PartyLocalResult> = Vec::new();
-            for (idx, party) in dataset.parties().iter().enumerate() {
-                let estimate = estimator.estimate(
-                    &candidates,
-                    len,
-                    assignments[idx].level(h),
-                    ctx.party_seed(idx) ^ ((h as u64) << 32),
-                );
-                // The party reports its top-k candidates with frequencies.
-                let ranked = estimate.ranked_candidates();
-                let top: Vec<(u64, f64)> = ranked.into_iter().take(config.k).collect();
-                ctx.level_estimated(LevelEstimated {
-                    party: party.name().to_string(),
-                    level: h,
-                    candidates: candidates.len(),
-                    users: estimate.users,
-                    report_bits: estimate.report_bits,
-                    uplink_bits: top.len() * PAIR_BITS,
-                });
-                for (value, freq) in &top {
+            let mut locals: Vec<(usize, PartyLocalResult)> = Vec::new();
+            for message in &collection.messages {
+                let Some(report) = message.as_report() else {
+                    continue;
+                };
+                for (value, freq) in &report.candidates {
                     *freq_sums.entry(*value).or_insert(0.0) += freq.max(0.0);
                 }
-                locals.push(PartyLocalResult {
-                    party: party.name().to_string(),
-                    users: party.user_count(),
-                    local_heavy_hitters: top.iter().map(|(v, _)| *v).collect(),
-                    reported_counts: top
-                        .iter()
-                        .map(|(v, f)| (*v, (f * party.user_count() as f64).max(0.0)))
-                        .collect(),
-                });
+                let users = dataset.parties()[message.from].user_count();
+                locals.push((
+                    message.from,
+                    PartyLocalResult {
+                        party: report.party.clone(),
+                        users,
+                        local_heavy_hitters: report.values(),
+                        reported_counts: report
+                            .candidates
+                            .iter()
+                            .map(|(v, f)| (*v, (f * users as f64).max(0.0)))
+                            .collect(),
+                    },
+                ));
             }
+            locals.sort_by_key(|(from, _)| *from);
 
             // Population-oblivious filtering: average of reported
             // frequencies, keep exactly the global top-k.
-            let party_count = dataset.party_count() as f64;
+            let party_count = active.len().max(1) as f64;
             let mut averaged: Vec<(u64, f64)> = freq_sums
                 .into_iter()
                 .map(|(v, total)| (v, total / party_count))
                 .collect();
-            averaged.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            });
+            averaged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             averaged.truncate(config.k);
-            // Broadcast the filtered candidate set to every party.
-            for party in dataset.parties() {
-                ctx.record_downlink(party.name(), averaged.len() * PAIR_BITS);
+            // Broadcast the filtered candidate set to every surviving party.
+            for &idx in &active {
+                ctx.record_downlink(dataset.parties()[idx].name(), averaged.len() * PAIR_BITS);
             }
             global = averaged.iter().map(|(v, _)| *v).collect();
-            global_len = len;
+            global_len = schedule.prefix_len(h);
             last_avg = averaged.into_iter().collect();
-            last_local = locals;
+            last_local = locals.into_iter().map(|(_, l)| l).collect();
             if global.is_empty() {
                 break;
             }
@@ -136,12 +210,7 @@ impl Mechanism for Gtf {
             .map(|(v, f)| (*v, f * total_users))
             .collect();
         let mut heavy_hitters: Vec<u64> = last_avg.keys().copied().collect();
-        heavy_hitters.sort_by(|a, b| {
-            counts[b]
-                .partial_cmp(&counts[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(b))
-        });
+        heavy_hitters.sort_by(|a, b| counts[b].total_cmp(&counts[a]).then(a.cmp(b)));
         heavy_hitters.truncate(config.k);
 
         Ok(MechanismOutput {

@@ -2,8 +2,7 @@
 
 use crate::aggregate::PartyLocalResult;
 use crate::run::RunContext;
-use fedhh_datasets::FederatedDataset;
-use fedhh_federated::{CommTracker, NullObserver, ProtocolConfig, ProtocolError};
+use fedhh_federated::{CommTracker, ProtocolError};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -42,25 +41,10 @@ pub trait Mechanism {
     ///
     /// Prefer driving this through the [`crate::Run`] builder, which
     /// validates the configuration and the dataset/config pairing first.
-    fn execute(&self, ctx: &mut RunContext<'_>) -> Result<MechanismOutput, ProtocolError>;
-
-    /// Runs the mechanism unobserved, panicking on any error.
     ///
-    /// This is the pre-0.2 convenience entry point, kept for one release so
-    /// downstream code migrates incrementally.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `Run` builder (or `Mechanism::execute`), which returns \
-                `Result<MechanismOutput, ProtocolError>` instead of panicking"
-    )]
-    fn run(&self, dataset: &FederatedDataset, config: &ProtocolConfig) -> MechanismOutput {
-        let mut observer = NullObserver;
-        let mut ctx = RunContext::new(dataset, *config, &mut observer);
-        config
-            .validate()
-            .and_then(|()| self.execute(&mut ctx))
-            .unwrap_or_else(|err| panic!("{} run failed: {err}", self.name()))
-    }
+    /// The pre-0.2 infallible `run(&dataset, &config)` shim (deprecated in
+    /// 0.2.0) was removed in 0.3.0; see CHANGES.md for the migration.
+    fn execute(&self, ctx: &mut RunContext<'_>) -> Result<MechanismOutput, ProtocolError>;
 }
 
 /// The mechanisms compared in the paper's evaluation, constructible by name.

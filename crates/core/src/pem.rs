@@ -79,7 +79,7 @@ pub fn run_pem(
         items,
         config.granularity,
         assignment_seed(config.seed, noise_seed),
-    );
+    )?;
     let estimator = LevelEstimator::new(*config)?;
 
     let mut current: Vec<u64> = vec![0]; // the root prefix (length 0)

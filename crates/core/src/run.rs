@@ -29,8 +29,8 @@
 use crate::mechanism::{Mechanism, MechanismKind, MechanismOutput};
 use fedhh_datasets::FederatedDataset;
 use fedhh_federated::{
-    CommTracker, LevelEstimated, ProtocolConfig, ProtocolError, PruningDecision, RunObserver,
-    RunPhase, RunSummary,
+    CommTracker, EngineConfig, LevelEstimated, PartyEvent, ProtocolConfig, ProtocolError,
+    PruningDecision, RoundCollection, RunObserver, RunPhase, RunSummary,
 };
 
 /// Everything a mechanism needs while executing one run: the dataset, the
@@ -44,12 +44,14 @@ use fedhh_federated::{
 pub struct RunContext<'a> {
     dataset: &'a FederatedDataset,
     config: ProtocolConfig,
+    engine: EngineConfig,
     comm: CommTracker,
     observer: &'a mut dyn RunObserver,
 }
 
 impl<'a> RunContext<'a> {
-    /// Creates a context over a dataset and configuration.
+    /// Creates a context over a dataset and configuration, with the
+    /// environment-default engine (see [`EngineConfig::from_env`]).
     ///
     /// Callers normally go through [`Run::execute`], which validates first;
     /// constructing a context directly does not validate.
@@ -61,9 +63,21 @@ impl<'a> RunContext<'a> {
         Self {
             dataset,
             config,
+            engine: EngineConfig::from_env(),
             comm: CommTracker::new(),
             observer,
         }
+    }
+
+    /// Returns the context with a different engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine configuration (parallelism and fault plan) of this run.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
     }
 
     /// The dataset under analysis (borrowed for the run's full lifetime).
@@ -146,6 +160,26 @@ impl<'a> RunContext<'a> {
         self.observer.pruning_decision(&event);
     }
 
+    /// Replays a collected engine round into the run's accounting: every
+    /// [`PartyEvent`] flows through the same funnels a sequential mechanism
+    /// would use ([`RunContext::level_estimated`] and friends), in the
+    /// collection's canonical party order, so observer events and
+    /// [`CommTracker`] totals stay in lockstep no matter how many worker
+    /// threads produced them.
+    pub fn replay(&mut self, collection: &RoundCollection) {
+        for (_, events) in &collection.events {
+            for event in events {
+                match event {
+                    PartyEvent::Level(level) => self.level_estimated(level.clone()),
+                    PartyEvent::Pruning(pruning) => self.pruning_decision(pruning.clone()),
+                    PartyEvent::ValidationReports { party, bits } => {
+                        self.record_validation_reports(party, *bits);
+                    }
+                }
+            }
+        }
+    }
+
     /// Moves the accumulated communication out of the context (called once
     /// by the mechanism when assembling its [`MechanismOutput`]).
     pub fn take_comm(&mut self) -> CommTracker {
@@ -184,6 +218,7 @@ pub struct Run<'a> {
     mechanism: RunMechanism<'a>,
     dataset: Option<&'a FederatedDataset>,
     config: ProtocolConfig,
+    engine: Option<EngineConfig>,
     observer: Option<&'a mut dyn RunObserver>,
 }
 
@@ -204,6 +239,7 @@ impl<'a> Run<'a> {
             mechanism,
             dataset: None,
             config: ProtocolConfig::default(),
+            engine: None,
             observer: None,
         }
     }
@@ -221,6 +257,18 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// Configures the round engine: how many worker threads execute party
+    /// work per round and which deployment faults the session injects.
+    ///
+    /// When not called, the engine defaults to [`EngineConfig::from_env`]:
+    /// sequential, fault-free execution unless the `FEDHH_TEST_PARALLELISM`
+    /// environment variable selects a worker count.  Results are
+    /// bit-identical at any parallelism; only fault plans change outputs.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
     /// Attaches an observer that receives phase/level/pruning events.
     pub fn observer(mut self, observer: &'a mut dyn RunObserver) -> Self {
         self.observer = Some(observer);
@@ -235,6 +283,8 @@ impl<'a> Run<'a> {
     pub fn execute(self) -> Result<MechanismOutput, ProtocolError> {
         let dataset = self.dataset.ok_or(ProtocolError::MissingDataset)?;
         self.config.validate()?;
+        let engine = self.engine.unwrap_or_else(EngineConfig::from_env);
+        engine.validate()?;
         if dataset.party_count() == 0 || dataset.total_users() == 0 {
             return Err(ProtocolError::EmptyDataset {
                 dataset: dataset.name().to_string(),
@@ -253,7 +303,7 @@ impl<'a> Run<'a> {
             None => &mut null,
         };
         let mechanism = self.mechanism.as_dyn();
-        let mut ctx = RunContext::new(dataset, self.config, observer);
+        let mut ctx = RunContext::new(dataset, self.config, observer).with_engine(engine);
         let output = mechanism.execute(&mut ctx)?;
         ctx.finish(mechanism.name(), &output);
         Ok(output)

@@ -8,6 +8,12 @@
 //! adaptive extension, and uploads its local top-k heavy hitters with their
 //! estimated counts; the server sums the counts and reports the federated
 //! top-k.
+//!
+//! As an engine protocol TAP is two rounds: Phase I is one `Start` round
+//! (each party runs its shared levels and uploads a level-g_s candidate
+//! report), Phase II one `Candidates` round seeded with the shared prefixes
+//! (each party descends to level g and uploads its final top-k report).
+//! Both rounds run every active party concurrently.
 
 pub mod stc;
 
@@ -16,8 +22,9 @@ use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::run::RunContext;
 use fedhh_federated::{
-    federated_top_k, GroupAssignment, LevelEstimate, LevelEstimated, LevelEstimator,
-    ProtocolConfig, ProtocolError, RunPhase,
+    federated_top_k, Broadcast, CandidateReport, GroupAssignment, LevelEstimate, LevelEstimated,
+    LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, RoundInput, RoundOutcome,
+    RoundPayload, RunPhase, Session,
 };
 use fedhh_trie::extend_prefix_values;
 use std::time::Instant;
@@ -44,7 +51,7 @@ pub(crate) struct PartyRun {
 impl PartyRun {
     /// Initialises the run state for every party of a dataset, deriving
     /// each party's randomness from [`RunContext::party_seed`].
-    pub fn initialise(ctx: &RunContext<'_>) -> Vec<PartyRun> {
+    pub fn initialise(ctx: &RunContext<'_>) -> Result<Vec<PartyRun>, ProtocolError> {
         let config = ctx.config();
         let gs = config.shared_levels();
         ctx.dataset()
@@ -53,7 +60,7 @@ impl PartyRun {
             .enumerate()
             .map(|(idx, party)| {
                 let seed = ctx.party_seed(idx);
-                PartyRun {
+                Ok(PartyRun {
                     name: party.name().to_string(),
                     users_total: party.user_count(),
                     assignment: GroupAssignment::weighted(
@@ -62,12 +69,12 @@ impl PartyRun {
                         gs,
                         config.phase1_user_fraction,
                         seed,
-                    ),
+                    )?,
                     current: vec![0],
                     current_len: 0,
                     last_estimate: None,
                     noise_seed: seed,
-                }
+                })
             })
             .collect()
     }
@@ -119,6 +126,95 @@ impl PartyRun {
     }
 }
 
+/// One party's TAP Phase II round: adopt the broadcast shared prefixes (if
+/// any), extend level by level down to the granularity, and upload the
+/// final top-k report.
+pub(crate) struct TapPhase2Driver<'a> {
+    pub(crate) party: &'a mut PartyRun,
+    pub(crate) estimator: &'a LevelEstimator,
+    pub(crate) config: ProtocolConfig,
+    pub(crate) extension: ExtensionStrategy,
+    pub(crate) debug: bool,
+}
+
+impl PartyDriver for TapPhase2Driver<'_> {
+    fn party(&self) -> &str {
+        &self.party.name
+    }
+
+    fn run_round(&mut self, input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
+        let config = self.config;
+        if let Broadcast::Candidates {
+            values, value_len, ..
+        } = &input.broadcast
+        {
+            self.party.current = values.clone();
+            self.party.current_len = *value_len;
+        }
+        let gs = config.shared_levels();
+        let mut round = RoundOutcome::default();
+        for h in (gs + 1)..=config.granularity {
+            let (candidates, estimate) =
+                self.party
+                    .estimate_level(self.estimator, &config, h, None, &[]);
+            let t = self.extension.extension_count(&estimate, config.k);
+            if self.debug {
+                eprintln!(
+                    "[tap] {} level {h}: |domain|={} users={} t={t} sigma={:.4}",
+                    self.party.name,
+                    candidates.len(),
+                    estimate.users,
+                    estimate.std_dev
+                );
+            }
+            round.level(LevelEstimated {
+                party: self.party.name.clone(),
+                level: h,
+                candidates: candidates.len(),
+                users: estimate.users,
+                report_bits: estimate.report_bits,
+                uplink_bits: 0,
+            });
+            self.party.advance(&config, h, estimate, t);
+        }
+        // The final top-k upload (step ⑪), attributed to the deepest level.
+        let local = self.party.final_local_result(config.k);
+        let report = local.to_report(config.granularity);
+        round.level(LevelEstimated {
+            party: self.party.name.clone(),
+            level: config.granularity,
+            candidates: report.candidates.len(),
+            users: 0,
+            report_bits: 0,
+            uplink_bits: report.size_bits(),
+        });
+        round.upload(RoundPayload::Report(report));
+        Ok(round)
+    }
+}
+
+/// Rebuilds the parties' [`PartyLocalResult`]s from the final reports they
+/// uploaded, in party-index order (`to_report` is lossless, so this is the
+/// exact inverse).
+pub(crate) fn locals_from_reports(messages: &[(usize, CandidateReport)]) -> Vec<PartyLocalResult> {
+    let mut keyed: Vec<(usize, PartyLocalResult)> = messages
+        .iter()
+        .map(|(from, report)| {
+            (
+                *from,
+                PartyLocalResult {
+                    party: report.party.clone(),
+                    users: report.users,
+                    local_heavy_hitters: report.values(),
+                    reported_counts: report.candidates.clone(),
+                },
+            )
+        })
+        .collect();
+    keyed.sort_by_key(|(from, _)| *from);
+    keyed.into_iter().map(|(_, local)| local).collect()
+}
+
 /// The TAP mechanism (Algorithm 3).
 #[derive(Debug, Clone, Copy)]
 pub struct Tap {
@@ -168,70 +264,62 @@ impl Mechanism for Tap {
         // Constructing the estimator validates the configuration, so no
         // invalid parameter survives past this line.
         let estimator = LevelEstimator::new(config)?;
-        let mut parties = PartyRun::initialise(ctx);
+        let mut session = Session::new(ctx.engine(), ctx.dataset().party_count())?;
+        let mut parties = PartyRun::initialise(ctx)?;
         let gs = config.shared_levels();
 
         // Phase I: shared shallow trie construction (Algorithm 2).
-        let shared = stc::shared_trie_construction(&mut parties, &estimator, ctx, self.extension);
-        if std::env::var("FEDHH_DEBUG_SHARED").is_ok() {
+        let shared = stc::shared_trie_construction(
+            &mut session,
+            &mut parties,
+            &estimator,
+            ctx,
+            self.extension,
+        )?;
+        let debug = std::env::var("FEDHH_DEBUG_SHARED").is_ok();
+        if debug {
             eprintln!("[tap] shared prefixes at level {gs}: {shared:?}");
-        }
-        if self.use_shared_trie {
-            let shared_len = config.schedule().prefix_len(gs);
-            for party in &mut parties {
-                party.current = shared.clone();
-                party.current_len = shared_len;
-            }
         }
 
         // Phase II: independent estimation with a warm start.
         ctx.phase(RunPhase::LocalEstimation);
-        let debug = std::env::var("FEDHH_DEBUG_SHARED").is_ok();
-        for party in &mut parties {
-            for h in (gs + 1)..=config.granularity {
-                let (candidates, estimate) =
-                    party.estimate_level(&estimator, &config, h, None, &[]);
-                let t = self.extension.extension_count(&estimate, config.k);
-                if debug {
-                    eprintln!(
-                        "[tap] {} level {h}: |domain|={} users={} t={t} sigma={:.4}",
-                        party.name,
-                        candidates.len(),
-                        estimate.users,
-                        estimate.std_dev
-                    );
-                }
-                ctx.level_estimated(LevelEstimated {
-                    party: party.name.clone(),
-                    level: h,
-                    candidates: candidates.len(),
-                    users: estimate.users,
-                    report_bits: estimate.report_bits,
-                    uplink_bits: 0,
-                });
-                party.advance(&config, h, estimate, t);
+        let broadcast = if self.use_shared_trie {
+            Broadcast::Candidates {
+                values: shared,
+                value_len: config.schedule().prefix_len(gs),
+                level: gs + 1,
             }
-        }
+        } else {
+            Broadcast::Start
+        };
+        let active = session.active_parties();
+        let input = RoundInput {
+            round: session.rounds_completed(),
+            broadcast,
+        };
+        let mut drivers: Vec<TapPhase2Driver<'_>> = parties
+            .iter_mut()
+            .map(|party| TapPhase2Driver {
+                party,
+                estimator: &estimator,
+                config,
+                extension: self.extension,
+                debug,
+            })
+            .collect();
+        let collection = session.run_round(&mut drivers, &active, &input)?;
+        drop(drivers);
+        ctx.replay(&collection);
 
         // Final aggregation (step ⑪).
         ctx.phase(RunPhase::Aggregation);
-        let locals: Vec<PartyLocalResult> = parties
+        let reports: Vec<(usize, CandidateReport)> = collection
+            .messages
             .iter()
-            .map(|p| p.final_local_result(config.k))
+            .filter_map(|m| m.as_report().map(|r| (m.from, r.clone())))
             .collect();
-        let reports: Vec<_> = locals
-            .iter()
-            .map(|l| {
-                let report = l.to_report(config.granularity);
-                ctx.record_upload(
-                    &l.party,
-                    config.granularity,
-                    report.candidates.len(),
-                    report.size_bits(),
-                );
-                report
-            })
-            .collect();
+        let locals = locals_from_reports(&reports);
+        let reports: Vec<CandidateReport> = reports.into_iter().map(|(_, r)| r).collect();
         let totals = fedhh_federated::aggregate_reports(&reports);
         let heavy_hitters = federated_top_k(&reports, config.k);
 
@@ -314,12 +402,29 @@ mod tests {
         let cfg = config();
         let mut observer = fedhh_federated::NullObserver;
         let ctx = RunContext::new(&dataset, cfg, &mut observer);
-        let runs = PartyRun::initialise(&ctx);
+        let runs = PartyRun::initialise(&ctx).unwrap();
         assert_eq!(runs.len(), 4);
         for (run, party) in runs.iter().zip(dataset.parties()) {
             assert_eq!(run.users_total, party.user_count());
             assert_eq!(run.assignment.total_users(), party.user_count());
             assert_eq!(run.current, vec![0]);
         }
+    }
+
+    #[test]
+    fn locals_rebuild_losslessly_from_reports_in_party_order() {
+        let report = |party: &str, users: usize| CandidateReport {
+            party: party.to_string(),
+            level: 8,
+            candidates: vec![(1, 10.0), (2, 5.0)],
+            users,
+        };
+        let locals = locals_from_reports(&[(2, report("c", 30)), (0, report("a", 10))]);
+        assert_eq!(locals.len(), 2);
+        assert_eq!(locals[0].party, "a");
+        assert_eq!(locals[0].users, 10);
+        assert_eq!(locals[1].party, "c");
+        assert_eq!(locals[0].local_heavy_hitters, vec![1, 2]);
+        assert_eq!(locals[0].reported_counts, vec![(1, 10.0), (2, 5.0)]);
     }
 }

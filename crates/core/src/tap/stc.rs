@@ -8,83 +8,137 @@
 //! their counts, and the server aggregates the counts — weighted by party
 //! population — into the global top-k prefixes C_{g_s} that seed Phase II
 //! in every party.
+//!
+//! Phase I is one engine round: the server broadcasts `Start`, every active
+//! party runs its shared levels through a `Phase1Driver` (concurrently
+//! under a parallel engine) and uploads its level-g_s candidate report,
+//! and the session collects the reports for aggregation.
 
 use crate::aggregate::local_result_to_report;
 use crate::extension::ExtensionStrategy;
 use crate::run::RunContext;
 use crate::tap::PartyRun;
 use fedhh_federated::{
-    aggregate_reports, top_k_from_counts, LevelEstimated, LevelEstimator, RunPhase, PAIR_BITS,
+    aggregate_reports, top_k_from_counts, Broadcast, CandidateReport, LevelEstimated,
+    LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, RoundInput, RoundOutcome,
+    RoundPayload, RunPhase, Session, PAIR_BITS,
 };
 
-/// Runs Phase I over all parties and returns the globally frequent prefixes
-/// C_{g_s} (at most k values, each `schedule.prefix_len(g_s)` bits long).
-///
-/// Emits one [`LevelEstimated`] event per party and level; the level-g_s
-/// candidate report each party uploads rides on a dedicated event so the
-/// observer sees every uplink bit the phase causes.
-pub(crate) fn shared_trie_construction(
-    parties: &mut [PartyRun],
-    estimator: &LevelEstimator,
-    ctx: &mut RunContext<'_>,
-    extension: ExtensionStrategy,
-) -> Vec<u64> {
-    let config = ctx.config();
-    let gs = config.shared_levels();
-    if gs == 0 {
-        // A shared ratio below 1/g leaves no shared levels: Phase I is a
-        // no-op and the "shared trie" is just the root prefix.
-        return vec![0];
-    }
-    ctx.phase(RunPhase::SharedTrie);
+/// One party's Phase I round: estimate levels 1..=g_s with the configured
+/// extension and upload the level-g_s candidate report.
+pub(crate) struct Phase1Driver<'a> {
+    pub(crate) party: &'a mut PartyRun,
+    pub(crate) estimator: &'a LevelEstimator,
+    pub(crate) config: ProtocolConfig,
+    pub(crate) extension: ExtensionStrategy,
+    pub(crate) gs: u8,
+}
 
-    // Each party estimates levels 1..=g_s on its Phase I user groups,
-    // extending adaptively (Algorithm 2, lines 2–8).
-    for party in parties.iter_mut() {
-        for h in 1..=gs {
-            let (candidates, estimate) = party.estimate_level(estimator, &config, h, None, &[]);
-            let t = extension.extension_count(&estimate, config.k);
-            ctx.level_estimated(LevelEstimated {
-                party: party.name.clone(),
+impl PartyDriver for Phase1Driver<'_> {
+    fn party(&self) -> &str {
+        &self.party.name
+    }
+
+    fn run_round(&mut self, _input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
+        let mut round = RoundOutcome::default();
+        // Estimate levels 1..=g_s on the Phase I user groups, extending
+        // adaptively (Algorithm 2, lines 2–8).
+        for h in 1..=self.gs {
+            let (candidates, estimate) =
+                self.party
+                    .estimate_level(self.estimator, &self.config, h, None, &[]);
+            let t = self.extension.extension_count(&estimate, self.config.k);
+            round.level(LevelEstimated {
+                party: self.party.name.clone(),
                 level: h,
                 candidates: candidates.len(),
                 users: estimate.users,
                 report_bits: estimate.report_bits,
                 uplink_bits: 0,
             });
-            party.advance(&config, h, estimate, t);
+            self.party.advance(&self.config, h, estimate, t);
         }
+        // Report the level-g_s candidates with non-zero estimated counts
+        // (line 9); the upload rides on a dedicated level event so the
+        // observer sees every uplink bit the phase causes.
+        let estimate = self
+            .party
+            .last_estimate
+            .as_ref()
+            .expect("phase I estimated at least one level");
+        let report =
+            local_result_to_report(&self.party.name, self.party.users_total, estimate, self.gs);
+        round.level(LevelEstimated {
+            party: self.party.name.clone(),
+            level: self.gs,
+            candidates: report.candidates.len(),
+            users: 0,
+            report_bits: 0,
+            uplink_bits: report.size_bits(),
+        });
+        round.upload(RoundPayload::Report(report));
+        Ok(round)
     }
+}
 
-    // Each party reports the level-g_s candidates with non-zero estimated
-    // counts (line 9); the server aggregates and broadcasts the top-k
-    // (line 10 and step ⑥).
-    let reports: Vec<_> = parties
-        .iter()
-        .map(|party| {
-            let estimate = party
-                .last_estimate
-                .as_ref()
-                .expect("phase I estimated at least one level");
-            local_result_to_report(&party.name, party.users_total, estimate, gs)
+/// Runs Phase I as one engine round over the session's active parties and
+/// returns the globally frequent prefixes C_{g_s} (at most k values, each
+/// `schedule.prefix_len(g_s)` bits long).
+pub(crate) fn shared_trie_construction(
+    session: &mut Session,
+    parties: &mut [PartyRun],
+    estimator: &LevelEstimator,
+    ctx: &mut RunContext<'_>,
+    extension: ExtensionStrategy,
+) -> Result<Vec<u64>, ProtocolError> {
+    let config = ctx.config();
+    let gs = config.shared_levels();
+    if gs == 0 {
+        // A shared ratio below 1/g leaves no shared levels: Phase I is a
+        // no-op and the "shared trie" is just the root prefix.
+        return Ok(vec![0]);
+    }
+    ctx.phase(RunPhase::SharedTrie);
+
+    let active = session.active_parties();
+    let input = RoundInput {
+        round: session.rounds_completed(),
+        broadcast: Broadcast::Start,
+    };
+    let mut drivers: Vec<Phase1Driver<'_>> = parties
+        .iter_mut()
+        .map(|party| Phase1Driver {
+            party,
+            estimator,
+            config,
+            extension,
+            gs,
         })
         .collect();
-    for (party, report) in parties.iter().zip(&reports) {
-        ctx.record_upload(&party.name, gs, report.candidates.len(), report.size_bits());
-    }
+    let collection = session.run_round(&mut drivers, &active, &input)?;
+    drop(drivers);
+    ctx.replay(&collection);
+
+    // The server aggregates the reported counts and broadcasts the top-k
+    // (line 10 and step ⑥).
+    let reports: Vec<CandidateReport> = collection
+        .messages
+        .iter()
+        .filter_map(|m| m.as_report().cloned())
+        .collect();
     let totals = aggregate_reports(&reports);
     let shared = top_k_from_counts(&totals, config.k);
-    for party in parties.iter() {
-        ctx.record_downlink(&party.name, shared.len() * PAIR_BITS);
+    for &idx in &active {
+        ctx.record_downlink(&parties[idx].name, shared.len() * PAIR_BITS);
     }
-    shared
+    Ok(shared)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fedhh_datasets::{FederatedDataset, PartyData};
-    use fedhh_federated::{NullObserver, ProtocolConfig};
+    use fedhh_federated::{EngineConfig, NullObserver, ProtocolConfig};
     use fedhh_trie::{ItemEncoder, Prefix};
 
     /// Runs Phase I over a toy dataset and returns the shared prefixes plus
@@ -96,13 +150,16 @@ mod tests {
         let estimator = LevelEstimator::new(cfg).unwrap();
         let mut observer = NullObserver;
         let mut ctx = RunContext::new(dataset, cfg, &mut observer);
-        let mut parties = PartyRun::initialise(&ctx);
+        let mut session = Session::new(&EngineConfig::sequential(), dataset.party_count()).unwrap();
+        let mut parties = PartyRun::initialise(&ctx).unwrap();
         let shared = shared_trie_construction(
+            &mut session,
             &mut parties,
             &estimator,
             &mut ctx,
             ExtensionStrategy::Adaptive,
-        );
+        )
+        .unwrap();
         let comm = ctx.take_comm();
         (shared, parties, comm)
     }

@@ -9,6 +9,14 @@
 //! 5–8), removes it from the extended candidate domain, and estimates on the
 //! remaining users.  Before handing over, the party selects its own pruning
 //! dictionary (Equation 4) for the next party.
+//!
+//! As an engine protocol TAPS is Phase I's round followed by one round per
+//! surviving party: each chain round has a single active party whose
+//! broadcast carries the predecessor's [`PruneDictionary`]; the party's
+//! driver uploads its own dictionary for the server to forward.  The chain
+//! is inherently sequential, so engine parallelism speeds up Phase I while
+//! the fault plan (dropout shortening the chain, stragglers reordering
+//! collected uploads) applies uniformly, like in every other mechanism.
 
 pub mod pruning;
 
@@ -18,8 +26,9 @@ use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::run::RunContext;
 use crate::tap::{stc, PartyRun};
 use fedhh_federated::{
-    federated_top_k, LevelEstimated, LevelEstimator, ProtocolError, PruneCandidates,
-    PruneDictionary, PruningDecision, RunPhase, PAIR_BITS,
+    federated_top_k, Broadcast, LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig,
+    ProtocolError, PruneCandidates, PruneDictionary, PruningDecision, RoundInput, RoundOutcome,
+    RoundPayload, RunPhase, Session, PAIR_BITS,
 };
 use pruning::{consensus_pruning_set, population_confidence, select_prune_candidates};
 use std::time::Instant;
@@ -79,6 +88,135 @@ impl Taps {
     }
 }
 
+/// One party's TAPS chain round: validate and prune against the
+/// predecessor's dictionary, estimate the Phase II levels, and upload the
+/// party's own dictionary for the successor.
+struct TapsChainDriver<'a> {
+    party: &'a mut PartyRun,
+    estimator: &'a LevelEstimator,
+    config: ProtocolConfig,
+    extension: ExtensionStrategy,
+    use_pruning: bool,
+    /// The last party in the chain selects no dictionary (Equation 4 has
+    /// no successor to serve).
+    is_last: bool,
+    /// Total federation population |U| for the γ term.
+    total_users: usize,
+}
+
+impl PartyDriver for TapsChainDriver<'_> {
+    fn party(&self) -> &str {
+        &self.party.name
+    }
+
+    fn run_round(&mut self, input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
+        let config = self.config;
+        let gs = config.shared_levels();
+        let g = config.granularity;
+        let previous = match &input.broadcast {
+            Broadcast::Dictionary {
+                dictionary,
+                holder_users,
+            } => Some((dictionary, *holder_users)),
+            _ => None,
+        };
+
+        let mut round = RoundOutcome::default();
+        let mut own_dictionary = PruneDictionary::default();
+        for h in (gs + 1)..=g {
+            let pruning_level = Taps::is_pruning_level(h, g, gs);
+            let schedule = config.schedule();
+            let len = schedule.prefix_len(h);
+            let group: Vec<u64> = self.party.assignment.level(h).to_vec();
+
+            // Work out the user split and the consensus pruning set.
+            let mut main_users: &[u64] = &group;
+            let validation_size = ((group.len() as f64) * config.dividing_ratio).floor() as usize;
+            let mut pruned: Vec<u64> = Vec::new();
+            if self.use_pruning && pruning_level && validation_size > 0 {
+                if let Some((dict, prev_users)) = &previous {
+                    if let Some(candidates) = dict.level(h) {
+                        let (val0, rest) = group.split_at(validation_size.min(group.len()));
+                        let (val1, rest) = rest.split_at(validation_size.min(rest.len()));
+                        main_users = rest;
+
+                        let noise = self.party.noise_seed ^ ((h as u64) << 20);
+                        let validated_infrequent = self.estimator.estimate(
+                            &candidates.infrequent,
+                            len,
+                            val0,
+                            noise ^ 0x0F0F,
+                        );
+                        let frequent_values: Vec<u64> =
+                            candidates.frequent.iter().map(|(v, _)| *v).collect();
+                        let validated_frequent =
+                            self.estimator
+                                .estimate(&frequent_values, len, val1, noise ^ 0xF0F0);
+                        round.validation_reports(
+                            &self.party.name,
+                            validated_infrequent.report_bits + validated_frequent.report_bits,
+                        );
+                        let gamma = population_confidence(*prev_users, self.total_users);
+                        pruned = consensus_pruning_set(
+                            candidates,
+                            &validated_infrequent,
+                            &validated_frequent,
+                            config.k,
+                            config.epsilon,
+                            gamma,
+                        );
+                        if !pruned.is_empty() {
+                            round.pruning(PruningDecision {
+                                party: self.party.name.clone(),
+                                level: h,
+                                pruned: pruned.clone(),
+                                gamma,
+                            });
+                        }
+                    }
+                }
+            }
+
+            let main_users: Vec<u64> = main_users.to_vec();
+            let (candidates, estimate) =
+                self.party
+                    .estimate_level(self.estimator, &config, h, Some(&main_users), &pruned);
+            round.level(LevelEstimated {
+                party: self.party.name.clone(),
+                level: h,
+                candidates: candidates.len(),
+                users: estimate.users,
+                report_bits: estimate.report_bits,
+                uplink_bits: 0,
+            });
+            let t = self.extension.extension_count(&estimate, config.k);
+
+            // Select the pruning dictionary entry for the next party
+            // before advancing (Equation 4).
+            if self.use_pruning && pruning_level && !self.is_last {
+                own_dictionary.insert(h, select_prune_candidates(&estimate, config.k));
+            }
+            self.party.advance(&config, h, estimate, t);
+        }
+
+        // Upload the pruning dictionary; the server forwards it to the
+        // next party in the sequence.
+        if !own_dictionary.is_empty() {
+            let bits = own_dictionary.size_bits();
+            round.level(LevelEstimated {
+                party: self.party.name.clone(),
+                level: g,
+                candidates: bits / PAIR_BITS,
+                users: 0,
+                report_bits: 0,
+                uplink_bits: bits,
+            });
+            round.upload(RoundPayload::Dictionary(own_dictionary));
+        }
+        Ok(round)
+    }
+}
+
 impl Mechanism for Taps {
     fn name(&self) -> &'static str {
         "TAPS"
@@ -95,21 +233,30 @@ impl Mechanism for Taps {
         let g = config.granularity;
         let total_users = dataset.total_users();
 
-        let mut parties = PartyRun::initialise(ctx);
+        let mut session = Session::new(ctx.engine(), dataset.party_count())?;
+        let mut parties = PartyRun::initialise(ctx)?;
 
         // Phase I: shared shallow trie construction (identical to TAP).
-        let shared = stc::shared_trie_construction(&mut parties, &estimator, ctx, self.extension);
+        let shared = stc::shared_trie_construction(
+            &mut session,
+            &mut parties,
+            &estimator,
+            ctx,
+            self.extension,
+        )?;
+        let active = session.active_parties();
         if self.use_shared_trie {
             let shared_len = config.schedule().prefix_len(gs);
-            for party in &mut parties {
-                party.current = shared.clone();
-                party.current_len = shared_len;
+            for &idx in &active {
+                parties[idx].current = shared.clone();
+                parties[idx].current_len = shared_len;
             }
         }
 
-        // Phase II: sequential estimation in descending population order.
+        // Phase II: one chain round per surviving party, in descending
+        // population order.
         ctx.phase(RunPhase::LocalEstimation);
-        let mut order: Vec<usize> = (0..parties.len()).collect();
+        let mut order: Vec<usize> = active.clone();
         order.sort_by(|a, b| parties[*b].users_total.cmp(&parties[*a].users_total));
 
         // Dictionary handed from the previous party (via the server),
@@ -118,105 +265,48 @@ impl Mechanism for Taps {
 
         for (seq, &party_idx) in order.iter().enumerate() {
             let is_last = seq + 1 == order.len();
-            let mut own_dictionary = PruneDictionary::default();
+            let broadcast = match previous.take() {
+                Some((dictionary, holder_users)) => Broadcast::Dictionary {
+                    dictionary,
+                    holder_users,
+                },
+                None => Broadcast::Start,
+            };
+            let input = RoundInput {
+                round: session.rounds_completed(),
+                broadcast,
+            };
+            let mut driver = TapsChainDriver {
+                party: &mut parties[party_idx],
+                estimator: &estimator,
+                config,
+                extension: self.extension,
+                use_pruning: self.use_pruning,
+                is_last,
+                total_users,
+            };
+            let collection = session.run_solo_round(party_idx, &mut driver, &input)?;
+            ctx.replay(&collection);
 
-            for h in (gs + 1)..=g {
-                let pruning_level = Self::is_pruning_level(h, g, gs);
-                let schedule = config.schedule();
-                let len = schedule.prefix_len(h);
-                let group: Vec<u64> = parties[party_idx].assignment.level(h).to_vec();
-
-                // Work out the user split and the consensus pruning set.
-                let mut main_users: &[u64] = &group;
-                let validation_size =
-                    ((group.len() as f64) * config.dividing_ratio).floor() as usize;
-                let mut pruned: Vec<u64> = Vec::new();
-                if self.use_pruning && pruning_level && seq > 0 && validation_size > 0 {
-                    if let Some((dict, prev_users)) = &previous {
-                        if let Some(candidates) = dict.level(h) {
-                            let (val0, rest) = group.split_at(validation_size.min(group.len()));
-                            let (val1, rest) = rest.split_at(validation_size.min(rest.len()));
-                            main_users = rest;
-
-                            let noise = parties[party_idx].noise_seed ^ ((h as u64) << 20);
-                            let validated_infrequent = estimator.estimate(
-                                &candidates.infrequent,
-                                len,
-                                val0,
-                                noise ^ 0x0F0F,
-                            );
-                            let frequent_values: Vec<u64> =
-                                candidates.frequent.iter().map(|(v, _)| *v).collect();
-                            let validated_frequent =
-                                estimator.estimate(&frequent_values, len, val1, noise ^ 0xF0F0);
-                            ctx.record_validation_reports(
-                                &parties[party_idx].name,
-                                validated_infrequent.report_bits + validated_frequent.report_bits,
-                            );
-                            let gamma = population_confidence(*prev_users, total_users);
-                            pruned = consensus_pruning_set(
-                                candidates,
-                                &validated_infrequent,
-                                &validated_frequent,
-                                config.k,
-                                config.epsilon,
-                                gamma,
-                            );
-                            if !pruned.is_empty() {
-                                ctx.pruning_decision(PruningDecision {
-                                    party: parties[party_idx].name.clone(),
-                                    level: h,
-                                    pruned: pruned.clone(),
-                                    gamma,
-                                });
-                            }
-                        }
-                    }
-                }
-
-                let main_users: Vec<u64> = main_users.to_vec();
-                let (candidates, estimate) = parties[party_idx].estimate_level(
-                    &estimator,
-                    &config,
-                    h,
-                    Some(&main_users),
-                    &pruned,
-                );
-                ctx.level_estimated(LevelEstimated {
-                    party: parties[party_idx].name.clone(),
-                    level: h,
-                    candidates: candidates.len(),
-                    users: estimate.users,
-                    report_bits: estimate.report_bits,
-                    uplink_bits: 0,
-                });
-                let t = self.extension.extension_count(&estimate, config.k);
-
-                // Select the pruning dictionary entry for the next party
-                // before advancing (Equation 4).
-                if self.use_pruning && pruning_level && !is_last {
-                    own_dictionary.insert(h, select_prune_candidates(&estimate, config.k));
-                }
-                parties[party_idx].advance(&config, h, estimate, t);
-            }
-
-            // Upload the pruning dictionary; the server forwards it to the
-            // next party in the sequence.
-            if !own_dictionary.is_empty() {
-                let bits = own_dictionary.size_bits();
-                ctx.record_upload(&parties[party_idx].name, g, bits / PAIR_BITS, bits);
+            // The server forwards the party's dictionary to its successor.
+            let dictionary = collection
+                .messages
+                .iter()
+                .find_map(|m| m.as_dictionary().cloned())
+                .unwrap_or_default();
+            if !dictionary.is_empty() {
                 if let Some(&next_idx) = order.get(seq + 1) {
-                    ctx.record_downlink(&parties[next_idx].name, bits);
+                    ctx.record_downlink(&parties[next_idx].name, dictionary.size_bits());
                 }
             }
-            previous = Some((own_dictionary, parties[party_idx].users_total));
+            previous = Some((dictionary, parties[party_idx].users_total));
         }
 
         // Final aggregation (step ⑪) — identical to TAP.
         ctx.phase(RunPhase::Aggregation);
-        let locals: Vec<PartyLocalResult> = parties
+        let locals: Vec<PartyLocalResult> = active
             .iter()
-            .map(|p| p.final_local_result(config.k))
+            .map(|&idx| parties[idx].final_local_result(config.k))
             .collect();
         let reports: Vec<_> = locals
             .iter()
@@ -231,8 +321,8 @@ impl Mechanism for Taps {
 
         // Account the Phase I broadcast of protocol parameters (step ①) —
         // a constant per party, charged here for completeness.
-        for party in dataset.parties() {
-            ctx.record_downlink(party.name(), PAIR_BITS);
+        for &idx in &active {
+            ctx.record_downlink(&parties[idx].name, PAIR_BITS);
         }
 
         Ok(MechanismOutput {

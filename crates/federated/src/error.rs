@@ -45,6 +45,29 @@ pub enum ProtocolError {
         /// The rejected fraction.
         fraction: f64,
     },
+    /// The engine parallelism must be at least 1.
+    InvalidParallelism {
+        /// The rejected worker count.
+        parallelism: usize,
+    },
+    /// The fault plan's dropout fraction must lie in `[0, 1]`.
+    InvalidDropout {
+        /// The rejected fraction.
+        fraction: f64,
+    },
+    /// A group assignment needs at least one group.
+    InvalidGroupCount {
+        /// The rejected group count.
+        groups: u8,
+    },
+    /// A weighted group assignment cannot reserve more phase-1 levels than
+    /// there are groups.
+    InvalidPhaseSplit {
+        /// The rejected number of phase-1 levels.
+        phase1_levels: u8,
+        /// The total number of groups.
+        groups: u8,
+    },
     /// The run was started without a dataset.
     MissingDataset,
     /// The dataset holds no parties or no users.
@@ -89,6 +112,27 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::InvalidPhase1Fraction { fraction } => {
                 write!(f, "phase-1 user fraction must be in [0, 1), got {fraction}")
+            }
+            ProtocolError::InvalidParallelism { parallelism } => {
+                write!(
+                    f,
+                    "engine parallelism must be at least 1, got {parallelism}"
+                )
+            }
+            ProtocolError::InvalidDropout { fraction } => {
+                write!(f, "dropout fraction must be in [0, 1], got {fraction}")
+            }
+            ProtocolError::InvalidGroupCount { groups } => {
+                write!(f, "group assignment needs at least one group, got {groups}")
+            }
+            ProtocolError::InvalidPhaseSplit {
+                phase1_levels,
+                groups,
+            } => {
+                write!(
+                    f,
+                    "phase-1 levels {phase1_levels} cannot exceed the {groups} groups"
+                )
             }
             ProtocolError::MissingDataset => {
                 write!(f, "no dataset was provided to the run")
@@ -147,6 +191,19 @@ mod tests {
             (
                 ProtocolError::InvalidPhase1Fraction { fraction: 1.0 },
                 "phase-1",
+            ),
+            (
+                ProtocolError::InvalidParallelism { parallelism: 0 },
+                "parallelism",
+            ),
+            (ProtocolError::InvalidDropout { fraction: 1.5 }, "1.5"),
+            (ProtocolError::InvalidGroupCount { groups: 0 }, "group"),
+            (
+                ProtocolError::InvalidPhaseSplit {
+                    phase1_levels: 9,
+                    groups: 8,
+                },
+                "9",
             ),
             (ProtocolError::MissingDataset, "no dataset"),
             (

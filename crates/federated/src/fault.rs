@@ -1,0 +1,168 @@
+//! Deployment-fault injection for the round engine.
+//!
+//! Real federations are not the clean synchronous world of the paper's
+//! evaluation: parties drop out mid-protocol and stragglers deliver their
+//! round messages late, i.e. out of order.  A [`FaultPlan`] describes both
+//! fault axes declaratively; the [`crate::Session`] applies the plan
+//! uniformly to every mechanism, which turns "TAPS under 30% dropout" into
+//! an ordinary, reproducible scenario instead of bespoke test plumbing.
+//!
+//! Faults are *deterministic*: the same plan (same seed) always drops the
+//! same parties and reorders messages the same way, so faulty runs stay
+//! bit-reproducible and can be bisected like any other run.
+
+use crate::error::ProtocolError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A declarative description of the deployment faults a session injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Fraction of parties (rounded down) that drop out for the whole run.
+    /// The session always keeps at least one party alive, so a session can
+    /// complete under any fraction in `[0, 1]`.
+    pub dropout_fraction: f64,
+    /// When true, round messages are delivered to the server's aggregation
+    /// step in a seed-shuffled (straggler) order instead of party order.
+    pub stragglers: bool,
+    /// Seed of the fault randomness (independent of the protocol seed).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        Self {
+            dropout_fraction: 0.0,
+            stragglers: false,
+            seed: 0,
+        }
+    }
+
+    /// A plan that only drops parties.
+    pub fn dropout(fraction: f64, seed: u64) -> Self {
+        Self {
+            dropout_fraction: fraction,
+            stragglers: false,
+            seed,
+        }
+    }
+
+    /// True when the plan injects no fault at all.
+    pub fn is_none(&self) -> bool {
+        self.dropout_fraction == 0.0 && !self.stragglers
+    }
+
+    /// Validates the plan; the dropout fraction must lie in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        if !(0.0..=1.0).contains(&self.dropout_fraction) {
+            return Err(ProtocolError::InvalidDropout {
+                fraction: self.dropout_fraction,
+            });
+        }
+        Ok(())
+    }
+
+    /// Decides which of `party_count` parties drop out: a seeded uniform
+    /// choice of `⌊party_count · dropout_fraction⌋` parties, capped so at
+    /// least one party survives.  Returns a `dropped[i]` flag per party.
+    pub fn dropped_parties(&self, party_count: usize) -> Vec<bool> {
+        let mut dropped = vec![false; party_count];
+        if party_count == 0 || self.dropout_fraction <= 0.0 {
+            return dropped;
+        }
+        let requested = ((party_count as f64) * self.dropout_fraction).floor() as usize;
+        let victims = requested.min(party_count.saturating_sub(1));
+        if victims == 0 {
+            return dropped;
+        }
+        let mut indices: Vec<usize> = (0..party_count).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD80F_0C75_0C75_D80F);
+        indices.shuffle(&mut rng);
+        for &i in indices.iter().take(victims) {
+            dropped[i] = true;
+        }
+        dropped
+    }
+
+    /// Applies the straggler reordering to a round's messages (identified by
+    /// their position): a seeded shuffle, different every round, applied on
+    /// top of the transport's canonical order.
+    pub fn straggler_order(&self, count: usize, round: u32) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..count).collect();
+        if self.stragglers && count > 1 {
+            let mut rng = StdRng::seed_from_u64(
+                self.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(round as u64),
+            );
+            order.shuffle(&mut rng);
+        }
+        order
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_plan_drops_nobody_and_keeps_order() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert!(plan.validate().is_ok());
+        assert!(plan.dropped_parties(5).iter().all(|d| !d));
+        assert_eq!(plan.straggler_order(4, 1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn invalid_dropout_fraction_is_a_typed_error() {
+        for fraction in [-0.1, 1.5, f64::NAN] {
+            let plan = FaultPlan::dropout(fraction, 1);
+            assert!(matches!(
+                plan.validate(),
+                Err(ProtocolError::InvalidDropout { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn dropout_is_deterministic_and_spares_one_party() {
+        let plan = FaultPlan::dropout(0.5, 42);
+        let a = plan.dropped_parties(4);
+        let b = plan.dropped_parties(4);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|d| **d).count(), 2);
+        // Even a full dropout keeps one survivor.
+        let all = FaultPlan::dropout(1.0, 7).dropped_parties(3);
+        assert_eq!(all.iter().filter(|d| **d).count(), 2);
+        // A different seed picks (eventually) different victims.
+        assert!((0..64).any(|seed| FaultPlan::dropout(0.5, seed).dropped_parties(4) != a));
+    }
+
+    #[test]
+    fn straggler_order_is_a_seeded_permutation_per_round() {
+        let plan = FaultPlan {
+            dropout_fraction: 0.0,
+            stragglers: true,
+            seed: 9,
+        };
+        let a = plan.straggler_order(6, 0);
+        let b = plan.straggler_order(6, 0);
+        assert_eq!(a, b, "same round must reorder identically");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        assert!(
+            (1..32).any(|round| plan.straggler_order(6, round) != a),
+            "rounds must not all share one permutation"
+        );
+    }
+}

@@ -22,6 +22,47 @@
 //! * [`RunObserver`] / [`observer`] — structured phase/level/pruning events
 //!   emitted while a mechanism executes, with [`NullObserver`] and
 //!   [`RecordingObserver`] implementations.
+//! * [`Session`] / [`Transport`] / [`PartyDriver`] — the round-driven
+//!   federation engine ([`session`], [`transport`], [`fault`]): party work
+//!   is wrapped in drivers, executed in parallel worker threads, and
+//!   collected through a transport in a canonical order, with a
+//!   [`FaultPlan`] injecting dropouts and straggler reordering.
+//!
+//! ## The round protocol
+//!
+//! Every mechanism is expressed as a sequence of engine rounds.  One round
+//! is always *broadcast → party work → collect → aggregate*: the server
+//! broadcasts a [`Broadcast`] to the round's active parties, each active
+//! [`PartyDriver`] does its local work and uploads [`RoundMessage`]s
+//! through the [`Transport`], and the [`Session`] collects them in the
+//! canonical `(round, party)` order for server-side aggregation.  The four
+//! mechanisms map onto rounds as follows:
+//!
+//! * **FedPEM** — one round.  `Start` is broadcast to every party; each
+//!   party runs full local PEM and uploads its top-k [`CandidateReport`].
+//!   The server sums the reported counts and ranks the global top-k.
+//! * **GTF** — one round per trie level.  The server broadcasts the
+//!   current global candidate set (`Candidates`); every party extends and
+//!   estimates it on its level group and uploads its local top-k
+//!   frequencies; the server averages them (population-oblivious) and
+//!   keeps the global top-k for the next round's broadcast.
+//! * **TAP** — two rounds.  Round 0 (Phase I, `Start`): every party
+//!   estimates the shared shallow levels and uploads its level-g_s
+//!   candidate report; the server aggregates them into the shared
+//!   prefixes.  Round 1 (Phase II, `Candidates`): every party extends the
+//!   shared prefixes down to level g independently and uploads its final
+//!   top-k report for the federated aggregation.
+//! * **TAPS** — Phase I as in TAP, then one round *per party* in
+//!   descending population order: the active party receives its
+//!   predecessor's [`PruneDictionary`] (`Dictionary`), validates and
+//!   prunes, estimates its Phase II levels, and uploads its own dictionary
+//!   for the successor; final top-k reports are aggregated after the chain
+//!   completes.
+//!
+//! Parties derive all randomness from per-party seeds and the collection
+//! order is canonical, so a round's outcome is bit-identical at any
+//! [`EngineConfig::parallelism`] — threads change who computes, never what
+//! is computed.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,19 +71,30 @@ pub mod comm;
 pub mod config;
 pub mod error;
 pub mod estimator;
+pub mod fault;
 pub mod message;
 pub mod observer;
 pub mod scheduler;
 pub mod server;
+pub mod session;
+pub mod transport;
 
 pub use comm::{shared_tracker, CommTracker, SharedCommTracker};
 pub use config::ProtocolConfig;
 pub use error::ProtocolError;
 pub use estimator::{LevelEstimate, LevelEstimator};
-pub use message::{CandidateReport, PruneCandidates, PruneDictionary, PAIR_BITS};
+pub use fault::FaultPlan;
+pub use message::{
+    CandidateReport, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload, PAIR_BITS,
+};
 pub use observer::{
     LevelEstimated, NullObserver, PruningDecision, RecordingObserver, RunEvent, RunObserver,
     RunPhase, RunSummary,
 };
 pub use scheduler::GroupAssignment;
 pub use server::{aggregate_reports, federated_top_k, top_k_from_counts};
+pub use session::{
+    Broadcast, EngineConfig, PartyDriver, PartyEvent, RoundCollection, RoundInput, RoundOutcome,
+    Session,
+};
+pub use transport::{InMemoryTransport, ShardedTransport, Transport};

@@ -84,6 +84,66 @@ impl PruneDictionary {
     }
 }
 
+/// The payload of one party → server round message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundPayload {
+    /// A candidate report (a Phase I level report, a per-level GTF report,
+    /// or a final top-k upload).
+    Report(CandidateReport),
+    /// A TAPS pruning dictionary destined for the next party in the chain.
+    Dictionary(PruneDictionary),
+}
+
+impl RoundPayload {
+    /// Size of the payload on the wire, in bits.
+    pub fn size_bits(&self) -> usize {
+        match self {
+            RoundPayload::Report(report) => report.size_bits(),
+            RoundPayload::Dictionary(dictionary) => dictionary.size_bits(),
+        }
+    }
+}
+
+/// The envelope every party → server upload travels in: who sent it, in
+/// which engine round, and the payload itself.  [`crate::Transport`]
+/// implementations queue these; the [`crate::Session`] collects them in a
+/// canonical `(round, from)` order so results never depend on thread
+/// scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundMessage {
+    /// Index of the sending party (its position in the dataset).
+    pub from: usize,
+    /// Display name of the sending party.
+    pub party: String,
+    /// The engine round this message belongs to.
+    pub round: u32,
+    /// The payload.
+    pub payload: RoundPayload,
+}
+
+impl RoundMessage {
+    /// Size of the enveloped payload on the wire, in bits.
+    pub fn size_bits(&self) -> usize {
+        self.payload.size_bits()
+    }
+
+    /// The enclosed candidate report, if this message carries one.
+    pub fn as_report(&self) -> Option<&CandidateReport> {
+        match &self.payload {
+            RoundPayload::Report(report) => Some(report),
+            RoundPayload::Dictionary(_) => None,
+        }
+    }
+
+    /// The enclosed pruning dictionary, if this message carries one.
+    pub fn as_dictionary(&self) -> Option<&PruneDictionary> {
+        match &self.payload {
+            RoundPayload::Dictionary(dictionary) => Some(dictionary),
+            RoundPayload::Report(_) => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +188,42 @@ mod tests {
     fn empty_dictionary_has_zero_size() {
         let dict = PruneDictionary::default();
         assert_eq!(dict.size_bits(), 0);
+    }
+
+    #[test]
+    fn round_messages_expose_their_payload() {
+        let report = CandidateReport {
+            party: "a".to_string(),
+            level: 2,
+            candidates: vec![(1, 4.0)],
+            users: 10,
+        };
+        let msg = RoundMessage {
+            from: 0,
+            party: "a".to_string(),
+            round: 1,
+            payload: RoundPayload::Report(report.clone()),
+        };
+        assert_eq!(msg.size_bits(), PAIR_BITS);
+        assert_eq!(msg.as_report(), Some(&report));
+        assert!(msg.as_dictionary().is_none());
+
+        let mut dict = PruneDictionary::default();
+        dict.insert(
+            3,
+            PruneCandidates {
+                infrequent: vec![9],
+                frequent: vec![],
+            },
+        );
+        let msg = RoundMessage {
+            from: 1,
+            party: "b".to_string(),
+            round: 2,
+            payload: RoundPayload::Dictionary(dict.clone()),
+        };
+        assert_eq!(msg.size_bits(), PAIR_BITS);
+        assert_eq!(msg.as_dictionary(), Some(&dict));
+        assert!(msg.as_report().is_none());
     }
 }

@@ -6,7 +6,12 @@
 //! mechanism additionally reserves a fraction of users for the Phase I
 //! (shared shallow trie) levels so that the warm start does not starve the
 //! deeper Phase II levels of reports.
+//!
+//! Both constructors return a typed [`ProtocolError`] on impossible splits
+//! (zero groups, more phase-1 levels than groups) — no user-reachable
+//! configuration can panic here.
 
+use crate::error::ProtocolError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -20,8 +25,12 @@ pub struct GroupAssignment {
 
 impl GroupAssignment {
     /// Splits `items` (one per user) into `g` groups uniformly at random.
-    pub fn uniform(items: &[u64], g: u8, seed: u64) -> Self {
-        assert!(g >= 1, "need at least one group");
+    ///
+    /// Fails with [`ProtocolError::InvalidGroupCount`] when `g` is zero.
+    pub fn uniform(items: &[u64], g: u8, seed: u64) -> Result<Self, ProtocolError> {
+        if g == 0 {
+            return Err(ProtocolError::InvalidGroupCount { groups: g });
+        }
         let mut shuffled: Vec<u64> = items.to_vec();
         let mut rng = StdRng::seed_from_u64(seed);
         shuffled.shuffle(&mut rng);
@@ -30,7 +39,7 @@ impl GroupAssignment {
         for (i, item) in shuffled.into_iter().enumerate() {
             groups[i % g].push(item);
         }
-        Self { groups }
+        Ok(Self { groups })
     }
 
     /// Splits `items` into `g` groups where the first `phase1_levels` groups
@@ -38,18 +47,25 @@ impl GroupAssignment {
     /// among them) and the remaining users are spread uniformly over the
     /// rest.  This mirrors the paper's "assign 10% users for the estimations
     /// in this phase" setting.
+    ///
+    /// Fails with a typed [`ProtocolError`] when `g` is zero or
+    /// `phase1_levels` exceeds `g`.
     pub fn weighted(
         items: &[u64],
         g: u8,
         phase1_levels: u8,
         phase1_fraction: f64,
         seed: u64,
-    ) -> Self {
-        assert!(g >= 1, "need at least one group");
-        assert!(
-            phase1_levels <= g,
-            "phase-1 levels cannot exceed the granularity"
-        );
+    ) -> Result<Self, ProtocolError> {
+        if g == 0 {
+            return Err(ProtocolError::InvalidGroupCount { groups: g });
+        }
+        if phase1_levels > g {
+            return Err(ProtocolError::InvalidPhaseSplit {
+                phase1_levels,
+                groups: g,
+            });
+        }
         if phase1_levels == 0 || phase1_levels == g || phase1_fraction <= 0.0 {
             return Self::uniform(items, g, seed);
         }
@@ -70,7 +86,7 @@ impl GroupAssignment {
         for (i, item) in phase2_items.iter().enumerate() {
             groups[phase1_levels as usize + (i % phase2_levels)].push(*item);
         }
-        Self { groups }
+        Ok(Self { groups })
     }
 
     /// The users (item codes) assigned to level `h` (1-based).
@@ -96,7 +112,7 @@ mod tests {
     #[test]
     fn uniform_split_preserves_users_and_balances_groups() {
         let items: Vec<u64> = (0..1000).collect();
-        let a = GroupAssignment::uniform(&items, 8, 1);
+        let a = GroupAssignment::uniform(&items, 8, 1).unwrap();
         assert_eq!(a.levels(), 8);
         assert_eq!(a.total_users(), 1000);
         for h in 1..=8u8 {
@@ -111,9 +127,9 @@ mod tests {
     #[test]
     fn assignment_is_seeded() {
         let items: Vec<u64> = (0..100).collect();
-        let a = GroupAssignment::uniform(&items, 4, 5);
-        let b = GroupAssignment::uniform(&items, 4, 5);
-        let c = GroupAssignment::uniform(&items, 4, 6);
+        let a = GroupAssignment::uniform(&items, 4, 5).unwrap();
+        let b = GroupAssignment::uniform(&items, 4, 5).unwrap();
+        let c = GroupAssignment::uniform(&items, 4, 6).unwrap();
         for h in 1..=4u8 {
             assert_eq!(a.level(h), b.level(h));
         }
@@ -123,7 +139,7 @@ mod tests {
     #[test]
     fn weighted_split_gives_phase1_its_fraction() {
         let items: Vec<u64> = (0..10_000).collect();
-        let a = GroupAssignment::weighted(&items, 10, 2, 0.1, 3);
+        let a = GroupAssignment::weighted(&items, 10, 2, 0.1, 3).unwrap();
         assert_eq!(a.total_users(), 10_000);
         let phase1: usize = (1..=2u8).map(|h| a.level(h).len()).sum();
         assert!(
@@ -140,8 +156,8 @@ mod tests {
     #[test]
     fn degenerate_weighted_configs_fall_back_to_uniform() {
         let items: Vec<u64> = (0..100).collect();
-        let a = GroupAssignment::weighted(&items, 5, 0, 0.1, 1);
-        let b = GroupAssignment::uniform(&items, 5, 1);
+        let a = GroupAssignment::weighted(&items, 5, 0, 0.1, 1).unwrap();
+        let b = GroupAssignment::uniform(&items, 5, 1).unwrap();
         for h in 1..=5u8 {
             assert_eq!(a.level(h), b.level(h));
         }
@@ -149,10 +165,30 @@ mod tests {
 
     #[test]
     fn empty_population_yields_empty_groups() {
-        let a = GroupAssignment::uniform(&[], 4, 0);
+        let a = GroupAssignment::uniform(&[], 4, 0).unwrap();
         assert_eq!(a.total_users(), 0);
         for h in 1..=4u8 {
             assert!(a.level(h).is_empty());
         }
+    }
+
+    #[test]
+    fn impossible_splits_are_typed_errors_not_panics() {
+        let items: Vec<u64> = (0..10).collect();
+        assert!(matches!(
+            GroupAssignment::uniform(&items, 0, 1),
+            Err(ProtocolError::InvalidGroupCount { groups: 0 })
+        ));
+        assert!(matches!(
+            GroupAssignment::weighted(&items, 0, 0, 0.1, 1),
+            Err(ProtocolError::InvalidGroupCount { groups: 0 })
+        ));
+        assert!(matches!(
+            GroupAssignment::weighted(&items, 4, 5, 0.1, 1),
+            Err(ProtocolError::InvalidPhaseSplit {
+                phase1_levels: 5,
+                groups: 4
+            })
+        ));
     }
 }

@@ -26,14 +26,13 @@ pub fn aggregate_reports(reports: &[CandidateReport]) -> HashMap<u64, f64> {
 }
 
 /// Ranks aggregated counts and returns the top-`k` candidate values.
-/// Ties break by candidate value so results are deterministic.
+/// Ties break by candidate value so results are deterministic; counts are
+/// compared with [`f64::total_cmp`], whose total order keeps the ranking
+/// deterministic even when a NaN estimate slips in (a NaN used to collapse
+/// every comparison to `Equal`, letting it scramble the whole top-k).
 pub fn top_k_from_counts(totals: &HashMap<u64, f64>, k: usize) -> Vec<u64> {
     let mut pairs: Vec<(u64, f64)> = totals.iter().map(|(v, c)| (*v, *c)).collect();
-    pairs.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     pairs.into_iter().take(k).map(|(v, _)| v).collect()
 }
 
@@ -93,5 +92,19 @@ mod tests {
     #[test]
     fn empty_reports_give_empty_results() {
         assert!(federated_top_k(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn nan_counts_cannot_scramble_the_finite_ranking() {
+        // A NaN total must not disturb the relative order of the finite
+        // counts, whatever set it lands in.
+        let totals: HashMap<u64, f64> = [(1, 10.0), (2, f64::NAN), (3, 30.0), (4, 20.0)]
+            .into_iter()
+            .collect();
+        let ranked = top_k_from_counts(&totals, 4);
+        let finite: Vec<u64> = ranked.iter().copied().filter(|v| *v != 2).collect();
+        assert_eq!(finite, vec![3, 4, 1]);
+        // And the full ranking is reproducible.
+        assert_eq!(ranked, top_k_from_counts(&totals, 4));
     }
 }

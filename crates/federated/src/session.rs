@@ -1,0 +1,626 @@
+//! The round-driven federation engine: [`EngineConfig`], [`PartyDriver`]
+//! and [`Session`].
+//!
+//! The paper's protocols are round-structured — parties do per-level work,
+//! the server collects their uploads, aggregates, and broadcasts the next
+//! round's input — but a naive implementation buries that structure in
+//! per-mechanism loops.  The engine makes it explicit:
+//!
+//! 1. a mechanism wraps each party's per-round work in a [`PartyDriver`];
+//! 2. [`Session::run_round`] executes the active drivers — concurrently
+//!    under [`std::thread::scope`] when [`EngineConfig::parallelism`] > 1 —
+//!    and routes every upload through the session's [`Transport`];
+//! 3. the session drains the transport into the canonical `(round, from)`
+//!    order, applies the [`FaultPlan`] (dropout, straggler reordering), and
+//!    hands the mechanism a [`RoundCollection`] to aggregate and broadcast
+//!    from.
+//!
+//! Because drivers derive all randomness from per-party seeds and the
+//! collection order is canonical, a round's result is **bit-identical** at
+//! any parallelism level: threads only change who computes, never what is
+//! computed or in which order it is consumed.
+
+use crate::error::ProtocolError;
+use crate::fault::FaultPlan;
+use crate::message::{PruneDictionary, RoundMessage, RoundPayload};
+use crate::observer::{LevelEstimated, PruningDecision};
+use crate::transport::{InMemoryTransport, ShardedTransport, Transport};
+
+/// How a session executes party work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Number of worker threads party work is spread over per round
+    /// (1 = sequential in the calling thread).
+    pub parallelism: usize,
+    /// The deployment faults the session injects.
+    pub faults: FaultPlan,
+}
+
+impl EngineConfig {
+    /// A sequential, fault-free engine.
+    pub fn sequential() -> Self {
+        Self {
+            parallelism: 1,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// An engine with `parallelism` workers and no faults.
+    pub fn parallel(parallelism: usize) -> Self {
+        Self {
+            parallelism,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Returns a copy with a fault plan installed.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The engine used when a run does not configure one explicitly: the
+    /// `FEDHH_TEST_PARALLELISM` environment variable (the CI matrix knob)
+    /// selects the worker count, defaulting to sequential.  Invalid values
+    /// are ignored rather than erroring, since the variable is test-only.
+    pub fn from_env() -> Self {
+        let parallelism = std::env::var("FEDHH_TEST_PARALLELISM")
+            .ok()
+            .and_then(|v| parse_parallelism(&v))
+            .unwrap_or(1);
+        Self {
+            parallelism,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Validates the engine parameters.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        if self.parallelism == 0 {
+            return Err(ProtocolError::InvalidParallelism {
+                parallelism: self.parallelism,
+            });
+        }
+        self.faults.validate()
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+/// Parses a positive worker count (the `FEDHH_TEST_PARALLELISM` format).
+pub(crate) fn parse_parallelism(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|p| *p >= 1)
+}
+
+/// The server → party broadcast opening a round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Broadcast {
+    /// No server input: run your locally scheduled work.
+    Start,
+    /// A server-filtered candidate set (GTF's per-level global candidates,
+    /// TAP/TAPS' Phase I shared prefixes).
+    Candidates {
+        /// The candidate prefix values.
+        values: Vec<u64>,
+        /// Length in bits of each value.
+        value_len: u8,
+        /// The first trie level this candidate set seeds.
+        level: u8,
+    },
+    /// The pruning dictionary handed over from the previous party in the
+    /// TAPS chain, with that party's population for the γ term.
+    Dictionary {
+        /// The predecessor's pruning dictionary.
+        dictionary: PruneDictionary,
+        /// The predecessor's user population |U_prev|.
+        holder_users: usize,
+    },
+}
+
+/// One round's server broadcast, as delivered to every active driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundInput {
+    /// The engine round number (0-based, monotonically increasing across
+    /// the whole session, phases included).
+    pub round: u32,
+    /// The broadcast payload.
+    pub broadcast: Broadcast,
+}
+
+/// A local event produced by a party during a round, replayed into the
+/// run's observer/communication accounting in canonical party order after
+/// the round completes.  Routing events through the collection — instead of
+/// letting drivers touch shared state — is what keeps parallel rounds
+/// bit-identical to sequential ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartyEvent {
+    /// One trie level was estimated (or an upload concluded one).
+    Level(LevelEstimated),
+    /// A consensus-based pruning decision was taken.
+    Pruning(PruningDecision),
+    /// In-party report traffic spent on pruning validation.
+    ValidationReports {
+        /// The validating party.
+        party: String,
+        /// The validation traffic, in bits.
+        bits: usize,
+    },
+}
+
+/// What one party produced in one round: uploads for the server (sent
+/// through the session's transport) and local events for the observer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundOutcome {
+    /// Payloads to upload to the server, in send order.
+    pub uploads: Vec<RoundPayload>,
+    /// Local events, in occurrence order.
+    pub events: Vec<PartyEvent>,
+}
+
+impl RoundOutcome {
+    /// Records a level event.
+    pub fn level(&mut self, event: LevelEstimated) {
+        self.events.push(PartyEvent::Level(event));
+    }
+
+    /// Records a pruning decision.
+    pub fn pruning(&mut self, event: PruningDecision) {
+        self.events.push(PartyEvent::Pruning(event));
+    }
+
+    /// Records pruning-validation report traffic.
+    pub fn validation_reports(&mut self, party: &str, bits: usize) {
+        self.events.push(PartyEvent::ValidationReports {
+            party: party.to_string(),
+            bits,
+        });
+    }
+
+    /// Queues an upload.
+    pub fn upload(&mut self, payload: RoundPayload) {
+        self.uploads.push(payload);
+    }
+}
+
+/// One party's per-round work, as driven by a [`Session`].
+///
+/// Drivers must be [`Send`] so the session can execute them on scoped
+/// worker threads; all party randomness must derive from per-party seeds so
+/// execution order cannot influence results.
+pub trait PartyDriver: Send {
+    /// The party's display name (used to address its round messages).
+    fn party(&self) -> &str;
+
+    /// Executes this party's work for one round.
+    fn run_round(&mut self, input: &RoundInput) -> Result<RoundOutcome, ProtocolError>;
+}
+
+/// Everything the server collected in one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundCollection {
+    /// The round number.
+    pub round: u32,
+    /// The uploads, in canonical `(round, from)` order — or, under a
+    /// straggler fault plan, in the plan's reordering of it.
+    pub messages: Vec<RoundMessage>,
+    /// Per-party events, sorted by party index regardless of which worker
+    /// finished first.
+    pub events: Vec<(usize, Vec<PartyEvent>)>,
+}
+
+/// The server-side state machine of one engine run: it owns the transport
+/// and the fault resolution, numbers the rounds, and executes party drivers
+/// with the configured parallelism.
+pub struct Session {
+    transport: Box<dyn Transport>,
+    parallelism: usize,
+    faults: FaultPlan,
+    dropped: Vec<bool>,
+    round: u32,
+}
+
+impl Session {
+    /// Creates a session for `party_count` parties, validating the engine
+    /// configuration and resolving the fault plan's dropouts up front.
+    ///
+    /// Sequential sessions use an [`InMemoryTransport`]; parallel ones a
+    /// [`ShardedTransport`] with one shard per worker.
+    pub fn new(engine: &EngineConfig, party_count: usize) -> Result<Self, ProtocolError> {
+        engine.validate()?;
+        let transport: Box<dyn Transport> = if engine.parallelism > 1 {
+            Box::new(ShardedTransport::new(engine.parallelism))
+        } else {
+            Box::new(InMemoryTransport::new())
+        };
+        Ok(Self {
+            transport,
+            parallelism: engine.parallelism,
+            faults: engine.faults,
+            dropped: engine.faults.dropped_parties(party_count),
+            round: 0,
+        })
+    }
+
+    /// True when the party survived the fault plan's dropout draw.
+    pub fn is_active(&self, party: usize) -> bool {
+        !self.dropped.get(party).copied().unwrap_or(false)
+    }
+
+    /// The indices of the surviving parties, ascending.
+    pub fn active_parties(&self) -> Vec<usize> {
+        (0..self.dropped.len())
+            .filter(|i| self.is_active(*i))
+            .collect()
+    }
+
+    /// Number of rounds completed so far.
+    pub fn rounds_completed(&self) -> u32 {
+        self.round
+    }
+
+    /// Runs one engine round: broadcasts `input` to the drivers selected by
+    /// `active` (indices into `drivers`), executes them — concurrently when
+    /// the engine is parallel — collects their uploads through the
+    /// transport, applies the straggler plan, and returns the collection.
+    ///
+    /// Driver errors surface deterministically: the error of the
+    /// lowest-indexed failing party wins, regardless of thread timing.
+    pub fn run_round<D: PartyDriver>(
+        &mut self,
+        drivers: &mut [D],
+        active: &[usize],
+        input: &RoundInput,
+    ) -> Result<RoundCollection, ProtocolError> {
+        let round = input.round;
+        self.round = self.round.max(round) + 1;
+
+        let mut is_selected = vec![false; drivers.len()];
+        for &i in active {
+            if let Some(flag) = is_selected.get_mut(i) {
+                *flag = true;
+            }
+        }
+        let mut selected: Vec<(usize, &mut D)> = drivers
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| is_selected[*i])
+            .collect();
+
+        let transport = self.transport.as_ref();
+        let mut results: Vec<(usize, Result<Vec<PartyEvent>, ProtocolError>)> =
+            if self.parallelism <= 1 || selected.len() <= 1 {
+                selected
+                    .iter_mut()
+                    .map(|(idx, driver)| run_party(*idx, &mut **driver, input, round, transport))
+                    .collect()
+            } else {
+                // Deal parties round-robin over the workers: federations
+                // have skewed populations, and interleaving spreads the
+                // heavy parties instead of handing one worker a contiguous
+                // run of them.
+                let workers = self.parallelism.min(selected.len());
+                let mut groups: Vec<Vec<(usize, &mut D)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (i, item) in selected.into_iter().enumerate() {
+                    groups[i % workers].push(item);
+                }
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .into_iter()
+                        .map(|mut group| {
+                            scope.spawn(move || {
+                                group
+                                    .iter_mut()
+                                    .map(|(idx, driver)| {
+                                        run_party(*idx, &mut **driver, input, round, transport)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("party worker panicked"))
+                        .collect()
+                })
+            };
+
+        results.sort_by_key(|(idx, _)| *idx);
+        let mut events = Vec::with_capacity(results.len());
+        for (idx, result) in results {
+            match result {
+                Ok(partial) => events.push((idx, partial)),
+                Err(err) => {
+                    // Discard whatever the parties that succeeded already
+                    // uploaded, so a caller that keeps the session does not
+                    // see this round's orphans prepended to the next one.
+                    let _ = self.transport.drain();
+                    return Err(err);
+                }
+            }
+        }
+        Ok(self.collect(round, events))
+    }
+
+    /// Runs a round with a single active party, executed inline — the shape
+    /// of TAPS' sequential chain, where building (and skipping) a driver
+    /// per inactive party every round would be wasted work.
+    pub fn run_solo_round<D: PartyDriver>(
+        &mut self,
+        index: usize,
+        driver: &mut D,
+        input: &RoundInput,
+    ) -> Result<RoundCollection, ProtocolError> {
+        let round = input.round;
+        self.round = self.round.max(round) + 1;
+        let (idx, result) = run_party(index, driver, input, round, self.transport.as_ref());
+        match result {
+            Ok(events) => Ok(self.collect(round, vec![(idx, events)])),
+            Err(err) => {
+                let _ = self.transport.drain();
+                Err(err)
+            }
+        }
+    }
+
+    /// Drains the transport into the canonical order, applies the straggler
+    /// plan, and assembles the round's collection.
+    fn collect(&mut self, round: u32, events: Vec<(usize, Vec<PartyEvent>)>) -> RoundCollection {
+        let drained = self.transport.drain();
+        let order = self.faults.straggler_order(drained.len(), round);
+        let mut messages = Vec::with_capacity(drained.len());
+        let mut drained: Vec<Option<RoundMessage>> = drained.into_iter().map(Some).collect();
+        for i in order {
+            messages.push(drained[i].take().expect("straggler order is a permutation"));
+        }
+        RoundCollection {
+            round,
+            messages,
+            events,
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("parallelism", &self.parallelism)
+            .field("faults", &self.faults)
+            .field("dropped", &self.dropped)
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+/// Executes one driver for one round, sending its uploads through the
+/// transport; returns its events keyed by party index.
+fn run_party<D: PartyDriver>(
+    idx: usize,
+    driver: &mut D,
+    input: &RoundInput,
+    round: u32,
+    transport: &dyn Transport,
+) -> (usize, Result<Vec<PartyEvent>, ProtocolError>) {
+    match driver.run_round(input) {
+        Ok(outcome) => {
+            for payload in outcome.uploads {
+                transport.send(RoundMessage {
+                    from: idx,
+                    party: driver.party().to_string(),
+                    round,
+                    payload,
+                });
+            }
+            (idx, Ok(outcome.events))
+        }
+        Err(err) => (idx, Err(err)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::CandidateReport;
+
+    /// A driver that reports its own index and records a level event.
+    struct EchoDriver {
+        name: String,
+        index: u64,
+        fail: bool,
+    }
+
+    impl PartyDriver for EchoDriver {
+        fn party(&self) -> &str {
+            &self.name
+        }
+
+        fn run_round(&mut self, input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
+            if self.fail {
+                return Err(ProtocolError::InvalidQuery { k: 0 });
+            }
+            let mut outcome = RoundOutcome::default();
+            outcome.level(LevelEstimated {
+                party: self.name.clone(),
+                level: 1,
+                candidates: 1,
+                users: 1,
+                report_bits: 8,
+                uplink_bits: 0,
+            });
+            outcome.upload(RoundPayload::Report(CandidateReport {
+                party: self.name.clone(),
+                level: 1,
+                candidates: vec![(self.index, input.round as f64)],
+                users: 1,
+            }));
+            Ok(outcome)
+        }
+    }
+
+    fn drivers(n: usize) -> Vec<EchoDriver> {
+        (0..n)
+            .map(|i| EchoDriver {
+                name: format!("p{i}"),
+                index: i as u64,
+                fail: false,
+            })
+            .collect()
+    }
+
+    fn start(round: u32) -> RoundInput {
+        RoundInput {
+            round,
+            broadcast: Broadcast::Start,
+        }
+    }
+
+    #[test]
+    fn round_collection_is_identical_at_any_parallelism() {
+        let collect = |parallelism: usize| {
+            let engine = EngineConfig::parallel(parallelism);
+            let mut session = Session::new(&engine, 7).unwrap();
+            let mut drivers = drivers(7);
+            let active = session.active_parties();
+            session.run_round(&mut drivers, &active, &start(0)).unwrap()
+        };
+        let sequential = collect(1);
+        for parallelism in [2, 3, 8] {
+            assert_eq!(
+                collect(parallelism),
+                sequential,
+                "parallelism {parallelism}"
+            );
+        }
+        assert_eq!(sequential.messages.len(), 7);
+        let senders: Vec<usize> = sequential.messages.iter().map(|m| m.from).collect();
+        assert_eq!(senders, vec![0, 1, 2, 3, 4, 5, 6]);
+        let indices: Vec<usize> = sequential.events.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn dropped_parties_never_execute() {
+        let engine = EngineConfig::sequential().with_faults(FaultPlan::dropout(0.5, 11));
+        let mut session = Session::new(&engine, 4).unwrap();
+        let active = session.active_parties();
+        assert_eq!(active.len(), 2);
+        let mut drivers = drivers(4);
+        let collection = session.run_round(&mut drivers, &active, &start(0)).unwrap();
+        assert_eq!(collection.messages.len(), 2);
+        for message in &collection.messages {
+            assert!(session.is_active(message.from));
+        }
+    }
+
+    #[test]
+    fn straggler_plans_reorder_deterministically() {
+        let faults = FaultPlan {
+            dropout_fraction: 0.0,
+            stragglers: true,
+            seed: 5,
+        };
+        let run = |parallelism: usize| {
+            let engine = EngineConfig::parallel(parallelism).with_faults(faults);
+            let mut session = Session::new(&engine, 6).unwrap();
+            let mut drivers = drivers(6);
+            let active = session.active_parties();
+            let collection = session.run_round(&mut drivers, &active, &start(0)).unwrap();
+            collection
+                .messages
+                .iter()
+                .map(|m| m.from)
+                .collect::<Vec<_>>()
+        };
+        let a = run(1);
+        assert_eq!(a, run(4), "straggler order must not depend on threads");
+        assert_ne!(a, vec![0, 1, 2, 3, 4, 5], "plan must actually reorder");
+    }
+
+    #[test]
+    fn lowest_indexed_error_wins_regardless_of_threading() {
+        for parallelism in [1, 4] {
+            let engine = EngineConfig::parallel(parallelism);
+            let mut session = Session::new(&engine, 5).unwrap();
+            let mut drivers = drivers(5);
+            drivers[3].fail = true;
+            drivers[1].fail = true;
+            let active = session.active_parties();
+            let err = session
+                .run_round(&mut drivers, &active, &start(0))
+                .unwrap_err();
+            assert_eq!(err, ProtocolError::InvalidQuery { k: 0 });
+        }
+    }
+
+    #[test]
+    fn failed_rounds_leave_no_orphaned_messages_behind() {
+        let mut session = Session::new(&EngineConfig::sequential(), 3).unwrap();
+        let mut drivers = drivers(3);
+        drivers[2].fail = true;
+        let active = session.active_parties();
+        // Parties 0 and 1 upload before party 2 errors the round out.
+        session
+            .run_round(&mut drivers, &active, &start(0))
+            .unwrap_err();
+        drivers[2].fail = false;
+        let collection = session.run_round(&mut drivers, &active, &start(1)).unwrap();
+        assert_eq!(collection.messages.len(), 3, "only round-1 messages");
+        assert!(collection.messages.iter().all(|m| m.round == 1));
+    }
+
+    #[test]
+    fn solo_rounds_match_a_single_party_group_round() {
+        let run_grouped = |solo: bool| {
+            let mut session = Session::new(&EngineConfig::sequential(), 4).unwrap();
+            let mut drivers = drivers(4);
+            if solo {
+                session
+                    .run_solo_round(2, &mut drivers[2], &start(0))
+                    .unwrap()
+            } else {
+                session.run_round(&mut drivers, &[2], &start(0)).unwrap()
+            }
+        };
+        assert_eq!(run_grouped(true), run_grouped(false));
+        let collection = run_grouped(true);
+        assert_eq!(collection.messages.len(), 1);
+        assert_eq!(collection.messages[0].from, 2);
+        assert_eq!(collection.events, vec![(2, collection.events[0].1.clone())]);
+    }
+
+    #[test]
+    fn sessions_number_rounds_monotonically() {
+        let mut session = Session::new(&EngineConfig::sequential(), 2).unwrap();
+        let mut drivers = drivers(2);
+        let active = session.active_parties();
+        session.run_round(&mut drivers, &active, &start(0)).unwrap();
+        session.run_round(&mut drivers, &active, &start(1)).unwrap();
+        assert_eq!(session.rounds_completed(), 2);
+    }
+
+    #[test]
+    fn invalid_engine_configs_are_rejected() {
+        assert!(matches!(
+            Session::new(&EngineConfig::parallel(0), 2),
+            Err(ProtocolError::InvalidParallelism { parallelism: 0 })
+        ));
+        let bad = EngineConfig::sequential().with_faults(FaultPlan::dropout(2.0, 0));
+        assert!(matches!(
+            Session::new(&bad, 2),
+            Err(ProtocolError::InvalidDropout { .. })
+        ));
+    }
+
+    #[test]
+    fn parallelism_parsing_accepts_positive_integers_only() {
+        assert_eq!(parse_parallelism("8"), Some(8));
+        assert_eq!(parse_parallelism(" 2 "), Some(2));
+        assert_eq!(parse_parallelism("0"), None);
+        assert_eq!(parse_parallelism("-3"), None);
+        assert_eq!(parse_parallelism("many"), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! Party → server message transports.
+//!
+//! A [`Transport`] is the channel the engine's party workers upload their
+//! [`RoundMessage`]s through while a round executes, possibly from many
+//! threads at once.  Implementations only have to queue; the
+//! [`crate::Session`] drains the queue once per round and sorts the
+//! messages into the canonical `(round, from)` order, so the protocol's
+//! results never depend on which worker happened to finish first.
+//!
+//! Two implementations are provided:
+//!
+//! * [`InMemoryTransport`] — a single mutex-guarded queue, ideal for
+//!   sequential sessions (`parallelism = 1`).
+//! * [`ShardedTransport`] — one queue per worker shard, keyed by sender
+//!   index, so concurrent party workers never contend on one lock.
+
+use crate::message::RoundMessage;
+use std::sync::Mutex;
+
+/// A queue of in-flight party → server round messages.
+///
+/// `Send + Sync` because party workers send from scoped threads.
+pub trait Transport: Send + Sync {
+    /// Queues one message (called by party workers, possibly concurrently).
+    fn send(&self, message: RoundMessage);
+
+    /// Drains every queued message in the canonical `(round, from)` order.
+    fn drain(&self) -> Vec<RoundMessage>;
+}
+
+/// Sorts drained messages into the canonical `(round, from)` order shared
+/// by every transport.
+fn canonical_sort(messages: &mut [RoundMessage]) {
+    messages.sort_by_key(|m| (m.round, m.from));
+}
+
+/// The single-queue transport: one mutex, suitable for sequential sessions
+/// or low party counts.
+#[derive(Debug, Default)]
+pub struct InMemoryTransport {
+    queue: Mutex<Vec<RoundMessage>>,
+}
+
+impl InMemoryTransport {
+    /// Creates an empty transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&self, message: RoundMessage) {
+        self.queue.lock().expect("transport poisoned").push(message);
+    }
+
+    fn drain(&self) -> Vec<RoundMessage> {
+        let mut messages = std::mem::take(&mut *self.queue.lock().expect("transport poisoned"));
+        canonical_sort(&mut messages);
+        messages
+    }
+}
+
+/// The thread-sharded transport: senders hash to `from % shards`, so
+/// workers running disjoint party ranges (the engine's chunking) rarely
+/// touch the same lock.
+#[derive(Debug)]
+pub struct ShardedTransport {
+    shards: Vec<Mutex<Vec<RoundMessage>>>,
+}
+
+impl ShardedTransport {
+    /// Creates a transport with `shards` independent queues (at least one).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Transport for ShardedTransport {
+    fn send(&self, message: RoundMessage) {
+        let shard = message.from % self.shards.len();
+        self.shards[shard]
+            .lock()
+            .expect("transport shard poisoned")
+            .push(message);
+    }
+
+    fn drain(&self) -> Vec<RoundMessage> {
+        let mut messages: Vec<RoundMessage> = self
+            .shards
+            .iter()
+            .flat_map(|shard| std::mem::take(&mut *shard.lock().expect("transport shard poisoned")))
+            .collect();
+        canonical_sort(&mut messages);
+        messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{CandidateReport, RoundPayload};
+
+    fn message(from: usize, round: u32) -> RoundMessage {
+        RoundMessage {
+            from,
+            party: format!("p{from}"),
+            round,
+            payload: RoundPayload::Report(CandidateReport {
+                party: format!("p{from}"),
+                level: 1,
+                candidates: vec![(from as u64, 1.0)],
+                users: 1,
+            }),
+        }
+    }
+
+    fn order_after_drain(transport: &dyn Transport) -> Vec<(u32, usize)> {
+        transport
+            .drain()
+            .iter()
+            .map(|m| (m.round, m.from))
+            .collect()
+    }
+
+    #[test]
+    fn in_memory_transport_drains_in_canonical_order() {
+        let transport = InMemoryTransport::new();
+        transport.send(message(2, 0));
+        transport.send(message(0, 1));
+        transport.send(message(1, 0));
+        transport.send(message(0, 0));
+        assert_eq!(
+            order_after_drain(&transport),
+            vec![(0, 0), (0, 1), (0, 2), (1, 0)]
+        );
+        assert!(transport.drain().is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn sharded_transport_matches_the_in_memory_order() {
+        let sharded = ShardedTransport::new(3);
+        let reference = InMemoryTransport::new();
+        for (from, round) in [(4, 0), (1, 0), (3, 1), (0, 0), (2, 0), (1, 1)] {
+            sharded.send(message(from, round));
+            reference.send(message(from, round));
+        }
+        assert_eq!(order_after_drain(&sharded), order_after_drain(&reference));
+    }
+
+    #[test]
+    fn sharded_transport_survives_concurrent_senders() {
+        let transport = ShardedTransport::new(4);
+        assert_eq!(transport.shard_count(), 4);
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let transport = &transport;
+                scope.spawn(move || {
+                    for i in 0..16usize {
+                        transport.send(message(worker * 16 + i, 0));
+                    }
+                });
+            }
+        });
+        let drained = transport.drain();
+        assert_eq!(drained.len(), 64);
+        let senders: Vec<usize> = drained.iter().map(|m| m.from).collect();
+        assert_eq!(senders, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let transport = ShardedTransport::new(0);
+        assert_eq!(transport.shard_count(), 1);
+        transport.send(message(5, 0));
+        assert_eq!(transport.drain().len(), 1);
+    }
+}

@@ -328,26 +328,26 @@ fn observers_do_not_change_results() {
     }
 }
 
-/// The deprecated `Mechanism::run` shim still works for valid input.
+/// The 0.2 migration is complete: ablation instances (the last internal
+/// users of the removed `Mechanism::run` shim) execute through
+/// `Run::custom`, with the same validation guarantees as named runs.
 #[test]
-#[allow(deprecated)]
-fn deprecated_run_shim_still_executes() {
+fn custom_instances_run_through_the_builder_after_shim_removal() {
     let ds = dataset();
-    let config = valid_config();
-    let output = Taps::default().run(&ds, &config);
+    let output = Run::custom(&Taps::default())
+        .dataset(&ds)
+        .config(valid_config())
+        .execute()
+        .unwrap();
     assert_eq!(output.heavy_hitters.len(), 5);
-}
 
-/// The deprecated shim panics (documented behaviour) instead of returning
-/// garbage when the configuration is invalid.
-#[test]
-#[allow(deprecated)]
-#[should_panic(expected = "run failed")]
-fn deprecated_run_shim_panics_on_invalid_config() {
-    let ds = dataset();
-    let config = ProtocolConfig {
-        k: 0,
-        ..valid_config()
-    };
-    let _ = Taps::default().run(&ds, &config);
+    let err = Run::custom(&Taps::default())
+        .dataset(&ds)
+        .config(ProtocolConfig {
+            k: 0,
+            ..valid_config()
+        })
+        .execute()
+        .unwrap_err();
+    assert_eq!(err, ProtocolError::InvalidQuery { k: 0 });
 }

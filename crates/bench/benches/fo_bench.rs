@@ -13,15 +13,29 @@ fn bench_perturb() {
     for kind in FoKind::ALL {
         for domain in [16usize, 256] {
             let oracle = Oracle::new(kind, budget, domain);
+            let inputs: Vec<usize> = (0..1000).map(|i| i % domain).collect();
             let mut rng = StdRng::seed_from_u64(1);
             bench(
-                &format!("fo_perturb_1k_users/{}/{domain}", kind.name()),
+                &format!("fo_perturb_1k_users/{}/{domain}/scalar", kind.name()),
                 2,
                 20,
                 || {
-                    (0..1000)
-                        .map(|i| oracle.perturb(i % domain, &mut rng))
+                    inputs
+                        .iter()
+                        .map(|i| oracle.perturb(*i, &mut rng))
                         .collect::<Vec<Report>>()
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut out: Vec<Report> = Vec::new();
+            bench(
+                &format!("fo_perturb_1k_users/{}/{domain}/batched", kind.name()),
+                2,
+                20,
+                || {
+                    out.clear();
+                    oracle.perturb_batch(&inputs, &mut rng, &mut out);
+                    out.len()
                 },
             );
         }
@@ -38,12 +52,23 @@ fn bench_aggregate_estimate() {
             .map(|i| oracle.perturb(i % domain, &mut rng))
             .collect();
         bench(
-            &format!("fo_aggregate_estimate_1k_reports/{}", kind.name()),
+            &format!("fo_aggregate_estimate_1k_reports/{}/scalar", kind.name()),
             2,
             20,
             || {
                 let supports = oracle.aggregate(&reports);
                 oracle.estimate(&supports, reports.len())
+            },
+        );
+        let mut arena = fedhh_fo::SupportCounts::zeros(domain);
+        bench(
+            &format!("fo_aggregate_estimate_1k_reports/{}/batched", kind.name()),
+            2,
+            20,
+            || {
+                arena.reset(domain);
+                oracle.aggregate_into(&reports, &mut arena);
+                oracle.estimate(&arena, reports.len())
             },
         );
     }

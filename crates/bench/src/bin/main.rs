@@ -7,6 +7,7 @@
 //! fedhh-bench trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N]
 //!                   [--quick] [--reps N] [--user-scale F]
 //!                   [--parallelism N] [--dropout F]
+//! fedhh-bench perf [--quick] [--out PATH] [--check BASELINE] [--threshold F]
 //! ```
 //!
 //! `run all` reproduces every table and figure of the paper's evaluation and
@@ -17,6 +18,13 @@
 //! any case works (`taps`, `TAPS`, `k-RR`, ...).  `--parallelism N` executes
 //! party work on N engine workers (bit-identical results, lower wall-clock);
 //! `--dropout F` makes a fraction F of the parties drop out for the run.
+//!
+//! `perf` runs the pinned performance-baseline suite (see the
+//! `fedhh_bench::perf` module for the workload list and the
+//! `BENCH_perf.json` schema), writes the JSON report to `--out` (default
+//! `BENCH_perf.json`), and — when `--check BASELINE` is given — exits
+//! non-zero if any baseline workload regressed beyond `--threshold`
+//! (default 2.0x) or disappeared from the suite.
 
 use fedhh_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fedhh_bench::report::reports_to_json;
@@ -40,11 +48,13 @@ fn main() -> ExitCode {
         }
         Some("run") => run_command(&args[1..]),
         Some("trial") => trial_command(&args[1..]),
+        Some("perf") => perf_command(&args[1..]),
         _ => {
-            eprintln!("usage: fedhh-bench <list|run|trial> [args] [options]");
+            eprintln!("usage: fedhh-bench <list|run|trial|perf> [args] [options]");
             eprintln!("  run <experiment|all> [--quick] [--reps N] [--user-scale F] [--markdown] [--json PATH]");
             eprintln!("  trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N] [--quick] [--reps N]");
             eprintln!("        [--parallelism N] [--dropout F]");
+            eprintln!("  perf [--quick] [--out PATH] [--check BASELINE] [--threshold F]");
             ExitCode::FAILURE
         }
     }
@@ -163,6 +173,130 @@ fn run_command(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("[fedhh-bench] wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn perf_command(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out_path = "BENCH_perf.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut threshold = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path.clone();
+            }
+            "--check" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--check requires a baseline path");
+                    return ExitCode::FAILURE;
+                };
+                check_path = Some(path.clone());
+            }
+            "--threshold" => {
+                i += 1;
+                match parse_value::<f64>("--threshold", args.get(i)) {
+                    Ok(v) if v > 0.0 => threshold = v,
+                    Ok(v) => {
+                        eprintln!("--threshold must be positive, got {v}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    // Load the baseline before spending minutes measuring, so a bad path
+    // fails fast.
+    let suite = if quick { "quick" } else { "full" };
+    let baseline = match &check_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match fedhh_bench::PerfReport::from_json(&text) {
+                Ok(report) => {
+                    // Quick and full suites run differently sized workloads
+                    // under the same entry names; comparing across them
+                    // would gate on apples vs oranges.
+                    if report.suite != suite {
+                        eprintln!(
+                            "baseline {path} was recorded by the {:?} suite but this is a \
+                             {suite:?} run; regenerate the baseline with the matching suite",
+                            report.suite
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Some(report)
+                }
+                Err(err) => {
+                    eprintln!("failed to parse baseline {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(err) => {
+                eprintln!("failed to read baseline {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    eprintln!(
+        "[fedhh-bench] running the {} perf suite ...",
+        if quick { "quick" } else { "full" }
+    );
+    let start = std::time::Instant::now();
+    let report = match fedhh_bench::run_suite(quick) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("[fedhh-bench] perf suite failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[fedhh-bench] perf suite finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    print!("{}", report.to_table());
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[fedhh-bench] wrote {out_path}");
+
+    if let Some(baseline) = baseline {
+        let violations = fedhh_bench::check_report(&report, &baseline, threshold);
+        if violations.is_empty() {
+            eprintln!(
+                "[fedhh-bench] perf check passed: {} workloads within {threshold}x of baseline",
+                baseline.entries.len()
+            );
+        } else {
+            eprintln!(
+                "[fedhh-bench] perf check FAILED ({} regression(s) beyond {threshold}x):",
+                violations.len()
+            );
+            for violation in &violations {
+                eprintln!("  {violation}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

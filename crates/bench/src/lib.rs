@@ -21,15 +21,24 @@
 //! The `fedhh-bench` binary runs them by name (`fedhh-bench run fig4`);
 //! `fedhh-bench run all` reproduces the entire evaluation and prints every
 //! table to stdout (and optionally JSON for EXPERIMENTS.md).
+//!
+//! Besides the accuracy experiments, `fedhh-bench perf` runs the pinned
+//! performance-baseline suite of the [`perf`] module: frequency-oracle and
+//! mechanism hot-path workloads measured as ns/report and reports/sec,
+//! emitted as machine-readable `BENCH_perf.json`, with
+//! `--check <baseline.json>` acting as the CI regression gate (see the
+//! [`perf`] module docs for the schema and gate semantics).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
 pub mod microbench;
+pub mod perf;
 pub mod report;
 pub mod runner;
 
 pub use experiments::BenchError;
+pub use perf::{check_report, run_suite, PerfEntry, PerfReport, PerfViolation};
 pub use report::ExperimentReport;
 pub use runner::{ExperimentScale, TrialMetrics};

@@ -1,0 +1,825 @@
+//! The `fedhh-bench perf` performance-baseline subsystem.
+//!
+//! Correctness is gated by `cargo test`; this module gates **speed**.  It
+//! runs a pinned suite of frequency-oracle and mechanism workloads, emits a
+//! machine-readable `BENCH_perf.json`, and can compare a fresh run against a
+//! committed baseline so CI fails on real hot-path regressions.
+//!
+//! ## The pinned suite
+//!
+//! | Entry name | Workload |
+//! |---|---|
+//! | `fo_perturb/<fo>/<path>` | Perturb a fixed report stream (scalar `perturb` loop vs `perturb_batch`) |
+//! | `fo_aggregate/<fo>/<path>` | Aggregate + estimate the stream (allocating `aggregate` vs arena `aggregate_into`) |
+//! | `mech_e2e/fedpem/<path>` | FedPEM end-to-end on the RDB stand-in ([`FoExec::Scalar`] vs [`FoExec::Batched`]) |
+//! | `mech_e2e/{gtf,tap,taps}/batched` | The other mechanisms end-to-end on the batched hot path |
+//!
+//! `<fo>` is `krr`, `oue` or `olh`; `<path>` is `scalar` or `batched`.  The
+//! scalar legs are measured **in the same run** as the batched legs, so the
+//! batched speed-up is visible in every emitted report, machine-independent.
+//!
+//! ## `BENCH_perf.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "suite": "quick",
+//!   "entries": [
+//!     {
+//!       "name": "fo_perturb/krr/batched",
+//!       "reports": 20000,
+//!       "ns_per_report": 14.2,
+//!       "reports_per_sec": 70422535.2,
+//!       "uplink_bits": 640000
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `name` — stable workload identifier (the regression-check join key).
+//! * `reports` — user reports processed per timed iteration.
+//! * `ns_per_report` — mean wall-clock nanoseconds per report (lower is
+//!   better; the quantity the regression gate compares).
+//! * `reports_per_sec` — the same measurement as a throughput.
+//! * `uplink_bits` — party → server traffic per iteration (0 for pure
+//!   client-side workloads).
+//!
+//! ## The regression gate
+//!
+//! `fedhh-bench perf --check <baseline.json> --threshold 2.0` re-runs the
+//! suite and fails (non-zero exit) when any entry's `ns_per_report` exceeds
+//! `threshold ×` its baseline value, or when a baseline entry is missing
+//! from the fresh run (a silently shrunken suite must not pass).  The
+//! generous default threshold (2×) tolerates machine noise while still
+//! catching real hot-path regressions.
+
+use crate::report::json_string;
+use crate::runner::ExperimentScale;
+use fedhh_datasets::DatasetKind;
+use fedhh_federated::{EngineConfig, FoExec};
+use fedhh_fo::{FoKind, FrequencyOracle, Oracle, PrivacyBudget, Report, SupportCounts};
+use fedhh_mechanisms::{MechanismKind, Run};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured workload of the pinned suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Stable workload identifier, e.g. `fo_perturb/krr/batched`.
+    pub name: String,
+    /// Number of user reports processed per timed iteration.
+    pub reports: u64,
+    /// Mean wall-clock nanoseconds per report.
+    pub ns_per_report: f64,
+    /// Mean throughput in reports per second.
+    pub reports_per_sec: f64,
+    /// Party → server traffic per iteration, in bits (0 when the workload
+    /// has no uplink).
+    pub uplink_bits: u64,
+}
+
+/// A whole perf run: schema version, suite flavour and measured entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Schema version of the JSON serialization (currently 1).
+    pub schema: u32,
+    /// `"quick"` or `"full"`.
+    pub suite: String,
+    /// The measured workloads, in suite order.
+    pub entries: Vec<PerfEntry>,
+}
+
+/// One regression found by [`check_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfViolation {
+    /// The offending entry name.
+    pub name: String,
+    /// Baseline ns/report.
+    pub baseline_ns: f64,
+    /// Current ns/report (`None` when the entry vanished from the run).
+    pub current_ns: Option<f64>,
+}
+
+impl std::fmt::Display for PerfViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.current_ns {
+            Some(current) => write!(
+                f,
+                "{}: {:.1} ns/report vs baseline {:.1} ns/report ({:.2}x)",
+                self.name,
+                current,
+                self.baseline_ns,
+                current / self.baseline_ns
+            ),
+            None => write!(f, "{}: missing from the current run", self.name),
+        }
+    }
+}
+
+/// Compares a fresh run against a baseline: every baseline entry must be
+/// present and at most `threshold ×` slower (by `ns_per_report`).  Entries
+/// only present in the current run are informational, never violations.
+///
+/// Callers must compare reports of the same suite flavour — quick and full
+/// runs size their workloads differently under the same entry names (the
+/// `perf` CLI rejects a suite mismatch before measuring).
+pub fn check_report(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    threshold: f64,
+) -> Vec<PerfViolation> {
+    let mut violations = Vec::new();
+    for base in &baseline.entries {
+        match current.entries.iter().find(|e| e.name == base.name) {
+            None => violations.push(PerfViolation {
+                name: base.name.clone(),
+                baseline_ns: base.ns_per_report,
+                current_ns: None,
+            }),
+            Some(entry) if entry.ns_per_report > base.ns_per_report * threshold => {
+                violations.push(PerfViolation {
+                    name: base.name.clone(),
+                    baseline_ns: base.ns_per_report,
+                    current_ns: Some(entry.ns_per_report),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+impl PerfReport {
+    /// Renders the report as an aligned plain-text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!("# fedhh perf baseline ({} suite)\n", self.suite);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>14} {:>16} {:>12}",
+            "workload", "reports", "ns/report", "reports/sec", "uplink kb"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>14.1} {:>16.0} {:>12.1}",
+                e.name,
+                e.reports,
+                e.ns_per_report,
+                e.reports_per_sec,
+                e.uplink_bits as f64 / 1000.0
+            );
+        }
+        out
+    }
+
+    /// Serializes the report as schema-1 JSON (hand-rolled: the workspace
+    /// builds without external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"suite\": {},", json_string(&self.suite));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"reports\": {}, \"ns_per_report\": {:.3}, \
+                 \"reports_per_sec\": {:.1}, \"uplink_bits\": {}}}",
+                json_string(&e.name),
+                e.reports,
+                e.ns_per_report,
+                e.reports_per_sec,
+                e.uplink_bits
+            );
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a schema-1 JSON report (the inverse of
+    /// [`PerfReport::to_json`], tolerant of whitespace and key order).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let schema = json::get_number(obj, "schema")? as u32;
+        if schema != 1 {
+            return Err(format!("unsupported perf schema version {schema}"));
+        }
+        let suite = json::get_string(obj, "suite")?;
+        let entries_value = json::get(obj, "entries")?;
+        let entries_array = entries_value
+            .as_array()
+            .ok_or("\"entries\" must be an array")?;
+        let mut entries = Vec::with_capacity(entries_array.len());
+        for item in entries_array {
+            let entry = item.as_object().ok_or("entry must be an object")?;
+            entries.push(PerfEntry {
+                name: json::get_string(entry, "name")?,
+                reports: json::get_number(entry, "reports")? as u64,
+                ns_per_report: json::get_number(entry, "ns_per_report")?,
+                reports_per_sec: json::get_number(entry, "reports_per_sec")?,
+                uplink_bits: json::get_number(entry, "uplink_bits")? as u64,
+            });
+        }
+        Ok(Self {
+            schema,
+            suite,
+            entries,
+        })
+    }
+}
+
+/// Suite sizing: how many reports per FO iteration and how long each
+/// workload is measured.
+#[derive(Debug, Clone, Copy)]
+struct SuiteSize {
+    fo_reports: usize,
+    fo_domain: usize,
+    warmup: u32,
+    min_iters: u32,
+    /// Keep timing until at least this much wall-clock accumulated — fast
+    /// workloads (sub-ns/report) would otherwise be measured over a window
+    /// short enough for scheduler noise to trip the regression gate.
+    min_window: std::time::Duration,
+    e2e_reps: u64,
+    /// User-population multiplier for the end-to-end workloads: large
+    /// enough that per-report work dominates per-run setup noise.
+    e2e_user_scale: f64,
+}
+
+impl SuiteSize {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                fo_reports: 20_000,
+                fo_domain: 64,
+                warmup: 1,
+                min_iters: 5,
+                min_window: std::time::Duration::from_millis(20),
+                e2e_reps: 20,
+                e2e_user_scale: 0.02,
+            }
+        } else {
+            Self {
+                fo_reports: 100_000,
+                fo_domain: 64,
+                warmup: 2,
+                min_iters: 10,
+                min_window: std::time::Duration::from_millis(200),
+                e2e_reps: 40,
+                e2e_user_scale: 0.1,
+            }
+        }
+    }
+}
+
+/// Times `f` over warmup iterations, then timed iterations until both
+/// `min_iters` and `min_window` are satisfied (capped at 25x the window so
+/// a pathologically fast clock cannot spin forever), and returns the mean
+/// seconds per iteration.
+fn time_mean<T>(
+    warmup: u32,
+    min_iters: u32,
+    min_window: std::time::Duration,
+    mut f: impl FnMut() -> T,
+) -> f64 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let cap = min_window * 25;
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        black_box(f());
+        iters += 1;
+        let elapsed = start.elapsed();
+        if (iters >= min_iters as u64 && elapsed >= min_window) || elapsed >= cap {
+            return elapsed.as_secs_f64() / iters as f64;
+        }
+    }
+}
+
+fn entry(name: String, reports: usize, secs_per_iter: f64, uplink_bits: u64) -> PerfEntry {
+    let reports = reports.max(1);
+    let secs = secs_per_iter.max(1e-12);
+    PerfEntry {
+        name,
+        reports: reports as u64,
+        ns_per_report: secs * 1e9 / reports as f64,
+        reports_per_sec: reports as f64 / secs,
+        uplink_bits,
+    }
+}
+
+/// Runs the pinned perf suite and returns the measured report.
+pub fn run_suite(quick: bool) -> Result<PerfReport, String> {
+    let size = SuiteSize::new(quick);
+    let mut entries = Vec::new();
+
+    // --- Frequency-oracle workloads -------------------------------------
+    let budget = PrivacyBudget::new(4.0).map_err(|e| e.to_string())?;
+    for kind in FoKind::ALL {
+        let oracle = Oracle::try_new(kind, budget, size.fo_domain).map_err(|e| e.to_string())?;
+        let inputs: Vec<usize> = (0..size.fo_reports).map(|i| i % size.fo_domain).collect();
+
+        // Perturbation: scalar loop vs batched, same RNG seed (the batch
+        // contract guarantees identical reports, so the comparison is
+        // work-for-work).
+        let scalar_secs = time_mean(size.warmup, size.min_iters, size.min_window, || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let reports: Vec<Report> = inputs
+                .iter()
+                .map(|i| oracle.perturb(*i, &mut rng))
+                .collect();
+            reports
+        });
+        let mut batch_buf: Vec<Report> = Vec::new();
+        let batch_secs = time_mean(size.warmup, size.min_iters, size.min_window, || {
+            let mut rng = StdRng::seed_from_u64(42);
+            batch_buf.clear();
+            oracle.perturb_batch(&inputs, &mut rng, &mut batch_buf);
+            batch_buf.len()
+        });
+        let report_bits = (oracle.report_bits() * size.fo_reports) as u64;
+        entries.push(entry(
+            format!("fo_perturb/{kind}/scalar"),
+            size.fo_reports,
+            scalar_secs,
+            report_bits,
+        ));
+        entries.push(entry(
+            format!("fo_perturb/{kind}/batched"),
+            size.fo_reports,
+            batch_secs,
+            report_bits,
+        ));
+
+        // Aggregation + estimation: allocating scalar aggregate vs the
+        // caller-owned arena.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reports: Vec<Report> = Vec::new();
+        oracle.perturb_batch(&inputs, &mut rng, &mut reports);
+        let agg_scalar_secs = time_mean(size.warmup, size.min_iters, size.min_window, || {
+            oracle.estimate(&oracle.aggregate(&reports), reports.len())
+        });
+        let mut arena = SupportCounts::zeros(size.fo_domain);
+        let agg_batch_secs = time_mean(size.warmup, size.min_iters, size.min_window, || {
+            arena.reset(size.fo_domain);
+            oracle.aggregate_into(&reports, &mut arena);
+            oracle.estimate(&arena, reports.len())
+        });
+        entries.push(entry(
+            format!("fo_aggregate/{kind}/scalar"),
+            size.fo_reports,
+            agg_scalar_secs,
+            0,
+        ));
+        entries.push(entry(
+            format!("fo_aggregate/{kind}/batched"),
+            size.fo_reports,
+            agg_batch_secs,
+            0,
+        ));
+    }
+
+    // --- Mechanism end-to-end workloads ---------------------------------
+    // Pinned to the quick protocol shape (16-bit codes, 8 levels), the RDB
+    // stand-in and the sequential engine so timings measure the hot path,
+    // not thread setup — but with a boosted user population so per-report
+    // work dominates per-run setup noise.
+    let scale = ExperimentScale {
+        user_scale: size.e2e_user_scale,
+        ..ExperimentScale::quick()
+    };
+    let dataset = scale.dataset_config(11).build(DatasetKind::Rdb);
+    let users = dataset.total_users();
+    let engine = EngineConfig::sequential();
+    let mut e2e = |kind: MechanismKind, fo_exec: FoExec, label: &str| -> Result<(), String> {
+        let mechanism = kind.build();
+        let config = scale
+            .protocol_config(23)
+            .with_epsilon(4.0)
+            .with_k(10)
+            .with_fo_exec(fo_exec);
+        let mut uplink_bits = 0u64;
+        let mut run_once = || -> Result<f64, String> {
+            let output = Run::custom(mechanism.as_ref())
+                .dataset(&dataset)
+                .config(config)
+                .engine(engine)
+                .execute()
+                .map_err(|e| e.to_string())?;
+            uplink_bits = output.comm.total_uplink_bits() as u64;
+            Ok(output.elapsed.as_secs_f64())
+        };
+        // Warm once, then average the mechanism-reported wall-clock.
+        run_once()?;
+        let mut total = 0.0;
+        for _ in 0..size.e2e_reps {
+            total += run_once()?;
+        }
+        entries.push(entry(
+            format!("mech_e2e/{label}"),
+            users,
+            total / size.e2e_reps as f64,
+            uplink_bits,
+        ));
+        Ok(())
+    };
+    e2e(MechanismKind::FedPem, FoExec::Scalar, "fedpem/scalar")?;
+    e2e(MechanismKind::FedPem, FoExec::Batched, "fedpem/batched")?;
+    e2e(MechanismKind::Gtf, FoExec::Batched, "gtf/batched")?;
+    e2e(MechanismKind::Tap, FoExec::Batched, "tap/batched")?;
+    e2e(MechanismKind::Taps, FoExec::Batched, "taps/batched")?;
+
+    Ok(PerfReport {
+        schema: 1,
+        suite: if quick { "quick" } else { "full" }.to_string(),
+        entries,
+    })
+}
+
+/// A minimal JSON reader for the perf schema (objects, arrays, strings,
+/// numbers); the workspace builds hermetically, so no serde.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// An object, as insertion-ordered key/value pairs.
+        Object(Vec<(String, Value)>),
+        /// An array.
+        Array(Vec<Value>),
+        /// A string.
+        String(String),
+        /// A number (all JSON numbers read as f64).
+        Number(f64),
+        /// `true` / `false`.
+        Bool(bool),
+        /// `null`.
+        Null,
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}"))
+    }
+
+    pub fn get_number(obj: &[(String, Value)], key: &str) -> Result<f64, String> {
+        match get(obj, key)? {
+            Value::Number(n) => Ok(*n),
+            other => Err(format!("key {key:?} is not a number: {other:?}")),
+        }
+    }
+
+    pub fn get_string(obj: &[(String, Value)], key: &str) -> Result<String, String> {
+        match get(obj, key)? {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(format!("key {key:?} is not a string: {other:?}")),
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&want) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                want as char,
+                pos,
+                bytes.get(*pos).map(|b| *b as char)
+            ))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        literal: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(literal.as_bytes()) {
+            *pos += literal.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {pos}"))
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = String::new();
+        while let Some(&b) = bytes.get(*pos) {
+            *pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let escaped = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = bytes
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")
+                                .and_then(|h| {
+                                    std::str::from_utf8(h).map_err(|_| "non-utf8 \\u escape")
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                }
+                other => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let start = *pos - 1;
+                    let len = utf8_len(other);
+                    let chunk = bytes
+                        .get(start..start + len)
+                        .ok_or("truncated utf8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    *pos = start + len;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            b if b < 0x80 => 1,
+            b if b >= 0xF0 => 4,
+            b if b >= 0xE0 => 3,
+            _ => 2,
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while let Some(&b) = bytes.get(*pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            schema: 1,
+            suite: "quick".to_string(),
+            entries: vec![
+                PerfEntry {
+                    name: "fo_perturb/krr/batched".to_string(),
+                    reports: 20_000,
+                    ns_per_report: 14.25,
+                    reports_per_sec: 70_175_438.6,
+                    uplink_bits: 640_000,
+                },
+                PerfEntry {
+                    name: "mech_e2e/fedpem/batched".to_string(),
+                    reports: 5_000,
+                    ns_per_report: 800.0,
+                    reports_per_sec: 1_250_000.0,
+                    uplink_bits: 12_800,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut report = sample_report();
+        // Names needing JSON escaping survive the round trip.
+        report.entries[1].name = "weird \"name\" with \\ and \t".to_string();
+        let parsed = PerfReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.suite, "quick");
+        assert_eq!(parsed.entries.len(), 2);
+        for (a, b) in parsed.entries.iter().zip(&report.entries) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.reports, b.reports);
+            assert!((a.ns_per_report - b.ns_per_report).abs() < 1e-3);
+            assert!((a.reports_per_sec - b.reports_per_sec).abs() < 1.0);
+            assert_eq!(a.uplink_bits, b.uplink_bits);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(PerfReport::from_json("").is_err());
+        assert!(PerfReport::from_json("{").is_err());
+        assert!(PerfReport::from_json("{\"schema\": 1}").is_err());
+        assert!(
+            PerfReport::from_json("{\"schema\": 2, \"suite\": \"x\", \"entries\": []}").is_err()
+        );
+        assert!(PerfReport::from_json("[1, 2, 3]").is_err());
+        // Trailing garbage after a valid document is rejected.
+        let mut doc = sample_report().to_json();
+        doc.push_str("{}");
+        assert!(PerfReport::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn check_passes_within_threshold_and_fails_on_injected_slowdown() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        // 1.5x slower: inside the 2x budget.
+        current.entries[0].ns_per_report = baseline.entries[0].ns_per_report * 1.5;
+        assert!(check_report(&current, &baseline, 2.0).is_empty());
+        // 3x slower: a regression the gate must catch.
+        current.entries[0].ns_per_report = baseline.entries[0].ns_per_report * 3.0;
+        let violations = check_report(&current, &baseline, 2.0);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].name, "fo_perturb/krr/batched");
+        assert!(violations[0].to_string().contains("3.00x"));
+    }
+
+    #[test]
+    fn check_flags_entries_missing_from_the_current_run() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current.entries.remove(1);
+        let violations = check_report(&current, &baseline, 10.0);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].name, "mech_e2e/fedpem/batched");
+        assert!(violations[0].current_ns.is_none());
+        assert!(violations[0].to_string().contains("missing"));
+        // Extra entries in the current run are fine.
+        let mut grown = sample_report();
+        grown.entries.push(PerfEntry {
+            name: "new/workload".to_string(),
+            reports: 1,
+            ns_per_report: 1.0,
+            reports_per_sec: 1e9,
+            uplink_bits: 0,
+        });
+        assert!(check_report(&grown, &baseline, 2.0).is_empty());
+    }
+
+    #[test]
+    fn quick_suite_covers_every_pinned_workload() {
+        let report = run_suite(true).unwrap();
+        assert_eq!(report.schema, 1);
+        assert_eq!(report.suite, "quick");
+        for kind in ["krr", "oue", "olh"] {
+            for path in ["scalar", "batched"] {
+                for family in ["fo_perturb", "fo_aggregate"] {
+                    let name = format!("{family}/{kind}/{path}");
+                    assert!(
+                        report.entries.iter().any(|e| e.name == name),
+                        "missing {name}"
+                    );
+                }
+            }
+        }
+        for name in [
+            "mech_e2e/fedpem/scalar",
+            "mech_e2e/fedpem/batched",
+            "mech_e2e/gtf/batched",
+            "mech_e2e/tap/batched",
+            "mech_e2e/taps/batched",
+        ] {
+            assert!(
+                report.entries.iter().any(|e| e.name == name),
+                "missing {name}"
+            );
+        }
+        for e in &report.entries {
+            assert!(e.ns_per_report > 0.0, "{}: non-positive time", e.name);
+            assert!(e.reports_per_sec > 0.0, "{}", e.name);
+        }
+        // The e2e mechanism runs produced uplink traffic.
+        assert!(report
+            .entries
+            .iter()
+            .filter(|e| e.name.starts_with("mech_e2e/"))
+            .all(|e| e.uplink_bits > 0));
+        // And a run checks clean against itself.
+        assert!(check_report(&report, &report, 1.0 + 1e-9).is_empty());
+    }
+}

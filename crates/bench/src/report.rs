@@ -118,8 +118,9 @@ pub fn reports_to_json(reports: &[ExperimentReport]) -> String {
     out
 }
 
-/// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+/// Escapes a string as a JSON string literal (shared with the perf-report
+/// emitter).
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

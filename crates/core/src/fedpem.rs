@@ -17,9 +17,10 @@ use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::pem::run_pem;
 use crate::run::RunContext;
 use fedhh_federated::{
-    federated_top_k, Broadcast, CandidateReport, LevelEstimated, PartyDriver, ProtocolConfig,
-    ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session,
+    aggregate_reports_into, top_k_from_counts, Broadcast, LevelEstimated, PartyDriver,
+    ProtocolConfig, ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session,
 };
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// The FedPEM baseline.
@@ -136,14 +137,15 @@ impl Mechanism for FedPem {
         ctx.replay(&collection);
 
         ctx.phase(RunPhase::Aggregation);
-        let reports: Vec<CandidateReport> = collection
-            .messages
-            .iter()
-            .filter_map(|m| m.as_report().cloned())
-            .collect();
+        // One server-side pass over the round's collected reports — no
+        // cloning, no second aggregation for the ranking.
         let locals: Vec<PartyLocalResult> = drivers.into_iter().filter_map(|d| d.local).collect();
-        let totals = fedhh_federated::aggregate_reports(&reports);
-        let heavy_hitters = federated_top_k(&reports, config.k);
+        let mut totals: HashMap<u64, f64> = HashMap::new();
+        aggregate_reports_into(
+            collection.messages.iter().filter_map(|m| m.as_report()),
+            &mut totals,
+        );
+        let heavy_hitters = top_k_from_counts(&totals, config.k);
 
         Ok(MechanismOutput {
             heavy_hitters,

@@ -26,8 +26,9 @@ use crate::aggregate::PartyLocalResult;
 use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::run::RunContext;
 use fedhh_federated::{
-    Broadcast, GroupAssignment, LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig,
-    ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session, PAIR_BITS,
+    Broadcast, EstimateScratch, GroupAssignment, LevelEstimated, LevelEstimator, PartyDriver,
+    ProtocolConfig, ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session,
+    PAIR_BITS,
 };
 use fedhh_trie::extend_prefix_values;
 use std::collections::HashMap;
@@ -46,6 +47,9 @@ struct GtfDriver<'a> {
     estimator: &'a LevelEstimator,
     config: ProtocolConfig,
     seed: u64,
+    /// Per-driver estimation arena, reused across the per-level rounds so
+    /// each engine worker aggregates into its own buffers.
+    scratch: EstimateScratch,
 }
 
 impl PartyDriver for GtfDriver<'_> {
@@ -66,7 +70,8 @@ impl PartyDriver for GtfDriver<'_> {
         let h = *level;
         let schedule = self.config.schedule();
         let candidates = extend_prefix_values(values, *value_len, schedule.step(h));
-        let estimate = self.estimator.estimate(
+        let estimate = self.estimator.estimate_with(
+            &mut self.scratch,
             &candidates,
             schedule.prefix_len(h),
             self.assignment.level(h),
@@ -128,6 +133,7 @@ impl Mechanism for Gtf {
                     estimator: &estimator,
                     config,
                     seed: ctx.party_seed(idx),
+                    scratch: EstimateScratch::new(),
                 })
             })
             .collect::<Result<_, ProtocolError>>()?;
@@ -139,6 +145,9 @@ impl Mechanism for Gtf {
         // candidate at the last processed level.
         let mut last_avg: HashMap<u64, f64> = HashMap::new();
         let mut last_local: Vec<PartyLocalResult> = Vec::new();
+        // Server-side accumulator, merged once per round and reused across
+        // levels.
+        let mut freq_sums: HashMap<u64, f64> = HashMap::new();
 
         ctx.phase(RunPhase::LocalEstimation);
         for (round, h) in schedule.levels().enumerate() {
@@ -153,15 +162,16 @@ impl Mechanism for Gtf {
             let collection = session.run_round(&mut drivers, &active, &input)?;
             ctx.replay(&collection);
 
-            let mut freq_sums: HashMap<u64, f64> = HashMap::new();
+            freq_sums.clear();
+            fedhh_federated::aggregate_reports_into(
+                collection.messages.iter().filter_map(|m| m.as_report()),
+                &mut freq_sums,
+            );
             let mut locals: Vec<(usize, PartyLocalResult)> = Vec::new();
             for message in &collection.messages {
                 let Some(report) = message.as_report() else {
                     continue;
                 };
-                for (value, freq) in &report.candidates {
-                    *freq_sums.entry(*value).or_insert(0.0) += freq.max(0.0);
-                }
                 let users = dataset.parties()[message.from].user_count();
                 locals.push((
                     message.from,
@@ -183,8 +193,8 @@ impl Mechanism for Gtf {
             // frequencies, keep exactly the global top-k.
             let party_count = active.len().max(1) as f64;
             let mut averaged: Vec<(u64, f64)> = freq_sums
-                .into_iter()
-                .map(|(v, total)| (v, total / party_count))
+                .iter()
+                .map(|(v, total)| (*v, total / party_count))
                 .collect();
             averaged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             averaged.truncate(config.k);

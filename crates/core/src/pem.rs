@@ -10,7 +10,7 @@
 use crate::aggregate::{local_result_from_estimate, PartyLocalResult};
 use crate::extension::ExtensionStrategy;
 use fedhh_federated::{
-    GroupAssignment, LevelEstimate, LevelEstimator, ProtocolConfig, ProtocolError,
+    EstimateScratch, GroupAssignment, LevelEstimate, LevelEstimator, ProtocolConfig, ProtocolError,
 };
 use fedhh_trie::extend_prefix_values;
 
@@ -88,12 +88,16 @@ pub fn run_pem(
     let mut local_report_bits = 0usize;
     let mut extension_trace = Vec::with_capacity(config.granularity as usize);
     let mut level_trace = Vec::with_capacity(config.granularity as usize);
+    // One batched-estimation arena for the whole party: report buffers and
+    // support counts are allocated once and reused level after level.
+    let mut scratch = EstimateScratch::new();
 
     for h in schedule.levels() {
         let step = schedule.step(h);
         let len = schedule.prefix_len(h);
         let candidates = extend_prefix_values(&current, current_len, step);
-        let estimate = estimator.estimate(
+        let estimate = estimator.estimate_with(
+            &mut scratch,
             &candidates,
             len,
             assignment.level(h),

@@ -22,11 +22,12 @@ use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::run::RunContext;
 use fedhh_federated::{
-    federated_top_k, Broadcast, CandidateReport, GroupAssignment, LevelEstimate, LevelEstimated,
-    LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, RoundInput, RoundOutcome,
-    RoundPayload, RunPhase, Session,
+    aggregate_reports_into, top_k_from_counts, Broadcast, CandidateReport, EstimateScratch,
+    GroupAssignment, LevelEstimate, LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig,
+    ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session,
 };
 use fedhh_trie::extend_prefix_values;
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// The per-party running state shared by TAP and TAPS.
@@ -83,8 +84,12 @@ impl PartyRun {
     /// candidates, estimates them on the level's user group (or an explicit
     /// subset), and returns the estimate together with the extended
     /// candidate list.
+    ///
+    /// `scratch` is the caller's (per-driver, hence per-worker) batched
+    /// estimation arena, reused level after level.
     pub fn estimate_level(
         &self,
+        scratch: &mut EstimateScratch,
         estimator: &LevelEstimator,
         config: &ProtocolConfig,
         h: u8,
@@ -100,7 +105,8 @@ impl PartyRun {
             candidates.retain(|c| !excluded.contains(c));
         }
         let users = users_override.unwrap_or_else(|| self.assignment.level(h));
-        let estimate = estimator.estimate(
+        let estimate = estimator.estimate_with(
+            scratch,
             &candidates,
             len,
             users,
@@ -135,6 +141,8 @@ pub(crate) struct TapPhase2Driver<'a> {
     pub(crate) config: ProtocolConfig,
     pub(crate) extension: ExtensionStrategy,
     pub(crate) debug: bool,
+    /// Per-driver batched estimation arena.
+    pub(crate) scratch: EstimateScratch,
 }
 
 impl PartyDriver for TapPhase2Driver<'_> {
@@ -156,7 +164,7 @@ impl PartyDriver for TapPhase2Driver<'_> {
         for h in (gs + 1)..=config.granularity {
             let (candidates, estimate) =
                 self.party
-                    .estimate_level(self.estimator, &config, h, None, &[]);
+                    .estimate_level(&mut self.scratch, self.estimator, &config, h, None, &[]);
             let t = self.extension.extension_count(&estimate, config.k);
             if self.debug {
                 eprintln!(
@@ -305,6 +313,7 @@ impl Mechanism for Tap {
                 config,
                 extension: self.extension,
                 debug,
+                scratch: EstimateScratch::new(),
             })
             .collect();
         let collection = session.run_round(&mut drivers, &active, &input)?;
@@ -319,9 +328,9 @@ impl Mechanism for Tap {
             .filter_map(|m| m.as_report().map(|r| (m.from, r.clone())))
             .collect();
         let locals = locals_from_reports(&reports);
-        let reports: Vec<CandidateReport> = reports.into_iter().map(|(_, r)| r).collect();
-        let totals = fedhh_federated::aggregate_reports(&reports);
-        let heavy_hitters = federated_top_k(&reports, config.k);
+        let mut totals: HashMap<u64, f64> = HashMap::new();
+        aggregate_reports_into(reports.iter().map(|(_, r)| r), &mut totals);
+        let heavy_hitters = top_k_from_counts(&totals, config.k);
 
         Ok(MechanismOutput {
             heavy_hitters,

@@ -19,7 +19,7 @@ use crate::extension::ExtensionStrategy;
 use crate::run::RunContext;
 use crate::tap::PartyRun;
 use fedhh_federated::{
-    aggregate_reports, top_k_from_counts, Broadcast, CandidateReport, LevelEstimated,
+    aggregate_reports_into, top_k_from_counts, Broadcast, EstimateScratch, LevelEstimated,
     LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, RoundInput, RoundOutcome,
     RoundPayload, RunPhase, Session, PAIR_BITS,
 };
@@ -32,6 +32,8 @@ pub(crate) struct Phase1Driver<'a> {
     pub(crate) config: ProtocolConfig,
     pub(crate) extension: ExtensionStrategy,
     pub(crate) gs: u8,
+    /// Per-driver batched estimation arena.
+    pub(crate) scratch: EstimateScratch,
 }
 
 impl PartyDriver for Phase1Driver<'_> {
@@ -44,9 +46,14 @@ impl PartyDriver for Phase1Driver<'_> {
         // Estimate levels 1..=g_s on the Phase I user groups, extending
         // adaptively (Algorithm 2, lines 2–8).
         for h in 1..=self.gs {
-            let (candidates, estimate) =
-                self.party
-                    .estimate_level(self.estimator, &self.config, h, None, &[]);
+            let (candidates, estimate) = self.party.estimate_level(
+                &mut self.scratch,
+                self.estimator,
+                &self.config,
+                h,
+                None,
+                &[],
+            );
             let t = self.extension.extension_count(&estimate, self.config.k);
             round.level(LevelEstimated {
                 party: self.party.name.clone(),
@@ -113,20 +120,21 @@ pub(crate) fn shared_trie_construction(
             config,
             extension,
             gs,
+            scratch: EstimateScratch::new(),
         })
         .collect();
     let collection = session.run_round(&mut drivers, &active, &input)?;
     drop(drivers);
     ctx.replay(&collection);
 
-    // The server aggregates the reported counts and broadcasts the top-k
+    // The server aggregates the reported counts — one pass straight off the
+    // collected messages, no report cloning — and broadcasts the top-k
     // (line 10 and step ⑥).
-    let reports: Vec<CandidateReport> = collection
-        .messages
-        .iter()
-        .filter_map(|m| m.as_report().cloned())
-        .collect();
-    let totals = aggregate_reports(&reports);
+    let mut totals = std::collections::HashMap::new();
+    aggregate_reports_into(
+        collection.messages.iter().filter_map(|m| m.as_report()),
+        &mut totals,
+    );
     let shared = top_k_from_counts(&totals, config.k);
     for &idx in &active {
         ctx.record_downlink(&parties[idx].name, shared.len() * PAIR_BITS);

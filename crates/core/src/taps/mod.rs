@@ -26,11 +26,12 @@ use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::run::RunContext;
 use crate::tap::{stc, PartyRun};
 use fedhh_federated::{
-    federated_top_k, Broadcast, LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig,
-    ProtocolError, PruneCandidates, PruneDictionary, PruningDecision, RoundInput, RoundOutcome,
-    RoundPayload, RunPhase, Session, PAIR_BITS,
+    aggregate_reports_into, top_k_from_counts, Broadcast, EstimateScratch, LevelEstimated,
+    LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, PruneCandidates, PruneDictionary,
+    PruningDecision, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session, PAIR_BITS,
 };
 use pruning::{consensus_pruning_set, population_confidence, select_prune_candidates};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// The TAPS mechanism (Algorithm 4).
@@ -102,6 +103,8 @@ struct TapsChainDriver<'a> {
     is_last: bool,
     /// Total federation population |U| for the γ term.
     total_users: usize,
+    /// Per-driver batched estimation arena (levels and validation splits).
+    scratch: EstimateScratch,
 }
 
 impl PartyDriver for TapsChainDriver<'_> {
@@ -141,7 +144,8 @@ impl PartyDriver for TapsChainDriver<'_> {
                         main_users = rest;
 
                         let noise = self.party.noise_seed ^ ((h as u64) << 20);
-                        let validated_infrequent = self.estimator.estimate(
+                        let validated_infrequent = self.estimator.estimate_with(
+                            &mut self.scratch,
                             &candidates.infrequent,
                             len,
                             val0,
@@ -149,9 +153,13 @@ impl PartyDriver for TapsChainDriver<'_> {
                         );
                         let frequent_values: Vec<u64> =
                             candidates.frequent.iter().map(|(v, _)| *v).collect();
-                        let validated_frequent =
-                            self.estimator
-                                .estimate(&frequent_values, len, val1, noise ^ 0xF0F0);
+                        let validated_frequent = self.estimator.estimate_with(
+                            &mut self.scratch,
+                            &frequent_values,
+                            len,
+                            val1,
+                            noise ^ 0xF0F0,
+                        );
                         round.validation_reports(
                             &self.party.name,
                             validated_infrequent.report_bits + validated_frequent.report_bits,
@@ -178,9 +186,14 @@ impl PartyDriver for TapsChainDriver<'_> {
             }
 
             let main_users: Vec<u64> = main_users.to_vec();
-            let (candidates, estimate) =
-                self.party
-                    .estimate_level(self.estimator, &config, h, Some(&main_users), &pruned);
+            let (candidates, estimate) = self.party.estimate_level(
+                &mut self.scratch,
+                self.estimator,
+                &config,
+                h,
+                Some(&main_users),
+                &pruned,
+            );
             round.level(LevelEstimated {
                 party: self.party.name.clone(),
                 level: h,
@@ -284,6 +297,7 @@ impl Mechanism for Taps {
                 use_pruning: self.use_pruning,
                 is_last,
                 total_users,
+                scratch: EstimateScratch::new(),
             };
             let collection = session.run_solo_round(party_idx, &mut driver, &input)?;
             ctx.replay(&collection);
@@ -316,8 +330,9 @@ impl Mechanism for Taps {
                 report
             })
             .collect();
-        let totals = fedhh_federated::aggregate_reports(&reports);
-        let heavy_hitters = federated_top_k(&reports, config.k);
+        let mut totals: HashMap<u64, f64> = HashMap::new();
+        aggregate_reports_into(&reports, &mut totals);
+        let heavy_hitters = top_k_from_counts(&totals, config.k);
 
         // Account the Phase I broadcast of protocol parameters (step ①) —
         // a constant per party, charged here for completeness.

@@ -4,6 +4,21 @@ use crate::error::ProtocolError;
 use fedhh_fo::{FoKind, PrivacyBudget};
 use fedhh_trie::LevelSchedule;
 
+/// How the level estimator drives the frequency oracle.
+///
+/// Results are **bit-identical** between the two paths (the batched
+/// implementations consume the same RNG stream); the scalar path exists as
+/// the reference baseline for the `fedhh-bench perf` regression suite and
+/// for debugging, not as a behavioural option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FoExec {
+    /// Batched perturbation and aggregation — the production hot path.
+    #[default]
+    Batched,
+    /// One-report-at-a-time reference path.
+    Scalar,
+}
+
 /// The full parameter set of a federated heavy hitter run.
 ///
 /// Defaults follow Section 7.1 of the paper: k-RR as the FO, maximum binary
@@ -30,6 +45,9 @@ pub struct ProtocolConfig {
     pub dividing_ratio: f64,
     /// RNG seed for the run (group assignment and perturbation noise).
     pub seed: u64,
+    /// Whether the frequency oracle runs on the batched or the scalar
+    /// reference path (bit-identical results either way).
+    pub fo_exec: FoExec,
 }
 
 impl Default for ProtocolConfig {
@@ -44,6 +62,7 @@ impl Default for ProtocolConfig {
             phase1_user_fraction: 0.25,
             dividing_ratio: 0.1,
             seed: 7,
+            fo_exec: FoExec::Batched,
         }
     }
 }
@@ -96,6 +115,13 @@ impl ProtocolConfig {
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different frequency-oracle execution path
+    /// (used by the perf baseline suite to pin the scalar reference).
+    pub fn with_fo_exec(mut self, fo_exec: FoExec) -> Self {
+        self.fo_exec = fo_exec;
         self
     }
 

@@ -7,12 +7,88 @@
 //! aggregates the reports into noisy frequency estimates for every candidate
 //! (Algorithm 2, Estimate procedure).
 
-use crate::config::ProtocolConfig;
+use crate::config::{FoExec, ProtocolConfig};
 use crate::error::ProtocolError;
-use fedhh_fo::{CandidateDomain, FrequencyOracle, Oracle, PrivacyBudget, Report};
+use fedhh_fo::{CandidateDomain, FrequencyOracle, Oracle, PrivacyBudget, Report, SupportCounts};
 use fedhh_trie::Prefix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Reusable per-worker scratch for the batched estimation hot path.
+///
+/// One level estimate needs an input buffer (encoded domain indices), a
+/// report buffer and a support-count arena.  A driver that owns one scratch
+/// and passes it to every [`LevelEstimator::estimate_with`] call pays for
+/// those allocations once per worker instead of once per level, and reuses
+/// the constructed [`Oracle`] whenever consecutive levels share a candidate
+/// domain size — this is the "aggregate shard-locally, allocate never"
+/// contract the engine workers rely on.
+///
+/// ```
+/// use fedhh_federated::{EstimateScratch, LevelEstimator, ProtocolConfig};
+///
+/// let estimator = LevelEstimator::new(ProtocolConfig::test_default())?;
+/// let mut scratch = EstimateScratch::new();
+/// let items: Vec<u64> = (0..500).map(|i| i % 64).collect();
+/// for level in 1..=4u8 {
+///     let estimate = estimator.estimate_with(
+///         &mut scratch,
+///         &[0b0, 0b1],          // candidate prefixes
+///         1,                    // prefix length in bits
+///         &items,               // the level group's item codes
+///         level as u64,         // noise seed
+///     );
+///     assert_eq!(estimate.users, items.len());
+/// }
+/// # Ok::<(), fedhh_federated::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EstimateScratch {
+    inputs: Vec<usize>,
+    reports: Vec<Report>,
+    supports: SupportCounts,
+    /// Cached oracle, keyed by (kind, ε bits, domain size).
+    oracle: Option<(fedhh_fo::FoKind, u64, usize, Oracle)>,
+}
+
+impl EstimateScratch {
+    /// Creates an empty scratch; buffers grow to the working-set size on
+    /// first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self {
+            inputs: Vec::new(),
+            reports: Vec::new(),
+            supports: SupportCounts::zeros(0),
+            oracle: None,
+        }
+    }
+
+    /// Returns the cached oracle for this configuration, constructing (and
+    /// caching) it only when the kind, budget or domain size changed since
+    /// the previous call.
+    fn oracle_for(
+        &mut self,
+        kind: fedhh_fo::FoKind,
+        budget: PrivacyBudget,
+        domain_size: usize,
+    ) -> Result<Oracle, fedhh_fo::FoError> {
+        let key = (kind, budget.epsilon().to_bits(), domain_size);
+        if let Some((k, e, d, oracle)) = &self.oracle {
+            if (*k, *e, *d) == key {
+                return Ok(oracle.clone());
+            }
+        }
+        let oracle = Oracle::try_new(kind, budget, domain_size)?;
+        self.oracle = Some((key.0, key.1, key.2, oracle.clone()));
+        Ok(oracle)
+    }
+}
+
+impl Default for EstimateScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// The outcome of estimating one level within one party.
 #[derive(Debug, Clone)]
@@ -97,8 +173,36 @@ impl LevelEstimator {
     ///
     /// `noise_seed` decorrelates the perturbation randomness of different
     /// parties/levels while keeping runs reproducible.
+    ///
+    /// Allocates a fresh [`EstimateScratch`] per call; hot loops should own
+    /// a scratch and call [`LevelEstimator::estimate_with`] instead.
     pub fn estimate(
         &self,
+        candidates: &[u64],
+        prefix_len: u8,
+        group_items: &[u64],
+        noise_seed: u64,
+    ) -> LevelEstimate {
+        self.estimate_with(
+            &mut EstimateScratch::new(),
+            candidates,
+            prefix_len,
+            group_items,
+            noise_seed,
+        )
+    }
+
+    /// Like [`LevelEstimator::estimate`], but reusing a caller-owned
+    /// [`EstimateScratch`] so repeated estimation (one call per level, per
+    /// party, per round) never reallocates its report buffers, support
+    /// arena or oracle.
+    ///
+    /// Results are bit-identical to [`LevelEstimator::estimate`] — and, via
+    /// the oracles' batch contract, to the scalar one-report-at-a-time
+    /// path (selected by [`FoExec::Scalar`]).
+    pub fn estimate_with(
+        &self,
+        scratch: &mut EstimateScratch,
         candidates: &[u64],
         prefix_len: u8,
         group_items: &[u64],
@@ -110,7 +214,7 @@ impl LevelEstimator {
 
         // A domain can degenerate to a single candidate (plus dummy) — the
         // oracle still needs at least two slots, which the dummy provides.
-        let oracle = match Oracle::try_new(self.config.fo, self.budget, domain.len()) {
+        let oracle = match scratch.oracle_for(self.config.fo, self.budget, domain.len()) {
             Ok(oracle) => oracle,
             Err(_) => {
                 // Domain too small to perturb (no candidates at all).
@@ -126,16 +230,35 @@ impl LevelEstimator {
         };
 
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ noise_seed);
-        let mut reports: Vec<Report> = Vec::with_capacity(users);
+        scratch.inputs.clear();
+        scratch.inputs.reserve(users);
         for item in group_items {
             let prefix = Prefix::of_item(*item, self.config.max_bits, prefix_len).value();
             let input = domain
                 .encode(&prefix)
                 .expect("domain has a dummy slot, encode cannot fail");
-            reports.push(oracle.perturb(input, &mut rng));
+            scratch.inputs.push(input);
         }
-        let report_bits: usize = reports.iter().map(Report::size_bits).sum();
-        let estimate = oracle.estimate(&oracle.aggregate(&reports), users);
+
+        scratch.reports.clear();
+        scratch.supports.reset(domain.len());
+        let estimate = match self.config.fo_exec {
+            FoExec::Batched => {
+                oracle.perturb_batch(&scratch.inputs, &mut rng, &mut scratch.reports);
+                oracle.aggregate_into(&scratch.reports, &mut scratch.supports);
+                oracle.estimate(&scratch.supports, users)
+            }
+            FoExec::Scalar => {
+                // The reference path: one perturb call per report and a
+                // freshly allocated aggregation, as the 0.3 estimator ran.
+                scratch.reports.reserve(users);
+                for &input in &scratch.inputs {
+                    scratch.reports.push(oracle.perturb(input, &mut rng));
+                }
+                oracle.estimate(&oracle.aggregate(&scratch.reports), users)
+            }
+        };
+        let report_bits: usize = scratch.reports.iter().map(Report::size_bits).sum();
 
         let frequencies: Vec<f64> = (0..candidates.len())
             .map(|i| estimate.frequency(i))
@@ -235,6 +358,55 @@ mod tests {
             assert!(w[0].1 >= w[1].1);
         }
         assert_eq!(ranked[0].0, 0b00);
+    }
+
+    #[test]
+    fn batched_scalar_and_scratch_paths_are_bit_identical() {
+        let base = config();
+        let scalar_config = ProtocolConfig {
+            fo_exec: crate::config::FoExec::Scalar,
+            ..base
+        };
+        let items: Vec<u64> = (0..3000).map(|i| (i % 11) << 4 | (i % 13)).collect();
+        let candidates = vec![0b00u64, 0b01, 0b10, 0b11];
+        for fo in fedhh_fo::FoKind::ALL {
+            let batched = LevelEstimator::new(ProtocolConfig { fo, ..base }).unwrap();
+            let scalar = LevelEstimator::new(ProtocolConfig {
+                fo,
+                ..scalar_config
+            })
+            .unwrap();
+            let a = batched.estimate(&candidates, 2, &items, 77);
+            let b = scalar.estimate(&candidates, 2, &items, 77);
+            assert_eq!(a.frequencies, b.frequencies, "fo {fo}");
+            assert_eq!(a.counts, b.counts, "fo {fo}");
+            assert_eq!(a.report_bits, b.report_bits, "fo {fo}");
+
+            // A scratch reused across calls (levels) must not leak state.
+            let mut scratch = EstimateScratch::new();
+            let warm = batched.estimate_with(&mut scratch, &[0b0u64, 0b1], 1, &items, 5);
+            assert_eq!(warm.users, items.len());
+            let c = batched.estimate_with(&mut scratch, &candidates, 2, &items, 77);
+            assert_eq!(a.frequencies, c.frequencies, "fo {fo} (scratch reuse)");
+            assert_eq!(a.report_bits, c.report_bits, "fo {fo} (scratch reuse)");
+        }
+    }
+
+    #[test]
+    fn scratch_oracle_cache_tracks_domain_changes() {
+        let estimator = LevelEstimator::new(config()).unwrap();
+        let mut scratch = EstimateScratch::new();
+        let items: Vec<u64> = (0..200).collect();
+        // Alternating domain sizes must each get the right oracle (a stale
+        // cache would mis-size the support arena or the GRR probabilities).
+        let wide = vec![0b000u64, 0b001, 0b010, 0b011, 0b100, 0b101];
+        let narrow = vec![0b00u64, 0b01];
+        let w1 = estimator.estimate_with(&mut scratch, &wide, 3, &items, 1);
+        let n1 = estimator.estimate_with(&mut scratch, &narrow, 2, &items, 2);
+        let w2 = estimator.estimate_with(&mut scratch, &wide, 3, &items, 1);
+        assert_eq!(w1.frequencies, w2.frequencies);
+        assert_eq!(n1.candidates, narrow);
+        assert_eq!(w1.candidates, wide);
     }
 
     #[test]

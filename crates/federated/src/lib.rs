@@ -80,9 +80,9 @@ pub mod session;
 pub mod transport;
 
 pub use comm::{shared_tracker, CommTracker, SharedCommTracker};
-pub use config::ProtocolConfig;
+pub use config::{FoExec, ProtocolConfig};
 pub use error::ProtocolError;
-pub use estimator::{LevelEstimate, LevelEstimator};
+pub use estimator::{EstimateScratch, LevelEstimate, LevelEstimator};
 pub use fault::FaultPlan;
 pub use message::{
     CandidateReport, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload, PAIR_BITS,
@@ -92,7 +92,7 @@ pub use observer::{
     RunPhase, RunSummary,
 };
 pub use scheduler::GroupAssignment;
-pub use server::{aggregate_reports, federated_top_k, top_k_from_counts};
+pub use server::{aggregate_reports, aggregate_reports_into, federated_top_k, top_k_from_counts};
 pub use session::{
     Broadcast, EngineConfig, PartyDriver, PartyEvent, RoundCollection, RoundInput, RoundOutcome,
     Session,

@@ -17,12 +17,27 @@ use std::collections::HashMap;
 /// another party.
 pub fn aggregate_reports(reports: &[CandidateReport]) -> HashMap<u64, f64> {
     let mut totals: HashMap<u64, f64> = HashMap::new();
+    aggregate_reports_into(reports, &mut totals);
+    totals
+}
+
+/// Like [`aggregate_reports`], but merging into a caller-owned accumulator
+/// from any report iterator (e.g. straight off a round collection's
+/// messages, without cloning the reports first).
+///
+/// Round-driven mechanisms collect one batch of reports per engine round;
+/// merging each round's batch into one (reusable) accumulator keeps
+/// server-side aggregation at one hash-map pass per round regardless of how
+/// many workers produced the reports.
+pub fn aggregate_reports_into<'a>(
+    reports: impl IntoIterator<Item = &'a CandidateReport>,
+    totals: &mut HashMap<u64, f64>,
+) {
     for report in reports {
         for (value, count) in &report.candidates {
             *totals.entry(*value).or_insert(0.0) += count.max(0.0);
         }
     }
-    totals
 }
 
 /// Ranks aggregated counts and returns the top-`k` candidate values.
@@ -64,6 +79,20 @@ mod tests {
         assert_eq!(totals[&1], 10.0);
         assert_eq!(totals[&2], 25.0);
         assert_eq!(totals[&3], 1.0);
+    }
+
+    #[test]
+    fn incremental_aggregation_matches_one_shot() {
+        let rounds = vec![
+            vec![report("a", vec![(1, 10.0), (2, 5.0)])],
+            vec![report("b", vec![(2, 20.0), (3, 1.0)])],
+        ];
+        let mut incremental = HashMap::new();
+        for round in &rounds {
+            aggregate_reports_into(round, &mut incremental);
+        }
+        let flat: Vec<CandidateReport> = rounds.into_iter().flatten().collect();
+        assert_eq!(incremental, aggregate_reports(&flat));
     }
 
     #[test]

@@ -50,6 +50,23 @@ impl SupportCounts {
         self.reports += 1;
     }
 
+    /// Records `n` more aggregated reports in one step (batched aggregation
+    /// counts a whole chunk at once instead of once per report).
+    #[inline]
+    pub fn record_reports(&mut self, n: usize) {
+        self.reports += n;
+    }
+
+    /// Resizes to `slots` candidate slots and zeroes every count and the
+    /// report counter, keeping the existing allocation whenever it is large
+    /// enough.  This is what lets a caller-owned arena be reused across
+    /// levels with different candidate domains without reallocating.
+    pub fn reset(&mut self, slots: usize) {
+        self.counts.clear();
+        self.counts.resize(slots, 0.0);
+        self.reports = 0;
+    }
+
     /// Support of slot `idx` (0 when out of range).
     #[inline]
     pub fn support(&self, idx: usize) -> f64 {
@@ -71,6 +88,13 @@ impl SupportCounts {
     /// All supports in slot order.
     pub fn as_slice(&self) -> &[f64] {
         &self.counts
+    }
+
+    /// Mutable access to the supports in slot order, for allocation-free
+    /// batched aggregation loops.  Callers adding supports directly must
+    /// account the reports themselves via [`SupportCounts::record_reports`].
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.counts
     }
 
     /// Merges another support-count vector of the same width into this one.
@@ -219,6 +243,22 @@ mod tests {
         assert_eq!(a.as_slice(), &[2.0, 1.0, 3.0]);
         assert_eq!(a.reports(), 5);
         assert_eq!(a.support(5), 0.0);
+    }
+
+    #[test]
+    fn reset_reuses_the_arena_across_widths() {
+        let mut arena = SupportCounts::zeros(4);
+        arena.add(1, 3.0);
+        arena.record_reports(5);
+        assert_eq!(arena.reports(), 5);
+        arena.reset(2);
+        assert_eq!(arena.as_slice(), &[0.0, 0.0]);
+        assert_eq!(arena.reports(), 0);
+        arena.reset(6);
+        assert_eq!(arena.slots(), 6);
+        assert!(arena.as_slice().iter().all(|c| *c == 0.0));
+        arena.as_mut_slice()[5] = 2.0;
+        assert_eq!(arena.support(5), 2.0);
     }
 
     #[test]

@@ -80,15 +80,46 @@ impl FrequencyOracle for GrrOracle {
         }
     }
 
+    fn perturb_batch<R: Rng + ?Sized>(&self, inputs: &[usize], rng: &mut R, out: &mut Vec<Report>) {
+        // Same RNG stream as the scalar loop; the batched win is hoisting
+        // the probability threshold and domain bound out of the loop and
+        // growing the output once.
+        let p = self.p;
+        let d = self.domain_size;
+        out.reserve(inputs.len());
+        for &input in inputs {
+            debug_assert!(input < d, "input index out of domain");
+            let keep: f64 = rng.gen();
+            let value = if keep < p {
+                input as u32
+            } else {
+                let mut other = rng.gen_range(0..d - 1);
+                if other >= input {
+                    other += 1;
+                }
+                other as u32
+            };
+            out.push(Report::Item(value));
+        }
+    }
+
     fn aggregate(&self, reports: &[Report]) -> SupportCounts {
         let mut supports = SupportCounts::zeros(self.domain_size);
+        self.aggregate_into(reports, &mut supports);
+        supports
+    }
+
+    fn aggregate_into(&self, reports: &[Report], supports: &mut SupportCounts) {
+        debug_assert_eq!(supports.slots(), self.domain_size);
+        let counts = supports.as_mut_slice();
         for report in reports {
             if let Report::Item(idx) = report {
-                supports.add(*idx as usize, 1.0);
+                if let Some(c) = counts.get_mut(*idx as usize) {
+                    *c += 1.0;
+                }
             }
-            supports.record_report();
         }
-        supports
+        supports.record_reports(reports.len());
     }
 
     fn estimate(&self, supports: &SupportCounts, n: usize) -> FrequencyEstimate {

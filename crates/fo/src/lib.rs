@@ -49,6 +49,41 @@
 //! }).unwrap();
 //! assert_eq!(domain.value_at(best), Some(&0b10));
 //! ```
+//!
+//! ## Batched hot path (0.4)
+//!
+//! [`FrequencyOracle::perturb_batch`] and
+//! [`FrequencyOracle::aggregate_into`] are the batched equivalents of
+//! `perturb`/`aggregate`: bit-identical results (same RNG stream, same
+//! support sums), amortized overhead, and a caller-owned [`SupportCounts`]
+//! arena that many aggregation calls reuse without allocating.  External
+//! `FrequencyOracle` impls written against the 0.3 trait keep compiling —
+//! both methods have default scalar fallbacks.
+//!
+//! ```
+//! use fedhh_fo::{FoKind, FrequencyOracle, Oracle, PrivacyBudget, SupportCounts};
+//! use rand::SeedableRng;
+//!
+//! let oracle = Oracle::new(FoKind::Grr, PrivacyBudget::new(2.0).unwrap(), 8);
+//! let inputs = vec![3usize; 1000];
+//!
+//! // Batched: one call perturbs the whole group...
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut reports = Vec::new();
+//! oracle.perturb_batch(&inputs, &mut rng, &mut reports);
+//!
+//! // ...and aggregation accumulates into a reusable arena.
+//! let mut arena = SupportCounts::zeros(8);
+//! for chunk in reports.chunks(256) {
+//!     oracle.aggregate_into(chunk, &mut arena);
+//! }
+//!
+//! // Bit-identical to the scalar path.
+//! let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let scalar: Vec<_> = inputs.iter().map(|i| oracle.perturb(*i, &mut scalar_rng)).collect();
+//! assert_eq!(reports, scalar);
+//! assert_eq!(arena, oracle.aggregate(&reports));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -69,6 +104,7 @@ pub use domain::{CandidateDomain, DomainIndex};
 pub use error::FoError;
 pub use estimate::{FrequencyEstimate, SupportCounts};
 pub use grr::GrrOracle;
+pub use hash::UniversalHash;
 pub use olh::OlhOracle;
 pub use oracle::{FoKind, FrequencyOracle, Oracle, ParseFoKindError};
 pub use oue::OueOracle;

@@ -94,20 +94,55 @@ impl FrequencyOracle for OlhOracle {
         Report::Hashed { seed, value }
     }
 
+    fn perturb_batch<R: Rng + ?Sized>(&self, inputs: &[usize], rng: &mut R, out: &mut Vec<Report>) {
+        // Same RNG stream as the scalar loop (seed draw, keep draw, flip
+        // draw), with the bucket count and keep threshold hoisted.
+        let p = self.p;
+        let buckets = self.buckets;
+        out.reserve(inputs.len());
+        for &input in inputs {
+            debug_assert!(input < self.domain_size, "input index out of domain");
+            let seed: u64 = rng.gen();
+            let hash = UniversalHash::new(seed, buckets);
+            let true_bucket = hash.hash(input as u64);
+            let keep: f64 = rng.gen();
+            let value = if keep < p {
+                true_bucket
+            } else {
+                let mut other = rng.gen_range(0..buckets - 1);
+                if other >= true_bucket {
+                    other += 1;
+                }
+                other
+            };
+            out.push(Report::Hashed { seed, value });
+        }
+    }
+
     fn aggregate(&self, reports: &[Report]) -> SupportCounts {
         let mut supports = SupportCounts::zeros(self.domain_size);
+        self.aggregate_into(reports, &mut supports);
+        supports
+    }
+
+    fn aggregate_into(&self, reports: &[Report], supports: &mut SupportCounts) {
+        debug_assert_eq!(supports.slots(), self.domain_size);
+        // The hash state (one function per report) is constructed once per
+        // report and reused across every candidate; supports are written
+        // straight into the caller-owned accumulator slots.
+        let buckets = self.buckets;
+        let counts = supports.as_mut_slice();
         for report in reports {
             if let Report::Hashed { seed, value } = report {
-                let hash = UniversalHash::new(*seed, self.buckets);
-                for candidate in 0..self.domain_size {
+                let hash = UniversalHash::new(*seed, buckets);
+                for (candidate, slot) in counts.iter_mut().enumerate() {
                     if hash.hash(candidate as u64) == *value {
-                        supports.add(candidate, 1.0);
+                        *slot += 1.0;
                     }
                 }
             }
-            supports.record_report();
         }
-        supports
+        supports.record_reports(reports.len());
     }
 
     fn estimate(&self, supports: &SupportCounts, n: usize) -> FrequencyEstimate {

@@ -18,12 +18,47 @@ use crate::report::Report;
 use rand::Rng;
 
 /// The frequency-oracle interface shared by GRR, OUE and OLH.
+///
+/// The scalar methods ([`perturb`](Self::perturb),
+/// [`aggregate`](Self::aggregate)) define the semantics; the batched
+/// methods ([`perturb_batch`](Self::perturb_batch),
+/// [`aggregate_into`](Self::aggregate_into)) are the hot path the federated
+/// layer drives.  Their default implementations fall back to the scalar
+/// path, so external oracle implementations written against the 0.3 trait
+/// keep compiling unchanged — but every batched override **must** stay
+/// bit-identical to the scalar loop: same RNG consumption order, same
+/// report values, same support sums.  The property tests in
+/// `tests/properties.rs` enforce this for the built-in oracles.
 pub trait FrequencyOracle {
     /// Perturbs one user's domain index into a report satisfying ε-LDP.
     fn perturb<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> Report;
 
+    /// Perturbs a whole batch of domain indices, appending one report per
+    /// input to `out`.
+    ///
+    /// Equivalent to calling [`perturb`](Self::perturb) once per input in
+    /// order — implementations amortize per-call overhead (probability
+    /// threshold loads, output growth) but never change the RNG stream.
+    fn perturb_batch<R: Rng + ?Sized>(&self, inputs: &[usize], rng: &mut R, out: &mut Vec<Report>) {
+        out.reserve(inputs.len());
+        for &input in inputs {
+            out.push(self.perturb(input, rng));
+        }
+    }
+
     /// Aggregates reports into per-slot support counts.
     fn aggregate(&self, reports: &[Report]) -> SupportCounts;
+
+    /// Aggregates reports **into** a caller-owned accumulator, adding to
+    /// whatever supports it already holds.
+    ///
+    /// `supports` must have as many slots as the oracle's domain.
+    /// Equivalent to `supports.merge(&self.aggregate(reports))`; batched
+    /// implementations write into the accumulator directly so the inner
+    /// loop is allocation-free and a reused arena serves many calls.
+    fn aggregate_into(&self, reports: &[Report], supports: &mut SupportCounts) {
+        supports.merge(&self.aggregate(reports));
+    }
 
     /// De-biases support counts into unbiased frequency estimates for `n`
     /// users.
@@ -159,11 +194,28 @@ impl FrequencyOracle for Oracle {
         }
     }
 
+    fn perturb_batch<R: Rng + ?Sized>(&self, inputs: &[usize], rng: &mut R, out: &mut Vec<Report>) {
+        // One dispatch per batch instead of one per report.
+        match self {
+            Oracle::Grr(o) => o.perturb_batch(inputs, rng, out),
+            Oracle::Oue(o) => o.perturb_batch(inputs, rng, out),
+            Oracle::Olh(o) => o.perturb_batch(inputs, rng, out),
+        }
+    }
+
     fn aggregate(&self, reports: &[Report]) -> SupportCounts {
         match self {
             Oracle::Grr(o) => o.aggregate(reports),
             Oracle::Oue(o) => o.aggregate(reports),
             Oracle::Olh(o) => o.aggregate(reports),
+        }
+    }
+
+    fn aggregate_into(&self, reports: &[Report], supports: &mut SupportCounts) {
+        match self {
+            Oracle::Grr(o) => o.aggregate_into(reports, supports),
+            Oracle::Oue(o) => o.aggregate_into(reports, supports),
+            Oracle::Olh(o) => o.aggregate_into(reports, supports),
         }
     }
 
@@ -202,7 +254,8 @@ pub fn run_oracle<R: Rng + ?Sized>(
     inputs: &[usize],
     rng: &mut R,
 ) -> (FrequencyEstimate, usize) {
-    let reports: Vec<Report> = inputs.iter().map(|i| oracle.perturb(*i, rng)).collect();
+    let mut reports: Vec<Report> = Vec::new();
+    oracle.perturb_batch(inputs, rng, &mut reports);
     let bits: usize = reports.iter().map(|r| r.size_bits()).sum();
     let estimate = oracle.estimate(&oracle.aggregate(&reports), inputs.len());
     (estimate, bits)

@@ -70,19 +70,47 @@ impl FrequencyOracle for OueOracle {
         Report::Bits(bits)
     }
 
+    fn perturb_batch<R: Rng + ?Sized>(&self, inputs: &[usize], rng: &mut R, out: &mut Vec<Report>) {
+        // Same per-bit RNG stream as the scalar loop, with the thresholds
+        // held in registers across the whole batch.  The per-report bit
+        // vector is part of the report shape and cannot be elided.
+        let p = self.p;
+        let q = self.q;
+        let d = self.domain_size;
+        out.reserve(inputs.len());
+        for &input in inputs {
+            debug_assert!(input < d, "input index out of domain");
+            let mut bits = Vec::with_capacity(d);
+            for slot in 0..d {
+                let threshold = if slot == input { p } else { q };
+                bits.push(rng.gen::<f64>() < threshold);
+            }
+            out.push(Report::Bits(bits));
+        }
+    }
+
     fn aggregate(&self, reports: &[Report]) -> SupportCounts {
         let mut supports = SupportCounts::zeros(self.domain_size);
+        self.aggregate_into(reports, &mut supports);
+        supports
+    }
+
+    fn aggregate_into(&self, reports: &[Report], supports: &mut SupportCounts) {
+        debug_assert_eq!(supports.slots(), self.domain_size);
+        // Allocation-free inner loop: add each report's bits straight into
+        // the caller-owned accumulator slots.  `zip` bounds both sides, so
+        // foreign report widths cannot index out of range.
+        let counts = supports.as_mut_slice();
         for report in reports {
             if let Report::Bits(bits) = report {
-                for (slot, bit) in bits.iter().enumerate().take(self.domain_size) {
+                for (slot, bit) in counts.iter_mut().zip(bits.iter()) {
                     if *bit {
-                        supports.add(slot, 1.0);
+                        *slot += 1.0;
                     }
                 }
             }
-            supports.record_report();
         }
-        supports
+        supports.record_reports(reports.len());
     }
 
     fn estimate(&self, supports: &SupportCounts, n: usize) -> FrequencyEstimate {

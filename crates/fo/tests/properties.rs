@@ -155,6 +155,147 @@ fn domain_pruning_is_sound() {
     }
 }
 
+/// `perturb_batch` is bit-identical to the scalar `perturb` loop for every
+/// oracle kind: same seed, same inputs, same reports, same RNG stream
+/// afterwards.
+#[test]
+fn perturb_batch_is_bit_identical_to_scalar() {
+    for kind in FoKind::ALL {
+        for eps in [0.5f64, 2.0, 6.0] {
+            for domain in [2usize, 5, 16, 257] {
+                for seed in [1u64, 77, 0xDEAD_BEEF] {
+                    let budget = PrivacyBudget::new(eps).unwrap();
+                    let oracle = Oracle::new(kind, budget, domain);
+                    let inputs: Vec<usize> = (0..500).map(|i| (i * 31) % domain).collect();
+
+                    let mut scalar_rng = StdRng::seed_from_u64(seed);
+                    let scalar: Vec<Report> = inputs
+                        .iter()
+                        .map(|i| oracle.perturb(*i, &mut scalar_rng))
+                        .collect();
+
+                    let mut batch_rng = StdRng::seed_from_u64(seed);
+                    let mut batched = Vec::new();
+                    oracle.perturb_batch(&inputs, &mut batch_rng, &mut batched);
+
+                    assert_eq!(
+                        scalar, batched,
+                        "kind {kind} eps {eps} domain {domain} seed {seed}"
+                    );
+                    // The streams must stay aligned after the batch, so
+                    // interleaving batched and scalar calls is safe.
+                    assert_eq!(
+                        scalar_rng.gen::<u64>(),
+                        batch_rng.gen::<u64>(),
+                        "kind {kind}: RNG streams diverged after the batch"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `aggregate` and `aggregate_into` match an independently written scalar
+/// reference (per-report support counting straight from the paper's
+/// definitions), bit for bit, for every oracle kind.
+#[test]
+fn aggregation_matches_a_scalar_reference() {
+    use fedhh_fo::{OlhOracle, SupportCounts, UniversalHash};
+
+    // Reference support counting, implemented independently of the crate's
+    // aggregation loops.
+    fn reference(
+        kind: FoKind,
+        domain: usize,
+        reports: &[Report],
+        olh: &OlhOracle,
+    ) -> SupportCounts {
+        let mut supports = SupportCounts::zeros(domain);
+        for report in reports {
+            match (kind, report) {
+                (FoKind::Grr, Report::Item(idx)) => supports.add(*idx as usize, 1.0),
+                (FoKind::Oue, Report::Bits(bits)) => {
+                    for (slot, bit) in bits.iter().enumerate().take(domain) {
+                        if *bit {
+                            supports.add(slot, 1.0);
+                        }
+                    }
+                }
+                (FoKind::Olh, Report::Hashed { seed, value }) => {
+                    let hash = UniversalHash::new(*seed, olh.buckets());
+                    for candidate in 0..domain {
+                        if hash.hash(candidate as u64) == *value {
+                            supports.add(candidate, 1.0);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            supports.record_report();
+        }
+        supports
+    }
+
+    for kind in FoKind::ALL {
+        for seed in [3u64, 19, 4242] {
+            let domain = 23usize;
+            let budget = PrivacyBudget::new(2.0).unwrap();
+            let oracle = Oracle::new(kind, budget, domain);
+            let olh = OlhOracle::new(budget, domain).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut reports = Vec::new();
+            let inputs: Vec<usize> = (0..400).map(|i| i % domain).collect();
+            oracle.perturb_batch(&inputs, &mut rng, &mut reports);
+            // A foreign report must be counted but contribute no support.
+            reports.push(match kind {
+                FoKind::Grr => Report::Bits(vec![true; domain]),
+                _ => Report::Item(3),
+            });
+
+            let want = reference(kind, domain, &reports, &olh);
+            assert_eq!(oracle.aggregate(&reports), want, "kind {kind} seed {seed}");
+
+            let mut arena = SupportCounts::zeros(domain);
+            oracle.aggregate_into(&reports, &mut arena);
+            assert_eq!(arena, want, "kind {kind} seed {seed} (aggregate_into)");
+
+            // aggregate_into accumulates: a second pass doubles every count.
+            oracle.aggregate_into(&reports, &mut arena);
+            assert_eq!(arena.reports(), 2 * want.reports(), "kind {kind}");
+            for slot in 0..domain {
+                assert_eq!(
+                    arena.support(slot),
+                    2.0 * want.support(slot),
+                    "kind {kind} slot {slot}"
+                );
+            }
+        }
+    }
+}
+
+/// Splitting a batch into chunks aggregated into one arena gives the same
+/// supports as one scalar pass — the shard-local accumulation the engine
+/// workers rely on.
+#[test]
+fn chunked_aggregation_matches_whole_batch() {
+    for kind in FoKind::ALL {
+        let domain = 17usize;
+        let budget = PrivacyBudget::new(3.0).unwrap();
+        let oracle = Oracle::new(kind, budget, domain);
+        let mut rng = StdRng::seed_from_u64(99);
+        let inputs: Vec<usize> = (0..300).map(|i| (i * 7) % domain).collect();
+        let mut reports = Vec::new();
+        oracle.perturb_batch(&inputs, &mut rng, &mut reports);
+
+        let whole = oracle.aggregate(&reports);
+        let mut arena = fedhh_fo::SupportCounts::zeros(domain);
+        for chunk in reports.chunks(37) {
+            oracle.aggregate_into(chunk, &mut arena);
+        }
+        assert_eq!(arena, whole, "kind {kind}");
+    }
+}
+
 /// Variance is monotone: more users or a larger budget never increases the
 /// estimator variance.
 #[test]

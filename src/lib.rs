@@ -89,8 +89,8 @@ pub use fedhh_metrics as metrics;
 pub mod prelude {
     pub use crate::datasets::{DatasetConfig, DatasetKind, FederatedDataset, PartyData};
     pub use crate::federated::{
-        EngineConfig, FaultPlan, NullObserver, ProtocolConfig, ProtocolError, RecordingObserver,
-        RunObserver, RunPhase,
+        EngineConfig, FaultPlan, FoExec, NullObserver, ProtocolConfig, ProtocolError,
+        RecordingObserver, RunObserver, RunPhase,
     };
     pub use crate::fo::{FoKind, PrivacyBudget};
     pub use crate::mechanisms::{

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# net-smoke: launch a real multi-process federation over loopback and gate
+# on bit-identity with the in-memory engine.
+#
+#   ci/net-smoke.sh [path/to/fedhh-node]
+#
+# Starts `fedhh-node coordinator --check-inmemory` plus 4 `fedhh-node party`
+# processes for a quick TAPS trial on the 4-party YCM stand-in, then repeats
+# with a `fedhh-bench trial --transport tcp` leg.  The coordinator exits
+# non-zero unless the distributed MechanismOutput (top-k, estimates, uplink
+# bits) is bit-identical to the in-memory run at the same seed.
+set -euo pipefail
+
+NODE_BIN="${1:-target/release/fedhh-node}"
+BENCH_BIN="$(dirname "$NODE_BIN")/fedhh-bench"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+echo "[net-smoke] coordinator + 4 party processes: TAPS on YCM (quick, seed 42)"
+"$NODE_BIN" coordinator \
+    --mechanism taps --dataset ycm --parties 4 \
+    --quick --seed 42 --timeout-secs 120 --check-inmemory \
+    > "$WORKDIR/coordinator.out" 2> "$WORKDIR/coordinator.err" &
+COORD_PID=$!
+
+# Wait for the coordinator to advertise its port.
+ADDR=""
+for _ in $(seq 1 100); do
+    if ADDR=$(grep -m1 '^LISTEN ' "$WORKDIR/coordinator.out" 2>/dev/null | awk '{print $2}') \
+        && [ -n "$ADDR" ]; then
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "[net-smoke] coordinator never advertised a port" >&2
+    cat "$WORKDIR/coordinator.err" >&2 || true
+    kill "$COORD_PID" 2>/dev/null || true
+    exit 1
+fi
+echo "[net-smoke] coordinator listening on $ADDR"
+
+PARTY_PIDS=()
+for rank in 0 1 2 3; do
+    "$NODE_BIN" party --connect "$ADDR" --timeout-secs 120 \
+        > "$WORKDIR/party$rank.out" 2>&1 &
+    PARTY_PIDS+=($!)
+done
+
+STATUS=0
+wait "$COORD_PID" || STATUS=$?
+for pid in "${PARTY_PIDS[@]}"; do
+    wait "$pid" || STATUS=$?
+done
+cat "$WORKDIR/coordinator.out"
+if [ "$STATUS" -ne 0 ]; then
+    echo "[net-smoke] FAILED (status $STATUS)" >&2
+    cat "$WORKDIR/coordinator.err" >&2 || true
+    for rank in 0 1 2 3; do cat "$WORKDIR/party$rank.out" >&2 || true; done
+    exit "$STATUS"
+fi
+grep -q '^CHECK bit-identical' "$WORKDIR/coordinator.out" || {
+    echo "[net-smoke] coordinator did not confirm bit-identity" >&2
+    exit 1
+}
+
+echo "[net-smoke] fedhh-bench trial over the tcp transport"
+"$BENCH_BIN" trial taps ycm --quick --transport tcp
+
+echo "[net-smoke] OK"

@@ -6,7 +6,7 @@
 //!                 [--markdown] [--json PATH]
 //! fedhh-bench trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N]
 //!                   [--quick] [--reps N] [--user-scale F]
-//!                   [--parallelism N] [--dropout F]
+//!                   [--parallelism N] [--dropout F] [--transport {memory,tcp}]
 //! fedhh-bench perf [--quick] [--out PATH] [--check BASELINE] [--threshold F]
 //! ```
 //!
@@ -17,7 +17,9 @@
 //! mechanism, dataset and FO names are parsed with their `FromStr` impls, so
 //! any case works (`taps`, `TAPS`, `k-RR`, ...).  `--parallelism N` executes
 //! party work on N engine workers (bit-identical results, lower wall-clock);
-//! `--dropout F` makes a fraction F of the parties drop out for the run.
+//! `--dropout F` makes a fraction F of the parties drop out for the run;
+//! `--transport tcp` routes every upload across a real loopback TCP socket
+//! in the `fedhh-wire` frame format (still bit-identical to `memory`).
 //!
 //! `perf` runs the pinned performance-baseline suite (see the
 //! `fedhh_bench::perf` module for the workload list and the
@@ -31,7 +33,7 @@ use fedhh_bench::report::reports_to_json;
 use fedhh_bench::runner::averaged_engine_trial;
 use fedhh_bench::{ExperimentReport, ExperimentScale};
 use fedhh_datasets::DatasetKind;
-use fedhh_federated::{EngineConfig, FaultPlan};
+use fedhh_federated::{EngineConfig, FaultPlan, TransportKind};
 use fedhh_fo::FoKind;
 use fedhh_mechanisms::MechanismKind;
 use std::process::ExitCode;
@@ -53,7 +55,7 @@ fn main() -> ExitCode {
             eprintln!("usage: fedhh-bench <list|run|trial|perf> [args] [options]");
             eprintln!("  run <experiment|all> [--quick] [--reps N] [--user-scale F] [--markdown] [--json PATH]");
             eprintln!("  trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N] [--quick] [--reps N]");
-            eprintln!("        [--parallelism N] [--dropout F]");
+            eprintln!("        [--parallelism N] [--dropout F] [--transport {{memory,tcp}}]");
             eprintln!("  perf [--quick] [--out PATH] [--check BASELINE] [--threshold F]");
             ExitCode::FAILURE
         }
@@ -337,9 +339,25 @@ fn trial_command(args: &[String]) -> ExitCode {
     let mut k = 10usize;
     let mut parallelism = 1usize;
     let mut dropout = 0.0f64;
+    let mut transport = TransportKind::Auto;
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
+            "--transport" => {
+                i += 1;
+                match rest.get(i).map(String::as_str) {
+                    Some("memory") => transport = TransportKind::Memory,
+                    Some("tcp") => transport = TransportKind::Tcp,
+                    Some(other) => {
+                        eprintln!("--transport must be memory or tcp, got {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--transport requires a value (memory or tcp)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--parallelism" => {
                 i += 1;
                 match parse_value("--parallelism", rest.get(i)) {
@@ -404,12 +422,13 @@ fn trial_command(args: &[String]) -> ExitCode {
 
     // Invalid values surface as typed `ProtocolError`s from the engine
     // (`--parallelism 0`, `--dropout 1.5`) rather than being clamped.
-    let engine =
-        EngineConfig::parallel(parallelism).with_faults(FaultPlan::dropout(dropout, 0xFA_u64));
+    let engine = EngineConfig::parallel(parallelism)
+        .with_faults(FaultPlan::dropout(dropout, 0xFA_u64))
+        .transport(transport);
     eprintln!(
         "[fedhh-bench] {mechanism} on {dataset} (eps = {epsilon}, k = {k}, reps = {}, \
-         parallelism = {}, dropout = {dropout})",
-        scale.repetitions, engine.parallelism
+         parallelism = {}, dropout = {dropout}, transport = {:?})",
+        scale.repetitions, engine.parallelism, engine.transport
     );
     let metrics = match averaged_engine_trial(mechanism, dataset, &scale, &engine, |c| {
         let c = c.with_epsilon(epsilon).with_k(k);
@@ -427,6 +446,9 @@ fn trial_command(args: &[String]) -> ExitCode {
     println!("mechanism        {mechanism}");
     println!("dataset          {dataset}");
     println!("parallelism      {}", engine.parallelism);
+    if engine.transport != TransportKind::Auto {
+        println!("transport        {:?}", engine.transport);
+    }
     if dropout > 0.0 {
         println!("dropout          {dropout}");
     }

@@ -1,0 +1,424 @@
+//! The `fedhh-node` process harness: one federation, N real OS processes.
+//!
+//! ```text
+//! fedhh-node coordinator --mechanism <name> --dataset <name> --parties N
+//!            [--listen HOST:PORT] [--seed S] [--quick] [--user-scale F]
+//!            [--k N] [--epsilon F] [--fo KIND] [--parallelism N]
+//!            [--dropout F] [--stragglers] [--timeout-secs N]
+//!            [--check-inmemory]
+//! fedhh-node party --connect HOST:PORT [--timeout-secs N]
+//! ```
+//!
+//! The coordinator binds its listener first and prints a machine-readable
+//! `LISTEN <addr>` line, so scripts can spawn the party processes against
+//! the advertised port.  Parties need nothing but the address: the
+//! Hello/Welcome handshake ships the full run description (protocol
+//! configuration, fault plan, party partition, mechanism + dataset spec)
+//! in the `fedhh-wire` format, and every process rebuilds the same dataset
+//! deterministically from it.
+//!
+//! When the run finishes, the coordinator prints the result as stable
+//! machine-readable lines (`TOPK`, `COUNT`, `UPLINK`, `DOWNLINK`).  With
+//! `--check-inmemory` it then re-runs the mechanism in-process at the same
+//! seed and exits non-zero unless the distributed output is bit-identical
+//! — the net-smoke gate in CI is exactly this flag.
+
+use fedhh_bench::{partition_parties, ExperimentScale, NodeRunSpec};
+use fedhh_datasets::DatasetKind;
+use fedhh_federated::{
+    connect_party_with_timeout, EngineConfig, FaultPlan, NodeServer, NodeWelcome, SessionLink,
+};
+use fedhh_fo::FoKind;
+use fedhh_mechanisms::{MechanismKind, MechanismOutput, Run};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("coordinator") => coordinator_command(&args[1..]),
+        Some("party") => party_command(&args[1..]),
+        _ => {
+            eprintln!("usage: fedhh-node <coordinator|party> [options]");
+            eprintln!(
+                "  coordinator --mechanism <name> --dataset <name> --parties N \
+                 [--listen HOST:PORT]"
+            );
+            eprintln!(
+                "              [--seed S] [--quick] [--user-scale F] [--k N] [--epsilon F] \
+                 [--fo KIND]"
+            );
+            eprintln!(
+                "              [--parallelism N] [--dropout F] [--stragglers] \
+                 [--timeout-secs N] [--check-inmemory]"
+            );
+            eprintln!("  party --connect HOST:PORT [--timeout-secs N]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(option: &str, value: Option<&String>) -> Result<T, String> {
+    let Some(raw) = value else {
+        return Err(format!("{option} requires a value"));
+    };
+    raw.parse()
+        .map_err(|_| format!("{option} got an invalid value {raw:?}"))
+}
+
+struct CoordinatorOptions {
+    mechanism: MechanismKind,
+    dataset: DatasetKind,
+    parties: usize,
+    listen: String,
+    seed: u64,
+    quick: bool,
+    user_scale: Option<f64>,
+    k: usize,
+    epsilon: f64,
+    fo: Option<FoKind>,
+    parallelism: usize,
+    dropout: f64,
+    stragglers: bool,
+    timeout: Option<Duration>,
+    check_inmemory: bool,
+}
+
+fn parse_coordinator_options(args: &[String]) -> Result<CoordinatorOptions, String> {
+    let mut mechanism: Option<MechanismKind> = None;
+    let mut dataset: Option<DatasetKind> = None;
+    let mut options = CoordinatorOptions {
+        mechanism: MechanismKind::Taps,
+        dataset: DatasetKind::Ycm,
+        parties: 1,
+        listen: "127.0.0.1:0".to_string(),
+        seed: 42,
+        quick: false,
+        user_scale: None,
+        k: 10,
+        epsilon: 4.0,
+        fo: None,
+        parallelism: 1,
+        dropout: 0.0,
+        stragglers: false,
+        timeout: Some(Duration::from_secs(120)),
+        check_inmemory: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mechanism" => {
+                i += 1;
+                mechanism = Some(parse_value("--mechanism", args.get(i))?);
+            }
+            "--dataset" => {
+                i += 1;
+                dataset = Some(parse_value("--dataset", args.get(i))?);
+            }
+            "--parties" => {
+                i += 1;
+                options.parties = parse_value("--parties", args.get(i))?;
+            }
+            "--listen" => {
+                i += 1;
+                options.listen = parse_value("--listen", args.get(i))?;
+            }
+            "--seed" => {
+                i += 1;
+                options.seed = parse_value("--seed", args.get(i))?;
+            }
+            "--quick" => options.quick = true,
+            "--user-scale" => {
+                i += 1;
+                options.user_scale = Some(parse_value("--user-scale", args.get(i))?);
+            }
+            "--k" => {
+                i += 1;
+                options.k = parse_value("--k", args.get(i))?;
+            }
+            "--epsilon" => {
+                i += 1;
+                options.epsilon = parse_value("--epsilon", args.get(i))?;
+            }
+            "--fo" => {
+                i += 1;
+                options.fo = Some(parse_value("--fo", args.get(i))?);
+            }
+            "--parallelism" => {
+                i += 1;
+                options.parallelism = parse_value("--parallelism", args.get(i))?;
+            }
+            "--dropout" => {
+                i += 1;
+                options.dropout = parse_value("--dropout", args.get(i))?;
+            }
+            "--stragglers" => options.stragglers = true,
+            "--timeout-secs" => {
+                i += 1;
+                let secs: u64 = parse_value("--timeout-secs", args.get(i))?;
+                options.timeout = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--check-inmemory" => options.check_inmemory = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    options.mechanism = mechanism.ok_or("--mechanism is required")?;
+    options.dataset = dataset.ok_or("--dataset is required")?;
+    if options.parties == 0 {
+        return Err("--parties must be at least 1".to_string());
+    }
+    Ok(options)
+}
+
+/// The scale/config derivation shared with `fedhh-bench trial`: the run
+/// seed drives both the dataset generation and the protocol randomness.
+fn scale_of(options: &CoordinatorOptions) -> ExperimentScale {
+    let mut scale = if options.quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::default()
+    };
+    if let Some(user_scale) = options.user_scale {
+        scale.user_scale = user_scale;
+    }
+    scale
+}
+
+fn print_result(output: &MechanismOutput) {
+    let topk: Vec<String> = output.heavy_hitters.iter().map(u64::to_string).collect();
+    println!("TOPK {}", topk.join(" "));
+    let mut counts: Vec<(u64, u64)> = output
+        .counts
+        .iter()
+        .map(|(value, count)| (*value, count.to_bits()))
+        .collect();
+    counts.sort_unstable();
+    for (value, bits) in counts {
+        println!("COUNT {value} {bits}");
+    }
+    println!("UPLINK {}", output.comm.total_uplink_bits());
+    println!("DOWNLINK {}", output.comm.total_downlink_bits());
+}
+
+/// The bit-exact comparison used by `--check-inmemory`: top-k (order
+/// included), counts (to the f64 bit) and uplink traffic.
+fn outputs_match(a: &MechanismOutput, b: &MechanismOutput) -> bool {
+    let counts = |output: &MechanismOutput| {
+        let mut counts: Vec<(u64, u64)> = output
+            .counts
+            .iter()
+            .map(|(value, count)| (*value, count.to_bits()))
+            .collect();
+        counts.sort_unstable();
+        counts
+    };
+    a.heavy_hitters == b.heavy_hitters
+        && counts(a) == counts(b)
+        && a.comm.total_uplink_bits() == b.comm.total_uplink_bits()
+        && a.comm.total_downlink_bits() == b.comm.total_downlink_bits()
+}
+
+fn coordinator_command(args: &[String]) -> ExitCode {
+    let options = match parse_coordinator_options(args) {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = scale_of(&options);
+    let spec = NodeRunSpec {
+        mechanism: options.mechanism,
+        dataset: options.dataset,
+        dataset_config: scale.dataset_config(options.seed),
+    };
+    let dataset = spec.build_dataset();
+    let mut config = scale
+        .protocol_config(options.seed ^ 0xBEEF)
+        .with_epsilon(options.epsilon)
+        .with_k(options.k);
+    if let Some(fo) = options.fo {
+        config = config.with_fo(fo);
+    }
+    let faults = FaultPlan {
+        dropout_fraction: options.dropout,
+        stragglers: options.stragglers,
+        seed: 0xFA,
+    };
+    let engine = EngineConfig::parallel(options.parallelism).with_faults(faults);
+    let welcome = NodeWelcome {
+        config,
+        faults,
+        parallelism: options.parallelism,
+        assignments: partition_parties(dataset.party_count(), options.parties),
+        app: spec.to_app_bytes(),
+    };
+
+    let server = match NodeServer::bind(options.listen.as_str()) {
+        Ok(server) => server.with_timeout(options.timeout),
+        Err(err) => {
+            eprintln!("[fedhh-node] failed to bind {}: {err}", options.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // The machine-readable line scripts wait for before spawning
+            // the party processes.
+            println!("LISTEN {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(err) => {
+            eprintln!("[fedhh-node] failed to read bound address: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "[fedhh-node] coordinator: {} on {} ({} parties over {} processes, seed {})",
+        options.mechanism,
+        options.dataset,
+        dataset.party_count(),
+        options.parties,
+        options.seed
+    );
+    let link = match server.accept_parties(&welcome) {
+        Ok(link) => link,
+        Err(err) => {
+            eprintln!("[fedhh-node] handshake failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let output = match Run::mechanism(options.mechanism)
+        .dataset(&dataset)
+        .config(config)
+        .engine(engine)
+        .link(SessionLink::Coordinator(link))
+        .execute()
+    {
+        Ok(output) => output,
+        Err(err) => {
+            eprintln!("[fedhh-node] distributed run failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_result(&output);
+
+    if options.check_inmemory {
+        let reference = match Run::mechanism(options.mechanism)
+            .dataset(&dataset)
+            .config(config)
+            .engine(engine)
+            .execute()
+        {
+            Ok(reference) => reference,
+            Err(err) => {
+                eprintln!("[fedhh-node] in-memory reference run failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if outputs_match(&output, &reference) {
+            println!("CHECK bit-identical to the in-memory engine");
+        } else {
+            eprintln!("[fedhh-node] MISMATCH vs the in-memory engine:");
+            eprintln!(
+                "  distributed: topk {:?}, uplink {}",
+                output.heavy_hitters,
+                output.comm.total_uplink_bits()
+            );
+            eprintln!(
+                "  in-memory:   topk {:?}, uplink {}",
+                reference.heavy_hitters,
+                reference.comm.total_uplink_bits()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn party_command(args: &[String]) -> ExitCode {
+    let mut connect: Option<String> = None;
+    let mut timeout = Some(Duration::from_secs(120));
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => {
+                i += 1;
+                match parse_value("--connect", args.get(i)) {
+                    Ok(addr) => connect = Some(addr),
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--timeout-secs" => {
+                i += 1;
+                match parse_value::<u64>("--timeout-secs", args.get(i)) {
+                    Ok(secs) => timeout = (secs > 0).then(|| Duration::from_secs(secs)),
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(addr) = connect else {
+        eprintln!("usage: fedhh-node party --connect HOST:PORT [--timeout-secs N]");
+        return ExitCode::FAILURE;
+    };
+
+    let (link, welcome) = match connect_party_with_timeout(addr.as_str(), timeout) {
+        Ok(pair) => pair,
+        Err(err) => {
+            eprintln!("[fedhh-node] failed to join {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match NodeRunSpec::from_app_bytes(&welcome.app) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("[fedhh-node] bad run spec in welcome: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rank = link.rank;
+    eprintln!(
+        "[fedhh-node] party rank {rank}: {} on {} (local parties {:?})",
+        spec.mechanism,
+        spec.dataset,
+        welcome.assignments.get(rank)
+    );
+    let dataset = spec.build_dataset();
+    let engine = EngineConfig::parallel(welcome.parallelism.max(1)).with_faults(welcome.faults);
+    match Run::mechanism(spec.mechanism)
+        .dataset(&dataset)
+        .config(welcome.config)
+        .engine(engine)
+        .link(SessionLink::Party(link))
+        .execute()
+    {
+        Ok(output) => {
+            // Every process computes the same result; print it so a party's
+            // log is independently checkable against the coordinator's.
+            eprintln!(
+                "[fedhh-node] party rank {rank} done: topk {:?}",
+                output.heavy_hitters
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("[fedhh-node] party rank {rank} failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -34,11 +34,13 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod nodespec;
 pub mod perf;
 pub mod report;
 pub mod runner;
 
 pub use experiments::BenchError;
+pub use nodespec::{partition_parties, NodeRunSpec};
 pub use perf::{check_report, run_suite, PerfEntry, PerfReport, PerfViolation};
 pub use report::ExperimentReport;
 pub use runner::{ExperimentScale, TrialMetrics};

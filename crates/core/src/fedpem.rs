@@ -11,14 +11,14 @@
 //! [`PartyDriver`] and uploads its top-k [`CandidateReport`]; the server
 //! aggregates the collected reports.
 
-use crate::aggregate::PartyLocalResult;
 use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::pem::run_pem;
 use crate::run::RunContext;
+use crate::tap::locals_from_reports;
 use fedhh_federated::{
-    aggregate_reports_into, top_k_from_counts, Broadcast, LevelEstimated, PartyDriver,
-    ProtocolConfig, ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session,
+    aggregate_reports_into, top_k_from_counts, Broadcast, CandidateReport, LevelEstimated,
+    PartyDriver, ProtocolConfig, ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -63,8 +63,6 @@ struct FedPemDriver<'a> {
     config: ProtocolConfig,
     extension: ExtensionStrategy,
     seed: u64,
-    /// The local result, retained for the run's `local_results` output.
-    local: Option<PartyLocalResult>,
 }
 
 impl PartyDriver for FedPemDriver<'_> {
@@ -96,7 +94,6 @@ impl PartyDriver for FedPemDriver<'_> {
             });
         }
         round.upload(RoundPayload::Report(report));
-        self.local = Some(outcome.local);
         Ok(round)
     }
 }
@@ -112,7 +109,7 @@ impl Mechanism for FedPem {
         let dataset = ctx.dataset();
         let extension = self.effective_extension(config.k);
 
-        let mut session = Session::new(ctx.engine(), dataset.party_count())?;
+        let mut session = ctx.session(dataset.party_count())?;
         let mut drivers: Vec<FedPemDriver<'_>> = dataset
             .parties()
             .iter()
@@ -123,7 +120,6 @@ impl Mechanism for FedPem {
                 config,
                 extension,
                 seed: ctx.party_seed(idx),
-                local: None,
             })
             .collect();
 
@@ -138,8 +134,16 @@ impl Mechanism for FedPem {
 
         ctx.phase(RunPhase::Aggregation);
         // One server-side pass over the round's collected reports — no
-        // cloning, no second aggregation for the ranking.
-        let locals: Vec<PartyLocalResult> = drivers.into_iter().filter_map(|d| d.local).collect();
+        // cloning, no second aggregation for the ranking.  The parties'
+        // local results are rebuilt from the reports they uploaded
+        // (`to_report` is lossless), so a distributed coordinator — whose
+        // process never ran the drivers — reconstructs them identically.
+        let reports: Vec<(usize, CandidateReport)> = collection
+            .messages
+            .iter()
+            .filter_map(|m| m.as_report().map(|r| (m.from, r.clone())))
+            .collect();
+        let locals = locals_from_reports(&reports);
         let mut totals: HashMap<u64, f64> = HashMap::new();
         aggregate_reports_into(
             collection.messages.iter().filter_map(|m| m.as_report()),

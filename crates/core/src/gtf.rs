@@ -27,8 +27,7 @@ use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::run::RunContext;
 use fedhh_federated::{
     Broadcast, EstimateScratch, GroupAssignment, LevelEstimated, LevelEstimator, PartyDriver,
-    ProtocolConfig, ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session,
-    PAIR_BITS,
+    ProtocolConfig, ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, PAIR_BITS,
 };
 use fedhh_trie::extend_prefix_values;
 use std::collections::HashMap;
@@ -116,7 +115,7 @@ impl Mechanism for Gtf {
         let estimator = LevelEstimator::new(config)?;
         let schedule = config.schedule();
 
-        let mut session = Session::new(ctx.engine(), dataset.party_count())?;
+        let mut session = ctx.session(dataset.party_count())?;
         // Per-party group assignments: every user still reports only once.
         let mut drivers: Vec<GtfDriver<'_>> = dataset
             .parties()

@@ -30,7 +30,7 @@ use crate::mechanism::{Mechanism, MechanismKind, MechanismOutput};
 use fedhh_datasets::FederatedDataset;
 use fedhh_federated::{
     CommTracker, EngineConfig, LevelEstimated, PartyEvent, ProtocolConfig, ProtocolError,
-    PruningDecision, RoundCollection, RunObserver, RunPhase, RunSummary,
+    PruningDecision, RoundCollection, RunObserver, RunPhase, RunSummary, Session, SessionLink,
 };
 
 /// Everything a mechanism needs while executing one run: the dataset, the
@@ -47,6 +47,7 @@ pub struct RunContext<'a> {
     engine: EngineConfig,
     comm: CommTracker,
     observer: &'a mut dyn RunObserver,
+    link: Option<SessionLink>,
 }
 
 impl<'a> RunContext<'a> {
@@ -66,6 +67,7 @@ impl<'a> RunContext<'a> {
             engine: EngineConfig::from_env(),
             comm: CommTracker::new(),
             observer,
+            link: None,
         }
     }
 
@@ -75,9 +77,27 @@ impl<'a> RunContext<'a> {
         self
     }
 
+    /// Returns the context with a [`SessionLink`] attached, making the run
+    /// one process of a distributed federation (see
+    /// [`fedhh_federated::node`]).  The link is consumed by the first
+    /// [`RunContext::session`] call.
+    pub fn with_link(mut self, link: Option<SessionLink>) -> Self {
+        self.link = link;
+        self
+    }
+
     /// The engine configuration (parallelism and fault plan) of this run.
     pub fn engine(&self) -> &EngineConfig {
         &self.engine
+    }
+
+    /// Creates the run's [`Session`] over `party_count` parties, attaching
+    /// the context's [`SessionLink`] (if any) so distributed runs execute
+    /// only their local parties.  Mechanisms must obtain their session here
+    /// rather than calling [`Session::new`] directly — that is what routes
+    /// a `fedhh-node` run's rounds through the coordinator exchange.
+    pub fn session(&mut self, party_count: usize) -> Result<Session, ProtocolError> {
+        Session::with_link(&self.engine, party_count, self.link.take())
     }
 
     /// The dataset under analysis (borrowed for the run's full lifetime).
@@ -220,6 +240,7 @@ pub struct Run<'a> {
     config: ProtocolConfig,
     engine: Option<EngineConfig>,
     observer: Option<&'a mut dyn RunObserver>,
+    link: Option<SessionLink>,
 }
 
 impl<'a> Run<'a> {
@@ -241,6 +262,7 @@ impl<'a> Run<'a> {
             config: ProtocolConfig::default(),
             engine: None,
             observer: None,
+            link: None,
         }
     }
 
@@ -275,6 +297,16 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// Attaches a [`SessionLink`], making this run one process of a
+    /// distributed federation: the coordinator or a party process of a
+    /// `fedhh-node` run.  Every process executes the same mechanism over
+    /// the same (deterministically rebuilt) dataset; the link partitions
+    /// the per-round party work and keeps the processes in lockstep.
+    pub fn link(mut self, link: SessionLink) -> Self {
+        self.link = Some(link);
+        self
+    }
+
     /// Validates the request and executes the mechanism.
     ///
     /// Every failure mode — missing dataset, invalid configuration, or a
@@ -303,7 +335,9 @@ impl<'a> Run<'a> {
             None => &mut null,
         };
         let mechanism = self.mechanism.as_dyn();
-        let mut ctx = RunContext::new(dataset, self.config, observer).with_engine(engine);
+        let mut ctx = RunContext::new(dataset, self.config, observer)
+            .with_engine(engine)
+            .with_link(self.link);
         let output = mechanism.execute(&mut ctx)?;
         ctx.finish(mechanism.name(), &output);
         Ok(output)

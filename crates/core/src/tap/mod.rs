@@ -24,7 +24,7 @@ use crate::run::RunContext;
 use fedhh_federated::{
     aggregate_reports_into, top_k_from_counts, Broadcast, CandidateReport, EstimateScratch,
     GroupAssignment, LevelEstimate, LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig,
-    ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session,
+    ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase,
 };
 use fedhh_trie::extend_prefix_values;
 use std::collections::HashMap;
@@ -272,7 +272,7 @@ impl Mechanism for Tap {
         // Constructing the estimator validates the configuration, so no
         // invalid parameter survives past this line.
         let estimator = LevelEstimator::new(config)?;
-        let mut session = Session::new(ctx.engine(), ctx.dataset().party_count())?;
+        let mut session = ctx.session(ctx.dataset().party_count())?;
         let mut parties = PartyRun::initialise(ctx)?;
         let gs = config.shared_levels();
 

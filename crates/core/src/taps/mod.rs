@@ -20,15 +20,14 @@
 
 pub mod pruning;
 
-use crate::aggregate::PartyLocalResult;
 use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
 use crate::run::RunContext;
-use crate::tap::{stc, PartyRun};
+use crate::tap::{locals_from_reports, stc, PartyRun};
 use fedhh_federated::{
-    aggregate_reports_into, top_k_from_counts, Broadcast, EstimateScratch, LevelEstimated,
-    LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, PruneCandidates, PruneDictionary,
-    PruningDecision, RoundInput, RoundOutcome, RoundPayload, RunPhase, Session, PAIR_BITS,
+    aggregate_reports_into, top_k_from_counts, Broadcast, CandidateReport, EstimateScratch,
+    LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, PruneCandidates,
+    PruneDictionary, PruningDecision, RoundInput, RoundOutcome, RoundPayload, RunPhase, PAIR_BITS,
 };
 use pruning::{consensus_pruning_set, population_confidence, select_prune_candidates};
 use std::collections::HashMap;
@@ -230,6 +229,40 @@ impl PartyDriver for TapsChainDriver<'_> {
     }
 }
 
+/// The closing round of TAPS: every surviving party uploads its final
+/// top-k report (step ⑪) through the session, attributed to the deepest
+/// level — exactly the accounting the server-side shortcut used to apply,
+/// but flowing through the transport so distributed runs see it too.
+struct FinalReportDriver<'a> {
+    party: &'a PartyRun,
+    k: usize,
+    granularity: u8,
+}
+
+impl PartyDriver for FinalReportDriver<'_> {
+    fn party(&self) -> &str {
+        &self.party.name
+    }
+
+    fn run_round(&mut self, _input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
+        let mut round = RoundOutcome::default();
+        let report = self
+            .party
+            .final_local_result(self.k)
+            .to_report(self.granularity);
+        round.level(LevelEstimated {
+            party: self.party.name.clone(),
+            level: self.granularity,
+            candidates: report.candidates.len(),
+            users: 0,
+            report_bits: 0,
+            uplink_bits: report.size_bits(),
+        });
+        round.upload(RoundPayload::Report(report));
+        Ok(round)
+    }
+}
+
 impl Mechanism for Taps {
     fn name(&self) -> &'static str {
         "TAPS"
@@ -246,7 +279,7 @@ impl Mechanism for Taps {
         let g = config.granularity;
         let total_users = dataset.total_users();
 
-        let mut session = Session::new(ctx.engine(), dataset.party_count())?;
+        let mut session = ctx.session(dataset.party_count())?;
         let mut parties = PartyRun::initialise(ctx)?;
 
         // Phase I: shared shallow trie construction (identical to TAP).
@@ -316,22 +349,35 @@ impl Mechanism for Taps {
             previous = Some((dictionary, parties[party_idx].users_total));
         }
 
-        // Final aggregation (step ⑪) — identical to TAP.
+        // Final aggregation (step ⑪) — identical to TAP, but the final
+        // top-k reports travel as a real engine round so a distributed
+        // coordinator (whose process never ran the chain drivers) receives
+        // them through the exchange like any other upload.
         ctx.phase(RunPhase::Aggregation);
-        let locals: Vec<PartyLocalResult> = active
+        let input = RoundInput {
+            round: session.rounds_completed(),
+            broadcast: Broadcast::Start,
+        };
+        let mut final_drivers: Vec<FinalReportDriver<'_>> = parties
             .iter()
-            .map(|&idx| parties[idx].final_local_result(config.k))
-            .collect();
-        let reports: Vec<_> = locals
-            .iter()
-            .map(|l| {
-                let report = l.to_report(config.granularity);
-                ctx.record_upload(&l.party, g, report.candidates.len(), report.size_bits());
-                report
+            .map(|party| FinalReportDriver {
+                party,
+                k: config.k,
+                granularity: g,
             })
             .collect();
+        let collection = session.run_round(&mut final_drivers, &active, &input)?;
+        drop(final_drivers);
+        ctx.replay(&collection);
+
+        let reports: Vec<(usize, CandidateReport)> = collection
+            .messages
+            .iter()
+            .filter_map(|m| m.as_report().map(|r| (m.from, r.clone())))
+            .collect();
+        let locals = locals_from_reports(&reports);
         let mut totals: HashMap<u64, f64> = HashMap::new();
-        aggregate_reports_into(&reports, &mut totals);
+        aggregate_reports_into(reports.iter().map(|(_, r)| r), &mut totals);
         let heavy_hitters = top_k_from_counts(&totals, config.k);
 
         // Account the Phase I broadcast of protocol parameters (step ①) —

@@ -98,7 +98,7 @@ impl std::str::FromStr for DatasetKind {
 }
 
 /// Configuration for dataset generation shared by all groups.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DatasetConfig {
     /// Multiplier applied to the paper's user populations.
     pub user_scale: f64,

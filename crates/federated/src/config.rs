@@ -24,7 +24,7 @@ pub enum FoExec {
 /// Defaults follow Section 7.1 of the paper: k-RR as the FO, maximum binary
 /// length m = 48, granularity g = 24 (step size 2), shared-trie ratio 0.25,
 /// dividing ratio β = 0.1, and 10% of users assigned to Phase I.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolConfig {
     /// The query: how many federated heavy hitters to identify.
     pub k: usize,

@@ -6,6 +6,7 @@
 //! and map each variant to a stable error code.
 
 use fedhh_fo::FoError;
+use fedhh_wire::WireError;
 use std::fmt;
 
 /// A structured error raised while validating or executing a federated
@@ -84,6 +85,9 @@ pub enum ProtocolError {
     },
     /// A frequency-oracle operation failed.
     Oracle(FoError),
+    /// The transport or wire layer failed: a socket error, a malformed or
+    /// incompatible frame, or a remote peer aborting the exchange.
+    Transport(WireError),
 }
 
 impl fmt::Display for ProtocolError {
@@ -151,6 +155,7 @@ impl fmt::Display for ProtocolError {
                 )
             }
             ProtocolError::Oracle(err) => write!(f, "frequency oracle error: {err}"),
+            ProtocolError::Transport(err) => write!(f, "transport error: {err}"),
         }
     }
 }
@@ -159,6 +164,7 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProtocolError::Oracle(err) => Some(err),
+            ProtocolError::Transport(err) => Some(err),
             _ => None,
         }
     }
@@ -167,6 +173,12 @@ impl std::error::Error for ProtocolError {
 impl From<FoError> for ProtocolError {
     fn from(err: FoError) -> Self {
         ProtocolError::Oracle(err)
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(err: WireError) -> Self {
+        ProtocolError::Transport(err)
     }
 }
 
@@ -223,6 +235,15 @@ mod tests {
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err} missing {needle}");
         }
+    }
+
+    #[test]
+    fn wraps_wire_errors_with_a_source() {
+        use std::error::Error as _;
+        let err = ProtocolError::from(WireError::VarintOverflow);
+        assert!(matches!(err, ProtocolError::Transport(_)));
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("transport"));
     }
 
     #[test]

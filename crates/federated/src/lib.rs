@@ -27,6 +27,12 @@
 //!   is wrapped in drivers, executed in parallel worker threads, and
 //!   collected through a transport in a canonical order, with a
 //!   [`FaultPlan`] injecting dropouts and straggler reordering.
+//! * [`wire`] / [`SocketTransport`] / [`node`] — the networking subsystem:
+//!   `fedhh-wire` encodings for every protocol type, a [`Transport`] over
+//!   real loopback TCP sockets ([`TransportKind::Tcp`]), and the node
+//!   control plane ([`NodeServer`] / [`connect_party`] / [`SessionLink`])
+//!   that runs one federation across real OS processes, bit-identical to
+//!   the in-memory engine at the same seed.
 //!
 //! ## The round protocol
 //!
@@ -73,11 +79,14 @@ pub mod error;
 pub mod estimator;
 pub mod fault;
 pub mod message;
+pub mod node;
 pub mod observer;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod socket;
 pub mod transport;
+pub mod wire;
 
 pub use comm::{shared_tracker, CommTracker, SharedCommTracker};
 pub use config::{FoExec, ProtocolConfig};
@@ -87,6 +96,10 @@ pub use fault::FaultPlan;
 pub use message::{
     CandidateReport, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload, PAIR_BITS,
 };
+pub use node::{
+    connect_party, connect_party_with_timeout, CoordinatorLink, NodeServer, NodeWelcome, PartyLink,
+    SessionLink,
+};
 pub use observer::{
     LevelEstimated, NullObserver, PruningDecision, RecordingObserver, RunEvent, RunObserver,
     RunPhase, RunSummary,
@@ -95,6 +108,11 @@ pub use scheduler::GroupAssignment;
 pub use server::{aggregate_reports, aggregate_reports_into, federated_top_k, top_k_from_counts};
 pub use session::{
     Broadcast, EngineConfig, PartyDriver, PartyEvent, RoundCollection, RoundInput, RoundOutcome,
-    Session,
+    Session, TransportKind,
 };
+pub use socket::SocketTransport;
 pub use transport::{InMemoryTransport, ShardedTransport, Transport};
+
+// The wire error is part of this crate's error surface
+// (`ProtocolError::Transport`), so re-export it for matchers.
+pub use fedhh_wire::WireError;

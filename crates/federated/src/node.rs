@@ -1,0 +1,751 @@
+//! Multi-process federation: the node control plane.
+//!
+//! A distributed run is SPMD: the coordinator and every party process all
+//! execute the *same* mechanism code over the *same* deterministically
+//! rebuilt dataset, and only the per-round party work is partitioned.  Each
+//! engine round, a process runs the drivers of the parties it owns, ships
+//! their uploads and events to the coordinator in one `RoundDone` frame,
+//! and blocks until the coordinator broadcasts the assembled
+//! [`RoundCollection`] back.  Because every process then aggregates the
+//! identical collection, all server-side state (broadcast candidates,
+//! pruning hand-overs, final rankings) evolves identically everywhere —
+//! which is what makes a 4-process run bit-identical to the in-memory
+//! engine at the same seed.
+//!
+//! The wire protocol is tiny and lockstep:
+//!
+//! ```text
+//! party → coordinator   Hello                       (once, on connect)
+//! coordinator → party   Welcome { rank, welcome }   (config + partition)
+//! party → coordinator   RoundDone { round, ... }    (each engine round)
+//! coordinator → party   Collection { ... } | Abort  (each engine round)
+//! ```
+//!
+//! All frames travel in the `fedhh-wire` format (schema byte + CRC), so an
+//! incompatible or corrupt peer fails with a typed [`WireError`] folded
+//! into [`crate::ProtocolError::Transport`].
+
+use crate::fault::FaultPlan;
+use crate::message::RoundMessage;
+use crate::session::{PartyEvent, RoundCollection};
+use crate::transport::canonical_sort;
+use crate::ProtocolConfig;
+use fedhh_wire::{read_frame, write_frame, Decode, Encode, Reader, WireError};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything a party process needs to reconstruct the run: the protocol
+/// configuration, the fault plan, the engine parallelism, the partition of
+/// party indices over processes, and an application-defined payload (the
+/// `fedhh-node` binary ships its mechanism + dataset spec in it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeWelcome {
+    /// The protocol configuration of the run (includes the seed).
+    pub config: ProtocolConfig,
+    /// The fault plan every process must resolve identically.
+    pub faults: FaultPlan,
+    /// Engine worker count each process uses for its local parties.
+    pub parallelism: usize,
+    /// Half-open party-index ranges `[start, end)`, one per rank, covering
+    /// every party exactly once.
+    pub assignments: Vec<(usize, usize)>,
+    /// Opaque application payload (mechanism name, dataset spec, ...).
+    pub app: Vec<u8>,
+}
+
+impl Encode for NodeWelcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.config.encode(out);
+        self.faults.encode(out);
+        self.parallelism.encode(out);
+        self.assignments.encode(out);
+        self.app.len().encode(out);
+        out.extend_from_slice(&self.app);
+    }
+}
+
+impl Decode for NodeWelcome {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeWelcome {
+            config: ProtocolConfig::decode(reader)?,
+            faults: FaultPlan::decode(reader)?,
+            parallelism: usize::decode(reader)?,
+            assignments: Vec::decode(reader)?,
+            app: {
+                let len = usize::decode(reader)?;
+                reader.take_bytes(len)?.to_vec()
+            },
+        })
+    }
+}
+
+/// One frame on a node control connection.
+#[derive(Debug, Clone, PartialEq)]
+enum NodeFrame {
+    /// Party → coordinator greeting.
+    Hello,
+    /// Coordinator → party: your rank plus the run description.
+    Welcome { rank: usize, welcome: NodeWelcome },
+    /// Party → coordinator: this process's share of one engine round.
+    RoundDone {
+        round: u32,
+        messages: Vec<RoundMessage>,
+        events: Vec<(usize, Vec<PartyEvent>)>,
+        /// `(party index, error text)` when a local driver failed.
+        failure: Option<(usize, String)>,
+    },
+    /// Coordinator → party: the assembled round.
+    Collection(RoundCollection),
+    /// Coordinator → party: the run is over because some party failed.
+    Abort { detail: String },
+}
+
+impl Encode for NodeFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NodeFrame::Hello => out.push(0),
+            NodeFrame::Welcome { rank, welcome } => {
+                out.push(1);
+                rank.encode(out);
+                welcome.encode(out);
+            }
+            NodeFrame::RoundDone {
+                round,
+                messages,
+                events,
+                failure,
+            } => {
+                out.push(2);
+                round.encode(out);
+                messages.encode(out);
+                events.encode(out);
+                failure.encode(out);
+            }
+            NodeFrame::Collection(collection) => {
+                out.push(3);
+                collection.encode(out);
+            }
+            NodeFrame::Abort { detail } => {
+                out.push(4);
+                detail.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for NodeFrame {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match reader.take_u8()? {
+            0 => Ok(NodeFrame::Hello),
+            1 => Ok(NodeFrame::Welcome {
+                rank: usize::decode(reader)?,
+                welcome: NodeWelcome::decode(reader)?,
+            }),
+            2 => Ok(NodeFrame::RoundDone {
+                round: u32::decode(reader)?,
+                messages: Vec::decode(reader)?,
+                events: Vec::decode(reader)?,
+                failure: Option::decode(reader)?,
+            }),
+            3 => Ok(NodeFrame::Collection(RoundCollection::decode(reader)?)),
+            4 => Ok(NodeFrame::Abort {
+                detail: String::decode(reader)?,
+            }),
+            other => Err(WireError::InvalidValue {
+                what: "node frame tag",
+                value: other as u64,
+            }),
+        }
+    }
+}
+
+/// A framed, buffered TCP connection to one peer.
+struct FrameStream {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl FrameStream {
+    fn new(stream: TcpStream, timeout: Option<Duration>) -> Result<Self, WireError> {
+        stream.set_read_timeout(timeout)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, frame: &NodeFrame) -> Result<(), WireError> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    /// Sends an already-encoded [`NodeFrame`] payload (used to fan one
+    /// encoded broadcast out to many peers without re-encoding).
+    fn send_bytes(&mut self, payload: &[u8]) -> Result<(), WireError> {
+        fedhh_wire::write_frame_bytes(&mut self.writer, payload)
+    }
+
+    fn recv(&mut self) -> Result<NodeFrame, WireError> {
+        read_frame(&mut self.reader)
+    }
+}
+
+impl std::fmt::Debug for FrameStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameStream").finish_non_exhaustive()
+    }
+}
+
+/// The default per-read timeout of a node connection: generous enough for a
+/// slow CI round, small enough that a dead peer fails the run instead of
+/// hanging it forever.
+pub const DEFAULT_NODE_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The coordinator's listening socket, bound before parties are spawned so
+/// the bound port can be advertised.
+#[derive(Debug)]
+pub struct NodeServer {
+    listener: TcpListener,
+    timeout: Option<Duration>,
+}
+
+impl NodeServer {
+    /// Binds the listener (use port 0 to let the OS pick).
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<Self, WireError> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            timeout: Some(DEFAULT_NODE_TIMEOUT),
+        })
+    }
+
+    /// Overrides the per-read timeout applied to every party connection
+    /// (`None` disables it).
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The bound address (advertise this to the party processes).
+    pub fn local_addr(&self) -> Result<SocketAddr, WireError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accepts one party process per entry in `welcome.assignments`,
+    /// performing the Hello/Welcome handshake with each, and returns the
+    /// coordinator's side of the links.  Ranks are assigned in accept
+    /// order; the partition itself is part of the welcome, so which OS
+    /// process ends up with which rank never affects results.
+    ///
+    /// Each accept is bounded by the server's timeout (see
+    /// [`NodeServer::with_timeout`]): a party process that never connects
+    /// fails the handshake with a timeout error instead of hanging the
+    /// coordinator forever.
+    pub fn accept_parties(self, welcome: &NodeWelcome) -> Result<CoordinatorLink, WireError> {
+        let mut peers = Vec::with_capacity(welcome.assignments.len());
+        for rank in 0..welcome.assignments.len() {
+            let stream = self.accept_one(rank)?;
+            let mut peer = FrameStream::new(stream, self.timeout)?;
+            match peer.recv()? {
+                NodeFrame::Hello => {}
+                other => {
+                    return Err(WireError::Protocol {
+                        detail: format!("expected Hello from rank {rank}, got {other:?}"),
+                    })
+                }
+            }
+            peer.send(&NodeFrame::Welcome {
+                rank,
+                welcome: welcome.clone(),
+            })?;
+            peers.push(peer);
+        }
+        Ok(CoordinatorLink {
+            peers,
+            assignments: welcome.assignments.clone(),
+        })
+    }
+
+    /// Accepts one connection, bounded by the server's timeout.  A blocking
+    /// `accept` has no native timeout, so the listener polls non-blocking
+    /// against a deadline; the accepted stream is switched back to blocking
+    /// before use.
+    fn accept_one(&self, rank: usize) -> Result<TcpStream, WireError> {
+        let Some(timeout) = self.timeout else {
+            let (stream, _) = self.listener.accept()?;
+            return Ok(stream);
+        };
+        let deadline = std::time::Instant::now() + timeout;
+        self.listener.set_nonblocking(true)?;
+        let result = loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => break Ok(stream),
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        break Err(WireError::Io {
+                            kind: std::io::ErrorKind::TimedOut,
+                            detail: format!(
+                                "no party process connected for rank {rank} within {timeout:?}"
+                            ),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(err) => break Err(WireError::from(err)),
+            }
+        };
+        // Restore blocking mode for subsequent accepts and for the stream.
+        self.listener.set_nonblocking(false)?;
+        let stream = result?;
+        stream.set_nonblocking(false)?;
+        Ok(stream)
+    }
+}
+
+/// Connects a party process to the coordinator and performs the handshake;
+/// returns the link plus the welcome describing the run.
+pub fn connect_party<A: ToSocketAddrs>(addr: A) -> Result<(PartyLink, NodeWelcome), WireError> {
+    connect_party_with_timeout(addr, Some(DEFAULT_NODE_TIMEOUT))
+}
+
+/// [`connect_party`] with an explicit per-read timeout (`None` disables it).
+pub fn connect_party_with_timeout<A: ToSocketAddrs>(
+    addr: A,
+    timeout: Option<Duration>,
+) -> Result<(PartyLink, NodeWelcome), WireError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut link = FrameStream::new(stream, timeout)?;
+    link.send(&NodeFrame::Hello)?;
+    match link.recv()? {
+        NodeFrame::Welcome { rank, welcome } => {
+            let range = *welcome
+                .assignments
+                .get(rank)
+                .ok_or_else(|| WireError::Protocol {
+                    detail: format!(
+                        "welcome assigns {} ranges but this process got rank {rank}",
+                        welcome.assignments.len()
+                    ),
+                })?;
+            Ok((
+                PartyLink {
+                    stream: link,
+                    rank,
+                    range,
+                },
+                welcome,
+            ))
+        }
+        other => Err(WireError::Protocol {
+            detail: format!("expected Welcome, got {other:?}"),
+        }),
+    }
+}
+
+/// The coordinator's side of a distributed session: one connection per
+/// party process plus the agreed partition.
+#[derive(Debug)]
+pub struct CoordinatorLink {
+    peers: Vec<FrameStream>,
+    assignments: Vec<(usize, usize)>,
+}
+
+/// A party process's side of a distributed session.
+#[derive(Debug)]
+pub struct PartyLink {
+    stream: FrameStream,
+    /// This process's rank (its index in the welcome's assignments).
+    pub rank: usize,
+    range: (usize, usize),
+}
+
+/// The session's handle on a distributed run: either the coordinator's
+/// fan-in/fan-out side or a party process's single upstream connection.
+///
+/// Attach one to a run with `Run::link(...)`; the session then exchanges
+/// every round through it instead of assembling rounds locally.
+#[derive(Debug)]
+pub enum SessionLink {
+    /// The coordinator: owns no parties, assembles and broadcasts rounds.
+    Coordinator(CoordinatorLink),
+    /// A party process: owns the parties in its assigned range.
+    Party(PartyLink),
+}
+
+impl SessionLink {
+    /// The half-open range of party indices this process executes locally.
+    pub(crate) fn local_range(&self) -> (usize, usize) {
+        match self {
+            SessionLink::Coordinator(_) => (0, 0),
+            SessionLink::Party(party) => party.range,
+        }
+    }
+
+    /// Validates the link's partition against the session's party count:
+    /// ranges must tile `0..party_count` contiguously.
+    pub(crate) fn validate(&self, party_count: usize) -> Result<(), WireError> {
+        let assignments: &[(usize, usize)] = match self {
+            SessionLink::Coordinator(link) => &link.assignments,
+            SessionLink::Party(party) => std::slice::from_ref(&party.range),
+        };
+        match self {
+            SessionLink::Coordinator(_) => {
+                let mut expected = 0usize;
+                for &(start, end) in assignments {
+                    if start != expected || end < start {
+                        return Err(WireError::Protocol {
+                            detail: format!(
+                                "party assignments must tile 0..{party_count} contiguously, \
+                                 found range {start}..{end} where {expected} was expected"
+                            ),
+                        });
+                    }
+                    expected = end;
+                }
+                if expected != party_count {
+                    return Err(WireError::Protocol {
+                        detail: format!(
+                            "party assignments cover 0..{expected} but the dataset has \
+                             {party_count} parties"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            SessionLink::Party(party) => {
+                let (start, end) = party.range;
+                if start > end || end > party_count {
+                    return Err(WireError::Protocol {
+                        detail: format!(
+                            "assigned range {start}..{end} exceeds the dataset's \
+                             {party_count} parties"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Completes one engine round across the federation.
+    ///
+    /// `messages`/`events` are what this process's local drivers produced
+    /// (already drained in canonical order); `failure` carries a local
+    /// driver error.  Returns the round's assembled collection — identical
+    /// in every process — or an error if any process failed.
+    pub(crate) fn exchange(
+        &mut self,
+        round: u32,
+        messages: Vec<RoundMessage>,
+        events: Vec<(usize, Vec<PartyEvent>)>,
+        failure: Option<(usize, String)>,
+        faults: &FaultPlan,
+    ) -> Result<RoundCollection, WireError> {
+        match self {
+            SessionLink::Party(party) => {
+                party.stream.send(&NodeFrame::RoundDone {
+                    round,
+                    messages,
+                    events,
+                    failure,
+                })?;
+                match party.stream.recv()? {
+                    NodeFrame::Collection(collection) => {
+                        if collection.round != round {
+                            return Err(WireError::Protocol {
+                                detail: format!(
+                                    "coordinator sent round {} while this process is in \
+                                     round {round}",
+                                    collection.round
+                                ),
+                            });
+                        }
+                        Ok(collection)
+                    }
+                    NodeFrame::Abort { detail } => Err(WireError::Remote { detail }),
+                    other => Err(WireError::Protocol {
+                        detail: format!("expected Collection, got {other:?}"),
+                    }),
+                }
+            }
+            SessionLink::Coordinator(link) => {
+                let mut all_messages = messages;
+                let mut all_events = events;
+                let mut failures: Vec<(usize, String)> = failure.into_iter().collect();
+                for (rank, peer) in link.peers.iter_mut().enumerate() {
+                    match peer.recv()? {
+                        NodeFrame::RoundDone {
+                            round: peer_round,
+                            messages,
+                            events,
+                            failure,
+                        } => {
+                            if peer_round != round {
+                                return Err(WireError::Protocol {
+                                    detail: format!(
+                                        "rank {rank} reported round {peer_round} while the \
+                                         coordinator is in round {round}"
+                                    ),
+                                });
+                            }
+                            all_messages.extend(messages);
+                            all_events.extend(events);
+                            failures.extend(failure);
+                        }
+                        other => {
+                            return Err(WireError::Protocol {
+                                detail: format!(
+                                    "expected RoundDone from rank {rank}, got {other:?}"
+                                ),
+                            })
+                        }
+                    }
+                }
+                if let Some((index, detail)) = failures.into_iter().min() {
+                    let detail = format!("party {index} failed: {detail}");
+                    for peer in link.peers.iter_mut() {
+                        let _ = peer.send(&NodeFrame::Abort {
+                            detail: detail.clone(),
+                        });
+                    }
+                    return Err(WireError::Remote { detail });
+                }
+                // Per-party subsequences arrive in each process's canonical
+                // order and no party spans two processes, so the stable sort
+                // reproduces exactly the order a single-process drain yields.
+                canonical_sort(&mut all_messages);
+                let order = faults.straggler_order(all_messages.len(), round);
+                let mut slots: Vec<Option<RoundMessage>> =
+                    all_messages.into_iter().map(Some).collect();
+                let messages = order
+                    .into_iter()
+                    .map(|i| slots[i].take().expect("straggler order is a permutation"))
+                    .collect();
+                all_events.sort_by_key(|(index, _)| *index);
+                let collection = RoundCollection {
+                    round,
+                    messages,
+                    events: all_events,
+                };
+                // Encode the broadcast frame once and fan the same bytes
+                // out to every peer — no per-peer clone or re-encode.
+                let mut payload = Vec::new();
+                payload.push(3); // NodeFrame::Collection tag
+                collection.encode(&mut payload);
+                for peer in link.peers.iter_mut() {
+                    peer.send_bytes(&payload)?;
+                }
+                Ok(collection)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{CandidateReport, RoundPayload};
+    use fedhh_wire::{from_bytes, to_bytes};
+
+    fn welcome() -> NodeWelcome {
+        NodeWelcome {
+            config: ProtocolConfig::test_default(),
+            faults: FaultPlan::dropout(0.25, 3),
+            parallelism: 2,
+            assignments: vec![(0, 2), (2, 4)],
+            app: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn node_frames_round_trip() {
+        let frames = vec![
+            NodeFrame::Hello,
+            NodeFrame::Welcome {
+                rank: 1,
+                welcome: welcome(),
+            },
+            NodeFrame::RoundDone {
+                round: 4,
+                messages: vec![RoundMessage {
+                    from: 2,
+                    party: "p2".to_string(),
+                    round: 4,
+                    payload: RoundPayload::Report(CandidateReport {
+                        party: "p2".to_string(),
+                        level: 3,
+                        candidates: vec![(5, 2.0)],
+                        users: 10,
+                    }),
+                }],
+                events: vec![(2, vec![])],
+                failure: Some((2, "boom".to_string())),
+            },
+            NodeFrame::Collection(RoundCollection {
+                round: 4,
+                messages: vec![],
+                events: vec![],
+            }),
+            NodeFrame::Abort {
+                detail: "party 2 failed".to_string(),
+            },
+        ];
+        for frame in frames {
+            let bytes = to_bytes(&frame);
+            assert_eq!(from_bytes::<NodeFrame>(&bytes).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn handshake_over_loopback_delivers_the_welcome() {
+        let server = NodeServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let expected = welcome();
+        let server_welcome = expected.clone();
+        let coordinator =
+            std::thread::spawn(move || server.accept_parties(&server_welcome).unwrap());
+        let mut links = Vec::new();
+        for _ in 0..2 {
+            let (link, got) = connect_party(addr).unwrap();
+            assert_eq!(got, expected);
+            links.push(link);
+        }
+        let coordinator = coordinator.join().unwrap();
+        assert_eq!(coordinator.assignments, expected.assignments);
+        let ranks: Vec<usize> = links.iter().map(|l| l.rank).collect();
+        assert_eq!(ranks, vec![0, 1]);
+        assert_eq!(links[0].range, (0, 2));
+        assert_eq!(links[1].range, (2, 4));
+    }
+
+    #[test]
+    fn exchange_assembles_identical_collections_everywhere() {
+        let server = NodeServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut run_welcome = welcome();
+        run_welcome.faults = FaultPlan::none();
+        let server_welcome = run_welcome.clone();
+        let coordinator =
+            std::thread::spawn(move || server.accept_parties(&server_welcome).unwrap());
+
+        let message = |from: usize| RoundMessage {
+            from,
+            party: format!("p{from}"),
+            round: 0,
+            payload: RoundPayload::Report(CandidateReport {
+                party: format!("p{from}"),
+                level: 1,
+                candidates: vec![(from as u64, 1.0)],
+                users: 1,
+            }),
+        };
+        let party_threads: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let (link, _) = connect_party(addr).unwrap();
+                    let (start, end) = link.range;
+                    let mut link = SessionLink::Party(link);
+                    let messages: Vec<RoundMessage> = (start..end).map(message).collect();
+                    let events: Vec<(usize, Vec<PartyEvent>)> =
+                        (start..end).map(|i| (i, vec![])).collect();
+                    link.exchange(0, messages, events, None, &FaultPlan::none())
+                        .unwrap()
+                })
+            })
+            .collect();
+
+        let mut coordinator = SessionLink::Coordinator(coordinator.join().unwrap());
+        let coordinator_collection = coordinator
+            .exchange(0, Vec::new(), Vec::new(), None, &FaultPlan::none())
+            .unwrap();
+
+        let senders: Vec<usize> = coordinator_collection
+            .messages
+            .iter()
+            .map(|m| m.from)
+            .collect();
+        assert_eq!(senders, vec![0, 1, 2, 3]);
+        let indices: Vec<usize> = coordinator_collection
+            .events
+            .iter()
+            .map(|(i, _)| *i)
+            .collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        for thread in party_threads {
+            assert_eq!(thread.join().unwrap(), coordinator_collection);
+        }
+    }
+
+    #[test]
+    fn a_party_failure_aborts_every_process() {
+        let server = NodeServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let server_welcome = welcome();
+        let coordinator =
+            std::thread::spawn(move || server.accept_parties(&server_welcome).unwrap());
+        let healthy = std::thread::spawn(move || {
+            let (link, _) = connect_party(addr).unwrap();
+            let mut link = SessionLink::Party(link);
+            link.exchange(0, Vec::new(), Vec::new(), None, &FaultPlan::none())
+        });
+        let failing = std::thread::spawn(move || {
+            let (link, _) = connect_party(addr).unwrap();
+            let mut link = SessionLink::Party(link);
+            link.exchange(
+                0,
+                Vec::new(),
+                Vec::new(),
+                Some((3, "driver exploded".to_string())),
+                &FaultPlan::none(),
+            )
+        });
+        let mut coordinator = SessionLink::Coordinator(coordinator.join().unwrap());
+        let err = coordinator
+            .exchange(0, Vec::new(), Vec::new(), None, &FaultPlan::none())
+            .unwrap_err();
+        assert!(matches!(err, WireError::Remote { .. }), "{err}");
+        assert!(err.to_string().contains("party 3"));
+        for thread in [healthy, failing] {
+            let err = thread.join().unwrap().unwrap_err();
+            assert!(matches!(err, WireError::Remote { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn accepting_with_no_party_times_out_instead_of_hanging() {
+        let server = NodeServer::bind("127.0.0.1:0")
+            .unwrap()
+            .with_timeout(Some(Duration::from_millis(50)));
+        let err = server.accept_parties(&welcome()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Io {
+                    kind: std::io::ErrorKind::TimedOut,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn link_partitions_are_validated() {
+        let party = SessionLink::Party(PartyLink {
+            stream: {
+                // A connected pair purely to own a stream; never used.
+                let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                let addr = listener.local_addr().unwrap();
+                let client = TcpStream::connect(addr).unwrap();
+                let _ = listener.accept().unwrap();
+                FrameStream::new(client, None).unwrap()
+            },
+            rank: 0,
+            range: (2, 9),
+        });
+        assert!(party.validate(9).is_ok());
+        assert!(party.validate(8).is_err());
+        assert_eq!(party.local_range(), (2, 9));
+    }
+}

@@ -23,8 +23,29 @@
 use crate::error::ProtocolError;
 use crate::fault::FaultPlan;
 use crate::message::{PruneDictionary, RoundMessage, RoundPayload};
+use crate::node::SessionLink;
 use crate::observer::{LevelEstimated, PruningDecision};
+use crate::socket::SocketTransport;
 use crate::transport::{InMemoryTransport, ShardedTransport, Transport};
+
+/// Which [`Transport`] implementation a session routes its uploads through.
+///
+/// The choice never affects results — every transport drains into the same
+/// canonical order — only how the bytes move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransportKind {
+    /// Pick automatically: in-memory for sequential sessions, sharded for
+    /// parallel ones.
+    #[default]
+    Auto,
+    /// The single-queue [`InMemoryTransport`].
+    Memory,
+    /// The per-worker [`ShardedTransport`].
+    Sharded,
+    /// The loopback [`SocketTransport`]: every upload crosses a real TCP
+    /// socket in the `fedhh-wire` frame format.
+    Tcp,
+}
 
 /// How a session executes party work.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +55,8 @@ pub struct EngineConfig {
     pub parallelism: usize,
     /// The deployment faults the session injects.
     pub faults: FaultPlan,
+    /// The transport the session's uploads travel through.
+    pub transport: TransportKind,
 }
 
 impl EngineConfig {
@@ -42,6 +65,7 @@ impl EngineConfig {
         Self {
             parallelism: 1,
             faults: FaultPlan::none(),
+            transport: TransportKind::Auto,
         }
     }
 
@@ -50,12 +74,22 @@ impl EngineConfig {
         Self {
             parallelism,
             faults: FaultPlan::none(),
+            transport: TransportKind::Auto,
         }
     }
 
     /// Returns a copy with a fault plan installed.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Returns a copy routing uploads through the given transport.
+    ///
+    /// [`TransportKind::Tcp`] sends every upload across a real loopback
+    /// socket; results are bit-identical to the in-memory transports.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -71,6 +105,7 @@ impl EngineConfig {
         Self {
             parallelism,
             faults: FaultPlan::none(),
+            transport: TransportKind::Auto,
         }
     }
 
@@ -215,26 +250,58 @@ pub struct RoundCollection {
 /// The server-side state machine of one engine run: it owns the transport
 /// and the fault resolution, numbers the rounds, and executes party drivers
 /// with the configured parallelism.
+///
+/// With a [`SessionLink`] attached (see [`Session::with_link`]) the session
+/// becomes one process of a distributed run: it executes only the party
+/// drivers its link assigns to this process and completes every round
+/// through a coordinator exchange instead of assembling it locally.
 pub struct Session {
     transport: Box<dyn Transport>,
     parallelism: usize,
     faults: FaultPlan,
     dropped: Vec<bool>,
     round: u32,
+    party_count: usize,
+    link: Option<SessionLink>,
 }
 
 impl Session {
     /// Creates a session for `party_count` parties, validating the engine
     /// configuration and resolving the fault plan's dropouts up front.
     ///
-    /// Sequential sessions use an [`InMemoryTransport`]; parallel ones a
-    /// [`ShardedTransport`] with one shard per worker.
+    /// The transport follows [`EngineConfig::transport`];
+    /// [`TransportKind::Auto`] picks an [`InMemoryTransport`] for sequential
+    /// sessions and a [`ShardedTransport`] with one shard per worker for
+    /// parallel ones.
     pub fn new(engine: &EngineConfig, party_count: usize) -> Result<Self, ProtocolError> {
+        Self::with_link(engine, party_count, None)
+    }
+
+    /// Like [`Session::new`], but optionally attaches a [`SessionLink`]
+    /// making this session one process of a distributed run.
+    pub fn with_link(
+        engine: &EngineConfig,
+        party_count: usize,
+        link: Option<SessionLink>,
+    ) -> Result<Self, ProtocolError> {
         engine.validate()?;
-        let transport: Box<dyn Transport> = if engine.parallelism > 1 {
-            Box::new(ShardedTransport::new(engine.parallelism))
-        } else {
-            Box::new(InMemoryTransport::new())
+        if let Some(link) = &link {
+            link.validate(party_count)
+                .map_err(ProtocolError::Transport)?;
+        }
+        let transport: Box<dyn Transport> = match engine.transport {
+            TransportKind::Auto => {
+                if engine.parallelism > 1 {
+                    Box::new(ShardedTransport::new(engine.parallelism))
+                } else {
+                    Box::new(InMemoryTransport::new())
+                }
+            }
+            TransportKind::Memory => Box::new(InMemoryTransport::new()),
+            TransportKind::Sharded => Box::new(ShardedTransport::new(engine.parallelism)),
+            TransportKind::Tcp => Box::new(
+                SocketTransport::loopback(engine.parallelism).map_err(ProtocolError::Transport)?,
+            ),
         };
         Ok(Self {
             transport,
@@ -242,7 +309,24 @@ impl Session {
             faults: engine.faults,
             dropped: engine.faults.dropped_parties(party_count),
             round: 0,
+            party_count,
+            link,
         })
+    }
+
+    /// The half-open range of party indices this session executes locally
+    /// (all of them without a link).
+    fn local_range(&self) -> (usize, usize) {
+        match &self.link {
+            None => (0, self.party_count),
+            Some(link) => link.local_range(),
+        }
+    }
+
+    /// True when this session's process runs the given party's driver.
+    pub fn is_local(&self, party: usize) -> bool {
+        let (start, end) = self.local_range();
+        (start..end).contains(&party)
     }
 
     /// True when the party survived the fault plan's dropout draw.
@@ -269,6 +353,10 @@ impl Session {
     ///
     /// Driver errors surface deterministically: the error of the
     /// lowest-indexed failing party wins, regardless of thread timing.
+    ///
+    /// With a [`SessionLink`] attached, only the drivers of locally owned
+    /// parties execute; the round completes through the coordinator
+    /// exchange and the returned collection is identical in every process.
     pub fn run_round<D: PartyDriver>(
         &mut self,
         drivers: &mut [D],
@@ -278,8 +366,12 @@ impl Session {
         let round = input.round;
         self.round = self.round.max(round) + 1;
 
+        let (local_start, local_end) = self.local_range();
         let mut is_selected = vec![false; drivers.len()];
         for &i in active {
+            if i < local_start || i >= local_end {
+                continue;
+            }
             if let Some(flag) = is_selected.get_mut(i) {
                 *flag = true;
             }
@@ -334,21 +426,19 @@ impl Session {
         for (idx, result) in results {
             match result {
                 Ok(partial) => events.push((idx, partial)),
-                Err(err) => {
-                    // Discard whatever the parties that succeeded already
-                    // uploaded, so a caller that keeps the session does not
-                    // see this round's orphans prepended to the next one.
-                    let _ = self.transport.drain();
-                    return Err(err);
-                }
+                Err(err) => return Err(self.fail_round(round, idx, err)),
             }
         }
-        Ok(self.collect(round, events))
+        self.complete_round(round, events)
     }
 
     /// Runs a round with a single active party, executed inline — the shape
     /// of TAPS' sequential chain, where building (and skipping) a driver
     /// per inactive party every round would be wasted work.
+    ///
+    /// With a [`SessionLink`] attached, the driver only executes in the
+    /// process that owns `index`; every other process still joins the
+    /// round's exchange and receives the same collection.
     pub fn run_solo_round<D: PartyDriver>(
         &mut self,
         index: usize,
@@ -357,31 +447,65 @@ impl Session {
     ) -> Result<RoundCollection, ProtocolError> {
         let round = input.round;
         self.round = self.round.max(round) + 1;
+        if !self.is_local(index) {
+            return self.complete_round(round, Vec::new());
+        }
         let (idx, result) = run_party(index, driver, input, round, self.transport.as_ref());
         match result {
-            Ok(events) => Ok(self.collect(round, vec![(idx, events)])),
-            Err(err) => {
-                let _ = self.transport.drain();
-                Err(err)
-            }
+            Ok(events) => self.complete_round(round, vec![(idx, events)]),
+            Err(err) => Err(self.fail_round(round, idx, err)),
         }
     }
 
-    /// Drains the transport into the canonical order, applies the straggler
-    /// plan, and assembles the round's collection.
-    fn collect(&mut self, round: u32, events: Vec<(usize, Vec<PartyEvent>)>) -> RoundCollection {
-        let drained = self.transport.drain();
-        let order = self.faults.straggler_order(drained.len(), round);
-        let mut messages = Vec::with_capacity(drained.len());
-        let mut drained: Vec<Option<RoundMessage>> = drained.into_iter().map(Some).collect();
-        for i in order {
-            messages.push(drained[i].take().expect("straggler order is a permutation"));
+    /// Finishes a round after the local drivers ran: assembles the
+    /// collection locally, or — with a link — completes it through the
+    /// coordinator exchange.
+    fn complete_round(
+        &mut self,
+        round: u32,
+        events: Vec<(usize, Vec<PartyEvent>)>,
+    ) -> Result<RoundCollection, ProtocolError> {
+        let messages = self.transport.drain().map_err(ProtocolError::Transport)?;
+        match &mut self.link {
+            None => {
+                let order = self.faults.straggler_order(messages.len(), round);
+                let mut slots: Vec<Option<RoundMessage>> = messages.into_iter().map(Some).collect();
+                let messages = order
+                    .into_iter()
+                    .map(|i| slots[i].take().expect("straggler order is a permutation"))
+                    .collect();
+                Ok(RoundCollection {
+                    round,
+                    messages,
+                    events,
+                })
+            }
+            Some(link) => link
+                .exchange(round, messages, events, None, &self.faults)
+                .map_err(ProtocolError::Transport),
         }
-        RoundCollection {
-            round,
-            messages,
-            events,
+    }
+
+    /// Handles a local driver failure: discards the round's partial uploads
+    /// and — with a link — aborts the federation before surfacing the
+    /// original error.
+    fn fail_round(&mut self, round: u32, index: usize, err: ProtocolError) -> ProtocolError {
+        // Discard whatever the parties that succeeded already uploaded, so
+        // a caller that keeps the session does not see this round's orphans
+        // prepended to the next one.
+        let _ = self.transport.drain();
+        if let Some(link) = &mut self.link {
+            // Joining the exchange with the failure keeps every process in
+            // lockstep: the coordinator folds it into an Abort for all.
+            let _ = link.exchange(
+                round,
+                Vec::new(),
+                Vec::new(),
+                Some((index, err.to_string())),
+                &self.faults,
+            );
         }
+        err
     }
 }
 
@@ -392,6 +516,8 @@ impl std::fmt::Debug for Session {
             .field("faults", &self.faults)
             .field("dropped", &self.dropped)
             .field("round", &self.round)
+            .field("party_count", &self.party_count)
+            .field("local_range", &self.local_range())
             .finish()
     }
 }
@@ -408,12 +534,15 @@ fn run_party<D: PartyDriver>(
     match driver.run_round(input) {
         Ok(outcome) => {
             for payload in outcome.uploads {
-                transport.send(RoundMessage {
+                let sent = transport.send(RoundMessage {
                     from: idx,
                     party: driver.party().to_string(),
                     round,
                     payload,
                 });
+                if let Err(err) = sent {
+                    return (idx, Err(ProtocolError::Transport(err)));
+                }
             }
             (idx, Ok(outcome.events))
         }
@@ -613,6 +742,50 @@ mod tests {
             Session::new(&bad, 2),
             Err(ProtocolError::InvalidDropout { .. })
         ));
+    }
+
+    #[test]
+    fn tcp_transport_rounds_match_the_in_memory_engine() {
+        let collect = |transport: TransportKind, parallelism: usize| {
+            let engine = EngineConfig::parallel(parallelism).transport(transport);
+            let mut session = Session::new(&engine, 6).unwrap();
+            let mut drivers = drivers(6);
+            let active = session.active_parties();
+            let mut rounds = Vec::new();
+            for round in 0..3 {
+                rounds.push(
+                    session
+                        .run_round(&mut drivers, &active, &start(round))
+                        .unwrap(),
+                );
+            }
+            rounds
+        };
+        let memory = collect(TransportKind::Auto, 1);
+        for parallelism in [1usize, 4] {
+            assert_eq!(
+                collect(TransportKind::Tcp, parallelism),
+                memory,
+                "tcp transport diverged at parallelism {parallelism}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_transport_kinds_are_honoured() {
+        for kind in [
+            TransportKind::Auto,
+            TransportKind::Memory,
+            TransportKind::Sharded,
+            TransportKind::Tcp,
+        ] {
+            let engine = EngineConfig::sequential().transport(kind);
+            let mut session = Session::new(&engine, 3).unwrap();
+            let mut drivers = drivers(3);
+            let active = session.active_parties();
+            let collection = session.run_round(&mut drivers, &active, &start(0)).unwrap();
+            assert_eq!(collection.messages.len(), 3, "{kind:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! [`SocketTransport`]: the [`Transport`] contract over real TCP sockets.
+//!
+//! The transport owns both halves of a loopback federation data plane:
+//!
+//! * a `TcpListener` plus **one acceptor thread** that hands each accepted
+//!   connection to its own **reader thread** (one per shard), which decodes
+//!   `fedhh-wire` frames and queues the carried [`RoundMessage`]s;
+//! * a pool of client `TcpStream`s — one per shard, picked by
+//!   `from % shards` like [`crate::ShardedTransport`] — that
+//!   [`Transport::send`] writes `Upload` frames through.
+//!
+//! Every upload therefore crosses a real socket in the versioned frame
+//! format, while the engine keeps its ordinary synchronous shape:
+//! [`Transport::drain`] writes a `Flush` marker down every client stream
+//! and blocks until each reader has observed it.  TCP preserves per-stream
+//! order, and the engine only drains after its workers joined, so the
+//! barrier guarantees the drain sees every message sent before it — the
+//! exact contract the in-memory transports provide.  A given sender always
+//! maps to one stream, so the stable canonical sort preserves each party's
+//! submission order, and results stay bit-identical to the in-memory
+//! transports.
+//!
+//! Shutdown is graceful: dropping the transport sends a `Shutdown` frame on
+//! every client stream and joins the acceptor's reader threads, so no
+//! thread outlives the value and no socket is torn down mid-frame.
+
+use crate::message::RoundMessage;
+use crate::transport::{canonical_sort, Transport};
+use fedhh_wire::{read_frame, write_frame, Decode, Encode, Reader, WireError};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One frame on the transport data plane.
+#[derive(Debug, Clone, PartialEq)]
+enum SocketFrame {
+    /// A queued round message.
+    Upload(Box<RoundMessage>),
+    /// A drain barrier: the reader acknowledges having consumed everything
+    /// sent before this token on its stream.
+    Flush(u64),
+    /// Graceful end of the stream.
+    Shutdown,
+}
+
+impl Encode for SocketFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SocketFrame::Upload(message) => {
+                out.push(0);
+                message.encode(out);
+            }
+            SocketFrame::Flush(token) => {
+                out.push(1);
+                token.encode(out);
+            }
+            SocketFrame::Shutdown => out.push(2),
+        }
+    }
+}
+
+impl Decode for SocketFrame {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match reader.take_u8()? {
+            0 => Ok(SocketFrame::Upload(Box::new(RoundMessage::decode(reader)?))),
+            1 => Ok(SocketFrame::Flush(u64::decode(reader)?)),
+            2 => Ok(SocketFrame::Shutdown),
+            other => Err(WireError::InvalidValue {
+                what: "socket frame tag",
+                value: other as u64,
+            }),
+        }
+    }
+}
+
+/// Shared server-side state: per-reader queues plus the flush barrier.
+struct Shared {
+    /// One message queue per reader thread.
+    queues: Vec<Mutex<Vec<RoundMessage>>>,
+    /// Barrier state: the latest flush token each reader acknowledged, and
+    /// the first error any thread hit.
+    sync: Mutex<SyncState>,
+    cond: Condvar,
+}
+
+struct SyncState {
+    acknowledged: Vec<u64>,
+    error: Option<WireError>,
+    closing: bool,
+}
+
+impl Shared {
+    fn fail(&self, error: WireError) {
+        let mut sync = self.sync.lock().expect("socket transport poisoned");
+        if sync.error.is_none() && !sync.closing {
+            sync.error = Some(error);
+        }
+        self.cond.notify_all();
+    }
+}
+
+/// A [`Transport`] over loopback TCP: real sockets, real frames, the same
+/// canonical-order drain contract as the in-memory transports.
+///
+/// Select it with [`crate::TransportKind::Tcp`] on an
+/// [`crate::EngineConfig`]; results are bit-identical to the in-memory
+/// engine at the same seed.
+pub struct SocketTransport {
+    clients: Vec<Mutex<TcpStream>>,
+    shared: std::sync::Arc<Shared>,
+    readers: Vec<JoinHandle<()>>,
+    next_token: std::sync::atomic::AtomicU64,
+    addr: SocketAddr,
+}
+
+impl SocketTransport {
+    /// Binds a loopback listener and connects `shards` client streams to it
+    /// (at least one), spawning one acceptor and one reader per shard.
+    pub fn loopback(shards: usize) -> Result<Self, WireError> {
+        let shards = shards.max(1);
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shared = std::sync::Arc::new(Shared {
+            queues: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            sync: Mutex::new(SyncState {
+                acknowledged: vec![0; shards],
+                error: None,
+                closing: false,
+            }),
+            cond: Condvar::new(),
+        });
+
+        // One acceptor thread: accept exactly `shards` connections, spawn a
+        // reader per connection, and hand the reader handles back on join.
+        let acceptor = {
+            let shared = std::sync::Arc::clone(&shared);
+            std::thread::spawn(move || -> Vec<JoinHandle<()>> {
+                let mut readers = Vec::with_capacity(shards);
+                for index in 0..shards {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let shared = std::sync::Arc::clone(&shared);
+                            readers.push(std::thread::spawn(move || {
+                                read_loop(index, stream, &shared);
+                            }));
+                        }
+                        Err(err) => {
+                            shared.fail(WireError::from(err));
+                            break;
+                        }
+                    }
+                }
+                readers
+            })
+        };
+
+        let mut clients = Vec::with_capacity(shards);
+        let mut connect_error = None;
+        for _ in 0..shards {
+            match TcpStream::connect(addr) {
+                Ok(stream) => clients.push(Mutex::new(stream)),
+                Err(err) => {
+                    connect_error = Some(WireError::from(err));
+                    break;
+                }
+            }
+        }
+        if connect_error.is_some() {
+            // The acceptor is still blocked waiting for the connections we
+            // failed to make; feed it throwaway ones (dropped immediately,
+            // so their readers exit on EOF) so the join below cannot hang.
+            for _ in clients.len()..shards {
+                let _ = TcpStream::connect(addr);
+            }
+        }
+        let readers = acceptor.join().expect("socket acceptor panicked");
+        if let Some(err) = connect_error {
+            // Tear the partially built transport down before reporting.
+            let partial = Self {
+                clients,
+                shared,
+                readers,
+                next_token: std::sync::atomic::AtomicU64::new(1),
+                addr,
+            };
+            drop(partial);
+            return Err(err);
+        }
+        Ok(Self {
+            clients,
+            shared,
+            readers,
+            next_token: std::sync::atomic::AtomicU64::new(1),
+            addr,
+        })
+    }
+
+    /// The loopback address the transport's listener was bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of client/reader shard pairs.
+    pub fn shard_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn write(&self, shard: usize, frame: &SocketFrame) -> Result<(), WireError> {
+        let mut stream = self.clients[shard]
+            .lock()
+            .expect("socket transport poisoned");
+        write_frame(&mut *stream, frame)
+    }
+}
+
+/// A reader thread: decode frames off one accepted connection into the
+/// shard's queue until shutdown, EOF or error.
+fn read_loop(index: usize, stream: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame::<_, SocketFrame>(&mut reader) {
+            Ok(SocketFrame::Upload(message)) => {
+                shared.queues[index]
+                    .lock()
+                    .expect("socket transport poisoned")
+                    .push(*message);
+            }
+            Ok(SocketFrame::Flush(token)) => {
+                let mut sync = shared.sync.lock().expect("socket transport poisoned");
+                sync.acknowledged[index] = sync.acknowledged[index].max(token);
+                shared.cond.notify_all();
+            }
+            Ok(SocketFrame::Shutdown) => return,
+            Err(err) => {
+                shared.fail(err);
+                return;
+            }
+        }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send(&self, message: RoundMessage) -> Result<(), WireError> {
+        let shard = message.from % self.clients.len();
+        self.write(shard, &SocketFrame::Upload(Box::new(message)))
+    }
+
+    fn drain(&self) -> Result<Vec<RoundMessage>, WireError> {
+        use std::sync::atomic::Ordering;
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        for shard in 0..self.clients.len() {
+            self.write(shard, &SocketFrame::Flush(token))?;
+        }
+        // Wait for every reader to acknowledge the barrier (or fail).
+        {
+            let mut sync = self.shared.sync.lock().expect("socket transport poisoned");
+            loop {
+                if let Some(err) = &sync.error {
+                    return Err(err.clone());
+                }
+                if sync.acknowledged.iter().all(|&seen| seen >= token) {
+                    break;
+                }
+                sync = self
+                    .shared
+                    .cond
+                    .wait(sync)
+                    .expect("socket transport poisoned");
+            }
+        }
+        let mut messages: Vec<RoundMessage> = self
+            .shared
+            .queues
+            .iter()
+            .flat_map(|queue| {
+                std::mem::take(&mut *queue.lock().expect("socket transport poisoned"))
+            })
+            .collect();
+        canonical_sort(&mut messages);
+        Ok(messages)
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        self.shared
+            .sync
+            .lock()
+            .expect("socket transport poisoned")
+            .closing = true;
+        for client in &self.clients {
+            let mut stream = client.lock().expect("socket transport poisoned");
+            // Best effort: the reader also exits on EOF when the stream
+            // closes with the transport.
+            let _ = write_frame(&mut *stream, &SocketFrame::Shutdown);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        for reader in self.readers.drain(..) {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SocketTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketTransport")
+            .field("addr", &self.addr)
+            .field("shards", &self.clients.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{CandidateReport, RoundPayload};
+    use crate::transport::InMemoryTransport;
+
+    fn message(from: usize, round: u32, tag: u64) -> RoundMessage {
+        RoundMessage {
+            from,
+            party: format!("p{from}"),
+            round,
+            payload: RoundPayload::Report(CandidateReport {
+                party: format!("p{from}"),
+                level: 1,
+                candidates: vec![(tag, from as f64)],
+                users: 1,
+            }),
+        }
+    }
+
+    #[test]
+    fn socket_transport_matches_the_in_memory_order() {
+        let socket = SocketTransport::loopback(3).unwrap();
+        let memory = InMemoryTransport::new();
+        for (from, round) in [(4, 0), (1, 0), (3, 1), (0, 0), (2, 0), (1, 1)] {
+            socket.send(message(from, round, from as u64)).unwrap();
+            memory.send(message(from, round, from as u64)).unwrap();
+        }
+        assert_eq!(socket.drain().unwrap(), memory.drain().unwrap());
+        assert!(socket.drain().unwrap().is_empty(), "drain empties queues");
+    }
+
+    #[test]
+    fn equal_keys_keep_submission_order_across_the_socket() {
+        let socket = SocketTransport::loopback(2).unwrap();
+        for tag in [10, 11, 12] {
+            socket.send(message(1, 0, tag)).unwrap();
+        }
+        let tags: Vec<u64> = socket
+            .drain()
+            .unwrap()
+            .iter()
+            .map(|m| m.as_report().unwrap().candidates[0].0)
+            .collect();
+        assert_eq!(tags, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn concurrent_senders_arrive_completely() {
+        let socket = SocketTransport::loopback(4).unwrap();
+        assert_eq!(socket.shard_count(), 4);
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let socket = &socket;
+                scope.spawn(move || {
+                    for i in 0..16usize {
+                        socket.send(message(worker * 16 + i, 0, i as u64)).unwrap();
+                    }
+                });
+            }
+        });
+        let drained = socket.drain().unwrap();
+        let senders: Vec<usize> = drained.iter().map(|m| m.from).collect();
+        assert_eq!(senders, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeated_rounds_drain_independently() {
+        let socket = SocketTransport::loopback(2).unwrap();
+        socket.send(message(0, 0, 1)).unwrap();
+        assert_eq!(socket.drain().unwrap().len(), 1);
+        socket.send(message(1, 1, 2)).unwrap();
+        socket.send(message(0, 1, 3)).unwrap();
+        let second = socket.drain().unwrap();
+        assert_eq!(second.len(), 2);
+        assert!(second.iter().all(|m| m.round == 1));
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let socket = SocketTransport::loopback(0).unwrap();
+        assert_eq!(socket.shard_count(), 1);
+        socket.send(message(5, 0, 0)).unwrap();
+        assert_eq!(socket.drain().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly_with_messages_in_flight() {
+        let socket = SocketTransport::loopback(2).unwrap();
+        socket.send(message(0, 0, 1)).unwrap();
+        drop(socket); // must not hang or panic
+    }
+}

@@ -7,14 +7,20 @@
 //! messages into the canonical `(round, from)` order, so the protocol's
 //! results never depend on which worker happened to finish first.
 //!
-//! Two implementations are provided:
+//! Three implementations are provided:
 //!
 //! * [`InMemoryTransport`] — a single mutex-guarded queue, ideal for
 //!   sequential sessions (`parallelism = 1`).
 //! * [`ShardedTransport`] — one queue per worker shard, keyed by sender
 //!   index, so concurrent party workers never contend on one lock.
+//! * [`crate::SocketTransport`] — the same contract over real loopback TCP
+//!   sockets, using the `fedhh-wire` frame format.
+//!
+//! Sending and draining are fallible ([`fedhh_wire::WireError`]) because
+//! socket transports can fail; the in-memory transports never do.
 
 use crate::message::RoundMessage;
+use fedhh_wire::WireError;
 use std::sync::Mutex;
 
 /// A queue of in-flight party → server round messages.
@@ -22,15 +28,22 @@ use std::sync::Mutex;
 /// `Send + Sync` because party workers send from scoped threads.
 pub trait Transport: Send + Sync {
     /// Queues one message (called by party workers, possibly concurrently).
-    fn send(&self, message: RoundMessage);
+    fn send(&self, message: RoundMessage) -> Result<(), WireError>;
 
     /// Drains every queued message in the canonical `(round, from)` order.
-    fn drain(&self) -> Vec<RoundMessage>;
+    fn drain(&self) -> Result<Vec<RoundMessage>, WireError>;
 }
 
 /// Sorts drained messages into the canonical `(round, from)` order shared
 /// by every transport.
-fn canonical_sort(messages: &mut [RoundMessage]) {
+///
+/// The sort is **stable** for equal `(round, from)` keys (it is built on
+/// `slice::sort_by_key`, which Rust guarantees to be stable): a party that
+/// uploads several messages in one round keeps its submission order after
+/// the sort.  Multi-message rounds — a report plus a pruning dictionary,
+/// say — rely on this, so the stability is part of the transport contract
+/// and covered by `canonical_sort_is_stable_for_equal_keys` below.
+pub(crate) fn canonical_sort(messages: &mut [RoundMessage]) {
     messages.sort_by_key(|m| (m.round, m.from));
 }
 
@@ -49,14 +62,18 @@ impl InMemoryTransport {
 }
 
 impl Transport for InMemoryTransport {
-    fn send(&self, message: RoundMessage) {
+    fn send(&self, message: RoundMessage) -> Result<(), WireError> {
         self.queue.lock().expect("transport poisoned").push(message);
+        Ok(())
     }
 
-    fn drain(&self) -> Vec<RoundMessage> {
+    fn drain(&self) -> Result<Vec<RoundMessage>, WireError> {
+        // `mem::take` swaps in a brand-new (unallocated) vector under the
+        // lock: the drained messages move out without a clone and the queue
+        // retains no stale capacity between rounds.
         let mut messages = std::mem::take(&mut *self.queue.lock().expect("transport poisoned"));
         canonical_sort(&mut messages);
-        messages
+        Ok(messages)
     }
 }
 
@@ -83,22 +100,27 @@ impl ShardedTransport {
 }
 
 impl Transport for ShardedTransport {
-    fn send(&self, message: RoundMessage) {
+    fn send(&self, message: RoundMessage) -> Result<(), WireError> {
         let shard = message.from % self.shards.len();
         self.shards[shard]
             .lock()
             .expect("transport shard poisoned")
             .push(message);
+        Ok(())
     }
 
-    fn drain(&self) -> Vec<RoundMessage> {
+    fn drain(&self) -> Result<Vec<RoundMessage>, WireError> {
+        // Same `mem::take`-under-the-lock contract as the single queue; a
+        // given sender always maps to one shard, so concatenating shards in
+        // index order plus the stable canonical sort preserves each party's
+        // submission order.
         let mut messages: Vec<RoundMessage> = self
             .shards
             .iter()
             .flat_map(|shard| std::mem::take(&mut *shard.lock().expect("transport shard poisoned")))
             .collect();
         canonical_sort(&mut messages);
-        messages
+        Ok(messages)
     }
 }
 
@@ -108,6 +130,12 @@ mod tests {
     use crate::message::{CandidateReport, RoundPayload};
 
     fn message(from: usize, round: u32) -> RoundMessage {
+        message_tagged(from, round, from as u64)
+    }
+
+    /// A message whose first candidate value carries a caller-chosen tag, so
+    /// tests can tell two messages with the same `(round, from)` key apart.
+    fn message_tagged(from: usize, round: u32, tag: u64) -> RoundMessage {
         RoundMessage {
             from,
             party: format!("p{from}"),
@@ -115,7 +143,7 @@ mod tests {
             payload: RoundPayload::Report(CandidateReport {
                 party: format!("p{from}"),
                 level: 1,
-                candidates: vec![(from as u64, 1.0)],
+                candidates: vec![(tag, 1.0)],
                 users: 1,
             }),
         }
@@ -124,6 +152,7 @@ mod tests {
     fn order_after_drain(transport: &dyn Transport) -> Vec<(u32, usize)> {
         transport
             .drain()
+            .unwrap()
             .iter()
             .map(|m| (m.round, m.from))
             .collect()
@@ -132,15 +161,62 @@ mod tests {
     #[test]
     fn in_memory_transport_drains_in_canonical_order() {
         let transport = InMemoryTransport::new();
-        transport.send(message(2, 0));
-        transport.send(message(0, 1));
-        transport.send(message(1, 0));
-        transport.send(message(0, 0));
+        transport.send(message(2, 0)).unwrap();
+        transport.send(message(0, 1)).unwrap();
+        transport.send(message(1, 0)).unwrap();
+        transport.send(message(0, 0)).unwrap();
         assert_eq!(
             order_after_drain(&transport),
             vec![(0, 0), (0, 1), (0, 2), (1, 0)]
         );
-        assert!(transport.drain().is_empty(), "drain empties the queue");
+        assert!(
+            transport.drain().unwrap().is_empty(),
+            "drain empties the queue"
+        );
+    }
+
+    /// The stability contract of the canonical order: a party that uploads
+    /// several messages in one round (e.g. a report followed by a pruning
+    /// dictionary) keeps its submission order through every transport, even
+    /// with other parties' messages interleaved.
+    #[test]
+    fn canonical_sort_is_stable_for_equal_keys() {
+        let transports: Vec<Box<dyn Transport>> = vec![
+            Box::new(InMemoryTransport::new()),
+            Box::new(ShardedTransport::new(3)),
+        ];
+        for transport in transports {
+            // Party 1 submits tags 10, 11, 12 in round 0, interleaved with
+            // other senders and rounds.
+            transport.send(message_tagged(1, 0, 10)).unwrap();
+            transport.send(message_tagged(0, 1, 90)).unwrap();
+            transport.send(message_tagged(1, 0, 11)).unwrap();
+            transport.send(message_tagged(2, 0, 80)).unwrap();
+            transport.send(message_tagged(1, 0, 12)).unwrap();
+            let drained = transport.drain().unwrap();
+            let party1_tags: Vec<u64> = drained
+                .iter()
+                .filter(|m| m.from == 1 && m.round == 0)
+                .map(|m| m.as_report().unwrap().candidates[0].0)
+                .collect();
+            assert_eq!(
+                party1_tags,
+                vec![10, 11, 12],
+                "equal (round, from) keys must keep submission order"
+            );
+        }
+    }
+
+    #[test]
+    fn drain_leaves_no_capacity_behind() {
+        let transport = InMemoryTransport::new();
+        for i in 0..256 {
+            transport.send(message(i, 0)).unwrap();
+        }
+        let drained = transport.drain().unwrap();
+        assert_eq!(drained.len(), 256);
+        // After the take-based drain the internal queue is a fresh vector.
+        assert_eq!(transport.queue.lock().unwrap().capacity(), 0);
     }
 
     #[test]
@@ -148,8 +224,8 @@ mod tests {
         let sharded = ShardedTransport::new(3);
         let reference = InMemoryTransport::new();
         for (from, round) in [(4, 0), (1, 0), (3, 1), (0, 0), (2, 0), (1, 1)] {
-            sharded.send(message(from, round));
-            reference.send(message(from, round));
+            sharded.send(message(from, round)).unwrap();
+            reference.send(message(from, round)).unwrap();
         }
         assert_eq!(order_after_drain(&sharded), order_after_drain(&reference));
     }
@@ -163,12 +239,12 @@ mod tests {
                 let transport = &transport;
                 scope.spawn(move || {
                     for i in 0..16usize {
-                        transport.send(message(worker * 16 + i, 0));
+                        transport.send(message(worker * 16 + i, 0)).unwrap();
                     }
                 });
             }
         });
-        let drained = transport.drain();
+        let drained = transport.drain().unwrap();
         assert_eq!(drained.len(), 64);
         let senders: Vec<usize> = drained.iter().map(|m| m.from).collect();
         assert_eq!(senders, (0..64).collect::<Vec<_>>());
@@ -178,7 +254,7 @@ mod tests {
     fn zero_shards_is_clamped_to_one() {
         let transport = ShardedTransport::new(0);
         assert_eq!(transport.shard_count(), 1);
-        transport.send(message(5, 0));
-        assert_eq!(transport.drain().len(), 1);
+        transport.send(message(5, 0)).unwrap();
+        assert_eq!(transport.drain().unwrap().len(), 1);
     }
 }

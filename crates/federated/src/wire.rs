@@ -1,0 +1,500 @@
+//! `fedhh-wire` encodings of the federated protocol types.
+//!
+//! Every type a round exchange ships between processes — round messages and
+//! their payloads, party events, collected rounds, the protocol
+//! configuration and the fault plan — implements [`Encode`]/[`Decode`] here.
+//! Two representation rules matter:
+//!
+//! * **Floats are exact.**  Estimated counts/frequencies travel as their
+//!   8-byte bit patterns, so a multi-process run aggregates *exactly* the
+//!   numbers an in-process run would and stays bit-identical.
+//! * **Candidate pairs are fixed-width.**  A `(value, count)` pair costs
+//!   16 bytes on the wire regardless of magnitude, which keeps the real
+//!   wire cost of a [`CandidateReport`]/[`PruneDictionary`] aligned with
+//!   the `PAIR_BITS` cost model that [`crate::CommTracker`] charges (the
+//!   `size_bits` ↔ encoded-length consistency test pins this down).
+//!
+//! Enum variants carry a one-byte tag; unknown tags decode to
+//! [`WireError::InvalidValue`], never a panic.
+
+use crate::config::{FoExec, ProtocolConfig};
+use crate::fault::FaultPlan;
+use crate::message::{
+    CandidateReport, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload,
+};
+use crate::observer::{LevelEstimated, PruningDecision};
+use crate::session::{PartyEvent, RoundCollection};
+use fedhh_fo::FoKind;
+use fedhh_wire::{put_f64, put_u64_fixed, put_varint, Decode, Encode, Reader, WireError};
+
+/// Encodes a candidate list as fixed-width `(value, count)` pairs.
+fn put_pairs(out: &mut Vec<u8>, pairs: &[(u64, f64)]) {
+    put_varint(out, pairs.len() as u64);
+    for (value, count) in pairs {
+        put_u64_fixed(out, *value);
+        put_f64(out, *count);
+    }
+}
+
+/// Decodes a fixed-width `(value, count)` pair list.
+fn take_pairs(reader: &mut Reader<'_>) -> Result<Vec<(u64, f64)>, WireError> {
+    let len = reader.take_len()?;
+    let mut pairs = Vec::with_capacity(len.min(reader.remaining() / 16).min(1 << 16));
+    for _ in 0..len {
+        let value = reader.take_u64_fixed()?;
+        let count = reader.take_f64()?;
+        pairs.push((value, count));
+    }
+    Ok(pairs)
+}
+
+/// Encodes candidate values (no counts) as fixed-width words.
+fn put_values(out: &mut Vec<u8>, values: &[u64]) {
+    put_varint(out, values.len() as u64);
+    for value in values {
+        put_u64_fixed(out, *value);
+    }
+}
+
+/// Decodes a fixed-width value list.
+fn take_values(reader: &mut Reader<'_>) -> Result<Vec<u64>, WireError> {
+    let len = reader.take_len()?;
+    let mut values = Vec::with_capacity(len.min(reader.remaining() / 8).min(1 << 16));
+    for _ in 0..len {
+        values.push(reader.take_u64_fixed()?);
+    }
+    Ok(values)
+}
+
+impl Encode for CandidateReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.party.encode(out);
+        self.level.encode(out);
+        put_pairs(out, &self.candidates);
+        self.users.encode(out);
+    }
+}
+
+impl Decode for CandidateReport {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CandidateReport {
+            party: String::decode(reader)?,
+            level: u8::decode(reader)?,
+            candidates: take_pairs(reader)?,
+            users: usize::decode(reader)?,
+        })
+    }
+}
+
+impl Encode for PruneCandidates {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_values(out, &self.infrequent);
+        put_pairs(out, &self.frequent);
+    }
+}
+
+impl Decode for PruneCandidates {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PruneCandidates {
+            infrequent: take_values(reader)?,
+            frequent: take_pairs(reader)?,
+        })
+    }
+}
+
+impl Encode for PruneDictionary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.levels.len() as u64);
+        for (level, candidates) in &self.levels {
+            level.encode(out);
+            candidates.encode(out);
+        }
+    }
+}
+
+impl Decode for PruneDictionary {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = reader.take_len()?;
+        let mut dictionary = PruneDictionary::default();
+        for _ in 0..len {
+            let level = u8::decode(reader)?;
+            dictionary.insert(level, PruneCandidates::decode(reader)?);
+        }
+        Ok(dictionary)
+    }
+}
+
+impl Encode for RoundPayload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RoundPayload::Report(report) => {
+                out.push(0);
+                report.encode(out);
+            }
+            RoundPayload::Dictionary(dictionary) => {
+                out.push(1);
+                dictionary.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for RoundPayload {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match reader.take_u8()? {
+            0 => Ok(RoundPayload::Report(CandidateReport::decode(reader)?)),
+            1 => Ok(RoundPayload::Dictionary(PruneDictionary::decode(reader)?)),
+            other => Err(WireError::InvalidValue {
+                what: "round payload tag",
+                value: other as u64,
+            }),
+        }
+    }
+}
+
+impl Encode for RoundMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.party.encode(out);
+        self.round.encode(out);
+        self.payload.encode(out);
+    }
+}
+
+impl Decode for RoundMessage {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RoundMessage {
+            from: usize::decode(reader)?,
+            party: String::decode(reader)?,
+            round: u32::decode(reader)?,
+            payload: RoundPayload::decode(reader)?,
+        })
+    }
+}
+
+impl Encode for LevelEstimated {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.party.encode(out);
+        self.level.encode(out);
+        self.candidates.encode(out);
+        self.users.encode(out);
+        self.report_bits.encode(out);
+        self.uplink_bits.encode(out);
+    }
+}
+
+impl Decode for LevelEstimated {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LevelEstimated {
+            party: String::decode(reader)?,
+            level: u8::decode(reader)?,
+            candidates: usize::decode(reader)?,
+            users: usize::decode(reader)?,
+            report_bits: usize::decode(reader)?,
+            uplink_bits: usize::decode(reader)?,
+        })
+    }
+}
+
+impl Encode for PruningDecision {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.party.encode(out);
+        self.level.encode(out);
+        put_values(out, &self.pruned);
+        self.gamma.encode(out);
+    }
+}
+
+impl Decode for PruningDecision {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PruningDecision {
+            party: String::decode(reader)?,
+            level: u8::decode(reader)?,
+            pruned: take_values(reader)?,
+            gamma: f64::decode(reader)?,
+        })
+    }
+}
+
+impl Encode for PartyEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PartyEvent::Level(event) => {
+                out.push(0);
+                event.encode(out);
+            }
+            PartyEvent::Pruning(event) => {
+                out.push(1);
+                event.encode(out);
+            }
+            PartyEvent::ValidationReports { party, bits } => {
+                out.push(2);
+                party.encode(out);
+                bits.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for PartyEvent {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match reader.take_u8()? {
+            0 => Ok(PartyEvent::Level(LevelEstimated::decode(reader)?)),
+            1 => Ok(PartyEvent::Pruning(PruningDecision::decode(reader)?)),
+            2 => Ok(PartyEvent::ValidationReports {
+                party: String::decode(reader)?,
+                bits: usize::decode(reader)?,
+            }),
+            other => Err(WireError::InvalidValue {
+                what: "party event tag",
+                value: other as u64,
+            }),
+        }
+    }
+}
+
+impl Encode for RoundCollection {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.round.encode(out);
+        self.messages.encode(out);
+        self.events.encode(out);
+    }
+}
+
+impl Decode for RoundCollection {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RoundCollection {
+            round: u32::decode(reader)?,
+            messages: Vec::decode(reader)?,
+            events: Vec::decode(reader)?,
+        })
+    }
+}
+
+impl Encode for FaultPlan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dropout_fraction.encode(out);
+        self.stragglers.encode(out);
+        put_u64_fixed(out, self.seed);
+    }
+}
+
+impl Decode for FaultPlan {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(FaultPlan {
+            dropout_fraction: f64::decode(reader)?,
+            stragglers: bool::decode(reader)?,
+            seed: reader.take_u64_fixed()?,
+        })
+    }
+}
+
+/// Stable one-byte discriminants for [`FoKind`] (part of wire schema 1).
+fn fo_kind_to_u8(kind: FoKind) -> u8 {
+    match kind {
+        FoKind::Grr => 0,
+        FoKind::Oue => 1,
+        FoKind::Olh => 2,
+    }
+}
+
+fn fo_kind_from_u8(raw: u8) -> Result<FoKind, WireError> {
+    match raw {
+        0 => Ok(FoKind::Grr),
+        1 => Ok(FoKind::Oue),
+        2 => Ok(FoKind::Olh),
+        other => Err(WireError::InvalidValue {
+            what: "frequency oracle kind",
+            value: other as u64,
+        }),
+    }
+}
+
+/// Stable one-byte discriminants for [`FoExec`] (part of wire schema 1).
+fn fo_exec_to_u8(exec: FoExec) -> u8 {
+    match exec {
+        FoExec::Batched => 0,
+        FoExec::Scalar => 1,
+    }
+}
+
+fn fo_exec_from_u8(raw: u8) -> Result<FoExec, WireError> {
+    match raw {
+        0 => Ok(FoExec::Batched),
+        1 => Ok(FoExec::Scalar),
+        other => Err(WireError::InvalidValue {
+            what: "frequency oracle execution path",
+            value: other as u64,
+        }),
+    }
+}
+
+impl Encode for ProtocolConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.k.encode(out);
+        self.epsilon.encode(out);
+        out.push(fo_kind_to_u8(self.fo));
+        self.max_bits.encode(out);
+        self.granularity.encode(out);
+        self.shared_ratio.encode(out);
+        self.phase1_user_fraction.encode(out);
+        self.dividing_ratio.encode(out);
+        put_u64_fixed(out, self.seed);
+        out.push(fo_exec_to_u8(self.fo_exec));
+    }
+}
+
+impl Decode for ProtocolConfig {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ProtocolConfig {
+            k: usize::decode(reader)?,
+            epsilon: f64::decode(reader)?,
+            fo: fo_kind_from_u8(reader.take_u8()?)?,
+            max_bits: u8::decode(reader)?,
+            granularity: u8::decode(reader)?,
+            shared_ratio: f64::decode(reader)?,
+            phase1_user_fraction: f64::decode(reader)?,
+            dividing_ratio: f64::decode(reader)?,
+            seed: reader.take_u64_fixed()?,
+            fo_exec: fo_exec_from_u8(reader.take_u8()?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhh_wire::{from_bytes, to_bytes};
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value);
+        assert_eq!(from_bytes::<T>(&bytes).unwrap(), value);
+    }
+
+    fn report() -> CandidateReport {
+        CandidateReport {
+            party: "party-7".to_string(),
+            level: 5,
+            candidates: vec![(0xFFFF_FFFF_FFFF, 12.5), (3, -0.25)],
+            users: 4321,
+        }
+    }
+
+    #[test]
+    fn protocol_types_round_trip() {
+        round_trip(report());
+        let mut dictionary = PruneDictionary::default();
+        dictionary.insert(
+            3,
+            PruneCandidates {
+                infrequent: vec![9, 10],
+                frequent: vec![(1, 0.5)],
+            },
+        );
+        round_trip(dictionary.clone());
+        round_trip(RoundPayload::Report(report()));
+        round_trip(RoundPayload::Dictionary(dictionary));
+        round_trip(RoundMessage {
+            from: 2,
+            party: "party-2".to_string(),
+            round: 9,
+            payload: RoundPayload::Report(report()),
+        });
+        round_trip(PartyEvent::Level(LevelEstimated {
+            party: "p".to_string(),
+            level: 1,
+            candidates: 8,
+            users: 100,
+            report_bits: 1600,
+            uplink_bits: 96,
+        }));
+        round_trip(PartyEvent::Pruning(PruningDecision {
+            party: "p".to_string(),
+            level: 2,
+            pruned: vec![1, 2, 3],
+            gamma: 0.75,
+        }));
+        round_trip(PartyEvent::ValidationReports {
+            party: "p".to_string(),
+            bits: 320,
+        });
+        round_trip(RoundCollection {
+            round: 3,
+            messages: vec![RoundMessage {
+                from: 0,
+                party: "a".to_string(),
+                round: 3,
+                payload: RoundPayload::Report(report()),
+            }],
+            events: vec![(
+                0,
+                vec![PartyEvent::ValidationReports {
+                    party: "a".to_string(),
+                    bits: 8,
+                }],
+            )],
+        });
+        round_trip(FaultPlan {
+            dropout_fraction: 0.25,
+            stragglers: true,
+            seed: u64::MAX,
+        });
+        round_trip(ProtocolConfig::default());
+        round_trip(ProtocolConfig {
+            fo: FoKind::Olh,
+            fo_exec: FoExec::Scalar,
+            ..ProtocolConfig::test_default()
+        });
+    }
+
+    #[test]
+    fn counts_survive_the_wire_bit_exactly() {
+        let report = CandidateReport {
+            party: "p".to_string(),
+            level: 1,
+            candidates: vec![(1, f64::from_bits(0x3FF0_0000_0000_0001)), (2, -0.0)],
+            users: 1,
+        };
+        let back: CandidateReport = from_bytes(&to_bytes(&report)).unwrap();
+        for ((_, a), (_, b)) in report.candidates.iter().zip(&back.candidates) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        let mut bytes = to_bytes(&RoundPayload::Report(report()));
+        bytes[0] = 7;
+        assert!(matches!(
+            from_bytes::<RoundPayload>(&bytes),
+            Err(WireError::InvalidValue {
+                what: "round payload tag",
+                ..
+            })
+        ));
+        let mut config = to_bytes(&ProtocolConfig::default());
+        // The FO kind byte sits after the varint k and the 8-byte epsilon.
+        let fo_offset = to_bytes(&ProtocolConfig::default().k).len() + 8;
+        config[fo_offset] = 9;
+        assert!(matches!(
+            from_bytes::<ProtocolConfig>(&config),
+            Err(WireError::InvalidValue {
+                what: "frequency oracle kind",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_messages_never_panic() {
+        let bytes = to_bytes(&RoundMessage {
+            from: 1,
+            party: "p1".to_string(),
+            round: 2,
+            payload: RoundPayload::Report(report()),
+        });
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<RoundMessage>(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Wire-format integration tests for the federated protocol types:
+//! randomised round trips, and the consistency check pinning the
+//! `size_bits` cost model to the real encoded length so `CommTracker`
+//! uplink accounting cannot silently drift from the wire format.
+
+use fedhh_federated::{
+    CandidateReport, FaultPlan, FoExec, ProtocolConfig, PruneCandidates, PruneDictionary,
+    RoundMessage, RoundPayload, PAIR_BITS,
+};
+use fedhh_fo::FoKind;
+use fedhh_wire::{from_bytes, to_bytes};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn random_report(rng: &mut StdRng) -> CandidateReport {
+    let pairs = rng.gen_range(0usize..20);
+    CandidateReport {
+        party: format!("party-{}", rng.gen_range(0usize..10)),
+        level: rng.gen_range(1u32..25) as u8,
+        candidates: (0..pairs)
+            // 48-bit prefixes with arbitrary f64 count bit patterns.
+            .map(|_| (rng.gen::<u64>() >> 16, f64::from_bits(rng.gen())))
+            .collect(),
+        users: rng.gen_range(0usize..100_000),
+    }
+}
+
+fn random_dictionary(rng: &mut StdRng) -> PruneDictionary {
+    let mut dictionary = PruneDictionary::default();
+    for _ in 0..rng.gen_range(0usize..5) {
+        let level = rng.gen_range(1u32..25) as u8;
+        let infrequent = (0..rng.gen_range(0usize..8))
+            .map(|_| rng.gen::<u64>() >> 16)
+            .collect();
+        let frequent = (0..rng.gen_range(0usize..8))
+            .map(|_| (rng.gen::<u64>() >> 16, rng.gen::<f64>()))
+            .collect();
+        dictionary.insert(
+            level,
+            PruneCandidates {
+                infrequent,
+                frequent,
+            },
+        );
+    }
+    dictionary
+}
+
+fn random_config(rng: &mut StdRng) -> ProtocolConfig {
+    let max_bits = rng.gen_range(8u32..=48) as u8;
+    ProtocolConfig {
+        k: rng.gen_range(1usize..100),
+        epsilon: rng.gen::<f64>() * 8.0,
+        fo: *[FoKind::Grr, FoKind::Oue, FoKind::Olh]
+            .get(rng.gen_range(0usize..3))
+            .unwrap(),
+        max_bits,
+        granularity: rng.gen_range(1u32..=max_bits as u32) as u8,
+        shared_ratio: rng.gen::<f64>(),
+        phase1_user_fraction: rng.gen::<f64>() * 0.99,
+        dividing_ratio: rng.gen::<f64>() * 0.49,
+        seed: rng.gen(),
+        fo_exec: if rng.gen::<bool>() {
+            FoExec::Batched
+        } else {
+            FoExec::Scalar
+        },
+    }
+}
+
+#[test]
+fn random_reports_round_trip_bit_exactly() {
+    let mut rng = rng(11);
+    for _ in 0..300 {
+        let report = random_report(&mut rng);
+        let back: CandidateReport = from_bytes(&to_bytes(&report)).unwrap();
+        assert_eq!(back.party, report.party);
+        assert_eq!(back.level, report.level);
+        assert_eq!(back.users, report.users);
+        assert_eq!(back.candidates.len(), report.candidates.len());
+        for ((v1, c1), (v2, c2)) in report.candidates.iter().zip(&back.candidates) {
+            assert_eq!(v1, v2);
+            assert_eq!(c1.to_bits(), c2.to_bits(), "count bit pattern changed");
+        }
+    }
+}
+
+#[test]
+fn random_dictionaries_round_trip() {
+    let mut rng = rng(12);
+    for _ in 0..300 {
+        let dictionary = random_dictionary(&mut rng);
+        assert_eq!(
+            from_bytes::<PruneDictionary>(&to_bytes(&dictionary)).unwrap(),
+            dictionary
+        );
+    }
+}
+
+#[test]
+fn random_configs_round_trip() {
+    let mut rng = rng(13);
+    for _ in 0..300 {
+        let config = random_config(&mut rng);
+        assert_eq!(
+            from_bytes::<ProtocolConfig>(&to_bytes(&config)).unwrap(),
+            config
+        );
+    }
+}
+
+#[test]
+fn random_fault_plans_round_trip() {
+    let mut rng = rng(14);
+    for _ in 0..100 {
+        let plan = FaultPlan {
+            dropout_fraction: rng.gen(),
+            stragglers: rng.gen(),
+            seed: rng.gen(),
+        };
+        assert_eq!(from_bytes::<FaultPlan>(&to_bytes(&plan)).unwrap(), plan);
+    }
+}
+
+#[test]
+fn truncated_or_corrupt_payloads_are_typed_errors_never_panics() {
+    let mut rng = rng(15);
+    for _ in 0..50 {
+        let payload = if rng.gen::<bool>() {
+            RoundPayload::Report(random_report(&mut rng))
+        } else {
+            RoundPayload::Dictionary(random_dictionary(&mut rng))
+        };
+        let bytes = to_bytes(&payload);
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<RoundPayload>(&bytes[..cut]).is_err());
+        }
+        let mut corrupt = bytes.clone();
+        let bit = rng.gen_range(0usize..corrupt.len() * 8);
+        corrupt[bit / 8] ^= 1 << (bit % 8);
+        // Either a typed error or a (different) value — never a panic.
+        let _ = from_bytes::<RoundPayload>(&corrupt);
+    }
+}
+
+/// The `size_bits` ↔ encoded-length consistency contract: the cost model
+/// charges `PAIR_BITS` (96) per candidate pair; the wire encodes a pair as
+/// a fixed 16 bytes (128 bits).  The per-pair padding tolerance of 48 bits
+/// plus a 512-bit envelope allowance (party name, level, users, lengths,
+/// message framing) must absorb the difference for every payload variant —
+/// if someone changes the codec or the cost model so that the accounted
+/// bits no longer track the real wire format, this test fails.
+#[test]
+fn size_bits_tracks_the_real_wire_length_for_every_payload_variant() {
+    const PER_PAIR_TOLERANCE_BITS: i64 = 48;
+    const ENVELOPE_TOLERANCE_BITS: i64 = 512;
+    let mut rng = rng(16);
+    let mut seen_report = false;
+    let mut seen_dictionary = false;
+    for _ in 0..200 {
+        let payload = if rng.gen::<bool>() {
+            seen_report = true;
+            RoundPayload::Report(random_report(&mut rng))
+        } else {
+            seen_dictionary = true;
+            RoundPayload::Dictionary(random_dictionary(&mut rng))
+        };
+        let size_bits = payload.size_bits() as i64;
+        let pairs = size_bits / PAIR_BITS as i64;
+        let message = RoundMessage {
+            from: rng.gen_range(0usize..8),
+            party: format!("party-{}", rng.gen_range(0usize..8)),
+            round: rng.gen_range(0u32..64),
+            payload,
+        };
+        let wire_bits = 8 * to_bytes(&message).len() as i64;
+        let tolerance = pairs * PER_PAIR_TOLERANCE_BITS + ENVELOPE_TOLERANCE_BITS;
+        assert!(
+            (wire_bits - size_bits).abs() <= tolerance,
+            "size_bits {size_bits} vs wire {wire_bits} bits exceeds the \
+             {tolerance}-bit padding tolerance ({pairs} pairs)"
+        );
+    }
+    assert!(
+        seen_report && seen_dictionary,
+        "both variants must be covered"
+    );
+}

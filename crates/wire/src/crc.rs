@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3 polynomial), the frame checksum.
+//!
+//! Table-driven, computed once at first use.  The polynomial and bit order
+//! match zlib's `crc32`, so frames can be checked by standard tooling.
+
+use std::sync::OnceLock;
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard zlib check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = crc32(b"round message");
+        let mut flipped = b"round message".to_vec();
+        for i in 0..flipped.len() * 8 {
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), base, "bit {i} undetected");
+            flipped[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The typed error every wire operation surfaces as.
+
+use std::fmt;
+
+/// A structured error raised while encoding, decoding or transporting wire
+/// data.  Decoding never panics on malformed input — every failure mode maps
+/// to one of these variants, so transports can fold the error into their own
+/// error types (e.g. `ProtocolError::Transport`) without losing the cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// The value decoded cleanly but left unconsumed bytes behind.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        trailing: usize,
+    },
+    /// A varint ran past the 10-byte limit of a 64-bit value.
+    VarintOverflow,
+    /// A length or string did not fit the platform's `usize`.
+    LengthOverflow {
+        /// The rejected length.
+        length: u64,
+    },
+    /// A string's bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// A tag or boolean byte held a value outside the type's domain.
+    InvalidValue {
+        /// Name of the type being decoded.
+        what: &'static str,
+        /// The rejected raw value.
+        value: u64,
+    },
+    /// The frame's schema byte names a version this build does not speak.
+    SchemaMismatch {
+        /// Schema version found in the frame.
+        found: u8,
+        /// Schema version this build supports.
+        supported: u8,
+    },
+    /// The frame's checksum did not match its contents.
+    CrcMismatch {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum computed over the received bytes.
+        found: u32,
+    },
+    /// A frame announced a length beyond the configured maximum.
+    FrameTooLarge {
+        /// The announced length in bytes.
+        length: usize,
+        /// The maximum accepted length in bytes.
+        max: usize,
+    },
+    /// An underlying I/O operation failed.
+    Io {
+        /// The `std::io::ErrorKind` of the failure.
+        kind: std::io::ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The peer violated the message protocol (unexpected frame, wrong
+    /// round, bad handshake).
+    Protocol {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A remote peer reported a failure of its own and the exchange was
+    /// aborted.
+    Remote {
+        /// The peer's failure description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            WireError::TrailingBytes { trailing } => {
+                write!(f, "decoded value left {trailing} trailing bytes")
+            }
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::LengthOverflow { length } => {
+                write!(f, "length {length} does not fit this platform")
+            }
+            WireError::InvalidUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            WireError::InvalidValue { what, value } => {
+                write!(f, "invalid {what} value {value}")
+            }
+            WireError::SchemaMismatch { found, supported } => {
+                write!(
+                    f,
+                    "wire schema {found} is not the supported schema {supported}"
+                )
+            }
+            WireError::CrcMismatch { expected, found } => {
+                write!(
+                    f,
+                    "frame crc mismatch: frame says {expected:#010x}, computed {found:#010x}"
+                )
+            }
+            WireError::FrameTooLarge { length, max } => {
+                write!(f, "frame of {length} bytes exceeds the {max}-byte limit")
+            }
+            WireError::Io { kind, detail } => write!(f, "i/o error ({kind:?}): {detail}"),
+            WireError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            WireError::Remote { detail } => write!(f, "remote peer failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(err: std::io::Error) -> Self {
+        WireError::Io {
+            kind: err.kind(),
+            detail: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_human_readable() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (
+                WireError::Truncated {
+                    needed: 4,
+                    available: 1,
+                },
+                "truncated",
+            ),
+            (WireError::TrailingBytes { trailing: 3 }, "trailing"),
+            (WireError::VarintOverflow, "varint"),
+            (WireError::LengthOverflow { length: u64::MAX }, "length"),
+            (WireError::InvalidUtf8, "UTF-8"),
+            (
+                WireError::InvalidValue {
+                    what: "bool",
+                    value: 7,
+                },
+                "bool",
+            ),
+            (
+                WireError::SchemaMismatch {
+                    found: 9,
+                    supported: 1,
+                },
+                "schema 9",
+            ),
+            (
+                WireError::CrcMismatch {
+                    expected: 1,
+                    found: 2,
+                },
+                "crc",
+            ),
+            (WireError::FrameTooLarge { length: 10, max: 5 }, "10 bytes"),
+            (
+                WireError::Protocol {
+                    detail: "bad".into(),
+                },
+                "bad",
+            ),
+            (
+                WireError::Remote {
+                    detail: "boom".into(),
+                },
+                "boom",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err} missing {needle}");
+        }
+    }
+
+    #[test]
+    fn io_errors_fold_in_with_their_kind() {
+        let err = WireError::from(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "gone",
+        ));
+        assert!(matches!(
+            err,
+            WireError::Io {
+                kind: std::io::ErrorKind::UnexpectedEof,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("gone"));
+    }
+}

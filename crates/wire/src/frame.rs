@@ -1,0 +1,188 @@
+//! Length-prefixed frames: the unit of transmission on a byte stream.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! [ length: u32 ][ schema: u8 ][ payload ... ][ crc32: u32 ]
+//! ```
+//!
+//! `length` counts everything after itself (schema byte + payload + crc).
+//! The schema byte is [`WIRE_SCHEMA`]; a reader that finds a different
+//! version fails with [`WireError::SchemaMismatch`] before touching the
+//! payload, so incompatible peers fail loudly at the first frame.  The
+//! trailing CRC-32 covers the schema byte and the payload.
+
+use crate::codec::{from_bytes, to_bytes, Decode, Encode};
+use crate::crc::crc32;
+use crate::error::WireError;
+use std::io::{Read, Write};
+
+/// The wire schema version this build speaks.
+pub const WIRE_SCHEMA: u8 = 1;
+
+/// The largest frame a reader will accept, in bytes (schema + payload +
+/// crc).  Guards against a corrupt length prefix allocating gigabytes.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Encodes `value` and writes it as one frame.
+pub fn write_frame<W: Write, T: Encode + ?Sized>(
+    writer: &mut W,
+    value: &T,
+) -> Result<(), WireError> {
+    write_frame_bytes(writer, &to_bytes(value))
+}
+
+/// Writes an already-encoded payload as one frame.
+pub fn write_frame_bytes<W: Write>(writer: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    let length = 1 + payload.len() + 4;
+    if length > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            length,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut body = Vec::with_capacity(4 + length);
+    body.extend_from_slice(&(length as u32).to_le_bytes());
+    body.push(WIRE_SCHEMA);
+    body.extend_from_slice(payload);
+    // The checksum covers schema byte + payload, which `body` already holds
+    // contiguously after the length prefix — no second copy needed.
+    let crc = crc32(&body[4..]);
+    body.extend_from_slice(&crc.to_le_bytes());
+    writer.write_all(&body)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one frame and decodes its payload as `T`.
+pub fn read_frame<R: Read, T: Decode>(reader: &mut R) -> Result<T, WireError> {
+    from_bytes(&read_frame_bytes(reader)?)
+}
+
+/// Reads one frame, verifying schema and checksum, and returns the raw
+/// payload bytes.
+pub fn read_frame_bytes<R: Read>(reader: &mut R) -> Result<Vec<u8>, WireError> {
+    let mut word = [0u8; 4];
+    reader.read_exact(&mut word)?;
+    let length = u32::from_le_bytes(word) as usize;
+    if length > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge {
+            length,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    if length < 5 {
+        return Err(WireError::Protocol {
+            detail: format!("frame length {length} is below the 5-byte minimum"),
+        });
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    let (checked, crc_bytes) = body.split_at(length - 4);
+    let mut crc_word = [0u8; 4];
+    crc_word.copy_from_slice(crc_bytes);
+    let expected = u32::from_le_bytes(crc_word);
+    let found = crc32(checked);
+    if expected != found {
+        return Err(WireError::CrcMismatch { expected, found });
+    }
+    let schema = checked[0];
+    if schema != WIRE_SCHEMA {
+        return Err(WireError::SchemaMismatch {
+            found: schema,
+            supported: WIRE_SCHEMA,
+        });
+    }
+    Ok(checked[1..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(value: &str) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, value).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let bytes = framed("payload");
+        let back: String = read_frame(&mut Cursor::new(&bytes)).unwrap();
+        assert_eq!(back, "payload");
+    }
+
+    #[test]
+    fn several_frames_stream_back_to_back() {
+        let mut stream = Vec::new();
+        for value in ["a", "bb", "ccc"] {
+            write_frame(&mut stream, value).unwrap();
+        }
+        let mut cursor = Cursor::new(&stream);
+        for value in ["a", "bb", "ccc"] {
+            let back: String = read_frame(&mut cursor).unwrap();
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_fails_the_checksum() {
+        let mut bytes = framed("payload");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = read_frame::<_, String>(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, WireError::CrcMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn foreign_schema_byte_is_rejected_before_decoding() {
+        let mut bytes = framed("payload");
+        bytes[4] = WIRE_SCHEMA + 1;
+        // Recompute nothing: the crc now also mismatches, but a frame with a
+        // consistent crc and a foreign schema must fail on the schema.  Build
+        // one by re-framing manually.
+        let payload = crate::codec::to_bytes(&"payload".to_string());
+        let length = 1 + payload.len() + 4;
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&(length as u32).to_le_bytes());
+        forged.push(WIRE_SCHEMA + 1);
+        forged.extend_from_slice(&payload);
+        let mut crc_input = vec![WIRE_SCHEMA + 1];
+        crc_input.extend_from_slice(&payload);
+        forged.extend_from_slice(&crate::crc::crc32(&crc_input).to_le_bytes());
+        let err = read_frame::<_, String>(&mut Cursor::new(&forged)).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::SchemaMismatch {
+                found: WIRE_SCHEMA + 1,
+                supported: WIRE_SCHEMA
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_frames_surface_as_io_errors() {
+        let bytes = framed("payload");
+        for cut in 0..bytes.len() {
+            let err = read_frame::<_, String>(&mut Cursor::new(&bytes[..cut])).unwrap_err();
+            assert!(matches!(err, WireError::Io { .. }), "cut {cut} gave {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected() {
+        let mut bytes = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let err = read_frame::<_, String>(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn undersized_length_prefixes_are_rejected() {
+        let bytes = 3u32.to_le_bytes().to_vec();
+        let err = read_frame::<_, String>(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, WireError::Protocol { .. }), "{err}");
+    }
+}

@@ -15,9 +15,12 @@
 //! * [`trie`] — m-bit prefixes, level schedules, candidate extension.
 //! * [`datasets`] — federated workload generators (Table 2 stand-ins).
 //! * [`federated`] — protocol configuration, group assignment, estimation,
-//!   server aggregation, communication accounting.
+//!   server aggregation, communication accounting, the round engine, and
+//!   the networking subsystem (socket transport + multi-process node links).
 //! * [`mechanisms`] — PEM, FedPEM, GTF, TAP and TAPS.
 //! * [`metrics`] — F1, NCR and average local recall.
+//! * [`wire`] — the dependency-free versioned binary codec everything on a
+//!   socket travels in (re-export of `fedhh-wire`).
 //!
 //! ## Quickstart
 //!
@@ -85,12 +88,15 @@ pub use fedhh_mechanisms as mechanisms;
 /// Utility metrics (re-export of `fedhh-metrics`).
 pub use fedhh_metrics as metrics;
 
+/// The binary wire format (re-export of `fedhh-wire`).
+pub use fedhh_wire as wire;
+
 /// The most commonly used types, importable with a single `use fedhh::prelude::*`.
 pub mod prelude {
     pub use crate::datasets::{DatasetConfig, DatasetKind, FederatedDataset, PartyData};
     pub use crate::federated::{
         EngineConfig, FaultPlan, FoExec, NullObserver, ProtocolConfig, ProtocolError,
-        RecordingObserver, RunObserver, RunPhase,
+        RecordingObserver, RunObserver, RunPhase, SessionLink, TransportKind, WireError,
     };
     pub use crate::fo::{FoKind, PrivacyBudget};
     pub use crate::mechanisms::{

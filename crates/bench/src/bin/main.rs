@@ -8,6 +8,9 @@
 //!                   [--quick] [--reps N] [--user-scale F]
 //!                   [--parallelism N] [--dropout F] [--transport {memory,tcp}]
 //! fedhh-bench perf [--quick] [--out PATH] [--check BASELINE] [--threshold F]
+//! fedhh-bench scale [--quick] [--dataset KIND] [--mechanism KIND] [--eager]
+//!                   [--chunk N] [--parallelism N] [--user-scales F,F,...]
+//!                   [--out PATH] [--max-rss-mb N]
 //! ```
 //!
 //! `run all` reproduces every table and figure of the paper's evaluation and
@@ -27,6 +30,14 @@
 //! `BENCH_perf.json`), and — when `--check BASELINE` is given — exits
 //! non-zero if any baseline workload regressed beyond `--threshold`
 //! (default 2.0x) or disappeared from the suite.
+//!
+//! `scale` sweeps `user_scale` up through the paper's full populations
+//! (default: TAPS on RDB, streamed chunked data plane) and writes
+//! `BENCH_scale.json` (see the `fedhh_bench::scale` module for the
+//! schema).  `--quick` runs CI's reduced sweep, `--eager` measures the
+//! materializing baseline instead, and `--max-rss-mb N` exits non-zero
+//! when the sweep's peak resident set exceeds the ceiling — the CI
+//! `scale-smoke` gate that memory stays bounded as populations grow.
 
 use fedhh_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fedhh_bench::report::reports_to_json;
@@ -51,12 +62,19 @@ fn main() -> ExitCode {
         Some("run") => run_command(&args[1..]),
         Some("trial") => trial_command(&args[1..]),
         Some("perf") => perf_command(&args[1..]),
+        Some("scale") => scale_command(&args[1..]),
         _ => {
-            eprintln!("usage: fedhh-bench <list|run|trial|perf> [args] [options]");
+            eprintln!("usage: fedhh-bench <list|run|trial|perf|scale> [args] [options]");
             eprintln!("  run <experiment|all> [--quick] [--reps N] [--user-scale F] [--markdown] [--json PATH]");
             eprintln!("  trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N] [--quick] [--reps N]");
             eprintln!("        [--parallelism N] [--dropout F] [--transport {{memory,tcp}}]");
             eprintln!("  perf [--quick] [--out PATH] [--check BASELINE] [--threshold F]");
+            eprintln!(
+                "  scale [--quick] [--dataset KIND] [--mechanism KIND] [--eager] [--chunk N]"
+            );
+            eprintln!(
+                "        [--parallelism N] [--user-scales F,F,...] [--out PATH] [--max-rss-mb N]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -298,6 +316,185 @@ fn perf_command(args: &[String]) -> ExitCode {
                 eprintln!("  {violation}");
             }
             return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn scale_command(args: &[String]) -> ExitCode {
+    let mut options = fedhh_bench::ScaleOptions::full();
+    let mut out_path = "BENCH_scale.json".to_string();
+    let mut max_rss_mb: Option<u64> = None;
+    let mut explicit_scales: Option<Vec<f64>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                // Only the sweep shape changes; every other option the
+                // user set stays as parsed.
+                options.user_scales = fedhh_bench::ScaleOptions::quick().user_scales;
+                options.quick = true;
+            }
+            "--eager" => options.eager = true,
+            "--dataset" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(kind)) => options.dataset = kind,
+                    Some(Err(err)) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--dataset requires a value");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--mechanism" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(kind)) => options.mechanism = kind,
+                    Some(Err(err)) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--mechanism requires a value");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--chunk" => {
+                i += 1;
+                match parse_value::<usize>("--chunk", args.get(i)).map(std::num::NonZeroUsize::new)
+                {
+                    Ok(Some(chunk)) => options.chunk = Some(chunk),
+                    Ok(None) => {
+                        eprintln!("--chunk must be at least 1");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--parallelism" => {
+                i += 1;
+                match parse_value("--parallelism", args.get(i)) {
+                    Ok(v) => options.parallelism = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--user-scales" => {
+                i += 1;
+                let Some(raw) = args.get(i) else {
+                    eprintln!("--user-scales requires a comma-separated list");
+                    return ExitCode::FAILURE;
+                };
+                let parsed: Result<Vec<f64>, _> =
+                    raw.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                match parsed {
+                    Ok(scales)
+                        if !scales.is_empty()
+                            && scales.iter().all(|s| *s > 0.0 && s.is_finite()) =>
+                    {
+                        explicit_scales = Some(scales)
+                    }
+                    _ => {
+                        eprintln!("--user-scales got an invalid list {raw:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path.clone();
+            }
+            "--max-rss-mb" => {
+                i += 1;
+                match parse_value::<u64>("--max-rss-mb", args.get(i)) {
+                    Ok(v) if v > 0 => max_rss_mb = Some(v),
+                    Ok(v) => {
+                        eprintln!("--max-rss-mb must be positive, got {v}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if let Some(scales) = explicit_scales {
+        options.user_scales = scales;
+    }
+    if options.eager && options.chunk.is_some() {
+        eprintln!("--chunk selects the streamed pipeline's chunk size and conflicts with --eager");
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "[fedhh-bench] scale sweep: {} on {} ({} data plane, user scales {:?})",
+        options.mechanism,
+        options.dataset,
+        if options.eager { "eager" } else { "streamed" },
+        options.user_scales
+    );
+    let start = std::time::Instant::now();
+    let report = match fedhh_bench::run_scale(&options) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("[fedhh-bench] scale sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[fedhh-bench] scale sweep finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    print!("{}", report.to_table());
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[fedhh-bench] wrote {out_path}");
+
+    if let Some(ceiling_mb) = max_rss_mb {
+        match report.peak_rss_kb() {
+            Some(peak_kb) => {
+                let peak_mb = peak_kb as f64 / 1024.0;
+                if peak_kb > ceiling_mb * 1024 {
+                    eprintln!(
+                        "[fedhh-bench] scale check FAILED: peak rss {peak_mb:.1} mb exceeds \
+                         the {ceiling_mb} mb ceiling"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "[fedhh-bench] scale check passed: peak rss {peak_mb:.1} mb within the \
+                     {ceiling_mb} mb ceiling"
+                );
+            }
+            None => {
+                eprintln!(
+                    "[fedhh-bench] scale check skipped: no rss reading on this platform \
+                     (--max-rss-mb needs /proc/self/status)"
+                );
+            }
         }
     }
     ExitCode::SUCCESS

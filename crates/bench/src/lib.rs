@@ -27,7 +27,14 @@
 //! mechanism hot-path workloads measured as ns/report and reports/sec,
 //! emitted as machine-readable `BENCH_perf.json`, with
 //! `--check <baseline.json>` acting as the CI regression gate (see the
-//! [`perf`] module docs for the schema and gate semantics).
+//! [`perf`] module docs for the schema and gate semantics); and
+//! `fedhh-bench scale` sweeps `user_scale` up through the paper's full
+//! populations on the streamed chunked data plane, emitting
+//! `BENCH_scale.json` with throughput and peak-RSS per point (see the
+//! [`scale`] module docs and CI's `scale-smoke` ceiling).
+//!
+//! The harness's place in the system is mapped in `ARCHITECTURE.md` at the
+//! repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,9 +45,11 @@ pub mod nodespec;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod scale;
 
 pub use experiments::BenchError;
 pub use nodespec::{partition_parties, NodeRunSpec};
 pub use perf::{check_report, run_suite, PerfEntry, PerfReport, PerfViolation};
 pub use report::ExperimentReport;
 pub use runner::{ExperimentScale, TrialMetrics};
+pub use scale::{run_scale, ScaleOptions, ScalePoint, ScaleReport};

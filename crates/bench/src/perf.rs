@@ -448,7 +448,7 @@ pub fn run_suite(quick: bool) -> Result<PerfReport, String> {
 
 /// A minimal JSON reader for the perf schema (objects, arrays, strings,
 /// numbers); the workspace builds hermetically, so no serde.
-mod json {
+pub(crate) mod json {
     /// A parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {

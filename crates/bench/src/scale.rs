@@ -1,0 +1,491 @@
+//! The `fedhh-bench scale` subsystem: user-population sweeps with memory
+//! accounting.
+//!
+//! The ROADMAP's north star is "heavy traffic from millions of users";
+//! this module measures how the system approaches it.  A scale run sweeps
+//! `user_scale` up through the paper's full populations
+//! (`DatasetConfig::paper_scale`, `user_scale = 1.0`), builds each dataset
+//! **streamed** (parties regenerate their items in chunks, see
+//! `fedhh_datasets::stream`), executes one mechanism end-to-end per point
+//! with the chunked report pipeline, and records throughput, uplink
+//! traffic and the process's peak resident set size — the axis the
+//! streaming data plane exists to bound.
+//!
+//! ## `BENCH_scale.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "dataset": "RDB",
+//!   "mechanism": "TAPS",
+//!   "mode": "streamed",
+//!   "points": [
+//!     {
+//!       "user_scale": 1.0,
+//!       "users": 352830,
+//!       "elapsed_ms": 1250.5,
+//!       "reports_per_sec": 282152.2,
+//!       "uplink_bits": 1234567,
+//!       "peak_rss_kb": 51200
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `schema` — format version (currently 1).
+//! * `dataset` / `mechanism` — the swept workload.
+//! * `mode` — `"streamed"` (chunked data plane) or `"eager"` (the pre-0.6
+//!   materializing baseline, selected by `--eager`).
+//! * `user_scale` — multiplier on the paper's Table 2 populations.
+//! * `users` — total federation population at that point.
+//! * `elapsed_ms` — mechanism wall-clock (dataset build excluded).
+//! * `reports_per_sec` — end-to-end user-report throughput (every user
+//!   reports exactly once in the main pipeline).
+//! * `uplink_bits` — party → server traffic of the run.
+//! * `peak_rss_kb` — the process's peak resident set (`VmHWM` from
+//!   `/proc/self/status`), `null` where unavailable (non-Linux).  The value
+//!   is a process-lifetime high-water mark, so within one sweep it is
+//!   non-decreasing; the final point is the sweep's peak.
+//!
+//! The parser round-trips the schema:
+//!
+//! ```
+//! use fedhh_bench::scale::ScaleReport;
+//!
+//! let json = r#"{
+//!   "schema": 1,
+//!   "dataset": "RDB",
+//!   "mechanism": "TAPS",
+//!   "mode": "streamed",
+//!   "points": [
+//!     {"user_scale": 0.5, "users": 176415, "elapsed_ms": 640.0,
+//!      "reports_per_sec": 275648.4, "uplink_bits": 98304,
+//!      "peak_rss_kb": 40960}
+//!   ]
+//! }"#;
+//! let report = ScaleReport::from_json(json).expect("valid schema");
+//! assert_eq!(report.points.len(), 1);
+//! assert_eq!(report.points[0].users, 176_415);
+//! assert_eq!(report.points[0].peak_rss_kb, Some(40_960));
+//! let back = ScaleReport::from_json(&report.to_json()).unwrap();
+//! assert_eq!(back, report);
+//! ```
+//!
+//! ## The CI `scale-smoke` gate
+//!
+//! `fedhh-bench scale --quick --max-rss-mb N` runs a reduced sweep and
+//! exits non-zero when the sweep's peak RSS exceeds the ceiling — CI's
+//! guard that the streamed data plane keeps memory bounded as populations
+//! grow.
+
+use crate::perf::json;
+use crate::report::json_string;
+use fedhh_datasets::{DatasetConfig, DatasetKind};
+use fedhh_federated::{EngineConfig, ExecMode, ProtocolConfig};
+use fedhh_mechanisms::{MechanismKind, Run};
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+
+/// One measured point of a scale sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Multiplier on the paper's user populations.
+    pub user_scale: f64,
+    /// Total federation population at this point.
+    pub users: u64,
+    /// Mechanism wall-clock in milliseconds (dataset build excluded).
+    pub elapsed_ms: f64,
+    /// End-to-end user-report throughput.
+    pub reports_per_sec: f64,
+    /// Party → server traffic, in bits.
+    pub uplink_bits: u64,
+    /// Peak resident set size of the process in kilobytes (`None` where
+    /// `/proc/self/status` is unavailable).
+    pub peak_rss_kb: Option<u64>,
+}
+
+/// A whole scale sweep: schema version, workload identity and points in
+/// ascending `user_scale` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Schema version of the JSON serialization (currently 1).
+    pub schema: u32,
+    /// The swept dataset group.
+    pub dataset: String,
+    /// The executed mechanism.
+    pub mechanism: String,
+    /// `"streamed"` or `"eager"`.
+    pub mode: String,
+    /// The measured points, ascending by `user_scale`.
+    pub points: Vec<ScalePoint>,
+}
+
+impl ScaleReport {
+    /// The sweep's peak resident set size in kilobytes (the maximum over
+    /// its points; `None` when the platform exposes no RSS).
+    pub fn peak_rss_kb(&self) -> Option<u64> {
+        self.points.iter().filter_map(|p| p.peak_rss_kb).max()
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "# fedhh scale sweep ({} on {}, {} data plane)\n",
+            self.mechanism, self.dataset, self.mode
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>12} {:>16} {:>12} {:>12}",
+            "user_scale", "users", "elapsed ms", "reports/sec", "uplink kb", "peak rss mb"
+        );
+        for p in &self.points {
+            let rss = match p.peak_rss_kb {
+                Some(kb) => format!("{:.1}", kb as f64 / 1024.0),
+                None => "n/a".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:>10.3} {:>10} {:>12.1} {:>16.0} {:>12.1} {:>12}",
+                p.user_scale,
+                p.users,
+                p.elapsed_ms,
+                p.reports_per_sec,
+                p.uplink_bits as f64 / 1000.0,
+                rss
+            );
+        }
+        out
+    }
+
+    /// Serializes the report as schema-1 JSON (hand-rolled: the workspace
+    /// builds without external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"dataset\": {},", json_string(&self.dataset));
+        let _ = writeln!(out, "  \"mechanism\": {},", json_string(&self.mechanism));
+        let _ = writeln!(out, "  \"mode\": {},", json_string(&self.mode));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let rss = match p.peak_rss_kb {
+                Some(kb) => kb.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "    {{\"user_scale\": {:.6}, \"users\": {}, \"elapsed_ms\": {:.3}, \
+                 \"reports_per_sec\": {:.1}, \"uplink_bits\": {}, \"peak_rss_kb\": {}}}",
+                p.user_scale, p.users, p.elapsed_ms, p.reports_per_sec, p.uplink_bits, rss
+            );
+            out.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a schema-1 JSON report (the inverse of
+    /// [`ScaleReport::to_json`], tolerant of whitespace and key order).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let schema = json::get_number(obj, "schema")? as u32;
+        if schema != 1 {
+            return Err(format!("unsupported scale schema version {schema}"));
+        }
+        let points_value = json::get(obj, "points")?;
+        let points_array = points_value
+            .as_array()
+            .ok_or("\"points\" must be an array")?;
+        let mut points = Vec::with_capacity(points_array.len());
+        for item in points_array {
+            let point = item.as_object().ok_or("point must be an object")?;
+            let peak_rss_kb = match json::get(point, "peak_rss_kb")? {
+                json::Value::Null => None,
+                json::Value::Number(n) => Some(*n as u64),
+                other => {
+                    return Err(format!(
+                        "\"peak_rss_kb\" must be a number or null: {other:?}"
+                    ))
+                }
+            };
+            points.push(ScalePoint {
+                user_scale: json::get_number(point, "user_scale")?,
+                users: json::get_number(point, "users")? as u64,
+                elapsed_ms: json::get_number(point, "elapsed_ms")?,
+                reports_per_sec: json::get_number(point, "reports_per_sec")?,
+                uplink_bits: json::get_number(point, "uplink_bits")? as u64,
+                peak_rss_kb,
+            });
+        }
+        Ok(Self {
+            schema,
+            dataset: json::get_string(obj, "dataset")?,
+            mechanism: json::get_string(obj, "mechanism")?,
+            mode: json::get_string(obj, "mode")?,
+            points,
+        })
+    }
+}
+
+/// What a scale sweep runs.
+#[derive(Debug, Clone)]
+pub struct ScaleOptions {
+    /// The dataset group to sweep (default RDB — the smallest full-scale
+    /// group, so a `user_scale = 1.0` point stays laptop-sized).
+    pub dataset: DatasetKind,
+    /// The mechanism to execute per point (default TAPS).
+    pub mechanism: MechanismKind,
+    /// The `user_scale` points, ascending.
+    pub user_scales: Vec<f64>,
+    /// Use the reduced quick shape (16-bit codes, 8 levels, small scales).
+    pub quick: bool,
+    /// Run the eager (materializing) baseline instead of the streamed
+    /// chunked data plane.
+    pub eager: bool,
+    /// Chunk size of the streamed pipeline (`None` = the auto default).
+    pub chunk: Option<NonZeroUsize>,
+    /// Engine worker threads per round.
+    pub parallelism: usize,
+}
+
+impl ScaleOptions {
+    /// The default full sweep: TAPS on RDB up through `user_scale = 1.0`.
+    pub fn full() -> Self {
+        Self {
+            dataset: DatasetKind::Rdb,
+            mechanism: MechanismKind::Taps,
+            user_scales: vec![0.05, 0.1, 0.25, 0.5, 1.0],
+            quick: false,
+            eager: false,
+            chunk: None,
+            parallelism: 1,
+        }
+    }
+
+    /// The reduced sweep CI's `scale-smoke` job runs.
+    pub fn quick() -> Self {
+        Self {
+            user_scales: vec![0.02, 0.05, 0.1],
+            quick: true,
+            ..Self::full()
+        }
+    }
+
+    fn dataset_config(&self, user_scale: f64) -> DatasetConfig {
+        if self.quick {
+            DatasetConfig {
+                user_scale,
+                item_scale: 0.02,
+                code_bits: 16,
+                syn_beta: 0.5,
+                seed: 42,
+            }
+        } else {
+            DatasetConfig {
+                user_scale,
+                ..DatasetConfig::paper_scale()
+            }
+        }
+    }
+
+    fn protocol_config(&self) -> ProtocolConfig {
+        let base = if self.quick {
+            ProtocolConfig::test_default()
+        } else {
+            ProtocolConfig::default()
+        };
+        let exec_mode = if self.eager {
+            ExecMode::Eager
+        } else {
+            match self.chunk {
+                Some(chunk) => ExecMode::Chunked(chunk),
+                None => ExecMode::Chunked(
+                    NonZeroUsize::new(ExecMode::AUTO_CHUNK).expect("constant is non-zero"),
+                ),
+            }
+        };
+        base.with_epsilon(4.0).with_exec_mode(exec_mode)
+    }
+}
+
+/// Reads the process's peak resident set size (`VmHWM`) in kilobytes from
+/// `/proc/self/status`.  Best-effort: returns `None` on platforms without
+/// procfs or when the field is missing.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Parses the `VmHWM` line of a `/proc/self/status` document.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb);
+        }
+    }
+    None
+}
+
+/// Runs one scale sweep and returns the measured report.
+///
+/// Points are swept — and therefore emitted — in ascending `user_scale`
+/// order regardless of the order the options listed them in, keeping the
+/// schema's ordering invariant (and the "last point is the peak
+/// population" reading) true for any CLI input.
+pub fn run_scale(options: &ScaleOptions) -> Result<ScaleReport, String> {
+    let mut user_scales = options.user_scales.clone();
+    user_scales.sort_by(f64::total_cmp);
+    let mut points = Vec::with_capacity(user_scales.len());
+    for &user_scale in &user_scales {
+        let dataset_config = options.dataset_config(user_scale);
+        let dataset = if options.eager {
+            dataset_config.build(options.dataset)
+        } else {
+            dataset_config.build_streamed(options.dataset)
+        };
+        let users = dataset.total_users();
+        let config = options.protocol_config();
+        let output = Run::mechanism(options.mechanism)
+            .dataset(&dataset)
+            .config(config)
+            .engine(EngineConfig::parallel(options.parallelism))
+            .execute()
+            .map_err(|e| format!("scale point user_scale={user_scale}: {e}"))?;
+        let secs = output.elapsed.as_secs_f64().max(1e-9);
+        points.push(ScalePoint {
+            user_scale,
+            users: users as u64,
+            elapsed_ms: secs * 1e3,
+            reports_per_sec: users as f64 / secs,
+            uplink_bits: output.comm.total_uplink_bits() as u64,
+            peak_rss_kb: peak_rss_kb(),
+        });
+        eprintln!(
+            "[fedhh-bench] scale point user_scale={user_scale}: {users} users, {:.1} ms, \
+             peak rss {}",
+            secs * 1e3,
+            points
+                .last()
+                .and_then(|p| p.peak_rss_kb)
+                .map(|kb| format!("{:.1} mb", kb as f64 / 1024.0))
+                .unwrap_or_else(|| "n/a".to_string()),
+        );
+    }
+    Ok(ScaleReport {
+        schema: 1,
+        dataset: options.dataset.name().to_string(),
+        mechanism: options.mechanism.name().to_string(),
+        mode: if options.eager { "eager" } else { "streamed" }.to_string(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ScaleReport {
+        ScaleReport {
+            schema: 1,
+            dataset: "RDB".to_string(),
+            mechanism: "TAPS".to_string(),
+            mode: "streamed".to_string(),
+            points: vec![
+                ScalePoint {
+                    user_scale: 0.05,
+                    users: 17_642,
+                    elapsed_ms: 64.25,
+                    reports_per_sec: 274_583.0,
+                    uplink_bits: 98_304,
+                    peak_rss_kb: Some(30_720),
+                },
+                ScalePoint {
+                    user_scale: 1.0,
+                    users: 352_830,
+                    elapsed_ms: 1_250.5,
+                    reports_per_sec: 282_152.2,
+                    uplink_bits: 123_456,
+                    peak_rss_kb: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_including_null_rss() {
+        let report = sample_report();
+        let parsed = ScaleReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.peak_rss_kb(), Some(30_720));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(ScaleReport::from_json("").is_err());
+        assert!(ScaleReport::from_json("{\"schema\": 1}").is_err());
+        assert!(ScaleReport::from_json(
+            "{\"schema\": 2, \"dataset\": \"RDB\", \"mechanism\": \"TAPS\", \
+             \"mode\": \"streamed\", \"points\": []}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn vm_hwm_parses_the_procfs_format() {
+        let status = "Name:\tfedhh\nVmPeak:\t  123 kB\nVmHWM:\t   51200 kB\nThreads: 1\n";
+        assert_eq!(parse_vm_hwm(status), Some(51_200));
+        assert_eq!(parse_vm_hwm("Name: x\n"), None);
+        // On Linux the live reading is present and positive.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_kb().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_produces_monotone_points() {
+        // A minimal end-to-end sweep: two tiny points through the streamed
+        // data plane.  The scales are listed descending on purpose — the
+        // sweep must still emit ascending points (the schema invariant).
+        let options = ScaleOptions {
+            user_scales: vec![0.004, 0.002],
+            ..ScaleOptions::quick()
+        };
+        let report = run_scale(&options).unwrap();
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.mode, "streamed");
+        assert!(report.points[0].user_scale < report.points[1].user_scale);
+        assert!(report.points[0].users < report.points[1].users);
+        for p in &report.points {
+            assert!(p.elapsed_ms > 0.0);
+            assert!(p.reports_per_sec > 0.0);
+            assert!(p.uplink_bits > 0);
+        }
+        let table = report.to_table();
+        assert!(table.contains("TAPS"));
+        assert!(table.contains("user_scale"));
+    }
+
+    #[test]
+    fn eager_and_streamed_sweeps_agree_on_uplink() {
+        // The data plane changes memory, never results: the same point
+        // measured eagerly and streamed reports identical uplink traffic.
+        let options = ScaleOptions {
+            user_scales: vec![0.004],
+            ..ScaleOptions::quick()
+        };
+        let streamed = run_scale(&options).unwrap();
+        let eager = run_scale(&ScaleOptions {
+            eager: true,
+            ..options
+        })
+        .unwrap();
+        assert_eq!(eager.mode, "eager");
+        assert_eq!(streamed.points[0].uplink_bits, eager.points[0].uplink_bits);
+        assert_eq!(streamed.points[0].users, eager.points[0].users);
+    }
+}

@@ -12,6 +12,10 @@
 //! same seed, which only matters if results are compared bit-for-bit against
 //! runs using upstream `rand`.
 
+//!
+//! This shim exists so the rest of the workspace can use the familiar
+//! `rand` API hermetically; the full system map lives in
+//! `ARCHITECTURE.md` at the repository root.
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -56,10 +56,13 @@ impl FedPem {
 }
 
 /// One party's FedPEM round: run local PEM end-to-end and upload the
-/// resulting top-k report.
+/// resulting top-k report.  The driver holds an [`ItemStream`] handle
+/// (cheap to clone, `Send`); the items are materialized only inside
+/// `run_pem`, once, into the group-shuffle arena — the report pipeline
+/// past that point stays chunked.
 struct FedPemDriver<'a> {
     name: &'a str,
-    items: &'a [u64],
+    items: fedhh_datasets::ItemStream,
     config: ProtocolConfig,
     extension: ExtensionStrategy,
     seed: u64,
@@ -73,7 +76,7 @@ impl PartyDriver for FedPemDriver<'_> {
     fn run_round(&mut self, _input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
         let outcome = run_pem(
             self.name,
-            self.items,
+            &self.items,
             &self.config,
             self.extension,
             self.seed,
@@ -116,7 +119,7 @@ impl Mechanism for FedPem {
             .enumerate()
             .map(|(idx, party)| FedPemDriver {
                 name: party.name(),
-                items: party.items(),
+                items: party.stream(),
                 config,
                 extension,
                 seed: ctx.party_seed(idx),

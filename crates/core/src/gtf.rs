@@ -124,8 +124,10 @@ impl Mechanism for Gtf {
             .map(|(idx, p)| {
                 Ok(GtfDriver {
                     name: p.name(),
-                    assignment: GroupAssignment::uniform(
-                        p.items(),
+                    // The stream is materialized exactly once, into the
+                    // shuffle; reports then flow chunked per level.
+                    assignment: GroupAssignment::uniform_owned(
+                        p.stream().materialize(),
                         config.granularity,
                         ctx.party_seed(idx),
                     )?,

@@ -41,6 +41,10 @@
 //! Attach a [`fedhh_federated::RunObserver`] with [`Run::observer`] to
 //! receive per-phase, per-level and pruning events while the run executes.
 
+//!
+//! This crate is the top of the execution stack (wire → transport →
+//! session → `PartyDriver` → mechanism); the full system map lives in
+//! `ARCHITECTURE.md` at the repository root.
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -9,6 +9,7 @@
 
 use crate::aggregate::{local_result_from_estimate, PartyLocalResult};
 use crate::extension::ExtensionStrategy;
+use fedhh_datasets::ItemStream;
 use fedhh_federated::{
     EstimateScratch, GroupAssignment, LevelEstimate, LevelEstimator, ProtocolConfig, ProtocolError,
 };
@@ -60,7 +61,12 @@ pub(crate) fn assignment_seed(config_seed: u64, noise_seed: u64) -> u64 {
 /// Runs PEM over one party's items.
 ///
 /// * `party_name` / `party_users` — identity and population of the party.
-/// * `items` — one m-bit item code per user.
+/// * `items` — the party's item stream, one m-bit code per user (see
+///   [`fedhh_datasets::ItemStream`]; an eager `Vec<u64>` becomes a stream
+///   via [`ItemStream::from_items`]).  The stream is materialized exactly
+///   once here, for the group shuffle; the per-level report pipeline then
+///   runs chunked through the estimator, so no full per-party report
+///   vector ever exists.
 /// * `extension` — fixed or adaptive extension strategy.
 /// * `noise_seed` — decorrelates this party's randomness from other parties.
 ///
@@ -68,15 +74,16 @@ pub(crate) fn assignment_seed(config_seed: u64, noise_seed: u64) -> u64 {
 /// never panics on user input.
 pub fn run_pem(
     party_name: &str,
-    items: &[u64],
+    items: &ItemStream,
     config: &ProtocolConfig,
     extension: ExtensionStrategy,
     noise_seed: u64,
 ) -> Result<PemPartyOutcome, ProtocolError> {
     config.validate()?;
     let schedule = config.schedule();
-    let assignment = GroupAssignment::uniform(
-        items,
+    let user_count = items.len();
+    let assignment = GroupAssignment::uniform_owned(
+        items.materialize(),
         config.granularity,
         assignment_seed(config.seed, noise_seed),
     )?;
@@ -120,7 +127,7 @@ pub fn run_pem(
 
     // Validation guarantees granularity >= 1, so at least one level ran.
     let final_estimate = last_estimate.expect("granularity is at least 1");
-    let local = local_result_from_estimate(party_name, items.len(), &final_estimate, config.k);
+    let local = local_result_from_estimate(party_name, user_count, &final_estimate, config.k);
     Ok(PemPartyOutcome {
         local,
         final_estimate,
@@ -170,7 +177,14 @@ mod tests {
     #[test]
     fn pem_finds_the_dominant_items() {
         let (items, hot) = skewed_party(1);
-        let outcome = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 11).unwrap();
+        let outcome = run_pem(
+            "p",
+            &ItemStream::from_items(items),
+            &config(),
+            ExtensionStrategy::Fixed(5),
+            11,
+        )
+        .unwrap();
         let found = &outcome.local.local_heavy_hitters;
         assert_eq!(found.len(), 5);
         // The most frequent item must be found; the top-3 should mostly be.
@@ -185,7 +199,14 @@ mod tests {
     #[test]
     fn adaptive_extension_traces_are_recorded_and_bounded() {
         let (items, _) = skewed_party(2);
-        let outcome = run_pem("p", &items, &config(), ExtensionStrategy::Adaptive, 5).unwrap();
+        let outcome = run_pem(
+            "p",
+            &ItemStream::from_items(items),
+            &config(),
+            ExtensionStrategy::Adaptive,
+            5,
+        )
+        .unwrap();
         assert_eq!(outcome.extension_trace.len(), 8);
         for t in &outcome.extension_trace {
             assert!(*t >= 1);
@@ -202,16 +223,31 @@ mod tests {
     #[test]
     fn report_bits_accumulate_over_levels() {
         let (items, _) = skewed_party(3);
-        let outcome = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 1).unwrap();
+        let items_len = items.len();
+        let outcome = run_pem(
+            "p",
+            &ItemStream::from_items(items),
+            &config(),
+            ExtensionStrategy::Fixed(5),
+            1,
+        )
+        .unwrap();
         // Every user reports exactly once; with GRR each report is 32 bits.
-        assert_eq!(outcome.local_report_bits, items.len() * 32);
+        assert_eq!(outcome.local_report_bits, items_len * 32);
     }
 
     #[test]
     fn counts_are_scaled_to_the_party_population() {
         let (items, hot) = skewed_party(4);
-        let outcome = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 2).unwrap();
         let total_users = items.len() as f64;
+        let outcome = run_pem(
+            "p",
+            &ItemStream::from_items(items),
+            &config(),
+            ExtensionStrategy::Fixed(5),
+            2,
+        )
+        .unwrap();
         let reported = outcome
             .local
             .reported_counts
@@ -250,8 +286,9 @@ mod tests {
     #[test]
     fn deterministic_given_identical_seeds() {
         let (items, _) = skewed_party(5);
-        let a = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 9).unwrap();
-        let b = run_pem("p", &items, &config(), ExtensionStrategy::Fixed(5), 9).unwrap();
+        let stream = ItemStream::from_items(items);
+        let a = run_pem("p", &stream, &config(), ExtensionStrategy::Fixed(5), 9).unwrap();
+        let b = run_pem("p", &stream, &config(), ExtensionStrategy::Fixed(5), 9).unwrap();
         assert_eq!(a.local.local_heavy_hitters, b.local.local_heavy_hitters);
     }
 }

@@ -72,7 +72,15 @@ impl<'a> RunContext<'a> {
     }
 
     /// Returns the context with a different engine configuration.
+    ///
+    /// An engine with [`EngineConfig::chunk_size`] set pins the run's
+    /// protocol configuration to chunked report-pipeline execution with
+    /// that chunk size (bit-identical results; only resident memory
+    /// changes).
     pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        if let Some(chunk) = engine.chunk {
+            self.config.exec_mode = fedhh_federated::ExecMode::Chunked(chunk);
+        }
         self.engine = engine;
         self
     }

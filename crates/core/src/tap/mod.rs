@@ -64,8 +64,10 @@ impl PartyRun {
                 Ok(PartyRun {
                     name: party.name().to_string(),
                     users_total: party.user_count(),
-                    assignment: GroupAssignment::weighted(
-                        party.items(),
+                    // The stream is materialized exactly once, into the
+                    // shuffle; reports then flow chunked per level.
+                    assignment: GroupAssignment::weighted_owned(
+                        party.stream().materialize(),
                         config.granularity,
                         gs,
                         config.phase1_user_fraction,

@@ -18,7 +18,14 @@
 //!
 //! Entry point: [`registry::DatasetKind`] + [`registry::DatasetConfig`]
 //! build a [`FederatedDataset`], a collection of [`PartyData`] whose users
-//! each hold a single m-bit item code.
+//! each hold a single m-bit item code.  At large populations
+//! ([`DatasetConfig::paper_scale`]), [`DatasetConfig::build_streamed`]
+//! keeps only per-party generator state and regenerates the identical item
+//! sequences chunk by chunk through [`stream::ItemStream`].
+//!
+//! This crate feeds the pipeline its workloads (party item streams
+//! consumed by the mechanisms' drivers); the full system map lives in
+//! `ARCHITECTURE.md` at the repository root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +37,7 @@ pub mod poisson;
 pub mod realworld;
 pub mod registry;
 pub mod stats;
+pub mod stream;
 pub mod synthetic;
 pub mod zipf;
 
@@ -39,4 +47,5 @@ pub use party::PartyData;
 pub use poisson::PoissonWeights;
 pub use registry::{DatasetConfig, DatasetKind, ParseDatasetKindError};
 pub use stats::{global_top_k, FrequencyTable};
+pub use stream::{ItemGen, ItemStream, PartyChunks, DEFAULT_CHUNK_SIZE};
 pub use zipf::ZipfSampler;

@@ -4,26 +4,46 @@
 //! item ("Each user in a party holds only a single word or item, and
 //! multiple occurrences are sampled as one", Section 7.1).  Items are stored
 //! as m-bit codes so the mechanisms can extract prefixes directly.
+//!
+//! Since 0.6 a party's items live behind an [`ItemStream`]: a regular
+//! [`crate::DatasetConfig::build`] materializes them (the eager backing,
+//! where [`PartyData::items`] returns the resident slice), while
+//! [`crate::DatasetConfig::build_streamed`] keeps only the generator state
+//! and regenerates the identical sequence chunk by chunk.  All statistics
+//! ([`PartyData::frequency_table`], [`PartyData::prefix_tree`], ...) are
+//! computed through the stream, so they work — with `O(chunk)` resident
+//! item memory — for both backings.
 
 use crate::stats::FrequencyTable;
+use crate::stream::{ItemGen, ItemStream};
 use fedhh_trie::PrefixTree;
 
 /// One party's local dataset: a name and the item code held by each user.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PartyData {
     name: String,
-    /// One m-bit item code per user.
-    items: Vec<u64>,
+    /// One m-bit item code per user, materialized or regenerable.
+    items: ItemStream,
     /// Width of the item codes in bits.
     code_bits: u8,
 }
 
 impl PartyData {
-    /// Creates a party dataset from per-user item codes.
+    /// Creates a party dataset from materialized per-user item codes.
     pub fn new(name: impl Into<String>, items: Vec<u64>, code_bits: u8) -> Self {
         Self {
             name: name.into(),
-            items,
+            items: ItemStream::from_items(items),
+            code_bits,
+        }
+    }
+
+    /// Creates a party whose items are regenerated on demand from dataset
+    /// generator state (see [`crate::stream`]).
+    pub fn from_gen(name: impl Into<String>, gen: ItemGen, code_bits: u8) -> Self {
+        Self {
+            name: name.into(),
+            items: ItemStream::from_gen(gen),
             code_bits,
         }
     }
@@ -38,9 +58,41 @@ impl PartyData {
         self.items.len()
     }
 
-    /// The item code held by each user, one entry per user.
+    /// A cheap, re-iterable handle on the party's item sequence — the
+    /// canonical way mechanisms consume party data since 0.6 (works for
+    /// both materialized and streamed parties).
+    pub fn stream(&self) -> ItemStream {
+        self.items.clone()
+    }
+
+    /// True when the party regenerates its items on demand instead of
+    /// holding them resident.
+    pub fn is_streamed(&self) -> bool {
+        self.items.is_generated()
+    }
+
+    /// The materialized item codes, one entry per user.
+    ///
+    /// Only available for eagerly built parties; use [`PartyData::stream`]
+    /// (or [`PartyData::try_items`]) to consume a streamed party.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the party was built by
+    /// [`crate::DatasetConfig::build_streamed`] — a streamed party has no
+    /// resident item vector to borrow.
     pub fn items(&self) -> &[u64] {
-        &self.items
+        self.try_items().unwrap_or_else(|| {
+            panic!(
+                "party {:?} is streamed; use PartyData::stream() instead of items()",
+                self.name
+            )
+        })
+    }
+
+    /// The materialized item codes, or `None` for a streamed party.
+    pub fn try_items(&self) -> Option<&[u64]> {
+        self.items.as_slice()
     }
 
     /// Width of the item codes in bits.
@@ -50,20 +102,22 @@ impl PartyData {
 
     /// Number of distinct item codes held by this party's users.
     pub fn distinct_items(&self) -> usize {
-        let mut sorted = self.items.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        sorted.len()
+        self.frequency_table().distinct()
     }
 
-    /// Exact local frequency table.
+    /// Exact local frequency table (streamed in chunks; `O(distinct items)`
+    /// resident memory).
     pub fn frequency_table(&self) -> FrequencyTable {
-        FrequencyTable::from_items(&self.items)
+        let mut table = FrequencyTable::new();
+        self.items.for_each(|item| table.add(item, 1));
+        table
     }
 
     /// Exact counted prefix tree over this party's items.
     pub fn prefix_tree(&self) -> PrefixTree {
-        PrefixTree::from_items(self.code_bits, &self.items)
+        let mut tree = PrefixTree::new(self.code_bits);
+        self.items.for_each(|item| tree.insert(item, 1));
+        tree
     }
 
     /// The exact local top-`k` item codes.
@@ -72,11 +126,11 @@ impl PartyData {
     }
 
     /// Returns a copy of this party restricted to the first `n` users (used
-    /// by the scalability study, Table 4).
+    /// by the scalability study, Table 4).  Streamed parties stay streamed.
     pub fn take_users(&self, n: usize) -> Self {
         Self {
             name: self.name.clone(),
-            items: self.items.iter().take(n).copied().collect(),
+            items: self.items.take(n),
             code_bits: self.code_bits,
         }
     }
@@ -97,6 +151,9 @@ mod tests {
         assert_eq!(p.user_count(), 6);
         assert_eq!(p.distinct_items(), 3);
         assert_eq!(p.code_bits(), 8);
+        assert!(!p.is_streamed());
+        assert_eq!(p.try_items(), Some(&[1, 1, 2, 3, 3, 3][..]));
+        assert_eq!(p.stream().materialize(), p.items());
     }
 
     #[test]

@@ -56,6 +56,13 @@ impl PoissonWeights {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         sample_cdf(&self.cdf, rng)
     }
+
+    /// Consumes the sampler, returning its cumulative distribution (used by
+    /// the streaming dataset generators, which sample the CDF directly so a
+    /// party's item sequence can be regenerated chunk by chunk).
+    pub fn into_cdf(self) -> Vec<f64> {
+        self.cdf
+    }
 }
 
 /// Poisson probability mass function computed in log space for stability.

@@ -20,11 +20,12 @@
 
 use crate::federated::FederatedDataset;
 use crate::party::PartyData;
+use crate::stream::ItemGen;
 use crate::zipf::ZipfSampler;
 use fedhh_trie::ItemEncoder;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Structural description of one party in a stand-in dataset.
 #[derive(Debug, Clone)]
@@ -87,8 +88,58 @@ impl ScaleConfig {
     }
 }
 
-/// Generates a federated dataset from a group specification.
+/// Generates a federated dataset from a group specification, materializing
+/// every party's items eagerly.
 pub fn generate_group(spec: &GroupSpec, scale: ScaleConfig, seed: u64) -> FederatedDataset {
+    build_group(spec, scale, seed, false)
+}
+
+/// Like [`generate_group`], but every party keeps only its generator state
+/// and regenerates its items in chunks on demand — bit-identical to the
+/// eager build (`stream.materialize()` equals the eager `items()`), with
+/// `O(item pool)` instead of `O(users)` resident memory per party.
+pub fn generate_group_streamed(
+    spec: &GroupSpec,
+    scale: ScaleConfig,
+    seed: u64,
+) -> FederatedDataset {
+    build_group(spec, scale, seed, true)
+}
+
+/// One party's materialization policy: either sample `users` items now
+/// (consuming the shared RNG, exactly as pre-0.6 builds did) or pin the
+/// RNG state inside an [`ItemGen`] and advance the shared RNG by the same
+/// number of draws, so subsequent parties see an identical stream either
+/// way.
+pub(crate) fn finish_party(
+    name: String,
+    codes: Vec<u64>,
+    cdf: Vec<f64>,
+    users: usize,
+    code_bits: u8,
+    rng: &mut StdRng,
+    streamed: bool,
+) -> PartyData {
+    let gen = ItemGen::new(codes, cdf, rng.clone(), users);
+    if streamed {
+        // One RNG word per item: skip the draws the eager path would make.
+        for _ in 0..users {
+            rng.next_u64();
+        }
+        PartyData::from_gen(name, gen, code_bits)
+    } else {
+        let mut items = Vec::new();
+        gen.fill_into(rng, &mut items, users);
+        PartyData::new(name, items, code_bits)
+    }
+}
+
+fn build_group(
+    spec: &GroupSpec,
+    scale: ScaleConfig,
+    seed: u64,
+    streamed: bool,
+) -> FederatedDataset {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0001);
     let encoder = ItemEncoder::new(scale.code_bits, seed ^ 0xC0DE_BEEF);
 
@@ -99,7 +150,7 @@ pub fn generate_group(spec: &GroupSpec, scale: ScaleConfig, seed: u64) -> Federa
     let mut next_exclusive_id = common_count as u64;
 
     let mut parties = Vec::with_capacity(spec.parties.len());
-    for (party_idx, pspec) in spec.parties.iter().enumerate() {
+    for pspec in spec.parties.iter() {
         let pool_size = scale.scale_items(pspec.unique_items).max(common_count + 1);
         let exclusive_count = pool_size - common_count;
         let exclusive_pool: Vec<u64> =
@@ -114,15 +165,18 @@ pub fn generate_group(spec: &GroupSpec, scale: ScaleConfig, seed: u64) -> Federa
         );
         let users = scale.scale_users(pspec.users);
         let sampler = ZipfSampler::new(ranking.len(), pspec.zipf_alpha);
-        let items: Vec<u64> = (0..users)
-            .map(|_| encoder.encode(ranking[sampler.sample(&mut rng)]))
-            .collect();
-        parties.push(PartyData::new(
+        // Pre-encode the ranked pool once; sampling then indexes straight
+        // into codes (identical values and RNG draws as encoding per draw).
+        let codes: Vec<u64> = ranking.iter().map(|id| encoder.encode(*id)).collect();
+        parties.push(finish_party(
             format!("{}/{}", spec.name, pspec.name),
-            items,
+            codes,
+            sampler.into_cdf(),
+            users,
             scale.code_bits,
+            &mut rng,
+            streamed,
         ));
-        let _ = party_idx;
     }
 
     FederatedDataset::new(spec.name, parties, scale.code_bits, encoder)

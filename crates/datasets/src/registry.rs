@@ -1,8 +1,10 @@
 //! Dataset registry: build any of the paper's five dataset groups by name.
 
 use crate::federated::FederatedDataset;
-use crate::realworld::{generate_group, rdb_spec, tys_spec, uba_spec, ycm_spec, ScaleConfig};
-use crate::synthetic::{generate_syn, SynConfig};
+use crate::realworld::{
+    generate_group, generate_group_streamed, rdb_spec, tys_spec, uba_spec, ycm_spec, ScaleConfig,
+};
+use crate::synthetic::{generate_syn, generate_syn_streamed, SynConfig};
 
 /// The five dataset groups used in the paper's evaluation (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,28 +138,74 @@ impl DatasetConfig {
         }
     }
 
-    /// Builds a dataset of the given kind under this configuration.
+    /// The paper's full evaluation scale: unscaled Table 2 user populations
+    /// (`user_scale = 1.0`, millions of users on UBA/TYS) and item pools
+    /// over 48-bit codes.  Populations this large should be built with
+    /// [`DatasetConfig::build_streamed`] so parties regenerate their items
+    /// in chunks instead of materializing one `u64` per user.
+    pub fn paper_scale() -> Self {
+        Self {
+            user_scale: 1.0,
+            item_scale: 1.0,
+            code_bits: 48,
+            syn_beta: 0.5,
+            seed: 42,
+        }
+    }
+
+    /// Builds a dataset of the given kind under this configuration, with
+    /// every party's items materialized eagerly.
     pub fn build(&self, kind: DatasetKind) -> FederatedDataset {
+        self.build_with(kind, false)
+    }
+
+    /// Builds a dataset whose parties keep only generator state and
+    /// regenerate their item sequences in chunks on demand (see
+    /// [`crate::stream::ItemStream`]).
+    ///
+    /// The streamed dataset is **bit-identical** to the eager one — every
+    /// party's `stream().materialize()` equals the eager party's `items()`
+    /// — while holding `O(item pool)` instead of `O(users)` resident memory
+    /// per party.  Statistics ([`FederatedDataset::ground_truth_top_k`],
+    /// frequency tables, prefix trees) work unchanged; only
+    /// [`crate::PartyData::items`] is unavailable (use
+    /// [`crate::PartyData::stream`]).
+    pub fn build_streamed(&self, kind: DatasetKind) -> FederatedDataset {
+        self.build_with(kind, true)
+    }
+
+    fn build_with(&self, kind: DatasetKind, streamed: bool) -> FederatedDataset {
         let scale = ScaleConfig {
             user_scale: self.user_scale,
             item_scale: self.item_scale,
             code_bits: self.code_bits,
         };
+        let group = |spec: &crate::realworld::GroupSpec| {
+            if streamed {
+                generate_group_streamed(spec, scale, self.seed)
+            } else {
+                generate_group(spec, scale, self.seed)
+            }
+        };
         match kind {
-            DatasetKind::Rdb => generate_group(&rdb_spec(), scale, self.seed),
-            DatasetKind::Ycm => generate_group(&ycm_spec(), scale, self.seed),
-            DatasetKind::Tys => generate_group(&tys_spec(), scale, self.seed),
-            DatasetKind::Uba => generate_group(&uba_spec(), scale, self.seed),
-            DatasetKind::Syn => generate_syn(
-                &SynConfig {
+            DatasetKind::Rdb => group(&rdb_spec()),
+            DatasetKind::Ycm => group(&ycm_spec()),
+            DatasetKind::Tys => group(&tys_spec()),
+            DatasetKind::Uba => group(&uba_spec()),
+            DatasetKind::Syn => {
+                let config = SynConfig {
                     beta: self.syn_beta,
                     user_scale: self.user_scale,
                     item_scale: self.item_scale,
                     code_bits: self.code_bits,
                     ..SynConfig::default()
-                },
-                self.seed,
-            ),
+                };
+                if streamed {
+                    generate_syn_streamed(&config, self.seed)
+                } else {
+                    generate_syn(&config, self.seed)
+                }
+            }
         }
     }
 }

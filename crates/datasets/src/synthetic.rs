@@ -10,8 +10,8 @@
 
 use crate::dirichlet::DirichletSampler;
 use crate::federated::FederatedDataset;
-use crate::party::PartyData;
 use crate::poisson::PoissonWeights;
+use crate::realworld::finish_party;
 use crate::zipf::ZipfSampler;
 use fedhh_trie::ItemEncoder;
 use rand::rngs::StdRng;
@@ -121,12 +121,28 @@ pub fn generate_syn(config: &SynConfig, seed: u64) -> FederatedDataset {
     generate_syn_with_parties(config, &syn_party_specs(), seed)
 }
 
+/// Like [`generate_syn`], but every party keeps only its generator state
+/// and regenerates its items in chunks on demand — bit-identical to the
+/// eager build.
+pub fn generate_syn_streamed(config: &SynConfig, seed: u64) -> FederatedDataset {
+    build_syn(config, &syn_party_specs(), seed, true)
+}
+
 /// Generates a SYN-style dataset with custom party specifications (used by
 /// tests and by the heterogeneity sweep of Table 8).
 pub fn generate_syn_with_parties(
     config: &SynConfig,
     parties: &[SynPartySpec],
     seed: u64,
+) -> FederatedDataset {
+    build_syn(config, parties, seed, false)
+}
+
+fn build_syn(
+    config: &SynConfig,
+    parties: &[SynPartySpec],
+    seed: u64,
+    streamed: bool,
 ) -> FederatedDataset {
     assert!(!parties.is_empty(), "SYN needs at least one party");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
@@ -171,24 +187,24 @@ pub fn generate_syn_with_parties(
         domain.shuffle(&mut rng);
 
         let users = ((spec.users as f64) * config.user_scale).round().max(50.0) as usize;
-        let items: Vec<u64> = match spec.profile {
-            FrequencyProfile::Zipf(alpha) => {
-                let sampler = ZipfSampler::new(domain.len(), alpha);
-                (0..users)
-                    .map(|_| encoder.encode(domain[sampler.sample(&mut rng)]))
-                    .collect()
-            }
+        let cdf = match spec.profile {
+            FrequencyProfile::Zipf(alpha) => ZipfSampler::new(domain.len(), alpha).into_cdf(),
             FrequencyProfile::Poisson(lambda) => {
-                let sampler = PoissonWeights::new(domain.len(), lambda);
-                (0..users)
-                    .map(|_| encoder.encode(domain[sampler.sample(&mut rng)]))
-                    .collect()
+                PoissonWeights::new(domain.len(), lambda).into_cdf()
             }
         };
-        out_parties.push(PartyData::new(
+        // Pre-encode the allocated domain once; sampling then indexes
+        // straight into codes (identical values and RNG draws as encoding
+        // per draw).
+        let codes: Vec<u64> = domain.iter().map(|id| encoder.encode(*id)).collect();
+        out_parties.push(finish_party(
             format!("SYN/{}", spec.name),
-            items,
+            codes,
+            cdf,
+            users,
             config.code_bits,
+            &mut rng,
+            streamed,
         ));
     }
 

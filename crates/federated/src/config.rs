@@ -3,6 +3,54 @@
 use crate::error::ProtocolError;
 use fedhh_fo::{FoKind, PrivacyBudget};
 use fedhh_trie::LevelSchedule;
+use std::num::NonZeroUsize;
+
+/// How the report pipeline buffers a level group's reports.
+///
+/// Results are **bit-identical** across every variant and chunk size (the
+/// chunked pipeline consumes the RNG in the same per-report order and folds
+/// each chunk into the same support arena); the axis only trades resident
+/// memory against per-chunk overhead.  See `ARCHITECTURE.md` for where the
+/// invariant is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Pick per level group: eager below [`ExecMode::AUTO_THRESHOLD`] users
+    /// (the current behaviour at test scale), chunks of
+    /// [`ExecMode::AUTO_CHUNK`] above it.
+    #[default]
+    Auto,
+    /// Buffer the whole level group's inputs and reports at once (the
+    /// pre-0.6 behaviour).
+    Eager,
+    /// Perturb and aggregate in chunks of the given size: at most
+    /// `chunk` inputs and reports are resident at any time.
+    Chunked(NonZeroUsize),
+}
+
+impl ExecMode {
+    /// The group size above which [`ExecMode::Auto`] switches from eager
+    /// buffering to chunked execution.
+    pub const AUTO_THRESHOLD: usize = 1 << 16;
+
+    /// The chunk size [`ExecMode::Auto`] uses for large groups.
+    pub const AUTO_CHUNK: usize = 16_384;
+
+    /// The chunk size to process a group of `group_len` users with (the
+    /// whole group for the eager path); always at least 1.
+    pub fn chunk_for(&self, group_len: usize) -> usize {
+        match self {
+            ExecMode::Eager => group_len.max(1),
+            ExecMode::Chunked(chunk) => chunk.get(),
+            ExecMode::Auto => {
+                if group_len > Self::AUTO_THRESHOLD {
+                    Self::AUTO_CHUNK
+                } else {
+                    group_len.max(1)
+                }
+            }
+        }
+    }
+}
 
 /// How the level estimator drives the frequency oracle.
 ///
@@ -48,6 +96,11 @@ pub struct ProtocolConfig {
     /// Whether the frequency oracle runs on the batched or the scalar
     /// reference path (bit-identical results either way).
     pub fo_exec: FoExec,
+    /// How the report pipeline buffers a level group's reports: eagerly or
+    /// in fixed-size chunks (bit-identical results either way;
+    /// [`EngineConfig::chunk_size`](crate::EngineConfig::chunk_size) pins
+    /// this per run).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for ProtocolConfig {
@@ -63,6 +116,7 @@ impl Default for ProtocolConfig {
             dividing_ratio: 0.1,
             seed: 7,
             fo_exec: FoExec::Batched,
+            exec_mode: ExecMode::Auto,
         }
     }
 }
@@ -122,6 +176,13 @@ impl ProtocolConfig {
     /// (used by the perf baseline suite to pin the scalar reference).
     pub fn with_fo_exec(mut self, fo_exec: FoExec) -> Self {
         self.fo_exec = fo_exec;
+        self
+    }
+
+    /// Returns a copy with a different report-pipeline buffering mode
+    /// (bit-identical results at any mode and chunk size).
+    pub fn with_exec_mode(mut self, exec_mode: ExecMode) -> Self {
+        self.exec_mode = exec_mode;
         self
     }
 
@@ -273,6 +334,29 @@ mod tests {
                 Err(ProtocolError::InvalidBudget { .. })
             ));
         }
+    }
+
+    #[test]
+    fn exec_mode_resolves_chunk_sizes() {
+        use std::num::NonZeroUsize;
+        // Eager always spans the group (clamped to 1 for empty groups).
+        assert_eq!(ExecMode::Eager.chunk_for(0), 1);
+        assert_eq!(ExecMode::Eager.chunk_for(500), 500);
+        // Explicit chunks are honoured verbatim.
+        let chunk = ExecMode::Chunked(NonZeroUsize::new(7).unwrap());
+        assert_eq!(chunk.chunk_for(3), 7);
+        assert_eq!(chunk.chunk_for(1_000_000), 7);
+        // Auto keeps the current (eager) behaviour at test scale and flips
+        // to fixed chunks past the threshold.
+        assert_eq!(ExecMode::Auto.chunk_for(1000), 1000);
+        assert_eq!(
+            ExecMode::Auto.chunk_for(ExecMode::AUTO_THRESHOLD + 1),
+            ExecMode::AUTO_CHUNK
+        );
+        // The builder pins the mode.
+        let c = ProtocolConfig::default().with_exec_mode(ExecMode::Eager);
+        assert_eq!(c.exec_mode, ExecMode::Eager);
+        assert_eq!(ProtocolConfig::default().exec_mode, ExecMode::Auto);
     }
 
     #[test]

@@ -197,9 +197,18 @@ impl LevelEstimator {
     /// party, per round) never reallocates its report buffers, support
     /// arena or oracle.
     ///
-    /// Results are bit-identical to [`LevelEstimator::estimate`] — and, via
-    /// the oracles' batch contract, to the scalar one-report-at-a-time
-    /// path (selected by [`FoExec::Scalar`]).
+    /// The group is processed in chunks selected by
+    /// [`ExecMode::chunk_for`](crate::ExecMode::chunk_for): each chunk's
+    /// prefixes are encoded, perturbed
+    /// with `perturb_batch` and folded straight into the scratch's
+    /// [`SupportCounts`] arena before the next chunk is touched, so at most
+    /// one chunk of inputs and reports is ever resident — **no full
+    /// per-group report vector exists** under a chunked mode.  Because the
+    /// RNG is consumed in the same per-report order regardless of chunk
+    /// boundaries (and support counts are whole-number sums, exact in
+    /// `f64`), results are bit-identical to [`LevelEstimator::estimate`] at
+    /// every chunk size — and, via the oracles' batch contract, to the
+    /// scalar one-report-at-a-time path (selected by [`FoExec::Scalar`]).
     pub fn estimate_with(
         &self,
         scratch: &mut EstimateScratch,
@@ -230,35 +239,42 @@ impl LevelEstimator {
         };
 
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ noise_seed);
-        scratch.inputs.clear();
-        scratch.inputs.reserve(users);
-        for item in group_items {
-            let prefix = Prefix::of_item(*item, self.config.max_bits, prefix_len).value();
-            let input = domain
-                .encode(&prefix)
-                .expect("domain has a dummy slot, encode cannot fail");
-            scratch.inputs.push(input);
-        }
-
-        scratch.reports.clear();
+        let chunk_size = self.config.exec_mode.chunk_for(users);
         scratch.supports.reset(domain.len());
-        let estimate = match self.config.fo_exec {
-            FoExec::Batched => {
-                oracle.perturb_batch(&scratch.inputs, &mut rng, &mut scratch.reports);
-                oracle.aggregate_into(&scratch.reports, &mut scratch.supports);
-                oracle.estimate(&scratch.supports, users)
+        let mut report_bits = 0usize;
+
+        for chunk in group_items.chunks(chunk_size) {
+            scratch.inputs.clear();
+            scratch.inputs.reserve(chunk.len());
+            for item in chunk {
+                let prefix = Prefix::of_item(*item, self.config.max_bits, prefix_len).value();
+                let input = domain
+                    .encode(&prefix)
+                    .expect("domain has a dummy slot, encode cannot fail");
+                scratch.inputs.push(input);
             }
-            FoExec::Scalar => {
-                // The reference path: one perturb call per report and a
-                // freshly allocated aggregation, as the 0.3 estimator ran.
-                scratch.reports.reserve(users);
-                for &input in &scratch.inputs {
-                    scratch.reports.push(oracle.perturb(input, &mut rng));
+
+            scratch.reports.clear();
+            match self.config.fo_exec {
+                FoExec::Batched => {
+                    oracle.perturb_batch(&scratch.inputs, &mut rng, &mut scratch.reports);
+                    oracle.aggregate_into(&scratch.reports, &mut scratch.supports);
                 }
-                oracle.estimate(&oracle.aggregate(&scratch.reports), users)
+                FoExec::Scalar => {
+                    // The reference path: one perturb call per report and a
+                    // freshly allocated aggregation, as the 0.3 estimator
+                    // ran (chunk sums of whole-number supports are exact,
+                    // so chunking cannot perturb the reference results).
+                    scratch.reports.reserve(chunk.len());
+                    for &input in &scratch.inputs {
+                        scratch.reports.push(oracle.perturb(input, &mut rng));
+                    }
+                    scratch.supports.merge(&oracle.aggregate(&scratch.reports));
+                }
             }
-        };
-        let report_bits: usize = scratch.reports.iter().map(Report::size_bits).sum();
+            report_bits += scratch.reports.iter().map(Report::size_bits).sum::<usize>();
+        }
+        let estimate = oracle.estimate(&scratch.supports, users);
 
         let frequencies: Vec<f64> = (0..candidates.len())
             .map(|i| estimate.frequency(i))
@@ -407,6 +423,53 @@ mod tests {
         assert_eq!(w1.frequencies, w2.frequencies);
         assert_eq!(n1.candidates, narrow);
         assert_eq!(w1.candidates, wide);
+    }
+
+    #[test]
+    fn chunked_execution_is_bit_identical_at_every_chunk_size() {
+        use crate::config::ExecMode;
+        use std::num::NonZeroUsize;
+        let base = config();
+        let items: Vec<u64> = (0..3001).map(|i| (i % 13) << 4 | (i % 7)).collect();
+        let candidates = vec![0b00u64, 0b01, 0b10, 0b11];
+        for fo in fedhh_fo::FoKind::ALL {
+            for fo_exec in [
+                crate::config::FoExec::Batched,
+                crate::config::FoExec::Scalar,
+            ] {
+                let eager = LevelEstimator::new(ProtocolConfig {
+                    fo,
+                    fo_exec,
+                    exec_mode: ExecMode::Eager,
+                    ..base
+                })
+                .unwrap();
+                let reference = eager.estimate(&candidates, 2, &items, 31);
+                for chunk in [1usize, 7, 64, usize::MAX] {
+                    let chunked = LevelEstimator::new(ProtocolConfig {
+                        fo,
+                        fo_exec,
+                        exec_mode: ExecMode::Chunked(NonZeroUsize::new(chunk).unwrap()),
+                        ..base
+                    })
+                    .unwrap();
+                    let got = chunked.estimate(&candidates, 2, &items, 31);
+                    assert_eq!(got.frequencies, reference.frequencies, "{fo} chunk {chunk}");
+                    assert_eq!(got.counts, reference.counts, "{fo} chunk {chunk}");
+                    assert_eq!(got.report_bits, reference.report_bits, "{fo} chunk {chunk}");
+                }
+                // Auto resolves to one of the two bit-identical paths.
+                let auto = LevelEstimator::new(ProtocolConfig {
+                    fo,
+                    fo_exec,
+                    exec_mode: ExecMode::Auto,
+                    ..base
+                })
+                .unwrap();
+                let got = auto.estimate(&candidates, 2, &items, 31);
+                assert_eq!(got.frequencies, reference.frequencies, "{fo} auto");
+            }
+        }
     }
 
     #[test]

@@ -70,6 +70,10 @@
 //! [`EngineConfig::parallelism`] — threads change who computes, never what
 //! is computed.
 
+//!
+//! This crate is the middle of the execution stack (wire → transport →
+//! session → `PartyDriver` → mechanism); the full system map lives in
+//! `ARCHITECTURE.md` at the repository root.
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -89,7 +93,7 @@ pub mod transport;
 pub mod wire;
 
 pub use comm::{shared_tracker, CommTracker, SharedCommTracker};
-pub use config::{FoExec, ProtocolConfig};
+pub use config::{ExecMode, FoExec, ProtocolConfig};
 pub use error::ProtocolError;
 pub use estimator::{EstimateScratch, LevelEstimate, LevelEstimator};
 pub use fault::FaultPlan;

@@ -28,15 +28,23 @@ impl GroupAssignment {
     ///
     /// Fails with [`ProtocolError::InvalidGroupCount`] when `g` is zero.
     pub fn uniform(items: &[u64], g: u8, seed: u64) -> Result<Self, ProtocolError> {
+        Self::uniform_owned(items.to_vec(), g, seed)
+    }
+
+    /// Like [`GroupAssignment::uniform`], but taking ownership of the item
+    /// vector so streaming callers (a party materializing its
+    /// [`ItemStream`](https://docs.rs/fedhh-datasets) once for the shuffle)
+    /// pay for exactly one resident copy.  Bit-identical to
+    /// [`GroupAssignment::uniform`] for the same items and seed.
+    pub fn uniform_owned(mut items: Vec<u64>, g: u8, seed: u64) -> Result<Self, ProtocolError> {
         if g == 0 {
             return Err(ProtocolError::InvalidGroupCount { groups: g });
         }
-        let mut shuffled: Vec<u64> = items.to_vec();
         let mut rng = StdRng::seed_from_u64(seed);
-        shuffled.shuffle(&mut rng);
+        items.shuffle(&mut rng);
         let g = g as usize;
         let mut groups: Vec<Vec<u64>> = vec![Vec::new(); g];
-        for (i, item) in shuffled.into_iter().enumerate() {
+        for (i, item) in items.into_iter().enumerate() {
             groups[i % g].push(item);
         }
         Ok(Self { groups })
@@ -57,6 +65,19 @@ impl GroupAssignment {
         phase1_fraction: f64,
         seed: u64,
     ) -> Result<Self, ProtocolError> {
+        Self::weighted_owned(items.to_vec(), g, phase1_levels, phase1_fraction, seed)
+    }
+
+    /// Like [`GroupAssignment::weighted`], but taking ownership of the item
+    /// vector (see [`GroupAssignment::uniform_owned`]).  Bit-identical to
+    /// [`GroupAssignment::weighted`] for the same items and seed.
+    pub fn weighted_owned(
+        items: Vec<u64>,
+        g: u8,
+        phase1_levels: u8,
+        phase1_fraction: f64,
+        seed: u64,
+    ) -> Result<Self, ProtocolError> {
         if g == 0 {
             return Err(ProtocolError::InvalidGroupCount { groups: g });
         }
@@ -67,9 +88,9 @@ impl GroupAssignment {
             });
         }
         if phase1_levels == 0 || phase1_levels == g || phase1_fraction <= 0.0 {
-            return Self::uniform(items, g, seed);
+            return Self::uniform_owned(items, g, seed);
         }
-        let mut shuffled: Vec<u64> = items.to_vec();
+        let mut shuffled = items;
         let mut rng = StdRng::seed_from_u64(seed);
         shuffled.shuffle(&mut rng);
 

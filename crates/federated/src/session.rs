@@ -57,6 +57,10 @@ pub struct EngineConfig {
     pub faults: FaultPlan,
     /// The transport the session's uploads travel through.
     pub transport: TransportKind,
+    /// When set, pins the report pipeline to chunked execution with this
+    /// chunk size for the whole run (see [`EngineConfig::chunk_size`]);
+    /// `None` leaves the protocol configuration's `exec_mode` in charge.
+    pub chunk: Option<std::num::NonZeroUsize>,
 }
 
 impl EngineConfig {
@@ -66,6 +70,7 @@ impl EngineConfig {
             parallelism: 1,
             faults: FaultPlan::none(),
             transport: TransportKind::Auto,
+            chunk: None,
         }
     }
 
@@ -73,8 +78,7 @@ impl EngineConfig {
     pub fn parallel(parallelism: usize) -> Self {
         Self {
             parallelism,
-            faults: FaultPlan::none(),
-            transport: TransportKind::Auto,
+            ..Self::sequential()
         }
     }
 
@@ -93,6 +97,25 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy that pins the report pipeline to chunked execution
+    /// with at most `chunk` inputs and reports resident per worker — the
+    /// memory axis of million-user runs.  Results are **bit-identical** at
+    /// every chunk size and parallelism.
+    ///
+    /// ```
+    /// use fedhh_federated::EngineConfig;
+    /// use std::num::NonZeroUsize;
+    ///
+    /// let chunk = NonZeroUsize::new(8192).expect("non-zero");
+    /// let engine = EngineConfig::parallel(4).chunk_size(chunk);
+    /// assert_eq!(engine.chunk, Some(chunk));
+    /// assert_eq!(engine.parallelism, 4);
+    /// ```
+    pub fn chunk_size(mut self, chunk: std::num::NonZeroUsize) -> Self {
+        self.chunk = Some(chunk);
+        self
+    }
+
     /// The engine used when a run does not configure one explicitly: the
     /// `FEDHH_TEST_PARALLELISM` environment variable (the CI matrix knob)
     /// selects the worker count, defaulting to sequential.  Invalid values
@@ -104,8 +127,7 @@ impl EngineConfig {
             .unwrap_or(1);
         Self {
             parallelism,
-            faults: FaultPlan::none(),
-            transport: TransportKind::Auto,
+            ..Self::sequential()
         }
     }
 

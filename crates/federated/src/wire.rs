@@ -17,7 +17,7 @@
 //! Enum variants carry a one-byte tag; unknown tags decode to
 //! [`WireError::InvalidValue`], never a panic.
 
-use crate::config::{FoExec, ProtocolConfig};
+use crate::config::{ExecMode, FoExec, ProtocolConfig};
 use crate::fault::FaultPlan;
 use crate::message::{
     CandidateReport, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload,
@@ -329,6 +329,38 @@ fn fo_exec_from_u8(raw: u8) -> Result<FoExec, WireError> {
     }
 }
 
+/// Stable one-byte discriminants for [`ExecMode`] (part of wire schema 2);
+/// `Chunked` is followed by its chunk size as a varint.
+fn encode_exec_mode(mode: ExecMode, out: &mut Vec<u8>) {
+    match mode {
+        ExecMode::Auto => out.push(0),
+        ExecMode::Eager => out.push(1),
+        ExecMode::Chunked(chunk) => {
+            out.push(2);
+            chunk.get().encode(out);
+        }
+    }
+}
+
+fn decode_exec_mode(reader: &mut Reader<'_>) -> Result<ExecMode, WireError> {
+    match reader.take_u8()? {
+        0 => Ok(ExecMode::Auto),
+        1 => Ok(ExecMode::Eager),
+        2 => {
+            let raw = usize::decode(reader)?;
+            let chunk = std::num::NonZeroUsize::new(raw).ok_or(WireError::InvalidValue {
+                what: "chunk size",
+                value: 0,
+            })?;
+            Ok(ExecMode::Chunked(chunk))
+        }
+        other => Err(WireError::InvalidValue {
+            what: "execution mode",
+            value: other as u64,
+        }),
+    }
+}
+
 impl Encode for ProtocolConfig {
     fn encode(&self, out: &mut Vec<u8>) {
         self.k.encode(out);
@@ -341,6 +373,7 @@ impl Encode for ProtocolConfig {
         self.dividing_ratio.encode(out);
         put_u64_fixed(out, self.seed);
         out.push(fo_exec_to_u8(self.fo_exec));
+        encode_exec_mode(self.exec_mode, out);
     }
 }
 
@@ -357,6 +390,7 @@ impl Decode for ProtocolConfig {
             dividing_ratio: f64::decode(reader)?,
             seed: reader.take_u64_fixed()?,
             fo_exec: fo_exec_from_u8(reader.take_u8()?)?,
+            exec_mode: decode_exec_mode(reader)?,
         })
     }
 }
@@ -445,6 +479,31 @@ mod tests {
             fo_exec: FoExec::Scalar,
             ..ProtocolConfig::test_default()
         });
+        round_trip(ProtocolConfig {
+            exec_mode: ExecMode::Eager,
+            ..ProtocolConfig::default()
+        });
+        round_trip(ProtocolConfig {
+            exec_mode: ExecMode::Chunked(std::num::NonZeroUsize::new(4096).unwrap()),
+            ..ProtocolConfig::default()
+        });
+    }
+
+    #[test]
+    fn zero_chunk_sizes_are_rejected_on_decode() {
+        let mut bytes = to_bytes(&ProtocolConfig {
+            exec_mode: ExecMode::Chunked(std::num::NonZeroUsize::new(1).unwrap()),
+            ..ProtocolConfig::default()
+        });
+        // The chunk varint is the last byte (value 1); forge it to zero.
+        *bytes.last_mut().unwrap() = 0;
+        assert!(matches!(
+            from_bytes::<ProtocolConfig>(&bytes),
+            Err(WireError::InvalidValue {
+                what: "chunk size",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! uplink accounting cannot silently drift from the wire format.
 
 use fedhh_federated::{
-    CandidateReport, FaultPlan, FoExec, ProtocolConfig, PruneCandidates, PruneDictionary,
+    CandidateReport, ExecMode, FaultPlan, FoExec, ProtocolConfig, PruneCandidates, PruneDictionary,
     RoundMessage, RoundPayload, PAIR_BITS,
 };
 use fedhh_fo::FoKind;
@@ -68,6 +68,13 @@ fn random_config(rng: &mut StdRng) -> ProtocolConfig {
             FoExec::Batched
         } else {
             FoExec::Scalar
+        },
+        exec_mode: match rng.gen_range(0usize..3) {
+            0 => ExecMode::Auto,
+            1 => ExecMode::Eager,
+            _ => ExecMode::Chunked(
+                std::num::NonZeroUsize::new(rng.gen_range(1usize..1_000_000)).unwrap(),
+            ),
         },
     }
 }

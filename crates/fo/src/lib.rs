@@ -85,6 +85,10 @@
 //! assert_eq!(arena, oracle.aggregate(&reports));
 //! ```
 
+//!
+//! This crate is the lowest protocol layer — `fedhh-federated`'s
+//! `LevelEstimator` drives these oracles for every trie level; the full
+//! system map lives in `ARCHITECTURE.md` at the repository root.
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -13,6 +13,10 @@
 //! recover, averaged over parties — the paper's proxy for how well a
 //! mechanism handles statistical heterogeneity.
 
+//!
+//! This crate scores finished runs (it sits beside the pipeline, not in
+//! it); the full system map lives in `ARCHITECTURE.md` at the
+//! repository root.
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

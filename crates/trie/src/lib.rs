@@ -22,6 +22,10 @@
 //! * [`PrefixTree`] — a counted prefix tree used for exact (non-private)
 //!   ground-truth computations and analysis ([`tree`]).
 
+//!
+//! This crate is a leaf substrate — prefixes, schedules and encoders
+//! consumed by the estimator and the mechanisms; the full system map
+//! lives in `ARCHITECTURE.md` at the repository root.
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -18,7 +18,10 @@ use crate::error::WireError;
 use std::io::{Read, Write};
 
 /// The wire schema version this build speaks.
-pub const WIRE_SCHEMA: u8 = 1;
+///
+/// History: schema 1 was the original 0.5 format; schema 2 (0.6) appended
+/// the execution-mode field to the protocol-configuration payload.
+pub const WIRE_SCHEMA: u8 = 2;
 
 /// The largest frame a reader will accept, in bytes (schema + payload +
 /// crc).  Guards against a corrupt length prefix allocating gigabytes.

@@ -57,6 +57,11 @@
 //! For stream transports, [`write_frame`] / [`read_frame`] wrap the encoded
 //! payload in the `[len u32][schema u8][payload][crc32]` frame.
 
+//!
+//! This crate is the bottom of the stack — everything that crosses a
+//! socket travels in these frames; the full system map (wire →
+//! transport → session → `PartyDriver` → mechanism) lives in
+//! `ARCHITECTURE.md` at the repository root.
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -66,9 +66,27 @@
 //! // The observer reconstructs the run's uplink traffic exactly.
 //! assert_eq!(observer.total_uplink_bits(), output.comm.total_uplink_bits());
 //! ```
+//!
+//! ## Million-user scale
+//!
+//! [`datasets::DatasetConfig::build_streamed`] builds datasets whose
+//! parties regenerate their item sequences deterministically in chunks
+//! ([`datasets::ItemStream`]), and
+//! [`federated::EngineConfig::chunk_size`] pins the report pipeline to
+//! chunked execution — together they bound resident memory while staying
+//! **bit-identical** to the eager path.  See `ARCHITECTURE.md` at the
+//! repository root for the full data-plane story (wire → transport →
+//! session → `PartyDriver` → mechanism), and `fedhh-bench scale` for the
+//! measured sweep.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+// Compile every README code example as a doctest, so the front-page
+// examples cannot rot.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 /// ε-LDP frequency oracles (re-export of `fedhh-fo`).
 pub use fedhh_fo as fo;

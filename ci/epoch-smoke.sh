@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# epoch-smoke: run the persistent epoch service, SIGKILL it mid-run, resume
+# from its checkpoint and gate on bit-identity with an uninterrupted run.
+#
+#   ci/epoch-smoke.sh [path/to/fedhh-node]
+#
+# Three legs:
+#   1. Reference: `fedhh-node service` runs 3 epochs uninterrupted; its
+#      `FINAL` lines (per-epoch top-k, count bit patterns, traffic and
+#      enrollment tallies) are the ground truth.
+#   2. Crash/resume: the same service runs with `--checkpoint` and a
+#      between-epoch delay; the moment epoch 1 (the second epoch) completes
+#      the script SIGKILLs the process — no cleanup, no flush — then
+#      restarts it with `--resume`.  The resumed run must report the prior
+#      epochs as already complete and its FINAL lines must be byte-identical
+#      to the reference.
+#   3. Ablation artifact: `fedhh-bench epochs --quick` writes
+#      BENCH_epochs.json (cold vs previous warm start), uploaded by CI.
+set -euo pipefail
+
+NODE_BIN="${1:-target/release/fedhh-node}"
+BENCH_BIN="$(dirname "$NODE_BIN")/fedhh-bench"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+SERVICE_FLAGS=(
+    --mechanism taps --dataset rdb --quick
+    --epochs 3 --churn 0.2 --drift 2 --warm previous
+    --seed 42 --user-scale 0.005
+)
+
+echo "[epoch-smoke] reference: 3 uninterrupted epochs"
+"$NODE_BIN" service "${SERVICE_FLAGS[@]}" > "$WORKDIR/reference.out"
+grep '^FINAL' "$WORKDIR/reference.out" > "$WORKDIR/reference.final"
+[ -s "$WORKDIR/reference.final" ] || {
+    echo "[epoch-smoke] reference run produced no FINAL lines" >&2
+    cat "$WORKDIR/reference.out" >&2
+    exit 1
+}
+
+echo "[epoch-smoke] crash leg: checkpointing service, SIGKILL after epoch 1"
+CKPT="$WORKDIR/service.ckpt"
+"$NODE_BIN" service "${SERVICE_FLAGS[@]}" \
+    --checkpoint "$CKPT" --epoch-delay-ms 30000 \
+    > "$WORKDIR/victim.out" 2>&1 &
+VICTIM_PID=$!
+
+# Wait for the second epoch (index 1) to complete, then kill -9 during the
+# inter-epoch delay: the process dies with epoch 2 unrun and only the
+# atomically-written checkpoint surviving.
+KILLED=0
+for _ in $(seq 1 600); do
+    if grep -q '^EPOCH 1 ' "$WORKDIR/victim.out" 2>/dev/null; then
+        kill -9 "$VICTIM_PID"
+        KILLED=1
+        break
+    fi
+    sleep 0.1
+done
+wait "$VICTIM_PID" 2>/dev/null || true
+if [ "$KILLED" -ne 1 ]; then
+    echo "[epoch-smoke] service never completed epoch 1" >&2
+    cat "$WORKDIR/victim.out" >&2
+    exit 1
+fi
+if grep -q '^FINAL' "$WORKDIR/victim.out"; then
+    echo "[epoch-smoke] service finished before the kill; delay too short" >&2
+    exit 1
+fi
+[ -f "$CKPT" ] || {
+    echo "[epoch-smoke] no checkpoint file survived the kill" >&2
+    exit 1
+}
+
+echo "[epoch-smoke] resume leg: restarting from the checkpoint"
+"$NODE_BIN" service "${SERVICE_FLAGS[@]}" \
+    --checkpoint "$CKPT" --resume "$CKPT" \
+    > "$WORKDIR/resumed.out" 2>&1
+grep -q 'resumed from' "$WORKDIR/resumed.out" || {
+    echo "[epoch-smoke] resumed run did not acknowledge the checkpoint" >&2
+    cat "$WORKDIR/resumed.out" >&2
+    exit 1
+}
+grep '^FINAL' "$WORKDIR/resumed.out" > "$WORKDIR/resumed.final"
+
+if ! diff -u "$WORKDIR/reference.final" "$WORKDIR/resumed.final"; then
+    echo "[epoch-smoke] FAILED: resumed output differs from uninterrupted run" >&2
+    exit 1
+fi
+echo "[epoch-smoke] resumed FINAL lines are bit-identical to the reference"
+
+echo "[epoch-smoke] warm-start ablation: fedhh-bench epochs --quick"
+"$BENCH_BIN" epochs --quick --out BENCH_epochs.json
+
+echo "[epoch-smoke] OK"

@@ -11,6 +11,10 @@
 //! fedhh-bench scale [--quick] [--dataset KIND] [--mechanism KIND] [--eager]
 //!                   [--chunk N] [--parallelism N] [--user-scales F,F,...]
 //!                   [--out PATH] [--max-rss-mb N]
+//! fedhh-bench epochs [--quick] [--dataset KIND] [--mechanism KIND]
+//!                    [--epochs N] [--churn F] [--drift N] [--epsilon F]
+//!                    [--cap F] [--k N] [--seed N] [--user-scale F]
+//!                    [--parallelism N] [--out PATH]
 //! ```
 //!
 //! `run all` reproduces every table and figure of the paper's evaluation and
@@ -38,6 +42,13 @@
 //! materializing baseline instead, and `--max-rss-mb N` exits non-zero
 //! when the sweep's peak resident set exceeds the ceiling — the CI
 //! `scale-smoke` gate that memory stays bounded as populations grow.
+//!
+//! `epochs` runs the epoch service over a churning, drifting population
+//! through both warm-start arms (cold rebuild vs incremental trie) and
+//! writes `BENCH_epochs.json` with per-epoch F1/NCR/uplink and the budget
+//! ledger's enrolled/refused split (see the `fedhh_bench::epochs` module
+//! for the schema).  `--cap F` sets the lifetime per-user ε cap the
+//! ledger enforces.
 
 use fedhh_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fedhh_bench::report::reports_to_json;
@@ -63,8 +74,9 @@ fn main() -> ExitCode {
         Some("trial") => trial_command(&args[1..]),
         Some("perf") => perf_command(&args[1..]),
         Some("scale") => scale_command(&args[1..]),
+        Some("epochs") => epochs_command(&args[1..]),
         _ => {
-            eprintln!("usage: fedhh-bench <list|run|trial|perf|scale> [args] [options]");
+            eprintln!("usage: fedhh-bench <list|run|trial|perf|scale|epochs> [args] [options]");
             eprintln!("  run <experiment|all> [--quick] [--reps N] [--user-scale F] [--markdown] [--json PATH]");
             eprintln!("  trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N] [--quick] [--reps N]");
             eprintln!("        [--parallelism N] [--dropout F] [--transport {{memory,tcp}}]");
@@ -75,6 +87,13 @@ fn main() -> ExitCode {
             eprintln!(
                 "        [--parallelism N] [--user-scales F,F,...] [--out PATH] [--max-rss-mb N]"
             );
+            eprintln!(
+                "  epochs [--quick] [--dataset KIND] [--mechanism KIND] [--epochs N] [--churn F]"
+            );
+            eprintln!(
+                "         [--drift N] [--epsilon F] [--cap F] [--k N] [--seed N] [--user-scale F]"
+            );
+            eprintln!("         [--parallelism N] [--out PATH]");
             ExitCode::FAILURE
         }
     }
@@ -497,6 +516,193 @@ fn scale_command(args: &[String]) -> ExitCode {
             }
         }
     }
+    ExitCode::SUCCESS
+}
+
+fn epochs_command(args: &[String]) -> ExitCode {
+    let mut options = fedhh_bench::EpochsOptions::full();
+    let mut out_path = "BENCH_epochs.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                // Only the shape changes; every other option the user set
+                // stays as parsed.
+                let quick = fedhh_bench::EpochsOptions::quick();
+                options.quick = true;
+                options.epochs = quick.epochs;
+                options.k = quick.k;
+                options.user_scale = quick.user_scale;
+            }
+            "--dataset" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(kind)) => options.dataset = kind,
+                    Some(Err(err)) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--dataset requires a value");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--mechanism" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(kind)) => options.mechanism = kind,
+                    Some(Err(err)) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--mechanism requires a value");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--epochs" => {
+                i += 1;
+                match parse_value::<u32>("--epochs", args.get(i)) {
+                    Ok(v) if v > 0 => options.epochs = v,
+                    Ok(v) => {
+                        eprintln!("--epochs must be positive, got {v}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--churn" => {
+                i += 1;
+                match parse_value::<f64>("--churn", args.get(i)) {
+                    Ok(v) if (0.0..=1.0).contains(&v) => options.churn_fraction = v,
+                    Ok(v) => {
+                        eprintln!("--churn must be in [0, 1], got {v}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--drift" => {
+                i += 1;
+                match parse_value("--drift", args.get(i)) {
+                    Ok(v) => options.drift_stride = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--epsilon" => {
+                i += 1;
+                match parse_value("--epsilon", args.get(i)) {
+                    Ok(v) => options.epsilon = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--cap" => {
+                i += 1;
+                match parse_value("--cap", args.get(i)) {
+                    Ok(v) => options.epsilon_cap = Some(v),
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--k" => {
+                i += 1;
+                match parse_value("--k", args.get(i)) {
+                    Ok(v) => options.k = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match parse_value("--seed", args.get(i)) {
+                    Ok(v) => options.seed = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--user-scale" => {
+                i += 1;
+                match parse_value("--user-scale", args.get(i)) {
+                    Ok(v) => options.user_scale = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--parallelism" => {
+                i += 1;
+                match parse_value("--parallelism", args.get(i)) {
+                    Ok(v) => options.parallelism = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path.clone();
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "[fedhh-bench] epoch sweep: {} on {} ({} epochs, churn {}, drift {}, cap {:?})",
+        options.mechanism,
+        options.dataset,
+        options.epochs,
+        options.churn_fraction,
+        options.drift_stride,
+        options.epsilon_cap
+    );
+    let start = std::time::Instant::now();
+    let report = match fedhh_bench::run_epochs(&options) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("[fedhh-bench] epoch sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[fedhh-bench] epoch sweep finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    print!("{}", report.to_table());
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[fedhh-bench] wrote {out_path}");
     ExitCode::SUCCESS
 }
 

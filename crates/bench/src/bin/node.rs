@@ -7,6 +7,11 @@
 //!            [--dropout F] [--stragglers] [--timeout-secs N]
 //!            [--check-inmemory]
 //! fedhh-node party --connect HOST:PORT [--timeout-secs N]
+//! fedhh-node service --mechanism <name> --dataset <name> [--epochs N]
+//!            [--churn F] [--drift N] [--warm {cold,previous}] [--epsilon F]
+//!            [--cap F] [--k N] [--seed S] [--quick] [--user-scale F]
+//!            [--parallelism N] [--checkpoint PATH] [--resume PATH]
+//!            [--epoch-delay-ms N]
 //! ```
 //!
 //! The coordinator binds its listener first and prints a machine-readable
@@ -22,6 +27,18 @@
 //! `--check-inmemory` it then re-runs the mechanism in-process at the same
 //! seed and exits non-zero unless the distributed output is bit-identical
 //! — the net-smoke gate in CI is exactly this flag.
+//!
+//! `service` runs the persistent epoch service: successive discoveries over
+//! a churning, drifting population with a per-user lifetime budget ledger
+//! (see `fedhh_federated::epoch`).  After every completed epoch it prints a
+//! live `EPOCH <e> ...` line and — when `--checkpoint PATH` is given —
+//! atomically writes the full service state to `PATH`.  Killing the
+//! process at any point and restarting with `--resume PATH` (same flags)
+//! continues from the last completed epoch and produces `FINAL` lines
+//! bit-identical to an uninterrupted run — the `epoch-smoke` gate in CI
+//! SIGKILLs the service mid-run and asserts exactly that.
+//! `--epoch-delay-ms N` sleeps between epochs so harnesses can time the
+//! kill reliably.
 
 use fedhh_bench::{partition_parties, ExperimentScale, NodeRunSpec};
 use fedhh_datasets::DatasetKind;
@@ -38,8 +55,9 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("coordinator") => coordinator_command(&args[1..]),
         Some("party") => party_command(&args[1..]),
+        Some("service") => service_command(&args[1..]),
         _ => {
-            eprintln!("usage: fedhh-node <coordinator|party> [options]");
+            eprintln!("usage: fedhh-node <coordinator|party|service> [options]");
             eprintln!(
                 "  coordinator --mechanism <name> --dataset <name> --parties N \
                  [--listen HOST:PORT]"
@@ -53,6 +71,15 @@ fn main() -> ExitCode {
                  [--timeout-secs N] [--check-inmemory]"
             );
             eprintln!("  party --connect HOST:PORT [--timeout-secs N]");
+            eprintln!(
+                "  service --mechanism <name> --dataset <name> [--epochs N] [--churn F] \
+                 [--drift N]"
+            );
+            eprintln!(
+                "          [--warm {{cold,previous}}] [--epsilon F] [--cap F] [--k N] [--seed S]"
+            );
+            eprintln!("          [--quick] [--user-scale F] [--parallelism N] [--checkpoint PATH]");
+            eprintln!("          [--resume PATH] [--epoch-delay-ms N]");
             ExitCode::FAILURE
         }
     }
@@ -335,6 +362,213 @@ fn coordinator_command(args: &[String]) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+fn service_command(args: &[String]) -> ExitCode {
+    use fedhh_bench::{EpochsOptions, MechanismExecutor};
+    use fedhh_federated::{checkpoint, EpochRunner, WarmStart};
+
+    let mut options = EpochsOptions::full();
+    let mut warm = WarmStart::Previous;
+    let mut mechanism: Option<MechanismKind> = None;
+    let mut dataset: Option<DatasetKind> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut epoch_delay_ms: u64 = 0;
+    let mut i = 0;
+    let mut parse = || -> Result<(), String> {
+        while i < args.len() {
+            match args[i].as_str() {
+                "--mechanism" => {
+                    i += 1;
+                    mechanism = Some(parse_value("--mechanism", args.get(i))?);
+                }
+                "--dataset" => {
+                    i += 1;
+                    dataset = Some(parse_value("--dataset", args.get(i))?);
+                }
+                "--epochs" => {
+                    i += 1;
+                    options.epochs = parse_value("--epochs", args.get(i))?;
+                    if options.epochs == 0 {
+                        return Err("--epochs must be at least 1".to_string());
+                    }
+                }
+                "--churn" => {
+                    i += 1;
+                    options.churn_fraction = parse_value("--churn", args.get(i))?;
+                    if !(0.0..=1.0).contains(&options.churn_fraction) {
+                        return Err(format!(
+                            "--churn must be in [0, 1], got {}",
+                            options.churn_fraction
+                        ));
+                    }
+                }
+                "--drift" => {
+                    i += 1;
+                    options.drift_stride = parse_value("--drift", args.get(i))?;
+                }
+                "--warm" => {
+                    i += 1;
+                    let raw: String = parse_value("--warm", args.get(i))?;
+                    warm = WarmStart::parse(&raw)
+                        .ok_or(format!("--warm must be cold or previous, got {raw:?}"))?;
+                }
+                "--epsilon" => {
+                    i += 1;
+                    options.epsilon = parse_value("--epsilon", args.get(i))?;
+                }
+                "--cap" => {
+                    i += 1;
+                    options.epsilon_cap = Some(parse_value("--cap", args.get(i))?);
+                }
+                "--k" => {
+                    i += 1;
+                    options.k = parse_value("--k", args.get(i))?;
+                }
+                "--seed" => {
+                    i += 1;
+                    options.seed = parse_value("--seed", args.get(i))?;
+                }
+                "--quick" => {
+                    let quick = EpochsOptions::quick();
+                    options.quick = true;
+                    options.k = quick.k;
+                    options.user_scale = quick.user_scale;
+                }
+                "--user-scale" => {
+                    i += 1;
+                    options.user_scale = parse_value("--user-scale", args.get(i))?;
+                }
+                "--parallelism" => {
+                    i += 1;
+                    options.parallelism = parse_value("--parallelism", args.get(i))?;
+                }
+                "--checkpoint" => {
+                    i += 1;
+                    checkpoint_path = Some(parse_value("--checkpoint", args.get(i))?);
+                }
+                "--resume" => {
+                    i += 1;
+                    resume_path = Some(parse_value("--resume", args.get(i))?);
+                }
+                "--epoch-delay-ms" => {
+                    i += 1;
+                    epoch_delay_ms = parse_value("--epoch-delay-ms", args.get(i))?;
+                }
+                other => return Err(format!("unknown option {other}")),
+            }
+            i += 1;
+        }
+        Ok(())
+    };
+    if let Err(err) = parse() {
+        eprintln!("{err}");
+        return ExitCode::FAILURE;
+    }
+    let (Some(mechanism), Some(dataset)) = (mechanism, dataset) else {
+        eprintln!("--mechanism and --dataset are required");
+        return ExitCode::FAILURE;
+    };
+    options.mechanism = mechanism;
+    options.dataset = dataset;
+
+    // The spec is derived from the flags alone; a checkpoint written under
+    // different flags carries different spec bytes and is refused.
+    let spec = options.spec(warm);
+    let spec_bytes = spec.to_spec_bytes();
+    let epoch_config = spec.epoch_config();
+    let mut runner = match &resume_path {
+        Some(path) => {
+            let ckpt = match checkpoint::load(std::path::Path::new(path)) {
+                Ok(ckpt) => ckpt,
+                Err(err) => {
+                    eprintln!("[fedhh-node] failed to load checkpoint {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match EpochRunner::resume(epoch_config, spec_bytes, ckpt) {
+                Ok(runner) => {
+                    eprintln!(
+                        "[fedhh-node] resumed from {path}: {} of {} epochs already complete",
+                        runner.state().next_epoch,
+                        epoch_config.epochs
+                    );
+                    runner
+                }
+                Err(err) => {
+                    eprintln!("[fedhh-node] cannot resume from {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => EpochRunner::new(epoch_config, spec_bytes),
+    };
+    if let Some(path) = &checkpoint_path {
+        runner.checkpoint_to(path);
+    }
+
+    eprintln!(
+        "[fedhh-node] service: {} on {} ({} epochs, churn {}, drift {}, warm {}, cap {:?})",
+        options.mechanism,
+        options.dataset,
+        options.epochs,
+        options.churn_fraction,
+        options.drift_stride,
+        warm.name(),
+        options.epsilon_cap
+    );
+    let mut exec = MechanismExecutor::new(spec)
+        .with_engine(EngineConfig::parallel(options.parallelism.max(1)));
+    loop {
+        match runner.step(&mut exec) {
+            Ok(Some(record)) => {
+                // Live progress, one line per completed epoch.
+                println!(
+                    "EPOCH {} enrolled={} refused={} uplink={} topk={}",
+                    record.epoch,
+                    record.enrolled_users,
+                    record.refused_users,
+                    record.uplink_bits,
+                    record
+                        .heavy_hitters
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                if epoch_delay_ms > 0 && !runner.is_complete() {
+                    std::thread::sleep(Duration::from_millis(epoch_delay_ms));
+                }
+            }
+            Ok(None) => break,
+            Err(err) => {
+                eprintln!("[fedhh-node] service failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The stable machine-readable summary the epoch-smoke gate compares
+    // bit-for-bit between an interrupted+resumed run and a reference run.
+    for record in runner.records() {
+        let topk: Vec<String> = record.heavy_hitters.iter().map(u64::to_string).collect();
+        println!("FINAL {} TOPK {}", record.epoch, topk.join(" "));
+        for (code, bits) in &record.count_bits {
+            println!("FINAL {} COUNT {code} {bits}", record.epoch);
+        }
+        println!(
+            "FINAL {} UPLINK {} DOWNLINK {} ENROLLED {} REFUSED {}",
+            record.epoch,
+            record.uplink_bits,
+            record.downlink_bits,
+            record.enrolled_users,
+            record.refused_users
+        );
     }
     ExitCode::SUCCESS
 }

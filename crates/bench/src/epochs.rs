@@ -1,0 +1,862 @@
+//! The `fedhh-bench epochs` subsystem: the epoch service measured over a
+//! churning, drifting population.
+//!
+//! This module is the mechanism-side half of the epoch service
+//! (`fedhh_federated::epoch`): [`MechanismExecutor`] implements
+//! [`EpochExecutor`] by rebuilding each epoch's population from a
+//! [`PopulationEvolver`], restricting it to the ledger-enrolled users, and
+//! executing the configured mechanism through the `Run` builder (with the
+//! previous epoch's heavy hitters grafted in under
+//! [`WarmStart::Previous`]).  Everything derives from the
+//! [`EpochServiceSpec`] — a wire-encodable value that travels inside every
+//! checkpoint, so a resumed service provably reconstructs the same run.
+//!
+//! [`run_epochs`] is the benchmark entry point: it runs the same evolving
+//! population twice, once per [`WarmStart`] arm, and scores every epoch
+//! against that epoch's exact ground truth — the cold-vs-previous
+//! incremental-trie ablation under churn and drift.
+//!
+//! ## `BENCH_epochs.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "dataset": "RDB",
+//!   "mechanism": "TAPS",
+//!   "epochs": 3,
+//!   "churn_fraction": 0.2,
+//!   "drift_stride": 2,
+//!   "epsilon": 4.0,
+//!   "epsilon_cap": null,
+//!   "arms": [
+//!     {
+//!       "warm_start": "cold",
+//!       "points": [
+//!         {"epoch": 0, "f1": 0.8, "ncr": 0.9, "uplink_bits": 123456,
+//!          "enrolled_users": 7056, "refused_users": 0}
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! * `schema` — format version (currently 1).
+//! * `dataset` / `mechanism` — the measured workload.
+//! * `epochs` / `churn_fraction` / `drift_stride` — the evolution plan.
+//! * `epsilon` — per-epoch ε each enrolled user spends; `epsilon_cap` —
+//!   the lifetime per-user cap (`null` = unlimited).
+//! * `arms` — one entry per [`WarmStart`] mode (`"cold"`, `"previous"`),
+//!   each with one point per completed epoch.
+//! * `f1` / `ncr` — scored against *that epoch's* exact federated top-k
+//!   (the ground truth moves with the drift).
+//! * `enrolled_users` / `refused_users` — the budget ledger's per-epoch
+//!   admission split.
+//!
+//! The parser round-trips the schema:
+//!
+//! ```
+//! use fedhh_bench::epochs::EpochsReport;
+//!
+//! let json = r#"{
+//!   "schema": 1, "dataset": "RDB", "mechanism": "TAPS", "epochs": 1,
+//!   "churn_fraction": 0.2, "drift_stride": 2, "epsilon": 4.0,
+//!   "epsilon_cap": 12.0,
+//!   "arms": [
+//!     {"warm_start": "cold",
+//!      "points": [{"epoch": 0, "f1": 0.8, "ncr": 0.9,
+//!                  "uplink_bits": 42, "enrolled_users": 10,
+//!                  "refused_users": 0}]}
+//!   ]
+//! }"#;
+//! let report = EpochsReport::from_json(json).expect("valid schema");
+//! assert_eq!(report.arms[0].points[0].epoch, 0);
+//! assert_eq!(EpochsReport::from_json(&report.to_json()).unwrap(), report);
+//! ```
+
+use crate::perf::json;
+use crate::report::json_string;
+use fedhh_datasets::{
+    DatasetConfig, DatasetKind, EvolutionPlan, FederatedDataset, PartyData, PopulationEvolver,
+};
+use fedhh_federated::{
+    EngineConfig, EpochConfig, EpochExecutor, EpochOutput, EpochRunner, PartyPopulation,
+    ProtocolConfig, ProtocolError, WarmSet, WarmStart,
+};
+use fedhh_mechanisms::{MechanismKind, Run};
+use fedhh_metrics::{f1_score, ncr_score};
+use fedhh_wire::{from_bytes, put_f64, put_u64_fixed, to_bytes, Decode, Encode, Reader, WireError};
+use std::fmt::Write as _;
+
+/// Everything that defines one epoch-service run: the mechanism, the base
+/// dataset generator, the evolution plan and the epoch-loop parameters.
+///
+/// The spec is wire-encodable ([`EpochServiceSpec::to_spec_bytes`]) and
+/// stored inside every checkpoint; on `--resume` the service re-derives
+/// its spec from the CLI flags and the [`EpochRunner`] refuses checkpoints
+/// whose embedded spec bytes differ — a resumed run provably reconstructs
+/// the interrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochServiceSpec {
+    /// The mechanism every epoch executes.
+    pub mechanism: MechanismKind,
+    /// The base dataset group (epoch 0's population).
+    pub dataset: DatasetKind,
+    /// The deterministic base-dataset generator parameters.
+    pub dataset_config: DatasetConfig,
+    /// Churn/drift between epochs.
+    pub plan: EvolutionPlan,
+    /// Number of epochs to run.
+    pub epochs: u32,
+    /// Incremental-trie axis (cold rebuild vs warm start).
+    pub warm_start: WarmStart,
+    /// ε each enrolled user spends per epoch.
+    pub epsilon: f64,
+    /// Lifetime per-user ε cap (`None` = unlimited).
+    pub epsilon_cap: Option<f64>,
+    /// Top-k of every epoch's query.
+    pub k: usize,
+    /// Base protocol seed; each epoch derives its own run seed from it.
+    pub protocol_seed: u64,
+    /// Use the reduced quick protocol shape (16-bit codes, 8 levels).
+    pub quick: bool,
+}
+
+impl EpochServiceSpec {
+    /// The epoch-loop half of the spec.
+    pub fn epoch_config(&self) -> EpochConfig {
+        EpochConfig {
+            epochs: self.epochs,
+            warm_start: self.warm_start,
+            epsilon: self.epsilon,
+            epsilon_cap: self.epsilon_cap,
+        }
+    }
+
+    /// The protocol configuration of epoch `epoch`.  The run seed advances
+    /// deterministically with the epoch index, so every epoch draws fresh —
+    /// but replayable — noise.
+    pub fn protocol_config(&self, epoch: u32) -> ProtocolConfig {
+        let base = if self.quick {
+            ProtocolConfig::test_default()
+        } else {
+            ProtocolConfig::default()
+        };
+        ProtocolConfig {
+            k: self.k,
+            epsilon: self.epsilon,
+            max_bits: self.dataset_config.code_bits,
+            seed: self
+                .protocol_seed
+                .wrapping_add((epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..base
+        }
+    }
+
+    /// Builds the population evolver this spec describes (deterministic:
+    /// every decode yields a bit-identical population history).
+    pub fn build_evolver(&self) -> PopulationEvolver {
+        PopulationEvolver::new(self.dataset_config.build(self.dataset), self.plan)
+    }
+
+    /// Encodes the spec into checkpoint spec bytes.
+    pub fn to_spec_bytes(&self) -> Vec<u8> {
+        to_bytes(self)
+    }
+
+    /// Decodes a spec from checkpoint spec bytes.
+    pub fn from_spec_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        from_bytes(bytes)
+    }
+}
+
+impl Encode for EpochServiceSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mechanism.name().encode(out);
+        self.dataset.name().encode(out);
+        put_f64(out, self.dataset_config.user_scale);
+        put_f64(out, self.dataset_config.item_scale);
+        self.dataset_config.code_bits.encode(out);
+        put_f64(out, self.dataset_config.syn_beta);
+        put_u64_fixed(out, self.dataset_config.seed);
+        put_f64(out, self.plan.churn_fraction);
+        self.plan.drift_stride.encode(out);
+        put_u64_fixed(out, self.plan.seed);
+        self.epochs.encode(out);
+        self.warm_start.tag().encode(out);
+        put_f64(out, self.epsilon);
+        match self.epsilon_cap {
+            None => 0u8.encode(out),
+            Some(cap) => {
+                1u8.encode(out);
+                put_f64(out, cap);
+            }
+        }
+        self.k.encode(out);
+        put_u64_fixed(out, self.protocol_seed);
+        u8::from(self.quick).encode(out);
+    }
+}
+
+impl Decode for EpochServiceSpec {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mechanism = String::decode(reader)?
+            .parse::<MechanismKind>()
+            .map_err(|err| WireError::Protocol {
+                detail: err.to_string(),
+            })?;
+        let dataset = String::decode(reader)?
+            .parse::<DatasetKind>()
+            .map_err(|err| WireError::Protocol {
+                detail: err.to_string(),
+            })?;
+        let dataset_config = DatasetConfig {
+            user_scale: reader.take_f64()?,
+            item_scale: reader.take_f64()?,
+            code_bits: u8::decode(reader)?,
+            syn_beta: reader.take_f64()?,
+            seed: reader.take_u64_fixed()?,
+        };
+        let plan = EvolutionPlan {
+            churn_fraction: reader.take_f64()?,
+            drift_stride: usize::decode(reader)?,
+            seed: reader.take_u64_fixed()?,
+        };
+        let epochs = u32::decode(reader)?;
+        let warm_tag = u8::decode(reader)?;
+        let warm_start = WarmStart::from_tag(warm_tag).ok_or_else(|| WireError::Protocol {
+            detail: format!("unknown warm-start tag {warm_tag}"),
+        })?;
+        let epsilon = reader.take_f64()?;
+        let epsilon_cap = match u8::decode(reader)? {
+            0 => None,
+            1 => Some(reader.take_f64()?),
+            tag => {
+                return Err(WireError::Protocol {
+                    detail: format!("invalid epsilon-cap option tag {tag}"),
+                })
+            }
+        };
+        let k = usize::decode(reader)?;
+        let protocol_seed = reader.take_u64_fixed()?;
+        let quick = match u8::decode(reader)? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(WireError::Protocol {
+                    detail: format!("invalid quick flag {tag}"),
+                })
+            }
+        };
+        Ok(EpochServiceSpec {
+            mechanism,
+            dataset,
+            dataset_config,
+            plan,
+            epochs,
+            warm_start,
+            epsilon,
+            epsilon_cap,
+            k,
+            protocol_seed,
+            quick,
+        })
+    }
+}
+
+/// The mechanism-side [`EpochExecutor`]: rebuilds each epoch's population,
+/// restricts it to the enrolled users and executes the spec's mechanism.
+///
+/// The executor is a pure function of `(spec, epoch, enrollment, warm)` —
+/// the contract the epoch service's crash-recovery guarantee rests on.
+/// The engine's parallelism is explicitly *not* part of the spec because
+/// the engine is bit-identical at any worker count.
+#[derive(Debug)]
+pub struct MechanismExecutor {
+    spec: EpochServiceSpec,
+    evolver: PopulationEvolver,
+    engine: EngineConfig,
+}
+
+impl MechanismExecutor {
+    /// Prepares an executor for `spec` (builds the base dataset once).
+    pub fn new(spec: EpochServiceSpec) -> Self {
+        let evolver = spec.build_evolver();
+        Self {
+            spec,
+            evolver,
+            engine: EngineConfig::from_env(),
+        }
+    }
+
+    /// Replaces the engine configuration (parallelism; results are
+    /// bit-identical at any worker count).
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The spec this executor runs.
+    pub fn spec(&self) -> &EpochServiceSpec {
+        &self.spec
+    }
+
+    /// The population evolver (for scoring epochs against their exact
+    /// ground truth).
+    pub fn evolver(&self) -> &PopulationEvolver {
+        &self.evolver
+    }
+
+    /// The exact federated top-`k` of epoch `epoch`'s *full* population —
+    /// the service answers for everyone, so accuracy is scored against the
+    /// whole epoch, not just the enrolled subset.
+    pub fn ground_truth(&self, epoch: u32, k: usize) -> Vec<u64> {
+        self.evolver.epoch(epoch).ground_truth_top_k(k)
+    }
+}
+
+impl EpochExecutor for MechanismExecutor {
+    fn population(&mut self, epoch: u32) -> Result<Vec<PartyPopulation>, ProtocolError> {
+        Ok((0..self.evolver.base().party_count())
+            .map(|p| PartyPopulation {
+                users: self.evolver.base().parties()[p].user_count(),
+                fresh: self.evolver.fresh_mask(epoch, p),
+            })
+            .collect())
+    }
+
+    fn run_epoch(
+        &mut self,
+        epoch: u32,
+        enrollment: &[Vec<bool>],
+        warm: Option<&WarmSet>,
+    ) -> Result<EpochOutput, ProtocolError> {
+        let full = self.evolver.epoch(epoch);
+        // Restrict each party to its ledger-enrolled slots: refused users
+        // sit the epoch out entirely (no report, no budget spend).
+        let parties: Vec<PartyData> = full
+            .parties()
+            .iter()
+            .enumerate()
+            .map(|(p, party)| {
+                let items = party.stream().materialize();
+                let mask = enrollment.get(p);
+                let kept: Vec<u64> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(u, _)| mask.is_none_or(|m| m.get(*u).copied().unwrap_or(false)))
+                    .map(|(_, item)| *item)
+                    .collect();
+                PartyData::new(party.name(), kept, party.code_bits())
+            })
+            .collect();
+        let dataset = FederatedDataset::new(
+            full.name().to_string(),
+            parties,
+            full.code_bits(),
+            *full.encoder(),
+        );
+        let mut run = Run::mechanism(self.spec.mechanism)
+            .dataset(&dataset)
+            .config(self.spec.protocol_config(epoch))
+            .engine(self.engine);
+        if let Some(warm) = warm {
+            run = run.warm_start(warm.values.clone());
+        }
+        let output = run.execute()?;
+        // `MechanismOutput::counts` is a HashMap (unordered); the epoch
+        // record must be deterministic, so sort by code.
+        let mut counts: Vec<(u64, f64)> = output.counts.into_iter().collect();
+        counts.sort_by_key(|(code, _)| *code);
+        Ok(EpochOutput {
+            heavy_hitters: output.heavy_hitters,
+            counts,
+            uplink_bits: output.comm.total_uplink_bits() as u64,
+            downlink_bits: output.comm.total_downlink_bits() as u64,
+        })
+    }
+}
+
+/// What an epochs benchmark runs.
+#[derive(Debug, Clone)]
+pub struct EpochsOptions {
+    /// The mechanism to run every epoch (default TAPS).
+    pub mechanism: MechanismKind,
+    /// The base dataset group (default RDB).
+    pub dataset: DatasetKind,
+    /// Number of epochs per arm.
+    pub epochs: u32,
+    /// Fraction of user slots churned per epoch.
+    pub churn_fraction: f64,
+    /// Popularity-drift stride per epoch.
+    pub drift_stride: usize,
+    /// ε each enrolled user spends per epoch.
+    pub epsilon: f64,
+    /// Lifetime per-user ε cap (`None` = unlimited).
+    pub epsilon_cap: Option<f64>,
+    /// Top-k of every epoch's query.
+    pub k: usize,
+    /// Seed driving the dataset, the evolution and the protocol.
+    pub seed: u64,
+    /// Use the reduced quick shape (16-bit codes, small populations).
+    pub quick: bool,
+    /// Multiplier on the paper's user populations.
+    pub user_scale: f64,
+    /// Engine worker threads per round.
+    pub parallelism: usize,
+}
+
+impl EpochsOptions {
+    /// The default full benchmark: TAPS on RDB, five epochs under
+    /// moderate churn and drift.
+    pub fn full() -> Self {
+        Self {
+            mechanism: MechanismKind::Taps,
+            dataset: DatasetKind::Rdb,
+            epochs: 5,
+            churn_fraction: 0.2,
+            drift_stride: 2,
+            epsilon: 4.0,
+            epsilon_cap: None,
+            k: 10,
+            seed: 42,
+            quick: false,
+            user_scale: 0.05,
+            parallelism: 1,
+        }
+    }
+
+    /// The reduced benchmark CI's `epoch-smoke` job runs.
+    pub fn quick() -> Self {
+        Self {
+            epochs: 3,
+            k: 5,
+            quick: true,
+            user_scale: 0.02,
+            ..Self::full()
+        }
+    }
+
+    /// The service spec of this benchmark's `warm` arm.
+    pub fn spec(&self, warm_start: WarmStart) -> EpochServiceSpec {
+        let dataset_config = if self.quick {
+            DatasetConfig {
+                user_scale: self.user_scale,
+                item_scale: 0.02,
+                code_bits: 16,
+                syn_beta: 0.5,
+                seed: self.seed,
+            }
+        } else {
+            DatasetConfig {
+                user_scale: self.user_scale,
+                seed: self.seed,
+                ..DatasetConfig::paper_scale()
+            }
+        };
+        EpochServiceSpec {
+            mechanism: self.mechanism,
+            dataset: self.dataset,
+            dataset_config,
+            plan: EvolutionPlan {
+                churn_fraction: self.churn_fraction,
+                drift_stride: self.drift_stride,
+                seed: self.seed ^ 0xE70C_A11E,
+            },
+            epochs: self.epochs,
+            warm_start,
+            epsilon: self.epsilon,
+            epsilon_cap: self.epsilon_cap,
+            k: self.k,
+            protocol_seed: self.seed ^ 0xBEEF,
+            quick: self.quick,
+        }
+    }
+}
+
+/// One epoch of one warm-start arm, scored against that epoch's exact
+/// ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPoint {
+    /// The epoch index.
+    pub epoch: u32,
+    /// F1 against the epoch's exact federated top-k.
+    pub f1: f64,
+    /// NCR against the epoch's exact federated top-k.
+    pub ncr: f64,
+    /// Party → server traffic of the epoch, in bits.
+    pub uplink_bits: u64,
+    /// Users the budget ledger enrolled.
+    pub enrolled_users: u64,
+    /// Users the budget ledger refused (cap exhausted).
+    pub refused_users: u64,
+}
+
+/// One warm-start arm: the mode name and its per-epoch points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochArm {
+    /// `"cold"` or `"previous"` ([`WarmStart::name`]).
+    pub warm_start: String,
+    /// One point per completed epoch, in order.
+    pub points: Vec<EpochPoint>,
+}
+
+/// A whole epochs benchmark: the workload identity, the evolution plan and
+/// one arm per [`WarmStart`] mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochsReport {
+    /// Schema version of the JSON serialization (currently 1).
+    pub schema: u32,
+    /// The base dataset group.
+    pub dataset: String,
+    /// The executed mechanism.
+    pub mechanism: String,
+    /// Epochs per arm.
+    pub epochs: u32,
+    /// Fraction of user slots churned per epoch.
+    pub churn_fraction: f64,
+    /// Popularity-drift stride per epoch.
+    pub drift_stride: usize,
+    /// ε spent per enrolled user per epoch.
+    pub epsilon: f64,
+    /// Lifetime per-user ε cap (`None` = unlimited).
+    pub epsilon_cap: Option<f64>,
+    /// One arm per warm-start mode, cold first.
+    pub arms: Vec<EpochArm>,
+}
+
+impl EpochsReport {
+    /// Renders the report as an aligned plain-text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "# fedhh epoch sweep ({} on {}, churn {:.2}, drift {})\n",
+            self.mechanism, self.dataset, self.churn_fraction, self.drift_stride
+        );
+        let _ = writeln!(
+            out,
+            "{:>9} {:>6} {:>7} {:>7} {:>12} {:>9} {:>8}",
+            "warm", "epoch", "F1", "NCR", "uplink kb", "enrolled", "refused"
+        );
+        for arm in &self.arms {
+            for p in &arm.points {
+                let _ = writeln!(
+                    out,
+                    "{:>9} {:>6} {:>7.3} {:>7.3} {:>12.1} {:>9} {:>8}",
+                    arm.warm_start,
+                    p.epoch,
+                    p.f1,
+                    p.ncr,
+                    p.uplink_bits as f64 / 1000.0,
+                    p.enrolled_users,
+                    p.refused_users
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as schema-1 JSON (hand-rolled: the workspace
+    /// builds without external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"dataset\": {},", json_string(&self.dataset));
+        let _ = writeln!(out, "  \"mechanism\": {},", json_string(&self.mechanism));
+        let _ = writeln!(out, "  \"epochs\": {},", self.epochs);
+        let _ = writeln!(out, "  \"churn_fraction\": {},", self.churn_fraction);
+        let _ = writeln!(out, "  \"drift_stride\": {},", self.drift_stride);
+        let _ = writeln!(out, "  \"epsilon\": {},", self.epsilon);
+        let cap = match self.epsilon_cap {
+            Some(cap) => format!("{cap}"),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(out, "  \"epsilon_cap\": {cap},");
+        out.push_str("  \"arms\": [\n");
+        for (a, arm) in self.arms.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(
+                out,
+                "      \"warm_start\": {},",
+                json_string(&arm.warm_start)
+            );
+            out.push_str("      \"points\": [\n");
+            for (i, p) in arm.points.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"epoch\": {}, \"f1\": {}, \"ncr\": {}, \
+                     \"uplink_bits\": {}, \"enrolled_users\": {}, \"refused_users\": {}}}",
+                    p.epoch, p.f1, p.ncr, p.uplink_bits, p.enrolled_users, p.refused_users
+                );
+                out.push_str(if i + 1 < arm.points.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if a + 1 < self.arms.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a schema-1 JSON report (the inverse of
+    /// [`EpochsReport::to_json`], tolerant of whitespace and key order).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let schema = json::get_number(obj, "schema")? as u32;
+        if schema != 1 {
+            return Err(format!(
+                "unsupported epochs schema version {schema} (this build reads schema 1)"
+            ));
+        }
+        let epsilon_cap = match json::get(obj, "epsilon_cap")? {
+            json::Value::Null => None,
+            json::Value::Number(n) => Some(*n),
+            other => {
+                return Err(format!(
+                    "\"epsilon_cap\" must be a number or null: {other:?}"
+                ))
+            }
+        };
+        let arms_value = json::get(obj, "arms")?;
+        let arms_array = arms_value.as_array().ok_or("\"arms\" must be an array")?;
+        let mut arms = Vec::with_capacity(arms_array.len());
+        for arm in arms_array {
+            let arm_obj = arm.as_object().ok_or("arm must be an object")?;
+            let points_value = json::get(arm_obj, "points")?;
+            let points_array = points_value
+                .as_array()
+                .ok_or("\"points\" must be an array")?;
+            let mut points = Vec::with_capacity(points_array.len());
+            for item in points_array {
+                let point = item.as_object().ok_or("point must be an object")?;
+                points.push(EpochPoint {
+                    epoch: json::get_number(point, "epoch")? as u32,
+                    f1: json::get_number(point, "f1")?,
+                    ncr: json::get_number(point, "ncr")?,
+                    uplink_bits: json::get_number(point, "uplink_bits")? as u64,
+                    enrolled_users: json::get_number(point, "enrolled_users")? as u64,
+                    refused_users: json::get_number(point, "refused_users")? as u64,
+                });
+            }
+            arms.push(EpochArm {
+                warm_start: json::get_string(arm_obj, "warm_start")?,
+                points,
+            });
+        }
+        Ok(Self {
+            schema,
+            dataset: json::get_string(obj, "dataset")?,
+            mechanism: json::get_string(obj, "mechanism")?,
+            epochs: json::get_number(obj, "epochs")? as u32,
+            churn_fraction: json::get_number(obj, "churn_fraction")?,
+            drift_stride: json::get_number(obj, "drift_stride")? as usize,
+            epsilon: json::get_number(obj, "epsilon")?,
+            epsilon_cap,
+            arms,
+        })
+    }
+}
+
+/// Scores a slice of epoch records against their epochs' exact ground
+/// truths (shared by [`run_epochs`] and the `fedhh-node service` CLI).
+pub fn score_records(
+    exec: &MechanismExecutor,
+    records: &[fedhh_federated::EpochRecord],
+    k: usize,
+) -> Vec<EpochPoint> {
+    records
+        .iter()
+        .map(|r| {
+            let truth = exec.ground_truth(r.epoch, k);
+            EpochPoint {
+                epoch: r.epoch,
+                f1: f1_score(&truth, &r.heavy_hitters),
+                ncr: ncr_score(&truth, &r.heavy_hitters),
+                uplink_bits: r.uplink_bits,
+                enrolled_users: r.enrolled_users,
+                refused_users: r.refused_users,
+            }
+        })
+        .collect()
+}
+
+/// Runs the epochs benchmark: the same evolving population through both
+/// [`WarmStart`] arms, each epoch scored against its exact ground truth.
+pub fn run_epochs(options: &EpochsOptions) -> Result<EpochsReport, String> {
+    let mut arms = Vec::new();
+    for warm_start in [WarmStart::Cold, WarmStart::Previous] {
+        let spec = options.spec(warm_start);
+        let spec_bytes = spec.to_spec_bytes();
+        let epoch_config = spec.epoch_config();
+        let mut exec = MechanismExecutor::new(spec)
+            .with_engine(EngineConfig::parallel(options.parallelism.max(1)));
+        let mut runner = EpochRunner::new(epoch_config, spec_bytes);
+        runner
+            .run(&mut exec)
+            .map_err(|e| format!("epochs arm {} failed: {e}", warm_start.name()))?;
+        let points = score_records(&exec, runner.records(), options.k);
+        eprintln!(
+            "[fedhh-bench] epochs arm {}: {} epochs, final F1 {:.3}",
+            warm_start.name(),
+            points.len(),
+            points.last().map_or(0.0, |p| p.f1)
+        );
+        arms.push(EpochArm {
+            warm_start: warm_start.name().to_string(),
+            points,
+        });
+    }
+    Ok(EpochsReport {
+        schema: 1,
+        dataset: options.dataset.name().to_string(),
+        mechanism: options.mechanism.name().to_string(),
+        epochs: options.epochs,
+        churn_fraction: options.churn_fraction,
+        drift_stride: options.drift_stride,
+        epsilon: options.epsilon,
+        epsilon_cap: options.epsilon_cap,
+        arms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> EpochsOptions {
+        EpochsOptions {
+            epochs: 2,
+            user_scale: 0.005,
+            ..EpochsOptions::quick()
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_wire_bytes() {
+        for warm in [WarmStart::Cold, WarmStart::Previous] {
+            let spec = tiny_options().spec(warm);
+            let bytes = spec.to_spec_bytes();
+            assert_eq!(EpochServiceSpec::from_spec_bytes(&bytes).unwrap(), spec);
+        }
+        let capped = EpochServiceSpec {
+            epsilon_cap: Some(12.5),
+            ..tiny_options().spec(WarmStart::Cold)
+        };
+        let bytes = capped.to_spec_bytes();
+        assert_eq!(EpochServiceSpec::from_spec_bytes(&bytes).unwrap(), capped);
+    }
+
+    #[test]
+    fn malformed_spec_bytes_are_typed_errors() {
+        let spec = tiny_options().spec(WarmStart::Cold);
+        let bytes = spec.to_spec_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                EpochServiceSpec::from_spec_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut bad_mechanism = Vec::new();
+        "NOPE".to_string().encode(&mut bad_mechanism);
+        assert!(matches!(
+            EpochServiceSpec::from_spec_bytes(&bad_mechanism),
+            Err(WireError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn the_executor_replays_epochs_bit_identically() {
+        let spec = tiny_options().spec(WarmStart::Cold);
+        let mut a = MechanismExecutor::new(spec.clone());
+        let mut b = MechanismExecutor::new(spec);
+        for epoch in 0..2u32 {
+            let pop = a.population(epoch).unwrap();
+            assert_eq!(pop, b.population(epoch).unwrap());
+            let enrollment: Vec<Vec<bool>> = pop.iter().map(|p| vec![true; p.users]).collect();
+            let out_a = a.run_epoch(epoch, &enrollment, None).unwrap();
+            let out_b = b.run_epoch(epoch, &enrollment, None).unwrap();
+            assert_eq!(out_a, out_b, "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn enrollment_masks_shrink_the_population() {
+        let spec = tiny_options().spec(WarmStart::Cold);
+        let mut exec = MechanismExecutor::new(spec);
+        let pop = exec.population(0).unwrap();
+        // Enroll only every other user: uplink must drop versus everyone.
+        let all: Vec<Vec<bool>> = pop.iter().map(|p| vec![true; p.users]).collect();
+        let half: Vec<Vec<bool>> = pop
+            .iter()
+            .map(|p| (0..p.users).map(|u| u % 2 == 0).collect())
+            .collect();
+        let full = exec.run_epoch(0, &all, None).unwrap();
+        let reduced = exec.run_epoch(0, &half, None).unwrap();
+        assert!(reduced.uplink_bits < full.uplink_bits);
+    }
+
+    #[test]
+    fn run_epochs_produces_both_arms() {
+        let report = run_epochs(&tiny_options()).unwrap();
+        assert_eq!(report.schema, 1);
+        assert_eq!(report.arms.len(), 2);
+        assert_eq!(report.arms[0].warm_start, "cold");
+        assert_eq!(report.arms[1].warm_start, "previous");
+        for arm in &report.arms {
+            assert_eq!(arm.points.len(), 2);
+            for p in &arm.points {
+                assert!((0.0..=1.0).contains(&p.f1));
+                assert!((0.0..=1.0).contains(&p.ncr));
+                assert!(p.uplink_bits > 0);
+                assert!(p.enrolled_users > 0);
+                assert_eq!(p.refused_users, 0);
+            }
+        }
+        let parsed = EpochsReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        let table = report.to_table();
+        assert!(table.contains("cold"));
+        assert!(table.contains("previous"));
+    }
+
+    #[test]
+    fn report_parser_rejects_foreign_schemas() {
+        let mut report = run_report_stub();
+        report.schema = 1;
+        let good = report.to_json();
+        let bad = good.replace("\"schema\": 1", "\"schema\": 9");
+        let err = EpochsReport::from_json(&bad).unwrap_err();
+        assert!(err.contains("schema version 9"), "{err}");
+        assert!(err.contains("this build reads schema 1"), "{err}");
+    }
+
+    fn run_report_stub() -> EpochsReport {
+        EpochsReport {
+            schema: 1,
+            dataset: "RDB".to_string(),
+            mechanism: "TAPS".to_string(),
+            epochs: 1,
+            churn_fraction: 0.2,
+            drift_stride: 2,
+            epsilon: 4.0,
+            epsilon_cap: Some(8.0),
+            arms: vec![EpochArm {
+                warm_start: "cold".to_string(),
+                points: vec![EpochPoint {
+                    epoch: 0,
+                    f1: 0.5,
+                    ncr: 0.25,
+                    uplink_bits: 99,
+                    enrolled_users: 12,
+                    refused_users: 3,
+                }],
+            }],
+        }
+    }
+}

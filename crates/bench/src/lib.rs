@@ -31,7 +31,11 @@
 //! `fedhh-bench scale` sweeps `user_scale` up through the paper's full
 //! populations on the streamed chunked data plane, emitting
 //! `BENCH_scale.json` with throughput and peak-RSS per point (see the
-//! [`scale`] module docs and CI's `scale-smoke` ceiling).
+//! [`scale`] module docs and CI's `scale-smoke` ceiling); and
+//! `fedhh-bench epochs` runs the epoch service over a churning, drifting
+//! population through both warm-start arms, emitting `BENCH_epochs.json`
+//! with per-epoch F1/NCR/uplink and the budget ledger's admission split
+//! (see the [`epochs`] module docs and CI's `epoch-smoke` job).
 //!
 //! The harness's place in the system is mapped in `ARCHITECTURE.md` at the
 //! repository root.
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod epochs;
 pub mod experiments;
 pub mod microbench;
 pub mod nodespec;
@@ -47,6 +52,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 
+pub use epochs::{run_epochs, EpochServiceSpec, EpochsOptions, EpochsReport, MechanismExecutor};
 pub use experiments::BenchError;
 pub use nodespec::{partition_parties, NodeRunSpec};
 pub use perf::{check_report, run_suite, PerfEntry, PerfReport, PerfViolation};

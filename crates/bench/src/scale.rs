@@ -43,8 +43,11 @@
 //!   reports exactly once in the main pipeline).
 //! * `uplink_bits` — party → server traffic of the run.
 //! * `peak_rss_kb` — the process's peak resident set (`VmHWM` from
-//!   `/proc/self/status`), `null` where unavailable (non-Linux).  The value
-//!   is a process-lifetime high-water mark, so within one sweep it is
+//!   `/proc/self/status`).  **Best-effort:** on platforms without procfs
+//!   (non-Linux) the field is `null`, never a silent `0` — a zero reading
+//!   from the kernel is also reported as `null` so downstream tooling can
+//!   distinguish "no measurement" from a real value.  The value is a
+//!   process-lifetime high-water mark, so within one sweep it is
 //!   non-decreasing; the final point is the sweep's peak.
 //!
 //! The parser round-trips the schema:
@@ -99,8 +102,10 @@ pub struct ScalePoint {
     pub reports_per_sec: f64,
     /// Party → server traffic, in bits.
     pub uplink_bits: u64,
-    /// Peak resident set size of the process in kilobytes (`None` where
-    /// `/proc/self/status` is unavailable).
+    /// Peak resident set size of the process in kilobytes.  Best-effort:
+    /// `None` where `/proc/self/status` is unavailable (non-Linux) or the
+    /// kernel reports a zero high-water mark; serialized as JSON `null`,
+    /// never a silent `0`.
     pub peak_rss_kb: Option<u64>,
 }
 
@@ -194,7 +199,9 @@ impl ScaleReport {
         let obj = value.as_object().ok_or("top level must be an object")?;
         let schema = json::get_number(obj, "schema")? as u32;
         if schema != 1 {
-            return Err(format!("unsupported scale schema version {schema}"));
+            return Err(format!(
+                "unsupported scale schema version {schema} (this build reads schema 1)"
+            ));
         }
         let points_value = json::get(obj, "points")?;
         let points_array = points_value
@@ -314,10 +321,12 @@ impl ScaleOptions {
 
 /// Reads the process's peak resident set size (`VmHWM`) in kilobytes from
 /// `/proc/self/status`.  Best-effort: returns `None` on platforms without
-/// procfs or when the field is missing.
+/// procfs, when the field is missing, or when the kernel reports a zero
+/// high-water mark (a zero reading carries no information and must not be
+/// mistaken for "the sweep used no memory").
 pub fn peak_rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    parse_vm_hwm(&status)
+    parse_vm_hwm(&status).filter(|&kb| kb > 0)
 }
 
 /// Parses the `VmHWM` line of a `/proc/self/status` document.
@@ -428,11 +437,26 @@ mod tests {
     fn parser_rejects_malformed_documents() {
         assert!(ScaleReport::from_json("").is_err());
         assert!(ScaleReport::from_json("{\"schema\": 1}").is_err());
-        assert!(ScaleReport::from_json(
+        let err = ScaleReport::from_json(
             "{\"schema\": 2, \"dataset\": \"RDB\", \"mechanism\": \"TAPS\", \
-             \"mode\": \"streamed\", \"points\": []}"
+             \"mode\": \"streamed\", \"points\": []}",
         )
-        .is_err());
+        .unwrap_err();
+        // The version error names both the found and the supported schema.
+        assert!(err.contains("schema version 2"), "{err}");
+        assert!(err.contains("this build reads schema 1"), "{err}");
+    }
+
+    #[test]
+    fn a_zero_rss_reading_is_reported_as_unavailable() {
+        // `peak_rss_kb()` filters a zero `VmHWM` to `None`: the JSON field
+        // is documented as best-effort, and a silent 0 would read as "the
+        // sweep used no memory".
+        assert_eq!(parse_vm_hwm("VmHWM:\t       0 kB\n"), Some(0));
+        assert_eq!(
+            parse_vm_hwm("VmHWM:\t       0 kB\n").filter(|&kb| kb > 0),
+            None
+        );
     }
 
     #[test]

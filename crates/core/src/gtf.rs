@@ -199,12 +199,24 @@ impl Mechanism for Gtf {
                 .collect();
             averaged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             averaged.truncate(config.k);
-            // Broadcast the filtered candidate set to every surviving party.
-            for &idx in &active {
-                ctx.record_downlink(dataset.parties()[idx].name(), averaged.len() * PAIR_BITS);
-            }
             global = averaged.iter().map(|(v, _)| *v).collect();
             global_len = schedule.prefix_len(h);
+            // Incremental-trie warm start (epoch service): graft the
+            // previous epoch's surviving heavy hitters back into the
+            // filtered set at this level, so a persistent heavy item one
+            // epoch's noise pushed out of the top-k is never lost from
+            // the trie.  Cold runs have no warm prefixes and keep the
+            // exact one-shot candidate set.
+            let warm = ctx.warm_prefixes(global_len);
+            if !warm.is_empty() {
+                global.extend(warm);
+                global.sort_unstable();
+                global.dedup();
+            }
+            // Broadcast the filtered candidate set to every surviving party.
+            for &idx in &active {
+                ctx.record_downlink(dataset.parties()[idx].name(), global.len() * PAIR_BITS);
+            }
             last_avg = averaged.into_iter().collect();
             last_local = locals.into_iter().map(|(_, l)| l).collect();
             if global.is_empty() {

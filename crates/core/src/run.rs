@@ -48,6 +48,7 @@ pub struct RunContext<'a> {
     comm: CommTracker,
     observer: &'a mut dyn RunObserver,
     link: Option<SessionLink>,
+    warm: Option<Vec<u64>>,
 }
 
 impl<'a> RunContext<'a> {
@@ -68,6 +69,7 @@ impl<'a> RunContext<'a> {
             comm: CommTracker::new(),
             observer,
             link: None,
+            warm: None,
         }
     }
 
@@ -108,9 +110,54 @@ impl<'a> RunContext<'a> {
         Session::with_link(&self.engine, party_count, self.link.take())
     }
 
+    /// Returns the context with warm-start candidates attached (see
+    /// [`Run::warm_start`]).
+    pub fn with_warm_start(mut self, warm: Option<Vec<u64>>) -> Self {
+        self.warm = warm;
+        self
+    }
+
     /// The dataset under analysis (borrowed for the run's full lifetime).
     pub fn dataset(&self) -> &'a FederatedDataset {
         self.dataset
+    }
+
+    /// Warm-start candidates for this run: full item codes a previous
+    /// epoch discovered as heavy hitters.  Mechanisms graft these into
+    /// their server-side candidate sets so persistent heavy items are
+    /// never re-pruned (`None` for a cold run — the default).
+    pub fn warm_candidates(&self) -> Option<&[u64]> {
+        self.warm.as_deref()
+    }
+
+    /// The warm-start candidates truncated to `len`-bit prefixes, sorted
+    /// and deduplicated — what a mechanism unions into its level-`len`
+    /// server-side candidate set.  Empty for a cold run.
+    pub fn warm_prefixes(&self, len: u8) -> Vec<u64> {
+        let Some(warm) = self.warm.as_deref() else {
+            return Vec::new();
+        };
+        let max_bits = self.config.max_bits;
+        let mut prefixes: Vec<u64> = warm
+            .iter()
+            .map(|&code| fedhh_trie::Prefix::of_item(code, max_bits, len).value())
+            .collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        prefixes
+    }
+
+    /// The resident item slice of party `party_index`, as a typed failure
+    /// path: streamed parties — which hold no resident items — surface
+    /// [`ProtocolError::StreamedParty`] instead of the panic documented on
+    /// `PartyData::items()`.
+    pub fn resident_items(&self, party_index: usize) -> Result<&'a [u64], ProtocolError> {
+        let party = &self.dataset.parties()[party_index];
+        party
+            .try_items()
+            .ok_or_else(|| ProtocolError::StreamedParty {
+                party: party.name().to_string(),
+            })
     }
 
     /// The protocol configuration of this run.
@@ -249,6 +296,7 @@ pub struct Run<'a> {
     engine: Option<EngineConfig>,
     observer: Option<&'a mut dyn RunObserver>,
     link: Option<SessionLink>,
+    warm: Option<Vec<u64>>,
 }
 
 impl<'a> Run<'a> {
@@ -271,6 +319,7 @@ impl<'a> Run<'a> {
             engine: None,
             observer: None,
             link: None,
+            warm: None,
         }
     }
 
@@ -315,6 +364,18 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// Warm-starts the run from a previous epoch's surviving heavy
+    /// hitters: the mechanisms graft these full item codes into their
+    /// server-side candidate sets (GTF per level; TAP/TAPS at the Phase
+    /// I → II boundary) so persistent heavy items are never re-pruned.
+    /// This is the epoch service's incremental-trie hook
+    /// (`WarmStart::Previous` in `fedhh-federated`); one-shot runs leave
+    /// it unset.
+    pub fn warm_start(mut self, values: Vec<u64>) -> Self {
+        self.warm = Some(values);
+        self
+    }
+
     /// Validates the request and executes the mechanism.
     ///
     /// Every failure mode — missing dataset, invalid configuration, or a
@@ -345,7 +406,8 @@ impl<'a> Run<'a> {
         let mechanism = self.mechanism.as_dyn();
         let mut ctx = RunContext::new(dataset, self.config, observer)
             .with_engine(engine)
-            .with_link(self.link);
+            .with_link(self.link)
+            .with_warm_start(self.warm);
         let output = mechanism.execute(&mut ctx)?;
         ctx.finish(mechanism.name(), &output);
         Ok(output)
@@ -438,6 +500,52 @@ mod tests {
         assert_eq!(summary.mechanism, "TAPS");
         assert_eq!(summary.heavy_hitters, output.heavy_hitters.len());
         assert_eq!(summary.uplink_bits, output.comm.total_uplink_bits());
+    }
+
+    #[test]
+    fn resident_items_is_typed_for_streamed_parties() {
+        let eager = dataset();
+        let mut null = fedhh_federated::NullObserver;
+        let ctx = RunContext::new(&eager, config(), &mut null);
+        assert!(ctx.resident_items(0).is_ok());
+
+        let streamed = DatasetConfig::test_scale().build_streamed(DatasetKind::Rdb);
+        let mut null = fedhh_federated::NullObserver;
+        let ctx = RunContext::new(&streamed, config(), &mut null);
+        let err = ctx.resident_items(0).unwrap_err();
+        match err {
+            ProtocolError::StreamedParty { party } => {
+                assert_eq!(party, streamed.parties()[0].name());
+            }
+            other => panic!("expected StreamedParty, got {other}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_flows_into_the_context_and_changes_nothing_when_empty() {
+        let dataset = dataset();
+        let cold = Run::mechanism(MechanismKind::Gtf)
+            .dataset(&dataset)
+            .config(config())
+            .execute()
+            .unwrap();
+        // An empty warm set grafts nothing: output is bit-identical.
+        let warm_empty = Run::mechanism(MechanismKind::Gtf)
+            .dataset(&dataset)
+            .config(config())
+            .warm_start(Vec::new())
+            .execute()
+            .unwrap();
+        assert_eq!(cold.heavy_hitters, warm_empty.heavy_hitters);
+        assert_eq!(cold.counts, warm_empty.counts);
+        // Warm-starting from the run's own output is a fixed point.
+        let warm = Run::mechanism(MechanismKind::Gtf)
+            .dataset(&dataset)
+            .config(config())
+            .warm_start(cold.heavy_hitters.clone())
+            .execute()
+            .unwrap();
+        assert_eq!(warm.heavy_hitters.len(), config().k);
     }
 
     #[test]

@@ -279,13 +279,23 @@ impl Mechanism for Tap {
         let gs = config.shared_levels();
 
         // Phase I: shared shallow trie construction (Algorithm 2).
-        let shared = stc::shared_trie_construction(
+        let mut shared = stc::shared_trie_construction(
             &mut session,
             &mut parties,
             &estimator,
             ctx,
             self.extension,
         )?;
+        // Incremental-trie warm start (epoch service): graft the previous
+        // epoch's surviving heavy hitters into the shared prefixes handed
+        // to Phase II, so persistent heavy items descend even if this
+        // epoch's shallow estimation missed them.  Cold runs add nothing.
+        let warm = ctx.warm_prefixes(config.schedule().prefix_len(gs));
+        if !warm.is_empty() {
+            shared.extend(warm);
+            shared.sort_unstable();
+            shared.dedup();
+        }
         let debug = std::env::var("FEDHH_DEBUG_SHARED").is_ok();
         if debug {
             eprintln!("[tap] shared prefixes at level {gs}: {shared:?}");

@@ -283,13 +283,22 @@ impl Mechanism for Taps {
         let mut parties = PartyRun::initialise(ctx)?;
 
         // Phase I: shared shallow trie construction (identical to TAP).
-        let shared = stc::shared_trie_construction(
+        let mut shared = stc::shared_trie_construction(
             &mut session,
             &mut parties,
             &estimator,
             ctx,
             self.extension,
         )?;
+        // Incremental-trie warm start (epoch service): graft the previous
+        // epoch's surviving heavy hitters into the shared prefixes every
+        // party descends from — identical semantics to TAP's hook.
+        let warm = ctx.warm_prefixes(config.schedule().prefix_len(gs));
+        if !warm.is_empty() {
+            shared.extend(warm);
+            shared.sort_unstable();
+            shared.dedup();
+        }
         let active = session.active_parties();
         if self.use_shared_trie {
             let shared_len = config.schedule().prefix_len(gs);

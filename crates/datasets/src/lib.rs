@@ -31,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dirichlet;
+pub mod evolve;
 pub mod federated;
 pub mod party;
 pub mod poisson;
@@ -42,10 +43,11 @@ pub mod synthetic;
 pub mod zipf;
 
 pub use dirichlet::DirichletSampler;
+pub use evolve::{EvolutionPlan, PopulationEvolver};
 pub use federated::FederatedDataset;
 pub use party::PartyData;
 pub use poisson::PoissonWeights;
 pub use registry::{DatasetConfig, DatasetKind, ParseDatasetKindError};
 pub use stats::{global_top_k, FrequencyTable};
-pub use stream::{ItemGen, ItemStream, PartyChunks, DEFAULT_CHUNK_SIZE};
+pub use stream::{ChurnGen, ItemGen, ItemStream, PartyChunks, DEFAULT_CHUNK_SIZE};
 pub use zipf::ZipfSampler;

@@ -48,6 +48,17 @@ impl PartyData {
         }
     }
 
+    /// Creates a party over an existing stream handle (any backing) — used
+    /// by the epoch evolver to wrap a previous epoch's stream in a churn
+    /// layer.
+    pub fn from_stream(name: impl Into<String>, items: ItemStream, code_bits: u8) -> Self {
+        Self {
+            name: name.into(),
+            items,
+            code_bits,
+        }
+    }
+
     /// The party's display name (e.g. `"RDB/reddit"`).
     pub fn name(&self) -> &str {
         &self.name

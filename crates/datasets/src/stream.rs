@@ -14,6 +14,11 @@
 //!   ranking, sampling CDF and the pinned RNG state at the head of the
 //!   party's sampling sequence); each chunk is regenerated on the fly and
 //!   dropped, so resident memory is `O(chunk)`, not `O(users)`.
+//! * **Churned** — an epoch transition layered over an inner stream
+//!   ([`ChurnGen`]): a deterministic fraction of user slots is replaced by
+//!   fresh users resampled from a (possibly drifted) popularity pool.
+//!   Layers compose, so epoch *e* is *e* churn layers over the base
+//!   stream, still `O(chunk)` resident.
 //!
 //! Both backings yield **bit-identical** sequences: the generated stream
 //! replays exactly the draws the eager build performed (one RNG word per
@@ -41,6 +46,7 @@
 
 use crate::zipf::sample_cdf;
 use rand::rngs::StdRng;
+use rand::Rng;
 use std::sync::Arc;
 
 /// The default chunk size used when a consumer asks for "a reasonable
@@ -101,12 +107,127 @@ impl ItemGen {
     }
 }
 
+/// Deterministic per-user churn layered over an inner stream: the epoch
+/// transition of the epoch service (see `fedhh-federated`'s `epoch`
+/// module).
+///
+/// Each user slot of the inner stream is either **retained** (the slot
+/// keeps the inner item — the same user re-enrolls) or **churned** (the
+/// slot is taken over by a fresh user whose item is resampled from a —
+/// possibly drifted — popularity pool).  Two *independent* pinned RNGs
+/// drive the transition:
+///
+/// * `decide` consumes exactly one draw per user slot, so the fresh-user
+///   mask can be replayed without touching the item sequence
+///   ([`ChurnGen::fresh_mask`]), and
+/// * `resample` consumes one draw per *churned* slot only.
+///
+/// Because both RNGs are pinned at the head of the sequence and advance a
+/// fixed number of draws per slot, the churned stream is — like every other
+/// backing — deterministic, re-iterable and chunk-size independent.
+#[derive(Debug, Clone)]
+pub struct ChurnGen {
+    /// The previous epoch's stream (any backing, including another churn
+    /// layer — epochs compose).
+    inner: Box<ItemStream>,
+    /// Popularity-ranked resample pool for fresh users (`codes[rank]`).
+    codes: Arc<Vec<u64>>,
+    /// Cumulative distribution over pool ranks.
+    cdf: Arc<Vec<f64>>,
+    /// Fraction of user slots churned per epoch, in `[0, 1]`.
+    fraction: f64,
+    /// RNG deciding, per slot, whether the user churns (one draw each).
+    decide: StdRng,
+    /// RNG sampling replacement items (one draw per churned slot).
+    resample: StdRng,
+    /// Number of user slots (equals the inner stream's length).
+    len: usize,
+}
+
+impl ChurnGen {
+    /// Layers churn over `inner`: each user slot churns with probability
+    /// `fraction`, drawing its replacement item from the ranked
+    /// `codes`/`cdf` pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `[0, 1]`, when `codes` and `cdf`
+    /// differ in length, or when the pool is empty while `fraction > 0`.
+    pub fn new(
+        inner: ItemStream,
+        codes: Vec<u64>,
+        cdf: Vec<f64>,
+        fraction: f64,
+        decide: StdRng,
+        resample: StdRng,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "churn fraction must be in [0, 1], got {fraction}"
+        );
+        assert_eq!(codes.len(), cdf.len(), "one CDF entry per ranked item code");
+        assert!(
+            !codes.is_empty() || fraction == 0.0 || inner.is_empty(),
+            "non-empty resample pool required when churn is possible"
+        );
+        let len = inner.len();
+        Self {
+            inner: Box::new(inner),
+            codes: Arc::new(codes),
+            cdf: Arc::new(cdf),
+            fraction,
+            decide,
+            resample,
+            len,
+        }
+    }
+
+    /// Replays only the `decide` sequence: `mask[u]` is true when slot `u`
+    /// holds a fresh (churned-in) user this epoch.  Consumes no item or
+    /// resample draws, so the mask provably agrees with the stream.
+    pub fn fresh_mask(&self) -> Vec<bool> {
+        let mut decide = self.decide.clone();
+        (0..self.len)
+            .map(|_| decide.gen::<f64>() < self.fraction)
+            .collect()
+    }
+
+    /// Transforms one inner chunk into the churned chunk, advancing the
+    /// RNG copies by exactly the draws this chunk owns.
+    fn apply(&self, decide: &mut StdRng, resample: &mut StdRng, buf: &mut Vec<u64>, chunk: &[u64]) {
+        buf.reserve(chunk.len());
+        for &item in chunk {
+            if decide.gen::<f64>() < self.fraction {
+                buf.push(self.codes[sample_cdf(&self.cdf, resample)]);
+            } else {
+                buf.push(item);
+            }
+        }
+    }
+
+    /// A copy of this generator truncated to the first `len` user slots.
+    fn truncated(&self, len: usize) -> Self {
+        let len = len.min(self.len);
+        Self {
+            inner: Box::new(self.inner.take(len)),
+            codes: Arc::clone(&self.codes),
+            cdf: Arc::clone(&self.cdf),
+            fraction: self.fraction,
+            decide: self.decide.clone(),
+            resample: self.resample.clone(),
+            len,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Backing {
     /// A materialized item vector; chunks are sub-slices.
     Eager(Arc<Vec<u64>>),
     /// Deterministic regeneration; chunks are produced on demand.
     Generated(ItemGen),
+    /// Deterministic churn over an inner stream (epoch transitions).
+    Churned(ChurnGen),
 }
 
 /// A deterministic, re-iterable stream of one party's item codes.
@@ -141,6 +262,15 @@ impl ItemStream {
         }
     }
 
+    /// A stream backed by a churn layer over a previous epoch's stream.
+    pub fn from_churn(gen: ChurnGen) -> Self {
+        let len = gen.len;
+        Self {
+            backing: Backing::Churned(gen),
+            len,
+        }
+    }
+
     /// Number of items (users) in the stream.
     pub fn len(&self) -> usize {
         self.len
@@ -154,7 +284,16 @@ impl ItemStream {
     /// True when the stream regenerates its items on demand instead of
     /// holding them resident.
     pub fn is_generated(&self) -> bool {
-        matches!(self.backing, Backing::Generated(_))
+        !matches!(self.backing, Backing::Eager(_))
+    }
+
+    /// The churn layer when this stream is an epoch transition (`None`
+    /// otherwise).
+    pub fn churn(&self) -> Option<&ChurnGen> {
+        match &self.backing {
+            Backing::Churned(gen) => Some(gen),
+            _ => None,
+        }
     }
 
     /// Starts a chunked pass over the stream with at most `chunk_size`
@@ -170,6 +309,13 @@ impl ItemStream {
                 gen,
                 rng: gen.rng.clone(),
                 produced: 0,
+                buf: Vec::new(),
+            },
+            Backing::Churned(gen) => ChunkState::Churned {
+                gen,
+                inner: Box::new(gen.inner.chunks(chunk_size)),
+                decide: gen.decide.clone(),
+                resample: gen.resample.clone(),
                 buf: Vec::new(),
             },
         };
@@ -202,6 +348,18 @@ impl ItemStream {
                 gen.fill_into(&mut rng, &mut out, self.len);
                 out
             }
+            Backing::Churned(gen) => {
+                let mut decide = gen.decide.clone();
+                let mut resample = gen.resample.clone();
+                let mut out = Vec::with_capacity(self.len);
+                gen.apply(
+                    &mut decide,
+                    &mut resample,
+                    &mut out,
+                    &gen.inner.materialize(),
+                );
+                out
+            }
         }
     }
 
@@ -210,7 +368,7 @@ impl ItemStream {
     pub fn as_slice(&self) -> Option<&[u64]> {
         match &self.backing {
             Backing::Eager(items) => Some(items.as_slice()),
-            Backing::Generated(_) => None,
+            Backing::Generated(_) | Backing::Churned(_) => None,
         }
     }
 
@@ -219,6 +377,7 @@ impl ItemStream {
         match &self.backing {
             Backing::Eager(items) => Self::from_items(items.iter().take(n).copied().collect()),
             Backing::Generated(gen) => Self::from_gen(gen.truncated(n)),
+            Backing::Churned(gen) => Self::from_churn(gen.truncated(n)),
         }
     }
 }
@@ -232,6 +391,13 @@ enum ChunkState<'a> {
         gen: &'a ItemGen,
         rng: StdRng,
         produced: usize,
+        buf: Vec<u64>,
+    },
+    Churned {
+        gen: &'a ChurnGen,
+        inner: Box<PartyChunks<'a>>,
+        decide: StdRng,
+        resample: StdRng,
         buf: Vec<u64>,
     },
 }
@@ -276,6 +442,18 @@ impl PartyChunks<'_> {
                 buf.clear();
                 gen.fill_into(rng, buf, count);
                 *produced += count;
+                Some(buf.as_slice())
+            }
+            ChunkState::Churned {
+                gen,
+                inner,
+                decide,
+                resample,
+                buf,
+            } => {
+                let chunk = inner.next_chunk()?;
+                buf.clear();
+                gen.apply(decide, resample, buf, chunk);
                 Some(buf.as_slice())
             }
         }
@@ -369,5 +547,84 @@ mod tests {
         let stream = ItemStream::from_items(Vec::new());
         assert!(stream.is_empty());
         assert!(stream.chunks(8).next_chunk().is_none());
+    }
+
+    fn churned(inner: ItemStream, fraction: f64) -> ItemStream {
+        ItemStream::from_churn(ChurnGen::new(
+            inner,
+            vec![100, 200, 300],
+            vec![0.5, 0.8, 1.0],
+            fraction,
+            StdRng::seed_from_u64(7),
+            StdRng::seed_from_u64(8),
+        ))
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_chunk_size_independent() {
+        let (base, _) = gen_stream(211);
+        let stream = churned(base, 0.3);
+        assert!(stream.is_generated());
+        assert!(stream.churn().is_some());
+        let reference = stream.materialize();
+        assert_eq!(stream.materialize(), reference, "re-iterable");
+        for chunk_size in [1usize, 13, 64, usize::MAX] {
+            let mut seen = Vec::new();
+            let mut chunks = stream.chunks(chunk_size);
+            while let Some(chunk) = chunks.next_chunk() {
+                seen.extend_from_slice(chunk);
+            }
+            assert_eq!(seen, reference, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn fresh_mask_agrees_with_the_stream() {
+        let (base, inner_items) = gen_stream(300);
+        let stream = churned(base, 0.4);
+        let mask = stream.churn().unwrap().fresh_mask();
+        let items = stream.materialize();
+        assert_eq!(mask.len(), items.len());
+        let pool = [100u64, 200, 300];
+        for (u, (&item, &fresh)) in items.iter().zip(&mask).enumerate() {
+            if fresh {
+                assert!(pool.contains(&item), "slot {u}: churned item from pool");
+            } else {
+                assert_eq!(item, inner_items[u], "slot {u}: retained inner item");
+            }
+        }
+        let churn_rate = mask.iter().filter(|&&f| f).count() as f64 / mask.len() as f64;
+        assert!((0.2..=0.6).contains(&churn_rate), "rate {churn_rate}");
+    }
+
+    #[test]
+    fn zero_churn_is_the_identity() {
+        let (base, reference) = gen_stream(120);
+        let stream = churned(base, 0.0);
+        assert_eq!(stream.materialize(), reference);
+        assert!(stream.churn().unwrap().fresh_mask().iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn full_churn_replaces_every_slot() {
+        let (base, _) = gen_stream(80);
+        let stream = churned(base, 1.0);
+        assert!(stream
+            .materialize()
+            .iter()
+            .all(|i| [100, 200, 300].contains(i)));
+        assert!(stream.churn().unwrap().fresh_mask().iter().all(|&f| f));
+    }
+
+    #[test]
+    fn churn_layers_compose_and_truncate() {
+        let (base, _) = gen_stream(150);
+        let once = churned(base, 0.25);
+        let twice = churned(once.clone(), 0.25);
+        let reference = twice.materialize();
+        assert_eq!(reference.len(), 150);
+        // Truncation replays the prefix of the same per-slot draws.
+        assert_eq!(twice.take(40).materialize(), reference[..40]);
+        assert_eq!(twice.take(500).len(), 150);
     }
 }

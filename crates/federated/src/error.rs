@@ -69,6 +69,17 @@ pub enum ProtocolError {
         /// The total number of groups.
         groups: u8,
     },
+    /// A streamed party was passed to an API that needs resident items.
+    StreamedParty {
+        /// Name of the streamed party.
+        party: String,
+    },
+    /// Every user in the federation has exhausted their lifetime privacy
+    /// budget: the epoch could not enroll anyone.
+    BudgetExhausted {
+        /// The epoch that found no enrollable users.
+        epoch: u32,
+    },
     /// The run was started without a dataset.
     MissingDataset,
     /// The dataset holds no parties or no users.
@@ -136,6 +147,20 @@ impl fmt::Display for ProtocolError {
                 write!(
                     f,
                     "phase-1 levels {phase1_levels} cannot exceed the {groups} groups"
+                )
+            }
+            ProtocolError::StreamedParty { party } => {
+                write!(
+                    f,
+                    "party {party} is streamed and holds no resident items; \
+                     consume it through PartyData::stream() instead"
+                )
+            }
+            ProtocolError::BudgetExhausted { epoch } => {
+                write!(
+                    f,
+                    "epoch {epoch} could not enroll any user: every lifetime \
+                     privacy budget is exhausted"
                 )
             }
             ProtocolError::MissingDataset => {
@@ -217,6 +242,13 @@ mod tests {
                 },
                 "9",
             ),
+            (
+                ProtocolError::StreamedParty {
+                    party: "RDB/reddit".into(),
+                },
+                "RDB/reddit",
+            ),
+            (ProtocolError::BudgetExhausted { epoch: 4 }, "epoch 4"),
             (ProtocolError::MissingDataset, "no dataset"),
             (
                 ProtocolError::EmptyDataset {

@@ -27,6 +27,11 @@
 //!   is wrapped in drivers, executed in parallel worker threads, and
 //!   collected through a transport in a canonical order, with a
 //!   [`FaultPlan`] injecting dropouts and straggler reordering.
+//! * [`epoch`] / [`checkpoint`] — the epoch service: an [`EpochRunner`]
+//!   drives successive epochs of any mechanism over a time-varying
+//!   population, carrying an incremental-trie [`WarmSet`] and a per-user
+//!   [`BudgetLedger`] across epochs, with crash-resumable checkpoints
+//!   (atomic write, CRC-framed, typed errors on malformed input).
 //! * [`wire`] / [`SocketTransport`] / [`node`] — the networking subsystem:
 //!   `fedhh-wire` encodings for every protocol type, a [`Transport`] over
 //!   real loopback TCP sockets ([`TransportKind::Tcp`]), and the node
@@ -77,8 +82,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod comm;
 pub mod config;
+pub mod epoch;
 pub mod error;
 pub mod estimator;
 pub mod fault;
@@ -92,8 +99,13 @@ pub mod socket;
 pub mod transport;
 pub mod wire;
 
+pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use comm::{shared_tracker, CommTracker, SharedCommTracker};
 pub use config::{ExecMode, FoExec, ProtocolConfig};
+pub use epoch::{
+    BudgetLedger, EpochConfig, EpochExecutor, EpochOutput, EpochRecord, EpochRunner, EpochState,
+    PartyPopulation, WarmSet, WarmStart,
+};
 pub use error::ProtocolError;
 pub use estimator::{EstimateScratch, LevelEstimate, LevelEstimator};
 pub use fault::FaultPlan;

@@ -433,7 +433,11 @@ impl SessionLink {
     /// `messages`/`events` are what this process's local drivers produced
     /// (already drained in canonical order); `failure` carries a local
     /// driver error.  Returns the round's assembled collection — identical
-    /// in every process — or an error if any process failed.
+    /// in every process — or an error if any process failed.  On the
+    /// coordinator, a peer that disconnected between rounds counts as a
+    /// failure of its first assigned party: every surviving peer receives
+    /// a typed `Abort` and the exchange returns [`WireError::Remote`]
+    /// instead of hanging on the dead socket.
     pub(crate) fn exchange(
         &mut self,
         round: u32,
@@ -474,7 +478,21 @@ impl SessionLink {
                 let mut all_events = events;
                 let mut failures: Vec<(usize, String)> = failure.into_iter().collect();
                 for (rank, peer) in link.peers.iter_mut().enumerate() {
-                    match peer.recv()? {
+                    // A peer that vanished between rounds (socket error,
+                    // EOF, timeout) is a dropout, not a protocol bug: fold
+                    // it into the failure set — attributed to its first
+                    // assigned party, matching FaultPlan's lowest-index
+                    // dropout attribution — so the surviving peers get a
+                    // typed Abort below instead of a hung exchange.
+                    let frame = match peer.recv() {
+                        Ok(frame) => frame,
+                        Err(err) => {
+                            let party = link.assignments.get(rank).map_or(rank, |r| r.0);
+                            failures.push((party, format!("rank {rank} disconnected: {err}")));
+                            continue;
+                        }
+                    };
+                    match frame {
                         NodeFrame::RoundDone {
                             round: peer_round,
                             messages,
@@ -710,6 +728,37 @@ mod tests {
             let err = thread.join().unwrap().unwrap_err();
             assert!(matches!(err, WireError::Remote { .. }), "{err}");
         }
+    }
+
+    #[test]
+    fn a_disconnected_peer_aborts_the_survivors() {
+        let server = NodeServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let server_welcome = welcome();
+        let coordinator =
+            std::thread::spawn(move || server.accept_parties(&server_welcome).unwrap());
+        let healthy = std::thread::spawn(move || {
+            let (link, _) = connect_party(addr).unwrap();
+            let mut link = SessionLink::Party(link);
+            link.exchange(0, Vec::new(), Vec::new(), None, &FaultPlan::none())
+        });
+        // The second peer completes the handshake, then vanishes without
+        // ever sending RoundDone — a crash between rounds.
+        let vanishing = std::thread::spawn(move || {
+            let (link, _) = connect_party(addr).unwrap();
+            drop(link);
+        });
+        vanishing.join().unwrap();
+        let mut coordinator = SessionLink::Coordinator(coordinator.join().unwrap());
+        let err = coordinator
+            .exchange(0, Vec::new(), Vec::new(), None, &FaultPlan::none())
+            .unwrap_err();
+        assert!(matches!(err, WireError::Remote { .. }), "{err}");
+        assert!(err.to_string().contains("disconnected"), "{err}");
+        // The surviving peer gets a typed Abort instead of a hang.
+        let err = healthy.join().unwrap().unwrap_err();
+        assert!(matches!(err, WireError::Remote { .. }), "{err}");
+        assert!(err.to_string().contains("disconnected"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Property tests for the epoch-service checkpoint codec: randomised
+//! states round-trip bit-identically through the on-disk format, and every
+//! way of damaging a checkpoint file — truncation at any byte, bit flips,
+//! a foreign schema — yields a typed [`WireError`], never a panic.  The
+//! resume-equivalence half of the crash-recovery guarantee (kill at every
+//! round boundary, resume, compare) lives in the workspace-root
+//! `tests/epochs.rs` where the real mechanism executor is available.
+
+use fedhh_federated::checkpoint::{load, save};
+use fedhh_federated::{
+    BudgetLedger, Checkpoint, EpochRecord, EpochState, WarmSet, CHECKPOINT_SCHEMA,
+};
+use fedhh_wire::{to_bytes, write_frame_bytes, WireError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random ledger: arbitrary party/user shapes, spends drawn as raw bit
+/// patterns so NaNs and infinities exercise the bit-exact contract.
+fn random_ledger(rng: &mut StdRng) -> BudgetLedger {
+    let parties = rng.gen_range(0usize..5);
+    let spent = (0..parties)
+        .map(|_| {
+            let users = rng.gen_range(0usize..40);
+            (0..users)
+                .map(|_| {
+                    if rng.gen_bool(0.1) {
+                        f64::from_bits(rng.gen())
+                    } else {
+                        rng.gen::<f64>() * 32.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut ledger = BudgetLedger::new();
+    ledger.restore(spent);
+    ledger
+}
+
+fn random_record(rng: &mut StdRng, epoch: u32) -> EpochRecord {
+    let hitters = rng.gen_range(0usize..12);
+    EpochRecord {
+        epoch,
+        heavy_hitters: (0..hitters).map(|_| rng.gen()).collect(),
+        count_bits: (0..rng.gen_range(0usize..12))
+            .map(|_| (rng.gen(), rng.gen()))
+            .collect(),
+        uplink_bits: rng.gen(),
+        downlink_bits: rng.gen(),
+        enrolled_users: rng.gen(),
+        refused_users: rng.gen(),
+    }
+}
+
+fn random_state(rng: &mut StdRng) -> EpochState {
+    let epochs = rng.gen_range(0u32..6);
+    EpochState {
+        next_epoch: epochs,
+        ledger: random_ledger(rng),
+        warm: rng.gen_bool(0.5).then(|| WarmSet {
+            values: (0..rng.gen_range(0usize..10)).map(|_| rng.gen()).collect(),
+        }),
+        records: (0..epochs).map(|e| random_record(rng, e)).collect(),
+    }
+}
+
+fn random_checkpoint(rng: &mut StdRng) -> Checkpoint {
+    Checkpoint {
+        spec: (0..rng.gen_range(0usize..64))
+            .map(|_| (rng.gen::<u32>() & 0xFF) as u8)
+            .collect(),
+        state: random_state(rng),
+    }
+}
+
+/// A unique temp path per test (the tests run in parallel in one process).
+fn temp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fedhh-ckpt-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+#[test]
+fn random_states_round_trip_bit_identically() {
+    let mut rng = rng(0xC4EC);
+    let path = temp_file("roundtrip");
+    for trial in 0..50 {
+        let checkpoint = random_checkpoint(&mut rng);
+        save(&path, &checkpoint).unwrap();
+        let loaded = load(&path).unwrap();
+        // Equality over raw bit patterns (count_bits, ledger f64s compared
+        // through PartialEq — NaN spends still compare equal through the
+        // re-encode below).
+        assert_eq!(loaded.spec, checkpoint.spec, "trial {trial}");
+        // The strongest form of the property: the re-encoded bytes are
+        // identical, so even NaN payloads (where `==` lies) round-trip
+        // bit-exactly.
+        assert_eq!(
+            to_bytes(&loaded),
+            to_bytes(&checkpoint),
+            "trial {trial} re-encode differs"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_typed_error() {
+    let mut rng = rng(0x7A11);
+    let checkpoint = random_checkpoint(&mut rng);
+    let path = temp_file("trunc");
+    save(&path, &checkpoint).unwrap();
+    let full = std::fs::read(&path).unwrap();
+    for cut in 0..full.len() {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let err = load(&path).expect_err("truncated checkpoint must not load");
+        // Any typed WireError is acceptable; what is forbidden is a panic
+        // or a silently-succeeding partial decode.
+        let _: WireError = err;
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bit_flips_are_typed_errors_never_panics() {
+    let mut rng = rng(0xF11B);
+    let checkpoint = random_checkpoint(&mut rng);
+    let path = temp_file("flip");
+    save(&path, &checkpoint).unwrap();
+    let full = std::fs::read(&path).unwrap();
+    for trial in 0..200 {
+        let mut corrupted = full.clone();
+        let byte = rng.gen_range(0..corrupted.len());
+        let bit = rng.gen_range(0..8u8);
+        corrupted[byte] ^= 1 << bit;
+        std::fs::write(&path, &corrupted).unwrap();
+        // A flip in the length prefix can make the frame read long (Io),
+        // anywhere else the CRC catches it; a flip that survives both is
+        // impossible because CRC32 detects all single-bit errors.
+        match load(&path) {
+            Err(_) => {}
+            Ok(loaded) => panic!(
+                "trial {trial}: single-bit corruption at byte {byte} bit {bit} \
+                 decoded successfully ({loaded:?})"
+            ),
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn foreign_checkpoint_schema_is_rejected() {
+    let checkpoint = Checkpoint {
+        spec: vec![1, 2, 3],
+        state: EpochState::default(),
+    };
+    // Forge a valid wire frame whose payload advertises a future
+    // checkpoint schema.
+    let mut payload = vec![CHECKPOINT_SCHEMA + 1];
+    payload.extend_from_slice(&to_bytes(&checkpoint));
+    let path = temp_file("schema");
+    let mut file = std::fs::File::create(&path).unwrap();
+    write_frame_bytes(&mut file, &payload).unwrap();
+    drop(file);
+    assert!(matches!(
+        load(&path),
+        Err(WireError::SchemaMismatch { found, supported })
+            if found == CHECKPOINT_SCHEMA + 1 && supported == CHECKPOINT_SCHEMA
+    ));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn trailing_bytes_after_the_state_are_rejected() {
+    let checkpoint = Checkpoint {
+        spec: Vec::new(),
+        state: EpochState::default(),
+    };
+    let mut payload = vec![CHECKPOINT_SCHEMA];
+    payload.extend_from_slice(&to_bytes(&checkpoint));
+    payload.push(0xEE);
+    let path = temp_file("trailing");
+    let mut file = std::fs::File::create(&path).unwrap();
+    write_frame_bytes(&mut file, &payload).unwrap();
+    drop(file);
+    assert!(matches!(load(&path), Err(WireError::TrailingBytes { .. })));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_missing_file_is_an_io_error() {
+    let err = load(&temp_file("missing-never-created")).unwrap_err();
+    assert!(matches!(err, WireError::Io { .. }));
+}

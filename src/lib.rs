@@ -15,8 +15,9 @@
 //! * [`trie`] — m-bit prefixes, level schedules, candidate extension.
 //! * [`datasets`] — federated workload generators (Table 2 stand-ins).
 //! * [`federated`] — protocol configuration, group assignment, estimation,
-//!   server aggregation, communication accounting, the round engine, and
-//!   the networking subsystem (socket transport + multi-process node links).
+//!   server aggregation, communication accounting, the round engine, the
+//!   networking subsystem (socket transport + multi-process node links),
+//!   and the epoch service (cross-epoch state, budget ledger, checkpoints).
 //! * [`mechanisms`] — PEM, FedPEM, GTF, TAP and TAPS.
 //! * [`metrics`] — F1, NCR and average local recall.
 //! * [`wire`] — the dependency-free versioned binary codec everything on a
@@ -78,6 +79,20 @@
 //! repository root for the full data-plane story (wire → transport →
 //! session → `PartyDriver` → mechanism), and `fedhh-bench scale` for the
 //! measured sweep.
+//!
+//! ## Running as a service
+//!
+//! [`federated::EpochRunner`] drives a mechanism epoch after epoch over a
+//! time-varying population ([`datasets::EvolutionPlan`] churn + drift),
+//! warm-starting the candidate trie from the previous epoch
+//! ([`federated::WarmStart`]), refusing users whose lifetime privacy
+//! budget is spent ([`federated::BudgetLedger`]), and checkpointing its
+//! full state atomically after every epoch
+//! ([`federated::checkpoint`]) — kill the coordinator anywhere and a
+//! resume reproduces the uninterrupted run bit for bit.  The
+//! `fedhh-node service` subcommand runs the loop as a persistent process
+//! (`--checkpoint` / `--resume`) and `fedhh-bench epochs` measures the
+//! cold-vs-warm ablation.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

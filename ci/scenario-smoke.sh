@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# scenario-smoke: the adversarial-robustness determinism gate.
+#
+#   ci/scenario-smoke.sh [path/to/fedhh-bench]
+#
+# Runs the quick-scale scenario matrix (every mechanism x every adversary
+# at fractions 0 and 0.5 on the RDB stand-in) twice and gates on:
+#   1. The two BENCH_scenario.json files being byte-identical — the sweep
+#      carries no timings, so any difference is real nondeterminism.
+#   2. The benign column: `run_scenario` itself fails unless every
+#      adversary at fraction 0 reproduces the fault-free baseline bit for
+#      bit, so a successful run IS the fraction-0 gate.
+#   3. The --check self-gate: the second sweep checked against the first
+#      at zero tolerance.
+# The first sweep's BENCH_scenario.json is left in the working directory
+# for CI to upload.
+set -euo pipefail
+
+BENCH_BIN="${1:-target/release/fedhh-bench}"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+SCENARIO_FLAGS=(--quick --fractions 0,0.5)
+
+echo "[scenario-smoke] sweep 1: quick robustness matrix"
+"$BENCH_BIN" scenario "${SCENARIO_FLAGS[@]}" --out BENCH_scenario.json
+
+echo "[scenario-smoke] sweep 2: rerun + byte-identity gate"
+"$BENCH_BIN" scenario "${SCENARIO_FLAGS[@]}" --out "$WORKDIR/rerun.json" \
+    --check BENCH_scenario.json --threshold 0
+if ! cmp BENCH_scenario.json "$WORKDIR/rerun.json"; then
+    echo "[scenario-smoke] FAILED: reruns of the same sweep differ" >&2
+    exit 1
+fi
+echo "[scenario-smoke] reruns are byte-identical"
+
+# Sanity: the matrix actually exercised the attacks — at half the parties
+# compromised at least one cell must degrade or fail typed.
+grep -q '"ok": false' BENCH_scenario.json \
+    || grep -Eq '"f1_drop": 0\.0*[1-9]' BENCH_scenario.json \
+    || {
+        echo "[scenario-smoke] FAILED: no cell degraded or failed; the adversary plane is inert" >&2
+        exit 1
+    }
+echo "[scenario-smoke] OK"

@@ -15,6 +15,9 @@
 //!                    [--epochs N] [--churn F] [--drift N] [--epsilon F]
 //!                    [--cap F] [--k N] [--seed N] [--user-scale F]
 //!                    [--parallelism N] [--out PATH]
+//! fedhh-bench scenario [--quick] [--dataset KIND] [--fractions F,F,...]
+//!                      [--seed N] [--scenario-seed N] [--out PATH]
+//!                      [--check BASELINE] [--threshold F]
 //! ```
 //!
 //! `run all` reproduces every table and figure of the paper's evaluation and
@@ -49,6 +52,16 @@
 //! ledger's enrolled/refused split (see the `fedhh_bench::epochs` module
 //! for the schema).  `--cap F` sets the lifetime per-user ε cap the
 //! ledger enforces.
+//!
+//! `scenario` sweeps every mechanism against every adversary model of the
+//! scenario plane over the `--fractions` list of compromised-party
+//! fractions and writes the robustness matrix `BENCH_scenario.json` (see
+//! the `fedhh_bench::scenario` module for the schema).  The sweep is
+//! fully deterministic — a same-options rerun reproduces the JSON byte
+//! for byte — and internally gates the fraction-0 column bit-for-bit
+//! against the fault-free baseline.  `--check BASELINE` exits non-zero
+//! when any committed cell vanished, flipped its `ok` flag, or moved by
+//! more than `--threshold` (default 0.05) on F1/NCR.
 
 use fedhh_bench::experiments::{run_by_name, ALL_EXPERIMENTS};
 use fedhh_bench::report::reports_to_json;
@@ -75,28 +88,41 @@ fn main() -> ExitCode {
         Some("perf") => perf_command(&args[1..]),
         Some("scale") => scale_command(&args[1..]),
         Some("epochs") => epochs_command(&args[1..]),
-        _ => {
-            eprintln!("usage: fedhh-bench <list|run|trial|perf|scale|epochs> [args] [options]");
-            eprintln!("  run <experiment|all> [--quick] [--reps N] [--user-scale F] [--markdown] [--json PATH]");
-            eprintln!("  trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N] [--quick] [--reps N]");
-            eprintln!("        [--parallelism N] [--dropout F] [--transport {{memory,tcp}}]");
-            eprintln!("  perf [--quick] [--out PATH] [--check BASELINE] [--threshold F]");
-            eprintln!(
-                "  scale [--quick] [--dataset KIND] [--mechanism KIND] [--eager] [--chunk N]"
-            );
-            eprintln!(
-                "        [--parallelism N] [--user-scales F,F,...] [--out PATH] [--max-rss-mb N]"
-            );
-            eprintln!(
-                "  epochs [--quick] [--dataset KIND] [--mechanism KIND] [--epochs N] [--churn F]"
-            );
-            eprintln!(
-                "         [--drift N] [--epsilon F] [--cap F] [--k N] [--seed N] [--user-scale F]"
-            );
-            eprintln!("         [--parallelism N] [--out PATH]");
+        Some("scenario") => scenario_command(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}; valid subcommands: {SUBCOMMANDS}");
+            usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            usage();
             ExitCode::FAILURE
         }
     }
+}
+
+/// Every subcommand the harness understands, in usage order — the list an
+/// unknown-subcommand error names.
+const SUBCOMMANDS: &str = "list, run, trial, perf, scale, epochs, scenario";
+
+fn usage() {
+    eprintln!("usage: fedhh-bench <list|run|trial|perf|scale|epochs|scenario> [args] [options]");
+    eprintln!("  list");
+    eprintln!(
+        "  run <experiment|all> [--quick] [--reps N] [--user-scale F] [--markdown] [--json PATH]"
+    );
+    eprintln!(
+        "  trial <mechanism> <dataset> [--fo KIND] [--epsilon F] [--k N] [--quick] [--reps N]"
+    );
+    eprintln!("        [--parallelism N] [--dropout F] [--transport {{memory,tcp}}]");
+    eprintln!("  perf [--quick] [--out PATH] [--check BASELINE] [--threshold F]");
+    eprintln!("  scale [--quick] [--dataset KIND] [--mechanism KIND] [--eager] [--chunk N]");
+    eprintln!("        [--parallelism N] [--user-scales F,F,...] [--out PATH] [--max-rss-mb N]");
+    eprintln!("  epochs [--quick] [--dataset KIND] [--mechanism KIND] [--epochs N] [--churn F]");
+    eprintln!("         [--drift N] [--epsilon F] [--cap F] [--k N] [--seed N] [--user-scale F]");
+    eprintln!("         [--parallelism N] [--out PATH]");
+    eprintln!("  scenario [--quick] [--dataset KIND] [--fractions F,F,...] [--seed N]");
+    eprintln!("           [--scenario-seed N] [--out PATH] [--check BASELINE] [--threshold F]");
 }
 
 /// Parses one required numeric option value, exiting with a clear message
@@ -703,6 +729,199 @@ fn epochs_command(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("[fedhh-bench] wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn scenario_command(args: &[String]) -> ExitCode {
+    let mut options = fedhh_bench::ScenarioOptions::default();
+    let mut out_path = "BENCH_scenario.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut threshold = 0.05f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => options.quick = true,
+            "--dataset" => {
+                i += 1;
+                match args.get(i).map(|v| v.parse()) {
+                    Some(Ok(kind)) => options.dataset = kind,
+                    Some(Err(err)) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => {
+                        eprintln!("--dataset requires a value");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--fractions" => {
+                i += 1;
+                let Some(raw) = args.get(i) else {
+                    eprintln!("--fractions requires a comma-separated list");
+                    return ExitCode::FAILURE;
+                };
+                let parsed: Result<Vec<f64>, _> =
+                    raw.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                match parsed {
+                    Ok(fractions)
+                        if !fractions.is_empty()
+                            && fractions.iter().all(|f| (0.0..=1.0).contains(f)) =>
+                    {
+                        options.fractions = fractions;
+                    }
+                    _ => {
+                        eprintln!(
+                            "--fractions got an invalid list {raw:?} (each must be in [0, 1])"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match parse_value("--seed", args.get(i)) {
+                    Ok(v) => options.seed = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--scenario-seed" => {
+                i += 1;
+                match parse_value("--scenario-seed", args.get(i)) {
+                    Ok(v) => options.scenario_seed = v,
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = path.clone();
+            }
+            "--check" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--check requires a baseline path");
+                    return ExitCode::FAILURE;
+                };
+                check_path = Some(path.clone());
+            }
+            "--threshold" => {
+                i += 1;
+                match parse_value::<f64>("--threshold", args.get(i)) {
+                    Ok(v) if v >= 0.0 => threshold = v,
+                    Ok(v) => {
+                        eprintln!("--threshold must be non-negative, got {v}");
+                        return ExitCode::FAILURE;
+                    }
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    // The benign column is the determinism gate; sweep it even when the
+    // user's list omits it.
+    if !options.fractions.contains(&0.0) {
+        options.fractions.insert(0, 0.0);
+    }
+
+    // Load the baseline before spending time sweeping, so a bad path
+    // fails fast.
+    let suite = if options.quick { "quick" } else { "full" };
+    let baseline = match &check_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match fedhh_bench::ScenarioReport::from_json(&text) {
+                Ok(report) => {
+                    if report.suite != suite {
+                        eprintln!(
+                            "baseline {path} was recorded by the {:?} suite but this is a \
+                             {suite:?} run; regenerate the baseline with the matching suite",
+                            report.suite
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Some(report)
+                }
+                Err(err) => {
+                    eprintln!("failed to parse baseline {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(err) => {
+                eprintln!("failed to read baseline {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    eprintln!(
+        "[fedhh-bench] scenario sweep: {} suite on {} (fractions {:?}, adversary seed {:#x})",
+        suite, options.dataset, options.fractions, options.scenario_seed
+    );
+    let start = std::time::Instant::now();
+    let report = match fedhh_bench::run_scenario(&options) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("[fedhh-bench] scenario sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[fedhh-bench] scenario sweep finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    print!("{}", report.to_table());
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("failed to write {out_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[fedhh-bench] wrote {out_path}");
+
+    if let Some(baseline) = baseline {
+        // Compare artifact against artifact: round-trip the fresh report
+        // through its own JSON so both sides carry the serialized float
+        // precision, making `--threshold 0` mean "byte-equal files".
+        let current = match fedhh_bench::ScenarioReport::from_json(&report.to_json()) {
+            Ok(current) => current,
+            Err(err) => {
+                eprintln!("internal error: fresh report does not re-parse: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = fedhh_bench::check_scenario(&current, &baseline, threshold);
+        if violations.is_empty() {
+            eprintln!(
+                "[fedhh-bench] scenario check passed: {} cells within {threshold} of baseline",
+                baseline.rows.len()
+            );
+        } else {
+            eprintln!(
+                "[fedhh-bench] scenario check FAILED ({} drifted cell(s)):",
+                violations.len()
+            );
+            for violation in &violations {
+                eprintln!("  {violation}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 

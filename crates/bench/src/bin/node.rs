@@ -4,8 +4,8 @@
 //! fedhh-node coordinator --mechanism <name> --dataset <name> --parties N
 //!            [--listen HOST:PORT] [--seed S] [--quick] [--user-scale F]
 //!            [--k N] [--epsilon F] [--fo KIND] [--parallelism N]
-//!            [--dropout F] [--stragglers] [--timeout-secs N]
-//!            [--check-inmemory]
+//!            [--dropout F] [--stragglers] [--scenario SPEC]
+//!            [--timeout-secs N] [--check-inmemory]
 //! fedhh-node party --connect HOST:PORT [--timeout-secs N]
 //! fedhh-node service --mechanism <name> --dataset <name> [--epochs N]
 //!            [--churn F] [--drift N] [--warm {cold,previous}] [--epsilon F]
@@ -18,9 +18,13 @@
 //! `LISTEN <addr>` line, so scripts can spawn the party processes against
 //! the advertised port.  Parties need nothing but the address: the
 //! Hello/Welcome handshake ships the full run description (protocol
-//! configuration, fault plan, party partition, mechanism + dataset spec)
-//! in the `fedhh-wire` format, and every process rebuilds the same dataset
-//! deterministically from it.
+//! configuration, scenario plan — deployment faults plus any adversary
+//! model — party partition, mechanism + dataset spec) in the `fedhh-wire`
+//! format, and every process rebuilds the same dataset deterministically
+//! from it.  `--scenario NAME:FRACTION[:SEED]` (names: `report-flip`,
+//! `report-invert`, `input-poison`, `sybil`, `corrupt-frames`) arms an
+//! adversary on the coordinator; the welcome ships it to every party, so
+//! the whole federation replays the same deterministic attack.
 //!
 //! When the run finishes, the coordinator prints the result as stable
 //! machine-readable lines (`TOPK`, `COUNT`, `UPLINK`, `DOWNLINK`).  With
@@ -43,7 +47,8 @@
 use fedhh_bench::{partition_parties, ExperimentScale, NodeRunSpec};
 use fedhh_datasets::DatasetKind;
 use fedhh_federated::{
-    connect_party_with_timeout, EngineConfig, FaultPlan, NodeServer, NodeWelcome, SessionLink,
+    connect_party_with_timeout, AdversaryModel, EngineConfig, FaultPlan, FlipMode, NodeServer,
+    NodeWelcome, ScenarioPlan, SessionLink,
 };
 use fedhh_fo::FoKind;
 use fedhh_mechanisms::{MechanismKind, MechanismOutput, Run};
@@ -68,8 +73,9 @@ fn main() -> ExitCode {
             );
             eprintln!(
                 "              [--parallelism N] [--dropout F] [--stragglers] \
-                 [--timeout-secs N] [--check-inmemory]"
+                 [--scenario NAME:FRACTION[:SEED]]"
             );
+            eprintln!("              [--timeout-secs N] [--check-inmemory]");
             eprintln!("  party --connect HOST:PORT [--timeout-secs N]");
             eprintln!(
                 "  service --mechanism <name> --dataset <name> [--epochs N] [--churn F] \
@@ -107,8 +113,60 @@ struct CoordinatorOptions {
     parallelism: usize,
     dropout: f64,
     stragglers: bool,
+    scenario: Option<(AdversaryModel, u64)>,
     timeout: Option<Duration>,
     check_inmemory: bool,
+}
+
+/// Parses a `--scenario` argument: `NAME:FRACTION[:SEED]`, where `NAME` is
+/// one of `report-flip`, `report-invert`, `input-poison`, `sybil` or
+/// `corrupt-frames`.  The poison/Sybil targets are the fixed values the
+/// `fedhh-bench scenario` matrix uses, so a node run reproduces the same
+/// attack the robustness benchmark measures.
+fn parse_scenario_spec(raw: &str) -> Result<(AdversaryModel, u64), String> {
+    let mut parts = raw.split(':');
+    let name = parts.next().unwrap_or_default();
+    let fraction: f64 = parts
+        .next()
+        .ok_or(format!("--scenario {raw:?} is missing a fraction"))?
+        .parse()
+        .map_err(|_| format!("--scenario {raw:?} has an invalid fraction"))?;
+    let seed: u64 = match parts.next() {
+        Some(raw_seed) => raw_seed
+            .parse()
+            .map_err(|_| format!("--scenario {raw:?} has an invalid seed"))?,
+        None => 0xAD5E,
+    };
+    if parts.next().is_some() {
+        return Err(format!("--scenario {raw:?} has trailing fields"));
+    }
+    let adversary = match name {
+        "report-flip" => AdversaryModel::ReportFlip {
+            fraction,
+            mode: FlipMode::Uniform,
+        },
+        "report-invert" => AdversaryModel::ReportFlip {
+            fraction,
+            mode: FlipMode::Inverted,
+        },
+        "input-poison" => AdversaryModel::InputPoison {
+            fraction,
+            target_prefix: 0xB,
+            prefix_len: 4,
+        },
+        "sybil" => AdversaryModel::Sybil {
+            fraction,
+            target_item: 0xBEEF,
+        },
+        "corrupt-frames" => AdversaryModel::CorruptFrames { fraction },
+        other => {
+            return Err(format!(
+                "--scenario got unknown adversary {other:?} (valid: report-flip, \
+                 report-invert, input-poison, sybil, corrupt-frames)"
+            ))
+        }
+    };
+    Ok((adversary, seed))
 }
 
 fn parse_coordinator_options(args: &[String]) -> Result<CoordinatorOptions, String> {
@@ -128,6 +186,7 @@ fn parse_coordinator_options(args: &[String]) -> Result<CoordinatorOptions, Stri
         parallelism: 1,
         dropout: 0.0,
         stragglers: false,
+        scenario: None,
         timeout: Some(Duration::from_secs(120)),
         check_inmemory: false,
     };
@@ -180,6 +239,11 @@ fn parse_coordinator_options(args: &[String]) -> Result<CoordinatorOptions, Stri
                 options.dropout = parse_value("--dropout", args.get(i))?;
             }
             "--stragglers" => options.stragglers = true,
+            "--scenario" => {
+                i += 1;
+                let raw: String = parse_value("--scenario", args.get(i))?;
+                options.scenario = Some(parse_scenario_spec(&raw)?);
+            }
             "--timeout-secs" => {
                 i += 1;
                 let secs: u64 = parse_value("--timeout-secs", args.get(i))?;
@@ -273,10 +337,18 @@ fn coordinator_command(args: &[String]) -> ExitCode {
         stragglers: options.stragglers,
         seed: 0xFA,
     };
-    let engine = EngineConfig::parallel(options.parallelism).with_faults(faults);
+    let mut scenario = ScenarioPlan::from_faults(faults);
+    if let Some((adversary, seed)) = options.scenario {
+        scenario = scenario.with_adversary(adversary, seed);
+    }
+    if let Err(err) = scenario.validate() {
+        eprintln!("[fedhh-node] invalid scenario: {err}");
+        return ExitCode::FAILURE;
+    }
+    let engine = EngineConfig::parallel(options.parallelism).with_scenario(scenario);
     let welcome = NodeWelcome {
         config,
-        faults,
+        scenario,
         parallelism: options.parallelism,
         assignments: partition_parties(dataset.party_count(), options.parties),
         app: spec.to_app_bytes(),
@@ -633,7 +705,7 @@ fn party_command(args: &[String]) -> ExitCode {
         welcome.assignments.get(rank)
     );
     let dataset = spec.build_dataset();
-    let engine = EngineConfig::parallel(welcome.parallelism.max(1)).with_faults(welcome.faults);
+    let engine = EngineConfig::parallel(welcome.parallelism.max(1)).with_scenario(welcome.scenario);
     match Run::mechanism(spec.mechanism)
         .dataset(&dataset)
         .config(welcome.config)

@@ -35,7 +35,12 @@
 //! `fedhh-bench epochs` runs the epoch service over a churning, drifting
 //! population through both warm-start arms, emitting `BENCH_epochs.json`
 //! with per-epoch F1/NCR/uplink and the budget ledger's admission split
-//! (see the [`epochs`] module docs and CI's `epoch-smoke` job).
+//! (see the [`epochs`] module docs and CI's `epoch-smoke` job); and
+//! `fedhh-bench scenario` sweeps every mechanism against every adversary
+//! model of the scenario plane over a list of compromised fractions,
+//! emitting the deterministic robustness matrix `BENCH_scenario.json`
+//! with F1/NCR degradation per cell (see the [`scenario`] module docs and
+//! CI's `scenario-smoke` job).
 //!
 //! The harness's place in the system is mapped in `ARCHITECTURE.md` at the
 //! repository root.
@@ -51,6 +56,7 @@ pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod scenario;
 
 pub use epochs::{run_epochs, EpochServiceSpec, EpochsOptions, EpochsReport, MechanismExecutor};
 pub use experiments::BenchError;
@@ -59,3 +65,6 @@ pub use perf::{check_report, run_suite, PerfEntry, PerfReport, PerfViolation};
 pub use report::ExperimentReport;
 pub use runner::{ExperimentScale, TrialMetrics};
 pub use scale::{run_scale, ScaleOptions, ScalePoint, ScaleReport};
+pub use scenario::{
+    adversary_by_name, check_scenario, run_scenario, ScenarioOptions, ScenarioReport, ScenarioRow,
+};

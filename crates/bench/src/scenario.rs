@@ -1,0 +1,564 @@
+//! The `fedhh-bench scenario` adversarial-robustness matrix.
+//!
+//! `fedhh-bench trial` answers "how accurate is each mechanism?"; this
+//! module answers "how much accuracy does each mechanism lose under
+//! attack?".  It sweeps every mechanism against every adversary model of
+//! the scenario plane (`fedhh_federated::scenario`) over a list of
+//! compromised-party fractions, scores each cell with F1/NCR and their
+//! [`fedhh_metrics::degradation`] from the benign baseline, and emits a
+//! machine-readable `BENCH_scenario.json`.
+//!
+//! Every cell is one deterministic trial: fixed dataset seed, fixed
+//! protocol seed, fixed adversary seed, sequential engine.  The report
+//! carries no timings, so **the same options reproduce the same JSON byte
+//! for byte** — CI runs the sweep twice and `cmp`s the files.  The
+//! fraction-0 column is additionally gated *inside* [`run_scenario`]:
+//! every adversary at fraction 0 must reproduce the fault-free baseline
+//! bit for bit, or the run fails.
+//!
+//! ## The adversary columns
+//!
+//! | Name | Model |
+//! |---|---|
+//! | `report-flip` | Compromised parties redraw their reported counts uniformly |
+//! | `report-invert` | Compromised parties reverse their count ranking |
+//! | `input-poison` | Compromised parties rewrite every item into prefix `0xB`/4 bits |
+//! | `sybil` | Compromised parties all report the single item `0xBEEF` |
+//! | `corrupt-frames` | The TCP transport flips one byte in a fraction of upload frames |
+//!
+//! A corrupted frame fails the CRC at the receiver, so `corrupt-frames`
+//! cells either complete cleanly (no frame of the run was selected) or
+//! fail with a typed transport error — never a hang or a panic.  Failed
+//! cells report `ok = false`, `error = "transport"` and zero scores; the
+//! exact wire-error variant can differ between reader death and writer
+//! EPIPE, so only the stable class name is recorded.
+//!
+//! ## `BENCH_scenario.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "suite": "quick",
+//!   "dataset": "RDB",
+//!   "rows": [
+//!     {"mechanism": "TAPS", "adversary": "sybil", "fraction": 0.300000,
+//!      "ok": true, "error": "", "f1": 0.800000, "ncr": 0.911111,
+//!      "f1_drop": 0.100000, "ncr_drop": 0.044444}
+//!   ]
+//! }
+//! ```
+//!
+//! The `adversary = "none"` row of each mechanism is the benign baseline
+//! its drops are measured against.  `fedhh-bench scenario --check
+//! <baseline.json>` re-runs the sweep and fails when any baseline row is
+//! missing, flips its `ok` flag, or moves by more than the tolerance.
+
+use crate::perf::json;
+use crate::report::json_string;
+use crate::runner::{run_engine_trial, ExperimentScale, TrialMetrics};
+use fedhh_datasets::DatasetKind;
+use fedhh_federated::{AdversaryModel, EngineConfig, FlipMode, ProtocolError, ScenarioPlan};
+use fedhh_mechanisms::MechanismKind;
+use fedhh_metrics::degradation;
+use std::fmt::Write as _;
+
+/// The adversary names of the matrix, in column order.
+pub const ADVERSARIES: [&str; 5] = [
+    "report-flip",
+    "report-invert",
+    "input-poison",
+    "sybil",
+    "corrupt-frames",
+];
+
+/// The fixed attack targets: poisoning herds items into this prefix, and
+/// Sybil cohorts all report this item.  `fedhh-node --scenario` uses the
+/// same values, so a distributed run reproduces a matrix cell.
+pub const POISON_PREFIX: (u64, u8) = (0xB, 4);
+/// See [`POISON_PREFIX`].
+pub const SYBIL_TARGET: u64 = 0xBEEF;
+
+/// Builds the adversary model of a named matrix column at a fraction.
+pub fn adversary_by_name(name: &str, fraction: f64) -> Option<AdversaryModel> {
+    Some(match name {
+        "report-flip" => AdversaryModel::ReportFlip {
+            fraction,
+            mode: FlipMode::Uniform,
+        },
+        "report-invert" => AdversaryModel::ReportFlip {
+            fraction,
+            mode: FlipMode::Inverted,
+        },
+        "input-poison" => AdversaryModel::InputPoison {
+            fraction,
+            target_prefix: POISON_PREFIX.0,
+            prefix_len: POISON_PREFIX.1,
+        },
+        "sybil" => AdversaryModel::Sybil {
+            fraction,
+            target_item: SYBIL_TARGET,
+        },
+        "corrupt-frames" => AdversaryModel::CorruptFrames { fraction },
+        _ => return None,
+    })
+}
+
+/// What `fedhh-bench scenario` sweeps.
+#[derive(Debug, Clone)]
+pub struct ScenarioOptions {
+    /// Use the quick experiment scale (the default full scale takes
+    /// minutes).
+    pub quick: bool,
+    /// The dataset stand-in every cell runs on.
+    pub dataset: DatasetKind,
+    /// Compromised-party fractions swept per adversary.  Must contain
+    /// `0.0`: the benign column is the determinism gate.  A fraction
+    /// selects `⌊party_count · fraction⌋` compromised parties, so small
+    /// federations need large fractions — the 2-party RDB stand-in is
+    /// only attacked from `0.5` up.
+    pub fractions: Vec<f64>,
+    /// Dataset-generation seed (the protocol seed is derived from it the
+    /// same way `averaged_trial` derives it).
+    pub seed: u64,
+    /// The adversary decision seed shipped in every [`ScenarioPlan`].
+    pub scenario_seed: u64,
+}
+
+impl Default for ScenarioOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            dataset: DatasetKind::Rdb,
+            fractions: vec![0.0, 0.5],
+            seed: 1000,
+            scenario_seed: 0xAD5E,
+        }
+    }
+}
+
+impl ScenarioOptions {
+    /// The quick-scale options the CI smoke gate runs.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// One cell of the robustness matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Mechanism name (`FedPEM`, `GTF`, `TAP`, `TAPS`).
+    pub mechanism: String,
+    /// Adversary column name, or `none` for the benign baseline row.
+    pub adversary: String,
+    /// Compromised fraction of this cell.
+    pub fraction: f64,
+    /// Whether the run completed (corrupt-frame cells may fail typed).
+    pub ok: bool,
+    /// Stable error class when `ok` is false (`"transport"`), else empty.
+    pub error: String,
+    /// F1 against the exact ground truth (0 when the run failed).
+    pub f1: f64,
+    /// NCR against the exact ground truth (0 when the run failed).
+    pub ncr: f64,
+    /// F1 degradation from the mechanism's benign baseline.
+    pub f1_drop: f64,
+    /// NCR degradation from the mechanism's benign baseline.
+    pub ncr_drop: f64,
+}
+
+/// A whole scenario sweep: schema version, suite flavour, dataset and the
+/// matrix cells in sweep order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Schema version of the JSON serialization (currently 1).
+    pub schema: u32,
+    /// `"quick"` or `"full"`.
+    pub suite: String,
+    /// The dataset stand-in the sweep ran on.
+    pub dataset: String,
+    /// The matrix cells: one baseline row per mechanism, then one row per
+    /// (adversary, fraction).
+    pub rows: Vec<ScenarioRow>,
+}
+
+/// Runs the full matrix: every mechanism × every adversary × every
+/// fraction, plus one benign baseline row per mechanism.
+///
+/// The benign gate is internal: for every adversary, the fraction-0 cell
+/// must reproduce the mechanism's fault-free baseline **bit for bit**
+/// (F1, NCR and uplink); any divergence fails the whole sweep, because it
+/// would mean an "inactive" adversary still perturbed the run.
+pub fn run_scenario(options: &ScenarioOptions) -> Result<ScenarioReport, String> {
+    if !options.fractions.contains(&0.0) {
+        return Err("the fraction list must contain 0.0 (the benign determinism gate)".to_string());
+    }
+    let scale = if options.quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::default()
+    };
+    let dataset = scale.dataset_config(options.seed).build(options.dataset);
+    let config = scale
+        .protocol_config(options.seed ^ 0xBEEF)
+        .with_epsilon(4.0)
+        .with_k(10);
+    let mut rows = Vec::new();
+    for kind in MechanismKind::ALL {
+        let mechanism = kind.build();
+        let name = kind.to_string();
+        let baseline = run_engine_trial(
+            mechanism.as_ref(),
+            &dataset,
+            &config,
+            &EngineConfig::sequential(),
+        )
+        .map_err(|e| format!("{name} baseline failed: {e}"))?;
+        rows.push(ScenarioRow {
+            mechanism: name.clone(),
+            adversary: "none".to_string(),
+            fraction: 0.0,
+            ok: true,
+            error: String::new(),
+            f1: baseline.f1,
+            ncr: baseline.ncr,
+            f1_drop: 0.0,
+            ncr_drop: 0.0,
+        });
+        for adversary in ADVERSARIES {
+            for &fraction in &options.fractions {
+                let model = adversary_by_name(adversary, fraction)
+                    .expect("ADVERSARIES only lists known names");
+                let plan = ScenarioPlan::benign().with_adversary(model, options.scenario_seed);
+                let engine = EngineConfig::sequential().with_scenario(plan);
+                let row = match run_engine_trial(mechanism.as_ref(), &dataset, &config, &engine) {
+                    Ok(metrics) => ScenarioRow {
+                        mechanism: name.clone(),
+                        adversary: adversary.to_string(),
+                        fraction,
+                        ok: true,
+                        error: String::new(),
+                        f1: metrics.f1,
+                        ncr: metrics.ncr,
+                        f1_drop: degradation(baseline.f1, metrics.f1),
+                        ncr_drop: degradation(baseline.ncr, metrics.ncr),
+                    },
+                    // A corrupted frame kills the transport with a typed
+                    // error; the cell records the stable class, not the
+                    // racy exact variant (CRC mismatch at the reader vs
+                    // broken pipe at the writer).
+                    Err(ProtocolError::Transport(_)) if adversary == "corrupt-frames" => {
+                        ScenarioRow {
+                            mechanism: name.clone(),
+                            adversary: adversary.to_string(),
+                            fraction,
+                            ok: false,
+                            error: "transport".to_string(),
+                            f1: 0.0,
+                            ncr: 0.0,
+                            f1_drop: baseline.f1,
+                            ncr_drop: baseline.ncr,
+                        }
+                    }
+                    Err(e) => {
+                        return Err(format!("{name} under {adversary}@{fraction} failed: {e}"))
+                    }
+                };
+                if fraction == 0.0 && !benign_cell_matches(&row, &baseline) {
+                    return Err(format!(
+                        "benign-column divergence: {name} under {adversary}@0 scored \
+                         f1={}, ncr={} vs fault-free f1={}, ncr={}",
+                        row.f1, row.ncr, baseline.f1, baseline.ncr
+                    ));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    Ok(ScenarioReport {
+        schema: 1,
+        suite: if options.quick { "quick" } else { "full" }.to_string(),
+        dataset: options.dataset.to_string(),
+        rows,
+    })
+}
+
+/// The internal fraction-0 gate: exact equality, not tolerance — an
+/// inactive adversary must not perturb a single bit of the metrics.
+fn benign_cell_matches(row: &ScenarioRow, baseline: &TrialMetrics) -> bool {
+    row.ok
+        && row.f1.to_bits() == baseline.f1.to_bits()
+        && row.ncr.to_bits() == baseline.ncr.to_bits()
+}
+
+/// Compares a fresh sweep against a committed baseline report: every
+/// baseline row must be present (joined on mechanism/adversary/fraction),
+/// keep its `ok` flag, and stay within `tolerance` on F1 and NCR.
+/// Returns human-readable violations; empty means the gate passes.
+pub fn check_scenario(
+    current: &ScenarioReport,
+    baseline: &ScenarioReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in &baseline.rows {
+        let found = current.rows.iter().find(|r| {
+            r.mechanism == base.mechanism
+                && r.adversary == base.adversary
+                && r.fraction == base.fraction
+        });
+        let cell = format!("{}/{}@{}", base.mechanism, base.adversary, base.fraction);
+        match found {
+            None => violations.push(format!("{cell}: missing from the current run")),
+            Some(row) if row.ok != base.ok => {
+                violations.push(format!("{cell}: ok flipped from {} to {}", base.ok, row.ok))
+            }
+            Some(row)
+                if (row.f1 - base.f1).abs() > tolerance
+                    || (row.ncr - base.ncr).abs() > tolerance =>
+            {
+                violations.push(format!(
+                    "{cell}: f1 {} vs baseline {}, ncr {} vs baseline {} (tolerance {tolerance})",
+                    row.f1, base.f1, row.ncr, base.ncr
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+impl ScenarioReport {
+    /// Renders the matrix as an aligned plain-text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "# fedhh scenario robustness ({} suite, {})\n",
+            self.suite, self.dataset
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:<16} {:>9} {:>4} {:>10} {:>8} {:>8} {:>9} {:>9}",
+            "mech", "adversary", "fraction", "ok", "error", "f1", "ncr", "f1_drop", "ncr_drop"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<16} {:>9.3} {:>4} {:>10} {:>8.3} {:>8.3} {:>9.3} {:>9.3}",
+                r.mechanism,
+                r.adversary,
+                r.fraction,
+                if r.ok { "yes" } else { "no" },
+                if r.error.is_empty() { "-" } else { &r.error },
+                r.f1,
+                r.ncr,
+                r.f1_drop,
+                r.ncr_drop
+            );
+        }
+        out
+    }
+
+    /// Serializes the report as schema-1 JSON.  Deterministic: fixed key
+    /// order, fixed float formatting, no timings — the same sweep options
+    /// produce the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"suite\": {},", json_string(&self.suite));
+        let _ = writeln!(out, "  \"dataset\": {},", json_string(&self.dataset));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"mechanism\": {}, \"adversary\": {}, \"fraction\": {:.6}, \
+                 \"ok\": {}, \"error\": {}, \"f1\": {:.6}, \"ncr\": {:.6}, \
+                 \"f1_drop\": {:.6}, \"ncr_drop\": {:.6}}}",
+                json_string(&r.mechanism),
+                json_string(&r.adversary),
+                r.fraction,
+                r.ok,
+                json_string(&r.error),
+                r.f1,
+                r.ncr,
+                r.f1_drop,
+                r.ncr_drop
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a schema-1 JSON report (the inverse of
+    /// [`ScenarioReport::to_json`], tolerant of whitespace and key order).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let schema = json::get_number(obj, "schema")? as u32;
+        if schema != 1 {
+            return Err(format!("unsupported scenario schema version {schema}"));
+        }
+        let suite = json::get_string(obj, "suite")?;
+        let dataset = json::get_string(obj, "dataset")?;
+        let rows_value = json::get(obj, "rows")?;
+        let rows_array = rows_value.as_array().ok_or("\"rows\" must be an array")?;
+        let mut rows = Vec::with_capacity(rows_array.len());
+        for item in rows_array {
+            let row = item.as_object().ok_or("row must be an object")?;
+            rows.push(ScenarioRow {
+                mechanism: json::get_string(row, "mechanism")?,
+                adversary: json::get_string(row, "adversary")?,
+                fraction: json::get_number(row, "fraction")?,
+                ok: get_bool(row, "ok")?,
+                error: json::get_string(row, "error")?,
+                f1: json::get_number(row, "f1")?,
+                ncr: json::get_number(row, "ncr")?,
+                f1_drop: json::get_number(row, "f1_drop")?,
+                ncr_drop: json::get_number(row, "ncr_drop")?,
+            });
+        }
+        Ok(Self {
+            schema,
+            suite,
+            dataset,
+            rows,
+        })
+    }
+}
+
+fn get_bool(obj: &[(String, json::Value)], key: &str) -> Result<bool, String> {
+    match json::get(obj, key)? {
+        json::Value::Bool(b) => Ok(*b),
+        other => Err(format!("key {key:?} is not a bool: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ScenarioReport {
+        ScenarioReport {
+            schema: 1,
+            suite: "quick".to_string(),
+            dataset: "RDB".to_string(),
+            rows: vec![
+                ScenarioRow {
+                    mechanism: "TAPS".to_string(),
+                    adversary: "none".to_string(),
+                    fraction: 0.0,
+                    ok: true,
+                    error: String::new(),
+                    f1: 0.9,
+                    ncr: 0.95,
+                    f1_drop: 0.0,
+                    ncr_drop: 0.0,
+                },
+                ScenarioRow {
+                    mechanism: "TAPS".to_string(),
+                    adversary: "corrupt-frames".to_string(),
+                    fraction: 0.5,
+                    ok: false,
+                    error: "transport".to_string(),
+                    f1: 0.0,
+                    ncr: 0.0,
+                    f1_drop: 0.9,
+                    ncr_drop: 0.95,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn every_matrix_column_has_a_named_model() {
+        for name in ADVERSARIES {
+            let model = adversary_by_name(name, 0.25).unwrap();
+            assert_eq!(model.fraction(), 0.25, "{name}");
+        }
+        assert!(adversary_by_name("unheard-of", 0.25).is_none());
+    }
+
+    #[test]
+    fn json_round_trips_including_failed_cells() {
+        let report = sample_report();
+        let parsed = ScenarioReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.suite, "quick");
+        assert_eq!(parsed.dataset, "RDB");
+        assert_eq!(parsed.rows.len(), 2);
+        assert!(parsed.rows[0].ok);
+        assert!(!parsed.rows[1].ok);
+        assert_eq!(parsed.rows[1].error, "transport");
+        assert!((parsed.rows[1].f1_drop - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(ScenarioReport::from_json("").is_err());
+        assert!(ScenarioReport::from_json("{\"schema\": 1}").is_err());
+        assert!(ScenarioReport::from_json(
+            "{\"schema\": 9, \"suite\": \"x\", \"dataset\": \"y\", \"rows\": []}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn check_joins_on_cell_identity_and_flags_every_drift_kind() {
+        let baseline = sample_report();
+        // Identical runs pass at zero tolerance.
+        assert!(check_scenario(&baseline, &baseline, 0.0).is_empty());
+        // A missing cell is a violation.
+        let mut shrunk = sample_report();
+        shrunk.rows.remove(1);
+        let violations = check_scenario(&shrunk, &baseline, 0.1);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing"));
+        // A flipped ok is a violation even inside the score tolerance.
+        let mut flipped = sample_report();
+        flipped.rows[1].ok = true;
+        assert!(check_scenario(&flipped, &baseline, 10.0)[0].contains("ok flipped"));
+        // A score outside tolerance is a violation; inside passes.
+        let mut drifted = sample_report();
+        drifted.rows[0].f1 = 0.7;
+        assert_eq!(check_scenario(&drifted, &baseline, 0.3).len(), 0);
+        assert_eq!(check_scenario(&drifted, &baseline, 0.1).len(), 1);
+    }
+
+    #[test]
+    fn fraction_lists_without_the_benign_column_are_rejected() {
+        let options = ScenarioOptions {
+            quick: true,
+            fractions: vec![0.3],
+            ..ScenarioOptions::default()
+        };
+        let err = run_scenario(&options).unwrap_err();
+        assert!(err.contains("0.0"), "{err}");
+    }
+
+    #[test]
+    fn quick_sweeps_are_deterministic_and_benign_gated() {
+        let options = ScenarioOptions {
+            fractions: vec![0.0, 0.5],
+            ..ScenarioOptions::quick()
+        };
+        let a = run_scenario(&options).unwrap();
+        let b = run_scenario(&options).unwrap();
+        // Byte-identical JSON on a same-options rerun: the acceptance
+        // criterion the CI smoke gate cmp's.
+        assert_eq!(a.to_json(), b.to_json());
+        // One baseline row plus one row per adversary × fraction, for
+        // every mechanism.
+        let per_mechanism = 1 + ADVERSARIES.len() * options.fractions.len();
+        assert_eq!(a.rows.len(), MechanismKind::ALL.len() * per_mechanism);
+        // The attacks actually bite somewhere: at half the parties
+        // compromised, at least one cell degrades or fails.
+        assert!(a
+            .rows
+            .iter()
+            .any(|r| !r.ok || (r.fraction > 0.0 && r.f1_drop > 0.0)));
+        // And the sweep itself checks clean against itself.
+        assert!(check_scenario(&a, &b, 0.0).is_empty());
+    }
+}

@@ -119,7 +119,7 @@ impl Mechanism for FedPem {
             .enumerate()
             .map(|(idx, party)| FedPemDriver {
                 name: party.name(),
-                items: party.stream(),
+                items: ctx.party_stream(idx),
                 config,
                 extension,
                 seed: ctx.party_seed(idx),

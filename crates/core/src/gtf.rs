@@ -127,7 +127,7 @@ impl Mechanism for Gtf {
                     // The stream is materialized exactly once, into the
                     // shuffle; reports then flow chunked per level.
                     assignment: GroupAssignment::uniform_owned(
-                        p.stream().materialize(),
+                        ctx.party_stream(idx).materialize(),
                         config.granularity,
                         ctx.party_seed(idx),
                     )?,

@@ -27,10 +27,11 @@
 //! [`ProtocolError`] instead of panicking on any invalid input.
 
 use crate::mechanism::{Mechanism, MechanismKind, MechanismOutput};
-use fedhh_datasets::FederatedDataset;
+use fedhh_datasets::{FederatedDataset, ItemStream};
 use fedhh_federated::{
-    CommTracker, EngineConfig, LevelEstimated, PartyEvent, ProtocolConfig, ProtocolError,
-    PruningDecision, RoundCollection, RunObserver, RunPhase, RunSummary, Session, SessionLink,
+    AdversaryModel, CommTracker, EngineConfig, LevelEstimated, PartyEvent, ProtocolConfig,
+    ProtocolError, PruningDecision, RoundCollection, RunObserver, RunPhase, RunSummary, Session,
+    SessionLink,
 };
 
 /// Everything a mechanism needs while executing one run: the dataset, the
@@ -158,6 +159,55 @@ impl<'a> RunContext<'a> {
             .ok_or_else(|| ProtocolError::StreamedParty {
                 party: party.name().to_string(),
             })
+    }
+
+    /// The item stream party `party_index` reports from: the honest
+    /// dataset stream, unless the engine's scenario compromises the party
+    /// under an input-poisoning or Sybil adversary, in which case the
+    /// items are rewritten on the fly ([`ItemStream::map`]).  The rewrite
+    /// is a pure per-item function, so the adversarial stream stays
+    /// chunk-size independent and replays bit-identically at any
+    /// parallelism.  Mechanisms must draw party items through here rather
+    /// than calling `PartyData::stream` directly — that is what applies a
+    /// scenario uniformly across every mechanism.
+    pub fn party_stream(&self, party_index: usize) -> ItemStream {
+        let stream = self.dataset.parties()[party_index].stream();
+        let scenario = self.engine.scenario;
+        let compromised = scenario.compromised_parties(self.dataset.party_count());
+        if !compromised.get(party_index).copied().unwrap_or(false) {
+            return stream;
+        }
+        let max_bits = self.config.max_bits;
+        let code_mask = if max_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << max_bits) - 1
+        };
+        match scenario.adversary {
+            AdversaryModel::InputPoison {
+                target_prefix,
+                prefix_len,
+                ..
+            } => {
+                let len = prefix_len.min(max_bits);
+                if len == 0 {
+                    return stream;
+                }
+                let shift = u32::from(max_bits - len);
+                let prefix = if len >= 64 {
+                    target_prefix
+                } else {
+                    target_prefix & ((1u64 << len) - 1)
+                };
+                let low_mask = (1u64 << shift) - 1;
+                stream.map(move |item| (prefix << shift) | (item & low_mask))
+            }
+            AdversaryModel::Sybil { target_item, .. } => {
+                let item = target_item & code_mask;
+                stream.map(move |_| item)
+            }
+            _ => stream,
+        }
     }
 
     /// The protocol configuration of this run.

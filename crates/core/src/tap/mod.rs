@@ -67,7 +67,7 @@ impl PartyRun {
                     // The stream is materialized exactly once, into the
                     // shuffle; reports then flow chunked per level.
                     assignment: GroupAssignment::weighted_owned(
-                        party.stream().materialize(),
+                        ctx.party_stream(idx).materialize(),
                         config.granularity,
                         gs,
                         config.phase1_user_fraction,

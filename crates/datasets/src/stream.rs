@@ -19,6 +19,10 @@
 //!   fresh users resampled from a (possibly drifted) popularity pool.
 //!   Layers compose, so epoch *e* is *e* churn layers over the base
 //!   stream, still `O(chunk)` resident.
+//! * **Mapped** — a pure per-item transform over an inner stream
+//!   ([`ItemStream::map`]): how the scenario plane's input-poisoning and
+//!   Sybil adversaries rewrite a compromised party's items without
+//!   materializing them.
 //!
 //! Both backings yield **bit-identical** sequences: the generated stream
 //! replays exactly the draws the eager build performed (one RNG word per
@@ -220,6 +224,35 @@ impl ChurnGen {
     }
 }
 
+/// A per-item transform layered over an inner stream (the scenario plane's
+/// input-poisoning and Sybil adversaries rewrite party items through this):
+/// every item of the inner stream passes through one pure function, chunk by
+/// chunk, so the mapped stream stays `O(chunk)` resident and — the function
+/// being stateless — deterministic, re-iterable and chunk-size independent.
+#[derive(Clone)]
+pub struct MapGen {
+    /// The untransformed stream (any backing — transforms compose).
+    inner: Box<ItemStream>,
+    /// The pure item transform.
+    map: Arc<dyn Fn(u64) -> u64 + Send + Sync>,
+}
+
+impl MapGen {
+    /// Transforms one inner chunk into the mapped chunk.
+    fn apply(&self, buf: &mut Vec<u64>, chunk: &[u64]) {
+        buf.reserve(chunk.len());
+        buf.extend(chunk.iter().map(|&item| (self.map)(item)));
+    }
+}
+
+impl std::fmt::Debug for MapGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapGen")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Backing {
     /// A materialized item vector; chunks are sub-slices.
@@ -228,6 +261,8 @@ enum Backing {
     Generated(ItemGen),
     /// Deterministic churn over an inner stream (epoch transitions).
     Churned(ChurnGen),
+    /// A pure per-item transform over an inner stream.
+    Mapped(MapGen),
 }
 
 /// A deterministic, re-iterable stream of one party's item codes.
@@ -268,6 +303,20 @@ impl ItemStream {
         Self {
             backing: Backing::Churned(gen),
             len,
+        }
+    }
+
+    /// A stream applying a pure per-item transform to this stream's items,
+    /// chunk by chunk: same length, `O(chunk)` resident, and — the function
+    /// being stateless — just as deterministic and chunk-size independent
+    /// as the stream underneath.
+    pub fn map(&self, f: impl Fn(u64) -> u64 + Send + Sync + 'static) -> Self {
+        Self {
+            backing: Backing::Mapped(MapGen {
+                inner: Box::new(self.clone()),
+                map: Arc::new(f),
+            }),
+            len: self.len,
         }
     }
 
@@ -318,6 +367,11 @@ impl ItemStream {
                 resample: gen.resample.clone(),
                 buf: Vec::new(),
             },
+            Backing::Mapped(gen) => ChunkState::Mapped {
+                gen,
+                inner: Box::new(gen.inner.chunks(chunk_size)),
+                buf: Vec::new(),
+            },
         };
         PartyChunks { chunk_size, state }
     }
@@ -360,6 +414,11 @@ impl ItemStream {
                 );
                 out
             }
+            Backing::Mapped(gen) => {
+                let mut out = Vec::with_capacity(self.len);
+                gen.apply(&mut out, &gen.inner.materialize());
+                out
+            }
         }
     }
 
@@ -368,7 +427,7 @@ impl ItemStream {
     pub fn as_slice(&self) -> Option<&[u64]> {
         match &self.backing {
             Backing::Eager(items) => Some(items.as_slice()),
-            Backing::Generated(_) | Backing::Churned(_) => None,
+            Backing::Generated(_) | Backing::Churned(_) | Backing::Mapped(_) => None,
         }
     }
 
@@ -378,6 +437,13 @@ impl ItemStream {
             Backing::Eager(items) => Self::from_items(items.iter().take(n).copied().collect()),
             Backing::Generated(gen) => Self::from_gen(gen.truncated(n)),
             Backing::Churned(gen) => Self::from_churn(gen.truncated(n)),
+            Backing::Mapped(gen) => Self {
+                backing: Backing::Mapped(MapGen {
+                    inner: Box::new(gen.inner.take(n)),
+                    map: Arc::clone(&gen.map),
+                }),
+                len: n.min(self.len),
+            },
         }
     }
 }
@@ -398,6 +464,11 @@ enum ChunkState<'a> {
         inner: Box<PartyChunks<'a>>,
         decide: StdRng,
         resample: StdRng,
+        buf: Vec<u64>,
+    },
+    Mapped {
+        gen: &'a MapGen,
+        inner: Box<PartyChunks<'a>>,
         buf: Vec<u64>,
     },
 }
@@ -454,6 +525,12 @@ impl PartyChunks<'_> {
                 let chunk = inner.next_chunk()?;
                 buf.clear();
                 gen.apply(decide, resample, buf, chunk);
+                Some(buf.as_slice())
+            }
+            ChunkState::Mapped { gen, inner, buf } => {
+                let chunk = inner.next_chunk()?;
+                buf.clear();
+                gen.apply(buf, chunk);
                 Some(buf.as_slice())
             }
         }
@@ -614,6 +691,49 @@ mod tests {
             .iter()
             .all(|i| [100, 200, 300].contains(i)));
         assert!(stream.churn().unwrap().fresh_mask().iter().all(|&f| f));
+    }
+
+    #[test]
+    fn mapped_streams_transform_every_backing_chunk_size_independently() {
+        let (base, reference) = gen_stream(173);
+        let mapped = base.map(|item| item + 1000);
+        assert!(mapped.is_generated());
+        assert_eq!(mapped.len(), base.len());
+        assert!(mapped.as_slice().is_none());
+        let expected: Vec<u64> = reference.iter().map(|i| i + 1000).collect();
+        assert_eq!(mapped.materialize(), expected);
+        assert_eq!(mapped.materialize(), expected, "re-iterable");
+        for chunk_size in [1usize, 13, 64, usize::MAX] {
+            let mut seen = Vec::new();
+            let mut chunks = mapped.chunks(chunk_size);
+            while let Some(chunk) = chunks.next_chunk() {
+                seen.extend_from_slice(chunk);
+            }
+            assert_eq!(seen, expected, "chunk size {chunk_size}");
+        }
+        // Transforms layer over eager and churned backings too, and compose.
+        let eager = ItemStream::from_items(vec![1, 2, 3]).map(|i| i * 2);
+        assert_eq!(eager.materialize(), vec![2, 4, 6]);
+        assert_eq!(eager.map(|i| i + 1).materialize(), vec![3, 5, 7]);
+        let over_churn = churned(base, 0.3);
+        let churn_reference = over_churn.materialize();
+        assert_eq!(
+            over_churn.map(|i| i ^ 1).materialize(),
+            churn_reference.iter().map(|i| i ^ 1).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn mapped_streams_truncate_through_the_transform() {
+        let (base, reference) = gen_stream(60);
+        let mapped = base.map(|item| item + 5);
+        let head = mapped.take(9);
+        assert_eq!(head.len(), 9);
+        assert_eq!(
+            head.materialize(),
+            reference[..9].iter().map(|i| i + 5).collect::<Vec<u64>>()
+        );
+        assert_eq!(mapped.take(500).len(), 60);
     }
 
     #[test]

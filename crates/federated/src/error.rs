@@ -56,6 +56,11 @@ pub enum ProtocolError {
         /// The rejected fraction.
         fraction: f64,
     },
+    /// A scenario's adversary fraction must lie in `[0, 1]`.
+    InvalidAdversaryFraction {
+        /// The rejected fraction.
+        fraction: f64,
+    },
     /// A group assignment needs at least one group.
     InvalidGroupCount {
         /// The rejected group count.
@@ -136,6 +141,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::InvalidDropout { fraction } => {
                 write!(f, "dropout fraction must be in [0, 1], got {fraction}")
+            }
+            ProtocolError::InvalidAdversaryFraction { fraction } => {
+                write!(f, "adversary fraction must be in [0, 1], got {fraction}")
             }
             ProtocolError::InvalidGroupCount { groups } => {
                 write!(f, "group assignment needs at least one group, got {groups}")
@@ -234,6 +242,10 @@ mod tests {
                 "parallelism",
             ),
             (ProtocolError::InvalidDropout { fraction: 1.5 }, "1.5"),
+            (
+                ProtocolError::InvalidAdversaryFraction { fraction: -0.5 },
+                "adversary",
+            ),
             (ProtocolError::InvalidGroupCount { groups: 0 }, "group"),
             (
                 ProtocolError::InvalidPhaseSplit {

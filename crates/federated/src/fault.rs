@@ -10,6 +10,10 @@
 //! Faults are *deterministic*: the same plan (same seed) always drops the
 //! same parties and reorders messages the same way, so faulty runs stay
 //! bit-reproducible and can be bisected like any other run.
+//!
+//! Faults model *benign* misbehavior.  Malicious parties live one layer up
+//! in [`crate::scenario`]: a [`crate::ScenarioPlan`] embeds a `FaultPlan`
+//! as its benign corner and adds deterministic adversary models on top.
 
 use crate::error::ProtocolError;
 use rand::rngs::StdRng;

@@ -27,6 +27,11 @@
 //!   is wrapped in drivers, executed in parallel worker threads, and
 //!   collected through a transport in a canonical order, with a
 //!   [`FaultPlan`] injecting dropouts and straggler reordering.
+//! * [`scenario`] — the scenario plane: a [`ScenarioPlan`] generalizes the
+//!   fault plan with deterministic [`AdversaryModel`]s (report flipping,
+//!   input poisoning, Sybil amplification, corrupt-frame injection), all
+//!   pure functions of `(plan, seed, party)` so adversarial runs replay
+//!   bit-identically.
 //! * [`epoch`] / [`checkpoint`] — the epoch service: an [`EpochRunner`]
 //!   drives successive epochs of any mechanism over a time-varying
 //!   population, carrying an incremental-trie [`WarmSet`] and a per-user
@@ -92,6 +97,7 @@ pub mod fault;
 pub mod message;
 pub mod node;
 pub mod observer;
+pub mod scenario;
 pub mod scheduler;
 pub mod server;
 pub mod session;
@@ -120,6 +126,7 @@ pub use observer::{
     LevelEstimated, NullObserver, PruningDecision, RecordingObserver, RunEvent, RunObserver,
     RunPhase, RunSummary,
 };
+pub use scenario::{AdversaryModel, FlipMode, FrameCorruption, ScenarioPlan};
 pub use scheduler::GroupAssignment;
 pub use server::{aggregate_reports, aggregate_reports_into, federated_top_k, top_k_from_counts};
 pub use session::{

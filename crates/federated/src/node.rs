@@ -27,6 +27,7 @@
 
 use crate::fault::FaultPlan;
 use crate::message::RoundMessage;
+use crate::scenario::ScenarioPlan;
 use crate::session::{PartyEvent, RoundCollection};
 use crate::transport::canonical_sort;
 use crate::ProtocolConfig;
@@ -36,15 +37,17 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// Everything a party process needs to reconstruct the run: the protocol
-/// configuration, the fault plan, the engine parallelism, the partition of
-/// party indices over processes, and an application-defined payload (the
-/// `fedhh-node` binary ships its mechanism + dataset spec in it).
+/// configuration, the scenario plan (faults + adversary), the engine
+/// parallelism, the partition of party indices over processes, and an
+/// application-defined payload (the `fedhh-node` binary ships its mechanism
+/// + dataset spec in it).
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeWelcome {
     /// The protocol configuration of the run (includes the seed).
     pub config: ProtocolConfig,
-    /// The fault plan every process must resolve identically.
-    pub faults: FaultPlan,
+    /// The scenario plan every process must resolve identically (wire
+    /// schema 3 — replaces the bare fault plan of schema 2).
+    pub scenario: ScenarioPlan,
     /// Engine worker count each process uses for its local parties.
     pub parallelism: usize,
     /// Half-open party-index ranges `[start, end)`, one per rank, covering
@@ -57,7 +60,7 @@ pub struct NodeWelcome {
 impl Encode for NodeWelcome {
     fn encode(&self, out: &mut Vec<u8>) {
         self.config.encode(out);
-        self.faults.encode(out);
+        self.scenario.encode(out);
         self.parallelism.encode(out);
         self.assignments.encode(out);
         self.app.len().encode(out);
@@ -69,7 +72,7 @@ impl Decode for NodeWelcome {
     fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(NodeWelcome {
             config: ProtocolConfig::decode(reader)?,
-            faults: FaultPlan::decode(reader)?,
+            scenario: ScenarioPlan::decode(reader)?,
             parallelism: usize::decode(reader)?,
             assignments: Vec::decode(reader)?,
             app: {
@@ -569,7 +572,7 @@ mod tests {
     fn welcome() -> NodeWelcome {
         NodeWelcome {
             config: ProtocolConfig::test_default(),
-            faults: FaultPlan::dropout(0.25, 3),
+            scenario: ScenarioPlan::from_faults(FaultPlan::dropout(0.25, 3)),
             parallelism: 2,
             assignments: vec![(0, 2), (2, 4)],
             app: vec![1, 2, 3],
@@ -642,7 +645,7 @@ mod tests {
         let server = NodeServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr().unwrap();
         let mut run_welcome = welcome();
-        run_welcome.faults = FaultPlan::none();
+        run_welcome.scenario = ScenarioPlan::benign();
         let server_welcome = run_welcome.clone();
         let coordinator =
             std::thread::spawn(move || server.accept_parties(&server_welcome).unwrap());

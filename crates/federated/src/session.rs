@@ -11,20 +11,24 @@
 //!    under [`std::thread::scope`] when [`EngineConfig::parallelism`] > 1 —
 //!    and routes every upload through the session's [`Transport`];
 //! 3. the session drains the transport into the canonical `(round, from)`
-//!    order, applies the [`FaultPlan`] (dropout, straggler reordering), and
-//!    hands the mechanism a [`RoundCollection`] to aggregate and broadcast
-//!    from.
+//!    order, applies the [`ScenarioPlan`] (dropout, straggler reordering,
+//!    adversarial report perturbation), and hands the mechanism a
+//!    [`RoundCollection`] to aggregate and broadcast from.
 //!
 //! Because drivers derive all randomness from per-party seeds and the
 //! collection order is canonical, a round's result is **bit-identical** at
 //! any parallelism level: threads only change who computes, never what is
-//! computed or in which order it is consumed.
+//! computed or in which order it is consumed.  The same holds under a
+//! [`ScenarioPlan`] with an adversary: compromised parties perturb their own
+//! uploads as a pure function of `(plan, seed, party, round)`, so honest
+//! parties — and the attack itself — replay bit-identically.
 
 use crate::error::ProtocolError;
 use crate::fault::FaultPlan;
 use crate::message::{PruneDictionary, RoundMessage, RoundPayload};
 use crate::node::SessionLink;
 use crate::observer::{LevelEstimated, PruningDecision};
+use crate::scenario::{apply_report_flip, AdversaryModel, FlipMode, ScenarioPlan};
 use crate::socket::SocketTransport;
 use crate::transport::{InMemoryTransport, ShardedTransport, Transport};
 
@@ -53,8 +57,9 @@ pub struct EngineConfig {
     /// Number of worker threads party work is spread over per round
     /// (1 = sequential in the calling thread).
     pub parallelism: usize,
-    /// The deployment faults the session injects.
-    pub faults: FaultPlan,
+    /// The scenario the session injects: benign deployment faults plus an
+    /// optional adversary model (see [`crate::scenario`]).
+    pub scenario: ScenarioPlan,
     /// The transport the session's uploads travel through.
     pub transport: TransportKind,
     /// When set, pins the report pipeline to chunked execution with this
@@ -68,7 +73,7 @@ impl EngineConfig {
     pub fn sequential() -> Self {
         Self {
             parallelism: 1,
-            faults: FaultPlan::none(),
+            scenario: ScenarioPlan::benign(),
             transport: TransportKind::Auto,
             chunk: None,
         }
@@ -82,10 +87,23 @@ impl EngineConfig {
         }
     }
 
-    /// Returns a copy with a fault plan installed.
-    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+    /// Returns a copy with a benign-fault plan installed (the legacy entry
+    /// point, kept as the benign corner of [`EngineConfig::with_scenario`]):
+    /// the scenario's adversary model is reset to [`AdversaryModel::None`].
+    pub fn with_faults(self, faults: FaultPlan) -> Self {
+        self.with_scenario(ScenarioPlan::from_faults(faults))
+    }
+
+    /// Returns a copy with a full scenario installed: benign faults plus an
+    /// adversary model (see [`crate::scenario`]).
+    pub fn with_scenario(mut self, scenario: ScenarioPlan) -> Self {
+        self.scenario = scenario;
         self
+    }
+
+    /// The benign-fault corner of the configured scenario.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.scenario.faults
     }
 
     /// Returns a copy routing uploads through the given transport.
@@ -138,7 +156,7 @@ impl EngineConfig {
                 parallelism: self.parallelism,
             });
         }
-        self.faults.validate()
+        self.scenario.validate()
     }
 }
 
@@ -280,8 +298,9 @@ pub struct RoundCollection {
 pub struct Session {
     transport: Box<dyn Transport>,
     parallelism: usize,
-    faults: FaultPlan,
+    scenario: ScenarioPlan,
     dropped: Vec<bool>,
+    compromised: Vec<bool>,
     round: u32,
     party_count: usize,
     link: Option<SessionLink>,
@@ -311,7 +330,14 @@ impl Session {
             link.validate(party_count)
                 .map_err(ProtocolError::Transport)?;
         }
+        // Frame corruption lives on the framed (TCP) path: route Auto there
+        // when the scenario corrupts frames, so the attack surface exists.
+        let corruption = engine.scenario.corruption();
         let transport: Box<dyn Transport> = match engine.transport {
+            TransportKind::Auto if corruption.is_some() => Box::new(
+                SocketTransport::loopback_with(engine.parallelism, corruption)
+                    .map_err(ProtocolError::Transport)?,
+            ),
             TransportKind::Auto => {
                 if engine.parallelism > 1 {
                     Box::new(ShardedTransport::new(engine.parallelism))
@@ -322,14 +348,16 @@ impl Session {
             TransportKind::Memory => Box::new(InMemoryTransport::new()),
             TransportKind::Sharded => Box::new(ShardedTransport::new(engine.parallelism)),
             TransportKind::Tcp => Box::new(
-                SocketTransport::loopback(engine.parallelism).map_err(ProtocolError::Transport)?,
+                SocketTransport::loopback_with(engine.parallelism, corruption)
+                    .map_err(ProtocolError::Transport)?,
             ),
         };
         Ok(Self {
             transport,
             parallelism: engine.parallelism,
-            faults: engine.faults,
-            dropped: engine.faults.dropped_parties(party_count),
+            scenario: engine.scenario,
+            dropped: engine.scenario.faults.dropped_parties(party_count),
+            compromised: engine.scenario.compromised_parties(party_count),
             round: 0,
             party_count,
             link,
@@ -354,6 +382,23 @@ impl Session {
     /// True when the party survived the fault plan's dropout draw.
     pub fn is_active(&self, party: usize) -> bool {
         !self.dropped.get(party).copied().unwrap_or(false)
+    }
+
+    /// True when the scenario's adversary compromised this party.
+    pub fn is_compromised(&self, party: usize) -> bool {
+        self.compromised.get(party).copied().unwrap_or(false)
+    }
+
+    /// The report perturbation this party applies at upload time, when the
+    /// scenario compromised it under a report-flipping adversary.
+    fn flip_for(&self, party: usize) -> Option<(FlipMode, u64)> {
+        if !self.is_compromised(party) {
+            return None;
+        }
+        match self.scenario.adversary {
+            AdversaryModel::ReportFlip { mode, .. } => Some((mode, self.scenario.seed)),
+            _ => None,
+        }
     }
 
     /// The indices of the surviving parties, ascending.
@@ -398,6 +443,9 @@ impl Session {
                 *flag = true;
             }
         }
+        let flips: Vec<Option<(FlipMode, u64)>> =
+            (0..drivers.len()).map(|i| self.flip_for(i)).collect();
+        let flips = &flips;
         let mut selected: Vec<(usize, &mut D)> = drivers
             .iter_mut()
             .enumerate()
@@ -409,7 +457,9 @@ impl Session {
             if self.parallelism <= 1 || selected.len() <= 1 {
                 selected
                     .iter_mut()
-                    .map(|(idx, driver)| run_party(*idx, &mut **driver, input, round, transport))
+                    .map(|(idx, driver)| {
+                        run_party(*idx, &mut **driver, input, round, transport, flips[*idx])
+                    })
                     .collect()
             } else {
                 // Deal parties round-robin over the workers: federations
@@ -430,7 +480,14 @@ impl Session {
                                 group
                                     .iter_mut()
                                     .map(|(idx, driver)| {
-                                        run_party(*idx, &mut **driver, input, round, transport)
+                                        run_party(
+                                            *idx,
+                                            &mut **driver,
+                                            input,
+                                            round,
+                                            transport,
+                                            flips[*idx],
+                                        )
                                     })
                                     .collect::<Vec<_>>()
                             })
@@ -472,7 +529,8 @@ impl Session {
         if !self.is_local(index) {
             return self.complete_round(round, Vec::new());
         }
-        let (idx, result) = run_party(index, driver, input, round, self.transport.as_ref());
+        let flip = self.flip_for(index);
+        let (idx, result) = run_party(index, driver, input, round, self.transport.as_ref(), flip);
         match result {
             Ok(events) => self.complete_round(round, vec![(idx, events)]),
             Err(err) => Err(self.fail_round(round, idx, err)),
@@ -490,7 +548,7 @@ impl Session {
         let messages = self.transport.drain().map_err(ProtocolError::Transport)?;
         match &mut self.link {
             None => {
-                let order = self.faults.straggler_order(messages.len(), round);
+                let order = self.scenario.faults.straggler_order(messages.len(), round);
                 let mut slots: Vec<Option<RoundMessage>> = messages.into_iter().map(Some).collect();
                 let messages = order
                     .into_iter()
@@ -503,7 +561,7 @@ impl Session {
                 })
             }
             Some(link) => link
-                .exchange(round, messages, events, None, &self.faults)
+                .exchange(round, messages, events, None, &self.scenario.faults)
                 .map_err(ProtocolError::Transport),
         }
     }
@@ -524,7 +582,7 @@ impl Session {
                 Vec::new(),
                 Vec::new(),
                 Some((index, err.to_string())),
-                &self.faults,
+                &self.scenario.faults,
             );
         }
         err
@@ -535,8 +593,9 @@ impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("parallelism", &self.parallelism)
-            .field("faults", &self.faults)
+            .field("scenario", &self.scenario)
             .field("dropped", &self.dropped)
+            .field("compromised", &self.compromised)
             .field("round", &self.round)
             .field("party_count", &self.party_count)
             .field("local_range", &self.local_range())
@@ -546,16 +605,27 @@ impl std::fmt::Debug for Session {
 
 /// Executes one driver for one round, sending its uploads through the
 /// transport; returns its events keyed by party index.
+///
+/// When `flip` is set the party is compromised under a report-flipping
+/// adversary: every [`RoundPayload::Report`] it uploads is perturbed in
+/// place before it reaches the transport.  Dictionary payloads (TAPS'
+/// pruning hand-over) are not reports and travel untouched.  The
+/// perturbation keys on `(seed, party, round, payload index)` — all stable
+/// protocol coordinates — so it replays bit-identically at any parallelism.
 fn run_party<D: PartyDriver>(
     idx: usize,
     driver: &mut D,
     input: &RoundInput,
     round: u32,
     transport: &dyn Transport,
+    flip: Option<(FlipMode, u64)>,
 ) -> (usize, Result<Vec<PartyEvent>, ProtocolError>) {
     match driver.run_round(input) {
         Ok(outcome) => {
-            for payload in outcome.uploads {
+            for (payload_index, mut payload) in outcome.uploads.into_iter().enumerate() {
+                if let (Some((mode, seed)), RoundPayload::Report(report)) = (flip, &mut payload) {
+                    apply_report_flip(report, mode, seed, idx, round, payload_index);
+                }
                 let sent = transport.send(RoundMessage {
                     from: idx,
                     party: driver.party().to_string(),
@@ -817,5 +887,98 @@ mod tests {
         assert_eq!(parse_parallelism("0"), None);
         assert_eq!(parse_parallelism("-3"), None);
         assert_eq!(parse_parallelism("many"), None);
+    }
+
+    #[test]
+    fn with_faults_is_the_benign_corner_of_with_scenario() {
+        let faults = FaultPlan::dropout(0.25, 3);
+        let engine = EngineConfig::sequential().with_faults(faults);
+        assert_eq!(engine.scenario, ScenarioPlan::from_faults(faults));
+        assert_eq!(engine.faults(), &faults);
+        assert_eq!(engine.scenario.adversary, AdversaryModel::None);
+    }
+
+    #[test]
+    fn benign_scenarios_match_the_fault_free_engine_bit_for_bit() {
+        let run = |engine: EngineConfig| {
+            let mut session = Session::new(&engine, 5).unwrap();
+            let mut drivers = drivers(5);
+            let active = session.active_parties();
+            session.run_round(&mut drivers, &active, &start(0)).unwrap()
+        };
+        let baseline = run(EngineConfig::sequential());
+        let scenario = run(EngineConfig::sequential().with_scenario(ScenarioPlan::benign()));
+        assert_eq!(scenario, baseline);
+    }
+
+    #[test]
+    fn report_flips_touch_only_compromised_parties_at_any_parallelism() {
+        let plan = ScenarioPlan::benign().with_adversary(
+            AdversaryModel::ReportFlip {
+                fraction: 0.5,
+                mode: FlipMode::Uniform,
+            },
+            21,
+        );
+        let run = |engine: EngineConfig| {
+            let mut session = Session::new(&engine, 6).unwrap();
+            let mut drivers = drivers(6);
+            let active = session.active_parties();
+            session.run_round(&mut drivers, &active, &start(0)).unwrap()
+        };
+        let honest = run(EngineConfig::sequential());
+        let attacked = run(EngineConfig::sequential().with_scenario(plan));
+        for parallelism in [2, 4] {
+            assert_eq!(
+                run(EngineConfig::parallel(parallelism).with_scenario(plan)),
+                attacked,
+                "attack diverged at parallelism {parallelism}"
+            );
+        }
+        let compromised = plan.compromised_parties(6);
+        assert_eq!(compromised.iter().filter(|c| **c).count(), 3);
+        assert_ne!(attacked, honest);
+        for (a, h) in attacked.messages.iter().zip(&honest.messages) {
+            assert_eq!(a.from, h.from);
+            if compromised[a.from] {
+                assert_ne!(a.payload, h.payload, "party {} must flip", a.from);
+            } else {
+                assert_eq!(a.payload, h.payload, "party {} must stay honest", a.from);
+            }
+        }
+        assert_eq!(
+            attacked.events, honest.events,
+            "events are local, not flipped"
+        );
+    }
+
+    #[test]
+    fn corrupt_frame_scenarios_route_auto_to_the_socket_transport() {
+        let plan = ScenarioPlan::benign()
+            .with_adversary(AdversaryModel::CorruptFrames { fraction: 1.0 }, 5);
+        let mut session = Session::new(&EngineConfig::sequential().with_scenario(plan), 3).unwrap();
+        let mut drivers = drivers(3);
+        let active = session.active_parties();
+        // Every upload frame is corrupted: the round must fail with a typed
+        // transport error, never hang or panic.
+        let err = session
+            .run_round(&mut drivers, &active, &start(0))
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Transport(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_adversary_fractions_are_rejected_at_session_construction() {
+        let plan = ScenarioPlan::benign().with_adversary(
+            AdversaryModel::Sybil {
+                fraction: 1.5,
+                target_item: 1,
+            },
+            0,
+        );
+        assert!(matches!(
+            Session::new(&EngineConfig::sequential().with_scenario(plan), 2),
+            Err(ProtocolError::InvalidAdversaryFraction { .. })
+        ));
     }
 }

@@ -25,9 +25,10 @@
 //! thread outlives the value and no socket is torn down mid-frame.
 
 use crate::message::RoundMessage;
+use crate::scenario::FrameCorruption;
 use crate::transport::{canonical_sort, Transport};
 use fedhh_wire::{read_frame, write_frame, Decode, Encode, Reader, WireError};
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -112,12 +113,26 @@ pub struct SocketTransport {
     readers: Vec<JoinHandle<()>>,
     next_token: std::sync::atomic::AtomicU64,
     addr: SocketAddr,
+    corruption: Option<FrameCorruption>,
 }
 
 impl SocketTransport {
     /// Binds a loopback listener and connects `shards` client streams to it
     /// (at least one), spawning one acceptor and one reader per shard.
     pub fn loopback(shards: usize) -> Result<Self, WireError> {
+        Self::loopback_with(shards, None)
+    }
+
+    /// Like [`SocketTransport::loopback`], but optionally installs a
+    /// [`FrameCorruption`] plan: a seeded fraction of `Upload` frames have
+    /// one post-length byte flipped *after* framing (after the CRC was
+    /// computed over the honest bytes), so the receiving reader observes a
+    /// deterministic CRC mismatch and the drain surfaces a typed error —
+    /// the `fedhh-wire` integrity surface under test, never a hang.
+    pub fn loopback_with(
+        shards: usize,
+        corruption: Option<FrameCorruption>,
+    ) -> Result<Self, WireError> {
         let shards = shards.max(1);
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
@@ -183,6 +198,7 @@ impl SocketTransport {
                 readers,
                 next_token: std::sync::atomic::AtomicU64::new(1),
                 addr,
+                corruption: None,
             };
             drop(partial);
             return Err(err);
@@ -193,6 +209,7 @@ impl SocketTransport {
             readers,
             next_token: std::sync::atomic::AtomicU64::new(1),
             addr,
+            corruption,
         })
     }
 
@@ -211,6 +228,33 @@ impl SocketTransport {
             .lock()
             .expect("socket transport poisoned");
         write_frame(&mut *stream, frame)
+    }
+
+    /// Writes an upload frame with one byte flipped: the frame is built
+    /// honestly (valid length prefix and CRC), then a deterministic byte
+    /// past the length prefix is XOR-flipped before hitting the wire.
+    /// Flipping after the CRC is computed guarantees the receiver detects
+    /// the damage as a CRC (or schema) mismatch instead of silently
+    /// consuming corrupt data; sparing the length prefix keeps the reader's
+    /// framing intact so it fails fast instead of mis-reading the stream.
+    fn write_corrupted(
+        &self,
+        shard: usize,
+        frame: &SocketFrame,
+        from: usize,
+        round: u32,
+    ) -> Result<(), WireError> {
+        let corruption = self.corruption.expect("caller checked the plan");
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, frame)?;
+        let offset = corruption.flip_offset(from, round, bytes.len());
+        bytes[offset] ^= 0x20;
+        let mut stream = self.clients[shard]
+            .lock()
+            .expect("socket transport poisoned");
+        stream.write_all(&bytes)?;
+        stream.flush()?;
+        Ok(())
     }
 }
 
@@ -243,7 +287,14 @@ fn read_loop(index: usize, stream: TcpStream, shared: &Shared) {
 impl Transport for SocketTransport {
     fn send(&self, message: RoundMessage) -> Result<(), WireError> {
         let shard = message.from % self.clients.len();
-        self.write(shard, &SocketFrame::Upload(Box::new(message)))
+        let (from, round) = (message.from, message.round);
+        let frame = SocketFrame::Upload(Box::new(message));
+        match self.corruption {
+            Some(corruption) if corruption.corrupts(from, round) => {
+                self.write_corrupted(shard, &frame, from, round)
+            }
+            _ => self.write(shard, &frame),
+        }
     }
 
     fn drain(&self) -> Result<Vec<RoundMessage>, WireError> {
@@ -307,6 +358,7 @@ impl std::fmt::Debug for SocketTransport {
         f.debug_struct("SocketTransport")
             .field("addr", &self.addr)
             .field("shards", &self.clients.len())
+            .field("corruption", &self.corruption)
             .finish()
     }
 }
@@ -402,5 +454,45 @@ mod tests {
         let socket = SocketTransport::loopback(2).unwrap();
         socket.send(message(0, 0, 1)).unwrap();
         drop(socket); // must not hang or panic
+    }
+
+    #[test]
+    fn corrupted_frames_surface_a_typed_error_instead_of_hanging() {
+        let corruption = FrameCorruption {
+            fraction: 1.0,
+            seed: 7,
+        };
+        let socket = SocketTransport::loopback_with(2, Some(corruption)).unwrap();
+        // The send itself succeeds (the bytes leave the client); the damage
+        // surfaces at the drain barrier as the reader's decode error.
+        socket.send(message(0, 0, 1)).unwrap();
+        let err = socket.drain().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::CrcMismatch { .. }
+                    | WireError::SchemaMismatch { .. }
+                    | WireError::Io { .. }
+            ),
+            "{err:?}"
+        );
+        drop(socket); // still a clean shutdown
+    }
+
+    #[test]
+    fn a_fractional_corruption_plan_spares_the_unselected_slots() {
+        let corruption = FrameCorruption {
+            fraction: 0.5,
+            seed: 3,
+        };
+        let clean: Vec<usize> = (0..6).filter(|&f| !corruption.corrupts(f, 0)).collect();
+        assert!(!clean.is_empty(), "seed 3 must leave some slot clean");
+        let socket = SocketTransport::loopback_with(1, Some(corruption)).unwrap();
+        for &from in &clean {
+            socket.send(message(from, 0, from as u64)).unwrap();
+        }
+        let drained = socket.drain().unwrap();
+        let senders: Vec<usize> = drained.iter().map(|m| m.from).collect();
+        assert_eq!(senders, clean, "clean slots travel untouched");
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! Every type a round exchange ships between processes — round messages and
 //! their payloads, party events, collected rounds, the protocol
-//! configuration and the fault plan — implements [`Encode`]/[`Decode`] here.
+//! configuration, the fault plan and the scenario plan — implements
+//! [`Encode`]/[`Decode`] here.
 //! Two representation rules matter:
 //!
 //! * **Floats are exact.**  Estimated counts/frequencies travel as their
@@ -23,6 +24,7 @@ use crate::message::{
     CandidateReport, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload,
 };
 use crate::observer::{LevelEstimated, PruningDecision};
+use crate::scenario::{AdversaryModel, FlipMode, ScenarioPlan};
 use crate::session::{PartyEvent, RoundCollection};
 use fedhh_fo::FoKind;
 use fedhh_wire::{put_f64, put_u64_fixed, put_varint, Decode, Encode, Reader, WireError};
@@ -289,6 +291,109 @@ impl Decode for FaultPlan {
     }
 }
 
+impl Encode for AdversaryModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AdversaryModel::None => out.push(0),
+            AdversaryModel::ReportFlip { fraction, mode } => {
+                out.push(1);
+                fraction.encode(out);
+                out.push(match mode {
+                    FlipMode::Uniform => 0,
+                    FlipMode::Inverted => 1,
+                });
+            }
+            AdversaryModel::InputPoison {
+                fraction,
+                target_prefix,
+                prefix_len,
+            } => {
+                out.push(2);
+                fraction.encode(out);
+                put_u64_fixed(out, *target_prefix);
+                prefix_len.encode(out);
+            }
+            AdversaryModel::Sybil {
+                fraction,
+                target_item,
+            } => {
+                out.push(3);
+                fraction.encode(out);
+                put_u64_fixed(out, *target_item);
+            }
+            AdversaryModel::CorruptFrames { fraction } => {
+                out.push(4);
+                fraction.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for AdversaryModel {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        match reader.take_u8()? {
+            0 => Ok(AdversaryModel::None),
+            1 => {
+                let fraction = f64::decode(reader)?;
+                let mode = match reader.take_u8()? {
+                    0 => FlipMode::Uniform,
+                    1 => FlipMode::Inverted,
+                    other => {
+                        return Err(WireError::InvalidValue {
+                            what: "flip mode",
+                            value: other as u64,
+                        })
+                    }
+                };
+                Ok(AdversaryModel::ReportFlip { fraction, mode })
+            }
+            2 => Ok(AdversaryModel::InputPoison {
+                fraction: f64::decode(reader)?,
+                target_prefix: reader.take_u64_fixed()?,
+                prefix_len: u8::decode(reader)?,
+            }),
+            3 => Ok(AdversaryModel::Sybil {
+                fraction: f64::decode(reader)?,
+                target_item: reader.take_u64_fixed()?,
+            }),
+            4 => Ok(AdversaryModel::CorruptFrames {
+                fraction: f64::decode(reader)?,
+            }),
+            other => Err(WireError::InvalidValue {
+                what: "adversary model tag",
+                value: other as u64,
+            }),
+        }
+    }
+}
+
+impl Encode for ScenarioPlan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.faults.encode(out);
+        self.adversary.encode(out);
+        put_u64_fixed(out, self.seed);
+    }
+}
+
+impl Decode for ScenarioPlan {
+    /// Decodes a scenario — including **legacy frames** that carried a bare
+    /// [`FaultPlan`] where a scenario now travels: the fault fields come
+    /// first on the wire, so when the reader is exhausted after them the
+    /// frame predates the scenario plane and decodes to the benign
+    /// scenario of those faults.
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let faults = FaultPlan::decode(reader)?;
+        if reader.remaining() == 0 {
+            return Ok(ScenarioPlan::from_faults(faults));
+        }
+        Ok(ScenarioPlan {
+            faults,
+            adversary: AdversaryModel::decode(reader)?,
+            seed: reader.take_u64_fixed()?,
+        })
+    }
+}
+
 /// Stable one-byte discriminants for [`FoKind`] (part of wire schema 1).
 fn fo_kind_to_u8(kind: FoKind) -> u8 {
     match kind {
@@ -473,6 +578,34 @@ mod tests {
             stragglers: true,
             seed: u64::MAX,
         });
+        for adversary in [
+            AdversaryModel::None,
+            AdversaryModel::ReportFlip {
+                fraction: 0.25,
+                mode: FlipMode::Uniform,
+            },
+            AdversaryModel::ReportFlip {
+                fraction: 1.0,
+                mode: FlipMode::Inverted,
+            },
+            AdversaryModel::InputPoison {
+                fraction: 0.5,
+                target_prefix: 0b1011,
+                prefix_len: 4,
+            },
+            AdversaryModel::Sybil {
+                fraction: 0.125,
+                target_item: u64::MAX,
+            },
+            AdversaryModel::CorruptFrames { fraction: 0.01 },
+        ] {
+            round_trip(adversary);
+            round_trip(ScenarioPlan {
+                faults: FaultPlan::dropout(0.5, 3),
+                adversary,
+                seed: 77,
+            });
+        }
         round_trip(ProtocolConfig::default());
         round_trip(ProtocolConfig {
             fo: FoKind::Olh,
@@ -542,6 +675,62 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn legacy_fault_plan_frames_decode_to_the_benign_scenario() {
+        // A peer from before the scenario plane encoded a bare FaultPlan
+        // where a ScenarioPlan now travels; its faults come through with no
+        // adversary attached.
+        let faults = FaultPlan {
+            dropout_fraction: 0.25,
+            stragglers: true,
+            seed: 42,
+        };
+        let legacy = to_bytes(&faults);
+        let scenario: ScenarioPlan = from_bytes(&legacy).unwrap();
+        assert_eq!(scenario, ScenarioPlan::from_faults(faults));
+    }
+
+    #[test]
+    fn unknown_adversary_tags_are_typed_errors() {
+        let plan = ScenarioPlan {
+            faults: FaultPlan::none(),
+            adversary: AdversaryModel::CorruptFrames { fraction: 0.5 },
+            seed: 1,
+        };
+        let mut bytes = to_bytes(&plan);
+        // The adversary tag follows the 17-byte fault plan.
+        bytes[17] = 9;
+        assert!(matches!(
+            from_bytes::<ScenarioPlan>(&bytes),
+            Err(WireError::InvalidValue {
+                what: "adversary model tag",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_scenarios_never_panic() {
+        let bytes = to_bytes(&ScenarioPlan {
+            faults: FaultPlan::dropout(0.5, 3),
+            adversary: AdversaryModel::Sybil {
+                fraction: 0.25,
+                target_item: 9,
+            },
+            seed: 4,
+        });
+        // Every cut except the bare fault plan (the legacy form, which
+        // decodes by design) must fail cleanly.
+        for cut in 0..bytes.len() {
+            let result = from_bytes::<ScenarioPlan>(&bytes[..cut]);
+            if cut == 17 {
+                assert!(result.is_ok(), "the 17-byte prefix is a legacy fault plan");
+            } else {
+                assert!(result.is_err(), "cut at {cut}");
+            }
+        }
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! uplink accounting cannot silently drift from the wire format.
 
 use fedhh_federated::{
-    CandidateReport, ExecMode, FaultPlan, FoExec, ProtocolConfig, PruneCandidates, PruneDictionary,
-    RoundMessage, RoundPayload, PAIR_BITS,
+    AdversaryModel, CandidateReport, ExecMode, FaultPlan, FlipMode, FoExec, ProtocolConfig,
+    PruneCandidates, PruneDictionary, RoundMessage, RoundPayload, ScenarioPlan, PAIR_BITS,
 };
 use fedhh_fo::FoKind;
 use fedhh_wire::{from_bytes, to_bytes};
@@ -130,6 +130,69 @@ fn random_fault_plans_round_trip() {
             seed: rng.gen(),
         };
         assert_eq!(from_bytes::<FaultPlan>(&to_bytes(&plan)).unwrap(), plan);
+    }
+}
+
+fn random_adversary(rng: &mut StdRng) -> AdversaryModel {
+    match rng.gen_range(0usize..5) {
+        0 => AdversaryModel::None,
+        1 => AdversaryModel::ReportFlip {
+            fraction: rng.gen(),
+            mode: if rng.gen::<bool>() {
+                FlipMode::Uniform
+            } else {
+                FlipMode::Inverted
+            },
+        },
+        2 => AdversaryModel::InputPoison {
+            fraction: rng.gen(),
+            target_prefix: rng.gen(),
+            prefix_len: rng.gen_range(0u32..=64) as u8,
+        },
+        3 => AdversaryModel::Sybil {
+            fraction: rng.gen(),
+            target_item: rng.gen(),
+        },
+        _ => AdversaryModel::CorruptFrames {
+            fraction: rng.gen(),
+        },
+    }
+}
+
+#[test]
+fn random_scenario_plans_round_trip_bit_exactly() {
+    let mut rng = rng(17);
+    for _ in 0..200 {
+        let plan = ScenarioPlan {
+            faults: FaultPlan {
+                dropout_fraction: rng.gen(),
+                stragglers: rng.gen(),
+                seed: rng.gen(),
+            },
+            adversary: random_adversary(&mut rng),
+            seed: rng.gen(),
+        };
+        assert_eq!(from_bytes::<ScenarioPlan>(&to_bytes(&plan)).unwrap(), plan);
+    }
+}
+
+/// Back-compat: a pre-scenario peer sends a bare `FaultPlan` where a
+/// `ScenarioPlan` now travels (the node handshake).  Such frames decode to
+/// the benign scenario carrying those faults — old coordinators keep
+/// working against new parties.
+#[test]
+fn legacy_fault_plan_frames_decode_to_benign_scenarios() {
+    let mut rng = rng(18);
+    for _ in 0..100 {
+        let faults = FaultPlan {
+            dropout_fraction: rng.gen(),
+            stragglers: rng.gen(),
+            seed: rng.gen(),
+        };
+        let scenario: ScenarioPlan = from_bytes(&to_bytes(&faults)).unwrap();
+        assert_eq!(scenario.faults, faults);
+        assert_eq!(scenario.adversary, AdversaryModel::None);
+        assert_eq!(scenario.seed, 0);
     }
 }
 

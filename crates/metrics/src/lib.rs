@@ -12,6 +12,9 @@
 //! of the global ground truths that each party's *local* heavy hitters
 //! recover, averaged over parties — the paper's proxy for how well a
 //! mechanism handles statistical heterogeneity.
+//!
+//! The scenario-robustness matrix (`fedhh-bench scenario`) reports each
+//! attacked cell alongside its [`degradation`] from the benign baseline.
 
 //!
 //! This crate scores finished runs (it sits beside the pipeline, not in
@@ -20,10 +23,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod degradation;
 pub mod f1;
 pub mod ncr;
 pub mod recall;
 
+pub use degradation::{degradation, relative_degradation};
 pub use f1::{f1_score, precision, recall};
 pub use ncr::ncr_score;
 pub use recall::average_local_recall;

@@ -20,8 +20,10 @@ use std::io::{Read, Write};
 /// The wire schema version this build speaks.
 ///
 /// History: schema 1 was the original 0.5 format; schema 2 (0.6) appended
-/// the execution-mode field to the protocol-configuration payload.
-pub const WIRE_SCHEMA: u8 = 2;
+/// the execution-mode field to the protocol-configuration payload; schema 3
+/// (0.7) replaced the bare fault plan in the node welcome with the full
+/// scenario plan (faults + adversary model).
+pub const WIRE_SCHEMA: u8 = 3;
 
 /// The largest frame a reader will accept, in bytes (schema + payload +
 /// crc).  Guards against a corrupt length prefix allocating gigabytes.

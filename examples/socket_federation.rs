@@ -15,7 +15,7 @@
 //! cargo run --example socket_federation
 //! ```
 
-use fedhh::federated::{connect_party, NodeServer, NodeWelcome};
+use fedhh::federated::{connect_party, NodeServer, NodeWelcome, ScenarioPlan};
 use fedhh::prelude::*;
 
 fn main() {
@@ -51,7 +51,7 @@ fn main() {
     let addr = server.local_addr().expect("bound address");
     let welcome = NodeWelcome {
         config,
-        faults: FaultPlan::none(),
+        scenario: ScenarioPlan::benign(),
         parallelism: 1,
         assignments: vec![(0, 1), (1, 2)], // one party per node
         app: Vec::new(),

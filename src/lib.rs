@@ -16,6 +16,7 @@
 //! * [`datasets`] — federated workload generators (Table 2 stand-ins).
 //! * [`federated`] — protocol configuration, group assignment, estimation,
 //!   server aggregation, communication accounting, the round engine, the
+//!   adversarial scenario plane ([`federated::ScenarioPlan`]), the
 //!   networking subsystem (socket transport + multi-process node links),
 //!   and the epoch service (cross-epoch state, budget ledger, checkpoints).
 //! * [`mechanisms`] — PEM, FedPEM, GTF, TAP and TAPS.
@@ -128,8 +129,9 @@ pub use fedhh_wire as wire;
 pub mod prelude {
     pub use crate::datasets::{DatasetConfig, DatasetKind, FederatedDataset, PartyData};
     pub use crate::federated::{
-        EngineConfig, FaultPlan, FoExec, NullObserver, ProtocolConfig, ProtocolError,
-        RecordingObserver, RunObserver, RunPhase, SessionLink, TransportKind, WireError,
+        AdversaryModel, EngineConfig, FaultPlan, FlipMode, FoExec, NullObserver, ProtocolConfig,
+        ProtocolError, RecordingObserver, RunObserver, RunPhase, ScenarioPlan, SessionLink,
+        TransportKind, WireError,
     };
     pub use crate::fo::{FoKind, PrivacyBudget};
     pub use crate::mechanisms::{

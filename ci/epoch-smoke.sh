@@ -18,10 +18,12 @@
 #      BENCH_epochs.json (cold vs previous warm start), uploaded by CI.
 set -euo pipefail
 
+. "$(dirname "$0")/lib.sh"
+smoke_init epoch-smoke
+
 NODE_BIN="${1:-target/release/fedhh-node}"
-BENCH_BIN="$(dirname "$NODE_BIN")/fedhh-bench"
-WORKDIR="$(mktemp -d)"
-trap 'rm -rf "$WORKDIR"' EXIT
+BENCH_BIN="$(sibling_bin "$NODE_BIN" fedhh-bench)"
+require_bin "$NODE_BIN" "$BENCH_BIN"
 
 SERVICE_FLAGS=(
     --mechanism taps --dataset rdb --quick
@@ -29,16 +31,13 @@ SERVICE_FLAGS=(
     --seed 42 --user-scale 0.005
 )
 
-echo "[epoch-smoke] reference: 3 uninterrupted epochs"
+log "reference: 3 uninterrupted epochs"
 "$NODE_BIN" service "${SERVICE_FLAGS[@]}" > "$WORKDIR/reference.out"
 grep '^FINAL' "$WORKDIR/reference.out" > "$WORKDIR/reference.final"
-[ -s "$WORKDIR/reference.final" ] || {
-    echo "[epoch-smoke] reference run produced no FINAL lines" >&2
-    cat "$WORKDIR/reference.out" >&2
-    exit 1
-}
+[ -s "$WORKDIR/reference.final" ] \
+    || die "reference run produced no FINAL lines" "$WORKDIR/reference.out"
 
-echo "[epoch-smoke] crash leg: checkpointing service, SIGKILL after epoch 1"
+log "crash leg: checkpointing service, SIGKILL after epoch 1"
 CKPT="$WORKDIR/service.ckpt"
 "$NODE_BIN" service "${SERVICE_FLAGS[@]}" \
     --checkpoint "$CKPT" --epoch-delay-ms 30000 \
@@ -48,48 +47,32 @@ VICTIM_PID=$!
 # Wait for the second epoch (index 1) to complete, then kill -9 during the
 # inter-epoch delay: the process dies with epoch 2 unrun and only the
 # atomically-written checkpoint surviving.
-KILLED=0
-for _ in $(seq 1 600); do
-    if grep -q '^EPOCH 1 ' "$WORKDIR/victim.out" 2>/dev/null; then
-        kill -9 "$VICTIM_PID"
-        KILLED=1
-        break
-    fi
-    sleep 0.1
-done
+if ! wait_for_line '^EPOCH 1 ' "$WORKDIR/victim.out" 600; then
+    kill -9 "$VICTIM_PID" 2>/dev/null || true
+    wait "$VICTIM_PID" 2>/dev/null || true
+    die "service never completed epoch 1" "$WORKDIR/victim.out"
+fi
+kill -9 "$VICTIM_PID"
 wait "$VICTIM_PID" 2>/dev/null || true
-if [ "$KILLED" -ne 1 ]; then
-    echo "[epoch-smoke] service never completed epoch 1" >&2
-    cat "$WORKDIR/victim.out" >&2
-    exit 1
-fi
 if grep -q '^FINAL' "$WORKDIR/victim.out"; then
-    echo "[epoch-smoke] service finished before the kill; delay too short" >&2
-    exit 1
+    die "service finished before the kill; delay too short"
 fi
-[ -f "$CKPT" ] || {
-    echo "[epoch-smoke] no checkpoint file survived the kill" >&2
-    exit 1
-}
+[ -f "$CKPT" ] || die "no checkpoint file survived the kill"
 
-echo "[epoch-smoke] resume leg: restarting from the checkpoint"
+log "resume leg: restarting from the checkpoint"
 "$NODE_BIN" service "${SERVICE_FLAGS[@]}" \
     --checkpoint "$CKPT" --resume "$CKPT" \
     > "$WORKDIR/resumed.out" 2>&1
-grep -q 'resumed from' "$WORKDIR/resumed.out" || {
-    echo "[epoch-smoke] resumed run did not acknowledge the checkpoint" >&2
-    cat "$WORKDIR/resumed.out" >&2
-    exit 1
-}
+grep -q 'resumed from' "$WORKDIR/resumed.out" \
+    || die "resumed run did not acknowledge the checkpoint" "$WORKDIR/resumed.out"
 grep '^FINAL' "$WORKDIR/resumed.out" > "$WORKDIR/resumed.final"
 
 if ! diff -u "$WORKDIR/reference.final" "$WORKDIR/resumed.final"; then
-    echo "[epoch-smoke] FAILED: resumed output differs from uninterrupted run" >&2
-    exit 1
+    die "resumed output differs from uninterrupted run"
 fi
-echo "[epoch-smoke] resumed FINAL lines are bit-identical to the reference"
+log "resumed FINAL lines are bit-identical to the reference"
 
-echo "[epoch-smoke] warm-start ablation: fedhh-bench epochs --quick"
+log "warm-start ablation: fedhh-bench epochs --quick"
 "$BENCH_BIN" epochs --quick --out BENCH_epochs.json
 
-echo "[epoch-smoke] OK"
+log "OK"

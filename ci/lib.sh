@@ -1,0 +1,64 @@
+# Shared helpers for the ci/*-smoke.sh gates.  Source it, don't run it:
+#
+#   . "$(dirname "$0")/lib.sh"
+#   smoke_init net-smoke
+#
+# Provides release-binary discovery (fail fast on a missing build instead
+# of a confusing mid-script error), a self-cleaning scratch directory,
+# byte-identity comparison and output polling — the plumbing every smoke
+# gate was previously duplicating.
+
+# smoke_init NAME — names the gate for log/die prefixes and creates a
+# scratch WORKDIR that is removed when the script exits, pass or fail.
+smoke_init() {
+    SMOKE_NAME="$1"
+    WORKDIR="$(mktemp -d)"
+    trap 'rm -rf "$WORKDIR"' EXIT
+}
+
+log() { echo "[$SMOKE_NAME] $*"; }
+
+# die MSG [FILE...] — log the failure, dump any named log files to stderr
+# for the CI transcript, exit non-zero.
+die() {
+    echo "[$SMOKE_NAME] FAILED: $1" >&2
+    shift
+    local f
+    for f in "$@"; do cat "$f" >&2 || true; done
+    exit 1
+}
+
+# require_bin BIN... — every argument must be an executable file.  Smoke
+# scripts take binary paths as arguments, so a stale or missing release
+# build must fail up front, not partway through a multi-process choreography.
+require_bin() {
+    local bin
+    for bin in "$@"; do
+        [ -x "$bin" ] || die "missing binary $bin (run: cargo build --release)"
+    done
+}
+
+# sibling_bin BIN NAME — the path of another binary in the same target
+# directory as BIN (e.g. fedhh-bench next to fedhh-node).
+sibling_bin() { echo "$(dirname "$1")/$2"; }
+
+# assert_identical A B LABEL — the byte-identity gate: two artifacts must
+# compare equal with cmp, or the gate dies naming them.
+assert_identical() {
+    cmp "$1" "$2" || die "$3: $1 and $2 differ byte-wise"
+}
+
+# wait_for_line PATTERN FILE [TRIES] — poll at 10 Hz until a line matching
+# the grep pattern appears in FILE; returns non-zero on timeout so the
+# caller chooses what to dump before dying.
+wait_for_line() {
+    local tries="${3:-100}"
+    local _try
+    for _try in $(seq 1 "$tries"); do
+        if grep -q "$1" "$2" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}

@@ -11,12 +11,14 @@
 # bits) is bit-identical to the in-memory run at the same seed.
 set -euo pipefail
 
-NODE_BIN="${1:-target/release/fedhh-node}"
-BENCH_BIN="$(dirname "$NODE_BIN")/fedhh-bench"
-WORKDIR="$(mktemp -d)"
-trap 'rm -rf "$WORKDIR"' EXIT
+. "$(dirname "$0")/lib.sh"
+smoke_init net-smoke
 
-echo "[net-smoke] coordinator + 4 party processes: TAPS on YCM (quick, seed 42)"
+NODE_BIN="${1:-target/release/fedhh-node}"
+BENCH_BIN="$(sibling_bin "$NODE_BIN" fedhh-bench)"
+require_bin "$NODE_BIN" "$BENCH_BIN"
+
+log "coordinator + 4 party processes: TAPS on YCM (quick, seed 42)"
 "$NODE_BIN" coordinator \
     --mechanism taps --dataset ycm --parties 4 \
     --quick --seed 42 --timeout-secs 120 --check-inmemory \
@@ -24,21 +26,12 @@ echo "[net-smoke] coordinator + 4 party processes: TAPS on YCM (quick, seed 42)"
 COORD_PID=$!
 
 # Wait for the coordinator to advertise its port.
-ADDR=""
-for _ in $(seq 1 100); do
-    if ADDR=$(grep -m1 '^LISTEN ' "$WORKDIR/coordinator.out" 2>/dev/null | awk '{print $2}') \
-        && [ -n "$ADDR" ]; then
-        break
-    fi
-    sleep 0.1
-done
-if [ -z "$ADDR" ]; then
-    echo "[net-smoke] coordinator never advertised a port" >&2
-    cat "$WORKDIR/coordinator.err" >&2 || true
+if ! wait_for_line '^LISTEN ' "$WORKDIR/coordinator.out"; then
     kill "$COORD_PID" 2>/dev/null || true
-    exit 1
+    die "coordinator never advertised a port" "$WORKDIR/coordinator.err"
 fi
-echo "[net-smoke] coordinator listening on $ADDR"
+ADDR=$(grep -m1 '^LISTEN ' "$WORKDIR/coordinator.out" | awk '{print $2}')
+log "coordinator listening on $ADDR"
 
 PARTY_PIDS=()
 for rank in 0 1 2 3; do
@@ -54,17 +47,15 @@ for pid in "${PARTY_PIDS[@]}"; do
 done
 cat "$WORKDIR/coordinator.out"
 if [ "$STATUS" -ne 0 ]; then
-    echo "[net-smoke] FAILED (status $STATUS)" >&2
-    cat "$WORKDIR/coordinator.err" >&2 || true
-    for rank in 0 1 2 3; do cat "$WORKDIR/party$rank.out" >&2 || true; done
-    exit "$STATUS"
+    die "federation exited with status $STATUS" \
+        "$WORKDIR/coordinator.err" \
+        "$WORKDIR/party0.out" "$WORKDIR/party1.out" \
+        "$WORKDIR/party2.out" "$WORKDIR/party3.out"
 fi
-grep -q '^CHECK bit-identical' "$WORKDIR/coordinator.out" || {
-    echo "[net-smoke] coordinator did not confirm bit-identity" >&2
-    exit 1
-}
+grep -q '^CHECK bit-identical' "$WORKDIR/coordinator.out" \
+    || die "coordinator did not confirm bit-identity"
 
-echo "[net-smoke] fedhh-bench trial over the tcp transport"
+log "fedhh-bench trial over the tcp transport"
 "$BENCH_BIN" trial taps ycm --quick --transport tcp
 
-echo "[net-smoke] OK"
+log "OK"

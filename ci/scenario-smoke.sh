@@ -16,30 +16,28 @@
 # for CI to upload.
 set -euo pipefail
 
+. "$(dirname "$0")/lib.sh"
+smoke_init scenario-smoke
+
 BENCH_BIN="${1:-target/release/fedhh-bench}"
-WORKDIR="$(mktemp -d)"
-trap 'rm -rf "$WORKDIR"' EXIT
+require_bin "$BENCH_BIN"
 
 SCENARIO_FLAGS=(--quick --fractions 0,0.5)
 
-echo "[scenario-smoke] sweep 1: quick robustness matrix"
+log "sweep 1: quick robustness matrix"
 "$BENCH_BIN" scenario "${SCENARIO_FLAGS[@]}" --out BENCH_scenario.json
 
-echo "[scenario-smoke] sweep 2: rerun + byte-identity gate"
+log "sweep 2: rerun + byte-identity gate"
 "$BENCH_BIN" scenario "${SCENARIO_FLAGS[@]}" --out "$WORKDIR/rerun.json" \
     --check BENCH_scenario.json --threshold 0
-if ! cmp BENCH_scenario.json "$WORKDIR/rerun.json"; then
-    echo "[scenario-smoke] FAILED: reruns of the same sweep differ" >&2
-    exit 1
-fi
-echo "[scenario-smoke] reruns are byte-identical"
+assert_identical BENCH_scenario.json "$WORKDIR/rerun.json" \
+    "reruns of the same sweep differ"
+log "reruns are byte-identical"
 
 # Sanity: the matrix actually exercised the attacks — at half the parties
 # compromised at least one cell must degrade or fail typed.
 grep -q '"ok": false' BENCH_scenario.json \
     || grep -Eq '"f1_drop": 0\.0*[1-9]' BENCH_scenario.json \
-    || {
-        echo "[scenario-smoke] FAILED: no cell degraded or failed; the adversary plane is inert" >&2
-        exit 1
-    }
-echo "[scenario-smoke] OK"
+    || die "no cell degraded or failed; the adversary plane is inert"
+
+log "OK"

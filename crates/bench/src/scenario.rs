@@ -5,7 +5,7 @@
 //! attack?".  It sweeps every mechanism against every adversary model of
 //! the scenario plane (`fedhh_federated::scenario`) over a list of
 //! compromised-party fractions, scores each cell with F1/NCR and their
-//! [`fedhh_metrics::degradation`] from the benign baseline, and emits a
+//! [`mod@fedhh_metrics::degradation`] from the benign baseline, and emits a
 //! machine-readable `BENCH_scenario.json`.
 //!
 //! Every cell is one deterministic trial: fixed dataset seed, fixed

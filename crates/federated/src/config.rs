@@ -54,17 +54,65 @@ impl ExecMode {
 
 /// How the level estimator drives the frequency oracle.
 ///
-/// Results are **bit-identical** between the two paths (the batched
-/// implementations consume the same RNG stream); the scalar path exists as
-/// the reference baseline for the `fedhh-bench perf` regression suite and
-/// for debugging, not as a behavioural option.
+/// `Scalar` and `Batched` are **bit-identical** to each other (the batched
+/// implementations consume the same sequential RNG stream); the scalar path
+/// exists as the reference baseline for the `fedhh-bench perf` regression
+/// suite and for debugging, not as a behavioural option.  `Vectorized` is a
+/// third, deliberately *different* pinned path: counter-based randomness
+/// (`fedhh_fo::ctr`) drives branch-free SoA kernels, so its output is
+/// deterministic per seed and bit-identical across any chunk size and
+/// engine parallelism, but numerically different from `Scalar`/`Batched`
+/// at the same seed.  The path travels in the wire handshake config, so a
+/// federation can never mix paths across processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FoExec {
-    /// Batched perturbation and aggregation — the production hot path.
+    /// Batched perturbation and aggregation — the sequential-RNG hot path.
     #[default]
     Batched,
     /// One-report-at-a-time reference path.
     Scalar,
+    /// Counter-RNG SoA kernels — the fastest path, pinned on its own
+    /// stream (not bit-compatible with the sequential paths).
+    Vectorized,
+}
+
+impl FoExec {
+    /// All execution paths, in `kernel-equivalence` CI matrix order.
+    pub const ALL: [FoExec; 3] = [FoExec::Scalar, FoExec::Batched, FoExec::Vectorized];
+
+    /// Stable lowercase name for reports, CLI arguments and env knobs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FoExec::Batched => "batched",
+            FoExec::Scalar => "scalar",
+            FoExec::Vectorized => "vectorized",
+        }
+    }
+
+    /// Parses a CLI/env name into an execution path.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "batched" => Some(FoExec::Batched),
+            "scalar" => Some(FoExec::Scalar),
+            "vectorized" | "vec" => Some(FoExec::Vectorized),
+            _ => None,
+        }
+    }
+
+    /// The execution path named by the `FEDHH_TEST_FO_EXEC` environment
+    /// variable, if set and valid — the knob the `kernel-equivalence` CI
+    /// job uses to sweep the whole test suite across paths.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("FEDHH_TEST_FO_EXEC")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+    }
+}
+
+impl std::fmt::Display for FoExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// The full parameter set of a federated heavy hitter run.

@@ -9,7 +9,10 @@
 
 use crate::config::{FoExec, ProtocolConfig};
 use crate::error::ProtocolError;
-use fedhh_fo::{CandidateDomain, FrequencyOracle, Oracle, PrivacyBudget, Report, SupportCounts};
+use fedhh_fo::{
+    CandidateDomain, CtrRng, FrequencyOracle, Oracle, PrivacyBudget, Report, ReportBatch,
+    SupportCounts,
+};
 use fedhh_trie::Prefix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,6 +49,8 @@ use rand::SeedableRng;
 pub struct EstimateScratch {
     inputs: Vec<usize>,
     reports: Vec<Report>,
+    /// SoA report arena for the `FoExec::Vectorized` path.
+    batch: ReportBatch,
     supports: SupportCounts,
     /// Cached oracle, keyed by (kind, ε bits, domain size).
     oracle: Option<(fedhh_fo::FoKind, u64, usize, Oracle)>,
@@ -58,6 +63,7 @@ impl EstimateScratch {
         Self {
             inputs: Vec::new(),
             reports: Vec::new(),
+            batch: ReportBatch::new(),
             supports: SupportCounts::zeros(0),
             oracle: None,
         }
@@ -209,6 +215,11 @@ impl LevelEstimator {
     /// `f64`), results are bit-identical to [`LevelEstimator::estimate`] at
     /// every chunk size — and, via the oracles' batch contract, to the
     /// scalar one-report-at-a-time path (selected by [`FoExec::Scalar`]).
+    ///
+    /// Under [`FoExec::Vectorized`] the chunk loop instead drives the
+    /// counter-RNG SoA kernels: chunk invariance holds by construction
+    /// (report k depends only on `(seed ^ noise_seed, k)`), while the
+    /// results are a *different* pinned stream than the sequential paths.
     pub fn estimate_with(
         &self,
         scratch: &mut EstimateScratch,
@@ -239,9 +250,15 @@ impl LevelEstimator {
         };
 
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ noise_seed);
+        // The vectorized path keys its counter RNG with the same seed
+        // combination; report k of this call is a pure function of
+        // (key, k), so chunk boundaries and evaluation order cannot move
+        // any draw.
+        let ctr = CtrRng::new(self.config.seed ^ noise_seed);
         let chunk_size = self.config.exec_mode.chunk_for(users);
         scratch.supports.reset(domain.len());
         let mut report_bits = 0usize;
+        let mut chunk_base = 0u64;
 
         for chunk in group_items.chunks(chunk_size) {
             scratch.inputs.clear();
@@ -259,6 +276,7 @@ impl LevelEstimator {
                 FoExec::Batched => {
                     oracle.perturb_batch(&scratch.inputs, &mut rng, &mut scratch.reports);
                     oracle.aggregate_into(&scratch.reports, &mut scratch.supports);
+                    report_bits += scratch.reports.iter().map(Report::size_bits).sum::<usize>();
                 }
                 FoExec::Scalar => {
                     // The reference path: one perturb call per report and a
@@ -270,9 +288,24 @@ impl LevelEstimator {
                         scratch.reports.push(oracle.perturb(input, &mut rng));
                     }
                     scratch.supports.merge(&oracle.aggregate(&scratch.reports));
+                    report_bits += scratch.reports.iter().map(Report::size_bits).sum::<usize>();
+                }
+                FoExec::Vectorized => {
+                    // Counter-driven SoA kernels; `chunk_base` carries the
+                    // global report offset so any chunking yields the same
+                    // reports bit for bit.
+                    scratch.batch.clear();
+                    oracle.perturb_vectorized(
+                        &scratch.inputs,
+                        &ctr,
+                        chunk_base,
+                        &mut scratch.batch,
+                    );
+                    oracle.aggregate_vectorized(&scratch.batch, &mut scratch.supports);
+                    report_bits += scratch.batch.size_bits();
                 }
             }
-            report_bits += scratch.reports.iter().map(Report::size_bits).sum::<usize>();
+            chunk_base += chunk.len() as u64;
         }
         let estimate = oracle.estimate(&scratch.supports, users);
 
@@ -470,6 +503,88 @@ mod tests {
                 assert_eq!(got.frequencies, reference.frequencies, "{fo} auto");
             }
         }
+    }
+
+    #[test]
+    fn vectorized_execution_is_bit_identical_at_every_chunk_size() {
+        use crate::config::ExecMode;
+        use std::num::NonZeroUsize;
+        let base = config();
+        let items: Vec<u64> = (0..3001).map(|i| (i % 13) << 4 | (i % 7)).collect();
+        let candidates = vec![0b00u64, 0b01, 0b10, 0b11];
+        for fo in fedhh_fo::FoKind::ALL {
+            let eager = LevelEstimator::new(ProtocolConfig {
+                fo,
+                fo_exec: crate::config::FoExec::Vectorized,
+                exec_mode: ExecMode::Eager,
+                ..base
+            })
+            .unwrap();
+            let reference = eager.estimate(&candidates, 2, &items, 31);
+            for chunk in [1usize, 7, 64, usize::MAX] {
+                let chunked = LevelEstimator::new(ProtocolConfig {
+                    fo,
+                    fo_exec: crate::config::FoExec::Vectorized,
+                    exec_mode: ExecMode::Chunked(NonZeroUsize::new(chunk).unwrap()),
+                    ..base
+                })
+                .unwrap();
+                let got = chunked.estimate(&candidates, 2, &items, 31);
+                assert_eq!(got.frequencies, reference.frequencies, "{fo} chunk {chunk}");
+                assert_eq!(got.counts, reference.counts, "{fo} chunk {chunk}");
+                assert_eq!(got.report_bits, reference.report_bits, "{fo} chunk {chunk}");
+            }
+            // Deterministic per seed; a different noise seed moves it.
+            let again = eager.estimate(&candidates, 2, &items, 31);
+            assert_eq!(again.frequencies, reference.frequencies, "{fo} rerun");
+            let other = eager.estimate(&candidates, 2, &items, 32);
+            assert_ne!(other.frequencies, reference.frequencies, "{fo} reseed");
+        }
+    }
+
+    #[test]
+    fn vectorized_path_is_pinned_separately_from_the_sequential_paths() {
+        // Vectorized is *not* bit-compatible with Batched/Scalar at the
+        // same seed — it is its own pinned stream.  Both still estimate
+        // the same distribution: the dominant prefix agrees.
+        let base = config();
+        let items: Vec<u64> = (0..4000)
+            .map(|i| {
+                if i % 4 == 0 {
+                    0b0100_0000
+                } else {
+                    0b1000_0000 + (i % 64)
+                }
+            })
+            .collect();
+        let candidates = vec![0b00u64, 0b01, 0b10, 0b11];
+        for fo in fedhh_fo::FoKind::ALL {
+            let batched = LevelEstimator::new(ProtocolConfig { fo, ..base }).unwrap();
+            let vectorized = LevelEstimator::new(ProtocolConfig {
+                fo,
+                fo_exec: crate::config::FoExec::Vectorized,
+                ..base
+            })
+            .unwrap();
+            let a = batched.estimate(&candidates, 2, &items, 77);
+            let b = vectorized.estimate(&candidates, 2, &items, 77);
+            assert_ne!(a.frequencies, b.frequencies, "fo {fo}: paths should differ");
+            assert_eq!(a.top_t(1), b.top_t(1), "fo {fo}: same mechanism");
+            assert_eq!(a.report_bits, b.report_bits, "fo {fo}: same wire cost");
+        }
+    }
+
+    #[test]
+    fn fo_exec_names_round_trip() {
+        for exec in crate::config::FoExec::ALL {
+            assert_eq!(crate::config::FoExec::parse(exec.name()), Some(exec));
+            assert_eq!(exec.to_string(), exec.name());
+        }
+        assert_eq!(
+            crate::config::FoExec::parse("VEC"),
+            Some(crate::config::FoExec::Vectorized)
+        );
+        assert_eq!(crate::config::FoExec::parse("nope"), None);
     }
 
     #[test]

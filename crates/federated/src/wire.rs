@@ -415,11 +415,15 @@ fn fo_kind_from_u8(raw: u8) -> Result<FoKind, WireError> {
     }
 }
 
-/// Stable one-byte discriminants for [`FoExec`] (part of wire schema 1).
+/// Stable one-byte discriminants for [`FoExec`] (`Batched`/`Scalar` since
+/// wire schema 1, `Vectorized` added in schema 4).  The execution path
+/// rides in the handshake config so coordinator and parties can never mix
+/// pinned FO streams within one federation.
 fn fo_exec_to_u8(exec: FoExec) -> u8 {
     match exec {
         FoExec::Batched => 0,
         FoExec::Scalar => 1,
+        FoExec::Vectorized => 2,
     }
 }
 
@@ -427,6 +431,7 @@ fn fo_exec_from_u8(raw: u8) -> Result<FoExec, WireError> {
     match raw {
         0 => Ok(FoExec::Batched),
         1 => Ok(FoExec::Scalar),
+        2 => Ok(FoExec::Vectorized),
         other => Err(WireError::InvalidValue {
             what: "frequency oracle execution path",
             value: other as u64,
@@ -610,6 +615,10 @@ mod tests {
         round_trip(ProtocolConfig {
             fo: FoKind::Olh,
             fo_exec: FoExec::Scalar,
+            ..ProtocolConfig::test_default()
+        });
+        round_trip(ProtocolConfig {
+            fo_exec: FoExec::Vectorized,
             ..ProtocolConfig::test_default()
         });
         round_trip(ProtocolConfig {

@@ -6,7 +6,9 @@
 //! `q = 1 / (|X| − 1 + e^ε)` (Equation 1 of the paper).  It is the paper's
 //! default FO for all main experiments (m = 48, g = 24).
 
+use crate::batch::{ReportBatch, Repr};
 use crate::budget::PrivacyBudget;
+use crate::ctr::{self, CtrRng};
 use crate::error::FoError;
 use crate::estimate::{grr_variance, FrequencyEstimate, SupportCounts};
 use crate::oracle::FrequencyOracle;
@@ -100,6 +102,41 @@ impl FrequencyOracle for GrrOracle {
                 other as u32
             };
             out.push(Report::Item(value));
+        }
+    }
+
+    fn perturb_vectorized(&self, inputs: &[usize], rng: &CtrRng, base: u64, out: &mut ReportBatch) {
+        // Counter-addressed draws (draw 0: keep coin, draw 1: flip target)
+        // and a branch-free select; report k depends only on
+        // (key, base + k).
+        let t_p = ctr::bernoulli_threshold(self.p);
+        let d = self.domain_size;
+        let items = out.items_mut();
+        items.reserve(inputs.len());
+        for (offset, &input) in inputs.iter().enumerate() {
+            debug_assert!(input < d, "input index out of domain");
+            let s = rng.stream(base + offset as u64);
+            let keep = ctr::u53(s.word(0)) < t_p;
+            let mut other = ctr::bounded(s.word(1), (d - 1) as u64) as u32;
+            other += u32::from(other as usize >= input);
+            items.push(if keep { input as u32 } else { other });
+        }
+    }
+
+    fn aggregate_vectorized(&self, batch: &ReportBatch, supports: &mut SupportCounts) {
+        debug_assert_eq!(supports.slots(), self.domain_size);
+        match &batch.repr {
+            Repr::Items(items) => {
+                let counts = supports.as_mut_slice();
+                for &item in items {
+                    if let Some(c) = counts.get_mut(item as usize) {
+                        *c += 1.0;
+                    }
+                }
+                supports.record_reports(items.len());
+            }
+            // Foreign batch shape: fall back to the row-oriented path.
+            _ => self.aggregate_into(&batch.to_reports(), supports),
         }
     }
 

@@ -84,7 +84,43 @@
 //! assert_eq!(reports, scalar);
 //! assert_eq!(arena, oracle.aggregate(&reports));
 //! ```
-
+//!
+//! ## Vectorized hot path (0.8)
+//!
+//! [`FrequencyOracle::perturb_vectorized`] and
+//! [`FrequencyOracle::aggregate_vectorized`] are a third, deliberately
+//! *different* execution path: driven by the counter-based [`CtrRng`]
+//! (every draw a pure function of `(key, report, draw)`), they fill and
+//! consume structure-of-arrays [`ReportBatch`] arenas with branch-free
+//! kernels.  The output is deterministic per key and bit-identical across
+//! any chunking or evaluation order — but it is **not** the sequential RNG
+//! stream, so `Vectorized` results differ numerically from
+//! `Scalar`/`Batched` at the same seed (each path is pinned on its own).
+//!
+//! ```
+//! use fedhh_fo::{CtrRng, FoKind, FrequencyOracle, Oracle, PrivacyBudget, ReportBatch, SupportCounts};
+//!
+//! let oracle = Oracle::new(FoKind::Oue, PrivacyBudget::new(2.0).unwrap(), 8);
+//! let inputs = vec![3usize; 1000];
+//! let rng = CtrRng::new(42);
+//!
+//! // Whole batch at once...
+//! let mut whole = ReportBatch::new();
+//! oracle.perturb_vectorized(&inputs, &rng, 0, &mut whole);
+//!
+//! // ...or any chunking, as long as `base` carries the global offset.
+//! let mut chunked = ReportBatch::new();
+//! let mut arena = SupportCounts::zeros(8);
+//! for (i, chunk) in inputs.chunks(7).enumerate() {
+//!     chunked.clear();
+//!     oracle.perturb_vectorized(chunk, &rng, (i * 7) as u64, &mut chunked);
+//!     oracle.aggregate_vectorized(&chunked, &mut arena);
+//! }
+//!
+//! let mut whole_arena = SupportCounts::zeros(8);
+//! oracle.aggregate_vectorized(&whole, &mut whole_arena);
+//! assert_eq!(arena, whole_arena);
+//! ```
 //!
 //! This crate is the lowest protocol layer — `fedhh-federated`'s
 //! `LevelEstimator` drives these oracles for every trie level; the full
@@ -92,7 +128,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod budget;
+pub mod ctr;
 pub mod domain;
 pub mod error;
 pub mod estimate;
@@ -103,7 +141,9 @@ pub mod oracle;
 pub mod oue;
 pub mod report;
 
+pub use batch::{PackedBits, ReportBatch};
 pub use budget::PrivacyBudget;
+pub use ctr::CtrRng;
 pub use domain::{CandidateDomain, DomainIndex};
 pub use error::FoError;
 pub use estimate::{FrequencyEstimate, SupportCounts};

@@ -9,13 +9,62 @@
 //! matches OUE while keeping reports tiny, at the cost of hashing every
 //! candidate for every report during aggregation.
 
+use crate::batch::{ReportBatch, Repr};
 use crate::budget::PrivacyBudget;
+use crate::ctr::{self, CtrRng};
 use crate::error::FoError;
 use crate::estimate::{oue_variance, FrequencyEstimate, SupportCounts};
 use crate::hash::{olh_buckets, UniversalHash};
 use crate::oracle::FrequencyOracle;
 use crate::report::Report;
 use rand::Rng;
+
+/// Salt decorrelating the vectorized hash family from the counter RNG and
+/// from [`UniversalHash`]'s seed rotation.
+const VEC_HASH_SALT: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// Per-candidate half of the vectorized hash family, hoisted out of the
+/// per-report inner loop: a 64-bit murmur finalizer half folded to 32 bits.
+#[inline]
+fn vec_premix(candidate: u64) -> u32 {
+    let x = candidate ^ VEC_HASH_SALT;
+    let x = (x ^ (x >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    (x ^ (x >> 32)) as u32
+}
+
+/// Per-seed half of the vectorized hash family, hoisted once per report.
+#[inline]
+fn vec_preseed(seed: u64) -> u32 {
+    let x = (seed ^ (seed >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    (x ^ (x >> 32)) as u32
+}
+
+/// Combines the two hoisted halves into the 32-bit hash value (lowbias32
+/// scramble).  This is the only per-(candidate, report) work on the
+/// aggregation path; everything here is 32-bit on purpose, so the compiler
+/// can keep four hash lanes in flight per SSE register.
+#[inline]
+fn vec_combine(premix: u32, preseed: u32) -> u32 {
+    let x = premix ^ preseed;
+    let x = (x ^ (x >> 16)).wrapping_mul(0x7FEB_352D);
+    let x = (x ^ (x >> 15)).wrapping_mul(0x846C_A68B);
+    x ^ (x >> 16)
+}
+
+/// The vectorized family's bucket for a candidate under a seed: the 32-bit
+/// hash range-mapped onto `[0, buckets)` with Lemire's widening multiply —
+/// no hardware division anywhere on the aggregation path.
+#[inline]
+fn vec_bucket(premix: u32, preseed: u32, buckets: u32) -> u32 {
+    ((vec_combine(premix, preseed) as u64 * buckets as u64) >> 32) as u32
+}
+
+/// Lemire bucket boundary: the smallest hash value mapping to bucket `v`
+/// (so `bucket(h) == v  ⟺  h − boundary(v) < boundary(v+1) − boundary(v)`).
+#[inline]
+fn vec_boundary(v: u64, buckets: u64) -> u64 {
+    (v << 32).div_ceil(buckets)
+}
 
 /// The optimized local hashing oracle.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +166,82 @@ impl FrequencyOracle for OlhOracle {
             };
             out.push(Report::Hashed { seed, value });
         }
+    }
+
+    fn perturb_vectorized(&self, inputs: &[usize], rng: &CtrRng, base: u64, out: &mut ReportBatch) {
+        // Counter-addressed draws (0: hash seed, 1: keep coin, 2: flip
+        // target) into parallel seed/value columns.  The vectorized path
+        // uses its own division-free hash family (`vec_bucket`), pinned
+        // independently of the Scalar/Batched `UniversalHash` family —
+        // both sides of this path (perturb and aggregate) must agree, and
+        // they do because a batch never crosses an execution-path boundary.
+        let t_p = ctr::bernoulli_threshold(self.p);
+        let buckets = self.buckets;
+        let (seeds, values) = out.hashed_mut();
+        seeds.reserve(inputs.len());
+        values.reserve(inputs.len());
+        for (offset, &input) in inputs.iter().enumerate() {
+            debug_assert!(input < self.domain_size, "input index out of domain");
+            let s = rng.stream(base + offset as u64);
+            let seed = s.word(0);
+            let true_bucket = vec_bucket(vec_premix(input as u64), vec_preseed(seed), buckets);
+            let keep = ctr::u53(s.word(1)) < t_p;
+            let mut other = ctr::bounded(s.word(2), (buckets - 1) as u64) as u32;
+            other += u32::from(other >= true_bucket);
+            seeds.push(seed);
+            values.push(if keep { true_bucket } else { other });
+        }
+    }
+
+    fn aggregate_vectorized(&self, batch: &ReportBatch, supports: &mut SupportCounts) {
+        debug_assert_eq!(supports.slots(), self.domain_size);
+        let (seeds, values) = match &batch.repr {
+            Repr::Hashed { seeds, values } => (seeds, values),
+            // Foreign batch shape: the row-oriented path handles it.
+            _ => return self.aggregate_into(&batch.to_reports(), supports),
+        };
+        // Blocked inner loop with the per-candidate hash state hoisted:
+        // for each block of reports the per-report halves (preseed) and the
+        // reported bucket's Lemire interval [lo, lo+span) are computed
+        // once; the candidate loop then tests membership with one combine
+        // (two multiplies) and one compare per (candidate, report) pair.
+        let buckets = self.buckets as u64;
+        let interval: Vec<(u32, u32)> = (0..buckets)
+            .map(|v| {
+                let lo = vec_boundary(v, buckets);
+                let hi = vec_boundary(v + 1, buckets);
+                (lo as u32, (hi - lo) as u32)
+            })
+            .collect();
+        const BLOCK: usize = 256;
+        let counts = supports.as_mut_slice();
+        let mut pre = [0u32; BLOCK];
+        let mut lo = [0u32; BLOCK];
+        let mut span = [0u32; BLOCK];
+        for (start, seed_block) in seeds.chunks(BLOCK).enumerate().map(|(i, c)| (i * BLOCK, c)) {
+            let len = seed_block.len();
+            for (j, (&seed, &value)) in seed_block
+                .iter()
+                .zip(&values[start..start + len])
+                .enumerate()
+            {
+                pre[j] = vec_preseed(seed);
+                let (l, s) = interval[value as usize];
+                lo[j] = l;
+                span[j] = s;
+            }
+            let (pre, lo, span) = (&pre[..len], &lo[..len], &span[..len]);
+            for (candidate, slot) in counts.iter_mut().enumerate() {
+                let premix = vec_premix(candidate as u64);
+                let mut hits = 0u32;
+                for ((&p, &l), &s) in pre.iter().zip(lo).zip(span) {
+                    let h = vec_combine(premix, p);
+                    hits += u32::from(h.wrapping_sub(l) < s);
+                }
+                *slot += f64::from(hits);
+            }
+        }
+        supports.record_reports(seeds.len());
     }
 
     fn aggregate(&self, reports: &[Report]) -> SupportCounts {

@@ -8,14 +8,17 @@
 //! implementations behind a [`FoKind`] so that protocol code can switch FO
 //! by configuration, as the paper does in Section 7.3.
 
+use crate::batch::ReportBatch;
 use crate::budget::PrivacyBudget;
+use crate::ctr::CtrRng;
 use crate::error::FoError;
 use crate::estimate::{FrequencyEstimate, SupportCounts};
 use crate::grr::GrrOracle;
 use crate::olh::OlhOracle;
 use crate::oue::OueOracle;
 use crate::report::Report;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// The frequency-oracle interface shared by GRR, OUE and OLH.
 ///
@@ -58,6 +61,47 @@ pub trait FrequencyOracle {
     /// loop is allocation-free and a reused arena serves many calls.
     fn aggregate_into(&self, reports: &[Report], supports: &mut SupportCounts) {
         supports.merge(&self.aggregate(reports));
+    }
+
+    /// Perturbs a chunk of inputs with **counter-based** randomness: the
+    /// report for `inputs[k]` is a pure function of
+    /// `(rng.key(), base + k)`, independent of chunking and evaluation
+    /// order.
+    ///
+    /// This is the `FoExec::Vectorized` hot path.  Unlike
+    /// [`perturb_batch`](Self::perturb_batch) it does **not** reproduce the
+    /// sequential RNG stream — `Vectorized` is its own pinned output,
+    /// deterministic per key but numerically different from
+    /// `Scalar`/`Batched`.  The default implementation derives one
+    /// sequential RNG per report from the counter stream, so external
+    /// oracle implementations keep compiling (and stay chunk-invariant)
+    /// without writing a kernel.
+    fn perturb_vectorized(&self, inputs: &[usize], rng: &CtrRng, base: u64, out: &mut ReportBatch) {
+        for (offset, &input) in inputs.iter().enumerate() {
+            let mut derived = StdRng::seed_from_u64(rng.word(base + offset as u64, 0));
+            out.push(self.perturb(input, &mut derived));
+        }
+    }
+
+    /// Aggregates a structure-of-arrays report batch into a caller-owned
+    /// accumulator — the `FoExec::Vectorized` counterpart of
+    /// [`aggregate_into`](Self::aggregate_into).
+    ///
+    /// The contract is with [`perturb_vectorized`](Self::perturb_vectorized):
+    /// a batch produced by it must aggregate to the same supports no matter
+    /// how it was chunked (whole-number additions, so the fold is
+    /// order-independent).  An override may interpret its own batches with
+    /// machinery the row-oriented path does not share (the built-in OLH
+    /// kernel uses a division-free hash family on this path), which is safe
+    /// because a batch never crosses an execution-path boundary.  The
+    /// default implementation materializes the rows and defers to
+    /// `aggregate_into`.
+    fn aggregate_vectorized(&self, batch: &ReportBatch, supports: &mut SupportCounts) {
+        if let Some(reports) = batch.as_reports() {
+            self.aggregate_into(reports, supports);
+        } else {
+            self.aggregate_into(&batch.to_reports(), supports);
+        }
     }
 
     /// De-biases support counts into unbiased frequency estimates for `n`
@@ -200,6 +244,22 @@ impl FrequencyOracle for Oracle {
             Oracle::Grr(o) => o.perturb_batch(inputs, rng, out),
             Oracle::Oue(o) => o.perturb_batch(inputs, rng, out),
             Oracle::Olh(o) => o.perturb_batch(inputs, rng, out),
+        }
+    }
+
+    fn perturb_vectorized(&self, inputs: &[usize], rng: &CtrRng, base: u64, out: &mut ReportBatch) {
+        match self {
+            Oracle::Grr(o) => o.perturb_vectorized(inputs, rng, base, out),
+            Oracle::Oue(o) => o.perturb_vectorized(inputs, rng, base, out),
+            Oracle::Olh(o) => o.perturb_vectorized(inputs, rng, base, out),
+        }
+    }
+
+    fn aggregate_vectorized(&self, batch: &ReportBatch, supports: &mut SupportCounts) {
+        match self {
+            Oracle::Grr(o) => o.aggregate_vectorized(batch, supports),
+            Oracle::Oue(o) => o.aggregate_vectorized(batch, supports),
+            Oracle::Olh(o) => o.aggregate_vectorized(batch, supports),
         }
     }
 

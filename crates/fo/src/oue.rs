@@ -8,12 +8,24 @@
 //! independent of the domain size, which is why the paper recommends OUE for
 //! large domains.
 
+use crate::batch::{ReportBatch, Repr};
 use crate::budget::PrivacyBudget;
+use crate::ctr::{self, CtrRng};
 use crate::error::FoError;
 use crate::estimate::{oue_variance, FrequencyEstimate, SupportCounts};
 use crate::oracle::FrequencyOracle;
 use crate::report::Report;
 use rand::Rng;
+
+/// Bitsliced comparison planes per 64-slot block in the vectorized
+/// perturb kernel: the top `PLANES` bits of each slot's 53-bit uniform are
+/// drawn as whole `u64` words (one bit per slot) and compared against the
+/// flip threshold branch-free; only slots still tied after `PLANES` bits
+/// (probability 2⁻⁸ each) pay for a full-width fixup draw.
+const PLANES: usize = 8;
+
+/// Bits of the 53-bit uniform resolved by the tie-fixup draw.
+const LO_BITS: u32 = 53 - PLANES as u32;
 
 /// The optimized unary encoding oracle.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +98,95 @@ impl FrequencyOracle for OueOracle {
                 bits.push(rng.gen::<f64>() < threshold);
             }
             out.push(Report::Bits(bits));
+        }
+    }
+
+    fn perturb_vectorized(&self, inputs: &[usize], rng: &CtrRng, base: u64, out: &mut ReportBatch) {
+        // Branch-free bit-packed kernel: all 64 slots of a block flip their
+        // q-coins at once.  Per slot the 53-bit uniform is split as
+        // `u = u_hi · 2^45 | u_lo`; the top PLANES bits arrive *bitsliced*
+        // (plane word m carries bit `PLANES-1-m` of every slot's u_hi), so
+        // one pass of mask algebra decides `u_hi < t_hi` / `u_hi == t_hi`
+        // for the whole block.  Tied slots — expected 64/2^PLANES = 0.25
+        // per block — resolve `u_lo < t_lo` with one dedicated draw each.
+        //
+        // Draw layout per report (pure in the slot, so chunk-invariant):
+        //   draw 0                       — the true slot's p-coin
+        //   draws 1 + block·PLANES ..    — the block's q-coin planes
+        //   draws fix_base + slot        — tie fixups
+        let d = self.domain_size;
+        let words_per = d.div_ceil(64);
+        let t_p = ctr::bernoulli_threshold(self.p);
+        let t_q = ctr::bernoulli_threshold(self.q);
+        debug_assert!(t_q < 1 << 53, "q < 1 by construction");
+        let q_hi = t_q >> LO_BITS;
+        let q_lo = t_q & ((1u64 << LO_BITS) - 1);
+        let fix_base = 1 + (words_per * PLANES) as u64;
+        let packed = out.packed_mut(d);
+        packed.words.reserve(inputs.len() * words_per);
+        for (offset, &input) in inputs.iter().enumerate() {
+            debug_assert!(input < d, "input index out of domain");
+            let s = rng.stream(base + offset as u64);
+            let row_start = packed.words.len();
+            for block in 0..words_per {
+                let mut lt = 0u64; // slots already decided below threshold
+                let mut eq = !0u64; // slots still tied with the threshold
+                let first_draw = 1 + (block * PLANES) as u64;
+                for m in 0..PLANES {
+                    let plane = s.word(first_draw + m as u64);
+                    let t_m = 0u64.wrapping_sub((q_hi >> (PLANES - 1 - m)) & 1);
+                    lt |= eq & !plane & t_m;
+                    eq &= !(plane ^ t_m);
+                }
+                let lane_mask = if block == words_per - 1 && !d.is_multiple_of(64) {
+                    (1u64 << (d % 64)) - 1
+                } else {
+                    !0u64
+                };
+                let mut bits = lt & lane_mask;
+                if q_lo > 0 {
+                    let mut ties = eq & lane_mask;
+                    while ties != 0 {
+                        let lane = ties.trailing_zeros();
+                        let slot = (block * 64 + lane as usize) as u64;
+                        if s.word(fix_base + slot) >> (64 - LO_BITS) < q_lo {
+                            bits |= 1u64 << lane;
+                        }
+                        ties &= ties - 1;
+                    }
+                }
+                packed.words.push(bits);
+            }
+            // The true slot's coin uses threshold p, overwriting its q-coin.
+            let keep = ctr::u53(s.word(0)) < t_p;
+            let word = &mut packed.words[row_start + input / 64];
+            let bit = 1u64 << (input % 64);
+            *word = (*word & !bit) | (u64::from(keep) * bit);
+            packed.reports += 1;
+        }
+    }
+
+    fn aggregate_vectorized(&self, batch: &ReportBatch, supports: &mut SupportCounts) {
+        debug_assert_eq!(supports.slots(), self.domain_size);
+        match &batch.repr {
+            Repr::Packed(packed) if packed.width == self.domain_size => {
+                // Sparse popcount walk: at the recommended large-domain
+                // epsilons most bits are 0, so iterating set bits beats
+                // testing every slot.
+                let counts = supports.as_mut_slice();
+                for row in packed.words.chunks_exact(packed.words_per_report) {
+                    for (block, &word) in row.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            counts[block * 64 + bits.trailing_zeros() as usize] += 1.0;
+                            bits &= bits - 1;
+                        }
+                    }
+                }
+                supports.record_reports(packed.reports);
+            }
+            // Foreign batch shape or width: the row-oriented path handles it.
+            _ => self.aggregate_into(&batch.to_reports(), supports),
         }
     }
 

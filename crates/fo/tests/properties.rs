@@ -296,6 +296,141 @@ fn chunked_aggregation_matches_whole_batch() {
     }
 }
 
+/// The vectorized path is **chunk-invariant**: perturbing in chunks of 1,
+/// 7, 64 or all-at-once (with `base` carrying the global report offset)
+/// yields bit-identical reports and bit-identical supports, for every
+/// oracle kind, budget and domain in the grid.
+#[test]
+fn vectorized_path_is_chunk_invariant() {
+    use fedhh_fo::{CtrRng, ReportBatch, SupportCounts};
+
+    for kind in FoKind::ALL {
+        for eps in [0.5f64, 2.0, 6.0] {
+            for domain in [2usize, 5, 64, 257] {
+                for key in [1u64, 0xDEAD_BEEF] {
+                    let budget = PrivacyBudget::new(eps).unwrap();
+                    let oracle = Oracle::new(kind, budget, domain);
+                    let rng = CtrRng::new(key);
+                    let inputs: Vec<usize> = (0..500).map(|i| (i * 31) % domain).collect();
+
+                    let mut whole = ReportBatch::new();
+                    oracle.perturb_vectorized(&inputs, &rng, 0, &mut whole);
+                    assert_eq!(whole.len(), inputs.len());
+                    let want_reports = whole.to_reports();
+                    let mut want_supports = SupportCounts::zeros(domain);
+                    oracle.aggregate_vectorized(&whole, &mut want_supports);
+
+                    for chunk_size in [1usize, 7, 64, usize::MAX] {
+                        let chunk_size = chunk_size.min(inputs.len());
+                        let mut reports = Vec::new();
+                        let mut supports = SupportCounts::zeros(domain);
+                        let mut batch = ReportBatch::new();
+                        let mut base = 0u64;
+                        for chunk in inputs.chunks(chunk_size) {
+                            batch.clear();
+                            oracle.perturb_vectorized(chunk, &rng, base, &mut batch);
+                            oracle.aggregate_vectorized(&batch, &mut supports);
+                            reports.extend(batch.to_reports());
+                            base += chunk.len() as u64;
+                        }
+                        assert_eq!(
+                            reports, want_reports,
+                            "kind {kind} eps {eps} domain {domain} key {key} chunk {chunk_size}"
+                        );
+                        assert_eq!(
+                            supports, want_supports,
+                            "kind {kind} eps {eps} domain {domain} key {key} chunk {chunk_size}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The vectorized path is a pure function of the key: the same key
+/// reproduces the batch bit for bit, a different key changes it.
+#[test]
+fn vectorized_path_is_deterministic_per_key() {
+    use fedhh_fo::{CtrRng, ReportBatch};
+
+    for kind in FoKind::ALL {
+        let budget = PrivacyBudget::new(2.0).unwrap();
+        let oracle = Oracle::new(kind, budget, 32);
+        let inputs: Vec<usize> = (0..300).map(|i| i % 32).collect();
+
+        let mut a = ReportBatch::new();
+        let mut b = ReportBatch::new();
+        let mut c = ReportBatch::new();
+        oracle.perturb_vectorized(&inputs, &CtrRng::new(7), 0, &mut a);
+        oracle.perturb_vectorized(&inputs, &CtrRng::new(7), 0, &mut b);
+        oracle.perturb_vectorized(&inputs, &CtrRng::new(8), 0, &mut c);
+        assert_eq!(a, b, "kind {kind}: same key must reproduce the batch");
+        assert_ne!(a, c, "kind {kind}: different keys must differ");
+    }
+}
+
+/// For GRR and OUE the vectorized aggregation counts exactly like the
+/// row-oriented path over the materialized reports (OLH is exempt: its
+/// vectorized path is pinned to its own division-free hash family, so only
+/// the perturb+aggregate *pair* is comparable, which
+/// `vectorized_path_recovers_a_planted_mode` covers).
+#[test]
+fn vectorized_aggregation_matches_row_reference_for_grr_and_oue() {
+    use fedhh_fo::{CtrRng, ReportBatch, SupportCounts};
+
+    for kind in [FoKind::Grr, FoKind::Oue] {
+        for domain in [2usize, 63, 64, 65, 200] {
+            let budget = PrivacyBudget::new(1.5).unwrap();
+            let oracle = Oracle::new(kind, budget, domain);
+            let rng = CtrRng::new(99);
+            let inputs: Vec<usize> = (0..400).map(|i| (i * 13) % domain).collect();
+            let mut batch = ReportBatch::new();
+            oracle.perturb_vectorized(&inputs, &rng, 0, &mut batch);
+
+            let mut vectorized = SupportCounts::zeros(domain);
+            oracle.aggregate_vectorized(&batch, &mut vectorized);
+            let rows = batch.to_reports();
+            assert_eq!(
+                vectorized,
+                oracle.aggregate(&rows),
+                "kind {kind} domain {domain}"
+            );
+
+            // Wire-size accounting matches the row reports too.
+            let row_bits: usize = rows.iter().map(Report::size_bits).sum();
+            assert_eq!(batch.size_bits(), row_bits, "kind {kind} domain {domain}");
+        }
+    }
+}
+
+/// The whole vectorized pipeline (counter RNG → SoA perturb → blocked
+/// aggregate → de-bias) recovers a planted majority for every oracle kind,
+/// i.e. the new kernels implement the same mechanism, not just fast noise.
+#[test]
+fn vectorized_path_recovers_a_planted_mode() {
+    use fedhh_fo::{CtrRng, ReportBatch, SupportCounts};
+
+    for kind in FoKind::ALL {
+        for key in [1u64, 99, 123_456] {
+            let budget = PrivacyBudget::new(4.0).unwrap();
+            let domain = 8usize;
+            let oracle = Oracle::new(kind, budget, domain);
+            let inputs: Vec<usize> = (0..4000)
+                .map(|i| if i % 10 != 0 { 5 } else { (6 + i / 10) % 8 })
+                .collect();
+            let mut batch = ReportBatch::new();
+            oracle.perturb_vectorized(&inputs, &CtrRng::new(key), 0, &mut batch);
+            let mut supports = SupportCounts::zeros(domain);
+            oracle.aggregate_vectorized(&batch, &mut supports);
+            let est = oracle.estimate(&supports, inputs.len());
+            assert_eq!(est.top_k(1), vec![5], "kind {kind} key {key}");
+            let total: f64 = est.frequencies().iter().sum();
+            assert!((total - 1.0).abs() < 0.2, "kind {kind} key {key}: {total}");
+        }
+    }
+}
+
 /// Variance is monotone: more users or a larger budget never increases the
 /// estimator variance.
 #[test]

@@ -14,7 +14,7 @@
 //! mechanism handles statistical heterogeneity.
 //!
 //! The scenario-robustness matrix (`fedhh-bench scenario`) reports each
-//! attacked cell alongside its [`degradation`] from the benign baseline.
+//! attacked cell alongside its [`mod@degradation`] from the benign baseline.
 
 //!
 //! This crate scores finished runs (it sits beside the pipeline, not in

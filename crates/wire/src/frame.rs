@@ -22,8 +22,11 @@ use std::io::{Read, Write};
 /// History: schema 1 was the original 0.5 format; schema 2 (0.6) appended
 /// the execution-mode field to the protocol-configuration payload; schema 3
 /// (0.7) replaced the bare fault plan in the node welcome with the full
-/// scenario plan (faults + adversary model).
-pub const WIRE_SCHEMA: u8 = 3;
+/// scenario plan (faults + adversary model); schema 4 (0.8) added the
+/// `Vectorized` frequency-oracle execution path discriminant to the
+/// protocol configuration (older peers must not silently run a different
+/// pinned FO stream, so the version gate rejects them up front).
+pub const WIRE_SCHEMA: u8 = 4;
 
 /// The largest frame a reader will accept, in bytes (schema + payload +
 /// crc).  Guards against a corrupt length prefix allocating gigabytes.

@@ -5,13 +5,33 @@
 //!            [--listen HOST:PORT] [--seed S] [--quick] [--user-scale F]
 //!            [--k N] [--epsilon F] [--fo KIND] [--parallelism N]
 //!            [--dropout F] [--stragglers] [--scenario SPEC]
-//!            [--timeout-secs N] [--check-inmemory]
-//! fedhh-node party --connect HOST:PORT [--timeout-secs N]
+//!            [--timeout-secs N] [--check-inmemory] [--telemetry PATH]
+//! fedhh-node party --connect HOST:PORT [--timeout-secs N] [--telemetry PATH]
 //! fedhh-node service --mechanism <name> --dataset <name> [--epochs N]
 //!            [--churn F] [--drift N] [--warm {cold,previous}] [--epsilon F]
 //!            [--cap F] [--k N] [--seed S] [--quick] [--user-scale F]
 //!            [--parallelism N] [--checkpoint PATH] [--resume PATH]
-//!            [--epoch-delay-ms N]
+//!            [--epoch-delay-ms N] [--telemetry PATH]
+//! ```
+//!
+//! ## Machine-readable line grammar
+//!
+//! stdout carries **only** machine-readable lines; every human-readable
+//! note goes to stderr.  Each line is emitted through one helper
+//! ([`emit`]) that flushes stdout immediately, so a script reading the
+//! pipe never races a truncated line.  The complete grammar:
+//!
+//! ```text
+//! LISTEN <host:port>                      coordinator is accepting parties
+//! TOPK <value>...                         discovered heavy hitters, ranked
+//! COUNT <value> <f64-bits>                estimate, IEEE-754 bits (sorted)
+//! UPLINK <bits>                           total party→coordinator traffic
+//! DOWNLINK <bits>                         total coordinator→party traffic
+//! CHECK bit-identical to the in-memory engine     (--check-inmemory only)
+//! EPOCH <e> enrolled=<n> refused=<n> uplink=<bits> topk=<v,v,...>
+//! FINAL <e> TOPK <value>...               per-epoch summary, stable order
+//! FINAL <e> COUNT <code> <f64-bits>
+//! FINAL <e> UPLINK <bits> DOWNLINK <bits> ENROLLED <n> REFUSED <n>
 //! ```
 //!
 //! The coordinator binds its listener first and prints a machine-readable
@@ -43,6 +63,12 @@
 //! SIGKILLs the service mid-run and asserts exactly that.
 //! `--epoch-delay-ms N` sleeps between epochs so harnesses can time the
 //! kill reliably.
+//!
+//! `--telemetry PATH` attaches the telemetry plane (spans, uplink funnel,
+//! metric registry — see `fedhh_telemetry`) and writes a schema-versioned
+//! JSONL trace to PATH when the run completes, plus a human summary table
+//! on stderr.  Telemetry is inert: a run with a sink attached prints
+//! machine-readable lines bit-identical to an unobserved run's.
 
 use fedhh_bench::{partition_parties, ExperimentScale, NodeRunSpec};
 use fedhh_datasets::DatasetKind;
@@ -52,8 +78,55 @@ use fedhh_federated::{
 };
 use fedhh_fo::FoKind;
 use fedhh_mechanisms::{MechanismKind, MechanismOutput, Run};
+use fedhh_telemetry::{Telemetry, TraceLine};
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Prints one machine-readable stdout line and flushes it immediately.
+///
+/// Every stdout line of every mode goes through here — the module docs
+/// define the grammar — so scripts reading the pipe see each line the
+/// moment it is complete and never race a truncated one.
+fn emit(line: std::fmt::Arguments<'_>) {
+    let mut stdout = std::io::stdout().lock();
+    let _ = writeln!(stdout, "{line}");
+    let _ = stdout.flush();
+}
+
+/// Writes the run's telemetry as one mark-delimited JSONL trace section
+/// to `path` and prints the human summary table on stderr (stdout stays
+/// machine-readable).
+fn write_trace(path: &str, section: &str, telemetry: &Telemetry) -> Result<(), String> {
+    let file = std::fs::File::create(path)
+        .map_err(|err| format!("failed to create telemetry file {path}: {err}"))?;
+    let mut writer = std::io::BufWriter::new(file);
+    let mark = TraceLine::Mark {
+        name: section.to_string(),
+        runs: 1,
+    };
+    writeln!(writer, "{}", mark.to_json())
+        .map_err(|err| format!("failed to write telemetry file {path}: {err}"))?;
+    telemetry
+        .write_jsonl(&mut writer)
+        .map_err(|err| format!("failed to write telemetry file {path}: {err}"))?;
+    writer
+        .flush()
+        .map_err(|err| format!("failed to write telemetry file {path}: {err}"))?;
+    eprintln!("[fedhh-node] wrote telemetry {path}");
+    eprint!("{}", telemetry.summary().to_table());
+    Ok(())
+}
+
+/// The telemetry handle for a mode: recording when `--telemetry PATH` was
+/// given, disabled (and free) otherwise.
+fn telemetry_for(path: &Option<String>) -> Telemetry {
+    if path.is_some() {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,8 +148,8 @@ fn main() -> ExitCode {
                 "              [--parallelism N] [--dropout F] [--stragglers] \
                  [--scenario NAME:FRACTION[:SEED]]"
             );
-            eprintln!("              [--timeout-secs N] [--check-inmemory]");
-            eprintln!("  party --connect HOST:PORT [--timeout-secs N]");
+            eprintln!("              [--timeout-secs N] [--check-inmemory] [--telemetry PATH]");
+            eprintln!("  party --connect HOST:PORT [--timeout-secs N] [--telemetry PATH]");
             eprintln!(
                 "  service --mechanism <name> --dataset <name> [--epochs N] [--churn F] \
                  [--drift N]"
@@ -85,7 +158,7 @@ fn main() -> ExitCode {
                 "          [--warm {{cold,previous}}] [--epsilon F] [--cap F] [--k N] [--seed S]"
             );
             eprintln!("          [--quick] [--user-scale F] [--parallelism N] [--checkpoint PATH]");
-            eprintln!("          [--resume PATH] [--epoch-delay-ms N]");
+            eprintln!("          [--resume PATH] [--epoch-delay-ms N] [--telemetry PATH]");
             ExitCode::FAILURE
         }
     }
@@ -116,6 +189,7 @@ struct CoordinatorOptions {
     scenario: Option<(AdversaryModel, u64)>,
     timeout: Option<Duration>,
     check_inmemory: bool,
+    telemetry_path: Option<String>,
 }
 
 /// Parses a `--scenario` argument: `NAME:FRACTION[:SEED]`, where `NAME` is
@@ -189,6 +263,7 @@ fn parse_coordinator_options(args: &[String]) -> Result<CoordinatorOptions, Stri
         scenario: None,
         timeout: Some(Duration::from_secs(120)),
         check_inmemory: false,
+        telemetry_path: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -250,7 +325,15 @@ fn parse_coordinator_options(args: &[String]) -> Result<CoordinatorOptions, Stri
                 options.timeout = (secs > 0).then(|| Duration::from_secs(secs));
             }
             "--check-inmemory" => options.check_inmemory = true,
-            other => return Err(format!("unknown option {other}")),
+            "--telemetry" => {
+                i += 1;
+                options.telemetry_path = Some(parse_value("--telemetry", args.get(i))?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown option {other} for `fedhh-node coordinator`"
+                ))
+            }
         }
         i += 1;
     }
@@ -278,7 +361,7 @@ fn scale_of(options: &CoordinatorOptions) -> ExperimentScale {
 
 fn print_result(output: &MechanismOutput) {
     let topk: Vec<String> = output.heavy_hitters.iter().map(u64::to_string).collect();
-    println!("TOPK {}", topk.join(" "));
+    emit(format_args!("TOPK {}", topk.join(" ")));
     let mut counts: Vec<(u64, u64)> = output
         .counts
         .iter()
@@ -286,10 +369,13 @@ fn print_result(output: &MechanismOutput) {
         .collect();
     counts.sort_unstable();
     for (value, bits) in counts {
-        println!("COUNT {value} {bits}");
+        emit(format_args!("COUNT {value} {bits}"));
     }
-    println!("UPLINK {}", output.comm.total_uplink_bits());
-    println!("DOWNLINK {}", output.comm.total_downlink_bits());
+    emit(format_args!("UPLINK {}", output.comm.total_uplink_bits()));
+    emit(format_args!(
+        "DOWNLINK {}",
+        output.comm.total_downlink_bits()
+    ));
 }
 
 /// The bit-exact comparison used by `--check-inmemory`: top-k (order
@@ -365,9 +451,7 @@ fn coordinator_command(args: &[String]) -> ExitCode {
         Ok(addr) => {
             // The machine-readable line scripts wait for before spawning
             // the party processes.
-            println!("LISTEN {addr}");
-            use std::io::Write as _;
-            let _ = std::io::stdout().flush();
+            emit(format_args!("LISTEN {addr}"));
         }
         Err(err) => {
             eprintln!("[fedhh-node] failed to read bound address: {err}");
@@ -390,11 +474,16 @@ fn coordinator_command(args: &[String]) -> ExitCode {
         }
     };
 
+    // Inert by construction: the traced run's machine-readable lines are
+    // bit-identical to an unobserved run's (and `--check-inmemory` runs
+    // its untraced reference against this output to prove it).
+    let telemetry = telemetry_for(&options.telemetry_path);
     let output = match Run::mechanism(options.mechanism)
         .dataset(&dataset)
         .config(config)
         .engine(engine)
         .link(SessionLink::Coordinator(link))
+        .telemetry(&telemetry)
         .execute()
     {
         Ok(output) => output,
@@ -404,6 +493,13 @@ fn coordinator_command(args: &[String]) -> ExitCode {
         }
     };
     print_result(&output);
+    if let Some(path) = &options.telemetry_path {
+        let section = format!("node/{}", options.mechanism);
+        if let Err(err) = write_trace(path, &section, &telemetry) {
+            eprintln!("[fedhh-node] {err}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     if options.check_inmemory {
         let reference = match Run::mechanism(options.mechanism)
@@ -419,7 +515,7 @@ fn coordinator_command(args: &[String]) -> ExitCode {
             }
         };
         if outputs_match(&output, &reference) {
-            println!("CHECK bit-identical to the in-memory engine");
+            emit(format_args!("CHECK bit-identical to the in-memory engine"));
         } else {
             eprintln!("[fedhh-node] MISMATCH vs the in-memory engine:");
             eprintln!(
@@ -449,6 +545,7 @@ fn service_command(args: &[String]) -> ExitCode {
     let mut checkpoint_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
     let mut epoch_delay_ms: u64 = 0;
+    let mut telemetry_path: Option<String> = None;
     let mut i = 0;
     let mut parse = || -> Result<(), String> {
         while i < args.len() {
@@ -530,7 +627,11 @@ fn service_command(args: &[String]) -> ExitCode {
                     i += 1;
                     epoch_delay_ms = parse_value("--epoch-delay-ms", args.get(i))?;
                 }
-                other => return Err(format!("unknown option {other}")),
+                "--telemetry" => {
+                    i += 1;
+                    telemetry_path = Some(parse_value("--telemetry", args.get(i))?);
+                }
+                other => return Err(format!("unknown option {other} for `fedhh-node service`")),
             }
             i += 1;
         }
@@ -581,6 +682,10 @@ fn service_command(args: &[String]) -> ExitCode {
     if let Some(path) = &checkpoint_path {
         runner.checkpoint_to(path);
     }
+    // Each epoch runs under an `epoch` span; checkpoint writes land in the
+    // `checkpoint.write` span and the ledger's enrolled/refused gauges.
+    let telemetry = telemetry_for(&telemetry_path);
+    runner.set_telemetry(&telemetry);
 
     eprintln!(
         "[fedhh-node] service: {} on {} ({} epochs, churn {}, drift {}, warm {}, cap {:?})",
@@ -598,7 +703,7 @@ fn service_command(args: &[String]) -> ExitCode {
         match runner.step(&mut exec) {
             Ok(Some(record)) => {
                 // Live progress, one line per completed epoch.
-                println!(
+                emit(format_args!(
                     "EPOCH {} enrolled={} refused={} uplink={} topk={}",
                     record.epoch,
                     record.enrolled_users,
@@ -610,9 +715,7 @@ fn service_command(args: &[String]) -> ExitCode {
                         .map(u64::to_string)
                         .collect::<Vec<_>>()
                         .join(",")
-                );
-                use std::io::Write as _;
-                let _ = std::io::stdout().flush();
+                ));
                 if epoch_delay_ms > 0 && !runner.is_complete() {
                     std::thread::sleep(Duration::from_millis(epoch_delay_ms));
                 }
@@ -629,18 +732,29 @@ fn service_command(args: &[String]) -> ExitCode {
     // bit-for-bit between an interrupted+resumed run and a reference run.
     for record in runner.records() {
         let topk: Vec<String> = record.heavy_hitters.iter().map(u64::to_string).collect();
-        println!("FINAL {} TOPK {}", record.epoch, topk.join(" "));
+        emit(format_args!(
+            "FINAL {} TOPK {}",
+            record.epoch,
+            topk.join(" ")
+        ));
         for (code, bits) in &record.count_bits {
-            println!("FINAL {} COUNT {code} {bits}", record.epoch);
+            emit(format_args!("FINAL {} COUNT {code} {bits}", record.epoch));
         }
-        println!(
+        emit(format_args!(
             "FINAL {} UPLINK {} DOWNLINK {} ENROLLED {} REFUSED {}",
             record.epoch,
             record.uplink_bits,
             record.downlink_bits,
             record.enrolled_users,
             record.refused_users
-        );
+        ));
+    }
+    if let Some(path) = &telemetry_path {
+        let section = format!("service/{}", options.mechanism);
+        if let Err(err) = write_trace(path, &section, &telemetry) {
+            eprintln!("[fedhh-node] {err}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -648,6 +762,7 @@ fn service_command(args: &[String]) -> ExitCode {
 fn party_command(args: &[String]) -> ExitCode {
     let mut connect: Option<String> = None;
     let mut timeout = Some(Duration::from_secs(120));
+    let mut telemetry_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -671,15 +786,27 @@ fn party_command(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--telemetry" => {
+                i += 1;
+                match parse_value("--telemetry", args.get(i)) {
+                    Ok(path) => telemetry_path = Some(path),
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
-                eprintln!("unknown option {other}");
+                eprintln!("unknown option {other} for `fedhh-node party`");
                 return ExitCode::FAILURE;
             }
         }
         i += 1;
     }
     let Some(addr) = connect else {
-        eprintln!("usage: fedhh-node party --connect HOST:PORT [--timeout-secs N]");
+        eprintln!(
+            "usage: fedhh-node party --connect HOST:PORT [--timeout-secs N] [--telemetry PATH]"
+        );
         return ExitCode::FAILURE;
     };
 
@@ -706,11 +833,13 @@ fn party_command(args: &[String]) -> ExitCode {
     );
     let dataset = spec.build_dataset();
     let engine = EngineConfig::parallel(welcome.parallelism.max(1)).with_scenario(welcome.scenario);
+    let telemetry = telemetry_for(&telemetry_path);
     match Run::mechanism(spec.mechanism)
         .dataset(&dataset)
         .config(welcome.config)
         .engine(engine)
         .link(SessionLink::Party(link))
+        .telemetry(&telemetry)
         .execute()
     {
         Ok(output) => {
@@ -720,9 +849,20 @@ fn party_command(args: &[String]) -> ExitCode {
                 "[fedhh-node] party rank {rank} done: topk {:?}",
                 output.heavy_hitters
             );
+            if let Some(path) = &telemetry_path {
+                let section = format!("party{rank}/{}", spec.mechanism);
+                if let Err(err) = write_trace(path, &section, &telemetry) {
+                    eprintln!("[fedhh-node] {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(err) => {
+            // A coordinator Abort can land while a machine-readable line
+            // is still buffered; flush before exiting so a smoke script
+            // tailing the pipe never reads a truncated line.
+            let _ = std::io::stdout().flush();
             eprintln!("[fedhh-node] party rank {rank} failed: {err}");
             ExitCode::FAILURE
         }

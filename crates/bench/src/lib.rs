@@ -61,10 +61,13 @@ pub mod scenario;
 pub use epochs::{run_epochs, EpochServiceSpec, EpochsOptions, EpochsReport, MechanismExecutor};
 pub use experiments::BenchError;
 pub use nodespec::{partition_parties, NodeRunSpec};
-pub use perf::{check_report, run_suite, PerfEntry, PerfReport, PerfViolation};
+pub use perf::{
+    check_report, run_overhead_suite, run_suite, run_suite_traced, PerfEntry, PerfReport,
+    PerfViolation,
+};
 pub use report::ExperimentReport;
 pub use runner::{ExperimentScale, TrialMetrics};
-pub use scale::{run_scale, ScaleOptions, ScalePoint, ScaleReport};
+pub use scale::{run_scale, run_scale_traced, ScaleOptions, ScalePoint, ScaleReport};
 pub use scenario::{
     adversary_by_name, check_scenario, run_scenario, ScenarioOptions, ScenarioReport, ScenarioRow,
 };

@@ -4,6 +4,7 @@ use fedhh_datasets::{DatasetConfig, DatasetKind, FederatedDataset};
 use fedhh_federated::{EngineConfig, ProtocolConfig, ProtocolError};
 use fedhh_mechanisms::{Mechanism, MechanismKind, Run};
 use fedhh_metrics::{average_local_recall, f1_score, ncr_score};
+use fedhh_telemetry::Telemetry;
 
 /// How large the simulated populations are and how many repetitions each
 /// point is averaged over.  The paper runs every configuration 50 times on
@@ -133,11 +134,26 @@ pub fn run_engine_trial(
     config: &ProtocolConfig,
     engine: &EngineConfig,
 ) -> Result<TrialMetrics, ProtocolError> {
+    run_engine_trial_traced(mechanism, dataset, config, engine, &Telemetry::disabled())
+}
+
+/// Like [`run_engine_trial`] but with a [`Telemetry`] handle attached to the
+/// run.  A disabled handle makes this identical to the untraced path; an
+/// enabled one records the run's spans, counters and uplink trace into the
+/// handle for the caller to flush (`fedhh-bench trial --trace`).
+pub fn run_engine_trial_traced(
+    mechanism: &dyn Mechanism,
+    dataset: &FederatedDataset,
+    config: &ProtocolConfig,
+    engine: &EngineConfig,
+    telemetry: &Telemetry,
+) -> Result<TrialMetrics, ProtocolError> {
     let truth = dataset.ground_truth_top_k(config.k);
     let output = Run::custom(mechanism)
         .dataset(dataset)
         .config(*config)
         .engine(*engine)
+        .telemetry(telemetry)
         .execute()?;
     let locals: Vec<Vec<u64>> = output
         .local_results
@@ -177,7 +193,28 @@ pub fn averaged_engine_trial(
     engine: &EngineConfig,
     configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
 ) -> Result<TrialMetrics, ProtocolError> {
-    averaged_engine_trial_with(kind, scale, engine, configure, |seed| {
+    averaged_engine_trial_traced(
+        kind,
+        dataset_kind,
+        scale,
+        engine,
+        &Telemetry::disabled(),
+        configure,
+    )
+}
+
+/// Like [`averaged_engine_trial`] but with a [`Telemetry`] handle shared by
+/// every repetition, so `fedhh-bench trial --trace` captures all of them in
+/// one trace file.
+pub fn averaged_engine_trial_traced(
+    kind: MechanismKind,
+    dataset_kind: DatasetKind,
+    scale: &ExperimentScale,
+    engine: &EngineConfig,
+    telemetry: &Telemetry,
+    configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
+) -> Result<TrialMetrics, ProtocolError> {
+    averaged_engine_trial_with(kind, scale, engine, telemetry, configure, |seed| {
         scale.dataset_config(seed).build(dataset_kind)
     })
 }
@@ -194,6 +231,7 @@ pub fn averaged_trial_with(
         kind,
         scale,
         &EngineConfig::from_env(),
+        &Telemetry::disabled(),
         configure,
         build_dataset,
     )
@@ -206,6 +244,7 @@ fn averaged_engine_trial_with(
     kind: MechanismKind,
     scale: &ExperimentScale,
     engine: &EngineConfig,
+    telemetry: &Telemetry,
     configure: impl Fn(ProtocolConfig) -> ProtocolConfig,
     build_dataset: impl Fn(u64) -> FederatedDataset,
 ) -> Result<TrialMetrics, ProtocolError> {
@@ -215,7 +254,7 @@ fn averaged_engine_trial_with(
             let seed = 1000 + rep * 7919;
             let dataset = build_dataset(seed);
             let config = configure(scale.protocol_config(seed ^ 0xBEEF));
-            run_engine_trial(mechanism.as_ref(), &dataset, &config, engine)
+            run_engine_trial_traced(mechanism.as_ref(), &dataset, &config, engine, telemetry)
         })
         .collect::<Result<_, _>>()?;
     Ok(TrialMetrics::mean(&trials))

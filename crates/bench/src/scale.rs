@@ -86,6 +86,7 @@ use crate::report::json_string;
 use fedhh_datasets::{DatasetConfig, DatasetKind};
 use fedhh_federated::{EngineConfig, ExecMode, ProtocolConfig};
 use fedhh_mechanisms::{MechanismKind, Run};
+use fedhh_telemetry::{Telemetry, TraceLine};
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 
@@ -347,6 +348,18 @@ fn parse_vm_hwm(status: &str) -> Option<u64> {
 /// schema's ordering invariant (and the "last point is the peak
 /// population" reading) true for any CLI input.
 pub fn run_scale(options: &ScaleOptions) -> Result<ScaleReport, String> {
+    run_scale_traced(options, None)
+}
+
+/// Like [`run_scale`] but with an optional JSONL trace sink
+/// (`fedhh-bench scale --trace`).  Each sweep point runs with a fresh
+/// [`Telemetry`] sink flushed as one mark-delimited section named
+/// `scale/<user_scale>` with `runs = 1`, so the section's `uplink.bits`
+/// counter must equal the point's `uplink_bits` field exactly.
+pub fn run_scale_traced(
+    options: &ScaleOptions,
+    mut trace: Option<&mut dyn std::io::Write>,
+) -> Result<ScaleReport, String> {
     let mut user_scales = options.user_scales.clone();
     user_scales.sort_by(f64::total_cmp);
     let mut points = Vec::with_capacity(user_scales.len());
@@ -359,12 +372,26 @@ pub fn run_scale(options: &ScaleOptions) -> Result<ScaleReport, String> {
         };
         let users = dataset.total_users();
         let config = options.protocol_config();
+        let telemetry = if trace.is_some() {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        };
         let output = Run::mechanism(options.mechanism)
             .dataset(&dataset)
             .config(config)
             .engine(EngineConfig::parallel(options.parallelism))
+            .telemetry(&telemetry)
             .execute()
             .map_err(|e| format!("scale point user_scale={user_scale}: {e}"))?;
+        if let Some(w) = trace.as_deref_mut() {
+            let mark = TraceLine::Mark {
+                name: format!("scale/{user_scale}"),
+                runs: 1,
+            };
+            writeln!(w, "{}", mark.to_json()).map_err(|e| e.to_string())?;
+            telemetry.write_jsonl(w).map_err(|e| e.to_string())?;
+        }
         let secs = output.elapsed.as_secs_f64().max(1e-9);
         points.push(ScalePoint {
             user_scale,

@@ -13,7 +13,7 @@
 
 use crate::extension::ExtensionStrategy;
 use crate::mechanism::{Mechanism, MechanismOutput};
-use crate::pem::run_pem;
+use crate::pem::run_pem_traced;
 use crate::run::RunContext;
 use crate::tap::locals_from_reports;
 use fedhh_federated::{
@@ -66,6 +66,7 @@ struct FedPemDriver<'a> {
     config: ProtocolConfig,
     extension: ExtensionStrategy,
     seed: u64,
+    telemetry: fedhh_telemetry::Telemetry,
 }
 
 impl PartyDriver for FedPemDriver<'_> {
@@ -74,12 +75,13 @@ impl PartyDriver for FedPemDriver<'_> {
     }
 
     fn run_round(&mut self, _input: &RoundInput) -> Result<RoundOutcome, ProtocolError> {
-        let outcome = run_pem(
+        let outcome = run_pem_traced(
             self.name,
             &self.items,
             &self.config,
             self.extension,
             self.seed,
+            &self.telemetry,
         )?;
         let report = outcome.local.to_report(self.config.granularity);
         let mut round = RoundOutcome::default();
@@ -123,6 +125,7 @@ impl Mechanism for FedPem {
                 config,
                 extension,
                 seed: ctx.party_seed(idx),
+                telemetry: ctx.telemetry().clone(),
             })
             .collect();
 

@@ -29,6 +29,7 @@ use fedhh_federated::{
     Broadcast, EstimateScratch, GroupAssignment, LevelEstimated, LevelEstimator, PartyDriver,
     ProtocolConfig, ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase, PAIR_BITS,
 };
+use fedhh_telemetry::SpanName;
 use fedhh_trie::extend_prefix_values;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -134,7 +135,11 @@ impl Mechanism for Gtf {
                     estimator: &estimator,
                     config,
                     seed: ctx.party_seed(idx),
-                    scratch: EstimateScratch::new(),
+                    scratch: {
+                        let mut scratch = EstimateScratch::new();
+                        scratch.set_telemetry(ctx.telemetry());
+                        scratch
+                    },
                 })
             })
             .collect::<Result<_, ProtocolError>>()?;
@@ -152,6 +157,7 @@ impl Mechanism for Gtf {
 
         ctx.phase(RunPhase::LocalEstimation);
         for (round, h) in schedule.levels().enumerate() {
+            let _level_span = ctx.telemetry().span_idx(SpanName::Level, u64::from(h));
             let input = RoundInput {
                 round: round as u32,
                 broadcast: Broadcast::Candidates {

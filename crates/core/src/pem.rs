@@ -13,6 +13,7 @@ use fedhh_datasets::ItemStream;
 use fedhh_federated::{
     EstimateScratch, GroupAssignment, LevelEstimate, LevelEstimator, ProtocolConfig, ProtocolError,
 };
+use fedhh_telemetry::{SpanName, Telemetry};
 use fedhh_trie::extend_prefix_values;
 
 /// Diagnostics of one PEM level inside one party, kept so callers (and run
@@ -79,6 +80,27 @@ pub fn run_pem(
     extension: ExtensionStrategy,
     noise_seed: u64,
 ) -> Result<PemPartyOutcome, ProtocolError> {
+    run_pem_traced(
+        party_name,
+        items,
+        config,
+        extension,
+        noise_seed,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_pem`] with a telemetry handle: each trie level runs under a
+/// `level` span and the estimator's perturb/aggregate kernels are timed.
+/// The outcome is bit-identical to [`run_pem`] — telemetry only observes.
+pub fn run_pem_traced(
+    party_name: &str,
+    items: &ItemStream,
+    config: &ProtocolConfig,
+    extension: ExtensionStrategy,
+    noise_seed: u64,
+    telemetry: &Telemetry,
+) -> Result<PemPartyOutcome, ProtocolError> {
     config.validate()?;
     let schedule = config.schedule();
     let user_count = items.len();
@@ -98,8 +120,10 @@ pub fn run_pem(
     // One batched-estimation arena for the whole party: report buffers and
     // support counts are allocated once and reused level after level.
     let mut scratch = EstimateScratch::new();
+    scratch.set_telemetry(telemetry);
 
     for h in schedule.levels() {
+        let _level_span = telemetry.span_idx(SpanName::Level, u64::from(h));
         let step = schedule.step(h);
         let len = schedule.prefix_len(h);
         let candidates = extend_prefix_values(&current, current_len, step);

@@ -33,6 +33,7 @@ use fedhh_federated::{
     ProtocolError, PruningDecision, RoundCollection, RunObserver, RunPhase, RunSummary, Session,
     SessionLink,
 };
+use fedhh_telemetry::{Counter, SpanGuard, SpanName, Telemetry};
 
 /// Everything a mechanism needs while executing one run: the dataset, the
 /// validated configuration, the communication tracker, the seeded randomness
@@ -50,6 +51,10 @@ pub struct RunContext<'a> {
     observer: &'a mut dyn RunObserver,
     link: Option<SessionLink>,
     warm: Option<Vec<u64>>,
+    telemetry: Telemetry,
+    /// The currently open `phase` span; replaced on every
+    /// [`RunContext::phase`] call so phases tile the run's timeline.
+    phase_span: Option<SpanGuard>,
 }
 
 impl<'a> RunContext<'a> {
@@ -71,7 +76,27 @@ impl<'a> RunContext<'a> {
             observer,
             link: None,
             warm: None,
+            telemetry: Telemetry::disabled(),
+            phase_span: None,
         }
+    }
+
+    /// Returns the context with a telemetry handle attached.  The handle
+    /// fans out from here: sessions created by [`RunContext::session`]
+    /// carry it into the engine and transport, and the uplink funnel
+    /// ([`RunContext::level_estimated`]) mirrors every recorded upload
+    /// into the trace.  Observation only — attaching a handle never
+    /// changes a run's output.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// The run's telemetry handle (disabled unless one was attached).
+    /// Mechanisms use this to open `level` spans in their drivers and to
+    /// attach the handle to their [`fedhh_federated::EstimateScratch`]es.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Returns the context with a different engine configuration.
@@ -108,7 +133,11 @@ impl<'a> RunContext<'a> {
     /// rather than calling [`Session::new`] directly — that is what routes
     /// a `fedhh-node` run's rounds through the coordinator exchange.
     pub fn session(&mut self, party_count: usize) -> Result<Session, ProtocolError> {
-        Session::with_link(&self.engine, party_count, self.link.take())
+        let mut session = Session::with_link(&self.engine, party_count, self.link.take())?;
+        if self.telemetry.is_enabled() {
+            session.set_telemetry(&self.telemetry);
+        }
+        Ok(session)
     }
 
     /// Returns the context with warm-start candidates attached (see
@@ -227,8 +256,21 @@ impl<'a> RunContext<'a> {
         self.config.seed ^ (party_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
-    /// Announces a protocol phase to the observer.
+    /// Announces a protocol phase to the observer.  Under telemetry the
+    /// previous `phase` span closes and a new one opens, indexed by the
+    /// phase's ordinal, so phases tile the run's timeline end to end.
     pub fn phase(&mut self, phase: RunPhase) {
+        if self.telemetry.is_enabled() {
+            let idx = match phase {
+                RunPhase::SharedTrie => 0,
+                RunPhase::LocalEstimation => 1,
+                RunPhase::Aggregation => 2,
+            };
+            // Drop the old guard *before* opening the new span so the
+            // recorded intervals do not overlap.
+            self.phase_span = None;
+            self.phase_span = Some(self.telemetry.span_idx(SpanName::Phase, idx));
+        }
         self.observer.phase_started(phase);
     }
 
@@ -244,6 +286,12 @@ impl<'a> RunContext<'a> {
         }
         if event.uplink_bits > 0 {
             self.comm.record_uplink(&event.party, event.uplink_bits);
+            // Telemetry joins the same funnel that feeds the tracker and
+            // the observer, so trace-derived uplink totals equal both by
+            // construction — the reconciliation invariant is structural,
+            // not a property any mechanism has to re-earn.
+            self.telemetry
+                .trace_uplink(&event.party, event.level, event.uplink_bits as u64);
         }
         self.observer.level_estimated(&event);
     }
@@ -277,6 +325,7 @@ impl<'a> RunContext<'a> {
     pub fn record_downlink(&mut self, party: &str, bits: usize) {
         if bits > 0 {
             self.comm.record_downlink(party, bits);
+            self.telemetry.add(Counter::DownlinkBits, bits as u64);
         }
     }
 
@@ -312,6 +361,8 @@ impl<'a> RunContext<'a> {
     }
 
     fn finish(&mut self, mechanism: &str, output: &MechanismOutput) {
+        // Close the final phase span before the run summary fires.
+        self.phase_span = None;
         self.observer.run_finished(&RunSummary {
             mechanism: mechanism.to_string(),
             heavy_hitters: output.heavy_hitters.len(),
@@ -347,6 +398,7 @@ pub struct Run<'a> {
     observer: Option<&'a mut dyn RunObserver>,
     link: Option<SessionLink>,
     warm: Option<Vec<u64>>,
+    telemetry: Telemetry,
 }
 
 impl<'a> Run<'a> {
@@ -370,6 +422,7 @@ impl<'a> Run<'a> {
             observer: None,
             link: None,
             warm: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -401,6 +454,16 @@ impl<'a> Run<'a> {
     /// Attaches an observer that receives phase/level/pruning events.
     pub fn observer(mut self, observer: &'a mut dyn RunObserver) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a telemetry sink: the run executes under a `run` span,
+    /// phases/rounds/levels and the estimator kernels are timed, and every
+    /// uplink record is mirrored into the trace.  The sink is strictly
+    /// observational — [`MechanismOutput`] is bit-identical with or
+    /// without it (the inertness invariant; see `ARCHITECTURE.md`).
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
         self
     }
 
@@ -454,10 +517,14 @@ impl<'a> Run<'a> {
             None => &mut null,
         };
         let mechanism = self.mechanism.as_dyn();
+        // Declared before the context so the `run` span closes after the
+        // context's final phase span — spans nest properly in the trace.
+        let _run_span = self.telemetry.span(SpanName::Run);
         let mut ctx = RunContext::new(dataset, self.config, observer)
             .with_engine(engine)
             .with_link(self.link)
-            .with_warm_start(self.warm);
+            .with_warm_start(self.warm)
+            .with_telemetry(&self.telemetry);
         let output = mechanism.execute(&mut ctx)?;
         ctx.finish(mechanism.name(), &output);
         Ok(output)

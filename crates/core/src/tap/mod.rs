@@ -26,6 +26,7 @@ use fedhh_federated::{
     GroupAssignment, LevelEstimate, LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig,
     ProtocolError, RoundInput, RoundOutcome, RoundPayload, RunPhase,
 };
+use fedhh_telemetry::{SpanName, Telemetry};
 use fedhh_trie::extend_prefix_values;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -145,6 +146,9 @@ pub(crate) struct TapPhase2Driver<'a> {
     pub(crate) debug: bool,
     /// Per-driver batched estimation arena.
     pub(crate) scratch: EstimateScratch,
+    /// Telemetry handle for the per-level spans (disabled handles are
+    /// inert, so untraced runs pay one branch per level).
+    pub(crate) telemetry: Telemetry,
 }
 
 impl PartyDriver for TapPhase2Driver<'_> {
@@ -164,6 +168,7 @@ impl PartyDriver for TapPhase2Driver<'_> {
         let gs = config.shared_levels();
         let mut round = RoundOutcome::default();
         for h in (gs + 1)..=config.granularity {
+            let _level_span = self.telemetry.span_idx(SpanName::Level, u64::from(h));
             let (candidates, estimate) =
                 self.party
                     .estimate_level(&mut self.scratch, self.estimator, &config, h, None, &[]);
@@ -325,7 +330,12 @@ impl Mechanism for Tap {
                 config,
                 extension: self.extension,
                 debug,
-                scratch: EstimateScratch::new(),
+                scratch: {
+                    let mut scratch = EstimateScratch::new();
+                    scratch.set_telemetry(ctx.telemetry());
+                    scratch
+                },
+                telemetry: ctx.telemetry().clone(),
             })
             .collect();
         let collection = session.run_round(&mut drivers, &active, &input)?;

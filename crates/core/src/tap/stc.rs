@@ -23,6 +23,7 @@ use fedhh_federated::{
     LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, RoundInput, RoundOutcome,
     RoundPayload, RunPhase, Session, PAIR_BITS,
 };
+use fedhh_telemetry::{SpanName, Telemetry};
 
 /// One party's Phase I round: estimate levels 1..=g_s with the configured
 /// extension and upload the level-g_s candidate report.
@@ -34,6 +35,8 @@ pub(crate) struct Phase1Driver<'a> {
     pub(crate) gs: u8,
     /// Per-driver batched estimation arena.
     pub(crate) scratch: EstimateScratch,
+    /// Telemetry handle for the per-level spans (inert when disabled).
+    pub(crate) telemetry: Telemetry,
 }
 
 impl PartyDriver for Phase1Driver<'_> {
@@ -46,6 +49,7 @@ impl PartyDriver for Phase1Driver<'_> {
         // Estimate levels 1..=g_s on the Phase I user groups, extending
         // adaptively (Algorithm 2, lines 2–8).
         for h in 1..=self.gs {
+            let _level_span = self.telemetry.span_idx(SpanName::Level, u64::from(h));
             let (candidates, estimate) = self.party.estimate_level(
                 &mut self.scratch,
                 self.estimator,
@@ -120,7 +124,12 @@ pub(crate) fn shared_trie_construction(
             config,
             extension,
             gs,
-            scratch: EstimateScratch::new(),
+            scratch: {
+                let mut scratch = EstimateScratch::new();
+                scratch.set_telemetry(ctx.telemetry());
+                scratch
+            },
+            telemetry: ctx.telemetry().clone(),
         })
         .collect();
     let collection = session.run_round(&mut drivers, &active, &input)?;

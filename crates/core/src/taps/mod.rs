@@ -29,6 +29,7 @@ use fedhh_federated::{
     LevelEstimated, LevelEstimator, PartyDriver, ProtocolConfig, ProtocolError, PruneCandidates,
     PruneDictionary, PruningDecision, RoundInput, RoundOutcome, RoundPayload, RunPhase, PAIR_BITS,
 };
+use fedhh_telemetry::{SpanName, Telemetry};
 use pruning::{consensus_pruning_set, population_confidence, select_prune_candidates};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -104,6 +105,8 @@ struct TapsChainDriver<'a> {
     total_users: usize,
     /// Per-driver batched estimation arena (levels and validation splits).
     scratch: EstimateScratch,
+    /// Telemetry handle for the per-level spans (inert when disabled).
+    telemetry: Telemetry,
 }
 
 impl PartyDriver for TapsChainDriver<'_> {
@@ -126,6 +129,7 @@ impl PartyDriver for TapsChainDriver<'_> {
         let mut round = RoundOutcome::default();
         let mut own_dictionary = PruneDictionary::default();
         for h in (gs + 1)..=g {
+            let _level_span = self.telemetry.span_idx(SpanName::Level, u64::from(h));
             let pruning_level = Taps::is_pruning_level(h, g, gs);
             let schedule = config.schedule();
             let len = schedule.prefix_len(h);
@@ -339,7 +343,12 @@ impl Mechanism for Taps {
                 use_pruning: self.use_pruning,
                 is_last,
                 total_users,
-                scratch: EstimateScratch::new(),
+                scratch: {
+                    let mut scratch = EstimateScratch::new();
+                    scratch.set_telemetry(ctx.telemetry());
+                    scratch
+                },
+                telemetry: ctx.telemetry().clone(),
             };
             let collection = session.run_solo_round(party_idx, &mut driver, &input)?;
             ctx.replay(&collection);

@@ -156,6 +156,18 @@ pub fn save(path: &Path, checkpoint: &Checkpoint) -> Result<(), WireError> {
     Ok(())
 }
 
+/// [`save`], timed under a `checkpoint.write` span.  The span covers the
+/// full atomic sequence — encode, temp write, fsync, rename — which is the
+/// latency an epoch step actually pays for durability.
+pub fn save_traced(
+    path: &Path,
+    checkpoint: &Checkpoint,
+    telemetry: &fedhh_telemetry::Telemetry,
+) -> Result<(), WireError> {
+    let _span = telemetry.span(fedhh_telemetry::SpanName::CheckpointWrite);
+    save(path, checkpoint)
+}
+
 /// Loads a checkpoint, verifying frame CRC, wire schema and
 /// [`CHECKPOINT_SCHEMA`].  Malformed input of any kind — truncation,
 /// corruption, foreign schema, trailing bytes — yields a typed

@@ -46,6 +46,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::error::ProtocolError;
+use fedhh_telemetry::{Gauge, SpanName, Telemetry};
 use fedhh_wire::WireError;
 
 /// How epoch *e+1*'s candidate trie relates to epoch *e*'s outcome.
@@ -283,6 +284,7 @@ pub struct EpochRunner {
     spec: Vec<u8>,
     state: EpochState,
     checkpoint_path: Option<std::path::PathBuf>,
+    telemetry: Telemetry,
 }
 
 impl EpochRunner {
@@ -294,6 +296,7 @@ impl EpochRunner {
             spec,
             state: EpochState::default(),
             checkpoint_path: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -319,7 +322,17 @@ impl EpochRunner {
             spec,
             state: checkpoint.state,
             checkpoint_path: None,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: each [`EpochRunner::step`] runs under
+    /// an `epoch` span, the budget-ledger occupancy lands on the
+    /// `budget.enrolled` / `budget.refused` gauges, and checkpoint writes
+    /// are timed under `checkpoint.write`.  Observation only — never
+    /// changes what `step` returns.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     /// Enables checkpointing: after every completed epoch the state is
@@ -371,6 +384,7 @@ impl EpochRunner {
             return Ok(None);
         }
         let epoch = self.state.next_epoch;
+        let _epoch_span = self.telemetry.span_idx(SpanName::Epoch, u64::from(epoch));
         let populations = exec.population(epoch)?;
         self.state.ledger.advance_population(&populations);
         let enrollment = self
@@ -382,6 +396,9 @@ impl EpochRunner {
             .map(|m| m.iter().filter(|&&e| e).count() as u64)
             .sum();
         let total: u64 = enrollment.iter().map(|m| m.len() as u64).sum();
+        self.telemetry.set_gauge(Gauge::BudgetEnrolled, enrolled);
+        self.telemetry
+            .set_gauge(Gauge::BudgetRefused, total - enrolled);
         if enrolled == 0 {
             return Err(ProtocolError::BudgetExhausted { epoch });
         }
@@ -410,7 +427,7 @@ impl EpochRunner {
         });
         self.state.next_epoch += 1;
         if let Some(path) = &self.checkpoint_path {
-            crate::checkpoint::save(path, &self.checkpoint())?;
+            crate::checkpoint::save_traced(path, &self.checkpoint(), &self.telemetry)?;
         }
         Ok(self.state.records.last())
     }

@@ -13,6 +13,7 @@ use fedhh_fo::{
     CandidateDomain, CtrRng, FrequencyOracle, Oracle, PrivacyBudget, Report, ReportBatch,
     SupportCounts,
 };
+use fedhh_telemetry::{SpanName, Telemetry};
 use fedhh_trie::Prefix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,6 +55,10 @@ pub struct EstimateScratch {
     supports: SupportCounts,
     /// Cached oracle, keyed by (kind, ε bits, domain size).
     oracle: Option<(fedhh_fo::FoKind, u64, usize, Oracle)>,
+    /// Telemetry handle: when enabled, each chunk's perturbation and
+    /// aggregation run under `perturb` / `aggregate` spans.  Disabled by
+    /// default — a fresh scratch records nothing.
+    telemetry: Telemetry,
 }
 
 impl EstimateScratch {
@@ -66,7 +71,16 @@ impl EstimateScratch {
             batch: ReportBatch::new(),
             supports: SupportCounts::zeros(0),
             oracle: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; subsequent
+    /// [`LevelEstimator::estimate_with`] calls using this scratch time
+    /// their perturb/aggregate kernels under it.  Observation only — the
+    /// estimates are bit-identical with or without it.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     /// Returns the cached oracle for this configuration, constructing (and
@@ -256,6 +270,10 @@ impl LevelEstimator {
         // any draw.
         let ctr = CtrRng::new(self.config.seed ^ noise_seed);
         let chunk_size = self.config.exec_mode.chunk_for(users);
+        // Cloned out of the scratch so the spans below don't fight the
+        // buffer borrows (a handle is one `Option<Arc>` — the clone is
+        // cheaper than a clock read).
+        let telemetry = scratch.telemetry.clone();
         scratch.supports.reset(domain.len());
         let mut report_bits = 0usize;
         let mut chunk_base = 0u64;
@@ -274,7 +292,11 @@ impl LevelEstimator {
             scratch.reports.clear();
             match self.config.fo_exec {
                 FoExec::Batched => {
-                    oracle.perturb_batch(&scratch.inputs, &mut rng, &mut scratch.reports);
+                    {
+                        let _perturb = telemetry.span(SpanName::Perturb);
+                        oracle.perturb_batch(&scratch.inputs, &mut rng, &mut scratch.reports);
+                    }
+                    let _aggregate = telemetry.span(SpanName::Aggregate);
                     oracle.aggregate_into(&scratch.reports, &mut scratch.supports);
                     report_bits += scratch.reports.iter().map(Report::size_bits).sum::<usize>();
                 }
@@ -283,10 +305,14 @@ impl LevelEstimator {
                     // freshly allocated aggregation, as the 0.3 estimator
                     // ran (chunk sums of whole-number supports are exact,
                     // so chunking cannot perturb the reference results).
-                    scratch.reports.reserve(chunk.len());
-                    for &input in &scratch.inputs {
-                        scratch.reports.push(oracle.perturb(input, &mut rng));
+                    {
+                        let _perturb = telemetry.span(SpanName::Perturb);
+                        scratch.reports.reserve(chunk.len());
+                        for &input in &scratch.inputs {
+                            scratch.reports.push(oracle.perturb(input, &mut rng));
+                        }
                     }
+                    let _aggregate = telemetry.span(SpanName::Aggregate);
                     scratch.supports.merge(&oracle.aggregate(&scratch.reports));
                     report_bits += scratch.reports.iter().map(Report::size_bits).sum::<usize>();
                 }
@@ -295,12 +321,16 @@ impl LevelEstimator {
                     // global report offset so any chunking yields the same
                     // reports bit for bit.
                     scratch.batch.clear();
-                    oracle.perturb_vectorized(
-                        &scratch.inputs,
-                        &ctr,
-                        chunk_base,
-                        &mut scratch.batch,
-                    );
+                    {
+                        let _perturb = telemetry.span(SpanName::Perturb);
+                        oracle.perturb_vectorized(
+                            &scratch.inputs,
+                            &ctr,
+                            chunk_base,
+                            &mut scratch.batch,
+                        );
+                    }
+                    let _aggregate = telemetry.span(SpanName::Aggregate);
                     oracle.aggregate_vectorized(&scratch.batch, &mut scratch.supports);
                     report_bits += scratch.batch.size_bits();
                 }

@@ -139,3 +139,8 @@ pub use transport::{InMemoryTransport, ShardedTransport, Transport};
 // The wire error is part of this crate's error surface
 // (`ProtocolError::Transport`), so re-export it for matchers.
 pub use fedhh_wire::WireError;
+
+// The telemetry handle travels through this crate's public surface
+// (`Session::set_telemetry`, `Transport::attach_telemetry`,
+// `EpochRunner::set_telemetry`), so re-export the types callers need.
+pub use fedhh_telemetry::{Counter, Gauge, SpanName, Telemetry, ValueHist};

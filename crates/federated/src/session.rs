@@ -31,6 +31,7 @@ use crate::observer::{LevelEstimated, PruningDecision};
 use crate::scenario::{apply_report_flip, AdversaryModel, FlipMode, ScenarioPlan};
 use crate::socket::SocketTransport;
 use crate::transport::{InMemoryTransport, ShardedTransport, Transport};
+use fedhh_telemetry::{SpanName, Telemetry, ValueHist};
 
 /// Which [`Transport`] implementation a session routes its uploads through.
 ///
@@ -304,6 +305,7 @@ pub struct Session {
     round: u32,
     party_count: usize,
     link: Option<SessionLink>,
+    telemetry: Telemetry,
 }
 
 impl Session {
@@ -361,7 +363,17 @@ impl Session {
             round: 0,
             party_count,
             link,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: round spans and per-party upload
+    /// latency record here, and the transport gets the same handle for its
+    /// wire-level accounting.  Telemetry is observation only — attaching
+    /// it never changes what any session method returns.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.transport.attach_telemetry(telemetry);
     }
 
     /// The half-open range of party indices this session executes locally
@@ -432,6 +444,7 @@ impl Session {
     ) -> Result<RoundCollection, ProtocolError> {
         let round = input.round;
         self.round = self.round.max(round) + 1;
+        let _round_span = self.telemetry.span_idx(SpanName::Round, u64::from(round));
 
         let (local_start, local_end) = self.local_range();
         let mut is_selected = vec![false; drivers.len()];
@@ -453,12 +466,21 @@ impl Session {
             .collect();
 
         let transport = self.transport.as_ref();
+        let telemetry = &self.telemetry;
         let mut results: Vec<(usize, Result<Vec<PartyEvent>, ProtocolError>)> =
             if self.parallelism <= 1 || selected.len() <= 1 {
                 selected
                     .iter_mut()
                     .map(|(idx, driver)| {
-                        run_party(*idx, &mut **driver, input, round, transport, flips[*idx])
+                        run_party(
+                            *idx,
+                            &mut **driver,
+                            input,
+                            round,
+                            transport,
+                            flips[*idx],
+                            telemetry,
+                        )
                     })
                     .collect()
             } else {
@@ -487,6 +509,7 @@ impl Session {
                                             round,
                                             transport,
                                             flips[*idx],
+                                            telemetry,
                                         )
                                     })
                                     .collect::<Vec<_>>()
@@ -526,11 +549,20 @@ impl Session {
     ) -> Result<RoundCollection, ProtocolError> {
         let round = input.round;
         self.round = self.round.max(round) + 1;
+        let _round_span = self.telemetry.span_idx(SpanName::Round, u64::from(round));
         if !self.is_local(index) {
             return self.complete_round(round, Vec::new());
         }
         let flip = self.flip_for(index);
-        let (idx, result) = run_party(index, driver, input, round, self.transport.as_ref(), flip);
+        let (idx, result) = run_party(
+            index,
+            driver,
+            input,
+            round,
+            self.transport.as_ref(),
+            flip,
+            &self.telemetry,
+        );
         match result {
             Ok(events) => self.complete_round(round, vec![(idx, events)]),
             Err(err) => Err(self.fail_round(round, idx, err)),
@@ -612,6 +644,7 @@ impl std::fmt::Debug for Session {
 /// pruning hand-over) are not reports and travel untouched.  The
 /// perturbation keys on `(seed, party, round, payload index)` — all stable
 /// protocol coordinates — so it replays bit-identically at any parallelism.
+#[allow(clippy::too_many_arguments)]
 fn run_party<D: PartyDriver>(
     idx: usize,
     driver: &mut D,
@@ -619,9 +652,15 @@ fn run_party<D: PartyDriver>(
     round: u32,
     transport: &dyn Transport,
     flip: Option<(FlipMode, u64)>,
+    telemetry: &Telemetry,
 ) -> (usize, Result<Vec<PartyEvent>, ProtocolError>) {
-    match driver.run_round(input) {
+    // Straggler quantiles: time the whole party turn — local work plus the
+    // transport sends — but only read the clock when telemetry is on, so a
+    // disabled handle costs one branch.
+    let started = telemetry.is_enabled().then(std::time::Instant::now);
+    let result = match driver.run_round(input) {
         Ok(outcome) => {
+            let mut sent_ok = Ok(outcome.events);
             for (payload_index, mut payload) in outcome.uploads.into_iter().enumerate() {
                 if let (Some((mode, seed)), RoundPayload::Report(report)) = (flip, &mut payload) {
                     apply_report_flip(report, mode, seed, idx, round, payload_index);
@@ -633,13 +672,21 @@ fn run_party<D: PartyDriver>(
                     payload,
                 });
                 if let Err(err) = sent {
-                    return (idx, Err(ProtocolError::Transport(err)));
+                    sent_ok = Err(ProtocolError::Transport(err));
+                    break;
                 }
             }
-            (idx, Ok(outcome.events))
+            sent_ok
         }
-        Err(err) => (idx, Err(err)),
+        Err(err) => Err(err),
+    };
+    if let Some(started) = started {
+        telemetry.record_value(
+            ValueHist::PartyUploadUs,
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
     }
+    (idx, result)
 }
 
 #[cfg(test)]

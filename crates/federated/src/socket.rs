@@ -27,10 +27,12 @@
 use crate::message::RoundMessage;
 use crate::scenario::FrameCorruption;
 use crate::transport::{canonical_sort, Transport};
+use fedhh_telemetry::{Counter, SpanName, Telemetry, ValueHist};
 use fedhh_wire::{read_frame, write_frame, Decode, Encode, Reader, WireError};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// One frame on the transport data plane.
@@ -83,6 +85,11 @@ struct Shared {
     /// the first error any thread hit.
     sync: Mutex<SyncState>,
     cond: Condvar,
+    /// Telemetry handle, attached (at most once) after the reader threads
+    /// already exist — hence the `OnceLock` rather than a constructor
+    /// argument.  Readers observe it lazily; until it is set they record
+    /// nothing.
+    telemetry: OnceLock<Telemetry>,
 }
 
 struct SyncState {
@@ -111,9 +118,14 @@ pub struct SocketTransport {
     clients: Vec<Mutex<TcpStream>>,
     shared: std::sync::Arc<Shared>,
     readers: Vec<JoinHandle<()>>,
-    next_token: std::sync::atomic::AtomicU64,
+    next_token: AtomicU64,
     addr: SocketAddr,
     corruption: Option<FrameCorruption>,
+    /// Ground truth for reconciliation: every byte written down a client
+    /// stream, counted from the encoded frame's actual length.  Always on
+    /// (an atomic add costs nothing next to a socket write), so tests can
+    /// assert the telemetry counter equals this exactly.
+    tx_bytes: AtomicU64,
 }
 
 impl SocketTransport {
@@ -144,6 +156,7 @@ impl SocketTransport {
                 closing: false,
             }),
             cond: Condvar::new(),
+            telemetry: OnceLock::new(),
         });
 
         // One acceptor thread: accept exactly `shards` connections, spawn a
@@ -196,9 +209,10 @@ impl SocketTransport {
                 clients,
                 shared,
                 readers,
-                next_token: std::sync::atomic::AtomicU64::new(1),
+                next_token: AtomicU64::new(1),
                 addr,
                 corruption: None,
+                tx_bytes: AtomicU64::new(0),
             };
             drop(partial);
             return Err(err);
@@ -207,9 +221,10 @@ impl SocketTransport {
             clients,
             shared,
             readers,
-            next_token: std::sync::atomic::AtomicU64::new(1),
+            next_token: AtomicU64::new(1),
             addr,
             corruption,
+            tx_bytes: AtomicU64::new(0),
         })
     }
 
@@ -223,11 +238,50 @@ impl SocketTransport {
         self.clients.len()
     }
 
+    /// The telemetry handle attached to this transport (disabled until —
+    /// and unless — [`Transport::attach_telemetry`] was called).
+    fn telemetry(&self) -> Telemetry {
+        self.shared.telemetry.get().cloned().unwrap_or_default()
+    }
+
+    /// Total bytes written down the client streams so far — the encoded
+    /// length of every frame, data and control alike.  This is the wire
+    /// ground truth the telemetry counter [`Counter::WireTxBytes`] must
+    /// reconcile against exactly.
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Books one outgoing frame of `len` encoded bytes: always into the
+    /// transport's own ground-truth counter, and into the telemetry
+    /// registry when a handle is attached.
+    fn count_tx(&self, telemetry: &Telemetry, len: usize) {
+        self.tx_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        telemetry.add(Counter::WireTxBytes, len as u64);
+        telemetry.add(Counter::WireTxFrames, 1);
+    }
+
     fn write(&self, shard: usize, frame: &SocketFrame) -> Result<(), WireError> {
-        let mut stream = self.clients[shard]
-            .lock()
-            .expect("socket transport poisoned");
-        write_frame(&mut *stream, frame)
+        let telemetry = self.telemetry();
+        // Encode into a buffer first: `write_frame` has to build the
+        // payload anyway to stamp the length prefix and CRC, and a single
+        // `write_all` of the finished frame both keeps the stream lock
+        // short and gives byte accounting the frame's exact length.
+        let mut bytes = Vec::new();
+        {
+            let _encode = telemetry.span(SpanName::WireEncode);
+            write_frame(&mut bytes, frame)?;
+        }
+        let _send = telemetry.span(SpanName::TransportSend);
+        {
+            let mut stream = self.clients[shard]
+                .lock()
+                .expect("socket transport poisoned");
+            stream.write_all(&bytes)?;
+            stream.flush()?;
+        }
+        self.count_tx(&telemetry, bytes.len());
+        Ok(())
     }
 
     /// Writes an upload frame with one byte flipped: the frame is built
@@ -249,11 +303,16 @@ impl SocketTransport {
         write_frame(&mut bytes, frame)?;
         let offset = corruption.flip_offset(from, round, bytes.len());
         bytes[offset] ^= 0x20;
-        let mut stream = self.clients[shard]
-            .lock()
-            .expect("socket transport poisoned");
-        stream.write_all(&bytes)?;
-        stream.flush()?;
+        {
+            let mut stream = self.clients[shard]
+                .lock()
+                .expect("socket transport poisoned");
+            stream.write_all(&bytes)?;
+            stream.flush()?;
+        }
+        // The flipped frame is exactly as long as the honest one, so the
+        // byte accounting stays truthful under corruption plans too.
+        self.count_tx(&self.telemetry(), bytes.len());
         Ok(())
     }
 }
@@ -265,18 +324,38 @@ fn read_loop(index: usize, stream: TcpStream, shared: &Shared) {
     loop {
         match read_frame::<_, SocketFrame>(&mut reader) {
             Ok(SocketFrame::Upload(message)) => {
-                shared.queues[index]
-                    .lock()
-                    .expect("socket transport poisoned")
-                    .push(*message);
+                let depth = {
+                    let mut queue = shared.queues[index]
+                        .lock()
+                        .expect("socket transport poisoned");
+                    queue.push(*message);
+                    queue.len()
+                };
+                if let Some(telemetry) = shared.telemetry.get() {
+                    telemetry.add(Counter::FramesDecoded, 1);
+                    telemetry.record_value(ValueHist::QueueDepth, depth as u64);
+                }
             }
             Ok(SocketFrame::Flush(token)) => {
+                if let Some(telemetry) = shared.telemetry.get() {
+                    telemetry.add(Counter::FramesDecoded, 1);
+                }
                 let mut sync = shared.sync.lock().expect("socket transport poisoned");
                 sync.acknowledged[index] = sync.acknowledged[index].max(token);
                 shared.cond.notify_all();
             }
+            // Shutdown frames race the stream teardown in `Drop` (the
+            // reader may see EOF first), so they stay out of the decoded
+            // count to keep it deterministic.
             Ok(SocketFrame::Shutdown) => return,
             Err(err) => {
+                // An I/O error is a dead stream, not a bad frame; only
+                // integrity failures (CRC/schema/value) count as rejects.
+                if !matches!(err, WireError::Io { .. }) {
+                    if let Some(telemetry) = shared.telemetry.get() {
+                        telemetry.add(Counter::FramesCorruptRejected, 1);
+                    }
+                }
                 shared.fail(err);
                 return;
             }
@@ -330,6 +409,12 @@ impl Transport for SocketTransport {
             .collect();
         canonical_sort(&mut messages);
         Ok(messages)
+    }
+
+    fn attach_telemetry(&self, telemetry: &Telemetry) {
+        // First attach wins; the readers are already running, so a swap
+        // could lose counts mid-stream.
+        let _ = self.shared.telemetry.set(telemetry.clone());
     }
 }
 

@@ -20,6 +20,7 @@
 //! socket transports can fail; the in-memory transports never do.
 
 use crate::message::RoundMessage;
+use fedhh_telemetry::Telemetry;
 use fedhh_wire::WireError;
 use std::sync::Mutex;
 
@@ -32,6 +33,13 @@ pub trait Transport: Send + Sync {
 
     /// Drains every queued message in the canonical `(round, from)` order.
     fn drain(&self) -> Result<Vec<RoundMessage>, WireError>;
+
+    /// Attaches a telemetry handle for wire-level accounting (bytes and
+    /// frames on the wire, reader queue depth).  The default is a no-op:
+    /// the in-memory transports have no wire, so only
+    /// [`crate::SocketTransport`] overrides it.  Recording must never
+    /// change what `send`/`drain` return — telemetry is observation only.
+    fn attach_telemetry(&self, _telemetry: &Telemetry) {}
 }
 
 /// Sorts drained messages into the canonical `(round, from)` order shared

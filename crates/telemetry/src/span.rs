@@ -1,0 +1,118 @@
+//! The span taxonomy: a static, enumerable set of timed-section names.
+//!
+//! Spans are deliberately **not** free-form strings: every timed section in
+//! the system comes from this closed set, so traces from different runs are
+//! always joinable by name, the JSONL schema needs no name escaping, and a
+//! typo'd span cannot silently open a new time series.  The taxonomy maps
+//! one-to-one onto the execution stack:
+//!
+//! | Span | Opened by | One per |
+//! |---|---|---|
+//! | `run` | `Run::execute` | mechanism execution |
+//! | `phase` | `RunContext::phase` | protocol phase transition |
+//! | `round` | `Session::run_round` | engine round |
+//! | `level` | mechanism drivers | per-party trie-level estimate |
+//! | `perturb` | `LevelEstimator::estimate_with` | report-chunk perturbation |
+//! | `aggregate` | `LevelEstimator::estimate_with` | report-chunk aggregation |
+//! | `wire.encode` | `SocketTransport::send` | frame encode |
+//! | `transport.send` | `SocketTransport::send` | frame write to the socket |
+//! | `checkpoint.write` | `checkpoint::save_traced` | checkpoint file write |
+//! | `epoch` | `EpochRunner::step` | service epoch |
+
+/// One name from the static span taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanName {
+    /// A whole mechanism execution (`Run::execute`).
+    Run,
+    /// A protocol phase (`RunContext::phase` transition to the next phase).
+    Phase,
+    /// One engine round (`Session::run_round` / `run_solo_round`).
+    Round,
+    /// One per-party trie-level estimate inside a mechanism driver.
+    Level,
+    /// Perturbation of one report chunk in the level estimator.
+    Perturb,
+    /// Aggregation + estimation of one report chunk in the level estimator.
+    Aggregate,
+    /// Encoding a round message into a wire frame (`SocketTransport`).
+    WireEncode,
+    /// Writing an encoded frame to the socket (`SocketTransport`).
+    TransportSend,
+    /// One atomic checkpoint write (`checkpoint::save_traced`).
+    CheckpointWrite,
+    /// One service epoch (`EpochRunner::step`).
+    Epoch,
+}
+
+impl SpanName {
+    /// Every span name, in stable declaration order (the order used for
+    /// histogram slots and summary rows).
+    pub const ALL: [SpanName; 10] = [
+        SpanName::Run,
+        SpanName::Phase,
+        SpanName::Round,
+        SpanName::Level,
+        SpanName::Perturb,
+        SpanName::Aggregate,
+        SpanName::WireEncode,
+        SpanName::TransportSend,
+        SpanName::CheckpointWrite,
+        SpanName::Epoch,
+    ];
+
+    /// Number of names in the taxonomy.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The stable wire name used in JSONL trace lines.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpanName::Run => "run",
+            SpanName::Phase => "phase",
+            SpanName::Round => "round",
+            SpanName::Level => "level",
+            SpanName::Perturb => "perturb",
+            SpanName::Aggregate => "aggregate",
+            SpanName::WireEncode => "wire.encode",
+            SpanName::TransportSend => "transport.send",
+            SpanName::CheckpointWrite => "checkpoint.write",
+            SpanName::Epoch => "epoch",
+        }
+    }
+
+    /// The histogram slot of this name (its position in [`SpanName::ALL`]).
+    pub fn slot(&self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|n| n == self)
+            .expect("every SpanName appears in ALL")
+    }
+
+    /// Parses [`SpanName::as_str`] output; `None` for anything outside the
+    /// taxonomy (parsers must reject unknown spans, not invent them).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|n| n.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for SpanName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for (slot, name) in SpanName::ALL.into_iter().enumerate() {
+            assert_eq!(SpanName::parse(name.as_str()), Some(name));
+            assert_eq!(name.slot(), slot);
+            assert!(seen.insert(name.as_str()), "duplicate name {name}");
+        }
+        assert_eq!(SpanName::parse("rounds"), None);
+        assert_eq!(SpanName::parse(""), None);
+    }
+}

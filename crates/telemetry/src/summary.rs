@@ -1,0 +1,110 @@
+//! The human-readable closing table: what an operator sees after a traced
+//! run, aggregated from the same registry snapshot the JSONL flush emits.
+
+use crate::metrics::RegistrySnapshot;
+use std::fmt::Write as _;
+
+/// An aligned plain-text rendering of a [`RegistrySnapshot`]: span
+/// durations with straggler quantiles, then counters and gauges.
+#[derive(Debug, Clone)]
+pub struct TelemetrySummary {
+    snapshot: RegistrySnapshot,
+}
+
+impl TelemetrySummary {
+    /// Wraps a snapshot for rendering.
+    pub fn new(snapshot: RegistrySnapshot) -> Self {
+        Self { snapshot }
+    }
+
+    /// The underlying snapshot.
+    pub fn snapshot(&self) -> &RegistrySnapshot {
+        &self.snapshot
+    }
+
+    /// Renders the table (the `Display` impl defers here).
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("# telemetry summary\n");
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "span", "count", "total_us", "p50_us", "p90_us", "p99_us", "max_us"
+        );
+        for (name, h) in &self.snapshot.span_us {
+            if h.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<18} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                name.as_str(),
+                h.count,
+                h.sum,
+                h.quantile(1, 2),
+                h.quantile(9, 10),
+                h.quantile(99, 100),
+                h.max
+            );
+        }
+        for (name, h) in &self.snapshot.values {
+            if h.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<18} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                name.as_str(),
+                h.count,
+                h.sum,
+                h.quantile(1, 2),
+                h.quantile(9, 10),
+                h.quantile(99, 100),
+                h.max
+            );
+        }
+        let mut scalars: Vec<(&str, u64)> = Vec::new();
+        for (counter, value) in &self.snapshot.counters {
+            if *value > 0 {
+                scalars.push((counter.as_str(), *value));
+            }
+        }
+        for (gauge, value) in &self.snapshot.gauges {
+            if *value > 0 {
+                scalars.push((gauge.as_str(), *value));
+            }
+        }
+        if !scalars.is_empty() {
+            let _ = writeln!(out, "{:<24} {:>16}", "metric", "value");
+            for (name, value) in scalars {
+                let _ = writeln!(out, "{name:<24} {value:>16}");
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Counter, SpanName, Telemetry, ValueHist};
+
+    #[test]
+    fn summary_lists_active_series_only() {
+        let t = Telemetry::new();
+        {
+            let _g = t.span(SpanName::Round);
+        }
+        t.add(Counter::WireTxBytes, 2048);
+        t.record_value(ValueHist::PartyUploadUs, 120);
+        let table = t.summary().to_table();
+        assert!(table.contains("round"), "{table}");
+        assert!(table.contains("party.upload.us"), "{table}");
+        assert!(table.contains("wire.tx.bytes"), "{table}");
+        assert!(!table.contains("checkpoint.write"), "{table}");
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`metrics`] — F1, NCR and average local recall.
 //! * [`wire`] — the dependency-free versioned binary codec everything on a
 //!   socket travels in (re-export of `fedhh-wire`).
+//! * [`telemetry`] — the telemetry plane: spans, the typed metric
+//!   registry, and the schema-versioned JSONL trace format (re-export of
+//!   `fedhh-telemetry`).  Inert by contract: an attached sink never
+//!   changes a run's output.
 //!
 //! ## Quickstart
 //!
@@ -113,6 +117,10 @@ pub use fedhh_trie as trie;
 /// Federated workload generators (re-export of `fedhh-datasets`).
 pub use fedhh_datasets as datasets;
 
+/// The telemetry plane — spans, metric registry, JSONL traces (re-export
+/// of `fedhh-telemetry`).
+pub use fedhh_telemetry as telemetry;
+
 /// Federated protocol substrate (re-export of `fedhh-federated`).
 pub use fedhh_federated as federated;
 
@@ -139,4 +147,5 @@ pub mod prelude {
         Tap, Taps,
     };
     pub use crate::metrics::{average_local_recall, f1_score, ncr_score};
+    pub use crate::telemetry::{Telemetry, TelemetrySummary, TraceLine, TraceStats};
 }

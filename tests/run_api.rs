@@ -328,6 +328,89 @@ fn observers_do_not_change_results() {
     }
 }
 
+/// The observer↔tracker exactness invariant holds on the `Vectorized`
+/// frequency-oracle path too — the kernel lane must route its uplink
+/// through the same funnel as the scalar and batched paths.
+#[test]
+fn observer_uplink_matches_comm_tracker_on_the_vectorized_path() {
+    let ds = dataset();
+    for kind in MechanismKind::ALL {
+        let mut observer = RecordingObserver::new();
+        let output = Run::mechanism(kind)
+            .dataset(&ds)
+            .config(valid_config().with_fo_exec(FoExec::Vectorized))
+            .observer(&mut observer)
+            .execute()
+            .unwrap();
+        assert_eq!(
+            observer.total_uplink_bits(),
+            output.comm.total_uplink_bits(),
+            "{kind} vectorized uplink mismatch"
+        );
+    }
+}
+
+/// Exactness under an active adversary: compromised parties' perturbed
+/// reports still cost real uplink, and the observer accounts for every
+/// bit the tracker books.
+#[test]
+fn observer_uplink_matches_comm_tracker_under_an_adversary() {
+    let ds = dataset();
+    let scenario = ScenarioPlan::from_faults(FaultPlan::default()).with_adversary(
+        AdversaryModel::ReportFlip {
+            fraction: 0.25,
+            mode: FlipMode::Uniform,
+        },
+        0xAD5E,
+    );
+    for kind in MechanismKind::ALL {
+        let mut observer = RecordingObserver::new();
+        let output = Run::mechanism(kind)
+            .dataset(&ds)
+            .config(valid_config())
+            .engine(EngineConfig::parallel(2).with_scenario(scenario))
+            .observer(&mut observer)
+            .execute()
+            .unwrap();
+        assert_eq!(
+            observer.total_uplink_bits(),
+            output.comm.total_uplink_bits(),
+            "{kind} uplink mismatch under adversary"
+        );
+    }
+}
+
+/// Property: the recorded event stream — order included — is invariant
+/// across parallelism, so a log captured at parallelism 8 is comparable
+/// event-for-event with a sequential reference.
+#[test]
+fn recording_observer_event_order_is_invariant_across_parallelism() {
+    let ds = dataset();
+    for kind in MechanismKind::ALL {
+        let mut sequential = RecordingObserver::new();
+        Run::mechanism(kind)
+            .dataset(&ds)
+            .config(valid_config())
+            .engine(EngineConfig::parallel(1))
+            .observer(&mut sequential)
+            .execute()
+            .unwrap();
+        let mut parallel = RecordingObserver::new();
+        Run::mechanism(kind)
+            .dataset(&ds)
+            .config(valid_config())
+            .engine(EngineConfig::parallel(8))
+            .observer(&mut parallel)
+            .execute()
+            .unwrap();
+        assert!(!sequential.events.is_empty(), "{kind} recorded nothing");
+        assert_eq!(
+            sequential.events, parallel.events,
+            "{kind}: event stream differs between parallelism 1 and 8"
+        );
+    }
+}
+
 /// The 0.2 migration is complete: ablation instances (the last internal
 /// users of the removed `Mechanism::run` shim) execute through
 /// `Run::custom`, with the same validation guarantees as named runs.

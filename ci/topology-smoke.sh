@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# topology-smoke: the aggregation-tree determinism gate.
+#
+#   ci/topology-smoke.sh [path/to/fedhh-node]
+#
+# Two legs:
+#   1. A real multi-process federation over loopback aggregated through a
+#      fanout-2 tree with a 0.75 quorum: the coordinator routes cohort
+#      members to their sub-aggregator in the handshake and exits non-zero
+#      unless the distributed MechanismOutput is bit-identical to the
+#      in-memory tree engine at the same seed (`--check-inmemory`).
+#   2. The `fedhh-bench topology` sweep run twice and gated on the two
+#      BENCH_topology.json files being byte-identical — the report carries
+#      no timings, so any difference is real nondeterminism.  The sweep's
+#      internal gates (every tree cell bit-identical to its flat
+#      equivalent, strict root-inbound byte savings at full quorum) make a
+#      successful run the losslessness check.
+# The first sweep's BENCH_topology.json is left in the working directory
+# for CI to upload.
+set -euo pipefail
+
+. "$(dirname "$0")/lib.sh"
+smoke_init topology-smoke
+
+NODE_BIN="${1:-target/release/fedhh-node}"
+BENCH_BIN="$(sibling_bin "$NODE_BIN" fedhh-bench)"
+require_bin "$NODE_BIN" "$BENCH_BIN"
+
+log "coordinator + 4 party processes: TAPS on YCM over tree:2 at quorum 0.75"
+"$NODE_BIN" coordinator \
+    --mechanism taps --dataset ycm --parties 4 \
+    --quick --seed 42 --timeout-secs 120 \
+    --topology tree:2 --quorum 0.75 --check-inmemory \
+    > "$WORKDIR/coordinator.out" 2> "$WORKDIR/coordinator.err" &
+COORD_PID=$!
+
+if ! wait_for_line '^LISTEN ' "$WORKDIR/coordinator.out"; then
+    kill "$COORD_PID" 2>/dev/null || true
+    die "coordinator never advertised a port" "$WORKDIR/coordinator.err"
+fi
+ADDR=$(grep -m1 '^LISTEN ' "$WORKDIR/coordinator.out" | awk '{print $2}')
+log "coordinator listening on $ADDR"
+
+PARTY_PIDS=()
+for rank in 0 1 2 3; do
+    "$NODE_BIN" party --connect "$ADDR" --timeout-secs 120 \
+        > "$WORKDIR/party$rank.out" 2>&1 &
+    PARTY_PIDS+=($!)
+done
+
+STATUS=0
+wait "$COORD_PID" || STATUS=$?
+for pid in "${PARTY_PIDS[@]}"; do
+    wait "$pid" || STATUS=$?
+done
+cat "$WORKDIR/coordinator.out"
+if [ "$STATUS" -ne 0 ]; then
+    die "tree federation exited with status $STATUS" \
+        "$WORKDIR/coordinator.err" \
+        "$WORKDIR/party0.out" "$WORKDIR/party1.out" \
+        "$WORKDIR/party2.out" "$WORKDIR/party3.out"
+fi
+grep -q '^CHECK bit-identical' "$WORKDIR/coordinator.out" \
+    || die "coordinator did not confirm bit-identity with the in-memory tree engine"
+
+TOPOLOGY_FLAGS=(--quick --fanouts 2,4 --fractions 1.0,0.5)
+
+log "sweep 1: quick topology matrix"
+"$BENCH_BIN" topology "${TOPOLOGY_FLAGS[@]}" --out BENCH_topology.json
+
+log "sweep 2: rerun + byte-identity gate"
+"$BENCH_BIN" topology "${TOPOLOGY_FLAGS[@]}" --out "$WORKDIR/rerun.json" \
+    --check BENCH_topology.json --threshold 0
+assert_identical BENCH_topology.json "$WORKDIR/rerun.json" \
+    "reruns of the same sweep differ"
+log "reruns are byte-identical"
+
+# Sanity: the tree actually merged somewhere — at least one cell routed
+# root-inbound frames.
+grep -Eq '"root_frames": [1-9]' BENCH_topology.json \
+    || die "no cell routed merged frames; the tree plane is inert"
+
+log "OK"

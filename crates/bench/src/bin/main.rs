@@ -20,6 +20,9 @@
 //! fedhh-bench scenario [--quick] [--dataset KIND] [--fractions F,F,...]
 //!                      [--seed N] [--scenario-seed N] [--out PATH]
 //!                      [--check BASELINE] [--threshold F]
+//! fedhh-bench topology [--quick] [--dataset KIND] [--fanouts N,N,...]
+//!                      [--fractions F,F,...] [--seed N] [--quorum-seed N]
+//!                      [--out PATH] [--check BASELINE] [--threshold F]
 //! fedhh-bench trace-check <trace.jsonl> [--perf BENCH_perf.json]
 //! ```
 //!
@@ -72,6 +75,17 @@
 //! when any committed cell vanished, flipped its `ok` flag, or moved by
 //! more than `--threshold` (default 0.05) on F1/NCR.
 //!
+//! `topology` sweeps every mechanism across the flat star and the
+//! `--fanouts` list of aggregation trees × the `--fractions` list of
+//! quorum closures, and writes `BENCH_topology.json` (see the
+//! `fedhh_bench::topology` module for the schema).  Like `scenario` the
+//! sweep reproduces its JSON byte for byte on a rerun, and it internally
+//! gates every tree cell bit-for-bit against its flat equivalent plus the
+//! strict root-inbound byte savings at full quorum.  `--check BASELINE`
+//! exits non-zero when any committed cell vanished, changed its root
+//! frame count, or moved by more than `--threshold` (default 0.05) on
+//! F1/uplink.
+//!
 //! `--trace PATH` (on `trial`, `perf` and `scale`) attaches the telemetry
 //! plane and writes a schema-versioned JSONL trace — spans, uplink funnel
 //! events and the metric registry snapshot, one mark-delimited section per
@@ -112,6 +126,7 @@ fn main() -> ExitCode {
         Some("scale") => scale_command(&args[1..]),
         Some("epochs") => epochs_command(&args[1..]),
         Some("scenario") => scenario_command(&args[1..]),
+        Some("topology") => topology_command(&args[1..]),
         Some("trace-check") => trace_check_command(&args[1..]),
         Some(other) => {
             eprintln!("unknown subcommand {other:?}; valid subcommands: {SUBCOMMANDS}");
@@ -134,11 +149,11 @@ fn main() -> ExitCode {
 
 /// Every subcommand the harness understands, in usage order — the list an
 /// unknown-subcommand error names.
-const SUBCOMMANDS: &str = "list, run, trial, perf, scale, epochs, scenario, trace-check";
+const SUBCOMMANDS: &str = "list, run, trial, perf, scale, epochs, scenario, topology, trace-check";
 
 fn usage() {
     eprintln!(
-        "usage: fedhh-bench <list|run|trial|perf|scale|epochs|scenario|trace-check> \
+        "usage: fedhh-bench <list|run|trial|perf|scale|epochs|scenario|topology|trace-check> \
          [args] [options]"
     );
     eprintln!("  list");
@@ -161,6 +176,9 @@ fn usage() {
     eprintln!("         [--parallelism N] [--out PATH]");
     eprintln!("  scenario [--quick] [--dataset KIND] [--fractions F,F,...] [--seed N]");
     eprintln!("           [--scenario-seed N] [--out PATH] [--check BASELINE] [--threshold F]");
+    eprintln!("  topology [--quick] [--dataset KIND] [--fanouts N,N,...] [--fractions F,F,...]");
+    eprintln!("           [--seed N] [--quorum-seed N] [--out PATH] [--check BASELINE]");
+    eprintln!("           [--threshold F]");
     eprintln!("  trace-check <trace.jsonl> [--perf BENCH_perf.json]");
 }
 
@@ -834,6 +852,115 @@ fn scenario_command(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn topology_command(args: &[String]) -> Result<ExitCode, String> {
+    let mut options = fedhh_bench::TopologyOptions::default();
+    let mut output = CheckedOutput::new(
+        "BENCH_topology.json",
+        0.05,
+        Some(ThresholdRule::NonNegative),
+    );
+    let mut cursor = ArgCursor::new("topology", args);
+    while let Some(arg) = cursor.next_option() {
+        if output.consume(arg, &mut cursor)? {
+            continue;
+        }
+        match arg {
+            "--quick" => options.quick = true,
+            "--dataset" => options.dataset = cursor.parsed("--dataset")?,
+            "--fanouts" => {
+                let raw = cursor.raw_value("--fanouts")?;
+                let parsed: Result<Vec<usize>, _> =
+                    raw.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                match parsed {
+                    Ok(fanouts) if !fanouts.is_empty() && fanouts.iter().all(|&f| f >= 2) => {
+                        options.fanouts = fanouts;
+                    }
+                    _ => {
+                        return Err(format!(
+                            "--fanouts got an invalid list {raw:?} (each must be at least 2)"
+                        ))
+                    }
+                }
+            }
+            "--fractions" => {
+                let raw = cursor.raw_value("--fractions")?;
+                let parsed: Result<Vec<f64>, _> =
+                    raw.split(',').map(|s| s.trim().parse::<f64>()).collect();
+                match parsed {
+                    Ok(fractions)
+                        if !fractions.is_empty()
+                            && fractions.iter().all(|f| *f > 0.0 && *f <= 1.0) =>
+                    {
+                        options.fractions = fractions;
+                    }
+                    _ => {
+                        return Err(format!(
+                            "--fractions got an invalid list {raw:?} (each must be in (0, 1])"
+                        ))
+                    }
+                }
+            }
+            "--seed" => options.seed = cursor.value("--seed")?,
+            "--quorum-seed" => options.quorum_seed = cursor.value("--quorum-seed")?,
+            other => return Err(cursor.unknown(other)),
+        }
+    }
+    // The full-quorum column anchors the strict-savings gate; sweep it
+    // even when the user's list omits it.
+    if !options.fractions.contains(&1.0) {
+        options.fractions.insert(0, 1.0);
+    }
+
+    let suite = if options.quick { "quick" } else { "full" };
+    let baseline = load_baseline(
+        output.check_path.as_deref(),
+        suite,
+        fedhh_bench::TopologyReport::from_json,
+        |r: &fedhh_bench::TopologyReport| r.suite.clone(),
+    )?;
+
+    eprintln!(
+        "[fedhh-bench] topology sweep: {} suite on {} (fanouts {:?}, fractions {:?}, \
+         quorum seed {:#x})",
+        suite, options.dataset, options.fanouts, options.fractions, options.quorum_seed
+    );
+    let start = std::time::Instant::now();
+    let report = fedhh_bench::run_topology(&options)
+        .map_err(|err| format!("topology sweep failed: {err}"))?;
+    eprintln!(
+        "[fedhh-bench] topology sweep finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    print!("{}", report.to_table());
+    output.write_report(&report.to_json())?;
+
+    if let Some(baseline) = baseline {
+        // Compare artifact against artifact: round-trip the fresh report
+        // through its own JSON so both sides carry the serialized float
+        // precision, making `--threshold 0` mean "byte-equal files".
+        let current = fedhh_bench::TopologyReport::from_json(&report.to_json())
+            .map_err(|err| format!("internal error: fresh report does not re-parse: {err}"))?;
+        let threshold = output.threshold;
+        let violations = fedhh_bench::check_topology(&current, &baseline, threshold);
+        if violations.is_empty() {
+            eprintln!(
+                "[fedhh-bench] topology check passed: {} cells within {threshold} of baseline",
+                baseline.rows.len()
+            );
+        } else {
+            eprintln!(
+                "[fedhh-bench] topology check FAILED ({} drifted cell(s)):",
+                violations.len()
+            );
+            for violation in &violations {
+                eprintln!("  {violation}");
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn trial_command(args: &[String]) -> Result<ExitCode, String> {
     let (Some(mechanism_arg), Some(dataset_arg)) = (args.first(), args.get(1)) else {
         return Err("usage: fedhh-bench trial <mechanism> <dataset> [options]".to_string());
@@ -959,6 +1086,9 @@ fn trace_check_command(args: &[String]) -> Result<ExitCode, String> {
     let stats = TraceStats::from_str(&text).map_err(|err| format!("{trace_path}: {err}"))?;
     stats
         .verify_reconciled()
+        .map_err(|err| format!("{trace_path}: {err}"))?;
+    stats
+        .verify_tree_savings()
         .map_err(|err| format!("{trace_path}: {err}"))?;
     println!(
         "trace-check {trace_path}: {} lines, {} section(s), {} uplink bits, reconciled",

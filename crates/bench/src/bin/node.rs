@@ -5,6 +5,7 @@
 //!            [--listen HOST:PORT] [--seed S] [--quick] [--user-scale F]
 //!            [--k N] [--epsilon F] [--fo KIND] [--parallelism N]
 //!            [--dropout F] [--stragglers] [--scenario SPEC]
+//!            [--topology flat|tree:FANOUT[:DEPTH]] [--quorum FRACTION[:SEED]]
 //!            [--timeout-secs N] [--check-inmemory] [--telemetry PATH]
 //! fedhh-node party --connect HOST:PORT [--timeout-secs N] [--telemetry PATH]
 //! fedhh-node service --mechanism <name> --dataset <name> [--epochs N]
@@ -46,6 +47,18 @@
 //! adversary on the coordinator; the welcome ships it to every party, so
 //! the whole federation replays the same deterministic attack.
 //!
+//! `--topology tree:FANOUT[:DEPTH]` arms the aggregation tree: party
+//! processes are grouped into cohorts of FANOUT consecutive ranks, each
+//! cohort's first rank plays sub-aggregator (it merges the cohort's
+//! reports into one lossless frame), and the coordinator receives one
+//! uplink frame per cohort instead of one per rank.  `--quorum
+//! FRACTION[:SEED]` closes every round at the configured response
+//! fraction; which parties count as on time is a pure function of the
+//! seed and round number, never of socket timing, so a quorum run is
+//! reproducible bit-for-bit.  Both axes travel in the welcome's protocol
+//! config and leave the result bit-identical to the flat full-quorum star
+//! only when `--quorum 1.0` (partial quorums change which reports exist).
+//!
 //! When the run finishes, the coordinator prints the result as stable
 //! machine-readable lines (`TOPK`, `COUNT`, `UPLINK`, `DOWNLINK`).  With
 //! `--check-inmemory` it then re-runs the mechanism in-process at the same
@@ -74,7 +87,7 @@ use fedhh_bench::{partition_parties, ExperimentScale, NodeRunSpec};
 use fedhh_datasets::DatasetKind;
 use fedhh_federated::{
     connect_party_with_timeout, AdversaryModel, EngineConfig, FaultPlan, FlipMode, NodeServer,
-    NodeWelcome, ScenarioPlan, SessionLink,
+    NodeWelcome, QuorumPolicy, ScenarioPlan, SessionLink, Topology,
 };
 use fedhh_fo::FoKind;
 use fedhh_mechanisms::{MechanismKind, MechanismOutput, Run};
@@ -148,6 +161,9 @@ fn main() -> ExitCode {
                 "              [--parallelism N] [--dropout F] [--stragglers] \
                  [--scenario NAME:FRACTION[:SEED]]"
             );
+            eprintln!(
+                "              [--topology flat|tree:FANOUT[:DEPTH]] [--quorum FRACTION[:SEED]]"
+            );
             eprintln!("              [--timeout-secs N] [--check-inmemory] [--telemetry PATH]");
             eprintln!("  party --connect HOST:PORT [--timeout-secs N] [--telemetry PATH]");
             eprintln!(
@@ -187,9 +203,38 @@ struct CoordinatorOptions {
     dropout: f64,
     stragglers: bool,
     scenario: Option<(AdversaryModel, u64)>,
+    topology: Topology,
+    quorum: QuorumPolicy,
     timeout: Option<Duration>,
     check_inmemory: bool,
     telemetry_path: Option<String>,
+}
+
+/// Parses a `--quorum` argument: `FRACTION[:SEED]` with the fraction in
+/// (0, 1] (the default seed matches the benchmark sweep's).
+fn parse_quorum_spec(raw: &str) -> Result<QuorumPolicy, String> {
+    let mut parts = raw.split(':');
+    let fraction: f64 = parts
+        .next()
+        .unwrap_or_default()
+        .parse()
+        .map_err(|_| format!("--quorum {raw:?} has an invalid fraction"))?;
+    let seed: u64 = match parts.next() {
+        Some(raw_seed) => raw_seed
+            .parse()
+            .map_err(|_| format!("--quorum {raw:?} has an invalid seed"))?,
+        None => 0x0F0F,
+    };
+    if parts.next().is_some() {
+        return Err(format!("--quorum {raw:?} has trailing fields"));
+    }
+    let quorum = QuorumPolicy { fraction, seed };
+    if !quorum.is_valid() {
+        return Err(format!(
+            "--quorum fraction must be in (0, 1], got {fraction}"
+        ));
+    }
+    Ok(quorum)
 }
 
 /// Parses a `--scenario` argument: `NAME:FRACTION[:SEED]`, where `NAME` is
@@ -261,6 +306,8 @@ fn parse_coordinator_options(args: &[String]) -> Result<CoordinatorOptions, Stri
         dropout: 0.0,
         stragglers: false,
         scenario: None,
+        topology: Topology::Flat,
+        quorum: QuorumPolicy::full(),
         timeout: Some(Duration::from_secs(120)),
         check_inmemory: false,
         telemetry_path: None,
@@ -318,6 +365,23 @@ fn parse_coordinator_options(args: &[String]) -> Result<CoordinatorOptions, Stri
                 i += 1;
                 let raw: String = parse_value("--scenario", args.get(i))?;
                 options.scenario = Some(parse_scenario_spec(&raw)?);
+            }
+            "--topology" => {
+                i += 1;
+                let raw: String = parse_value("--topology", args.get(i))?;
+                let topology = Topology::parse(&raw)
+                    .ok_or_else(|| format!("--topology got an invalid spec {raw:?}"))?;
+                if !topology.is_valid() {
+                    return Err(format!(
+                        "--topology {raw:?} needs fanout >= 2 and depth in 1..=8"
+                    ));
+                }
+                options.topology = topology;
+            }
+            "--quorum" => {
+                i += 1;
+                let raw: String = parse_value("--quorum", args.get(i))?;
+                options.quorum = parse_quorum_spec(&raw)?;
             }
             "--timeout-secs" => {
                 i += 1;
@@ -414,7 +478,9 @@ fn coordinator_command(args: &[String]) -> ExitCode {
     let mut config = scale
         .protocol_config(options.seed ^ 0xBEEF)
         .with_epsilon(options.epsilon)
-        .with_k(options.k);
+        .with_k(options.k)
+        .with_topology(options.topology)
+        .with_quorum(options.quorum);
     if let Some(fo) = options.fo {
         config = config.with_fo(fo);
     }

@@ -40,7 +40,11 @@
 //! model of the scenario plane over a list of compromised fractions,
 //! emitting the deterministic robustness matrix `BENCH_scenario.json`
 //! with F1/NCR degradation per cell (see the [`scenario`] module docs and
-//! CI's `scenario-smoke` job).
+//! CI's `scenario-smoke` job); and `fedhh-bench topology` sweeps the
+//! aggregation tree's fanouts × quorum fractions against the flat star,
+//! emitting `BENCH_topology.json` with per-cell F1, uplink and the
+//! root-inbound frame/byte counters (see the [`topology`] module docs and
+//! CI's `topology-smoke` job).
 //!
 //! The harness's place in the system is mapped in `ARCHITECTURE.md` at the
 //! repository root.
@@ -57,6 +61,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
+pub mod topology;
 
 pub use epochs::{run_epochs, EpochServiceSpec, EpochsOptions, EpochsReport, MechanismExecutor};
 pub use experiments::BenchError;
@@ -71,3 +76,4 @@ pub use scale::{run_scale, run_scale_traced, ScaleOptions, ScalePoint, ScaleRepo
 pub use scenario::{
     adversary_by_name, check_scenario, run_scenario, ScenarioOptions, ScenarioReport, ScenarioRow,
 };
+pub use topology::{check_topology, run_topology, TopologyOptions, TopologyReport, TopologyRow};

@@ -1,0 +1,550 @@
+//! The `fedhh-bench topology` aggregation-tree sweep.
+//!
+//! `fedhh-bench scenario` answers "how robust is each mechanism?"; this
+//! module answers "what does the aggregation tree buy?".  It sweeps every
+//! mechanism across the flat star and a list of tree fanouts × quorum
+//! fractions, records accuracy, uplink traffic and the root-inbound
+//! frame/byte counters of the telemetry plane, and emits a
+//! machine-readable `BENCH_topology.json`.
+//!
+//! Every cell is one deterministic trial: fixed dataset seed, fixed
+//! protocol seed, fixed quorum seed, sequential engine.  The report
+//! carries no timings, so **the same options reproduce the same JSON byte
+//! for byte** — CI runs the sweep twice and `cmp`s the files.  Two gates
+//! run *inside* [`run_topology`]:
+//!
+//! * **Losslessness** — for every `(mechanism, fraction)`, every tree cell
+//!   must reproduce the flat cell's F1 and uplink **bit for bit**.  Quorum
+//!   exclusion happens before dispatch, so the topology may never change
+//!   what any mechanism computes — only how the frames travel.
+//! * **Savings** — tree cells must never inflate the root-inbound byte
+//!   count past the flat equivalent, and at quorum 1.0 (where every
+//!   cohort is full) the drop must be strict.
+//!
+//! ## `BENCH_topology.json` schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "suite": "quick",
+//!   "dataset": "SYN",
+//!   "rows": [
+//!     {"mechanism": "TAPS", "topology": "tree:4", "fraction": 1.000000,
+//!      "f1": 0.800000, "uplink_kb": 12.500000,
+//!      "root_frames": 8, "root_bytes": 4096, "flat_bytes": 9216}
+//!   ]
+//! }
+//! ```
+//!
+//! `root_frames`/`root_bytes`/`flat_bytes` are the telemetry plane's
+//! `tree.root.frames` / `tree.root.bytes` / `tree.flat.bytes` counters;
+//! flat rows report zero for all three (the star never routes through the
+//! tree).  `fedhh-bench topology --check <baseline.json>` re-runs the
+//! sweep and fails when any baseline row is missing or drifts.
+
+use crate::perf::json;
+use crate::report::json_string;
+use crate::runner::{run_engine_trial_traced, ExperimentScale};
+use fedhh_datasets::DatasetKind;
+use fedhh_federated::{EngineConfig, QuorumPolicy, Topology};
+use fedhh_mechanisms::MechanismKind;
+use fedhh_telemetry::{Counter, Telemetry};
+use std::fmt::Write as _;
+
+/// What `fedhh-bench topology` sweeps.
+#[derive(Debug, Clone)]
+pub struct TopologyOptions {
+    /// Use the quick experiment scale (the default full scale takes
+    /// minutes).
+    pub quick: bool,
+    /// The dataset stand-in every cell runs on.  SYN by default: its
+    /// eight parties give every fanout in the default sweep at least one
+    /// multi-party cohort to merge.
+    pub dataset: DatasetKind,
+    /// The tree fanouts swept (each at depth 1), alongside the implicit
+    /// flat baseline column.
+    pub fanouts: Vec<usize>,
+    /// Quorum response fractions swept per topology.  Must contain `1.0`:
+    /// the full-quorum column anchors the strict-savings gate.
+    pub fractions: Vec<f64>,
+    /// Dataset-generation seed (the protocol seed is derived from it the
+    /// same way the scenario sweep derives it).
+    pub seed: u64,
+    /// The seed of every [`QuorumPolicy`]'s per-round on-time draw.
+    pub quorum_seed: u64,
+}
+
+impl Default for TopologyOptions {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            dataset: DatasetKind::Syn,
+            fanouts: vec![2, 4, 16],
+            fractions: vec![1.0, 0.75, 0.5],
+            seed: 1000,
+            quorum_seed: 0x70B0,
+        }
+    }
+}
+
+impl TopologyOptions {
+    /// The quick-scale options the CI smoke gate runs.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            ..Self::default()
+        }
+    }
+
+    /// The topology column list: the flat star, then one tree per fanout.
+    fn topologies(&self) -> Vec<Topology> {
+        let mut columns = vec![Topology::Flat];
+        columns.extend(
+            self.fanouts
+                .iter()
+                .map(|&fanout| Topology::Tree { fanout, depth: 1 }),
+        );
+        columns
+    }
+}
+
+/// One cell of the topology sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyRow {
+    /// Mechanism name (`FedPEM`, `GTF`, `TAP`, `TAPS`).
+    pub mechanism: String,
+    /// Topology column in its canonical CLI spelling (`flat`, `tree:4`).
+    pub topology: String,
+    /// Quorum response fraction of this cell.
+    pub fraction: f64,
+    /// F1 against the exact ground truth.
+    pub f1: f64,
+    /// Party → server traffic in kilobits.
+    pub uplink_kb: f64,
+    /// Root-inbound frames over the run (`tree.root.frames`; 0 for flat).
+    pub root_frames: u64,
+    /// Root-inbound bytes over the run (`tree.root.bytes`; 0 for flat).
+    pub root_bytes: u64,
+    /// Bytes the same uploads would have cost the star
+    /// (`tree.flat.bytes`; 0 for flat).
+    pub flat_bytes: u64,
+}
+
+/// A whole topology sweep: schema version, suite flavour, dataset and the
+/// cells in sweep order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyReport {
+    /// Schema version of the JSON serialization (currently 1).
+    pub schema: u32,
+    /// `"quick"` or `"full"`.
+    pub suite: String,
+    /// The dataset stand-in the sweep ran on.
+    pub dataset: String,
+    /// The cells: for each mechanism, the flat column then every tree
+    /// column, each over every quorum fraction.
+    pub rows: Vec<TopologyRow>,
+}
+
+/// Runs the full sweep: every mechanism × (flat + every fanout) × every
+/// quorum fraction, gating losslessness and savings internally (see the
+/// module docs).
+pub fn run_topology(options: &TopologyOptions) -> Result<TopologyReport, String> {
+    if !options.fractions.contains(&1.0) {
+        return Err(
+            "the fraction list must contain 1.0 (the strict-savings gate anchor)".to_string(),
+        );
+    }
+    for &fraction in &options.fractions {
+        let quorum = QuorumPolicy {
+            fraction,
+            seed: options.quorum_seed,
+        };
+        if !quorum.is_valid() {
+            return Err(format!("quorum fraction {fraction} is outside (0, 1]"));
+        }
+    }
+    let topologies = options.topologies();
+    for topology in &topologies {
+        if !topology.is_valid() {
+            return Err(format!("invalid topology {topology}"));
+        }
+    }
+    let scale = if options.quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::default()
+    };
+    let dataset = scale.dataset_config(options.seed).build(options.dataset);
+    let config = scale
+        .protocol_config(options.seed ^ 0xBEEF)
+        .with_epsilon(4.0)
+        .with_k(10);
+    let mut rows = Vec::new();
+    for kind in MechanismKind::ALL {
+        let mechanism = kind.build();
+        let name = kind.to_string();
+        for topology in &topologies {
+            for &fraction in &options.fractions {
+                let quorum = QuorumPolicy {
+                    fraction,
+                    seed: options.quorum_seed,
+                };
+                let engine = EngineConfig::sequential()
+                    .with_topology(*topology)
+                    .with_quorum(quorum);
+                let telemetry = Telemetry::new();
+                let metrics = run_engine_trial_traced(
+                    mechanism.as_ref(),
+                    &dataset,
+                    &config,
+                    &engine,
+                    &telemetry,
+                )
+                .map_err(|e| format!("{name} under {topology}@{fraction} failed: {e}"))?;
+                let snapshot = telemetry.snapshot();
+                let row = TopologyRow {
+                    mechanism: name.clone(),
+                    topology: topology.name(),
+                    fraction,
+                    f1: metrics.f1,
+                    uplink_kb: metrics.uplink_kb,
+                    root_frames: snapshot.counter(Counter::TreeRootFrames),
+                    root_bytes: snapshot.counter(Counter::TreeRootBytes),
+                    flat_bytes: snapshot.counter(Counter::TreeFlatBytes),
+                };
+                if !topology.is_flat() {
+                    gate_tree_cell(&row, &rows, fraction)?;
+                }
+                rows.push(row);
+            }
+        }
+    }
+    Ok(TopologyReport {
+        schema: 1,
+        suite: if options.quick { "quick" } else { "full" }.to_string(),
+        dataset: options.dataset.to_string(),
+        rows,
+    })
+}
+
+/// The internal losslessness + savings gates of one tree cell, checked
+/// against the already-recorded flat cell of the same mechanism and
+/// fraction.  Exact equality, not tolerance: the topology may reroute
+/// frames, never change a bit of what a mechanism computes.
+fn gate_tree_cell(row: &TopologyRow, rows: &[TopologyRow], fraction: f64) -> Result<(), String> {
+    let flat = rows
+        .iter()
+        .find(|r| r.mechanism == row.mechanism && r.topology == "flat" && r.fraction == fraction)
+        .ok_or_else(|| format!("no flat baseline recorded for {}@{fraction}", row.mechanism))?;
+    if row.f1.to_bits() != flat.f1.to_bits() || row.uplink_kb.to_bits() != flat.uplink_kb.to_bits()
+    {
+        return Err(format!(
+            "lossy tree: {} under {}@{fraction} scored f1={}, uplink={} vs flat \
+             f1={}, uplink={}",
+            row.mechanism, row.topology, row.f1, row.uplink_kb, flat.f1, flat.uplink_kb
+        ));
+    }
+    if row.root_bytes > row.flat_bytes {
+        return Err(format!(
+            "inflating tree: {} under {}@{fraction} put {} root-inbound bytes on \
+             the wire vs {} flat-equivalent",
+            row.mechanism, row.topology, row.root_bytes, row.flat_bytes
+        ));
+    }
+    // At full quorum every cohort is intact, so at least one merge must
+    // have happened and the root-inbound byte count must strictly drop.
+    if fraction == 1.0 && row.root_bytes >= row.flat_bytes {
+        return Err(format!(
+            "stagnant tree: {} under {}@1.0 saved nothing ({} root bytes vs {} flat)",
+            row.mechanism, row.topology, row.root_bytes, row.flat_bytes
+        ));
+    }
+    Ok(())
+}
+
+/// Compares a fresh sweep against a committed baseline report: every
+/// baseline row must be present (joined on mechanism/topology/fraction),
+/// keep its exact frame count, and stay within `tolerance` on F1 and
+/// uplink.  Returns human-readable violations; empty means the gate
+/// passes.
+pub fn check_topology(
+    current: &TopologyReport,
+    baseline: &TopologyReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in &baseline.rows {
+        let found = current.rows.iter().find(|r| {
+            r.mechanism == base.mechanism
+                && r.topology == base.topology
+                && r.fraction == base.fraction
+        });
+        let cell = format!("{}/{}@{}", base.mechanism, base.topology, base.fraction);
+        match found {
+            None => violations.push(format!("{cell}: missing from the current run")),
+            Some(row) if row.root_frames != base.root_frames => violations.push(format!(
+                "{cell}: root frames moved from {} to {}",
+                base.root_frames, row.root_frames
+            )),
+            Some(row)
+                if (row.f1 - base.f1).abs() > tolerance
+                    || (row.uplink_kb - base.uplink_kb).abs() > tolerance =>
+            {
+                violations.push(format!(
+                    "{cell}: f1 {} vs baseline {}, uplink {} vs baseline {} \
+                     (tolerance {tolerance})",
+                    row.f1, base.f1, row.uplink_kb, base.uplink_kb
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+impl TopologyReport {
+    /// Renders the sweep as an aligned plain-text table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "# fedhh aggregation topology ({} suite, {})\n",
+            self.suite, self.dataset
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:<10} {:>9} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "mech",
+            "topology",
+            "fraction",
+            "f1",
+            "uplink_kb",
+            "root_frames",
+            "root_bytes",
+            "flat_bytes"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<8} {:<10} {:>9.3} {:>8.3} {:>12.3} {:>12} {:>12} {:>12}",
+                r.mechanism,
+                r.topology,
+                r.fraction,
+                r.f1,
+                r.uplink_kb,
+                r.root_frames,
+                r.root_bytes,
+                r.flat_bytes
+            );
+        }
+        out
+    }
+
+    /// Serializes the report as schema-1 JSON.  Deterministic: fixed key
+    /// order, fixed float formatting, no timings — the same sweep options
+    /// produce the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"suite\": {},", json_string(&self.suite));
+        let _ = writeln!(out, "  \"dataset\": {},", json_string(&self.dataset));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"mechanism\": {}, \"topology\": {}, \"fraction\": {:.6}, \
+                 \"f1\": {:.6}, \"uplink_kb\": {:.6}, \"root_frames\": {}, \
+                 \"root_bytes\": {}, \"flat_bytes\": {}}}",
+                json_string(&r.mechanism),
+                json_string(&r.topology),
+                r.fraction,
+                r.f1,
+                r.uplink_kb,
+                r.root_frames,
+                r.root_bytes,
+                r.flat_bytes
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a schema-1 JSON report (the inverse of
+    /// [`TopologyReport::to_json`], tolerant of whitespace and key order).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let schema = json::get_number(obj, "schema")? as u32;
+        if schema != 1 {
+            return Err(format!("unsupported topology schema version {schema}"));
+        }
+        let suite = json::get_string(obj, "suite")?;
+        let dataset = json::get_string(obj, "dataset")?;
+        let rows_value = json::get(obj, "rows")?;
+        let rows_array = rows_value.as_array().ok_or("\"rows\" must be an array")?;
+        let mut rows = Vec::with_capacity(rows_array.len());
+        for item in rows_array {
+            let row = item.as_object().ok_or("row must be an object")?;
+            rows.push(TopologyRow {
+                mechanism: json::get_string(row, "mechanism")?,
+                topology: json::get_string(row, "topology")?,
+                fraction: json::get_number(row, "fraction")?,
+                f1: json::get_number(row, "f1")?,
+                uplink_kb: json::get_number(row, "uplink_kb")?,
+                root_frames: json::get_number(row, "root_frames")? as u64,
+                root_bytes: json::get_number(row, "root_bytes")? as u64,
+                flat_bytes: json::get_number(row, "flat_bytes")? as u64,
+            });
+        }
+        Ok(Self {
+            schema,
+            suite,
+            dataset,
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TopologyReport {
+        TopologyReport {
+            schema: 1,
+            suite: "quick".to_string(),
+            dataset: "SYN".to_string(),
+            rows: vec![
+                TopologyRow {
+                    mechanism: "TAPS".to_string(),
+                    topology: "flat".to_string(),
+                    fraction: 1.0,
+                    f1: 0.9,
+                    uplink_kb: 12.5,
+                    root_frames: 0,
+                    root_bytes: 0,
+                    flat_bytes: 0,
+                },
+                TopologyRow {
+                    mechanism: "TAPS".to_string(),
+                    topology: "tree:4".to_string(),
+                    fraction: 0.5,
+                    f1: 0.9,
+                    uplink_kb: 12.5,
+                    root_frames: 8,
+                    root_bytes: 4096,
+                    flat_bytes: 9216,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_including_counter_columns() {
+        let report = sample_report();
+        let parsed = TopologyReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.suite, "quick");
+        assert_eq!(parsed.dataset, "SYN");
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].topology, "flat");
+        assert_eq!(parsed.rows[1].root_frames, 8);
+        assert_eq!(parsed.rows[1].root_bytes, 4096);
+        assert_eq!(parsed.rows[1].flat_bytes, 9216);
+        assert!((parsed.rows[1].uplink_kb - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(TopologyReport::from_json("").is_err());
+        assert!(TopologyReport::from_json("{\"schema\": 1}").is_err());
+        assert!(TopologyReport::from_json(
+            "{\"schema\": 9, \"suite\": \"x\", \"dataset\": \"y\", \"rows\": []}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn check_joins_on_cell_identity_and_flags_every_drift_kind() {
+        let baseline = sample_report();
+        // Identical runs pass at zero tolerance.
+        assert!(check_topology(&baseline, &baseline, 0.0).is_empty());
+        // A missing cell is a violation.
+        let mut shrunk = sample_report();
+        shrunk.rows.remove(1);
+        let violations = check_topology(&shrunk, &baseline, 0.1);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("missing"));
+        // A moved frame count is a violation even inside the tolerance.
+        let mut reframed = sample_report();
+        reframed.rows[1].root_frames = 9;
+        assert!(check_topology(&reframed, &baseline, 10.0)[0].contains("root frames"));
+        // A score outside tolerance is a violation; inside passes.
+        let mut drifted = sample_report();
+        drifted.rows[0].f1 = 0.7;
+        assert_eq!(check_topology(&drifted, &baseline, 0.3).len(), 0);
+        assert_eq!(check_topology(&drifted, &baseline, 0.1).len(), 1);
+    }
+
+    #[test]
+    fn fraction_lists_without_full_quorum_are_rejected() {
+        let options = TopologyOptions {
+            quick: true,
+            fractions: vec![0.5],
+            ..TopologyOptions::default()
+        };
+        let err = run_topology(&options).unwrap_err();
+        assert!(err.contains("1.0"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_shapes_are_rejected_before_any_trial_runs() {
+        let bad_fanout = TopologyOptions {
+            quick: true,
+            fanouts: vec![1],
+            ..TopologyOptions::default()
+        };
+        assert!(run_topology(&bad_fanout)
+            .unwrap_err()
+            .contains("invalid topology"));
+        let bad_fraction = TopologyOptions {
+            quick: true,
+            fractions: vec![1.0, 0.0],
+            ..TopologyOptions::default()
+        };
+        assert!(run_topology(&bad_fraction).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn quick_sweeps_are_deterministic_and_internally_gated() {
+        let options = TopologyOptions {
+            fanouts: vec![2, 4],
+            fractions: vec![1.0, 0.5],
+            ..TopologyOptions::quick()
+        };
+        let a = run_topology(&options).unwrap();
+        let b = run_topology(&options).unwrap();
+        // Byte-identical JSON on a same-options rerun: the acceptance
+        // criterion the CI smoke gate cmp's.
+        assert_eq!(a.to_json(), b.to_json());
+        // One cell per mechanism × (flat + fanouts) × fraction.
+        let per_mechanism = (1 + options.fanouts.len()) * options.fractions.len();
+        assert_eq!(a.rows.len(), MechanismKind::ALL.len() * per_mechanism);
+        // The tree actually bites: every full-quorum tree cell dropped
+        // root-inbound bytes strictly below the flat equivalent (the
+        // internal gate already enforced this, spot-check the data too).
+        for row in a.rows.iter().filter(|r| r.topology != "flat") {
+            assert!(
+                row.root_frames > 0,
+                "{}/{} routed no frames",
+                row.mechanism,
+                row.topology
+            );
+            assert!(row.root_bytes <= row.flat_bytes);
+            if row.fraction == 1.0 {
+                assert!(row.root_bytes < row.flat_bytes);
+            }
+        }
+        // And the sweep itself checks clean against itself.
+        assert!(check_topology(&a, &b, 0.0).is_empty());
+    }
+}

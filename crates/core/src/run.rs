@@ -109,6 +109,15 @@ impl<'a> RunContext<'a> {
         if let Some(chunk) = engine.chunk {
             self.config.exec_mode = fedhh_federated::ExecMode::Chunked(chunk);
         }
+        // The topology and quorum axes travel in the protocol config (the
+        // wire handshake pins them federation-wide); an engine override
+        // folds into the config the same way the chunk override does.
+        if let Some(topology) = engine.topology {
+            self.config.topology = topology;
+        }
+        if let Some(quorum) = engine.quorum {
+            self.config.quorum = quorum;
+        }
         self.engine = engine;
         self
     }
@@ -133,7 +142,15 @@ impl<'a> RunContext<'a> {
     /// rather than calling [`Session::new`] directly — that is what routes
     /// a `fedhh-node` run's rounds through the coordinator exchange.
     pub fn session(&mut self, party_count: usize) -> Result<Session, ProtocolError> {
-        let mut session = Session::with_link(&self.engine, party_count, self.link.take())?;
+        // The config is the source of truth for the topology/quorum axes
+        // (with_engine already folded any engine override into it); resolve
+        // them into the engine the session actually runs, so a config that
+        // arrived over the node handshake takes effect too.
+        let resolved = self
+            .engine
+            .with_topology(self.config.topology)
+            .with_quorum(self.config.quorum);
+        let mut session = Session::with_link(&resolved, party_count, self.link.take())?;
         if self.telemetry.is_enabled() {
             session.set_telemetry(&self.telemetry);
         }

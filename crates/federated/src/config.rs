@@ -1,6 +1,7 @@
 //! Protocol configuration broadcast by the server to every party.
 
 use crate::error::ProtocolError;
+use crate::topology::{QuorumPolicy, Topology};
 use fedhh_fo::{FoKind, PrivacyBudget};
 use fedhh_trie::LevelSchedule;
 use std::num::NonZeroUsize;
@@ -149,6 +150,13 @@ pub struct ProtocolConfig {
     /// [`EngineConfig::chunk_size`](crate::EngineConfig::chunk_size) pins
     /// this per run).
     pub exec_mode: ExecMode,
+    /// How party uploads reach the root aggregator: the flat star or a
+    /// cohort tree ([`Topology::Tree`] is bit-identical to
+    /// [`Topology::Flat`] at quorum 1.0; merging is lossless).
+    pub topology: Topology,
+    /// Quorum-based round closure: the response fraction that closes a
+    /// round, drawn deterministically per `(seed, round)`.
+    pub quorum: QuorumPolicy,
 }
 
 impl Default for ProtocolConfig {
@@ -165,6 +173,8 @@ impl Default for ProtocolConfig {
             seed: 7,
             fo_exec: FoExec::Batched,
             exec_mode: ExecMode::Auto,
+            topology: Topology::Flat,
+            quorum: QuorumPolicy::full(),
         }
     }
 }
@@ -234,6 +244,19 @@ impl ProtocolConfig {
         self
     }
 
+    /// Returns a copy with a different aggregation topology
+    /// (bit-identical results at quorum 1.0 for any topology).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Returns a copy with a different quorum-closure policy.
+    pub fn with_quorum(mut self, quorum: QuorumPolicy) -> Self {
+        self.quorum = quorum;
+        self
+    }
+
     /// Validates internal consistency; called by the run API before any
     /// mechanism executes.  Every violation maps to a dedicated
     /// [`ProtocolError`] variant.
@@ -265,6 +288,18 @@ impl ProtocolConfig {
         if !(0.0..1.0).contains(&self.phase1_user_fraction) {
             return Err(ProtocolError::InvalidPhase1Fraction {
                 fraction: self.phase1_user_fraction,
+            });
+        }
+        if !self.topology.is_valid() {
+            let (fanout, depth) = match self.topology {
+                Topology::Flat => (0, 0),
+                Topology::Tree { fanout, depth } => (fanout, depth),
+            };
+            return Err(ProtocolError::InvalidTopology { fanout, depth });
+        }
+        if !self.quorum.is_valid() {
+            return Err(ProtocolError::InvalidQuorum {
+                fraction: self.quorum.fraction,
             });
         }
         Ok(())
@@ -366,6 +401,57 @@ mod tests {
             .validate(),
             Err(ProtocolError::InvalidPhase1Fraction { fraction: 1.0 })
         );
+        assert_eq!(
+            ProtocolConfig {
+                topology: Topology::Tree {
+                    fanout: 1,
+                    depth: 1
+                },
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidTopology {
+                fanout: 1,
+                depth: 1
+            })
+        );
+        assert_eq!(
+            ProtocolConfig {
+                quorum: QuorumPolicy {
+                    fraction: 0.0,
+                    seed: 0
+                },
+                ..Default::default()
+            }
+            .validate(),
+            Err(ProtocolError::InvalidQuorum { fraction: 0.0 })
+        );
+    }
+
+    #[test]
+    fn topology_and_quorum_builders_pin_the_axis() {
+        let c = ProtocolConfig::default()
+            .with_topology(Topology::Tree {
+                fanout: 4,
+                depth: 2,
+            })
+            .with_quorum(QuorumPolicy {
+                fraction: 0.75,
+                seed: 9,
+            });
+        assert_eq!(
+            c.topology,
+            Topology::Tree {
+                fanout: 4,
+                depth: 2
+            }
+        );
+        assert_eq!(c.quorum.fraction, 0.75);
+        assert!(c.validate().is_ok());
+        // The defaults stay on today's behaviour.
+        let d = ProtocolConfig::default();
+        assert!(d.topology.is_flat());
+        assert!(!d.quorum.is_partial());
     }
 
     #[test]

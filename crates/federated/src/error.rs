@@ -51,6 +51,18 @@ pub enum ProtocolError {
         /// The rejected worker count.
         parallelism: usize,
     },
+    /// An aggregation tree needs `fanout >= 2` and `1 <= depth <= 8`.
+    InvalidTopology {
+        /// The rejected cohort fanout.
+        fanout: usize,
+        /// The rejected tree depth.
+        depth: usize,
+    },
+    /// The quorum fraction must lie in `(0, 1]`.
+    InvalidQuorum {
+        /// The rejected fraction.
+        fraction: f64,
+    },
     /// The fault plan's dropout fraction must lie in `[0, 1]`.
     InvalidDropout {
         /// The rejected fraction.
@@ -138,6 +150,16 @@ impl fmt::Display for ProtocolError {
                     f,
                     "engine parallelism must be at least 1, got {parallelism}"
                 )
+            }
+            ProtocolError::InvalidTopology { fanout, depth } => {
+                write!(
+                    f,
+                    "aggregation tree needs fanout >= 2 and depth in 1..=8, \
+                     got fanout {fanout} depth {depth}"
+                )
+            }
+            ProtocolError::InvalidQuorum { fraction } => {
+                write!(f, "quorum fraction must be in (0, 1], got {fraction}")
             }
             ProtocolError::InvalidDropout { fraction } => {
                 write!(f, "dropout fraction must be in [0, 1], got {fraction}")
@@ -241,6 +263,14 @@ mod tests {
                 ProtocolError::InvalidParallelism { parallelism: 0 },
                 "parallelism",
             ),
+            (
+                ProtocolError::InvalidTopology {
+                    fanout: 1,
+                    depth: 1,
+                },
+                "fanout 1",
+            ),
+            (ProtocolError::InvalidQuorum { fraction: 0.0 }, "quorum"),
             (ProtocolError::InvalidDropout { fraction: 1.5 }, "1.5"),
             (
                 ProtocolError::InvalidAdversaryFraction { fraction: -0.5 },

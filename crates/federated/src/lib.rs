@@ -102,6 +102,7 @@ pub mod scheduler;
 pub mod server;
 pub mod session;
 pub mod socket;
+pub mod topology;
 pub mod transport;
 pub mod wire;
 
@@ -116,7 +117,8 @@ pub use error::ProtocolError;
 pub use estimator::{EstimateScratch, LevelEstimate, LevelEstimator};
 pub use fault::FaultPlan;
 pub use message::{
-    CandidateReport, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload, PAIR_BITS,
+    CandidateReport, MergedSupports, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload,
+    PAIR_BITS,
 };
 pub use node::{
     connect_party, connect_party_with_timeout, CoordinatorLink, NodeServer, NodeWelcome, PartyLink,
@@ -134,6 +136,7 @@ pub use session::{
     Session, TransportKind,
 };
 pub use socket::SocketTransport;
+pub use topology::{QuorumPolicy, Topology};
 pub use transport::{InMemoryTransport, ShardedTransport, Transport};
 
 // The wire error is part of this crate's error surface

@@ -92,6 +92,14 @@ pub enum RoundPayload {
     Report(CandidateReport),
     /// A TAPS pruning dictionary destined for the next party in the chain.
     Dictionary(PruneDictionary),
+    /// A sub-aggregator's cohort frame under [`crate::Topology::Tree`]
+    /// (wire schema 5): the constituent reports of one cohort, coalesced
+    /// into a single root-inbound frame.  Merging is **lossless** — every
+    /// constituent keeps its party index and full report, so the root can
+    /// reconstruct the flat canonical collection bit-for-bit.  Counts are
+    /// never pre-summed: f64 addition is non-associative and mechanisms key
+    /// on per-party structure, so folding at the edge would change results.
+    MergedSupports(MergedSupports),
 }
 
 impl RoundPayload {
@@ -100,7 +108,46 @@ impl RoundPayload {
         match self {
             RoundPayload::Report(report) => report.size_bits(),
             RoundPayload::Dictionary(dictionary) => dictionary.size_bits(),
+            RoundPayload::MergedSupports(merged) => merged.size_bits(),
         }
+    }
+}
+
+/// The body of a [`RoundPayload::MergedSupports`] cohort frame: each
+/// constituent report with its original sender, in canonical ascending
+/// `from` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedSupports {
+    /// `(original sender index, report)` pairs, ascending by sender.  The
+    /// sender's display name travels inside the report (`report.party`),
+    /// so the flat envelope can be reconstructed without extra bytes.
+    pub parts: Vec<(usize, CandidateReport)>,
+}
+
+impl MergedSupports {
+    /// Size of the merged payload on the wire, in bits: the sum of its
+    /// constituent reports (the per-pair cost model is unchanged by
+    /// merging — the savings are in the coalesced envelopes and frame
+    /// overhead, which the byte-exact `tree.*` counters account).
+    pub fn size_bits(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|(_, report)| report.size_bits())
+            .sum()
+    }
+
+    /// Unpacks the cohort back into flat enveloped messages for `round`,
+    /// in the constituent order.
+    pub fn into_messages(self, round: u32) -> Vec<RoundMessage> {
+        self.parts
+            .into_iter()
+            .map(|(from, report)| RoundMessage {
+                from,
+                party: report.party.clone(),
+                round,
+                payload: RoundPayload::Report(report),
+            })
+            .collect()
     }
 }
 
@@ -131,7 +178,7 @@ impl RoundMessage {
     pub fn as_report(&self) -> Option<&CandidateReport> {
         match &self.payload {
             RoundPayload::Report(report) => Some(report),
-            RoundPayload::Dictionary(_) => None,
+            _ => None,
         }
     }
 
@@ -139,7 +186,7 @@ impl RoundMessage {
     pub fn as_dictionary(&self) -> Option<&PruneDictionary> {
         match &self.payload {
             RoundPayload::Dictionary(dictionary) => Some(dictionary),
-            RoundPayload::Report(_) => None,
+            _ => None,
         }
     }
 }
@@ -188,6 +235,31 @@ mod tests {
     fn empty_dictionary_has_zero_size() {
         let dict = PruneDictionary::default();
         assert_eq!(dict.size_bits(), 0);
+    }
+
+    #[test]
+    fn merged_supports_unpack_losslessly() {
+        let report = |party: &str, count: f64| CandidateReport {
+            party: party.to_string(),
+            level: 2,
+            candidates: vec![(1, count), (2, count * 0.5)],
+            users: 10,
+        };
+        let merged = MergedSupports {
+            parts: vec![(3, report("p3", 4.0)), (5, report("p5", -0.25))],
+        };
+        assert_eq!(merged.size_bits(), 4 * PAIR_BITS);
+        let messages = merged.clone().into_messages(7);
+        assert_eq!(messages.len(), 2);
+        assert_eq!(messages[0].from, 3);
+        assert_eq!(messages[0].party, "p3");
+        assert_eq!(messages[0].round, 7);
+        assert_eq!(messages[1].from, 5);
+        assert_eq!(messages[1].party, "p5");
+        for (message, (from, report)) in messages.iter().zip(&merged.parts) {
+            assert_eq!(message.from, *from);
+            assert_eq!(message.as_report(), Some(report));
+        }
     }
 
     #[test]

@@ -21,14 +21,46 @@
 //! coordinator → party   Collection { ... } | Abort  (each engine round)
 //! ```
 //!
+//! ## The aggregation tree over ranks
+//!
+//! When the welcome's [`ProtocolConfig::topology`] is
+//! [`Topology::Tree`]`{ fanout, .. }`, ranks are grouped into cohorts of
+//! `fanout` consecutive ranks and the *uplink* becomes two-level: the first
+//! rank of each multi-rank cohort plays **sub-aggregator**, the other
+//! cohort members ship their `RoundDone` frames to it, and it forwards one
+//! merged frame (reports coalesced into a lossless
+//! [`crate::message::MergedSupports`]) to the coordinator — which therefore
+//! receives O(cohorts) round frames instead of O(ranks).  Three handshake
+//! frames establish the edges after the Welcome:
+//!
+//! ```text
+//! subagg → coordinator  AggregatorReady { rank, addr }  (its cohort socket)
+//! coordinator → leaf    Route { addr }                  (where to uplink)
+//! leaf → subagg         JoinCohort { rank }             (once, on connect)
+//! ```
+//!
+//! The *downlink* stays a star: the coordinator broadcasts the assembled
+//! `Collection` to every rank directly, and the collection is flattened
+//! (merged frames unpacked, canonical order restored) before broadcast, so
+//! a tree run stays bit-identical to the flat star and to the in-memory
+//! engine at the same seed.  The node plane always uses depth 1 over ranks
+//! regardless of the configured in-memory depth — interior levels beyond
+//! the first change which process folds bytes, never the bytes themselves.
+//!
+//! A party process that connects *after* the federation is complete (every
+//! rank accepted and a round already closed) is not left hanging on an
+//! unread socket: the coordinator drains late joiners each round and
+//! answers with a typed `Abort` naming the closed round.
+//!
 //! All frames travel in the `fedhh-wire` format (schema byte + CRC), so an
 //! incompatible or corrupt peer fails with a typed [`WireError`] folded
 //! into [`crate::ProtocolError::Transport`].
 
 use crate::fault::FaultPlan;
-use crate::message::RoundMessage;
+use crate::message::{MergedSupports, RoundMessage, RoundPayload};
 use crate::scenario::ScenarioPlan;
 use crate::session::{PartyEvent, RoundCollection};
+use crate::topology::Topology;
 use crate::transport::canonical_sort;
 use crate::ProtocolConfig;
 use fedhh_wire::{read_frame, write_frame, Decode, Encode, Reader, WireError};
@@ -102,6 +134,14 @@ enum NodeFrame {
     Collection(RoundCollection),
     /// Coordinator → party: the run is over because some party failed.
     Abort { detail: String },
+    /// Sub-aggregator → coordinator: the cohort socket is bound and
+    /// accepting; route my cohort's leaves to `addr`.
+    AggregatorReady { rank: usize, addr: String },
+    /// Coordinator → leaf: uplink your `RoundDone` frames to `addr`
+    /// (your cohort's sub-aggregator) instead of here.
+    Route { addr: String },
+    /// Leaf → sub-aggregator: greeting on the cohort connection.
+    JoinCohort { rank: usize },
 }
 
 impl Encode for NodeFrame {
@@ -133,6 +173,19 @@ impl Encode for NodeFrame {
                 out.push(4);
                 detail.encode(out);
             }
+            NodeFrame::AggregatorReady { rank, addr } => {
+                out.push(5);
+                rank.encode(out);
+                addr.encode(out);
+            }
+            NodeFrame::Route { addr } => {
+                out.push(6);
+                addr.encode(out);
+            }
+            NodeFrame::JoinCohort { rank } => {
+                out.push(7);
+                rank.encode(out);
+            }
         }
     }
 }
@@ -154,6 +207,16 @@ impl Decode for NodeFrame {
             3 => Ok(NodeFrame::Collection(RoundCollection::decode(reader)?)),
             4 => Ok(NodeFrame::Abort {
                 detail: String::decode(reader)?,
+            }),
+            5 => Ok(NodeFrame::AggregatorReady {
+                rank: usize::decode(reader)?,
+                addr: String::decode(reader)?,
+            }),
+            6 => Ok(NodeFrame::Route {
+                addr: String::decode(reader)?,
+            }),
+            7 => Ok(NodeFrame::JoinCohort {
+                rank: usize::decode(reader)?,
             }),
             other => Err(WireError::InvalidValue {
                 what: "node frame tag",
@@ -241,14 +304,25 @@ impl NodeServer {
     /// order; the partition itself is part of the welcome, so which OS
     /// process ends up with which rank never affects results.
     ///
+    /// When the welcome's config carries a tree topology, the handshake
+    /// continues past the Welcomes: each multi-rank cohort's first rank
+    /// reports its cohort socket with `AggregatorReady`, and the
+    /// coordinator routes the cohort's other ranks to it with `Route`.
+    /// The listener is kept (non-blocking) on the returned link so late
+    /// joiners can be drained with a typed `Abort` each round instead of
+    /// hanging on an unread socket.
+    ///
     /// Each accept is bounded by the server's timeout (see
     /// [`NodeServer::with_timeout`]): a party process that never connects
     /// fails the handshake with a timeout error instead of hanging the
     /// coordinator forever.
     pub fn accept_parties(self, welcome: &NodeWelcome) -> Result<CoordinatorLink, WireError> {
-        let mut peers = Vec::with_capacity(welcome.assignments.len());
-        for rank in 0..welcome.assignments.len() {
-            let stream = self.accept_one(rank)?;
+        let ranks = welcome.assignments.len();
+        let mut peers = Vec::with_capacity(ranks);
+        for rank in 0..ranks {
+            let stream = accept_with_timeout(&self.listener, self.timeout, &|timeout| {
+                format!("no party process connected for rank {rank} within {timeout:?}")
+            })?;
             let mut peer = FrameStream::new(stream, self.timeout)?;
             match peer.recv()? {
                 NodeFrame::Hello => {}
@@ -264,46 +338,77 @@ impl NodeServer {
             })?;
             peers.push(peer);
         }
+        // Tree uplink handshake: collect each multi-rank cohort's
+        // sub-aggregator socket, then route its leaves there.  Singleton
+        // cohorts keep their direct uplink.
+        let mut uplink_source = vec![true; ranks];
+        if let Topology::Tree { fanout, .. } = welcome.config.topology {
+            for cohort_start in (0..ranks).step_by(fanout) {
+                let cohort_end = (cohort_start + fanout).min(ranks);
+                if cohort_end - cohort_start < 2 {
+                    continue;
+                }
+                let addr = match peers[cohort_start].recv()? {
+                    NodeFrame::AggregatorReady { rank, addr } if rank == cohort_start => addr,
+                    other => {
+                        return Err(WireError::Protocol {
+                            detail: format!(
+                                "expected AggregatorReady from rank {cohort_start}, got {other:?}"
+                            ),
+                        })
+                    }
+                };
+                for rank in cohort_start + 1..cohort_end {
+                    peers[rank].send(&NodeFrame::Route { addr: addr.clone() })?;
+                    uplink_source[rank] = false;
+                }
+            }
+        }
+        // Keep the listener for the per-round late-join drain.
+        self.listener.set_nonblocking(true)?;
         Ok(CoordinatorLink {
             peers,
             assignments: welcome.assignments.clone(),
+            uplink_source,
+            listener: Some(self.listener),
         })
     }
+}
 
-    /// Accepts one connection, bounded by the server's timeout.  A blocking
-    /// `accept` has no native timeout, so the listener polls non-blocking
-    /// against a deadline; the accepted stream is switched back to blocking
-    /// before use.
-    fn accept_one(&self, rank: usize) -> Result<TcpStream, WireError> {
-        let Some(timeout) = self.timeout else {
-            let (stream, _) = self.listener.accept()?;
-            return Ok(stream);
-        };
-        let deadline = std::time::Instant::now() + timeout;
-        self.listener.set_nonblocking(true)?;
-        let result = loop {
-            match self.listener.accept() {
-                Ok((stream, _)) => break Ok(stream),
-                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
-                    if std::time::Instant::now() >= deadline {
-                        break Err(WireError::Io {
-                            kind: std::io::ErrorKind::TimedOut,
-                            detail: format!(
-                                "no party process connected for rank {rank} within {timeout:?}"
-                            ),
-                        });
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
+/// Accepts one connection, bounded by `timeout`.  A blocking `accept` has
+/// no native timeout, so the listener polls non-blocking against a
+/// deadline; the accepted stream is switched back to blocking before use.
+fn accept_with_timeout(
+    listener: &TcpListener,
+    timeout: Option<Duration>,
+    describe: &dyn Fn(Duration) -> String,
+) -> Result<TcpStream, WireError> {
+    let Some(timeout) = timeout else {
+        let (stream, _) = listener.accept()?;
+        return Ok(stream);
+    };
+    let deadline = std::time::Instant::now() + timeout;
+    listener.set_nonblocking(true)?;
+    let result = loop {
+        match listener.accept() {
+            Ok((stream, _)) => break Ok(stream),
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                if std::time::Instant::now() >= deadline {
+                    break Err(WireError::Io {
+                        kind: std::io::ErrorKind::TimedOut,
+                        detail: describe(timeout),
+                    });
                 }
-                Err(err) => break Err(WireError::from(err)),
+                std::thread::sleep(Duration::from_millis(10));
             }
-        };
-        // Restore blocking mode for subsequent accepts and for the stream.
-        self.listener.set_nonblocking(false)?;
-        let stream = result?;
-        stream.set_nonblocking(false)?;
-        Ok(stream)
-    }
+            Err(err) => break Err(WireError::from(err)),
+        }
+    };
+    // Restore blocking mode for subsequent accepts and for the stream.
+    listener.set_nonblocking(false)?;
+    let stream = result?;
+    stream.set_nonblocking(false)?;
+    Ok(stream)
 }
 
 /// Connects a party process to the coordinator and performs the handshake;
@@ -331,18 +436,90 @@ pub fn connect_party_with_timeout<A: ToSocketAddrs>(
                         welcome.assignments.len()
                     ),
                 })?;
+            let role = resolve_role(&mut link, rank, &welcome, timeout)?;
             Ok((
                 PartyLink {
                     stream: link,
                     rank,
                     range,
+                    role,
                 },
                 welcome,
             ))
         }
+        // A coordinator whose federation is already complete answers a late
+        // Hello with a typed Abort naming the closed round.
+        NodeFrame::Abort { detail } => Err(WireError::Remote { detail }),
         other => Err(WireError::Protocol {
             detail: format!("expected Welcome, got {other:?}"),
         }),
+    }
+}
+
+/// Resolves this rank's place in the uplink topology after the Welcome:
+/// the first rank of a multi-rank cohort binds the cohort socket, reports
+/// it with `AggregatorReady` and accepts its leaves' `JoinCohort`s; the
+/// other cohort ranks wait for their `Route` and dial it.  Flat runs and
+/// singleton cohorts keep the direct star uplink.
+fn resolve_role(
+    link: &mut FrameStream,
+    rank: usize,
+    welcome: &NodeWelcome,
+    timeout: Option<Duration>,
+) -> Result<PartyRole, WireError> {
+    let Topology::Tree { fanout, .. } = welcome.config.topology else {
+        return Ok(PartyRole::Leaf);
+    };
+    let ranks = welcome.assignments.len();
+    let cohort_start = (rank / fanout) * fanout;
+    let cohort_end = (cohort_start + fanout).min(ranks);
+    if cohort_end - cohort_start < 2 {
+        return Ok(PartyRole::Leaf);
+    }
+    if rank == cohort_start {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        link.send(&NodeFrame::AggregatorReady {
+            rank,
+            addr: listener.local_addr()?.to_string(),
+        })?;
+        let mut cohort = Vec::with_capacity(cohort_end - cohort_start - 1);
+        for _ in cohort_start + 1..cohort_end {
+            let stream = accept_with_timeout(&listener, timeout, &|timeout| {
+                format!("cohort of rank {rank}: a leaf did not join within {timeout:?}")
+            })?;
+            let mut peer = FrameStream::new(stream, timeout)?;
+            match peer.recv()? {
+                NodeFrame::JoinCohort { rank: leaf_rank } => {
+                    let first_party = welcome
+                        .assignments
+                        .get(leaf_rank)
+                        .map_or(leaf_rank, |range| range.0);
+                    cohort.push((leaf_rank, first_party, peer));
+                }
+                other => {
+                    return Err(WireError::Protocol {
+                        detail: format!("expected JoinCohort, got {other:?}"),
+                    })
+                }
+            }
+        }
+        // Join order is racy (leaves dial concurrently); fold in rank order
+        // so the merged frame is a pure function of the plan.
+        cohort.sort_by_key(|(leaf_rank, _, _)| *leaf_rank);
+        Ok(PartyRole::SubAggregator { cohort })
+    } else {
+        match link.recv()? {
+            NodeFrame::Route { addr } => {
+                let stream = TcpStream::connect(addr)?;
+                let mut uplink = FrameStream::new(stream, timeout)?;
+                uplink.send(&NodeFrame::JoinCohort { rank })?;
+                Ok(PartyRole::CohortLeaf { uplink })
+            }
+            NodeFrame::Abort { detail } => Err(WireError::Remote { detail }),
+            other => Err(WireError::Protocol {
+                detail: format!("expected Route, got {other:?}"),
+            }),
+        }
     }
 }
 
@@ -352,6 +529,36 @@ pub fn connect_party_with_timeout<A: ToSocketAddrs>(
 pub struct CoordinatorLink {
     peers: Vec<FrameStream>,
     assignments: Vec<(usize, usize)>,
+    /// `uplink_source[rank]` — whether this rank sends `RoundDone` frames
+    /// directly to the coordinator (sub-aggregators and singleton cohorts)
+    /// or through its cohort's sub-aggregator (tree leaves).
+    uplink_source: Vec<bool>,
+    /// The (non-blocking) accept socket, kept to drain late joiners with a
+    /// typed `Abort` each round.
+    listener: Option<TcpListener>,
+}
+
+impl CoordinatorLink {
+    /// How many `RoundDone` frames reach the coordinator per round: one per
+    /// sub-aggregator or singleton cohort under a tree topology, one per
+    /// rank under the flat star.
+    pub fn round_frames(&self) -> usize {
+        self.uplink_source.iter().filter(|s| **s).count()
+    }
+}
+
+/// A party process's place in the uplink topology (see [`resolve_role`]).
+#[derive(Debug)]
+enum PartyRole {
+    /// Flat star or singleton cohort: `RoundDone` goes straight upstream.
+    Leaf,
+    /// Tree leaf: `RoundDone` goes to the cohort's sub-aggregator.
+    CohortLeaf { uplink: FrameStream },
+    /// Sub-aggregator: folds its cohort's `(rank, first party, stream)`
+    /// connections into one merged frame per round.
+    SubAggregator {
+        cohort: Vec<(usize, usize, FrameStream)>,
+    },
 }
 
 /// A party process's side of a distributed session.
@@ -361,6 +568,7 @@ pub struct PartyLink {
     /// This process's rank (its index in the welcome's assignments).
     pub rank: usize,
     range: (usize, usize),
+    role: PartyRole,
 }
 
 /// The session's handle on a distributed run: either the coordinator's
@@ -451,12 +659,65 @@ impl SessionLink {
     ) -> Result<RoundCollection, WireError> {
         match self {
             SessionLink::Party(party) => {
-                party.stream.send(&NodeFrame::RoundDone {
+                let mut messages = messages;
+                let mut events = events;
+                let mut failures: Vec<(usize, String)> = failure.into_iter().collect();
+                // A sub-aggregator first folds its cohort's frames into its
+                // own, coalescing the reports into one lossless merged
+                // frame, so the coordinator sees one uplink frame per
+                // cohort.
+                if let PartyRole::SubAggregator { cohort } = &mut party.role {
+                    for (leaf_rank, first_party, peer) in cohort.iter_mut() {
+                        match peer.recv() {
+                            Ok(NodeFrame::RoundDone {
+                                round: peer_round,
+                                messages: peer_messages,
+                                events: peer_events,
+                                failure: peer_failure,
+                            }) => {
+                                if peer_round != round {
+                                    return Err(WireError::Protocol {
+                                        detail: format!(
+                                            "rank {leaf_rank} reported round {peer_round} while \
+                                             its cohort is in round {round}"
+                                        ),
+                                    });
+                                }
+                                messages.extend(peer_messages);
+                                events.extend(peer_events);
+                                failures.extend(peer_failure);
+                            }
+                            Ok(other) => {
+                                return Err(WireError::Protocol {
+                                    detail: format!(
+                                        "expected RoundDone from rank {leaf_rank}, got {other:?}"
+                                    ),
+                                })
+                            }
+                            Err(err) => {
+                                failures.push((
+                                    *first_party,
+                                    format!("rank {leaf_rank} disconnected: {err}"),
+                                ));
+                            }
+                        }
+                    }
+                    canonical_sort(&mut messages);
+                    messages = merge_cohort(round, messages);
+                }
+                let failure = failures.into_iter().min();
+                let frame = NodeFrame::RoundDone {
                     round,
                     messages,
                     events,
                     failure,
-                })?;
+                };
+                match &mut party.role {
+                    PartyRole::CohortLeaf { uplink } => uplink.send(&frame)?,
+                    _ => party.stream.send(&frame)?,
+                }
+                // The downlink is a star regardless of topology: every rank
+                // hears the assembled collection from the coordinator.
                 match party.stream.recv()? {
                     NodeFrame::Collection(collection) => {
                         if collection.round != round {
@@ -477,10 +738,22 @@ impl SessionLink {
                 }
             }
             SessionLink::Coordinator(link) => {
+                // Answer any party process that connected after the
+                // federation was filled: a typed Abort naming the round in
+                // progress, instead of an unread socket that hangs the
+                // joiner until its timeout.
+                if let Some(listener) = &link.listener {
+                    drain_late_joiners(listener, round);
+                }
                 let mut all_messages = messages;
                 let mut all_events = events;
                 let mut failures: Vec<(usize, String)> = failure.into_iter().collect();
                 for (rank, peer) in link.peers.iter_mut().enumerate() {
+                    // Tree leaves uplink through their sub-aggregator; the
+                    // coordinator only reads frames from uplink sources.
+                    if !link.uplink_source[rank] {
+                        continue;
+                    }
                     // A peer that vanished between rounds (socket error,
                     // EOF, timeout) is a dropout, not a protocol bug: fold
                     // it into the failure set — attributed to its first
@@ -532,6 +805,19 @@ impl SessionLink {
                     }
                     return Err(WireError::Remote { detail });
                 }
+                // Unpack merged cohort frames back into their constituent
+                // flat messages: the broadcast collection is identical to
+                // the flat star's, whatever the uplink topology was.
+                let mut flat = Vec::with_capacity(all_messages.len());
+                for message in all_messages {
+                    match message.payload {
+                        RoundPayload::MergedSupports(merged) => {
+                            flat.extend(merged.into_messages(message.round));
+                        }
+                        _ => flat.push(message),
+                    }
+                }
+                let mut all_messages = flat;
                 // Per-party subsequences arrive in each process's canonical
                 // order and no party spans two processes, so the stable sort
                 // reproduces exactly the order a single-process drain yields.
@@ -563,10 +849,54 @@ impl SessionLink {
     }
 }
 
+/// Coalesces a cohort's already-canonical report messages into one
+/// lossless [`MergedSupports`] frame.  Mirrors the in-memory engine's
+/// singleton/mixed-round rules: fewer than two messages, or any
+/// non-report payload in the round (dictionary hand-overs are
+/// point-to-point), pass through unmerged.
+fn merge_cohort(round: u32, messages: Vec<RoundMessage>) -> Vec<RoundMessage> {
+    let all_reports = messages
+        .iter()
+        .all(|m| matches!(m.payload, RoundPayload::Report(_)));
+    if !all_reports || messages.len() < 2 {
+        return messages;
+    }
+    let mut parts = Vec::with_capacity(messages.len());
+    for message in messages {
+        if let RoundPayload::Report(report) = message.payload {
+            parts.push((message.from, report));
+        }
+    }
+    vec![RoundMessage {
+        from: parts[0].0,
+        party: parts[0].1.party.clone(),
+        round,
+        payload: RoundPayload::MergedSupports(MergedSupports { parts }),
+    }]
+}
+
+/// Accepts every pending late-join connection and answers it with a typed
+/// `Abort` naming the round in progress.  The listener is non-blocking, so
+/// this returns as soon as the backlog is empty; errors are swallowed —
+/// a late joiner that vanished mid-drain must not fail the round.
+fn drain_late_joiners(listener: &TcpListener, round: u32) {
+    while let Ok((stream, _)) = listener.accept() {
+        let _ = stream.set_nonblocking(false);
+        if let Ok(mut peer) = FrameStream::new(stream, Some(Duration::from_secs(5))) {
+            let _ = peer.send(&NodeFrame::Abort {
+                detail: format!(
+                    "late join rejected: the federation is full and round {round} \
+                     has already closed"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{CandidateReport, RoundPayload};
+    use crate::message::CandidateReport;
     use fedhh_wire::{from_bytes, to_bytes};
 
     fn welcome() -> NodeWelcome {
@@ -611,6 +941,14 @@ mod tests {
             NodeFrame::Abort {
                 detail: "party 2 failed".to_string(),
             },
+            NodeFrame::AggregatorReady {
+                rank: 4,
+                addr: "127.0.0.1:9099".to_string(),
+            },
+            NodeFrame::Route {
+                addr: "127.0.0.1:9099".to_string(),
+            },
+            NodeFrame::JoinCohort { rank: 5 },
         ];
         for frame in frames {
             let bytes = to_bytes(&frame);
@@ -696,6 +1034,121 @@ mod tests {
         for thread in party_threads {
             assert_eq!(thread.join().unwrap(), coordinator_collection);
         }
+    }
+
+    #[test]
+    fn tree_uplinks_assemble_the_same_collection_as_the_flat_star() {
+        let message = |from: usize| RoundMessage {
+            from,
+            party: format!("p{from}"),
+            round: 0,
+            payload: RoundPayload::Report(CandidateReport {
+                party: format!("p{from}"),
+                level: 1,
+                candidates: vec![(from as u64, 1.0)],
+                users: 1,
+            }),
+        };
+        let run = |topology: Topology| {
+            let server = NodeServer::bind("127.0.0.1:0").unwrap();
+            let addr = server.local_addr().unwrap();
+            let mut run_welcome = NodeWelcome {
+                config: ProtocolConfig {
+                    topology,
+                    ..ProtocolConfig::test_default()
+                },
+                scenario: ScenarioPlan::benign(),
+                parallelism: 1,
+                assignments: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+                app: Vec::new(),
+            };
+            run_welcome.config.quorum = crate::QuorumPolicy::full();
+            let server_welcome = run_welcome.clone();
+            let coordinator =
+                std::thread::spawn(move || server.accept_parties(&server_welcome).unwrap());
+            let party_threads: Vec<_> = (0..5)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        let (link, _) = connect_party(addr).unwrap();
+                        let (start, end) = link.range;
+                        let mut link = SessionLink::Party(link);
+                        let messages: Vec<RoundMessage> = (start..end).map(message).collect();
+                        let events: Vec<(usize, Vec<PartyEvent>)> =
+                            (start..end).map(|i| (i, vec![])).collect();
+                        link.exchange(0, messages, events, None, &FaultPlan::none())
+                            .unwrap()
+                    })
+                })
+                .collect();
+            let link = coordinator.join().unwrap();
+            let round_frames = link.round_frames();
+            let mut coordinator = SessionLink::Coordinator(link);
+            let collection = coordinator
+                .exchange(0, Vec::new(), Vec::new(), None, &FaultPlan::none())
+                .unwrap();
+            for thread in party_threads {
+                assert_eq!(thread.join().unwrap(), collection);
+            }
+            (round_frames, collection)
+        };
+        let (flat_frames, flat) = run(Topology::Flat);
+        assert_eq!(flat_frames, 5);
+        let (tree_frames, tree) = run(Topology::Tree {
+            fanout: 2,
+            depth: 1,
+        });
+        // 5 ranks at fanout 2: cohorts {0,1} {2,3} {4} — two sub-aggregator
+        // frames plus one singleton.
+        assert_eq!(tree_frames, 3);
+        assert_eq!(tree, flat, "tree uplink changed the assembled round");
+        let senders: Vec<usize> = tree.messages.iter().map(|m| m.from).collect();
+        assert_eq!(senders, vec![0, 1, 2, 3, 4]);
+        assert!(tree
+            .messages
+            .iter()
+            .all(|m| matches!(m.payload, RoundPayload::Report(_))));
+    }
+
+    /// The satellite-3 regression: a party process that connects after the
+    /// federation is full must get a typed Abort naming the closed round —
+    /// not a socket that hangs unread until the client times out.
+    #[test]
+    fn late_joiners_get_a_typed_abort_naming_the_round() {
+        let server = NodeServer::bind("127.0.0.1:0")
+            .unwrap()
+            .with_timeout(Some(Duration::from_secs(10)));
+        let addr = server.local_addr().unwrap();
+        let run_welcome = NodeWelcome {
+            config: ProtocolConfig::test_default(),
+            scenario: ScenarioPlan::benign(),
+            parallelism: 1,
+            assignments: vec![(0, 2)],
+            app: Vec::new(),
+        };
+        let server_welcome = run_welcome.clone();
+        let coordinator =
+            std::thread::spawn(move || server.accept_parties(&server_welcome).unwrap());
+        let rank0 = std::thread::spawn(move || {
+            let (link, _) = connect_party(addr).unwrap();
+            let mut link = SessionLink::Party(link);
+            link.exchange(0, Vec::new(), Vec::new(), None, &FaultPlan::none())
+        });
+        let mut coordinator = SessionLink::Coordinator(coordinator.join().unwrap());
+        // The latecomer dials once the federation is complete; the
+        // connection lands in the backlog and the next exchange drains it.
+        let late = std::thread::spawn(move || {
+            connect_party_with_timeout(addr, Some(Duration::from_secs(10)))
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        coordinator
+            .exchange(0, Vec::new(), Vec::new(), None, &FaultPlan::none())
+            .unwrap();
+        rank0.join().unwrap().unwrap();
+        let err = late.join().unwrap().unwrap_err();
+        assert!(matches!(err, WireError::Remote { .. }), "{err}");
+        let detail = err.to_string();
+        assert!(detail.contains("late join"), "{detail}");
+        assert!(detail.contains("round 0"), "{detail}");
     }
 
     #[test]
@@ -795,6 +1248,7 @@ mod tests {
             },
             rank: 0,
             range: (2, 9),
+            role: PartyRole::Leaf,
         });
         assert!(party.validate(9).is_ok());
         assert!(party.validate(8).is_err());

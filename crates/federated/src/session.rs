@@ -25,13 +25,14 @@
 
 use crate::error::ProtocolError;
 use crate::fault::FaultPlan;
-use crate::message::{PruneDictionary, RoundMessage, RoundPayload};
+use crate::message::{MergedSupports, PruneDictionary, RoundMessage, RoundPayload};
 use crate::node::SessionLink;
 use crate::observer::{LevelEstimated, PruningDecision};
 use crate::scenario::{apply_report_flip, AdversaryModel, FlipMode, ScenarioPlan};
 use crate::socket::SocketTransport;
+use crate::topology::{QuorumPolicy, Topology};
 use crate::transport::{InMemoryTransport, ShardedTransport, Transport};
-use fedhh_telemetry::{SpanName, Telemetry, ValueHist};
+use fedhh_telemetry::{Counter, SpanName, Telemetry, ValueHist};
 
 /// Which [`Transport`] implementation a session routes its uploads through.
 ///
@@ -67,6 +68,13 @@ pub struct EngineConfig {
     /// chunk size for the whole run (see [`EngineConfig::chunk_size`]);
     /// `None` leaves the protocol configuration's `exec_mode` in charge.
     pub chunk: Option<std::num::NonZeroUsize>,
+    /// When set, pins the aggregation topology for the whole run (see
+    /// [`EngineConfig::with_topology`]); `None` leaves the protocol
+    /// configuration's `topology` in charge.
+    pub topology: Option<Topology>,
+    /// When set, pins the quorum-closure policy for the whole run; `None`
+    /// leaves the protocol configuration's `quorum` in charge.
+    pub quorum: Option<QuorumPolicy>,
 }
 
 impl EngineConfig {
@@ -77,6 +85,8 @@ impl EngineConfig {
             scenario: ScenarioPlan::benign(),
             transport: TransportKind::Auto,
             chunk: None,
+            topology: None,
+            quorum: None,
         }
     }
 
@@ -135,6 +145,36 @@ impl EngineConfig {
         self
     }
 
+    /// Returns a copy that pins the aggregation topology for the whole
+    /// run.  [`Topology::Tree`] routes uploads through cohort-level
+    /// sub-aggregators; at quorum 1.0 its results are **bit-identical** to
+    /// [`Topology::Flat`] for every mechanism (merging is lossless), only
+    /// the root-inbound frame and byte counts change.
+    ///
+    /// ```
+    /// use fedhh_federated::{EngineConfig, Topology};
+    ///
+    /// let engine = EngineConfig::parallel(4).with_topology(Topology::Tree {
+    ///     fanout: 8,
+    ///     depth: 1,
+    /// });
+    /// assert_eq!(engine.topology, Some(Topology::Tree { fanout: 8, depth: 1 }));
+    /// ```
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Returns a copy that pins quorum-based round closure: each round
+    /// closes once the configured response fraction is reached, the
+    /// on-time set a pure function of `(seed, round)` — never of thread
+    /// or socket timing — so partial-quorum runs replay bit-identically
+    /// at any parallelism.
+    pub fn with_quorum(mut self, quorum: QuorumPolicy) -> Self {
+        self.quorum = Some(quorum);
+        self
+    }
+
     /// The engine used when a run does not configure one explicitly: the
     /// `FEDHH_TEST_PARALLELISM` environment variable (the CI matrix knob)
     /// selects the worker count, defaulting to sequential.  Invalid values
@@ -156,6 +196,22 @@ impl EngineConfig {
             return Err(ProtocolError::InvalidParallelism {
                 parallelism: self.parallelism,
             });
+        }
+        if let Some(topology) = self.topology {
+            if !topology.is_valid() {
+                let (fanout, depth) = match topology {
+                    Topology::Flat => (0, 0),
+                    Topology::Tree { fanout, depth } => (fanout, depth),
+                };
+                return Err(ProtocolError::InvalidTopology { fanout, depth });
+            }
+        }
+        if let Some(quorum) = self.quorum {
+            if !quorum.is_valid() {
+                return Err(ProtocolError::InvalidQuorum {
+                    fraction: quorum.fraction,
+                });
+            }
         }
         self.scenario.validate()
     }
@@ -300,6 +356,8 @@ pub struct Session {
     transport: Box<dyn Transport>,
     parallelism: usize,
     scenario: ScenarioPlan,
+    topology: Topology,
+    quorum: QuorumPolicy,
     dropped: Vec<bool>,
     compromised: Vec<bool>,
     round: u32,
@@ -358,6 +416,8 @@ impl Session {
             transport,
             parallelism: engine.parallelism,
             scenario: engine.scenario,
+            topology: engine.topology.unwrap_or_default(),
+            quorum: engine.quorum.unwrap_or_default(),
             dropped: engine.scenario.faults.dropped_parties(party_count),
             compromised: engine.scenario.compromised_parties(party_count),
             round: 0,
@@ -445,6 +505,14 @@ impl Session {
         let round = input.round;
         self.round = self.round.max(round) + 1;
         let _round_span = self.telemetry.span_idx(SpanName::Round, u64::from(round));
+
+        // Quorum closure: the on-time subset is drawn from the *full*
+        // active list before any local-range filtering, so every process
+        // of a distributed run excludes the same parties.  Excluded
+        // parties simply do not execute this round — the same per-round
+        // semantics as a fault-plan dropout.
+        let on_time = self.quorum.on_time(round, active);
+        let active = on_time.as_slice();
 
         let (local_start, local_end) = self.local_range();
         let mut is_selected = vec![false; drivers.len()];
@@ -580,6 +648,12 @@ impl Session {
         let messages = self.transport.drain().map_err(ProtocolError::Transport)?;
         match &mut self.link {
             None => {
+                let messages = match self.topology {
+                    Topology::Flat => messages,
+                    Topology::Tree { fanout, depth } => {
+                        tree_route(round, messages, fanout, depth, &self.telemetry)?
+                    }
+                };
                 let order = self.scenario.faults.straggler_order(messages.len(), round);
                 let mut slots: Vec<Option<RoundMessage>> = messages.into_iter().map(Some).collect();
                 let messages = order
@@ -687,6 +761,133 @@ fn run_party<D: PartyDriver>(
         );
     }
     (idx, result)
+}
+
+/// Routes one round's drained uploads through an in-memory aggregation
+/// tree: parties group into cohorts of `fanout` per level, `depth` levels
+/// deep, each multi-member cohort coalescing its reports into one
+/// [`RoundPayload::MergedSupports`] frame.  Every final root-inbound frame
+/// round-trips through the real `fedhh-wire` frame codec, so the
+/// `tree.root.*` byte counters are frame-exact and lossless decoding is
+/// exercised on every round — the reconstructed flat collection is
+/// bit-identical to what [`Topology::Flat`] would have produced.
+///
+/// Single-member cohorts pass through as flat report frames: merging a
+/// cohort of one *adds* envelope bytes, so `tree.root.bytes <=
+/// tree.flat.bytes` holds unconditionally and is strict whenever any real
+/// merge happened.  Rounds carrying any non-report payload (TAPS'
+/// dictionary hand-over is a point-to-point relay, not a support upload)
+/// pass through untouched.
+fn tree_route(
+    round: u32,
+    messages: Vec<RoundMessage>,
+    fanout: usize,
+    depth: usize,
+    telemetry: &Telemetry,
+) -> Result<Vec<RoundMessage>, ProtocolError> {
+    let all_reports = !messages.is_empty()
+        && messages
+            .iter()
+            .all(|m| matches!(m.payload, RoundPayload::Report(_)));
+    if !all_reports {
+        return Ok(messages);
+    }
+
+    // The flat baseline: what these uploads would cost as one frame each.
+    let mut flat_bytes = 0u64;
+    for message in &messages {
+        flat_bytes += framed_len(message).map_err(ProtocolError::Transport)? as u64;
+    }
+
+    // Units start as one (sender, report) per message — the transport
+    // drains them in canonical ascending order — and coalesce level by
+    // level; a unit's key is its smallest constituent sender.
+    let mut units: Vec<Vec<(usize, crate::message::CandidateReport)>> = messages
+        .into_iter()
+        .map(|message| {
+            let RoundMessage { from, payload, .. } = message;
+            match payload {
+                RoundPayload::Report(report) => vec![(from, report)],
+                _ => unreachable!("tree_route only runs on all-report rounds"),
+            }
+        })
+        .collect();
+    for level in 1..=depth {
+        let divisor = fanout.saturating_pow(level as u32).max(1);
+        let mut grouped: Vec<Vec<(usize, crate::message::CandidateReport)>> =
+            Vec::with_capacity(units.len());
+        let mut iter = units.into_iter().peekable();
+        while let Some(first) = iter.next() {
+            let cohort = first[0].0 / divisor;
+            let mut parts = first;
+            let mut merge_span = None;
+            while iter
+                .peek()
+                .is_some_and(|unit| unit[0].0 / divisor == cohort)
+            {
+                if merge_span.is_none() {
+                    merge_span = Some(telemetry.span_idx(SpanName::AggregateMerge, cohort as u64));
+                }
+                parts.extend(iter.next().expect("peeked"));
+            }
+            drop(merge_span);
+            grouped.push(parts);
+        }
+        units = grouped;
+    }
+
+    // Frame each final unit through the real wire codec and decode it
+    // back: the byte counters are real framed lengths and the lossless
+    // reconstruction is exercised, not assumed.
+    let mut root_frames = 0u64;
+    let mut root_bytes = 0u64;
+    let mut routed = Vec::new();
+    for mut parts in units {
+        let frame = if parts.len() == 1 {
+            let (from, report) = parts.pop().expect("one part");
+            RoundMessage {
+                from,
+                party: report.party.clone(),
+                round,
+                payload: RoundPayload::Report(report),
+            }
+        } else {
+            let from = parts[0].0;
+            let party = parts[0].1.party.clone();
+            RoundMessage {
+                from,
+                party,
+                round,
+                payload: RoundPayload::MergedSupports(MergedSupports { parts }),
+            }
+        };
+        let mut framed = Vec::new();
+        fedhh_wire::write_frame(&mut framed, &frame).map_err(ProtocolError::Transport)?;
+        root_frames += 1;
+        root_bytes += framed.len() as u64;
+        let decoded: RoundMessage =
+            fedhh_wire::read_frame(&mut framed.as_slice()).map_err(ProtocolError::Transport)?;
+        match decoded.payload {
+            RoundPayload::MergedSupports(merged) => {
+                routed.extend(merged.into_messages(decoded.round))
+            }
+            _ => routed.push(decoded),
+        }
+    }
+    crate::transport::canonical_sort(&mut routed);
+
+    telemetry.add(Counter::TreeRootFrames, root_frames);
+    telemetry.add(Counter::TreeRootBytes, root_bytes);
+    telemetry.add(Counter::TreeFlatBytes, flat_bytes);
+    Ok(routed)
+}
+
+/// The exact framed length of one value on the wire (length prefix,
+/// schema byte and CRC included).
+fn framed_len<T: fedhh_wire::Encode>(value: &T) -> Result<usize, fedhh_wire::WireError> {
+    let mut framed = Vec::new();
+    fedhh_wire::write_frame(&mut framed, value)?;
+    Ok(framed.len())
 }
 
 #[cfg(test)]
@@ -1026,6 +1227,169 @@ mod tests {
         assert!(matches!(
             Session::new(&EngineConfig::sequential().with_scenario(plan), 2),
             Err(ProtocolError::InvalidAdversaryFraction { .. })
+        ));
+    }
+
+    #[test]
+    fn tree_topologies_collect_the_flat_star_bit_for_bit() {
+        let run = |engine: EngineConfig| {
+            let mut session = Session::new(&engine, 9).unwrap();
+            let mut drivers = drivers(9);
+            let active = session.active_parties();
+            let mut rounds = Vec::new();
+            for round in 0..3 {
+                rounds.push(
+                    session
+                        .run_round(&mut drivers, &active, &start(round))
+                        .unwrap(),
+                );
+            }
+            rounds
+        };
+        let flat = run(EngineConfig::sequential());
+        for (fanout, depth) in [(2, 1), (2, 2), (3, 1), (4, 2), (16, 1)] {
+            for parallelism in [1usize, 4] {
+                let engine = EngineConfig::parallel(parallelism)
+                    .with_topology(Topology::Tree { fanout, depth });
+                assert_eq!(
+                    run(engine),
+                    flat,
+                    "tree fanout {fanout} depth {depth} parallelism {parallelism} \
+                     diverged from the flat star"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_runs_count_root_savings_in_the_telemetry_counters() {
+        let telemetry = Telemetry::new();
+        let engine = EngineConfig::sequential().with_topology(Topology::Tree {
+            fanout: 4,
+            depth: 1,
+        });
+        let mut session = Session::new(&engine, 8).unwrap();
+        session.set_telemetry(&telemetry);
+        let mut drivers = drivers(8);
+        let active = session.active_parties();
+        session.run_round(&mut drivers, &active, &start(0)).unwrap();
+        let snapshot = telemetry.snapshot();
+        // 8 parties under fanout 4 coalesce into 2 cohorts of 4.
+        assert_eq!(snapshot.counter(Counter::TreeRootFrames), 2);
+        let root = snapshot.counter(Counter::TreeRootBytes);
+        let flat = snapshot.counter(Counter::TreeFlatBytes);
+        assert!(
+            root < flat,
+            "merging must shrink root-inbound bytes (root {root}, flat {flat})"
+        );
+        let merges = snapshot
+            .span_us
+            .iter()
+            .find(|(name, _)| *name == SpanName::AggregateMerge)
+            .map(|(_, hist)| hist.count)
+            .unwrap();
+        assert_eq!(merges, 2, "one aggregate.merge span per coalesced cohort");
+    }
+
+    #[test]
+    fn singleton_cohorts_never_inflate_root_bytes() {
+        // 5 parties under fanout 4: one merged cohort of 4 plus a singleton
+        // that passes through as a flat frame.  The invariant is
+        // root_bytes <= flat_bytes even with the pass-through frame counted
+        // on both sides.
+        let telemetry = Telemetry::new();
+        let engine = EngineConfig::sequential().with_topology(Topology::Tree {
+            fanout: 4,
+            depth: 1,
+        });
+        let mut session = Session::new(&engine, 5).unwrap();
+        session.set_telemetry(&telemetry);
+        let mut drivers = drivers(5);
+        let active = session.active_parties();
+        session.run_round(&mut drivers, &active, &start(0)).unwrap();
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.counter(Counter::TreeRootFrames), 2);
+        assert!(
+            snapshot.counter(Counter::TreeRootBytes) <= snapshot.counter(Counter::TreeFlatBytes)
+        );
+    }
+
+    #[test]
+    fn partial_quorums_close_rounds_identically_at_any_parallelism() {
+        let quorum = QuorumPolicy {
+            fraction: 0.5,
+            seed: 77,
+        };
+        let run = |parallelism: usize| {
+            let engine = EngineConfig::parallel(parallelism).with_quorum(quorum);
+            let mut session = Session::new(&engine, 8).unwrap();
+            let mut drivers = drivers(8);
+            let active = session.active_parties();
+            let mut rounds = Vec::new();
+            for round in 0..4 {
+                rounds.push(
+                    session
+                        .run_round(&mut drivers, &active, &start(round))
+                        .unwrap(),
+                );
+            }
+            rounds
+        };
+        let sequential = run(1);
+        for parallelism in [2usize, 8] {
+            assert_eq!(
+                run(parallelism),
+                sequential,
+                "quorum closure diverged at parallelism {parallelism}"
+            );
+        }
+        // ceil(0.5 * 8) = 4 on-time parties every round, drawn per round.
+        let mut orders = std::collections::HashSet::new();
+        for collection in &sequential {
+            assert_eq!(collection.messages.len(), 4);
+            let on_time = quorum.on_time(collection.messages[0].round, &[0, 1, 2, 3, 4, 5, 6, 7]);
+            let senders: Vec<usize> = collection.messages.iter().map(|m| m.from).collect();
+            assert_eq!(senders, on_time, "closure must follow the pure draw");
+            orders.insert(senders);
+        }
+        assert!(orders.len() > 1, "the draw must vary across rounds");
+    }
+
+    #[test]
+    fn full_quorums_change_nothing() {
+        let run = |engine: EngineConfig| {
+            let mut session = Session::new(&engine, 5).unwrap();
+            let mut drivers = drivers(5);
+            let active = session.active_parties();
+            session.run_round(&mut drivers, &active, &start(0)).unwrap()
+        };
+        let baseline = run(EngineConfig::sequential());
+        assert_eq!(
+            run(EngineConfig::sequential().with_quorum(QuorumPolicy::full())),
+            baseline
+        );
+    }
+
+    #[test]
+    fn invalid_topologies_and_quorums_are_rejected_at_construction() {
+        let skinny = EngineConfig::sequential().with_topology(Topology::Tree {
+            fanout: 1,
+            depth: 1,
+        });
+        assert!(matches!(
+            Session::new(&skinny, 2),
+            Err(ProtocolError::InvalidTopology {
+                fanout: 1,
+                depth: 1
+            })
+        ));
+        let starved = EngineConfig::sequential().with_quorum(QuorumPolicy {
+            fraction: 0.0,
+            seed: 0,
+        });
+        assert!(matches!(
+            Session::new(&starved, 2),
+            Err(ProtocolError::InvalidQuorum { .. })
         ));
     }
 }

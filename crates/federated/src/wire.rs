@@ -21,11 +21,12 @@
 use crate::config::{ExecMode, FoExec, ProtocolConfig};
 use crate::fault::FaultPlan;
 use crate::message::{
-    CandidateReport, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload,
+    CandidateReport, MergedSupports, PruneCandidates, PruneDictionary, RoundMessage, RoundPayload,
 };
 use crate::observer::{LevelEstimated, PruningDecision};
 use crate::scenario::{AdversaryModel, FlipMode, ScenarioPlan};
 use crate::session::{PartyEvent, RoundCollection};
+use crate::topology::{QuorumPolicy, Topology};
 use fedhh_fo::FoKind;
 use fedhh_wire::{put_f64, put_u64_fixed, put_varint, Decode, Encode, Reader, WireError};
 
@@ -126,6 +127,31 @@ impl Decode for PruneDictionary {
     }
 }
 
+impl Encode for MergedSupports {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.parts.len() as u64);
+        for (from, report) in &self.parts {
+            from.encode(out);
+            report.encode(out);
+        }
+    }
+}
+
+impl Decode for MergedSupports {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = reader.take_len()?;
+        // A constituent costs at least its varint sender + report header;
+        // clamp the preallocation so a forged length cannot balloon memory.
+        let mut parts = Vec::with_capacity(len.min(reader.remaining() / 4).min(1 << 16));
+        for _ in 0..len {
+            let from = usize::decode(reader)?;
+            let report = CandidateReport::decode(reader)?;
+            parts.push((from, report));
+        }
+        Ok(MergedSupports { parts })
+    }
+}
+
 impl Encode for RoundPayload {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -137,6 +163,10 @@ impl Encode for RoundPayload {
                 out.push(1);
                 dictionary.encode(out);
             }
+            RoundPayload::MergedSupports(merged) => {
+                out.push(2);
+                merged.encode(out);
+            }
         }
     }
 }
@@ -146,6 +176,9 @@ impl Decode for RoundPayload {
         match reader.take_u8()? {
             0 => Ok(RoundPayload::Report(CandidateReport::decode(reader)?)),
             1 => Ok(RoundPayload::Dictionary(PruneDictionary::decode(reader)?)),
+            2 => Ok(RoundPayload::MergedSupports(MergedSupports::decode(
+                reader,
+            )?)),
             other => Err(WireError::InvalidValue {
                 what: "round payload tag",
                 value: other as u64,
@@ -471,6 +504,49 @@ fn decode_exec_mode(reader: &mut Reader<'_>) -> Result<ExecMode, WireError> {
     }
 }
 
+/// Stable one-byte discriminants for [`Topology`] (wire schema 5);
+/// `Tree` is followed by its fanout and depth as varints.
+fn encode_topology(topology: Topology, out: &mut Vec<u8>) {
+    match topology {
+        Topology::Flat => out.push(0),
+        Topology::Tree { fanout, depth } => {
+            out.push(1);
+            fanout.encode(out);
+            depth.encode(out);
+        }
+    }
+}
+
+fn decode_topology(reader: &mut Reader<'_>) -> Result<Topology, WireError> {
+    match reader.take_u8()? {
+        0 => Ok(Topology::Flat),
+        1 => Ok(Topology::Tree {
+            fanout: usize::decode(reader)?,
+            depth: usize::decode(reader)?,
+        }),
+        other => Err(WireError::InvalidValue {
+            what: "topology tag",
+            value: other as u64,
+        }),
+    }
+}
+
+impl Encode for QuorumPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.fraction.encode(out);
+        put_u64_fixed(out, self.seed);
+    }
+}
+
+impl Decode for QuorumPolicy {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(QuorumPolicy {
+            fraction: f64::decode(reader)?,
+            seed: reader.take_u64_fixed()?,
+        })
+    }
+}
+
 impl Encode for ProtocolConfig {
     fn encode(&self, out: &mut Vec<u8>) {
         self.k.encode(out);
@@ -484,12 +560,20 @@ impl Encode for ProtocolConfig {
         put_u64_fixed(out, self.seed);
         out.push(fo_exec_to_u8(self.fo_exec));
         encode_exec_mode(self.exec_mode, out);
+        encode_topology(self.topology, out);
+        self.quorum.encode(out);
     }
 }
 
 impl Decode for ProtocolConfig {
+    /// Decodes a configuration — including **legacy payloads** from before
+    /// the topology axis: the schema-gated frame layer already rejects
+    /// cross-version peers, but checkpoints and tests still carry bare
+    /// payloads, so when the reader is exhausted after the execution mode
+    /// the config decodes to the flat star with a full quorum (exactly the
+    /// pre-topology behaviour).
     fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(ProtocolConfig {
+        let mut config = ProtocolConfig {
             k: usize::decode(reader)?,
             epsilon: f64::decode(reader)?,
             fo: fo_kind_from_u8(reader.take_u8()?)?,
@@ -501,7 +585,14 @@ impl Decode for ProtocolConfig {
             seed: reader.take_u64_fixed()?,
             fo_exec: fo_exec_from_u8(reader.take_u8()?)?,
             exec_mode: decode_exec_mode(reader)?,
-        })
+            topology: Topology::Flat,
+            quorum: QuorumPolicy::full(),
+        };
+        if reader.remaining() > 0 {
+            config.topology = decode_topology(reader)?;
+            config.quorum = QuorumPolicy::decode(reader)?;
+        }
+        Ok(config)
     }
 }
 
@@ -538,6 +629,10 @@ mod tests {
         round_trip(dictionary.clone());
         round_trip(RoundPayload::Report(report()));
         round_trip(RoundPayload::Dictionary(dictionary));
+        round_trip(RoundPayload::MergedSupports(MergedSupports {
+            parts: vec![(0, report()), (3, report())],
+        }));
+        round_trip(MergedSupports { parts: Vec::new() });
         round_trip(RoundMessage {
             from: 2,
             party: "party-2".to_string(),
@@ -633,16 +728,76 @@ mod tests {
 
     #[test]
     fn zero_chunk_sizes_are_rejected_on_decode() {
-        let mut bytes = to_bytes(&ProtocolConfig {
+        let config = ProtocolConfig {
             exec_mode: ExecMode::Chunked(std::num::NonZeroUsize::new(1).unwrap()),
             ..ProtocolConfig::default()
-        });
-        // The chunk varint is the last byte (value 1); forge it to zero.
-        *bytes.last_mut().unwrap() = 0;
+        };
+        let mut bytes = to_bytes(&config);
+        // The chunk varint (value 1, one byte) sits right before the
+        // topology + quorum suffix; forge it to zero.
+        let mut suffix = Vec::new();
+        encode_topology(config.topology, &mut suffix);
+        config.quorum.encode(&mut suffix);
+        let chunk_at = bytes.len() - suffix.len() - 1;
+        bytes[chunk_at] = 0;
         assert!(matches!(
             from_bytes::<ProtocolConfig>(&bytes),
             Err(WireError::InvalidValue {
                 what: "chunk size",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn tree_configs_round_trip() {
+        round_trip(ProtocolConfig {
+            topology: Topology::Tree {
+                fanout: 4,
+                depth: 2,
+            },
+            quorum: QuorumPolicy {
+                fraction: 0.75,
+                seed: u64::MAX,
+            },
+            ..ProtocolConfig::default()
+        });
+        round_trip(ProtocolConfig {
+            quorum: QuorumPolicy {
+                fraction: 0.5,
+                seed: 3,
+            },
+            ..ProtocolConfig::test_default()
+        });
+    }
+
+    #[test]
+    fn legacy_config_payloads_decode_to_the_flat_star() {
+        // A pre-topology payload ends at the execution mode; strip the
+        // appended topology + quorum suffix to reconstruct one.
+        let config = ProtocolConfig::default();
+        let mut bytes = to_bytes(&config);
+        let mut suffix = Vec::new();
+        encode_topology(config.topology, &mut suffix);
+        config.quorum.encode(&mut suffix);
+        bytes.truncate(bytes.len() - suffix.len());
+        let back: ProtocolConfig = from_bytes(&bytes).unwrap();
+        assert_eq!(back, config);
+        assert!(back.topology.is_flat());
+        assert!(!back.quorum.is_partial());
+    }
+
+    #[test]
+    fn unknown_topology_tags_are_typed_errors() {
+        let config = ProtocolConfig::default();
+        let mut bytes = to_bytes(&config);
+        // The topology tag sits 17 bytes from the end (1 tag + 16 quorum).
+        let at = bytes.len() - 17;
+        bytes[at] = 9;
+        assert!(matches!(
+            from_bytes::<ProtocolConfig>(&bytes),
+            Err(WireError::InvalidValue {
+                what: "topology tag",
                 ..
             })
         ));

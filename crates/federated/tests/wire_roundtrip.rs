@@ -4,13 +4,15 @@
 //! uplink accounting cannot silently drift from the wire format.
 
 use fedhh_federated::{
-    AdversaryModel, CandidateReport, ExecMode, FaultPlan, FlipMode, FoExec, ProtocolConfig,
-    PruneCandidates, PruneDictionary, RoundMessage, RoundPayload, ScenarioPlan, PAIR_BITS,
+    AdversaryModel, CandidateReport, ExecMode, FaultPlan, FlipMode, FoExec, MergedSupports,
+    ProtocolConfig, PruneCandidates, PruneDictionary, QuorumPolicy, RoundMessage, RoundPayload,
+    ScenarioPlan, Topology, PAIR_BITS,
 };
 use fedhh_fo::FoKind;
-use fedhh_wire::{from_bytes, to_bytes};
+use fedhh_wire::{crc32, from_bytes, read_frame, to_bytes, write_frame, WireError, WIRE_SCHEMA};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::Cursor;
 
 fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
@@ -76,7 +78,33 @@ fn random_config(rng: &mut StdRng) -> ProtocolConfig {
                 std::num::NonZeroUsize::new(rng.gen_range(1usize..1_000_000)).unwrap(),
             ),
         },
+        topology: match rng.gen_range(0usize..3) {
+            0 => Topology::Flat,
+            1 => Topology::Tree {
+                fanout: rng.gen_range(2usize..32),
+                depth: 1,
+            },
+            _ => Topology::Tree {
+                fanout: rng.gen_range(2usize..8),
+                depth: rng.gen_range(1usize..=4),
+            },
+        },
+        quorum: QuorumPolicy {
+            fraction: rng.gen::<f64>() * 0.99 + 0.01,
+            seed: rng.gen(),
+        },
     }
+}
+
+fn random_merged(rng: &mut StdRng) -> MergedSupports {
+    let mut from = 0usize;
+    let parts = (0..rng.gen_range(1usize..6))
+        .map(|_| {
+            from += rng.gen_range(1usize..5);
+            (from, random_report(rng))
+        })
+        .collect();
+    MergedSupports { parts }
 }
 
 #[test]
@@ -118,6 +146,96 @@ fn random_configs_round_trip() {
             config
         );
     }
+}
+
+#[test]
+fn merged_supports_round_trip_bit_exactly() {
+    let mut rng = rng(21);
+    for _ in 0..200 {
+        let merged = random_merged(&mut rng);
+        let back: MergedSupports = from_bytes(&to_bytes(&merged)).unwrap();
+        assert_eq!(back.parts.len(), merged.parts.len());
+        for ((from1, r1), (from2, r2)) in merged.parts.iter().zip(&back.parts) {
+            assert_eq!(from1, from2);
+            assert_eq!(r1.party, r2.party);
+            assert_eq!(r1.level, r2.level);
+            assert_eq!(r1.users, r2.users);
+            for ((v1, c1), (v2, c2)) in r1.candidates.iter().zip(&r2.candidates) {
+                assert_eq!(v1, v2);
+                assert_eq!(c1.to_bits(), c2.to_bits(), "count bit pattern changed");
+            }
+        }
+        // The payload variant round-trips too.
+        let payload = RoundPayload::MergedSupports(merged);
+        let back: RoundPayload = from_bytes(&to_bytes(&payload)).unwrap();
+        assert!(matches!(back, RoundPayload::MergedSupports(_)));
+    }
+}
+
+/// Every prefix cut of a tree-topology handshake payload is either a typed
+/// `WireError` or (at the exact pre-topology boundary) a legacy decode to
+/// the flat-star defaults — never a panic, and never a tree config invented
+/// from a truncated suffix.
+#[test]
+fn topology_handshake_payload_cuts_are_typed_errors_or_legacy_defaults() {
+    let mut rng = rng(22);
+    for _ in 0..50 {
+        let mut config = random_config(&mut rng);
+        config.topology = Topology::Tree {
+            fanout: rng.gen_range(2usize..16),
+            depth: rng.gen_range(1usize..=2),
+        };
+        let bytes = to_bytes(&config);
+        for cut in 0..bytes.len() {
+            match from_bytes::<ProtocolConfig>(&bytes[..cut]) {
+                // A cut that lands on the legacy (pre-topology) payload
+                // boundary decodes with the compatibility defaults.
+                Ok(decoded) => {
+                    assert_eq!(decoded.topology, Topology::Flat);
+                    assert_eq!(decoded.quorum, QuorumPolicy::full());
+                }
+                Err(err) => {
+                    let _ = err.to_string(); // typed, printable, no panic
+                }
+            }
+        }
+        // Bit flips anywhere in the payload must never panic either.
+        let mut corrupt = bytes.clone();
+        let bit = rng.gen_range(0usize..corrupt.len() * 8);
+        corrupt[bit / 8] ^= 1 << (bit % 8);
+        let _ = from_bytes::<ProtocolConfig>(&corrupt);
+    }
+}
+
+/// Back-compat pin: a pre-topology peer speaks wire schema `WIRE_SCHEMA - 1`,
+/// and its frames must fail the handshake with a typed `SchemaMismatch` — not
+/// decode to garbage, not hang.  Forge a frame with a consistent crc but the
+/// previous schema byte so the failure is attributable to the schema alone.
+#[test]
+fn pre_topology_schema_frames_fail_with_schema_mismatch() {
+    let legacy = WIRE_SCHEMA - 1;
+    let payload = to_bytes(&ProtocolConfig::test_default());
+    let length = 1 + payload.len() + 4;
+    let mut forged = Vec::new();
+    forged.extend_from_slice(&(length as u32).to_le_bytes());
+    forged.push(legacy);
+    forged.extend_from_slice(&payload);
+    let mut crc_input = vec![legacy];
+    crc_input.extend_from_slice(&payload);
+    forged.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    let err = read_frame::<_, ProtocolConfig>(&mut Cursor::new(&forged)).unwrap_err();
+    assert_eq!(
+        err,
+        WireError::SchemaMismatch {
+            found: legacy,
+            supported: WIRE_SCHEMA
+        }
+    );
+    // Sanity: the same payload framed by the current writer reads back.
+    let mut current = Vec::new();
+    write_frame(&mut current, &ProtocolConfig::test_default()).unwrap();
+    let back: ProtocolConfig = read_frame(&mut Cursor::new(&current)).unwrap();
+    assert_eq!(back, ProtocolConfig::test_default());
 }
 
 #[test]
@@ -200,10 +318,10 @@ fn legacy_fault_plan_frames_decode_to_benign_scenarios() {
 fn truncated_or_corrupt_payloads_are_typed_errors_never_panics() {
     let mut rng = rng(15);
     for _ in 0..50 {
-        let payload = if rng.gen::<bool>() {
-            RoundPayload::Report(random_report(&mut rng))
-        } else {
-            RoundPayload::Dictionary(random_dictionary(&mut rng))
+        let payload = match rng.gen_range(0usize..3) {
+            0 => RoundPayload::Report(random_report(&mut rng)),
+            1 => RoundPayload::Dictionary(random_dictionary(&mut rng)),
+            _ => RoundPayload::MergedSupports(random_merged(&mut rng)),
         };
         let bytes = to_bytes(&payload);
         for cut in 0..bytes.len() {
@@ -259,4 +377,35 @@ fn size_bits_tracks_the_real_wire_length_for_every_payload_variant() {
         seen_report && seen_dictionary,
         "both variants must be covered"
     );
+}
+
+/// `MergedSupports::size_bits` is the sum of its constituent reports'
+/// `size_bits`, so the cost model charges a tree run exactly what the flat
+/// run would have paid for the same reports.  The wire adds one envelope
+/// (party name, level, users, `from`, lengths) per constituent, so the
+/// tolerance here scales per part, not just per message.
+#[test]
+fn merged_supports_size_bits_tracks_the_wire_length() {
+    const PER_PAIR_TOLERANCE_BITS: i64 = 48;
+    const PER_PART_TOLERANCE_BITS: i64 = 512;
+    let mut rng = rng(23);
+    for _ in 0..200 {
+        let merged = random_merged(&mut rng);
+        let parts = merged.parts.len() as i64;
+        let pairs: i64 = merged
+            .parts
+            .iter()
+            .map(|(_, r)| r.candidates.len() as i64)
+            .sum();
+        let size_bits = merged.size_bits() as i64;
+        let summed: usize = merged.parts.iter().map(|(_, r)| r.size_bits()).sum();
+        assert_eq!(size_bits, summed as i64, "size_bits must be lossless");
+        let wire_bits = 8 * to_bytes(&RoundPayload::MergedSupports(merged)).len() as i64;
+        let tolerance = pairs * PER_PAIR_TOLERANCE_BITS + (parts + 1) * PER_PART_TOLERANCE_BITS;
+        assert!(
+            (wire_bits - size_bits).abs() <= tolerance,
+            "size_bits {size_bits} vs wire {wire_bits} bits exceeds the \
+             {tolerance}-bit tolerance ({parts} parts, {pairs} pairs)"
+        );
+    }
 }

@@ -27,17 +27,29 @@ pub enum Counter {
     UplinkBits,
     /// Server → party traffic, in bits.
     DownlinkBits,
+    /// Frames the root aggregator received in a tree topology (after
+    /// cohort merging; equals the flat frame count under `Flat`).
+    TreeRootFrames,
+    /// Encoded bytes (frame overhead included) of the root-inbound frames
+    /// in a tree topology.
+    TreeRootBytes,
+    /// Encoded bytes the same uploads would cost flat (one frame per
+    /// message) — the baseline the tree savings are measured against.
+    TreeFlatBytes,
 }
 
 impl Counter {
     /// Every counter, in stable order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 9] = [
         Counter::WireTxBytes,
         Counter::WireTxFrames,
         Counter::FramesDecoded,
         Counter::FramesCorruptRejected,
         Counter::UplinkBits,
         Counter::DownlinkBits,
+        Counter::TreeRootFrames,
+        Counter::TreeRootBytes,
+        Counter::TreeFlatBytes,
     ];
 
     /// The stable wire name used in JSONL trace lines.
@@ -49,6 +61,9 @@ impl Counter {
             Counter::FramesCorruptRejected => "frames.corrupt_rejected",
             Counter::UplinkBits => "uplink.bits",
             Counter::DownlinkBits => "downlink.bits",
+            Counter::TreeRootFrames => "tree.root.frames",
+            Counter::TreeRootBytes => "tree.root.bytes",
+            Counter::TreeFlatBytes => "tree.flat.bytes",
         }
     }
 

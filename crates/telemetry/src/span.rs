@@ -18,6 +18,7 @@
 //! | `transport.send` | `SocketTransport::send` | frame write to the socket |
 //! | `checkpoint.write` | `checkpoint::save_traced` | checkpoint file write |
 //! | `epoch` | `EpochRunner::step` | service epoch |
+//! | `aggregate.merge` | tree sub-aggregation | per-cohort report merge |
 
 /// One name from the static span taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,12 +43,15 @@ pub enum SpanName {
     CheckpointWrite,
     /// One service epoch (`EpochRunner::step`).
     Epoch,
+    /// One cohort merge in a tree topology: a sub-aggregator coalescing
+    /// its parties' reports into a single `MergedSupports` frame.
+    AggregateMerge,
 }
 
 impl SpanName {
     /// Every span name, in stable declaration order (the order used for
     /// histogram slots and summary rows).
-    pub const ALL: [SpanName; 10] = [
+    pub const ALL: [SpanName; 11] = [
         SpanName::Run,
         SpanName::Phase,
         SpanName::Round,
@@ -58,6 +62,7 @@ impl SpanName {
         SpanName::TransportSend,
         SpanName::CheckpointWrite,
         SpanName::Epoch,
+        SpanName::AggregateMerge,
     ];
 
     /// Number of names in the taxonomy.
@@ -76,6 +81,7 @@ impl SpanName {
             SpanName::TransportSend => "transport.send",
             SpanName::CheckpointWrite => "checkpoint.write",
             SpanName::Epoch => "epoch",
+            SpanName::AggregateMerge => "aggregate.merge",
         }
     }
 

@@ -623,6 +623,48 @@ impl TraceStats {
         }
         Ok(())
     }
+
+    /// The tree-savings gate: in every section that carries the tree
+    /// counters, the root-inbound bytes must not exceed what the same
+    /// reports would have cost as a flat star (`tree.root.bytes <=
+    /// tree.flat.bytes`), and whenever the section recorded an
+    /// `aggregate.merge` span — i.e. at least one cohort actually coalesced
+    /// — the inequality must be strict.  A tree run that pays *more* at the
+    /// root than the flat star is a dishonest trace: merging is lossless
+    /// concatenation plus shared framing, so it can only shrink the
+    /// interior edge.
+    pub fn verify_tree_savings(&self) -> Result<(), TraceError> {
+        for section in &self.sections {
+            let Some(&flat) = section.counters.get(Counter::TreeFlatBytes.as_str()) else {
+                continue;
+            };
+            let root = section
+                .counters
+                .get(Counter::TreeRootBytes.as_str())
+                .copied()
+                .unwrap_or(0);
+            if root > flat {
+                return Err(TraceError::new(format!(
+                    "section {:?}: tree.root.bytes ({root}) exceeds tree.flat.bytes \
+                     ({flat}) — the aggregation tree inflated the root edge",
+                    section.name
+                )));
+            }
+            let merges = section
+                .span_counts
+                .get(SpanName::AggregateMerge.as_str())
+                .copied()
+                .unwrap_or(0);
+            if merges > 0 && root >= flat {
+                return Err(TraceError::new(format!(
+                    "section {:?}: {merges} aggregate.merge spans but tree.root.bytes \
+                     ({root}) did not drop below tree.flat.bytes ({flat})",
+                    section.name
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -735,6 +777,53 @@ mod tests {
         let stats = TraceStats::from_str(&drifted).unwrap();
         let err = stats.verify_reconciled().unwrap_err();
         assert!(err.detail.contains("31"), "{err}");
+    }
+
+    #[test]
+    fn tree_savings_gate_rejects_inflated_or_stagnant_root_edges() {
+        let honest = [
+            r#"{"v":1,"t":"mark","name":"tree","runs":1}"#,
+            r#"{"v":1,"t":"span","name":"aggregate.merge","idx":0,"start_us":0,"dur_us":5}"#,
+            r#"{"v":1,"t":"counter","name":"tree.root.bytes","value":700}"#,
+            r#"{"v":1,"t":"counter","name":"tree.flat.bytes","value":1000}"#,
+        ]
+        .join("\n");
+        TraceStats::from_str(&honest)
+            .unwrap()
+            .verify_tree_savings()
+            .unwrap();
+
+        // Sections without tree counters are out of scope for the gate.
+        let flat_only = r#"{"v":1,"t":"counter","name":"uplink.bits","value":5}"#;
+        TraceStats::from_str(flat_only)
+            .unwrap()
+            .verify_tree_savings()
+            .unwrap();
+
+        let inflated = honest.replace("\"value\":700", "\"value\":1400");
+        let err = TraceStats::from_str(&inflated)
+            .unwrap()
+            .verify_tree_savings()
+            .unwrap_err();
+        assert!(err.detail.contains("exceeds"), "{err}");
+
+        // Merges recorded but no byte savings: also dishonest.
+        let stagnant = honest.replace("\"value\":700", "\"value\":1000");
+        let err = TraceStats::from_str(&stagnant)
+            .unwrap()
+            .verify_tree_savings()
+            .unwrap_err();
+        assert!(err.detail.contains("did not drop"), "{err}");
+
+        // No merges (all-singleton cohorts): equality is legitimate.
+        let singleton = stagnant.replace(
+            r#"{"v":1,"t":"span","name":"aggregate.merge","idx":0,"start_us":0,"dur_us":5}"#,
+            r#"{"v":1,"t":"span","name":"round","idx":0,"start_us":0,"dur_us":5}"#,
+        );
+        TraceStats::from_str(&singleton)
+            .unwrap()
+            .verify_tree_savings()
+            .unwrap();
     }
 
     #[test]

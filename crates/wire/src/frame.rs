@@ -25,8 +25,13 @@ use std::io::{Read, Write};
 /// scenario plan (faults + adversary model); schema 4 (0.8) added the
 /// `Vectorized` frequency-oracle execution path discriminant to the
 /// protocol configuration (older peers must not silently run a different
-/// pinned FO stream, so the version gate rejects them up front).
-pub const WIRE_SCHEMA: u8 = 4;
+/// pinned FO stream, so the version gate rejects them up front); schema 5
+/// (0.9) appended the aggregation topology and quorum-closure policy to
+/// the protocol configuration and added the `MergedSupports` cohort
+/// payload to the round messages — a pre-topology peer can neither merge
+/// nor unpack cohort frames, so it must fail its first frame rather than
+/// mis-aggregate.
+pub const WIRE_SCHEMA: u8 = 5;
 
 /// The largest frame a reader will accept, in bytes (schema + payload +
 /// crc).  Guards against a corrupt length prefix allocating gigabytes.

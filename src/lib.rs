@@ -138,8 +138,8 @@ pub mod prelude {
     pub use crate::datasets::{DatasetConfig, DatasetKind, FederatedDataset, PartyData};
     pub use crate::federated::{
         AdversaryModel, EngineConfig, FaultPlan, FlipMode, FoExec, NullObserver, ProtocolConfig,
-        ProtocolError, RecordingObserver, RunObserver, RunPhase, ScenarioPlan, SessionLink,
-        TransportKind, WireError,
+        ProtocolError, QuorumPolicy, RecordingObserver, RunObserver, RunPhase, ScenarioPlan,
+        SessionLink, Topology, TransportKind, WireError,
     };
     pub use crate::fo::{FoKind, PrivacyBudget};
     pub use crate::mechanisms::{
